@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation (Section V-C text): precision of the Approximate Outlier
+ * Estimation heuristic — the fraction of turn decisions where AOE's
+ * choice is at least as good as the alternative branch (paper: ~90%
+ * of the optimal decisions) — plus the joint-vs-coordinated load
+ * comparison.
+ */
+
+#include "bench_common.hh"
+
+#include "accel/window.hh"
+#include "common/rng.hh"
+#include "gmn/workload.hh"
+#include "graph/dataset.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table("AOE ablation: decision precision and loads",
+                  {"Dataset", "AOE precision", "Joint loads",
+                   "Coordinated loads", "Separate loads"});
+
+void
+runDataset(DatasetId did, ::benchmark::State &state)
+{
+    double precision_sum = 0;
+    uint64_t joint = 0, coord = 0, separate = 0;
+    int count = 0;
+    for (auto _ : state) {
+        // Use a small window so the sweep has real turn decisions.
+        Dataset ds = makeDataset(did, benchSeed(), 8);
+        for (const GraphPair &pair : ds.pairs) {
+            WindowWork work;
+            work.target = &pair.target;
+            work.query = &pair.query;
+            work.capNodes = std::max<uint32_t>(
+                8, (pair.target.numNodes() + pair.query.numNodes()) / 8);
+            work.hasMatching = true;
+            precision_sum += measureAoePrecision(work);
+            joint += scheduleLayer(SchedulerKind::Joint, work).loads;
+            coord +=
+                scheduleLayer(SchedulerKind::Coordinated, work).loads;
+            separate +=
+                scheduleLayer(SchedulerKind::SeparatePhase, work).loads;
+            ++count;
+        }
+    }
+    double precision = precision_sum / count;
+    state.counters["precision"] = precision;
+
+    table.addRow({datasetSpec(did).name, TextTable::fmtPct(precision),
+                  std::to_string(joint), std::to_string(coord),
+                  std::to_string(separate)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId did : allDatasets()) {
+        cegma::bench::registerCase(
+            "aoe/" + datasetSpec(did).name,
+            [did](::benchmark::State &state) { runDataset(did, state); });
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

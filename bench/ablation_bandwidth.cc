@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Off-chip bandwidth sensitivity: the paper's breakdown (Section V-C)
+ * notes that small graphs leave baseline PEs waiting on loads while
+ * large graphs underutilize the memory interface. Sweeping the HBM
+ * bandwidth shows which regimes each machine is memory-bound in —
+ * CEGMA's EMF+CGC cut makes it far less bandwidth-sensitive.
+ */
+
+#include "bench_common.hh"
+
+#include "accel/runner.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table(
+    "Ablation: HBM bandwidth sweep (GMN-Li)",
+    {"GB/s", "Dataset", "AWB-GCN ms/pair", "CEGMA ms/pair", "speedup"});
+
+void
+runPoint(double gbps, DatasetId did, ::benchmark::State &state)
+{
+    double awb_ms = 0, cegma_ms = 0;
+    for (auto _ : state) {
+        Dataset ds = makeDataset(did, benchSeed(),
+                                 std::min<uint32_t>(pairCap(), 16));
+        auto traces = buildTraces(ModelId::GmnLi, ds, 0);
+        AccelConfig awb = awbGcnConfig();
+        AccelConfig cegma = cegmaConfig();
+        awb.dramBytesPerCycle = gbps; // GB/s at 1 GHz == B/cycle
+        cegma.dramBytesPerCycle = gbps;
+        awb_ms = AcceleratorModel(awb).simulateAll(traces)
+                     .msPerPair(GHz);
+        cegma_ms = AcceleratorModel(cegma).simulateAll(traces)
+                       .msPerPair(GHz);
+    }
+    state.counters["speedup"] = awb_ms / cegma_ms;
+
+    table.addRow({TextTable::fmt(gbps, 0), datasetSpec(did).name,
+                  TextTable::fmt(awb_ms, 4), TextTable::fmt(cegma_ms, 4),
+                  TextTable::fmtX(awb_ms / cegma_ms)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (double gbps : {64.0, 128.0, 256.0, 512.0}) {
+        for (DatasetId did : {DatasetId::AIDS, DatasetId::RD_5K}) {
+            cegma::bench::registerCase(
+                "bw/" + TextTable::fmt(gbps, 0) + "/" +
+                    datasetSpec(did).name,
+                [gbps, did](::benchmark::State &state) {
+                    runPoint(gbps, did, state);
+                });
+        }
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

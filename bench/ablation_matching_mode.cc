@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Design-space ablation (Section II's layer-wise vs model-wise
+ * discussion): layer-wise matching yields better accuracy but
+ * multiplies the matching work by the layer count; this sweep
+ * quantifies the cost side across layer counts — and how much of it
+ * CEGMA's EMF claws back — using custom model configurations.
+ */
+
+#include "bench_common.hh"
+
+#include "accel/runner.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table(
+    "Ablation: layer-wise vs model-wise matching cost (RD-B)",
+    {"Layers", "Matching", "match GFLOP", "AWB-GCN ms/pair",
+     "CEGMA ms/pair", "speedup"});
+
+void
+runPoint(unsigned layers, bool layerwise, ::benchmark::State &state)
+{
+    ModelConfig config = modelConfig(ModelId::GraphSim);
+    config.numLayers = layers;
+    config.layerwiseMatching = layerwise;
+
+    double match_gflop = 0, awb_ms = 0, cegma_ms = 0;
+    for (auto _ : state) {
+        Dataset ds = makeDataset(DatasetId::RD_B, benchSeed(),
+                                 std::min<uint32_t>(pairCap(), 16));
+        std::vector<PairTrace> traces;
+        for (const auto &pair : ds.pairs)
+            traces.push_back(buildCustomTrace(config, pair));
+        match_gflop = 0;
+        for (const auto &trace : traces)
+            match_gflop += static_cast<double>(trace.matchFlopsTotal());
+        match_gflop /= 1e9 * traces.size();
+        awb_ms = runPlatform(PlatformId::AwbGcn, traces)
+                     .msPerPair(GHz);
+        cegma_ms = runPlatform(PlatformId::Cegma, traces)
+                       .msPerPair(GHz);
+    }
+    state.counters["speedup"] = awb_ms / cegma_ms;
+
+    table.addRow({std::to_string(layers),
+                  layerwise ? "layer-wise" : "model-wise",
+                  TextTable::fmt(match_gflop, 3),
+                  TextTable::fmt(awb_ms, 4), TextTable::fmt(cegma_ms, 4),
+                  TextTable::fmtX(awb_ms / cegma_ms)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (unsigned layers : {2u, 3u, 5u}) {
+        for (bool layerwise : {false, true}) {
+            cegma::bench::registerCase(
+                "mode/" + std::to_string(layers) + "/" +
+                    (layerwise ? "layer" : "model"),
+                [layers, layerwise](::benchmark::State &state) {
+                    runPoint(layers, layerwise, state);
+                });
+        }
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

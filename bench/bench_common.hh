@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table benchmark harnesses.
+ *
+ * Each bench binary registers one google-benchmark case per evaluated
+ * configuration (Iterations(1) — the measured quantity is the
+ * simulated workload, counters carry the figure's metrics), collects
+ * the figure's rows into a FigureTable, and prints the paper-style
+ * table after RunSpecifiedBenchmarks().
+ *
+ * Environment knobs:
+ *  - CEGMA_PAIRS: pairs sampled per dataset (default 32; pairs are
+ *    i.i.d. so statistics are unbiased, runtime bounded)
+ *  - CEGMA_SEED: dataset generation seed (default 7)
+ */
+
+#ifndef CEGMA_BENCH_BENCH_COMMON_HH
+#define CEGMA_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace cegma {
+namespace bench {
+
+/** Pairs sampled per dataset (CEGMA_PAIRS, default 32). */
+inline uint32_t
+pairCap()
+{
+    if (const char *env = std::getenv("CEGMA_PAIRS"))
+        return static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+    return 32;
+}
+
+/** Dataset seed (CEGMA_SEED, default 7). */
+inline uint64_t
+benchSeed()
+{
+    if (const char *env = std::getenv("CEGMA_SEED"))
+        return std::strtoull(env, nullptr, 10);
+    return 7;
+}
+
+/** A titled result table printed after the benchmark run. */
+class FigureTable
+{
+  public:
+    FigureTable(std::string title, std::vector<std::string> header)
+        : title_(std::move(title)), table_(std::move(header))
+    {
+    }
+
+    void
+    addRow(std::vector<std::string> row)
+    {
+        table_.addRow(std::move(row));
+    }
+
+    void
+    print() const
+    {
+        std::cout << "\n=== " << title_ << " ===\n";
+        table_.print(std::cout);
+        std::cout.flush();
+    }
+
+  private:
+    std::string title_;
+    TextTable table_;
+};
+
+/** Register a single-iteration benchmark case. */
+inline void
+registerCase(const std::string &name,
+             std::function<void(::benchmark::State &)> fn)
+{
+    ::benchmark::RegisterBenchmark(name.c_str(),
+                                   [fn](::benchmark::State &state) {
+                                       fn(state);
+                                   })
+        ->Iterations(1)
+        ->Unit(::benchmark::kMillisecond);
+}
+
+/** Standard bench main: run cases, then print the figure tables. */
+inline int
+benchMain(int argc, char **argv,
+          const std::function<void()> &print_tables)
+{
+    setVerbose(false);
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    print_tables();
+    return 0;
+}
+
+} // namespace bench
+} // namespace cegma
+
+#endif // CEGMA_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 2: GMN-Li inference latency per pair on differently sized
+ * random graphs (generated following [24]) for PyG-GPU (V100) and
+ * AWB-GCN, with CEGMA added for reference. The paper's anchor points:
+ * ~33 ms (V100) and ~24 ms (AWB-GCN) at 1,000 nodes, rising to
+ * ~671 ms / ~514 ms at 5,000 nodes — we reproduce the shape
+ * (superlinear growth, AWB-GCN < V100), not the absolute values.
+ */
+
+#include "bench_common.hh"
+
+#include "accel/runner.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "graph/generators.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table("Figure 2: latency per pair vs graph size (GMN-Li)",
+                  {"Nodes", "PyG-GPU ms", "AWB-GCN ms", "CEGMA ms"});
+
+constexpr uint32_t graphsPerSize = 8;
+
+void
+runSize(NodeId n, ::benchmark::State &state)
+{
+    // 8 original graphs per size, pairs per the Section V-A protocol.
+    Rng rng(benchSeed() + n);
+    Dataset ds;
+    ds.spec = datasetSpec(DatasetId::RD_B);
+    for (uint32_t i = 0; i < graphsPerSize; ++i) {
+        Graph g = randomGraphLi(n, rng);
+        ds.pairs.push_back(makePairFromOriginal(g, (i % 2) == 0, rng));
+    }
+
+    double ms[3] = {0, 0, 0};
+    for (auto _ : state) {
+        auto traces = buildTraces(ModelId::GmnLi, ds, 0);
+        int idx = 0;
+        for (PlatformId p : {PlatformId::PygGpu, PlatformId::AwbGcn,
+                             PlatformId::Cegma}) {
+            ms[idx++] = runPlatform(p, traces, graphsPerSize)
+                            .msPerPair(GHz);
+        }
+    }
+    state.counters["gpu_ms"] = ms[0];
+    state.counters["awb_ms"] = ms[1];
+    state.counters["cegma_ms"] = ms[2];
+
+    table.addRow({std::to_string(n), TextTable::fmt(ms[0], 3),
+                  TextTable::fmt(ms[1], 3), TextTable::fmt(ms[2], 4)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (cegma::NodeId n : {100u, 500u, 1000u, 2000u, 5000u}) {
+        cegma::bench::registerCase(
+            "fig02/nodes:" + std::to_string(n),
+            [n](::benchmark::State &state) { runSize(n, state); });
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

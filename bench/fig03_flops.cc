@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 3: percentage of FLOPs within one GMN layer (GraphSim-style:
+ * standard GCN embedding with f_in = f_out = 64 and dot-product node
+ * matching) across the six datasets.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/flops.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table("Figure 3: FLOP shares within one GMN layer (f=64)",
+                  {"Dataset", "Aggregation", "Combination", "Matching"});
+
+void
+runDataset(DatasetId id, ::benchmark::State &state)
+{
+    FlopBreakdown bd;
+    for (auto _ : state) {
+        Dataset ds = makeDataset(id, benchSeed(), pairCap());
+        bd = figure3Breakdown(ds, 64);
+    }
+    state.counters["matching_share"] = bd.matchingShare();
+
+    table.addRow({datasetSpec(id).name,
+                  TextTable::fmtPct(bd.aggregateShare()),
+                  TextTable::fmtPct(bd.combineShare()),
+                  TextTable::fmtPct(bd.matchingShare())});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId id : allDatasets()) {
+        cegma::bench::registerCase(
+            "fig03/" + datasetSpec(id).name,
+            [id](::benchmark::State &state) { runDataset(id, state); });
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 4: CDFs of node reuse distances in GraphSim under the
+ * baseline separate-phase schedule (AIDS, COLLAB, RD-B; f=64,
+ * batch 32, 128 KB input buffer). The paper's point: almost all
+ * revisits land beyond the input buffer's 512-node reach.
+ */
+
+#include "bench_common.hh"
+#include "reuse_common.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table(
+    "Figure 4: baseline reuse-distance CDFs (GraphSim)",
+    {"Dataset", "<2^4", "<2^6", "<2^8", "<2^10", "<2^12", "<2^14",
+     "buffer-hit(512)"});
+
+void
+runDataset(DatasetId id, ::benchmark::State &state)
+{
+    IntDistribution distances;
+    for (auto _ : state) {
+        Dataset ds = makeDataset(id, benchSeed(), pairCap());
+        distances = graphSimReuseDistances(
+            ds, SchedulerKind::SeparatePhase, false);
+    }
+    state.counters["hit512"] = bufferHitFraction(distances, 512);
+
+    table.addRow({datasetSpec(id).name,
+                  TextTable::fmtPct(distances.cdfAtPow2(4)),
+                  TextTable::fmtPct(distances.cdfAtPow2(6)),
+                  TextTable::fmtPct(distances.cdfAtPow2(8)),
+                  TextTable::fmtPct(distances.cdfAtPow2(10)),
+                  TextTable::fmtPct(distances.cdfAtPow2(12)),
+                  TextTable::fmtPct(distances.cdfAtPow2(14)),
+                  TextTable::fmtPct(bufferHitFraction(distances, 512))});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId id :
+         {DatasetId::AIDS, DatasetId::COLLAB, DatasetId::RD_B}) {
+        cegma::bench::registerCase(
+            "fig04/" + datasetSpec(id).name,
+            [id](::benchmark::State &state) { runDataset(id, state); });
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 7: ratio between redundant and unique matching for the three
+ * GMN models across the six datasets (paper: >90% redundant matching
+ * on average, higher on large graphs).
+ */
+
+#include "bench_common.hh"
+
+#include "accel/runner.hh"
+#include "analysis/redundancy.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table("Figure 7: redundant vs unique matching",
+                  {"Dataset", "Model", "Redundant:Unique",
+                   "Redundant %"});
+
+void
+runCombo(DatasetId did, ModelId mid, ::benchmark::State &state)
+{
+    RedundancyStats stats;
+    for (auto _ : state) {
+        Dataset ds = makeDataset(did, benchSeed(), pairCap());
+        auto traces = buildTraces(mid, ds, 0);
+        stats = redundancyOf(traces);
+    }
+    state.counters["redundant_fraction"] = stats.redundantFraction();
+
+    table.addRow({datasetSpec(did).name, modelConfig(mid).name,
+                  TextTable::fmt(stats.redundantToUniqueRatio(), 2),
+                  TextTable::fmtPct(stats.redundantFraction())});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId did : allDatasets()) {
+        for (ModelId mid : allModels()) {
+            cegma::bench::registerCase(
+                "fig07/" + datasetSpec(did).name + "/" +
+                    modelConfig(mid).name,
+                [did, mid](::benchmark::State &state) {
+                    runCombo(did, mid, state);
+                });
+        }
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figures 8 and 12: input-buffer miss counts of the four window
+ * schemes on the paper's worked example (the Fig. 5 pair: a 4-node
+ * target and a 6-node query, 4-node input buffer). The paper's
+ * counts: 26 misses for the separate-phase single window, ~25 for
+ * the double independent window, fewer for the joint/coordinated
+ * windows.
+ */
+
+#include "bench_common.hh"
+
+#include "accel/window.hh"
+#include "graph/graph.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table("Figures 8/12: window-scheme miss counts (example)",
+                  {"Scheme", "Misses", "Steps", "Arcs", "Matches"});
+
+const char *
+schemeName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::SeparatePhase:
+        return "separate-phase (Fig. 8a)";
+      case SchedulerKind::DoubleWindow:
+        return "double independent (Fig. 8b)";
+      case SchedulerKind::Joint:
+        return "joint window (Fig. 12a)";
+      case SchedulerKind::Coordinated:
+        return "coordinated joint (Fig. 12b)";
+    }
+    return "?";
+}
+
+void
+runScheme(SchedulerKind kind, ::benchmark::State &state)
+{
+    // The Fig. 5 example pair.
+    Graph target = Graph::fromEdges(4, {{0, 2}, {1, 2}, {2, 3}});
+    Graph query = Graph::fromEdges(
+        6, {{0, 1}, {1, 2}, {2, 3}, {1, 4}, {3, 4}, {4, 5}});
+    WindowWork work;
+    work.target = &target;
+    work.query = &query;
+    work.capNodes = 4;
+    work.hasMatching = true;
+
+    ScheduleResult res;
+    for (auto _ : state)
+        res = scheduleLayer(kind, work);
+    state.counters["misses"] = static_cast<double>(res.loads);
+
+    table.addRow({schemeName(kind), std::to_string(res.loads),
+                  std::to_string(res.steps),
+                  std::to_string(res.arcsProcessed),
+                  std::to_string(res.matchesProcessed)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (SchedulerKind kind :
+         {SchedulerKind::SeparatePhase, SchedulerKind::DoubleWindow,
+          SchedulerKind::Joint, SchedulerKind::Coordinated}) {
+        cegma::bench::registerCase(
+            std::string("fig08/") + std::to_string(static_cast<int>(kind)),
+            [kind](::benchmark::State &state) { runScheme(kind, state); });
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

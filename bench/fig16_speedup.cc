@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 16: end-to-end speedup of PyG-GPU, HyGCN, AWB-GCN and CEGMA
+ * over the PyG-CPU baseline, for every model x dataset combination,
+ * plus geometric means (paper: 3139x / 353x / 8.4x / 6.5x average
+ * speedups of CEGMA over PyG-CPU / PyG-GPU / HyGCN / AWB-GCN).
+ */
+
+#include "bench_common.hh"
+
+#include <cmath>
+
+#include "accel/runner.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table("Figure 16: end-to-end speedup over PyG-CPU",
+                  {"Dataset", "Model", "PyG-GPU", "HyGCN", "AWB-GCN",
+                   "CEGMA"});
+
+struct GeoMean
+{
+    double logsum[4] = {0, 0, 0, 0};
+    int count = 0;
+} geo;
+
+void
+runCombo(DatasetId did, ModelId mid, ::benchmark::State &state)
+{
+    double cycles[5];
+    for (auto _ : state) {
+        Dataset ds = makeDataset(did, benchSeed(), pairCap());
+        auto traces = buildTraces(mid, ds, 0);
+        int i = 0;
+        for (PlatformId p : mainPlatforms())
+            cycles[i++] = runPlatform(p, traces).cycles;
+    }
+    double speedups[4];
+    for (int i = 0; i < 4; ++i) {
+        speedups[i] = cycles[0] / cycles[i + 1];
+        geo.logsum[i] += std::log(speedups[i]);
+    }
+    ++geo.count;
+    state.counters["cegma_speedup"] = speedups[3];
+
+    table.addRow({datasetSpec(did).name, modelConfig(mid).name,
+                  TextTable::fmtX(speedups[0]),
+                  TextTable::fmtX(speedups[1]),
+                  TextTable::fmtX(speedups[2]),
+                  TextTable::fmtX(speedups[3])});
+}
+
+void
+printTables()
+{
+    if (geo.count > 0) {
+        table.addRow(
+            {"GEOMEAN", "-",
+             TextTable::fmtX(std::exp(geo.logsum[0] / geo.count)),
+             TextTable::fmtX(std::exp(geo.logsum[1] / geo.count)),
+             TextTable::fmtX(std::exp(geo.logsum[2] / geo.count)),
+             TextTable::fmtX(std::exp(geo.logsum[3] / geo.count))});
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId did : allDatasets()) {
+        for (ModelId mid : allModels()) {
+            cegma::bench::registerCase(
+                "fig16/" + datasetSpec(did).name + "/" +
+                    modelConfig(mid).name,
+                [did, mid](::benchmark::State &state) {
+                    runCombo(did, mid, state);
+                });
+        }
+    }
+    return cegma::bench::benchMain(argc, argv, printTables);
+}

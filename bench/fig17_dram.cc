@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 17: DRAM accesses of HyGCN, AWB-GCN and CEGMA, normalized to
+ * HyGCN (paper: CEGMA cuts 59% / 61% vs HyGCN / AWB-GCN on average,
+ * most on GMN-Li — 98% — and least on SimGNN — ~32%).
+ */
+
+#include "bench_common.hh"
+
+#include "accel/runner.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table("Figure 17: DRAM accesses normalized to HyGCN",
+                  {"Dataset", "Model", "HyGCN", "AWB-GCN", "CEGMA",
+                   "CEGMA reduction"});
+
+double totalHygcn = 0, totalAwb = 0, totalCegma = 0;
+
+void
+runCombo(DatasetId did, ModelId mid, ::benchmark::State &state)
+{
+    double bytes[3];
+    for (auto _ : state) {
+        Dataset ds = makeDataset(did, benchSeed(), pairCap());
+        auto traces = buildTraces(mid, ds, 0);
+        int i = 0;
+        for (PlatformId p : {PlatformId::HyGcn, PlatformId::AwbGcn,
+                             PlatformId::Cegma}) {
+            bytes[i++] = static_cast<double>(
+                runPlatform(p, traces).dramBytes());
+        }
+    }
+    totalHygcn += bytes[0];
+    totalAwb += bytes[1];
+    totalCegma += bytes[2];
+    state.counters["cegma_over_hygcn"] = bytes[2] / bytes[0];
+
+    table.addRow({datasetSpec(did).name, modelConfig(mid).name, "1.00",
+                  TextTable::fmt(bytes[1] / bytes[0], 2),
+                  TextTable::fmt(bytes[2] / bytes[0], 2),
+                  TextTable::fmtPct(1.0 - bytes[2] / bytes[0])});
+}
+
+void
+printTables()
+{
+    if (totalHygcn > 0) {
+        table.addRow({"TOTAL", "-", "1.00",
+                      TextTable::fmt(totalAwb / totalHygcn, 2),
+                      TextTable::fmt(totalCegma / totalHygcn, 2),
+                      TextTable::fmtPct(1.0 - totalCegma / totalHygcn)});
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId did : allDatasets()) {
+        for (ModelId mid : allModels()) {
+            cegma::bench::registerCase(
+                "fig17/" + datasetSpec(did).name + "/" +
+                    modelConfig(mid).name,
+                [did, mid](::benchmark::State &state) {
+                    runCombo(did, mid, state);
+                });
+        }
+    }
+    return cegma::bench::benchMain(argc, argv, printTables);
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 18: percentage of remaining unique matching after the EMF
+ * removes redundancy (paper: >90% of matching eliminated on average;
+ * ~67% removed on AIDS, ~97% on RD-5K).
+ */
+
+#include "bench_common.hh"
+
+#include "accel/runner.hh"
+#include "analysis/redundancy.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table(
+    "Figure 18: remaining unique matching after the EMF",
+    {"Dataset", "Model", "Remaining unique", "Eliminated"});
+
+void
+runCombo(DatasetId did, ModelId mid, ::benchmark::State &state)
+{
+    RedundancyStats stats;
+    for (auto _ : state) {
+        Dataset ds = makeDataset(did, benchSeed(), pairCap());
+        auto traces = buildTraces(mid, ds, 0);
+        stats = redundancyOf(traces);
+    }
+    state.counters["remaining"] = stats.remainingUniqueFraction();
+
+    table.addRow({datasetSpec(did).name, modelConfig(mid).name,
+                  TextTable::fmtPct(stats.remainingUniqueFraction()),
+                  TextTable::fmtPct(stats.redundantFraction())});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId did : allDatasets()) {
+        for (ModelId mid : allModels()) {
+            cegma::bench::registerCase(
+                "fig18/" + datasetSpec(did).name + "/" +
+                    modelConfig(mid).name,
+                [did, mid](::benchmark::State &state) {
+                    runCombo(did, mid, state);
+                });
+        }
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 19: energy consumption of the accelerators normalized to
+ * HyGCN (paper: CEGMA consumes 63% / 62% less energy than HyGCN /
+ * AWB-GCN on average).
+ */
+
+#include "bench_common.hh"
+
+#include "accel/runner.hh"
+#include "sim/energy.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table("Figure 19: energy normalized to HyGCN",
+                  {"Dataset", "Model", "HyGCN", "AWB-GCN", "CEGMA",
+                   "CEGMA saving"});
+
+FigureTable component_table(
+    "Figure 19 companion: CEGMA energy composition (all datasets)",
+    {"Component", "Share"});
+
+double compDram = 0, compSram = 0, compMac = 0, compLeak = 0;
+
+double totalHygcn = 0, totalAwb = 0, totalCegma = 0;
+
+void
+runCombo(DatasetId did, ModelId mid, ::benchmark::State &state)
+{
+    EnergyModel energy;
+    double nj[3];
+    for (auto _ : state) {
+        Dataset ds = makeDataset(did, benchSeed(), pairCap());
+        auto traces = buildTraces(mid, ds, 0);
+        int i = 0;
+        for (PlatformId p : {PlatformId::HyGcn, PlatformId::AwbGcn,
+                             PlatformId::Cegma}) {
+            nj[i++] = runPlatform(p, traces).energyNj(energy);
+        }
+    }
+    totalHygcn += nj[0];
+    totalAwb += nj[1];
+    totalCegma += nj[2];
+    state.counters["cegma_over_hygcn"] = nj[2] / nj[0];
+
+    // Component composition of CEGMA's energy (re-simulated so the
+    // raw counters are available).
+    {
+        Dataset ds = makeDataset(did, benchSeed(), pairCap());
+        auto traces = buildTraces(mid, ds, 0);
+        SimResult cegma = runPlatform(PlatformId::Cegma, traces);
+        compDram += cegma.dramBytes() * energy.dramPjPerByte;
+        compSram += cegma.sramBytes * energy.sramPjPerByte;
+        compMac += cegma.macOps * energy.macPj;
+        compLeak += cegma.cycles * energy.leakagePjPerCycle;
+    }
+
+    table.addRow({datasetSpec(did).name, modelConfig(mid).name, "1.00",
+                  TextTable::fmt(nj[1] / nj[0], 2),
+                  TextTable::fmt(nj[2] / nj[0], 2),
+                  TextTable::fmtPct(1.0 - nj[2] / nj[0])});
+}
+
+void
+printTables()
+{
+    if (totalHygcn > 0) {
+        table.addRow({"TOTAL", "-", "1.00",
+                      TextTable::fmt(totalAwb / totalHygcn, 2),
+                      TextTable::fmt(totalCegma / totalHygcn, 2),
+                      TextTable::fmtPct(1.0 - totalCegma / totalHygcn)});
+    }
+    table.print();
+    double comp_total = compDram + compSram + compMac + compLeak;
+    if (comp_total > 0) {
+        component_table.addRow(
+            {"DRAM", TextTable::fmtPct(compDram / comp_total)});
+        component_table.addRow(
+            {"SRAM", TextTable::fmtPct(compSram / comp_total)});
+        component_table.addRow(
+            {"MACs", TextTable::fmtPct(compMac / comp_total)});
+        component_table.addRow(
+            {"leakage/clock", TextTable::fmtPct(compLeak / comp_total)});
+        component_table.print();
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId did : allDatasets()) {
+        for (ModelId mid : allModels()) {
+            cegma::bench::registerCase(
+                "fig19/" + datasetSpec(did).name + "/" +
+                    modelConfig(mid).name,
+                [did, mid](::benchmark::State &state) {
+                    runCombo(did, mid, state);
+                });
+        }
+    }
+    return cegma::bench::benchMain(argc, argv, printTables);
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 20: CDFs of node reuse distances in GraphSim under CEGMA
+ * (coordinated joint window + EMF filtering), same setup as Figure 4.
+ * The paper's point: the CGC collapses reuse distances into the input
+ * buffer's reach (e.g., 90.3% within 2^8 for RD-B).
+ */
+
+#include "bench_common.hh"
+#include "reuse_common.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table(
+    "Figure 20: CEGMA reuse-distance CDFs (GraphSim, CGC + EMF)",
+    {"Dataset", "<2^4", "<2^6", "<2^8", "<2^10", "<2^12",
+     "buffer-hit(512)", "baseline-hit(512)"});
+
+void
+runDataset(DatasetId id, ::benchmark::State &state)
+{
+    IntDistribution cegma_d, base_d;
+    for (auto _ : state) {
+        Dataset ds = makeDataset(id, benchSeed(), pairCap());
+        cegma_d = graphSimReuseDistances(ds, SchedulerKind::Coordinated,
+                                         true);
+        base_d = graphSimReuseDistances(
+            ds, SchedulerKind::SeparatePhase, false);
+    }
+    state.counters["hit512"] = bufferHitFraction(cegma_d, 512);
+
+    table.addRow({datasetSpec(id).name,
+                  TextTable::fmtPct(cegma_d.cdfAtPow2(4)),
+                  TextTable::fmtPct(cegma_d.cdfAtPow2(6)),
+                  TextTable::fmtPct(cegma_d.cdfAtPow2(8)),
+                  TextTable::fmtPct(cegma_d.cdfAtPow2(10)),
+                  TextTable::fmtPct(cegma_d.cdfAtPow2(12)),
+                  TextTable::fmtPct(bufferHitFraction(cegma_d, 512)),
+                  TextTable::fmtPct(bufferHitFraction(base_d, 512))});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId id :
+         {DatasetId::AIDS, DatasetId::COLLAB, DatasetId::RD_B}) {
+        cegma::bench::registerCase(
+            "fig20/" + datasetSpec(id).name,
+            [id](::benchmark::State &state) { runDataset(id, state); });
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

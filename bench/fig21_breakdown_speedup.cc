@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 21: component breakdown — end-to-end speedup of CEGMA-EMF
+ * (EMF only), CEGMA-CGC (CGC only) and full CEGMA over AWB-GCN, per
+ * dataset (paper averages: 3.6x / 2.9x / 6.5x, growing with graph
+ * size: EMF 1.1x on AIDS -> 7.1x on RD-5K, CGC 1.5x -> 4.3x).
+ */
+
+#include "bench_common.hh"
+
+#include <cmath>
+
+#include "accel/runner.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table(
+    "Figure 21: speedup over AWB-GCN (component breakdown)",
+    {"Dataset", "CEGMA-EMF", "CEGMA-CGC", "CEGMA"});
+
+double logsum[3] = {0, 0, 0};
+int combos = 0;
+
+void
+runDataset(DatasetId did, ::benchmark::State &state)
+{
+    // Per-dataset numbers average the three models (geometric mean).
+    double dataset_log[3] = {0, 0, 0};
+    int count = 0;
+    for (auto _ : state) {
+        Dataset ds = makeDataset(did, benchSeed(), pairCap());
+        for (ModelId mid : allModels()) {
+            auto traces = buildTraces(mid, ds, 0);
+            double awb = runPlatform(PlatformId::AwbGcn, traces).cycles;
+            int i = 0;
+            for (PlatformId p : {PlatformId::CegmaEmf,
+                                 PlatformId::CegmaCgc,
+                                 PlatformId::Cegma}) {
+                double speedup =
+                    awb / runPlatform(p, traces).cycles;
+                dataset_log[i] += std::log(speedup);
+                logsum[i] += std::log(speedup);
+                ++i;
+            }
+            ++count;
+            ++combos;
+        }
+    }
+    double geo[3];
+    for (int i = 0; i < 3; ++i)
+        geo[i] = std::exp(dataset_log[i] / count);
+    state.counters["cegma_speedup"] = geo[2];
+
+    table.addRow({datasetSpec(did).name, TextTable::fmtX(geo[0]),
+                  TextTable::fmtX(geo[1]), TextTable::fmtX(geo[2])});
+}
+
+void
+printTables()
+{
+    if (combos > 0) {
+        table.addRow({"GEOMEAN",
+                      TextTable::fmtX(std::exp(logsum[0] / combos)),
+                      TextTable::fmtX(std::exp(logsum[1] / combos)),
+                      TextTable::fmtX(std::exp(logsum[2] / combos))});
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId did : allDatasets()) {
+        cegma::bench::registerCase(
+            "fig21/" + datasetSpec(did).name,
+            [did](::benchmark::State &state) { runDataset(did, state); });
+    }
+    return cegma::bench::benchMain(argc, argv, printTables);
+}

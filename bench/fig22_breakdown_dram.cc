@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 22: component breakdown of DRAM accesses — CEGMA-EMF,
+ * CEGMA-CGC and full CEGMA relative to AWB-GCN, per dataset (paper
+ * averages: EMF cuts 49%, CGC cuts 34%).
+ */
+
+#include "bench_common.hh"
+
+#include "accel/runner.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table(
+    "Figure 22: DRAM accesses relative to AWB-GCN (breakdown)",
+    {"Dataset", "CEGMA-EMF", "CEGMA-CGC", "CEGMA", "EMF cut",
+     "CGC cut"});
+
+double totals[4] = {0, 0, 0, 0}; // awb, emf, cgc, full
+
+void
+runDataset(DatasetId did, ::benchmark::State &state)
+{
+    double bytes[4] = {0, 0, 0, 0};
+    for (auto _ : state) {
+        Dataset ds = makeDataset(did, benchSeed(), pairCap());
+        for (ModelId mid : allModels()) {
+            auto traces = buildTraces(mid, ds, 0);
+            int i = 0;
+            for (PlatformId p : {PlatformId::AwbGcn, PlatformId::CegmaEmf,
+                                 PlatformId::CegmaCgc,
+                                 PlatformId::Cegma}) {
+                bytes[i++] += static_cast<double>(
+                    runPlatform(p, traces).dramBytes());
+            }
+        }
+    }
+    for (int i = 0; i < 4; ++i)
+        totals[i] += bytes[i];
+    state.counters["cegma_over_awb"] = bytes[3] / bytes[0];
+
+    table.addRow({datasetSpec(did).name,
+                  TextTable::fmt(bytes[1] / bytes[0], 2),
+                  TextTable::fmt(bytes[2] / bytes[0], 2),
+                  TextTable::fmt(bytes[3] / bytes[0], 2),
+                  TextTable::fmtPct(1.0 - bytes[1] / bytes[0]),
+                  TextTable::fmtPct(1.0 - bytes[2] / bytes[0])});
+}
+
+void
+printTables()
+{
+    if (totals[0] > 0) {
+        table.addRow({"TOTAL", TextTable::fmt(totals[1] / totals[0], 2),
+                      TextTable::fmt(totals[2] / totals[0], 2),
+                      TextTable::fmt(totals[3] / totals[0], 2),
+                      TextTable::fmtPct(1.0 - totals[1] / totals[0]),
+                      TextTable::fmtPct(1.0 - totals[2] / totals[0])});
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId did : allDatasets()) {
+        cegma::bench::registerCase(
+            "fig22/" + datasetSpec(did).name,
+            [did](::benchmark::State &state) { runDataset(did, state); });
+    }
+    return cegma::bench::benchMain(argc, argv, printTables);
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 23: absolute cycle counts of the EMF components — hashing
+ * (tag generation on the MAC subarray) and filtering (duplicate
+ * comparator lookups) — per graph across the datasets (paper: 284 /
+ * 429 cycles on average, 1488 / 655 on RD-12K; negligible against
+ * millisecond deadlines).
+ */
+
+#include "bench_common.hh"
+
+#include "accel/runner.hh"
+#include "common/units.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table(
+    "Figure 23: EMF overhead cycles per graph (GMN-Li, f=64)",
+    {"Dataset", "EMF-Hashing", "EMF-Filtering", "Total us @1GHz"});
+
+void
+runDataset(DatasetId did, ::benchmark::State &state)
+{
+    double hash = 0, filter = 0;
+    for (auto _ : state) {
+        Dataset ds = makeDataset(did, benchSeed(), pairCap());
+        auto traces = buildTraces(ModelId::GmnLi, ds, 0);
+        SimResult result = runPlatform(PlatformId::Cegma, traces);
+        double graphs =
+            static_cast<double>(result.extra.get("graphs"));
+        hash = static_cast<double>(
+                   result.extra.get("emf_hash_cycles")) / graphs;
+        filter = static_cast<double>(
+                     result.extra.get("emf_filter_cycles")) / graphs;
+    }
+    state.counters["hash_cycles"] = hash;
+    state.counters["filter_cycles"] = filter;
+
+    table.addRow({datasetSpec(did).name, TextTable::fmt(hash, 0),
+                  TextTable::fmt(filter, 0),
+                  TextTable::fmt((hash + filter) / 1e3, 2)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId did : allDatasets()) {
+        cegma::bench::registerCase(
+            "fig23/" + datasetSpec(did).name,
+            [did](::benchmark::State &state) { runDataset(did, state); });
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

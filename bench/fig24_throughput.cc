@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 24: inference throughput (graph pairs per second) of
+ * PyG-GPU, HyGCN, AWB-GCN and CEGMA (paper: CEGMA averages 353x /
+ * 8.4x / 6.5x the throughput of PyG-GPU / HyGCN / AWB-GCN; e.g.
+ * ~5000 pairs/s for GMN-Li on RD-5K vs 312 on PyG-GPU).
+ */
+
+#include "bench_common.hh"
+
+#include "accel/runner.hh"
+#include "common/units.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table("Figure 24: throughput (pairs/second)",
+                  {"Dataset", "Model", "PyG-GPU", "HyGCN", "AWB-GCN",
+                   "CEGMA"});
+
+void
+runCombo(DatasetId did, ModelId mid, ::benchmark::State &state)
+{
+    double tput[4];
+    for (auto _ : state) {
+        Dataset ds = makeDataset(did, benchSeed(), pairCap());
+        auto traces = buildTraces(mid, ds, 0);
+        int i = 0;
+        for (PlatformId p : {PlatformId::PygGpu, PlatformId::HyGcn,
+                             PlatformId::AwbGcn, PlatformId::Cegma}) {
+            tput[i++] = runPlatform(p, traces).throughput(GHz);
+        }
+    }
+    state.counters["cegma_pairs_per_s"] = tput[3];
+
+    table.addRow({datasetSpec(did).name, modelConfig(mid).name,
+                  TextTable::fmtCount(tput[0]),
+                  TextTable::fmtCount(tput[1]),
+                  TextTable::fmtCount(tput[2]),
+                  TextTable::fmtCount(tput[3])});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId did : allDatasets()) {
+        for (ModelId mid : allModels()) {
+            cegma::bench::registerCase(
+                "fig24/" + datasetSpec(did).name + "/" +
+                    modelConfig(mid).name,
+                [did, mid](::benchmark::State &state) {
+                    runCombo(did, mid, state);
+                });
+        }
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

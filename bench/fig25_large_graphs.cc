@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 25: speedup of the platforms over PyG-CPU on large random
+ * graphs generated following [24] (paper: CEGMA's advantage grows
+ * with size — 10.8x/9.6x over HyGCN/AWB-GCN at 1,000 nodes, 37.5x/
+ * 36.6x at 5,000 nodes — because larger graphs carry more duplicate
+ * subgraphs). Averaged over the three GMN models.
+ */
+
+#include "bench_common.hh"
+
+#include <cmath>
+
+#include "accel/runner.hh"
+#include "common/rng.hh"
+#include "graph/generators.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table(
+    "Figure 25: speedup over PyG-CPU on large random graphs",
+    {"Nodes", "PyG-GPU", "HyGCN", "AWB-GCN", "CEGMA",
+     "CEGMA/AWB"});
+
+constexpr uint32_t graphsPerSize = 8;
+
+void
+runSize(NodeId n, ::benchmark::State &state)
+{
+    Rng rng(benchSeed() * 31 + n);
+    Dataset ds;
+    ds.spec = datasetSpec(DatasetId::RD_B);
+    for (uint32_t i = 0; i < graphsPerSize; ++i) {
+        Graph g = randomGraphLi(n, rng);
+        ds.pairs.push_back(makePairFromOriginal(g, (i % 2) == 0, rng));
+    }
+
+    double logsum[5] = {0, 0, 0, 0, 0};
+    int count = 0;
+    for (auto _ : state) {
+        for (ModelId mid : allModels()) {
+            auto traces = buildTraces(mid, ds, 0);
+            double cycles[5];
+            int i = 0;
+            for (PlatformId p : mainPlatforms())
+                cycles[i++] = runPlatform(p, traces, graphsPerSize)
+                                  .cycles;
+            for (int k = 1; k < 5; ++k)
+                logsum[k] += std::log(cycles[0] / cycles[k]);
+            logsum[0] += std::log(cycles[3] / cycles[4]); // AWB/CEGMA
+            ++count;
+        }
+    }
+    double geo[5];
+    for (int k = 0; k < 5; ++k)
+        geo[k] = std::exp(logsum[k] / count);
+    state.counters["cegma_over_awb"] = geo[0];
+
+    table.addRow({std::to_string(n), TextTable::fmtX(geo[1]),
+                  TextTable::fmtX(geo[2]), TextTable::fmtX(geo[3]),
+                  TextTable::fmtX(geo[4]), TextTable::fmtX(geo[0])});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (cegma::NodeId n : {1000u, 2000u, 3000u, 4000u, 5000u}) {
+        cegma::bench::registerCase(
+            "fig25/nodes:" + std::to_string(n),
+            [n](::benchmark::State &state) { runSize(n, state); });
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

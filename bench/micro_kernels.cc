@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Micro-kernel throughput benchmarks for the substrates: XXH32
+ * hashing, dense GEMM, WL refinement, the EMF filter pass, and the
+ * coordinated window scheduler. These are genuine wall-clock
+ * google-benchmark measurements (multiple iterations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "accel/window.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "emf/emf.hh"
+#include "graph/generators.hh"
+#include "graph/wl_refine.hh"
+#include "hash/xxhash.hh"
+#include "tensor/matrix.hh"
+
+namespace {
+
+using namespace cegma;
+
+void
+BM_XxHash32(benchmark::State &state)
+{
+    std::vector<uint8_t> buf(static_cast<size_t>(state.range(0)));
+    Rng rng(1);
+    for (auto &b : buf)
+        b = static_cast<uint8_t>(rng.next64());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(xxhash32(buf.data(), buf.size(), 0));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_XxHash32)->Arg(256)->Arg(4096)->Arg(65536);
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    Rng rng(2);
+    Matrix a(n, n), b(n, n);
+    a.fillXavier(rng);
+    b.fillXavier(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(matmul(a, b));
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128);
+
+void
+BM_SimilarityNT(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    Rng rng(3);
+    Matrix x(n, 64), y(n, 64);
+    x.fillXavier(rng);
+    y.fillXavier(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(matmulNT(x, y));
+    state.SetItemsProcessed(state.iterations() * n * n * 64);
+}
+BENCHMARK(BM_SimilarityNT)->Arg(128)->Arg(512);
+
+void
+BM_WlRefine(benchmark::State &state)
+{
+    Rng rng(4);
+    Graph g = threadGraph(static_cast<NodeId>(state.range(0)),
+                          static_cast<uint64_t>(state.range(0) * 1.16),
+                          rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(wlRefine(g, 5));
+    state.SetItemsProcessed(state.iterations() * g.numNodes() * 5);
+}
+BENCHMARK(BM_WlRefine)->Arg(500)->Arg(5000);
+
+void
+BM_EmfFilter(benchmark::State &state)
+{
+    Rng rng(5);
+    size_t n = static_cast<size_t>(state.range(0));
+    Matrix features(n, 64);
+    features.fillXavier(rng);
+    // Duplicate 90% of the rows from a small pool.
+    for (size_t v = 0; v < n; ++v) {
+        if (v % 10 != 0) {
+            size_t src = (v / 10) * 10;
+            std::memcpy(features.row(v), features.row(src),
+                        64 * sizeof(float));
+        }
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(emfFilter(features));
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EmfFilter)->Arg(512)->Arg(4096);
+
+void
+BM_CoordinatedScheduler(benchmark::State &state)
+{
+    Rng rng(6);
+    NodeId n = static_cast<NodeId>(state.range(0));
+    Graph t = threadGraph(n, n + n / 6, rng);
+    Graph q = threadGraph(n, n + n / 6, rng);
+    WindowWork work;
+    work.target = &t;
+    work.query = &q;
+    work.capNodes = 512;
+    work.hasMatching = true;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            scheduleLayer(SchedulerKind::Coordinated, work));
+}
+BENCHMARK(BM_CoordinatedScheduler)->Arg(500)->Arg(5000);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cegma::setVerbose(false);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared trace construction for the reuse-distance figures (4 and 20):
+ * GraphSim over a dataset with batch-32 execution, feature width 64,
+ * and a 128 KB input buffer — the paper's profiling setup.
+ */
+
+#ifndef CEGMA_BENCH_REUSE_COMMON_HH
+#define CEGMA_BENCH_REUSE_COMMON_HH
+
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "accel/window.hh"
+#include "analysis/reuse.hh"
+#include "gmn/workload.hh"
+#include "sim/config.hh"
+
+namespace cegma {
+namespace bench {
+
+/**
+ * Build the node-access trace of running GraphSim over `dataset` with
+ * the given scheduler and profile its reuse distances.
+ *
+ * Baselines execute layer-major (a phase per layer across the whole
+ * batch), so a node's inter-layer reuse spans the batch's working
+ * set. CEGMA's coordinator fuses the stages at fine granularity and
+ * proceeds pair-major (all layers of one pair, weights resident in
+ * the 6.8 MB on-chip store), which is what collapses the reuse
+ * distances in the paper's Figure 20.
+ *
+ * @param dataset the dataset (pairs already bounded by the caller)
+ * @param kind scheduling scheme
+ * @param use_emf apply the EMF keep-masks (CEGMA) or match all nodes
+ * @param batch_size pairs per batch (paper: 32)
+ */
+inline IntDistribution
+graphSimReuseDistances(const Dataset &dataset, SchedulerKind kind,
+                       bool use_emf, uint32_t batch_size = 32)
+{
+    const bool pair_major = (kind == SchedulerKind::Coordinated ||
+                             kind == SchedulerKind::Joint);
+    AccelConfig cap_config = cegmaConfig();
+    const uint32_t cap = cap_config.inputBufferNodes(64);
+
+    std::vector<PairTrace> traces;
+    for (const GraphPair &pair : dataset.pairs)
+        traces.push_back(buildTrace(ModelId::GraphSim, pair));
+
+    IntDistribution distances;
+    for (size_t begin = 0; begin < traces.size(); begin += batch_size) {
+        size_t end = std::min(traces.size(), begin + batch_size);
+        // Per-pair node-id offsets within the batch's global matrix.
+        std::vector<uint32_t> offsets;
+        uint32_t total = 0;
+        for (size_t i = begin; i < end; ++i) {
+            offsets.push_back(total);
+            total += traces[i].pair->target.numNodes() +
+                     traces[i].pair->query.numNodes();
+        }
+
+        std::vector<uint32_t> batch_trace;
+        size_t num_layers = traces[begin].layers.size();
+        auto emit_layer = [&](size_t i, size_t l) {
+            const PairTrace &trace = traces[i];
+            const LayerWork &layer = trace.layers[l];
+            std::vector<bool> keep_t, keep_q;
+            WindowWork work;
+            work.target = &trace.pair->target;
+            work.query = &trace.pair->query;
+            work.capNodes = cap;
+            work.hasMatching = layer.matching.present;
+            if (use_emf && layer.matching.present) {
+                keep_t = emfKeepMask(layer.matching.dupClassTarget);
+                keep_q = emfKeepMask(layer.matching.dupClassQuery);
+                work.matchTarget = &keep_t;
+                work.matchQuery = &keep_q;
+            }
+            ScheduleResult sched = scheduleLayer(kind, work, true);
+            uint32_t off = offsets[i - begin];
+            for (uint32_t id : sched.accessTrace)
+                batch_trace.push_back(off + id);
+        };
+        if (pair_major) {
+            for (size_t i = begin; i < end; ++i) {
+                for (size_t l = 0; l < num_layers; ++l)
+                    emit_layer(i, l);
+            }
+        } else {
+            for (size_t l = 0; l < num_layers; ++l) {
+                for (size_t i = begin; i < end; ++i)
+                    emit_layer(i, l);
+            }
+        }
+        distances.merge(profileReuseDistances(batch_trace));
+    }
+    return distances;
+}
+
+} // namespace bench
+} // namespace cegma
+
+#endif // CEGMA_BENCH_REUSE_COMMON_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-stage cycle breakdown: where each accelerator spends its
+ * compute (aggregation / combination / matching) and how often layers
+ * are memory-bound — the mechanistic story behind Figures 16/21
+ * (baselines drown in matching compute and load stalls; CEGMA's EMF
+ * removes the matching and the CGC hides the memory).
+ */
+
+#include "bench_common.hh"
+
+#include "accel/runner.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table(
+    "Per-stage cycle breakdown (GMN-Li, RD-B)",
+    {"Platform", "Aggregate", "Combine", "Matching", "Memory",
+     "mem-bound layers"});
+
+void
+runPlatformCase(PlatformId platform, ::benchmark::State &state)
+{
+    SimResult result;
+    for (auto _ : state) {
+        Dataset ds = makeDataset(DatasetId::RD_B, benchSeed(),
+                                 std::min<uint32_t>(pairCap(), 16));
+        auto traces = buildTraces(ModelId::GmnLi, ds, 0);
+        result = runPlatform(platform, traces);
+    }
+    double agg = static_cast<double>(
+        result.extra.get("stage_agg_cycles"));
+    double comb = static_cast<double>(
+        result.extra.get("stage_comb_cycles"));
+    double match = static_cast<double>(
+        result.extra.get("stage_match_cycles"));
+    double mem = static_cast<double>(
+        result.extra.get("stage_mem_cycles"));
+    double compute = agg + comb + match;
+    double layers = static_cast<double>(result.extra.get("layers"));
+    double mem_bound =
+        static_cast<double>(result.extra.get("mem_bound_layers"));
+    state.counters["match_share"] = compute > 0 ? match / compute : 0;
+
+    table.addRow(
+        {platformName(platform), TextTable::fmtPct(agg / compute),
+         TextTable::fmtPct(comb / compute),
+         TextTable::fmtPct(match / compute),
+         TextTable::fmt(mem / compute, 2) + "x of compute",
+         TextTable::fmtPct(layers > 0 ? mem_bound / layers : 0)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (PlatformId p : {PlatformId::HyGcn, PlatformId::AwbGcn,
+                         PlatformId::CegmaEmf, PlatformId::CegmaCgc,
+                         PlatformId::Cegma}) {
+        cegma::bench::registerCase(
+            std::string("stage/") + platformName(p),
+            [p](::benchmark::State &state) {
+                runPlatformCase(p, state);
+            });
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

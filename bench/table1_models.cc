@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table I: details of the evaluated GMN models, printed from the
+ * model configurations plus a per-model workload census on a sample
+ * pair (layers, matching layers, FLOPs).
+ */
+
+#include "bench_common.hh"
+
+#include "accel/runner.hh"
+#include "common/rng.hh"
+#include "graph/generators.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table("Table I: details of GMN models",
+                  {"Model", "Layers", "Matching", "Similarity",
+                   "CrossFeedback", "MatchUse", "FLOPs/pair(GITHUB)"});
+
+void
+runModel(ModelId id, ::benchmark::State &state)
+{
+    const ModelConfig &config = modelConfig(id);
+    Dataset ds = makeDataset(DatasetId::GITHUB, benchSeed(), 8);
+    uint64_t flops = 0;
+    for (auto _ : state) {
+        auto traces = buildTraces(id, ds, 8);
+        flops = 0;
+        for (const auto &trace : traces)
+            flops += trace.totalFlops();
+        flops /= traces.size();
+    }
+    state.counters["flops_per_pair"] = static_cast<double>(flops);
+
+    table.addRow({config.name, std::to_string(config.numLayers),
+                  config.layerwiseMatching ? "layer-wise" : "model-wise",
+                  similarityName(config.similarity),
+                  config.crossFeedback ? "yes" : "no",
+                  config.matchUse == MatchUse::OnChipReuse
+                      ? "on-chip reuse (b)"
+                      : "write-back (a)",
+                  TextTable::fmtCount(static_cast<double>(flops))});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (ModelId id : allModels()) {
+        cegma::bench::registerCase(
+            "table1/" + modelConfig(id).name,
+            [id](::benchmark::State &state) { runModel(id, state); });
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table II: dataset statistics — the paper's column values versus the
+ * synthetic generators' measured averages.
+ */
+
+#include "bench_common.hh"
+
+#include "graph/dataset.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable table("Table II: details of datasets (paper vs generated)",
+                  {"Dataset", "PaperNodes", "GenNodes", "PaperEdges",
+                   "GenEdges", "TestPairs", "Scale"});
+
+void
+runDataset(DatasetId id, ::benchmark::State &state)
+{
+    const DatasetSpec &spec = datasetSpec(id);
+    Dataset ds;
+    for (auto _ : state)
+        ds = makeDataset(id, benchSeed(), pairCap());
+    state.counters["avg_nodes"] = ds.measuredAvgNodes();
+    state.counters["avg_edges"] = ds.measuredAvgEdges();
+
+    table.addRow({spec.name, TextTable::fmt(spec.avgNodes),
+                  TextTable::fmt(ds.measuredAvgNodes()),
+                  TextTable::fmt(spec.avgEdges),
+                  TextTable::fmt(ds.measuredAvgEdges()),
+                  std::to_string(spec.numTestPairs), spec.scale});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (DatasetId id : allDatasets()) {
+        cegma::bench::registerCase(
+            "table2/" + datasetSpec(id).name,
+            [id](::benchmark::State &state) { runDataset(id, state); });
+    }
+    return cegma::bench::benchMain(argc, argv, [] { table.print(); });
+}

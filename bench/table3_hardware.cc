@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Table III: hardware configurations of CEGMA and the compared
+ * platforms, printed from the simulator's configuration presets.
+ */
+
+#include "bench_common.hh"
+
+#include "accel/platform.hh"
+#include "sim/area.hh"
+#include "sim/config.hh"
+
+namespace {
+
+using namespace cegma;
+using namespace cegma::bench;
+
+FigureTable accel_table(
+    "Table III: accelerator configurations",
+    {"Platform", "MACs", "AggLanes", "InputBuf", "OtherBuf",
+     "DRAM B/cyc", "EMF", "CGC"});
+
+FigureTable sw_table("Table III: software platforms",
+                     {"Platform", "PeakFLOP/s", "MemBW B/s",
+                      "KernelOverhead", "UtilHalfFLOPs"});
+
+FigureTable area_table(
+    "Table III: CEGMA area (paper: 6.3 mm^2 @ 14 nm)",
+    {"Component", "Logic mm^2", "Buffer mm^2", "Logic %", "Buffer %"});
+
+void
+addArea(::benchmark::State &state)
+{
+    AreaBreakdown area;
+    for (auto _ : state)
+        area = estimateArea(cegmaConfig());
+    state.counters["total_mm2"] = area.total();
+    area_table.addRow({"PE", TextTable::fmt(area.peLogic, 3),
+                       TextTable::fmt(area.peBuffer, 3),
+                       TextTable::fmtPct(area.peLogicShare()),
+                       TextTable::fmtPct(area.peBufferShare())});
+    area_table.addRow({"EMF", TextTable::fmt(area.emfLogic, 3),
+                       TextTable::fmt(area.emfBuffer, 3),
+                       TextTable::fmtPct(area.emfLogicShare()),
+                       TextTable::fmtPct(area.emfBufferShare())});
+    area_table.addRow({"CGC", TextTable::fmt(area.cgcLogic, 3),
+                       TextTable::fmt(area.cgcBuffer, 3),
+                       TextTable::fmtPct(area.cgcLogicShare()),
+                       TextTable::fmtPct(area.cgcBufferShare())});
+    area_table.addRow({"TOTAL", TextTable::fmt(area.total(), 2), "-",
+                       "-", "-"});
+}
+
+void
+addAccel(const AccelConfig &config, ::benchmark::State &state)
+{
+    for (auto _ : state) {
+        ::benchmark::DoNotOptimize(config.inputBufferNodes(64));
+    }
+    accel_table.addRow(
+        {config.name, std::to_string(config.denseMacs),
+         std::to_string(config.aggLanes),
+         TextTable::fmtBytes(static_cast<double>(config.inputBufferBytes)),
+         TextTable::fmtBytes(static_cast<double>(config.otherBufferBytes)),
+         TextTable::fmt(config.dramBytesPerCycle, 0),
+         config.hasEmf ? "1024 comparators" : "-",
+         config.hasCgc ? "joint window + AOE" : "-"});
+}
+
+void
+addSoftware(const SoftwarePlatform &platform, ::benchmark::State &state)
+{
+    for (auto _ : state) {
+        ::benchmark::DoNotOptimize(platform.opSeconds(1e6, 1e6));
+    }
+    sw_table.addRow({platform.name,
+                     TextTable::fmtCount(platform.peakFlops),
+                     TextTable::fmtCount(platform.memBandwidth),
+                     TextTable::fmt(platform.kernelOverhead * 1e6, 1) +
+                         " us",
+                     TextTable::fmtCount(platform.utilHalfFlops)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cegma;
+    for (auto maker : {hygcnConfig, awbGcnConfig, cegmaEmfOnlyConfig,
+                       cegmaCgcOnlyConfig, cegmaConfig}) {
+        AccelConfig config = maker();
+        cegma::bench::registerCase(
+            "table3/" + config.name,
+            [config](::benchmark::State &state) {
+                addAccel(config, state);
+            });
+    }
+    cegma::bench::registerCase("table3/area", addArea);
+    for (auto maker : {pygCpuPlatform, pygGpuPlatform}) {
+        SoftwarePlatform platform = maker();
+        cegma::bench::registerCase(
+            "table3/" + platform.name,
+            [platform](::benchmark::State &state) {
+                addSoftware(platform, state);
+            });
+    }
+    return cegma::bench::benchMain(argc, argv, [] {
+        accel_table.print();
+        sw_table.print();
+        area_table.print();
+    });
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Code-clone search — the paper's motivating batch workload (§I, §III):
+ * match one query "function graph" against a database of candidates
+ * under a real-time budget ("real-time code clone search applications
+ * require searching within a second" [40]).
+ *
+ * The example
+ *  1. builds a database of control-flow-like graphs with a few planted
+ *     clones (1-edge perturbations of the query),
+ *  2. retrieves the clones by EMF-tag coverage — the fraction of
+ *     canonical WL signatures (exactly the node tags the EMF hashes)
+ *     each side finds in the other,
+ *  3. checks the 1-second deadline on every platform, and
+ *  4. measures the *shared-query* EMF extension: with one query served
+ *     against many candidates, duplicate candidate nodes (by canonical
+ *     WL signature) reuse matching rows across pairs, not just within
+ *     one pair.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "accel/runner.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "gmn/model.hh"
+#include "graph/generators.hh"
+#include "graph/wl_refine.hh"
+
+using namespace cegma;
+
+namespace {
+
+/**
+ * EMF-tag coverage score: the fraction of one graph's deep WL node
+ * signatures found in the other, taking the weaker direction. Two
+ * nodes carry the same tag exactly when their l-hop neighborhoods are
+ * isomorphic (the EMF's duplicate criterion), so a 1-edge clone covers
+ * nearly everything while unrelated functions share only generic
+ * roles.
+ */
+double
+tagCoverageScore(const std::vector<uint64_t> &a,
+                 const std::vector<uint64_t> &b)
+{
+    std::unordered_set<uint64_t> sa(a.begin(), a.end());
+    std::unordered_set<uint64_t> sb(b.begin(), b.end());
+    auto covered = [](const std::vector<uint64_t> &nodes,
+                      const std::unordered_set<uint64_t> &other) {
+        size_t hits = 0;
+        for (uint64_t sig : nodes)
+            hits += other.count(sig) > 0;
+        return nodes.empty()
+                   ? 0.0
+                   : static_cast<double>(hits) / nodes.size();
+    };
+    return std::min(covered(a, sb), covered(b, sa));
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr uint32_t db_size = 512;
+    constexpr uint32_t num_clones = 4;
+    Rng rng(2026);
+
+    // The query "function": a sparse control-flow-like graph.
+    Graph query = sparseSocialGraph(60, 95, rng);
+
+    // Database: random functions plus planted near-clones.
+    std::vector<Graph> database;
+    std::vector<bool> is_clone(db_size, false);
+    for (uint32_t i = 0; i < db_size; ++i) {
+        if (i % (db_size / num_clones) == 1) {
+            database.push_back(query.substituteEdges(1, rng));
+            is_clone[i] = true;
+        } else {
+            NodeId n = sampleGraphSize(60, 0.3, 10, rng);
+            database.push_back(sparseSocialGraph(n, n * 3 / 2, rng));
+        }
+    }
+
+    // Rank every candidate by EMF-tag coverage at depth 3.
+    auto model = makeModel(ModelId::GraphSim, 99);
+    const unsigned depth = model->config().numLayers;
+    WlColoring wl_query = wlRefine(query, depth);
+    std::vector<std::pair<double, uint32_t>> ranking;
+    std::vector<GraphPair> pairs;
+    pairs.reserve(db_size);
+    for (uint32_t i = 0; i < db_size; ++i) {
+        GraphPair pair{database[i], query, is_clone[i]};
+        WlColoring wl = wlRefine(pair.target, depth);
+        ranking.push_back({tagCoverageScore(wl.signatures[depth],
+                                            wl_query.signatures[depth]),
+                           i});
+        pairs.push_back(std::move(pair));
+    }
+    std::sort(ranking.rbegin(), ranking.rend());
+
+    std::printf("top-8 candidates (query matched against %u functions):\n",
+                db_size);
+    uint32_t clones_in_top = 0;
+    for (int k = 0; k < 8; ++k) {
+        auto [score, idx] = ranking[k];
+        bool clone = is_clone[idx];
+        clones_in_top += clone && k < 8;
+        std::printf("  #%d: candidate %4u coverage %.4f %s\n", k + 1,
+                    idx, score, clone ? "<-- planted clone" : "");
+    }
+    std::printf("planted clones found in top-8: %u / %u\n\n",
+                clones_in_top, num_clones);
+
+    // Deadline check: whole-database search latency per platform.
+    std::vector<PairTrace> traces;
+    for (const GraphPair &pair : pairs)
+        traces.push_back(buildTrace(ModelId::GraphSim, pair));
+    std::printf("%-9s %12s  %s\n", "platform", "search time",
+                "meets 1 s deadline?");
+    for (PlatformId p : mainPlatforms()) {
+        double secs = runPlatform(p, traces).seconds(GHz);
+        std::printf("%-9s %10.3f ms  %s\n", platformName(p), secs * 1e3,
+                    secs < 1.0 ? "yes" : "NO");
+    }
+
+    // Shared-query extension: canonical WL signatures dedup candidate
+    // rows *across* pairs because the query side is fixed.
+    const ModelConfig &config = model->config();
+    uint64_t per_pair_unique = 0, total_rows = 0;
+    std::unordered_set<uint64_t> global_sigs;
+    for (const GraphPair &pair : pairs) {
+        WlColoring wl = wlRefine(pair.target, config.numLayers);
+        per_pair_unique += wl.numClasses[config.numLayers];
+        total_rows += pair.target.numNodes();
+        for (uint64_t sig : wl.signatures[config.numLayers])
+            global_sigs.insert(sig);
+    }
+    std::printf("\nshared-query EMF extension (last matching layer):\n"
+                "  matching rows, no dedup        : %llu\n"
+                "  per-pair EMF (paper)           : %llu\n"
+                "  cross-pair dedup (shared query): %zu\n",
+                (unsigned long long)total_rows,
+                (unsigned long long)per_pair_unique, global_sigs.size());
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The cycle-level accelerator model: runs a GMN workload trace on a
+ * hardware configuration (HyGCN, AWB-GCN, or a CEGMA variant) and
+ * accounts cycles, DRAM traffic, and energy.
+ *
+ * Per layer, the model:
+ *  1. builds the EMF keep-masks (if the config has an EMF) from the
+ *     trace's duplicate classes and charges the EMF pipeline cycles;
+ *  2. schedules the layer with the coordinated joint window (CGC) or
+ *     the baseline separate-phase window, yielding feature-load and
+ *     step counts;
+ *  3. charges compute cycles on the MAC array / aggregation lanes and
+ *     overlaps them with the memory stream (double buffering:
+ *     per-layer cost is max(compute, memory));
+ *  4. charges similarity-matrix DRAM round-trips according to the
+ *     model's MatchUse type (Section IV-D).
+ */
+
+#ifndef CEGMA_ACCEL_ACCELERATOR_HH
+#define CEGMA_ACCEL_ACCELERATOR_HH
+
+#include <vector>
+
+#include "gmn/workload.hh"
+#include "sim/config.hh"
+#include "sim/result.hh"
+
+namespace cegma {
+
+/** A cycle-level accelerator instance. */
+class AcceleratorModel
+{
+  public:
+    explicit AcceleratorModel(AccelConfig config);
+
+    const AccelConfig &config() const { return config_; }
+
+    /** Simulate one pair's full inference. */
+    SimResult simulatePair(const PairTrace &trace) const;
+
+    /**
+     * Simulate a set of pairs processed in batches of `batch_size`
+     * (Figure 15 batching: per-pair blocks are independent, so the
+     * batch cost is the sum of pair costs with layer weights fetched
+     * once per batch).
+     */
+    SimResult simulateAll(const std::vector<PairTrace> &traces,
+                          uint32_t batch_size = 32) const;
+
+  private:
+    SimResult simulatePairImpl(const PairTrace &trace,
+                               bool charge_weights) const;
+
+    AccelConfig config_;
+};
+
+/** Per-layer weight bytes fetched from DRAM for model `id`. */
+uint64_t layerWeightBytes(ModelId id, size_t node_dim);
+
+/**
+ * Build the EMF keep-mask for one side of one matching: true for the
+ * first node of each duplicate class (the RecordSet entries).
+ */
+std::vector<bool> emfKeepMask(const std::vector<uint32_t> &classes);
+
+} // namespace cegma
+
+#endif // CEGMA_ACCEL_ACCELERATOR_HH

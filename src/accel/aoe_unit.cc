@@ -1,0 +1,62 @@
+#include "accel/aoe_unit.hh"
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+AoeDecision
+evaluateAoe(const std::vector<uint32_t> &remains_target,
+            const std::vector<uint32_t> &remains_query,
+            const AoeUnitConfig &config)
+{
+    cegma_assert(config.parallelCounters > 0 && config.counterInputs > 0);
+    AoeDecision decision;
+
+    // Algorithm 2: a single pass tracking the minimum remaining degree
+    // and resetting the per-side outlier counters when it drops.
+    uint32_t threshold = UINT32_MAX;
+    uint32_t n_t = 0, n_q = 0;
+    auto scan = [&](const std::vector<uint32_t> &remains,
+                    bool query_side) {
+        for (uint32_t r : remains) {
+            if (r < threshold) {
+                threshold = r;
+                n_t = query_side ? 0 : 1;
+                n_q = query_side ? 1 : 0;
+            } else if (r == threshold) {
+                if (query_side) {
+                    ++n_q;
+                } else {
+                    ++n_t;
+                }
+            }
+        }
+    };
+    scan(remains_target, false);
+    scan(remains_query, true);
+
+    decision.threshold = (threshold == UINT32_MAX) ? 0 : threshold;
+    decision.outliersTarget = n_t;
+    decision.outliersQuery = n_q;
+    // Keep stationary the side with more outliers: those nodes finish
+    // their matching and never need to be revisited.
+    decision.keepTarget = n_t >= n_q;
+
+    // Cycle estimate: the Remains Counters consume the edge-buffer
+    // rows counterInputs bits per counter per cycle; the comparator
+    // tree and Outlier Counters pipeline behind them one value per
+    // comparator per cycle.
+    uint64_t total = remains_target.size() + remains_query.size();
+    uint64_t row_bits = total; // a window row spans both sides
+    uint64_t count_passes =
+        (total + config.parallelCounters - 1) / config.parallelCounters;
+    uint64_t bits_cycles =
+        (row_bits + config.counterInputs - 1) / config.counterInputs;
+    uint64_t compare_cycles =
+        (total + config.magnitudeComparators - 1) /
+        config.magnitudeComparators;
+    decision.cycles = count_passes * bits_cycles + compare_cycles + 1;
+    return decision;
+}
+
+} // namespace cegma

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The Approximate Outlier Estimation unit (paper Algorithm 2 and
+ * Fig. 13): Remains Counters tally each resident node's unprocessed
+ * edges from the edge buffer, a comparator tree tracks the minimum
+ * (the outlier threshold), and the Outlier Counters tally how many
+ * nodes of each window side sit at that minimum. The side with more
+ * outliers is kept stationary.
+ *
+ * This is the single implementation of Algorithm 2: the coordinated
+ * window scheduler calls it functionally, and the accelerator model
+ * charges its cycle cost (Table III: 8-input parallel counter x34,
+ * 8-bit magnitude comparator x33).
+ */
+
+#ifndef CEGMA_ACCEL_AOE_UNIT_HH
+#define CEGMA_ACCEL_AOE_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cegma {
+
+/** Hardware parameters of the AOE unit (Table III row "CGC"). */
+struct AoeUnitConfig
+{
+    uint32_t parallelCounters = 34; ///< 8-input parallel counters
+    uint32_t counterInputs = 8;
+    uint32_t magnitudeComparators = 33;
+};
+
+/** One Algorithm 2 evaluation. */
+struct AoeDecision
+{
+    bool keepTarget = true;  ///< true: target side stationary
+    uint32_t threshold = 0;  ///< minimum remaining degree observed
+    uint32_t outliersTarget = 0;
+    uint32_t outliersQuery = 0;
+    uint64_t cycles = 0;     ///< AOE-unit latency for this decision
+};
+
+/**
+ * Run Algorithm 2 over the remaining-degree values of the two
+ * resident window sides.
+ *
+ * @param remains_target remaining edges per resident target node (S0)
+ * @param remains_query remaining edges per resident query node (S1)
+ * @param config hardware parameters (for the cycle estimate)
+ */
+AoeDecision evaluateAoe(const std::vector<uint32_t> &remains_target,
+                        const std::vector<uint32_t> &remains_query,
+                        const AoeUnitConfig &config = {});
+
+} // namespace cegma
+
+#endif // CEGMA_ACCEL_AOE_UNIT_HH

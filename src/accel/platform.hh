@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analytical latency models for the software baselines (PyG-CPU and
+ * PyG-GPU, Section V-A). These stand in for the paper's measured
+ * PyTorch-Geometric runs: each framework operator costs a fixed launch
+ * overhead plus the roofline maximum of compute time (with a
+ * size-dependent utilization ramp — small kernels underutilize wide
+ * machines) and memory time. Constants are calibrated so the paper's
+ * cross-platform ratios hold in shape (see EXPERIMENTS.md).
+ */
+
+#ifndef CEGMA_ACCEL_PLATFORM_HH
+#define CEGMA_ACCEL_PLATFORM_HH
+
+#include <string>
+#include <vector>
+
+#include "gmn/workload.hh"
+#include "sim/result.hh"
+
+namespace cegma {
+
+/** An analytical software platform. */
+struct SoftwarePlatform
+{
+    std::string name;
+    double peakFlops;       ///< machine peak, FLOP/s
+    double memBandwidth;    ///< effective bytes/s
+    double kernelOverhead;  ///< seconds per operator launch
+    double utilHalfFlops;   ///< op FLOPs at which the ramp saturates
+    /**
+     * Ceiling on achieved utilization. PyG's interpreter-driven,
+     * gather/scatter-heavy execution never approaches machine peak on
+     * GMN workloads; the ceiling is calibrated to the paper's
+     * Figure 2 anchors (V100: ~33 ms at 1,000 nodes, ~671 ms at
+     * 5,000 nodes for GMN-Li).
+     */
+    double utilCap;
+
+    /** Time for one operator of `flops` work moving `bytes`. */
+    double opSeconds(double flops, double bytes) const;
+
+    /**
+     * Run a batch of pairs (one operator launch covers the whole
+     * batch, as PyG's batched execution does). Returns a SimResult
+     * whose `cycles` field is seconds * 1e9 (a 1 GHz-equivalent cycle
+     * count, so downstream speedup math is uniform).
+     */
+    SimResult runBatch(const std::vector<const PairTrace *> &batch) const;
+
+    /** Run all traces in batches of `batch_size`. */
+    SimResult runAll(const std::vector<PairTrace> &traces,
+                     uint32_t batch_size = 32) const;
+};
+
+/** Dual 12-core Xeon Gold 6126 with MKL/OpenMP PyG (Table III). */
+SoftwarePlatform pygCpuPlatform();
+
+/** NVIDIA V100 with cuSPARSE/cuBLAS PyG (Table III). */
+SoftwarePlatform pygGpuPlatform();
+
+} // namespace cegma
+
+#endif // CEGMA_ACCEL_PLATFORM_HH

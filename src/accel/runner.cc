@@ -1,0 +1,80 @@
+#include "accel/runner.hh"
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+const char *
+platformName(PlatformId id)
+{
+    switch (id) {
+      case PlatformId::PygCpu:
+        return "PyG-CPU";
+      case PlatformId::PygGpu:
+        return "PyG-GPU";
+      case PlatformId::HyGcn:
+        return "HyGCN";
+      case PlatformId::AwbGcn:
+        return "AWB-GCN";
+      case PlatformId::CegmaEmf:
+        return "CEGMA-EMF";
+      case PlatformId::CegmaCgc:
+        return "CEGMA-CGC";
+      case PlatformId::Cegma:
+        return "CEGMA";
+    }
+    return "?";
+}
+
+const std::vector<PlatformId> &
+mainPlatforms()
+{
+    static const std::vector<PlatformId> ids = {
+        PlatformId::PygCpu, PlatformId::PygGpu, PlatformId::HyGcn,
+        PlatformId::AwbGcn, PlatformId::Cegma,
+    };
+    return ids;
+}
+
+std::vector<PairTrace>
+buildTraces(ModelId model, const Dataset &dataset, uint32_t max_pairs)
+{
+    size_t count = dataset.pairs.size();
+    if (max_pairs > 0)
+        count = std::min<size_t>(count, max_pairs);
+    std::vector<PairTrace> traces;
+    traces.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        traces.push_back(buildTrace(model, dataset.pairs[i]));
+    return traces;
+}
+
+SimResult
+runPlatform(PlatformId platform, const std::vector<PairTrace> &traces,
+            uint32_t batch_size)
+{
+    switch (platform) {
+      case PlatformId::PygCpu:
+        return pygCpuPlatform().runAll(traces, batch_size);
+      case PlatformId::PygGpu:
+        return pygGpuPlatform().runAll(traces, batch_size);
+      case PlatformId::HyGcn:
+        return AcceleratorModel(hygcnConfig())
+            .simulateAll(traces, batch_size);
+      case PlatformId::AwbGcn:
+        return AcceleratorModel(awbGcnConfig())
+            .simulateAll(traces, batch_size);
+      case PlatformId::CegmaEmf:
+        return AcceleratorModel(cegmaEmfOnlyConfig())
+            .simulateAll(traces, batch_size);
+      case PlatformId::CegmaCgc:
+        return AcceleratorModel(cegmaCgcOnlyConfig())
+            .simulateAll(traces, batch_size);
+      case PlatformId::Cegma:
+        return AcceleratorModel(cegmaConfig())
+            .simulateAll(traces, batch_size);
+    }
+    panic("unknown platform");
+}
+
+} // namespace cegma

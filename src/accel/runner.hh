@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Convenience layer used by the benchmark harnesses and examples:
+ * build traces for a dataset and run them on any evaluated platform.
+ */
+
+#ifndef CEGMA_ACCEL_RUNNER_HH
+#define CEGMA_ACCEL_RUNNER_HH
+
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "accel/platform.hh"
+#include "gmn/workload.hh"
+
+namespace cegma {
+
+/** Every platform in the paper's evaluation. */
+enum class PlatformId
+{
+    PygCpu,
+    PygGpu,
+    HyGcn,
+    AwbGcn,
+    CegmaEmf, ///< ablation: EMF only
+    CegmaCgc, ///< ablation: CGC only
+    Cegma,
+};
+
+/** @return display name matching the paper's figures. */
+const char *platformName(PlatformId id);
+
+/** The five platforms of Figure 16, in presentation order. */
+const std::vector<PlatformId> &mainPlatforms();
+
+/**
+ * Build traces of `model` over the dataset's pairs.
+ *
+ * @param max_pairs if nonzero, use only the first `max_pairs` pairs
+ * @note the returned traces point into `dataset`; keep it alive.
+ */
+std::vector<PairTrace> buildTraces(ModelId model, const Dataset &dataset,
+                                   uint32_t max_pairs = 0);
+
+/**
+ * Run `traces` on `platform`. All platforms report `cycles` on a
+ * 1 GHz-equivalent basis, so latency and speedup comparisons are
+ * uniform across hardware and software models.
+ */
+SimResult runPlatform(PlatformId platform,
+                      const std::vector<PairTrace> &traces,
+                      uint32_t batch_size = 32);
+
+} // namespace cegma
+
+#endif // CEGMA_ACCEL_RUNNER_HH

@@ -1,0 +1,597 @@
+#include "accel/window.hh"
+
+#include "accel/aoe_unit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+namespace {
+
+using BlockId = uint32_t;
+
+/**
+ * One graph side's block plan: nodes partitioned into fixed-size
+ * blocks with matching (kept) nodes first, so blocks participating in
+ * the matching sweep form a prefix.
+ *
+ * Aggregation semantics follow the paper's Fig. 8(a) arithmetic: an
+ * arc is processed when its *source* feature is resident (destination
+ * partial sums stream through the output SRAM), so a node's out-arcs
+ * complete the first time its block is fetched.
+ */
+struct SidePlan
+{
+    const Graph *graph = nullptr;
+    std::vector<std::vector<NodeId>> blocks;
+    std::vector<uint32_t> keptCount; ///< matching nodes per block
+    BlockId numSweepBlocks = 0;      ///< prefix blocks with kept nodes
+};
+
+SidePlan
+makeSidePlan(const Graph &g, const std::vector<bool> *keep,
+             uint32_t block_size, bool wants_matching)
+{
+    cegma_assert(block_size >= 1);
+    SidePlan plan;
+    plan.graph = &g;
+
+    std::vector<NodeId> order;
+    order.reserve(g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        if (!keep || (*keep)[v])
+            order.push_back(v);
+    }
+    size_t num_kept = wants_matching ? order.size() : 0;
+    if (keep) {
+        for (NodeId v = 0; v < g.numNodes(); ++v) {
+            if (!(*keep)[v])
+                order.push_back(v);
+        }
+    }
+
+    for (size_t i = 0; i < order.size(); ++i) {
+        BlockId b = static_cast<BlockId>(i / block_size);
+        if (b >= plan.blocks.size()) {
+            plan.blocks.emplace_back();
+            plan.keptCount.push_back(0);
+        }
+        plan.blocks[b].push_back(order[i]);
+        if (i < num_kept)
+            ++plan.keptCount[b];
+    }
+    for (BlockId b = 0; b < plan.blocks.size(); ++b) {
+        if (plan.keptCount[b] > 0)
+            plan.numSweepBlocks = b + 1;
+    }
+    return plan;
+}
+
+/** Everything needed to schedule one layer. */
+class LayerScheduler
+{
+  public:
+    LayerScheduler(const WindowWork &work, bool record_trace);
+
+    ScheduleResult runSeparatePhase();
+    ScheduleResult runDoubleWindow();
+    ScheduleResult runJoint(bool aoe);
+    double measurePrecision();
+
+  private:
+    struct State
+    {
+        ScheduleResult res;
+        std::vector<bool> loadedT, loadedQ; ///< ever-resident flags
+    };
+
+    struct SweepState
+    {
+        std::vector<bool> visited; ///< RT x CQ grid
+        BlockId rt = 0, cq = 0;
+        bool rowDir = true; ///< true: target stationary, sweep queries
+    };
+
+    // -- helpers ---------------------------------------------------
+    void loadBlock(State &s, bool query_side, BlockId b);
+    void touchBlock(State &s, bool query_side, BlockId b);
+    void processCell(State &s, BlockId rt, BlockId cq);
+    /** Fetch every never-resident node once (block-sized batches). */
+    void loadStragglers(State &s);
+    /** Neighbors of v not yet resident (AOE "remaining edges"). */
+    uint32_t remains(const State &s, bool query_side, NodeId v) const;
+    /** Algorithm 2: true = keep target stationary (row-wise sweep). */
+    bool aoeKeepTarget(const State &s, BlockId rt, BlockId cq) const;
+
+    bool cellVisited(const SweepState &sw, BlockId rt, BlockId cq) const
+    {
+        return sw.visited[static_cast<size_t>(rt) * numCq_ + cq];
+    }
+    void markVisited(SweepState &sw, BlockId rt, BlockId cq)
+    {
+        sw.visited[static_cast<size_t>(rt) * numCq_ + cq] = true;
+    }
+    int nearestInRow(const SweepState &sw, BlockId rt, BlockId from) const;
+    int nearestInCol(const SweepState &sw, BlockId cq, BlockId from) const;
+    bool nearestAnywhere(const SweepState &sw, BlockId &rt,
+                         BlockId &cq) const;
+
+    /**
+     * Run the sweep from `sw` until every cell is visited.
+     *
+     * @param aoe use Algorithm 2 at turn decisions (else fixed
+     *        row-wise serpentine)
+     * @param force_first override the first decision (0 keep-target /
+     *        1 keep-query / -1 none) — precision measurement hook
+     * @param decision_count out: decisions made so far
+     * @param stop_after_decision stop once this many decisions made
+     */
+    void sweepFrom(State &s, SweepState &sw, bool aoe, int force_first,
+                   int *decision_count = nullptr,
+                   int stop_after_decision = -1);
+
+    /** Initialize sweep at (0, 0). */
+    void startSweep(State &s, SweepState &sw);
+
+    const WindowWork &work_;
+    bool trace_;
+    SidePlan planT_, planQ_;
+    BlockId numRt_ = 0, numCq_ = 0;
+    uint32_t traceOffsetQ_ = 0;
+};
+
+LayerScheduler::LayerScheduler(const WindowWork &work, bool record_trace)
+    : work_(work), trace_(record_trace)
+{
+    cegma_assert(work.target && work.query);
+    uint32_t half = std::max<uint32_t>(1, work.capNodes / 2);
+    planT_ = makeSidePlan(*work.target, work.matchTarget, half,
+                          work.hasMatching);
+    planQ_ = makeSidePlan(*work.query, work.matchQuery, half,
+                          work.hasMatching);
+    numRt_ = planT_.numSweepBlocks;
+    numCq_ = planQ_.numSweepBlocks;
+    traceOffsetQ_ = work.target->numNodes();
+}
+
+void
+LayerScheduler::loadBlock(State &s, bool query_side, BlockId b)
+{
+    const SidePlan &plan = query_side ? planQ_ : planT_;
+    auto &loaded = query_side ? s.loadedQ : s.loadedT;
+    s.res.loads += plan.blocks[b].size();
+    for (NodeId v : plan.blocks[b]) {
+        if (!loaded[v]) {
+            loaded[v] = true;
+            // First residency: the node's out-arcs stream through.
+            s.res.arcsProcessed += plan.graph->degree(v);
+        }
+    }
+    touchBlock(s, query_side, b);
+}
+
+void
+LayerScheduler::touchBlock(State &s, bool query_side, BlockId b)
+{
+    if (!trace_)
+        return;
+    const SidePlan &plan = query_side ? planQ_ : planT_;
+    for (NodeId v : plan.blocks[b])
+        s.res.accessTrace.push_back(query_side ? traceOffsetQ_ + v : v);
+}
+
+void
+LayerScheduler::processCell(State &s, BlockId rt, BlockId cq)
+{
+    ++s.res.steps;
+    s.res.matchesProcessed += static_cast<uint64_t>(planT_.keptCount[rt]) *
+                              planQ_.keptCount[cq];
+    // The step references both resident blocks (reuse-distance traces
+    // count references per use, as in the paper's Figs. 4 and 20).
+    touchBlock(s, false, rt);
+    touchBlock(s, true, cq);
+}
+
+void
+LayerScheduler::loadStragglers(State &s)
+{
+    uint64_t pending = 0;
+    auto flush = [&](bool query_side, NodeId v) {
+        const SidePlan &plan = query_side ? planQ_ : planT_;
+        s.res.loads += 1;
+        s.res.arcsProcessed += plan.graph->degree(v);
+        if (trace_)
+            s.res.accessTrace.push_back(query_side ? traceOffsetQ_ + v : v);
+        ++pending;
+    };
+    for (NodeId v = 0; v < work_.target->numNodes(); ++v) {
+        if (!s.loadedT[v])
+            flush(false, v);
+    }
+    for (NodeId v = 0; v < work_.query->numNodes(); ++v) {
+        if (!s.loadedQ[v])
+            flush(true, v);
+    }
+    if (pending > 0)
+        s.res.steps += (pending + work_.capNodes - 1) / work_.capNodes;
+}
+
+uint32_t
+LayerScheduler::remains(const State &s, bool query_side, NodeId v) const
+{
+    const SidePlan &plan = query_side ? planQ_ : planT_;
+    const auto &loaded = query_side ? s.loadedQ : s.loadedT;
+    uint32_t count = 0;
+    for (NodeId u : plan.graph->neighbors(v))
+        count += !loaded[u];
+    return count;
+}
+
+bool
+LayerScheduler::aoeKeepTarget(const State &s, BlockId rt, BlockId cq) const
+{
+    // Gather the resident sides' remaining degrees and hand them to
+    // the AOE unit (Algorithm 2).
+    std::vector<uint32_t> remains_t, remains_q;
+    remains_t.reserve(planT_.blocks[rt].size());
+    for (NodeId v : planT_.blocks[rt])
+        remains_t.push_back(remains(s, false, v));
+    remains_q.reserve(planQ_.blocks[cq].size());
+    for (NodeId v : planQ_.blocks[cq])
+        remains_q.push_back(remains(s, true, v));
+    return evaluateAoe(remains_t, remains_q).keepTarget;
+}
+
+int
+LayerScheduler::nearestInRow(const SweepState &sw, BlockId rt,
+                             BlockId from) const
+{
+    int best = -1;
+    int best_dist = INT32_MAX;
+    for (BlockId c = 0; c < numCq_; ++c) {
+        if (!cellVisited(sw, rt, c)) {
+            int dist = std::abs(static_cast<int>(c) -
+                                static_cast<int>(from));
+            if (dist < best_dist) {
+                best_dist = dist;
+                best = static_cast<int>(c);
+            }
+        }
+    }
+    return best;
+}
+
+int
+LayerScheduler::nearestInCol(const SweepState &sw, BlockId cq,
+                             BlockId from) const
+{
+    int best = -1;
+    int best_dist = INT32_MAX;
+    for (BlockId r = 0; r < numRt_; ++r) {
+        if (!cellVisited(sw, r, cq)) {
+            int dist = std::abs(static_cast<int>(r) -
+                                static_cast<int>(from));
+            if (dist < best_dist) {
+                best_dist = dist;
+                best = static_cast<int>(r);
+            }
+        }
+    }
+    return best;
+}
+
+bool
+LayerScheduler::nearestAnywhere(const SweepState &sw, BlockId &rt,
+                                BlockId &cq) const
+{
+    int best_dist = INT32_MAX;
+    bool found = false;
+    for (BlockId r = 0; r < numRt_; ++r) {
+        for (BlockId c = 0; c < numCq_; ++c) {
+            if (!cellVisited(sw, r, c)) {
+                int dist = std::abs(static_cast<int>(r) -
+                                    static_cast<int>(sw.rt)) +
+                           std::abs(static_cast<int>(c) -
+                                    static_cast<int>(sw.cq));
+                if (dist < best_dist) {
+                    best_dist = dist;
+                    rt = r;
+                    cq = c;
+                    found = true;
+                }
+            }
+        }
+    }
+    return found;
+}
+
+void
+LayerScheduler::startSweep(State &s, SweepState &sw)
+{
+    sw.visited.assign(static_cast<size_t>(numRt_) * numCq_, false);
+    sw.rt = 0;
+    sw.cq = 0;
+    sw.rowDir = true;
+    loadBlock(s, false, 0);
+    loadBlock(s, true, 0);
+    markVisited(sw, 0, 0);
+    processCell(s, 0, 0);
+}
+
+void
+LayerScheduler::sweepFrom(State &s, SweepState &sw, bool aoe,
+                          int force_first, int *decision_count,
+                          int stop_after_decision)
+{
+    int decisions = 0;
+    if (decision_count)
+        *decision_count = 0;
+    while (true) {
+        // Continue the current run if possible.
+        int next = sw.rowDir ? nearestInRow(sw, sw.rt, sw.cq)
+                             : nearestInCol(sw, sw.cq, sw.rt);
+        if (next >= 0) {
+            if (sw.rowDir) {
+                sw.cq = static_cast<BlockId>(next);
+                loadBlock(s, true, sw.cq);
+            } else {
+                sw.rt = static_cast<BlockId>(next);
+                loadBlock(s, false, sw.rt);
+            }
+            markVisited(sw, sw.rt, sw.cq);
+            processCell(s, sw.rt, sw.cq);
+            continue;
+        }
+
+        // Run exhausted: reach a new cell updating one side if we can.
+        int in_col = nearestInCol(sw, sw.cq, sw.rt);
+        int in_row = nearestInRow(sw, sw.rt, sw.cq);
+        if (in_col < 0 && in_row < 0) {
+            BlockId jr, jc;
+            if (!nearestAnywhere(sw, jr, jc))
+                return; // all visited
+            sw.rt = jr;
+            sw.cq = jc;
+            loadBlock(s, false, sw.rt);
+            loadBlock(s, true, sw.cq);
+        } else if (in_col >= 0) {
+            sw.rt = static_cast<BlockId>(in_col);
+            loadBlock(s, false, sw.rt);
+        } else {
+            sw.cq = static_cast<BlockId>(in_row);
+            loadBlock(s, true, sw.cq);
+        }
+        markVisited(sw, sw.rt, sw.cq);
+        processCell(s, sw.rt, sw.cq);
+
+        // Decide the new run's direction.
+        bool keep_target;
+        if (force_first >= 0 && decisions == 0) {
+            keep_target = (force_first == 0);
+        } else if (aoe) {
+            keep_target = aoeKeepTarget(s, sw.rt, sw.cq);
+        } else {
+            keep_target = true; // fixed row-wise serpentine
+        }
+        sw.rowDir = keep_target;
+        ++decisions;
+        if (decision_count)
+            *decision_count = decisions;
+        if (stop_after_decision >= 0 && decisions > stop_after_decision)
+            return;
+    }
+}
+
+ScheduleResult
+LayerScheduler::runSeparatePhase()
+{
+    State s;
+    s.loadedT.assign(work_.target->numNodes(), false);
+    s.loadedQ.assign(work_.query->numNodes(), false);
+
+    // Phase 1: embedding. Each graph's window slides over its own
+    // adjacency; every node's block is fetched once and its out-arcs
+    // stream against the output partials (Fig. 8(a) steps 1-3).
+    for (BlockId b = 0; b < planT_.blocks.size(); ++b) {
+        loadBlock(s, false, b);
+        ++s.res.steps;
+    }
+    for (BlockId b = 0; b < planQ_.blocks.size(); ++b) {
+        loadBlock(s, true, b);
+        ++s.res.steps;
+    }
+
+    // Phase 2: matching. Everything was evicted; the similarity
+    // matrix is tiled and every feature re-fetched (steps 4-9).
+    if (work_.hasMatching && numRt_ > 0 && numCq_ > 0) {
+        // Reset residency bookkeeping conceptually: loads are charged
+        // per tile regardless of phase-1 residency (separate phases
+        // share no buffer state). Arcs are all processed already.
+        for (BlockId r = 0; r < numRt_; ++r) {
+            s.res.loads += planT_.blocks[r].size();
+            touchBlock(s, false, r);
+            // Row-major with restart (the paper's Fig. 8(a) pattern).
+            for (BlockId c = 0; c < numCq_; ++c) {
+                s.res.loads += planQ_.blocks[c].size();
+                touchBlock(s, true, c);
+                processCell(s, r, c);
+            }
+        }
+    }
+
+    loadStragglers(s);
+    return s.res;
+}
+
+ScheduleResult
+LayerScheduler::runDoubleWindow()
+{
+    // Two independent intra-graph windows over a statically split
+    // buffer: embedding proceeds in lockstep and matching only happens
+    // between coincidentally co-resident blocks; the incomplete
+    // comparisons are re-fetched afterwards (Fig. 8(b)).
+    State s;
+    s.loadedT.assign(work_.target->numNodes(), false);
+    s.loadedQ.assign(work_.query->numNodes(), false);
+
+    std::vector<bool> matched;
+    if (work_.hasMatching)
+        matched.assign(static_cast<size_t>(numRt_) * numCq_, false);
+
+    size_t steps = std::max(planT_.blocks.size(), planQ_.blocks.size());
+    for (size_t k = 0; k < steps; ++k) {
+        int res_t = -1, res_q = -1;
+        if (k < planT_.blocks.size()) {
+            loadBlock(s, false, static_cast<BlockId>(k));
+            res_t = static_cast<int>(k);
+        }
+        if (k < planQ_.blocks.size()) {
+            loadBlock(s, true, static_cast<BlockId>(k));
+            res_q = static_cast<int>(k);
+        }
+        ++s.res.steps;
+        if (work_.hasMatching && res_t >= 0 && res_q >= 0 &&
+            static_cast<BlockId>(res_t) < numRt_ &&
+            static_cast<BlockId>(res_q) < numCq_) {
+            size_t cell = static_cast<size_t>(res_t) * numCq_ + res_q;
+            matched[cell] = true;
+            s.res.matchesProcessed +=
+                static_cast<uint64_t>(planT_.keptCount[res_t]) *
+                planQ_.keptCount[res_q];
+        }
+    }
+
+    // Finish the incomplete comparisons with re-fetched tiles.
+    if (work_.hasMatching) {
+        for (BlockId r = 0; r < numRt_; ++r) {
+            bool row_loaded = false;
+            for (BlockId c = 0; c < numCq_; ++c) {
+                size_t cell = static_cast<size_t>(r) * numCq_ + c;
+                if (matched[cell])
+                    continue;
+                if (!row_loaded) {
+                    s.res.loads += planT_.blocks[r].size();
+                    touchBlock(s, false, r);
+                    row_loaded = true;
+                }
+                s.res.loads += planQ_.blocks[c].size();
+                touchBlock(s, true, c);
+                matched[cell] = true;
+                processCell(s, r, c);
+            }
+        }
+    }
+
+    loadStragglers(s);
+    return s.res;
+}
+
+ScheduleResult
+LayerScheduler::runJoint(bool aoe)
+{
+    State s;
+    s.loadedT.assign(work_.target->numNodes(), false);
+    s.loadedQ.assign(work_.query->numNodes(), false);
+
+    if (work_.hasMatching && numRt_ > 0 && numCq_ > 0) {
+        SweepState sw;
+        startSweep(s, sw);
+        sweepFrom(s, sw, aoe, -1);
+    }
+
+    // EMF-filtered duplicates (and matching-free layers) still need
+    // their features once for aggregation.
+    loadStragglers(s);
+    return s.res;
+}
+
+double
+LayerScheduler::measurePrecision()
+{
+    if (!work_.hasMatching || numRt_ == 0 || numCq_ == 0)
+        return 1.0;
+
+    auto fresh = [&]() {
+        State s;
+        s.loadedT.assign(work_.target->numNodes(), false);
+        s.loadedQ.assign(work_.query->numNodes(), false);
+        return s;
+    };
+
+    int agree = 0, total = 0;
+    for (int decision = 0; decision < 64; ++decision) {
+        // Evaluate both forced branches at decision #`decision`.
+        uint64_t branch_loads[2];
+        bool feasible = true;
+        for (int branch = 0; branch < 2 && feasible; ++branch) {
+            State s = fresh();
+            SweepState sw;
+            startSweep(s, sw);
+            int count = 0;
+            if (decision > 0) {
+                sweepFrom(s, sw, true, -1, &count, decision - 1);
+                if (count < decision) {
+                    feasible = false;
+                    break;
+                }
+            }
+            sweepFrom(s, sw, true, branch, &count);
+            loadStragglers(s);
+            branch_loads[branch] = s.res.loads;
+        }
+        if (!feasible)
+            break;
+
+        // Which way does AOE actually go at this decision?
+        State s = fresh();
+        SweepState sw;
+        startSweep(s, sw);
+        int count = 0;
+        sweepFrom(s, sw, true, -1, &count, decision);
+        if (count <= decision)
+            break;
+        bool aoe_keep_target = sw.rowDir;
+        uint64_t chosen = aoe_keep_target ? branch_loads[0]
+                                          : branch_loads[1];
+        uint64_t other = aoe_keep_target ? branch_loads[1]
+                                         : branch_loads[0];
+        ++total;
+        if (chosen <= other)
+            ++agree;
+    }
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(agree) / total;
+}
+
+} // namespace
+
+ScheduleResult
+scheduleLayer(SchedulerKind kind, const WindowWork &work,
+              bool record_trace)
+{
+    LayerScheduler sched(work, record_trace);
+    switch (kind) {
+      case SchedulerKind::SeparatePhase:
+        return sched.runSeparatePhase();
+      case SchedulerKind::DoubleWindow:
+        return sched.runDoubleWindow();
+      case SchedulerKind::Joint:
+        return sched.runJoint(false);
+      case SchedulerKind::Coordinated:
+        return sched.runJoint(true);
+    }
+    panic("unknown scheduler kind");
+}
+
+double
+measureAoePrecision(const WindowWork &work)
+{
+    LayerScheduler sched(work, false);
+    return sched.measurePrecision();
+}
+
+} // namespace cegma

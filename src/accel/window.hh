@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Window schedulers: how one GMN layer's intra-graph edges and
+ * cross-graph matching cells are mapped onto the limited input buffer.
+ *
+ * Four schemes from the paper:
+ *  - Separate phase (Fig. 8a): baseline accelerators embed each graph
+ *    with an intra-graph sliding window, evict everything, then tile
+ *    the similarity matrix — every feature is re-fetched for matching.
+ *  - Double independent window (Fig. 8b): both graphs windowed
+ *    simultaneously with a statically split buffer; incomplete
+ *    comparisons cause re-misses.
+ *  - Joint window (Fig. 12a): CGC's single window on the cross-graph
+ *    block; one side stationary per step, so matching reuses resident
+ *    embedding inputs. Fixed row-wise serpentine.
+ *  - Coordinated joint window (Fig. 12b): joint window whose turn
+ *    direction is chosen by Approximate Outlier Estimation
+ *    (Algorithm 2): keep stationary the side with more outliers
+ *    (nodes with the fewest unprocessed intra-graph arcs), since those
+ *    finish their matching and never return.
+ *
+ * Modeling conventions (block granularity):
+ *  - An intra-graph arc (src -> dst) is processed when both endpoint
+ *    features are co-resident (source streaming + destination partial
+ *    routing, as in the paper's worked examples).
+ *  - A matching cell (i, j) is processed when target node i and query
+ *    node j are co-resident.
+ *  - The EMF's keep-masks shrink the matching sweep to unique nodes;
+ *    filtered duplicates are only ever loaded for edge processing.
+ */
+
+#ifndef CEGMA_ACCEL_WINDOW_HH
+#define CEGMA_ACCEL_WINDOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace cegma {
+
+/** One layer's scheduling problem for one graph pair. */
+struct WindowWork
+{
+    const Graph *target = nullptr;
+    const Graph *query = nullptr;
+
+    /** Input-buffer capacity in node features (whole buffer). */
+    uint32_t capNodes = 4;
+
+    /** Whether this layer has a matching stage. */
+    bool hasMatching = true;
+
+    /**
+     * EMF keep-masks: only masked-true nodes participate in matching.
+     * nullptr means every node matches (no EMF).
+     */
+    const std::vector<bool> *matchTarget = nullptr;
+    const std::vector<bool> *matchQuery = nullptr;
+};
+
+/** Outcome of scheduling one layer. */
+struct ScheduleResult
+{
+    uint64_t loads = 0;   ///< node features fetched from off-chip
+    uint64_t steps = 0;   ///< window steps taken
+    uint64_t arcsProcessed = 0;    ///< directed intra-graph arcs covered
+    uint64_t matchesProcessed = 0; ///< matching cells computed
+
+    /**
+     * Optional per-node touch sequence for reuse-distance profiling
+     * (target node v -> id v; query node u -> id numTargetNodes + u).
+     */
+    std::vector<uint32_t> accessTrace;
+};
+
+/** Scheduling scheme selector. */
+enum class SchedulerKind
+{
+    SeparatePhase,
+    DoubleWindow,
+    Joint,
+    Coordinated,
+};
+
+/**
+ * Schedule one layer with the given scheme.
+ *
+ * @param kind scheme
+ * @param work the layer's graphs / capacity / masks
+ * @param record_trace whether to fill ScheduleResult::accessTrace
+ */
+ScheduleResult scheduleLayer(SchedulerKind kind, const WindowWork &work,
+                             bool record_trace = false);
+
+/**
+ * Measure AOE decision quality on `work`: at every turn decision of
+ * the coordinated schedule, compare the AOE choice against the better
+ * of the two branches (each evaluated to completion); @return the
+ * fraction of decisions where AOE picked the better (or equal) branch.
+ * Returns 1.0 when the schedule has no decision points.
+ */
+double measureAoePrecision(const WindowWork &work);
+
+} // namespace cegma
+
+#endif // CEGMA_ACCEL_WINDOW_HH

@@ -1,0 +1,66 @@
+#include "analysis/flops.hh"
+
+#include "gmn/similarity.hh"
+
+namespace cegma {
+
+double
+FlopBreakdown::aggregateShare() const
+{
+    double t = total();
+    return t > 0.0 ? aggregate / t : 0.0;
+}
+
+double
+FlopBreakdown::combineShare() const
+{
+    double t = total();
+    return t > 0.0 ? combine / t : 0.0;
+}
+
+double
+FlopBreakdown::matchingShare() const
+{
+    double t = total();
+    return t > 0.0 ? matching / t : 0.0;
+}
+
+void
+FlopBreakdown::merge(const FlopBreakdown &other)
+{
+    aggregate += other.aggregate;
+    combine += other.combine;
+    matching += other.matching;
+}
+
+FlopBreakdown
+traceBreakdown(const PairTrace &trace)
+{
+    FlopBreakdown bd;
+    bd.aggregate = static_cast<double>(trace.aggFlopsTotal());
+    bd.combine = static_cast<double>(trace.combFlopsTotal());
+    bd.matching = static_cast<double>(trace.matchFlopsTotal());
+    return bd;
+}
+
+FlopBreakdown
+figure3Breakdown(const Dataset &dataset, uint64_t f)
+{
+    FlopBreakdown bd;
+    for (const GraphPair &pair : dataset.pairs) {
+        const uint64_t n = pair.target.numNodes();
+        const uint64_t m = pair.query.numNodes();
+        // Aggregation: one MAC per arc per feature plus the self term.
+        bd.aggregate += static_cast<double>(
+            (pair.target.numArcs() + pair.query.numArcs() +
+             2ull * (n + m)) * f);
+        // Combination: dense f -> f per node.
+        bd.combine += static_cast<double>((n + m) * (2 * f * f + f));
+        // Matching: dot-product similarity.
+        bd.matching += static_cast<double>(
+            similarityFlops(n, m, f, SimilarityKind::DotProduct));
+    }
+    return bd;
+}
+
+} // namespace cegma

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * FLOP breakdowns across the three GMN stages (paper Figure 3).
+ */
+
+#ifndef CEGMA_ANALYSIS_FLOPS_HH
+#define CEGMA_ANALYSIS_FLOPS_HH
+
+#include <cstdint>
+
+#include "gmn/workload.hh"
+#include "graph/dataset.hh"
+
+namespace cegma {
+
+/** Per-stage FLOPs of a workload. */
+struct FlopBreakdown
+{
+    double aggregate = 0.0;
+    double combine = 0.0;
+    double matching = 0.0;
+
+    double total() const { return aggregate + combine + matching; }
+
+    double aggregateShare() const;
+    double combineShare() const;
+    double matchingShare() const;
+
+    /** Accumulate another breakdown. */
+    void merge(const FlopBreakdown &other);
+};
+
+/** Breakdown of a full model trace (head excluded, as in Fig. 3). */
+FlopBreakdown traceBreakdown(const PairTrace &trace);
+
+/**
+ * The paper's Figure 3 setup: one GMN layer as defined in GraphSim —
+ * standard GCN embedding with input/output feature size `f` and a
+ * dot-product node matching — averaged over a dataset's pairs.
+ */
+FlopBreakdown figure3Breakdown(const Dataset &dataset, uint64_t f = 64);
+
+} // namespace cegma
+
+#endif // CEGMA_ANALYSIS_FLOPS_HH

@@ -1,0 +1,43 @@
+#include "analysis/redundancy.hh"
+
+namespace cegma {
+
+double
+RedundancyStats::redundantFraction() const
+{
+    if (totalMatches == 0)
+        return 0.0;
+    return static_cast<double>(redundantMatches()) /
+           static_cast<double>(totalMatches);
+}
+
+double
+RedundancyStats::redundantToUniqueRatio() const
+{
+    if (uniqueMatches == 0)
+        return 0.0;
+    return static_cast<double>(redundantMatches()) /
+           static_cast<double>(uniqueMatches);
+}
+
+double
+RedundancyStats::remainingUniqueFraction() const
+{
+    if (totalMatches == 0)
+        return 1.0;
+    return static_cast<double>(uniqueMatches) /
+           static_cast<double>(totalMatches);
+}
+
+RedundancyStats
+redundancyOf(const std::vector<PairTrace> &traces)
+{
+    RedundancyStats stats;
+    for (const PairTrace &trace : traces) {
+        stats.totalMatches += trace.totalMatchPairs();
+        stats.uniqueMatches += trace.uniqueMatchPairs();
+    }
+    return stats;
+}
+
+} // namespace cegma

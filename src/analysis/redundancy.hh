@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Matching-redundancy statistics (paper Figures 7 and 18).
+ */
+
+#ifndef CEGMA_ANALYSIS_REDUNDANCY_HH
+#define CEGMA_ANALYSIS_REDUNDANCY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gmn/workload.hh"
+
+namespace cegma {
+
+/** Unique-vs-redundant matching counts over a set of traces. */
+struct RedundancyStats
+{
+    uint64_t totalMatches = 0;
+    uint64_t uniqueMatches = 0;
+
+    uint64_t redundantMatches() const
+    {
+        return totalMatches - uniqueMatches;
+    }
+
+    /** Fraction of matchings that are redundant (Fig. 7 numerator). */
+    double redundantFraction() const;
+
+    /** Redundant : unique ratio (the Fig. 7 metric). */
+    double redundantToUniqueRatio() const;
+
+    /** Fraction of matching remaining after the EMF (Fig. 18). */
+    double remainingUniqueFraction() const;
+};
+
+/** Accumulate redundancy statistics over traces. */
+RedundancyStats redundancyOf(const std::vector<PairTrace> &traces);
+
+} // namespace cegma
+
+#endif // CEGMA_ANALYSIS_REDUNDANCY_HH

@@ -1,0 +1,78 @@
+#include "analysis/reuse.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+namespace {
+
+/** 1-indexed Fenwick tree over trace positions. */
+class Fenwick
+{
+  public:
+    explicit Fenwick(size_t n) : tree_(n + 1, 0) {}
+
+    void
+    add(size_t i, int delta)
+    {
+        for (; i < tree_.size(); i += i & (~i + 1))
+            tree_[i] += delta;
+    }
+
+    int64_t
+    prefix(size_t i) const
+    {
+        int64_t sum = 0;
+        for (; i > 0; i -= i & (~i + 1))
+            sum += tree_[i];
+        return sum;
+    }
+
+  private:
+    std::vector<int64_t> tree_;
+};
+
+} // namespace
+
+IntDistribution
+profileReuseDistances(const std::vector<uint32_t> &trace,
+                      uint64_t *cold_misses)
+{
+    IntDistribution distances;
+    uint64_t cold = 0;
+    Fenwick marks(trace.size());
+    // node -> 1-indexed position of its most recent access.
+    std::unordered_map<uint32_t, size_t> last;
+    last.reserve(trace.size() / 4 + 16);
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+        size_t pos = i + 1;
+        auto it = last.find(trace[i]);
+        if (it == last.end()) {
+            ++cold;
+        } else {
+            size_t prev = it->second;
+            // Distinct nodes touched strictly between prev and pos:
+            // marked latest-access flags in (prev, pos).
+            int64_t distinct = marks.prefix(pos - 1) - marks.prefix(prev);
+            distances.add(static_cast<uint64_t>(distinct));
+            marks.add(prev, -1);
+        }
+        marks.add(pos, +1);
+        last[trace[i]] = pos;
+    }
+    if (cold_misses)
+        *cold_misses = cold;
+    return distances;
+}
+
+double
+bufferHitFraction(const IntDistribution &distances,
+                  uint64_t capacity_nodes)
+{
+    return distances.fractionBelow(capacity_nodes);
+}
+
+} // namespace cegma

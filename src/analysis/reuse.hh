@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Exact reuse-distance (LRU stack distance) profiling over node
+ * access traces — the paper's Figures 4 and 20 metric: "the number of
+ * unique nodes between two references to the same node".
+ */
+
+#ifndef CEGMA_ANALYSIS_REUSE_HH
+#define CEGMA_ANALYSIS_REUSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace cegma {
+
+/**
+ * Profile a node-access trace.
+ *
+ * Uses the classic Fenwick-tree stack-distance algorithm: O(N log N)
+ * over the trace, exact distances.
+ *
+ * @param trace node ids in access order
+ * @param cold_misses if non-null, receives the first-touch count
+ * @return distribution of reuse distances (distinct intervening nodes)
+ */
+IntDistribution profileReuseDistances(const std::vector<uint32_t> &trace,
+                                      uint64_t *cold_misses = nullptr);
+
+/**
+ * Fraction of reuses a buffer holding `capacity_nodes` nodes captures
+ * (reuse distance strictly below capacity).
+ */
+double bufferHitFraction(const IntDistribution &distances,
+                         uint64_t capacity_nodes);
+
+} // namespace cegma
+
+#endif // CEGMA_ANALYSIS_REUSE_HH

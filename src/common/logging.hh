@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 spirit.
+ *
+ * panic()  — an internal invariant was violated (a CEGMA bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits cleanly.
+ * warn()   — something is off but the run can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef CEGMA_COMMON_LOGGING_HH
+#define CEGMA_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace cegma {
+
+/** Print a formatted message and abort(); use for internal bugs. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+
+/** Print a formatted message and exit(1); use for bad user input. */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+
+/** Print a formatted warning to stderr. */
+void warnImpl(const char *fmt, ...);
+
+/** Print a formatted status message to stderr. */
+void informImpl(const char *fmt, ...);
+
+/** Enable/disable inform() output (benchmarks silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is enabled. */
+bool verbose();
+
+} // namespace cegma
+
+#define panic(...) ::cegma::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::cegma::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::cegma::warnImpl(__VA_ARGS__)
+#define inform(...) ::cegma::informImpl(__VA_ARGS__)
+
+/** Assert that holds in release builds too; panics with location info. */
+#define cegma_assert(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::cegma::panicImpl(__FILE__, __LINE__,                          \
+                               "assertion failed: %s", #cond);              \
+        }                                                                   \
+    } while (0)
+
+#endif // CEGMA_COMMON_LOGGING_HH

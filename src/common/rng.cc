@@ -1,0 +1,138 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+namespace {
+
+/** SplitMix64 step, used for seed expansion. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+uint64_t
+Rng::next64()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    cegma_assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    while (true) {
+        uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    cegma_assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+        nextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::nextDouble()
+{
+    return (next64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveGauss_) {
+        haveGauss_ = false;
+        return gauss_;
+    }
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    while (u1 <= 1e-300)
+        u1 = nextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    gauss_ = r * std::sin(theta);
+    haveGauss_ = true;
+    return r * std::cos(theta);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::vector<uint32_t>
+Rng::sampleDistinct(uint32_t n, uint32_t k)
+{
+    cegma_assert(k <= n);
+    // Floyd's algorithm for k distinct samples without O(n) memory when
+    // k is small; falls back to shuffle for dense sampling.
+    if (k * 2 >= n) {
+        std::vector<uint32_t> all(n);
+        for (uint32_t i = 0; i < n; ++i)
+            all[i] = i;
+        shuffle(all);
+        all.resize(k);
+        return all;
+    }
+    std::vector<uint32_t> out;
+    out.reserve(k);
+    std::vector<bool> chosen(n, false);
+    for (uint32_t j = n - k; j < n; ++j) {
+        uint32_t t = static_cast<uint32_t>(nextBounded(j + 1));
+        if (chosen[t]) {
+            out.push_back(j);
+            chosen[j] = true;
+        } else {
+            out.push_back(t);
+            chosen[t] = true;
+        }
+    }
+    return out;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next64());
+}
+
+} // namespace cegma

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic, seedable pseudo-random number generation.
+ *
+ * Every stochastic component in this repository (graph generators, weight
+ * initialization, pair perturbation) draws from a Rng instance so that
+ * experiments are bit-reproducible across runs given the same seed.
+ */
+
+#ifndef CEGMA_COMMON_RNG_HH
+#define CEGMA_COMMON_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cegma {
+
+/**
+ * A small, fast xoshiro256**-based generator.
+ *
+ * Not cryptographic; used only for reproducible workload synthesis.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+    /** @return the next raw 64-bit value. */
+    uint64_t next64();
+
+    /** @return a uniform integer in [0, bound), bound > 0. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return a standard-normal sample (Box-Muller). */
+    double nextGaussian();
+
+    /** @return true with probability p. */
+    bool nextBool(double p);
+
+    /** Fisher-Yates shuffle of a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = nextBounded(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Sample k distinct indices from [0, n) (k <= n). */
+    std::vector<uint32_t> sampleDistinct(uint32_t n, uint32_t k);
+
+    /** Derive an independent child generator (for parallel subsystems). */
+    Rng fork();
+
+  private:
+    uint64_t state_[4];
+    bool haveGauss_ = false;
+    double gauss_ = 0.0;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_COMMON_RNG_HH

@@ -1,0 +1,102 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+namespace cegma {
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+IntDistribution::addWeighted(uint64_t value, uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    counts_[value] += weight;
+    total_ += weight;
+}
+
+void
+IntDistribution::merge(const IntDistribution &other)
+{
+    for (const auto &[value, count] : other.counts_)
+        addWeighted(value, count);
+}
+
+uint64_t
+IntDistribution::maxValue() const
+{
+    return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+double
+IntDistribution::fractionBelow(uint64_t threshold) const
+{
+    if (total_ == 0)
+        return 0.0;
+    uint64_t below = 0;
+    for (auto it = counts_.begin();
+         it != counts_.end() && it->first < threshold; ++it) {
+        below += it->second;
+    }
+    return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double
+IntDistribution::cdfAtPow2(unsigned k) const
+{
+    return fractionBelow(k >= 64 ? UINT64_MAX : (uint64_t{1} << k));
+}
+
+void
+StatSet::inc(const std::string &name, uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, uint64_t value)
+{
+    counters_[name] = value;
+}
+
+uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+}
+
+} // namespace cegma

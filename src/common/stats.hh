@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Lightweight statistics containers used by the simulator and the
+ * analysis passes: named counters, running means, and exact CDFs over
+ * integer-valued samples (e.g., reuse distances).
+ */
+
+#ifndef CEGMA_COMMON_STATS_HH
+#define CEGMA_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cegma {
+
+/** A running scalar statistic: count / sum / min / max / mean. */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another running stat into this one. */
+    void merge(const RunningStat &other);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * An exact distribution over unsigned integer samples, kept as a
+ * value -> count map. Supports the CDF queries the paper's reuse-distance
+ * figures need (fraction of samples below a threshold / below 2^k).
+ */
+class IntDistribution
+{
+  public:
+    /** Add one sample. */
+    void add(uint64_t value) { addWeighted(value, 1); }
+
+    /** Add a sample `weight` times. */
+    void addWeighted(uint64_t value, uint64_t weight);
+
+    /** Merge another distribution into this one. */
+    void merge(const IntDistribution &other);
+
+    /** @return total samples recorded. */
+    uint64_t total() const { return total_; }
+
+    /** @return largest sample seen (0 when empty). */
+    uint64_t maxValue() const;
+
+    /** Fraction of samples with value strictly below `threshold`. */
+    double fractionBelow(uint64_t threshold) const;
+
+    /** Cumulative fraction of samples with value < 2^k. */
+    double cdfAtPow2(unsigned k) const;
+
+    /** @return ordered value/count view. */
+    const std::map<uint64_t, uint64_t> &counts() const { return counts_; }
+
+  private:
+    std::map<uint64_t, uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/** A set of named 64-bit counters with ordered iteration. */
+class StatSet
+{
+  public:
+    /** Increment counter `name` by `delta`. */
+    void inc(const std::string &name, uint64_t delta = 1);
+
+    /** Set counter `name` to `value`. */
+    void set(const std::string &name, uint64_t value);
+
+    /** @return counter value (0 if never touched). */
+    uint64_t get(const std::string &name) const;
+
+    /** Merge all counters from `other` into this set (summing). */
+    void merge(const StatSet &other);
+
+    /** @return ordered name/value view. */
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_COMMON_STATS_HH

@@ -1,0 +1,120 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    cegma_assert(!header_.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    cegma_assert(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    emit_row(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    emit_row(header_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+TextTable::fmt(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+TextTable::fmtX(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", prec, v);
+    return buf;
+}
+
+std::string
+TextTable::fmtPct(double fraction, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, fraction * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::fmtBytes(double bytes)
+{
+    const char *suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int idx = 0;
+    while (bytes >= 1024.0 && idx < 4) {
+        bytes /= 1024.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, suffixes[idx]);
+    return buf;
+}
+
+std::string
+TextTable::fmtCount(double count)
+{
+    const char *suffixes[] = {"", "K", "M", "G", "T"};
+    int idx = 0;
+    while (count >= 1000.0 && idx < 4) {
+        count /= 1000.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f%s", count, suffixes[idx]);
+    return buf;
+}
+
+} // namespace cegma

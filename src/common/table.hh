@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fixed-width text tables for printing the paper's figure/table rows
+ * from the benchmark harnesses, plus CSV export.
+ */
+
+#ifndef CEGMA_COMMON_TABLE_HH
+#define CEGMA_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace cegma {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"dataset", "speedup"});
+ *   t.addRow({"AIDS", "3.1x"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Construct with a header row. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table, column-aligned, to `os`. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV to `os`. */
+    void printCsv(std::ostream &os) const;
+
+    /** @return number of data rows. */
+    size_t numRows() const { return rows_.size(); }
+
+    /** Format a double with `prec` fractional digits. */
+    static std::string fmt(double v, int prec = 2);
+
+    /** Format a double as a "12.3x" speedup string. */
+    static std::string fmtX(double v, int prec = 1);
+
+    /** Format a fraction as a percentage string, e.g.\ "93.4%". */
+    static std::string fmtPct(double fraction, int prec = 1);
+
+    /** Format a byte count with binary suffix (KiB/MiB/GiB). */
+    static std::string fmtBytes(double bytes);
+
+    /** Format a large count with engineering suffix (K/M/G). */
+    static std::string fmtCount(double count);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_COMMON_TABLE_HH

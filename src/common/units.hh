@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Unit constants and conversions used across the simulator.
+ */
+
+#ifndef CEGMA_COMMON_UNITS_HH
+#define CEGMA_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace cegma {
+
+constexpr uint64_t KiB = 1024;
+constexpr uint64_t MiB = 1024 * KiB;
+constexpr uint64_t GiB = 1024 * MiB;
+
+constexpr double GHz = 1e9;
+constexpr double MHz = 1e6;
+
+/** Bytes per 32-bit float feature element. */
+constexpr uint64_t bytesPerFeature = 4;
+
+/** Convert cycles at `freq_hz` to seconds. */
+constexpr double
+cyclesToSeconds(double cycles, double freq_hz)
+{
+    return cycles / freq_hz;
+}
+
+/** Convert cycles at `freq_hz` to milliseconds. */
+constexpr double
+cyclesToMs(double cycles, double freq_hz)
+{
+    return cycles / freq_hz * 1e3;
+}
+
+} // namespace cegma
+
+#endif // CEGMA_COMMON_UNITS_HH

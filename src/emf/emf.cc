@@ -1,0 +1,91 @@
+#include "emf/emf.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "hash/xxhash.hh"
+
+namespace cegma {
+
+namespace {
+
+EmfResult
+filterFromTags(const std::vector<uint32_t> &tags)
+{
+    EmfResult result;
+    const size_t n = tags.size();
+    result.isUnique.assign(n, false);
+    result.uniqueOf.resize(n);
+
+    // tag -> index of the unique node that registered it.
+    std::unordered_map<uint32_t, uint32_t> record;
+    record.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        auto it = record.find(tags[i]);
+        if (it == record.end()) {
+            record.emplace(tags[i], i);
+            result.recordSet.push_back({i, tags[i]});
+            result.isUnique[i] = true;
+            result.uniqueOf[i] = i;
+        } else {
+            result.tagMap.push_back({i, it->second});
+            result.uniqueOf[i] = it->second;
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+EmfResult
+emfFilter(const Matrix &features, uint32_t seed)
+{
+    std::vector<uint32_t> tags(features.rows());
+    for (size_t v = 0; v < features.rows(); ++v) {
+        tags[v] = hashFeatureVector(features.row(v), features.cols(),
+                                    seed);
+    }
+    return filterFromTags(tags);
+}
+
+EmfResult
+emfFilterTags(const std::vector<uint32_t> &tags)
+{
+    return filterFromTags(tags);
+}
+
+uint64_t
+EmfCycleModel::hashCycles(uint64_t nodes, uint64_t feature_bytes) const
+{
+    cegma_assert(hashLanes > 0);
+    uint64_t stripes = (feature_bytes + 15) / 16;
+    uint64_t waves = (nodes + hashLanes - 1) / hashLanes;
+    // One stripe per cycle per lane, plus a 3-cycle merge/avalanche
+    // drain per wave.
+    return waves * (stripes + 3);
+}
+
+uint64_t
+EmfCycleModel::filterCycles(const std::vector<uint32_t> &classes) const
+{
+    cegma_assert(comparators > 0);
+    // The TagBuffer is banked into parallel loop-back FIFO subsets
+    // (Fig. 11), so while the RecordSet fits the comparator array the
+    // filter sustains `pipelineWidth` tag lookups per cycle; larger
+    // RecordSets serialize over ceil(|R| / comparators) passes.
+    constexpr double pipelineWidth = 4.0;
+    double cycles = 0.0;
+    uint64_t record_size = 0;
+    std::unordered_map<uint32_t, bool> seen;
+    seen.reserve(classes.size());
+    for (uint32_t cls : classes) {
+        double passes = static_cast<double>(record_size) / comparators;
+        cycles += std::max(1.0 / pipelineWidth, passes);
+        if (seen.try_emplace(cls, true).second)
+            ++record_size;
+    }
+    return static_cast<uint64_t>(cycles + 0.999);
+}
+
+} // namespace cegma

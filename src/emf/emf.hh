@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The Elastic Matching Filter (paper Section IV-B, Algorithm 1).
+ *
+ * Functional model: hash each node's feature vector with XXHash32 into
+ * a tag; the first node carrying a tag enters the RecordSet (a unique
+ * node), later carriers enter the TagMap pointing at their unique
+ * representative. Matching rows/columns of duplicate nodes are then
+ * skipped and copied from the representative's results.
+ *
+ * Hardware cycle model: the MAC subarray pipelines the XXH32 stripe
+ * recurrence over `hashLanes` nodes concurrently; the DuplicateFilter
+ * looks each tag up against the TagBuffer through `comparators`
+ * parallel 32-bit identity comparators (Fig. 11 / Fig. 23).
+ */
+
+#ifndef CEGMA_EMF_EMF_HH
+#define CEGMA_EMF_EMF_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace cegma {
+
+/** Outcome of one EMF pass over a set of node features. */
+struct EmfResult
+{
+    /** RecordSet entries: (unique node index, tag), in scan order. */
+    std::vector<std::pair<uint32_t, uint32_t>> recordSet;
+
+    /** TagMap entries: (duplicate node index, unique node index). */
+    std::vector<std::pair<uint32_t, uint32_t>> tagMap;
+
+    /** Per node: true iff the node's tag was first seen at the node. */
+    std::vector<bool> isUnique;
+
+    /** Per node: index of its unique representative (self if unique). */
+    std::vector<uint32_t> uniqueOf;
+
+    /** @return unique node count. */
+    uint32_t numUnique() const
+    {
+        return static_cast<uint32_t>(recordSet.size());
+    }
+
+    /** @return duplicate node count. */
+    uint32_t numDuplicates() const
+    {
+        return static_cast<uint32_t>(tagMap.size());
+    }
+};
+
+/**
+ * Run Algorithm 1 over the rows of a feature matrix (the layer l-1
+ * outputs). Hashes raw IEEE-754 bits; two rows collide exactly when
+ * bitwise identical (modulo the hash's ~1e-7 collision rate, which the
+ * paper measures as negligible).
+ */
+EmfResult emfFilter(const Matrix &features, uint32_t seed = 0);
+
+/** Run Algorithm 1 over precomputed 32-bit tags. */
+EmfResult emfFilterTags(const std::vector<uint32_t> &tags);
+
+/** Cycle model of the EMF hardware (Table III / Fig. 23). */
+struct EmfCycleModel
+{
+    uint32_t hashLanes = 32;     ///< nodes hashed concurrently
+    uint32_t comparators = 1024; ///< parallel duplicate comparators
+
+    /**
+     * Cycles to hash `nodes` feature vectors of `feature_bytes` bytes:
+     * the XXH32 recurrence consumes one 16-byte stripe per cycle per
+     * lane.
+     */
+    uint64_t hashCycles(uint64_t nodes, uint64_t feature_bytes) const;
+
+    /**
+     * Cycles to filter a tag stream whose duplicate structure is given
+     * by `classes` (class id per node, first occurrence = unique).
+     * Each lookup costs ceil(|RecordSet| / comparators) cycles plus one
+     * cycle to insert into the TagBuffer or write the MapBuffer.
+     */
+    uint64_t filterCycles(const std::vector<uint32_t> &classes) const;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_EMF_EMF_HH

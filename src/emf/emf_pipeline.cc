@@ -1,0 +1,123 @@
+#include "emf/emf_pipeline.hh"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+EmfPipelineResult
+runEmfPipeline(const std::vector<uint32_t> &tags, uint64_t feature_bytes,
+               const EmfPipelineConfig &config)
+{
+    cegma_assert(config.hashLanes > 0 && config.taskBufferDepth > 0);
+    cegma_assert(config.numSubsets > 0 && config.pipelineWidth > 0);
+
+    EmfPipelineResult result;
+    result.sets.isUnique.assign(tags.size(), false);
+    result.sets.uniqueOf.resize(tags.size());
+    result.subsetSizes.assign(config.numSubsets, 0);
+
+    // Producer state: the MAC subarray hashes waves of hashLanes
+    // vectors; a finished wave must fit in the TaskBuffer before the
+    // next wave starts (back-pressure).
+    const uint64_t wave_cycles = config.hashWaveCycles(feature_bytes);
+    uint32_t next_node = 0;
+    uint64_t wave_remaining =
+        tags.empty() ? 0 : wave_cycles; // current wave countdown
+    std::vector<uint32_t> finished_wave; // hashed, waiting to enqueue
+
+    // TaskBuffer between the producer and the filter.
+    std::deque<uint32_t> task_buffer;
+
+    // Filter state: tag -> unique node index (the RecordSet content),
+    // with the per-subset occupancy tracked for the lookup latency.
+    std::unordered_map<uint32_t, uint32_t> record;
+    record.reserve(tags.size());
+    uint32_t round_robin = 0;
+    uint64_t lookup_busy = 0; // cycles left in a multi-pass lookup
+
+    uint64_t cycle = 0;
+    while (next_node < tags.size() || !finished_wave.empty() ||
+           !task_buffer.empty() || wave_remaining > 0) {
+        ++cycle;
+
+        // ---- Producer -----------------------------------------------
+        if (!finished_wave.empty()) {
+            // Drain the finished wave into the TaskBuffer. While any
+            // of it remains, the MAC subarray cannot start the next
+            // wave: back-pressure.
+            while (!finished_wave.empty() &&
+                   task_buffer.size() < config.taskBufferDepth) {
+                task_buffer.push_back(finished_wave.back());
+                finished_wave.pop_back();
+            }
+            if (!finished_wave.empty())
+                ++result.stallCycles;
+        } else if (wave_remaining > 0) {
+            ++result.hashCycles;
+            if (--wave_remaining == 0) {
+                uint32_t lanes = std::min<uint32_t>(
+                    config.hashLanes,
+                    static_cast<uint32_t>(tags.size()) - next_node);
+                // Push in reverse so draining from the back keeps the
+                // node-index scan order of Algorithm 1.
+                for (uint32_t lane = lanes; lane > 0; --lane)
+                    finished_wave.push_back(next_node + lane - 1);
+                next_node += lanes;
+                if (next_node < tags.size())
+                    wave_remaining = wave_cycles;
+            }
+        }
+        result.taskBufferPeak = std::max(
+            result.taskBufferPeak,
+            static_cast<uint32_t>(task_buffer.size()));
+
+        // ---- DuplicateFilter ----------------------------------------
+        if (lookup_busy > 0) {
+            --lookup_busy;
+            continue;
+        }
+        if (task_buffer.empty()) {
+            ++result.filterIdleCycles;
+            continue;
+        }
+
+        // Lookup latency: every subset scans its FIFO through its DC
+        // bank; single-pass lookups retire pipelineWidth tasks per
+        // cycle, multi-pass lookups serialize.
+        uint32_t largest_subset = *std::max_element(
+            result.subsetSizes.begin(), result.subsetSizes.end());
+        uint64_t passes = (largest_subset + config.comparatorsPerSubset -
+                           1) / config.comparatorsPerSubset;
+        uint32_t retire = passes <= 1 ? config.pipelineWidth : 1;
+        lookup_busy = passes > 1 ? passes - 1 : 0;
+
+        for (uint32_t k = 0; k < retire && !task_buffer.empty(); ++k) {
+            uint32_t node = task_buffer.front();
+            task_buffer.pop_front();
+            uint32_t tag = tags[node];
+            auto it = record.find(tag);
+            if (it == record.end()) {
+                // Miss: insert into the TagBuffer round-robin.
+                record.emplace(tag, node);
+                result.sets.recordSet.push_back({node, tag});
+                result.sets.isUnique[node] = true;
+                result.sets.uniqueOf[node] = node;
+                ++result.subsetSizes[round_robin];
+                round_robin = (round_robin + 1) % config.numSubsets;
+            } else {
+                // Hit: write the affiliation to the MapBuffer.
+                result.sets.tagMap.push_back({node, it->second});
+                result.sets.uniqueOf[node] = it->second;
+            }
+        }
+    }
+
+    result.cycles = cycle;
+    return result;
+}
+
+} // namespace cegma

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Cycle-stepped microarchitectural model of the Elastic Matching
+ * Filter (paper Fig. 11), one level below the analytical
+ * EmfCycleModel:
+ *
+ *  - the MAC subarray hashes `hashLanes` node feature vectors per
+ *    wave (one 16-byte XXH32 stripe per lane per cycle) and pushes
+ *    (node index, tag) task entries into the TaskBuffer;
+ *  - the TaskBuffer is a finite-depth FIFO; when it fills, the
+ *    producer stalls (back-pressure onto the MAC subarray);
+ *  - the DuplicateFilter FSM pops tasks and searches the TagBuffer —
+ *    a set of loop-back FIFO subsets scanned in parallel by the
+ *    duplicate comparators (DCs); single-pass lookups pipeline
+ *    `pipelineWidth`-wide;
+ *  - hits write (dup idx, unique idx) entries to the MapBuffer;
+ *    misses insert into the TagBuffer subsets round-robin.
+ *
+ * The model reports total/stall cycles and buffer high-water marks,
+ * and its RecordSet/TagMap are validated against the functional
+ * Algorithm 1 implementation.
+ */
+
+#ifndef CEGMA_EMF_EMF_PIPELINE_HH
+#define CEGMA_EMF_EMF_PIPELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "emf/emf.hh"
+
+namespace cegma {
+
+/** Microarchitectural parameters of the EMF (Table III defaults). */
+struct EmfPipelineConfig
+{
+    /** Node vectors hashed concurrently by the MAC subarray. */
+    uint32_t hashLanes = 32;
+    /** TaskBuffer FIFO depth in (idx, tag) entries. */
+    uint32_t taskBufferDepth = 64;
+    /** TagBuffer loop-back FIFO subsets (parallel lookup banks). */
+    uint32_t numSubsets = 32;
+    /** 32-bit identity comparators per subset (32 x 32 = 1024). */
+    uint32_t comparatorsPerSubset = 32;
+    /** Tasks retired per cycle when lookups are single-pass. */
+    uint32_t pipelineWidth = 4;
+
+    /** Total duplicate comparators. */
+    uint32_t totalComparators() const
+    {
+        return numSubsets * comparatorsPerSubset;
+    }
+
+    /** Cycles for one hash wave over `feature_bytes`-byte vectors. */
+    uint64_t
+    hashWaveCycles(uint64_t feature_bytes) const
+    {
+        return (feature_bytes + 15) / 16 + 3; // stripes + drain
+    }
+};
+
+/** Outcome of one pipeline run. */
+struct EmfPipelineResult
+{
+    uint64_t cycles = 0;       ///< total cycles to drain everything
+    uint64_t hashCycles = 0;   ///< cycles the producer was hashing
+    uint64_t stallCycles = 0;  ///< producer stalls on a full TaskBuffer
+    uint64_t filterIdleCycles = 0; ///< filter starved for tasks
+    uint32_t taskBufferPeak = 0;   ///< TaskBuffer high-water mark
+    std::vector<uint32_t> subsetSizes; ///< final TagBuffer occupancy
+
+    /** The RecordSet/TagMap the hardware produced. */
+    EmfResult sets;
+};
+
+/**
+ * Run the EMF pipeline over per-node tags (as produced by hashing the
+ * layer l-1 feature vectors of `feature_bytes` bytes each).
+ */
+EmfPipelineResult runEmfPipeline(const std::vector<uint32_t> &tags,
+                                 uint64_t feature_bytes,
+                                 const EmfPipelineConfig &config = {});
+
+} // namespace cegma
+
+#endif // CEGMA_EMF_EMF_PIPELINE_HH

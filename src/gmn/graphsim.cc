@@ -1,0 +1,85 @@
+/**
+ * @file
+ * GraphSim [5]: three GCN layers, per-layer cosine similarity matrices
+ * fed through CNN branches, and an MLP head over the concatenated CNN
+ * features (Table I row 2).
+ */
+
+#include "common/rng.hh"
+#include "gmn/model.hh"
+#include "graph/wl_refine.hh"
+#include "nn/cnn.hh"
+#include "nn/gcn.hh"
+#include "nn/linear.hh"
+
+namespace cegma {
+
+namespace {
+
+class GraphSimModel : public GmnModel
+{
+  public:
+    explicit GraphSimModel(uint64_t seed)
+        : GmnModel(modelConfig(ModelId::GraphSim)), rng_(seed),
+          encoder_(1, config_.nodeDim, rng_, Activation::Tanh),
+          head_({128ul * 3, 128, 64, 32, 16, 1}, rng_, Activation::Sigmoid)
+    {
+        for (unsigned l = 0; l < config_.numLayers; ++l) {
+            layers_.emplace_back(config_.nodeDim, config_.nodeDim, rng_);
+            cnns_.emplace_back(std::vector<size_t>{1, 16, 32, 64, 128},
+                               16, rng_);
+        }
+    }
+
+    Detail forwardDetailed(const GraphPair &pair) const override;
+
+  private:
+    mutable Rng rng_;
+    Linear encoder_;
+    std::vector<GcnLayer> layers_;
+    std::vector<CnnStack> cnns_;
+    Mlp head_;
+};
+
+GmnModel::Detail
+GraphSimModel::forwardDetailed(const GraphPair &pair) const
+{
+    Detail detail;
+    WlColoring wl_t = wlRefine(pair.target, config_.numLayers);
+    WlColoring wl_q = wlRefine(pair.query, config_.numLayers);
+
+    Matrix x = encoder_.forward(initialFeatures(pair.target));
+    Matrix y = encoder_.forward(initialFeatures(pair.query));
+    detail.xLayers.push_back(x);
+    detail.yLayers.push_back(y);
+
+    std::vector<Matrix> branch_feats;
+    for (unsigned l = 0; l < config_.numLayers; ++l) {
+        x = layers_[l].forward(pair.target, x, wl_t.signatures[l]);
+        y = layers_[l].forward(pair.query, y, wl_q.signatures[l]);
+        detail.xLayers.push_back(x);
+        detail.yLayers.push_back(y);
+
+        Matrix s = similarityMatrix(x, y, config_.similarity);
+        branch_feats.push_back(cnns_[l].forward(s));
+        detail.simLayers.push_back(std::move(s));
+    }
+
+    std::vector<const Matrix *> parts;
+    for (const Matrix &feat : branch_feats)
+        parts.push_back(&feat);
+    Matrix head_in = hconcat(parts);
+    Matrix out = head_.forward(head_in);
+    detail.score = out.at(0, 0);
+    return detail;
+}
+
+} // namespace
+
+std::unique_ptr<GmnModel>
+makeGraphSim(uint64_t seed)
+{
+    return std::make_unique<GraphSimModel>(seed);
+}
+
+} // namespace cegma

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The three GMN models of Table I — GMN-Li [24], GraphSim [5], and
+ * SimGNN [4] — as functional (floating-point) inference models, plus
+ * their static configuration used by the workload tracer.
+ *
+ * These are the golden reference: the EMF's duplicate detection and the
+ * accelerator's dedup short-cuts are validated against the per-layer
+ * features and similarity matrices these models produce.
+ */
+
+#ifndef CEGMA_GMN_MODEL_HH
+#define CEGMA_GMN_MODEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gmn/similarity.hh"
+#include "graph/dataset.hh"
+#include "tensor/matrix.hh"
+
+namespace cegma {
+
+/** Model identifiers (Table I rows). */
+enum class ModelId
+{
+    GmnLi,
+    GraphSim,
+    SimGnn,
+};
+
+/** All three models in the paper's presentation order. */
+const std::vector<ModelId> &allModels();
+
+/**
+ * How matching results are consumed (Section IV-D): type (a) models
+ * write similarities back to DRAM for a later head; type (b) models
+ * feed them into the same layer's node update on-chip.
+ */
+enum class MatchUse
+{
+    WriteBack,   ///< type (a): SimGNN, GraphSim
+    OnChipReuse, ///< type (b): GMN-Li
+};
+
+/** Static model description (the Table I row). */
+struct ModelConfig
+{
+    ModelId id;
+    std::string name;
+    SimilarityKind similarity;
+    unsigned numLayers;     ///< embedding layers
+    size_t nodeDim;         ///< hidden node-feature width (64)
+    bool layerwiseMatching; ///< matching every layer vs last layer only
+    bool crossFeedback;     ///< matching feeds the node update (GMN-Li)
+    MatchUse matchUse;
+};
+
+/** @return the Table I configuration of `id`. */
+const ModelConfig &modelConfig(ModelId id);
+
+/** Functional GMN inference model. */
+class GmnModel
+{
+  public:
+    virtual ~GmnModel() = default;
+
+    const ModelConfig &config() const { return config_; }
+
+    /** Everything the forward pass produced, for validation. */
+    struct Detail
+    {
+        /**
+         * Node features of the target/query graph after each
+         * embedding layer; index 0 is the encoded input (so size is
+         * numLayers + 1).
+         */
+        std::vector<Matrix> xLayers;
+        std::vector<Matrix> yLayers;
+
+        /**
+         * Similarity matrices, one per matching layer (layer-wise
+         * models produce numLayers of them, model-wise models one).
+         */
+        std::vector<Matrix> simLayers;
+
+        /** The scalar similarity score. */
+        double score = 0.0;
+    };
+
+    /** Run inference, keeping all intermediates. */
+    virtual Detail forwardDetailed(const GraphPair &pair) const = 0;
+
+    /** Run inference, returning only the score. */
+    double score(const GraphPair &pair) const;
+
+  protected:
+    explicit GmnModel(ModelConfig config) : config_(std::move(config)) {}
+
+    ModelConfig config_;
+};
+
+/** Build model `id` with seeded random weights. */
+std::unique_ptr<GmnModel> makeModel(ModelId id, uint64_t seed = 1234);
+
+// Per-model factories (defined in the respective .cc files).
+std::unique_ptr<GmnModel> makeGmnLi(uint64_t seed);
+std::unique_ptr<GmnModel> makeGraphSim(uint64_t seed);
+std::unique_ptr<GmnModel> makeSimGnn(uint64_t seed);
+
+/**
+ * Encode a graph's raw node labels into the scalar input feature
+ * column used by every model (Table I input width 1): label + 1.
+ */
+Matrix initialFeatures(const Graph &g);
+
+} // namespace cegma
+
+#endif // CEGMA_GMN_MODEL_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * SimGNN [4]: three GCN layers, a single last-layer dot-product
+ * similarity (model-wise matching), an attention readout + NTN over
+ * graph embeddings, a pairwise-similarity histogram, and a small MLP
+ * head (Table I row 3).
+ */
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "gmn/model.hh"
+#include "graph/wl_refine.hh"
+#include "nn/gcn.hh"
+#include "nn/linear.hh"
+#include "nn/ntn.hh"
+
+namespace cegma {
+
+namespace {
+
+constexpr size_t embedDim = 128;
+constexpr size_t histBins = 16;
+constexpr size_t ntnSlices = 16;
+
+class SimGnnModel : public GmnModel
+{
+  public:
+    explicit SimGnnModel(uint64_t seed)
+        : GmnModel(modelConfig(ModelId::SimGnn)), rng_(seed),
+          encoder_(1, config_.nodeDim, rng_, Activation::Tanh),
+          attention_(config_.nodeDim, config_.nodeDim, rng_,
+                     Activation::None),
+          project_(config_.nodeDim, embedDim, rng_, Activation::Tanh),
+          ntn_(embedDim, ntnSlices, rng_),
+          head_({ntnSlices + histBins, 16, 8, 4, 1}, rng_,
+                Activation::Sigmoid)
+    {
+        for (unsigned l = 0; l < config_.numLayers; ++l)
+            layers_.emplace_back(config_.nodeDim, config_.nodeDim, rng_);
+    }
+
+    Detail forwardDetailed(const GraphPair &pair) const override;
+
+  private:
+    /** SimGNN's global-context attention readout: 1 x nodeDim. */
+    Matrix
+    readout(const Matrix &x) const
+    {
+        Matrix context = columnMeans(x);
+        Matrix key = attention_.forward(context); // 1 x nodeDim
+        Matrix out(1, x.cols());
+        for (size_t v = 0; v < x.rows(); ++v) {
+            float score = dot(x.row(v), key.row(0), x.cols());
+            float a = 1.0f / (1.0f + std::exp(-score));
+            for (size_t j = 0; j < x.cols(); ++j)
+                out.at(0, j) += a * x.at(v, j);
+        }
+        return out;
+    }
+
+    /** Histogram of sigmoid-squashed similarity entries. */
+    static Matrix
+    similarityHistogram(const Matrix &s)
+    {
+        Matrix hist(1, histBins);
+        for (size_t i = 0; i < s.size(); ++i) {
+            float v = 1.0f / (1.0f + std::exp(-s.data()[i]));
+            auto bin = static_cast<size_t>(v * histBins);
+            bin = std::min(bin, histBins - 1);
+            hist.at(0, bin) += 1.0f;
+        }
+        if (s.size() > 0) {
+            for (size_t b = 0; b < histBins; ++b)
+                hist.at(0, b) /= static_cast<float>(s.size());
+        }
+        return hist;
+    }
+
+    mutable Rng rng_;
+    Linear encoder_;
+    std::vector<GcnLayer> layers_;
+    Linear attention_;
+    Linear project_;
+    Ntn ntn_;
+    Mlp head_;
+};
+
+GmnModel::Detail
+SimGnnModel::forwardDetailed(const GraphPair &pair) const
+{
+    Detail detail;
+    WlColoring wl_t = wlRefine(pair.target, config_.numLayers);
+    WlColoring wl_q = wlRefine(pair.query, config_.numLayers);
+
+    Matrix x = encoder_.forward(initialFeatures(pair.target));
+    Matrix y = encoder_.forward(initialFeatures(pair.query));
+    detail.xLayers.push_back(x);
+    detail.yLayers.push_back(y);
+
+    for (unsigned l = 0; l < config_.numLayers; ++l) {
+        x = layers_[l].forward(pair.target, x, wl_t.signatures[l]);
+        y = layers_[l].forward(pair.query, y, wl_q.signatures[l]);
+        detail.xLayers.push_back(x);
+        detail.yLayers.push_back(y);
+    }
+
+    // Model-wise matching: one similarity matrix from the last layer.
+    Matrix s = similarityMatrix(x, y, config_.similarity);
+    Matrix hist = similarityHistogram(s);
+    detail.simLayers.push_back(std::move(s));
+
+    Matrix hx = project_.forward(readout(x));
+    Matrix hy = project_.forward(readout(y));
+    Matrix interaction = ntn_.forward(hx, hy);
+
+    Matrix head_in = hconcat({&interaction, &hist});
+    Matrix out = head_.forward(head_in);
+    detail.score = out.at(0, 0);
+    return detail;
+}
+
+} // namespace
+
+std::unique_ptr<GmnModel>
+makeSimGnn(uint64_t seed)
+{
+    return std::make_unique<SimGnnModel>(seed);
+}
+
+} // namespace cegma

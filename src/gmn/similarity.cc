@@ -1,0 +1,72 @@
+#include "gmn/similarity.hh"
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+const char *
+similarityName(SimilarityKind kind)
+{
+    switch (kind) {
+      case SimilarityKind::DotProduct:
+        return "dot-product";
+      case SimilarityKind::Cosine:
+        return "cosine";
+      case SimilarityKind::Euclidean:
+        return "euclidean";
+    }
+    return "?";
+}
+
+Matrix
+similarityMatrix(const Matrix &x, const Matrix &y, SimilarityKind kind)
+{
+    cegma_assert(x.cols() == y.cols());
+    Matrix s = matmulNT(x, y);
+
+    switch (kind) {
+      case SimilarityKind::DotProduct:
+        break;
+      case SimilarityKind::Cosine: {
+        Matrix nx = rowL2Norms(x);
+        Matrix ny = rowL2Norms(y);
+        for (size_t i = 0; i < s.rows(); ++i) {
+            for (size_t j = 0; j < s.cols(); ++j) {
+                float denom = nx.at(i, 0) * ny.at(j, 0);
+                s.at(i, j) = denom > 0.0f ? s.at(i, j) / denom : 0.0f;
+            }
+        }
+        break;
+      }
+      case SimilarityKind::Euclidean: {
+        Matrix sx = rowSquaredNorms(x);
+        Matrix sy = rowSquaredNorms(y);
+        for (size_t i = 0; i < s.rows(); ++i) {
+            for (size_t j = 0; j < s.cols(); ++j) {
+                s.at(i, j) =
+                    2.0f * s.at(i, j) - sx.at(i, 0) - sy.at(j, 0);
+            }
+        }
+        break;
+      }
+    }
+    return s;
+}
+
+uint64_t
+similarityFlops(uint64_t n, uint64_t m, uint64_t f, SimilarityKind kind)
+{
+    uint64_t base = 2 * n * m * f; // the X Y^T MACs
+    switch (kind) {
+      case SimilarityKind::DotProduct:
+        return base;
+      case SimilarityKind::Cosine:
+        // Row norms (2f MACs per row) + one divide and multiply per cell.
+        return base + 2 * f * (n + m) + 2 * n * m;
+      case SimilarityKind::Euclidean:
+        return base + 2 * f * (n + m) + 3 * n * m;
+    }
+    return base;
+}
+
+} // namespace cegma

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cross-graph node similarity functions (paper Equation 2).
+ *
+ * S = X Y^T / K with the paper's three variants:
+ *  - dot product: K = 1
+ *  - cosine:      K_ij = ||X_i|| * ||Y_j||
+ *  - euclidean:   scaled dot product further normalized by the squared
+ *    row magnitudes, yielding the negative squared distance
+ *    S_ij = 2 X_i.Y_j - ||X_i||^2 - ||Y_j||^2  (per [24])
+ */
+
+#ifndef CEGMA_GMN_SIMILARITY_HH
+#define CEGMA_GMN_SIMILARITY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/matrix.hh"
+
+namespace cegma {
+
+/** Similarity function selector (Table I, "Similarity" column). */
+enum class SimilarityKind
+{
+    DotProduct,
+    Cosine,
+    Euclidean,
+};
+
+/** @return display name ("dot-product", "cosine", "euclidean"). */
+const char *similarityName(SimilarityKind kind);
+
+/**
+ * Compute the (n x m) similarity matrix between node features
+ * X (n x f) and Y (m x f).
+ */
+Matrix similarityMatrix(const Matrix &x, const Matrix &y,
+                        SimilarityKind kind);
+
+/**
+ * FLOPs for an (n x m) similarity over f-wide features, including the
+ * normalization of the chosen variant.
+ */
+uint64_t similarityFlops(uint64_t n, uint64_t m, uint64_t f,
+                         SimilarityKind kind);
+
+} // namespace cegma
+
+#endif // CEGMA_GMN_SIMILARITY_HH

@@ -1,0 +1,249 @@
+#include "gmn/workload.hh"
+
+#include "common/logging.hh"
+#include "graph/wl_refine.hh"
+
+namespace cegma {
+
+namespace {
+
+/** FLOPs of a dense (rows x in) -> (rows x out) layer incl. bias. */
+uint64_t
+denseFlops(uint64_t rows, uint64_t in, uint64_t out)
+{
+    return rows * (2 * in * out + out);
+}
+
+/** FLOPs of an MLP over the given widths. */
+uint64_t
+mlpFlops(uint64_t rows, std::initializer_list<uint64_t> dims)
+{
+    uint64_t total = 0;
+    const uint64_t *prev = nullptr;
+    for (const uint64_t &d : dims) {
+        if (prev)
+            total += denseFlops(rows, *prev, d);
+        prev = &d;
+    }
+    return total;
+}
+
+/** FLOPs of one GraphSim CNN branch (grid 16, channels 1..128). */
+uint64_t
+cnnBranchFlops()
+{
+    const uint64_t channels[] = {1, 16, 32, 64, 128};
+    uint64_t total = 0;
+    uint64_t h = 16, w = 16;
+    for (size_t i = 0; i + 1 < std::size(channels); ++i) {
+        total += 2 * h * w * 9 * channels[i] * channels[i + 1];
+        h = std::max<uint64_t>(1, h / 2);
+        w = std::max<uint64_t>(1, w / 2);
+    }
+    return total;
+}
+
+EmbedWork
+gcnEmbedWork(const Graph &g, size_t f_in, size_t f_out)
+{
+    EmbedWork work;
+    work.fIn = f_in;
+    work.fOut = f_out;
+    work.aggFlops = (g.numArcs() + 2ull * g.numNodes()) * f_in;
+    work.combFlops = denseFlops(g.numNodes(), f_in, f_out);
+    return work;
+}
+
+EmbedWork
+mgnnEmbedWork(const Graph &g, size_t d)
+{
+    EmbedWork work;
+    work.fIn = d;
+    work.fOut = d;
+    // Edge MLP [2d, d, d] per directed arc, plus the message sum.
+    work.aggFlops = mlpFlops(g.numArcs(), {2ull * d, d, d}) +
+                    g.numArcs() * d;
+    // Update MLP [3d, d, d] per node.
+    work.combFlops = mlpFlops(g.numNodes(), {3ull * d, d, d});
+    return work;
+}
+
+MatchingWork
+makeMatching(const GraphPair &pair, const WlColoring &wl_t,
+             const WlColoring &wl_q, size_t level, size_t dim,
+             SimilarityKind kind, bool cross_feedback)
+{
+    MatchingWork match;
+    match.present = true;
+    match.dim = dim;
+    const uint64_t n = pair.target.numNodes();
+    const uint64_t m = pair.query.numNodes();
+    match.simFlops = similarityFlops(n, m, dim, kind);
+    if (cross_feedback) {
+        // Row/column softmax (~5 flops per cell per direction) plus the
+        // attention-weighted sums and the subtraction (per [24]).
+        match.crossFlops = 10 * n * m + 4 * n * m * dim +
+                           (n + m) * dim;
+    }
+    match.dupClassTarget = wl_t.colors[level];
+    match.dupClassQuery = wl_q.colors[level];
+    match.numUniqueTarget = wl_t.numClasses[level];
+    match.numUniqueQuery = wl_q.numClasses[level];
+    return match;
+}
+
+} // namespace
+
+uint64_t
+MatchingWork::totalPairs() const
+{
+    return static_cast<uint64_t>(dupClassTarget.size()) *
+           dupClassQuery.size();
+}
+
+uint64_t
+MatchingWork::uniquePairs() const
+{
+    return static_cast<uint64_t>(numUniqueTarget) * numUniqueQuery;
+}
+
+uint64_t
+PairTrace::aggFlopsTotal() const
+{
+    uint64_t total = 0;
+    for (const auto &layer : layers)
+        total += layer.embedTarget.aggFlops + layer.embedQuery.aggFlops;
+    return total;
+}
+
+uint64_t
+PairTrace::combFlopsTotal() const
+{
+    uint64_t total = encodeFlops;
+    for (const auto &layer : layers)
+        total += layer.embedTarget.combFlops + layer.embedQuery.combFlops;
+    return total;
+}
+
+uint64_t
+PairTrace::matchFlopsTotal() const
+{
+    uint64_t total = 0;
+    for (const auto &layer : layers) {
+        if (layer.matching.present) {
+            total += layer.matching.simFlops + layer.matching.crossFlops;
+        }
+    }
+    return total;
+}
+
+uint64_t
+PairTrace::totalFlops() const
+{
+    return aggFlopsTotal() + combFlopsTotal() + matchFlopsTotal() +
+           postFlops;
+}
+
+uint64_t
+PairTrace::totalMatchPairs() const
+{
+    uint64_t total = 0;
+    for (const auto &layer : layers) {
+        if (layer.matching.present)
+            total += layer.matching.totalPairs();
+    }
+    return total;
+}
+
+uint64_t
+PairTrace::uniqueMatchPairs() const
+{
+    uint64_t total = 0;
+    for (const auto &layer : layers) {
+        if (layer.matching.present)
+            total += layer.matching.uniquePairs();
+    }
+    return total;
+}
+
+double
+PairTrace::uniqueMatchingFraction() const
+{
+    uint64_t total = totalMatchPairs();
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(uniqueMatchPairs()) /
+           static_cast<double>(total);
+}
+
+PairTrace
+buildTrace(ModelId id, const GraphPair &pair)
+{
+    return buildCustomTrace(modelConfig(id), pair);
+}
+
+PairTrace
+buildCustomTrace(const ModelConfig &config, const GraphPair &pair)
+{
+    const ModelId id = config.id;
+    const size_t d = config.nodeDim;
+    const uint64_t n = pair.target.numNodes();
+    const uint64_t m = pair.query.numNodes();
+
+    PairTrace trace;
+    trace.model = id;
+    trace.pair = &pair;
+    trace.encodeFlops = denseFlops(n + m, 1, d);
+
+    WlColoring wl_t = wlRefine(pair.target, config.numLayers);
+    WlColoring wl_q = wlRefine(pair.query, config.numLayers);
+
+    for (unsigned l = 0; l < config.numLayers; ++l) {
+        LayerWork layer;
+        if (config.crossFeedback) {
+            layer.embedTarget = mgnnEmbedWork(pair.target, d);
+            layer.embedQuery = mgnnEmbedWork(pair.query, d);
+            // Cross-feedback models match at every layer on the
+            // layer's *input* features (level l).
+            layer.matching = makeMatching(pair, wl_t, wl_q, l, d,
+                                          config.similarity, true);
+        } else {
+            layer.embedTarget = gcnEmbedWork(pair.target, d, d);
+            layer.embedQuery = gcnEmbedWork(pair.query, d, d);
+            bool matches = config.layerwiseMatching ||
+                           (l + 1 == config.numLayers);
+            if (matches) {
+                // GCN models match on the layer's *output* (level l+1).
+                layer.matching = makeMatching(pair, wl_t, wl_q, l + 1, d,
+                                              config.similarity, false);
+            }
+        }
+        trace.layers.push_back(std::move(layer));
+    }
+
+    switch (id) {
+      case ModelId::GmnLi:
+        // Readout MLP [64,128,128] on each pooled graph vector + the
+        // final distance.
+        trace.postFlops = mlpFlops(2, {64ull, 128ull, 128ull}) + 3 * 128;
+        break;
+      case ModelId::GraphSim:
+        trace.postFlops = 3 * cnnBranchFlops() +
+                          mlpFlops(1, {384ull, 128ull, 64ull, 32ull,
+                                       16ull, 1ull});
+        break;
+      case ModelId::SimGnn:
+        // Attention readout + projection per graph, NTN, histogram,
+        // and the head MLP.
+        trace.postFlops =
+            denseFlops(2, d, d) + 2 * (n + m) * d + // attention
+            denseFlops(2, d, 128) +                 // projection
+            16 * (2ull * 128 * 128 + 4 * 128) +     // NTN slices
+            4 * n * m +                             // histogram
+            mlpFlops(1, {32ull, 16ull, 8ull, 4ull, 1ull});
+        break;
+    }
+    return trace;
+}
+
+} // namespace cegma

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Workload traces: the platform-independent description of one GMN
+ * inference that the cycle-level simulators consume (the paper's
+ * "trace-driven" methodology, Section V-A).
+ *
+ * A trace records, per layer and per graph side, the FLOPs of the
+ * aggregation and combination phases, the matching work, and — the key
+ * EMF input — the per-node duplicate classes at the feature level each
+ * matching consumes, computed by the exact WL oracle (graph/wl_refine).
+ */
+
+#ifndef CEGMA_GMN_WORKLOAD_HH
+#define CEGMA_GMN_WORKLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gmn/model.hh"
+#include "graph/dataset.hh"
+
+namespace cegma {
+
+/** One graph side's embedding work within one layer. */
+struct EmbedWork
+{
+    uint64_t aggFlops = 0;  ///< aggregation (incl.\ MGNN edge MLP)
+    uint64_t combFlops = 0; ///< combination / update MLP
+    size_t fIn = 0;         ///< input feature width
+    size_t fOut = 0;        ///< output feature width
+};
+
+/** The cross-graph matching work within one layer. */
+struct MatchingWork
+{
+    bool present = false;
+    size_t dim = 0;            ///< feature width entering the matching
+    uint64_t simFlops = 0;     ///< full (un-deduplicated) similarity
+    uint64_t crossFlops = 0;   ///< GMN-Li attention-message FLOPs
+
+    /** WL class of each target node at the matching's feature level. */
+    std::vector<uint32_t> dupClassTarget;
+    /** WL class of each query node at the matching's feature level. */
+    std::vector<uint32_t> dupClassQuery;
+    uint32_t numUniqueTarget = 0;
+    uint32_t numUniqueQuery = 0;
+
+    /** All-to-all matching pairs n*m. */
+    uint64_t totalPairs() const;
+
+    /** Pairs surviving the EMF: uniqueTarget * uniqueQuery. */
+    uint64_t uniquePairs() const;
+};
+
+/** One GMN layer's work. */
+struct LayerWork
+{
+    EmbedWork embedTarget;
+    EmbedWork embedQuery;
+    MatchingWork matching;
+};
+
+/** A full per-pair workload trace. */
+struct PairTrace
+{
+    ModelId model = ModelId::GraphSim;
+    const GraphPair *pair = nullptr;
+    uint64_t encodeFlops = 0; ///< input feature encoder
+    uint64_t postFlops = 0;   ///< readout / CNN / NTN / MLP head
+    std::vector<LayerWork> layers;
+
+    uint64_t aggFlopsTotal() const;
+    uint64_t combFlopsTotal() const;
+    uint64_t matchFlopsTotal() const; ///< sim + cross, all layers
+    uint64_t totalFlops() const;
+
+    uint64_t totalMatchPairs() const;
+    uint64_t uniqueMatchPairs() const;
+
+    /** Fraction of matching surviving the EMF (Fig. 18 metric). */
+    double uniqueMatchingFraction() const;
+};
+
+/**
+ * Build the workload trace of running model `id` on `pair`.
+ *
+ * Structure-only: no floating-point forward pass is run; duplicate
+ * classes come from the WL oracle, which tests validate against the
+ * functional models' bitwise feature equality.
+ */
+PairTrace buildTrace(ModelId id, const GraphPair &pair);
+
+/**
+ * Build a trace for a *custom* model configuration — any layer count,
+ * feature width, similarity function, matching mode (layer-wise vs
+ * model-wise), and backbone (GCN, or MGNN when crossFeedback is set).
+ * This is the API for exploring design points beyond the three Table I
+ * models (e.g.\ the layer-wise vs model-wise matching ablation).
+ */
+PairTrace buildCustomTrace(const ModelConfig &config,
+                           const GraphPair &pair);
+
+} // namespace cegma
+
+#endif // CEGMA_GMN_WORKLOAD_HH

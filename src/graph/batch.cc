@@ -1,0 +1,152 @@
+#include "graph/batch.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+NodeId
+GraphBatch::numTargetNodes() const
+{
+    NodeId total = 0;
+    for (const GraphPair *pair : pairs)
+        total += pair->target.numNodes();
+    return total;
+}
+
+NodeId
+GraphBatch::numQueryNodes() const
+{
+    NodeId total = 0;
+    for (const GraphPair *pair : pairs)
+        total += pair->query.numNodes();
+    return total;
+}
+
+uint64_t
+GraphBatch::numMatchingPairs() const
+{
+    uint64_t total = 0;
+    for (const GraphPair *pair : pairs) {
+        total += static_cast<uint64_t>(pair->target.numNodes()) *
+                 pair->query.numNodes();
+    }
+    return total;
+}
+
+std::vector<GraphBatch>
+makeBatches(const Dataset &dataset, uint32_t batch_size)
+{
+    cegma_assert(batch_size > 0);
+    std::vector<GraphBatch> batches;
+    GraphBatch current;
+    for (const GraphPair &pair : dataset.pairs) {
+        current.pairs.push_back(&pair);
+        if (current.pairs.size() == batch_size) {
+            batches.push_back(std::move(current));
+            current = GraphBatch{};
+        }
+    }
+    if (!current.pairs.empty())
+        batches.push_back(std::move(current));
+    return batches;
+}
+
+GlobalAdjacency::GlobalAdjacency(const GraphBatch &batch)
+    : batch_(&batch)
+{
+    for (const GraphPair *pair : batch.pairs) {
+        targetOffsets_.push_back(numTarget_);
+        queryOffsets_.push_back(numQuery_);
+        numTarget_ += pair->target.numNodes();
+        numQuery_ += pair->query.numNodes();
+    }
+}
+
+size_t
+GlobalAdjacency::pairOfTargetRow(NodeId row) const
+{
+    cegma_assert(row < numTarget_);
+    auto it = std::upper_bound(targetOffsets_.begin(), targetOffsets_.end(),
+                               row);
+    return static_cast<size_t>(it - targetOffsets_.begin()) - 1;
+}
+
+std::vector<uint8_t>
+GlobalAdjacency::renderDense(
+    const std::vector<std::vector<bool>> &match_mask) const
+{
+    const NodeId total = numGlobalNodes();
+    std::vector<uint8_t> pic(static_cast<size_t>(total) * total, 0);
+    auto set = [&](NodeId r, NodeId c) {
+        pic[static_cast<size_t>(r) * total + c] = 1;
+    };
+
+    for (size_t p = 0; p < batch_->pairs.size(); ++p) {
+        const GraphPair &pair = *batch_->pairs[p];
+        NodeId t_off = targetOffsets_[p];
+        NodeId q_off = numTarget_ + queryOffsets_[p];
+
+        // Intra-graph blocks (both triangles: adjacency is symmetric).
+        for (NodeId u = 0; u < pair.target.numNodes(); ++u)
+            for (NodeId v : pair.target.neighbors(u))
+                set(t_off + u, t_off + v);
+        for (NodeId u = 0; u < pair.query.numNodes(); ++u)
+            for (NodeId v : pair.query.neighbors(u))
+                set(q_off + u, q_off + v);
+
+        // Cross-graph matching block: all-to-all, unless masked out.
+        const std::vector<bool> *mask =
+            p < match_mask.size() ? &match_mask[p] : nullptr;
+        for (NodeId u = 0; u < pair.target.numNodes(); ++u) {
+            if (mask && u < mask->size() && !(*mask)[u])
+                continue;
+            for (NodeId v = 0; v < pair.query.numNodes(); ++v)
+                set(t_off + u, q_off + v);
+        }
+    }
+    return pic;
+}
+
+std::string
+GlobalAdjacency::renderAscii(
+    const std::vector<std::vector<bool>> &match_mask,
+    unsigned max_width) const
+{
+    const NodeId total = numGlobalNodes();
+    std::vector<uint8_t> pic = renderDense(match_mask);
+    unsigned cell = (total + max_width - 1) / max_width;
+    cell = std::max(1u, cell);
+    unsigned dim = (total + cell - 1) / cell;
+
+    std::string out;
+    out.reserve((dim + 1) * dim);
+    for (unsigned br = 0; br < dim; ++br) {
+        for (unsigned bc = 0; bc < dim; ++bc) {
+            uint64_t ones = 0;
+            for (NodeId r = br * cell;
+                 r < std::min<NodeId>((br + 1) * cell, total); ++r) {
+                for (NodeId c = bc * cell;
+                     c < std::min<NodeId>((bc + 1) * cell, total); ++c) {
+                    ones += pic[static_cast<size_t>(r) * total + c];
+                }
+            }
+            double density = static_cast<double>(ones) /
+                             (static_cast<double>(cell) * cell);
+            char ch = ' ';
+            if (density > 0.66) {
+                ch = '#';
+            } else if (density > 0.33) {
+                ch = '+';
+            } else if (density > 0.0) {
+                ch = '.';
+            }
+            out.push_back(ch);
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace cegma

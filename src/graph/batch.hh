@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Batched graph pairs and the global adjacency matrix layout of
+ * Figure 15: target-graph edges in the top-left block, query-graph
+ * edges in the bottom-right block, and per-pair cross-graph matching
+ * blocks along the diagonal of the top-right area.
+ */
+
+#ifndef CEGMA_GRAPH_BATCH_HH
+#define CEGMA_GRAPH_BATCH_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/dataset.hh"
+
+namespace cegma {
+
+/** A batch of graph pairs (non-owning views into a dataset). */
+struct GraphBatch
+{
+    std::vector<const GraphPair *> pairs;
+
+    /** Total target-side nodes in the batch. */
+    NodeId numTargetNodes() const;
+
+    /** Total query-side nodes in the batch. */
+    NodeId numQueryNodes() const;
+
+    /** Total cross-graph matching pairs, sum of |V_t| * |V_q|. */
+    uint64_t numMatchingPairs() const;
+};
+
+/** Split a dataset into consecutive batches of `batch_size` pairs. */
+std::vector<GraphBatch> makeBatches(const Dataset &dataset,
+                                    uint32_t batch_size);
+
+/**
+ * The Figure 15 global adjacency layout for one batch.
+ *
+ * Row/column index space: all pairs' target nodes first (in pair
+ * order), then all pairs' query nodes. Target node `t` of pair `p`
+ * sits at row targetOffset(p) + t; query node `q` at column
+ * numTargetNodes() + queryOffset(p) + q.
+ */
+class GlobalAdjacency
+{
+  public:
+    /** Build the layout for `batch`. */
+    explicit GlobalAdjacency(const GraphBatch &batch);
+
+    NodeId numTargetNodes() const { return numTarget_; }
+    NodeId numQueryNodes() const { return numQuery_; }
+    NodeId numGlobalNodes() const { return numTarget_ + numQuery_; }
+    size_t numPairs() const { return batch_->pairs.size(); }
+
+    /** Global row index of the first target node of pair p. */
+    NodeId targetOffset(size_t p) const { return targetOffsets_[p]; }
+
+    /** Offset of the first query node of pair p within the query block. */
+    NodeId queryOffset(size_t p) const { return queryOffsets_[p]; }
+
+    /** The pair that owns global target-block row `row`. */
+    size_t pairOfTargetRow(NodeId row) const;
+
+    /**
+     * Render a dense 0/1 picture of the matrix for visualization
+     * (Figure 26). `match_mask[p]` may mark target rows of pair p whose
+     * matching was filtered by the EMF; those cells render as 0.
+     *
+     * @param match_mask optional per-pair bitmaps of *kept* target rows
+     *        (empty = keep everything)
+     * @return row-major numGlobalNodes^2 vector of 0/1 chars
+     */
+    std::vector<uint8_t> renderDense(
+        const std::vector<std::vector<bool>> &match_mask = {}) const;
+
+    /** ASCII-art rendering (one char per `cell` x `cell` block). */
+    std::string renderAscii(
+        const std::vector<std::vector<bool>> &match_mask = {},
+        unsigned max_width = 96) const;
+
+  private:
+    const GraphBatch *batch_;
+    NodeId numTarget_ = 0;
+    NodeId numQuery_ = 0;
+    std::vector<NodeId> targetOffsets_;
+    std::vector<NodeId> queryOffsets_;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_GRAPH_BATCH_HH

@@ -1,0 +1,120 @@
+#include "graph/dataset.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "graph/generators.hh"
+
+namespace cegma {
+
+const std::vector<DatasetId> &
+allDatasets()
+{
+    static const std::vector<DatasetId> ids = {
+        DatasetId::AIDS, DatasetId::COLLAB, DatasetId::GITHUB,
+        DatasetId::RD_B, DatasetId::RD_5K, DatasetId::RD_12K,
+    };
+    return ids;
+}
+
+const DatasetSpec &
+datasetSpec(DatasetId id)
+{
+    static const DatasetSpec specs[] = {
+        {DatasetId::AIDS, "AIDS", 15.69, 16.20, 200, "small-sized", true},
+        {DatasetId::COLLAB, "COLLAB", 74.49, 2457.78, 500, "small-sized",
+         false},
+        {DatasetId::GITHUB, "GITHUB", 113.79, 234.64, 1273, "middle-sized",
+         false},
+        {DatasetId::RD_B, "RD-B", 429.63, 497.75, 200, "middle-sized",
+         false},
+        {DatasetId::RD_5K, "RD-5K", 508.52, 594.87, 500, "large-sized",
+         false},
+        {DatasetId::RD_12K, "RD-12K", 391.41, 456.89, 1193, "large-sized",
+         false},
+    };
+    for (const auto &spec : specs) {
+        if (spec.id == id)
+            return spec;
+    }
+    panic("unknown dataset id %d", static_cast<int>(id));
+}
+
+double
+Dataset::measuredAvgNodes() const
+{
+    if (pairs.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &pair : pairs)
+        total += pair.target.numNodes() + pair.query.numNodes();
+    return total / (2.0 * static_cast<double>(pairs.size()));
+}
+
+double
+Dataset::measuredAvgEdges() const
+{
+    if (pairs.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &pair : pairs)
+        total += static_cast<double>(pair.target.numEdges()) +
+                 static_cast<double>(pair.query.numEdges());
+    return total / (2.0 * static_cast<double>(pairs.size()));
+}
+
+Graph
+makeDatasetGraph(DatasetId id, NodeId n, Rng &rng)
+{
+    const DatasetSpec &spec = datasetSpec(id);
+    double edge_ratio = spec.avgEdges / spec.avgNodes;
+    auto target_edges = static_cast<uint64_t>(edge_ratio * n);
+    switch (id) {
+      case DatasetId::AIDS:
+        return moleculeGraph(n, 12, rng);
+      case DatasetId::COLLAB:
+        return egoCollabGraph(n, target_edges, rng);
+      case DatasetId::GITHUB:
+        return sparseSocialGraph(n, target_edges, rng);
+      case DatasetId::RD_B:
+      case DatasetId::RD_5K:
+      case DatasetId::RD_12K:
+        return threadGraph(n, target_edges, rng);
+    }
+    panic("unknown dataset id %d", static_cast<int>(id));
+}
+
+GraphPair
+makePairFromOriginal(const Graph &original, bool similar, Rng &rng)
+{
+    GraphPair pair;
+    pair.similar = similar;
+    pair.target = original;
+    pair.query = original.substituteEdges(similar ? 1 : 4, rng);
+    return pair;
+}
+
+Dataset
+makeDataset(DatasetId id, uint64_t seed, uint32_t max_pairs)
+{
+    const DatasetSpec &spec = datasetSpec(id);
+    Dataset ds;
+    ds.spec = spec;
+
+    uint32_t count = spec.numTestPairs;
+    if (max_pairs > 0)
+        count = std::min(count, max_pairs);
+
+    // Mix the dataset id into the seed so datasets are independent.
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(id) + 1);
+
+    ds.pairs.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        NodeId n = sampleGraphSize(spec.avgNodes, 0.35, 5, rng);
+        Graph original = makeDatasetGraph(id, n, rng);
+        bool similar = (i % 2) == 0;
+        ds.pairs.push_back(makePairFromOriginal(original, similar, rng));
+    }
+    return ds;
+}
+
+} // namespace cegma

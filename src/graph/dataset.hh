@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The six evaluation datasets from Table II of the paper, realized as
+ * seeded synthetic graph-pair collections, plus the paper's pair
+ * construction protocol (substitute 1 edge for a similar pair, 4 edges
+ * for a dissimilar pair; evaluate on the 10% test split).
+ */
+
+#ifndef CEGMA_GRAPH_DATASET_HH
+#define CEGMA_GRAPH_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace cegma {
+
+class Rng;
+
+/** Dataset identifiers matching Table II. */
+enum class DatasetId
+{
+    AIDS,
+    COLLAB,
+    GITHUB,
+    RD_B,
+    RD_5K,
+    RD_12K,
+};
+
+/** All six datasets, in the paper's presentation order. */
+const std::vector<DatasetId> &allDatasets();
+
+/** Static description of a dataset (the Table II row). */
+struct DatasetSpec
+{
+    DatasetId id;
+    std::string name;       ///< Display name, e.g.\ "AIDS".
+    double avgNodes;        ///< Paper's average node count.
+    double avgEdges;        ///< Paper's average edge count.
+    uint32_t numTestPairs;  ///< Paper's test-set pair count.
+    std::string scale;      ///< small/middle/large-sized.
+    bool labeled;           ///< Whether nodes carry type labels.
+};
+
+/** @return the Table II spec for `id`. */
+const DatasetSpec &datasetSpec(DatasetId id);
+
+/** A (target, query) graph pair with its similarity ground truth. */
+struct GraphPair
+{
+    Graph target;
+    Graph query;
+    bool similar; ///< true if the query is the 1-edge perturbation.
+};
+
+/** A realized dataset: spec plus generated test pairs. */
+struct Dataset
+{
+    DatasetSpec spec;
+    std::vector<GraphPair> pairs;
+
+    /** Measured average node count across both sides of all pairs. */
+    double measuredAvgNodes() const;
+
+    /** Measured average edge count across both sides of all pairs. */
+    double measuredAvgEdges() const;
+};
+
+/**
+ * Build dataset `id` deterministically from `seed`.
+ *
+ * @param id which dataset
+ * @param seed RNG seed (default reproduces the repository's tables)
+ * @param max_pairs if nonzero, generate at most this many pairs
+ *        (benchmarks use this to bound runtime; statistics are
+ *        unaffected because pairs are i.i.d.)
+ */
+Dataset makeDataset(DatasetId id, uint64_t seed = 7,
+                    uint32_t max_pairs = 0);
+
+/** Generate one original graph for dataset `id` of size `n`. */
+Graph makeDatasetGraph(DatasetId id, NodeId n, Rng &rng);
+
+/**
+ * Make a (target, query) pair from an original graph per the paper's
+ * protocol: positive pairs substitute 1 edge, negative pairs 4.
+ */
+GraphPair makePairFromOriginal(const Graph &original, bool similar,
+                               Rng &rng);
+
+} // namespace cegma
+
+#endif // CEGMA_GRAPH_DATASET_HH

@@ -1,0 +1,254 @@
+#include "graph/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cegma {
+
+namespace {
+
+uint64_t
+edgeKey(NodeId u, NodeId v)
+{
+    if (u > v)
+        std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+/** Add up to `count` random chords not already present. */
+void
+addRandomChords(std::vector<Edge> &edges, std::unordered_set<uint64_t> &seen,
+                NodeId n, uint64_t count, Rng &rng)
+{
+    uint64_t added = 0;
+    uint64_t attempts = 0;
+    const uint64_t max_attempts = 32 * (count + 8);
+    while (added < count && attempts < max_attempts) {
+        ++attempts;
+        NodeId u = static_cast<NodeId>(rng.nextBounded(n));
+        NodeId v = static_cast<NodeId>(rng.nextBounded(n));
+        if (u == v)
+            continue;
+        if (seen.insert(edgeKey(u, v)).second) {
+            edges.push_back({u, v});
+            ++added;
+        }
+    }
+}
+
+} // namespace
+
+Graph
+erdosRenyiGnm(NodeId n, uint64_t m, Rng &rng)
+{
+    cegma_assert(n >= 2);
+    uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+    m = std::min(m, max_edges);
+    std::vector<Edge> edges;
+    edges.reserve(m);
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(m * 2);
+    addRandomChords(edges, seen, n, m, rng);
+    return Graph::fromEdges(n, edges);
+}
+
+Graph
+barabasiAlbert(NodeId n, uint32_t m_attach, Rng &rng)
+{
+    cegma_assert(n >= 2 && m_attach >= 1);
+    std::vector<Edge> edges;
+    std::unordered_set<uint64_t> seen;
+    // endpoint multiset: each occurrence weights a node by its degree.
+    std::vector<NodeId> endpoints;
+    endpoints.push_back(0);
+    for (NodeId v = 1; v < n; ++v) {
+        uint32_t attach = std::min<uint32_t>(m_attach, v);
+        std::unordered_set<NodeId> targets;
+        uint32_t guard = 0;
+        while (targets.size() < attach && guard < 16 * attach + 32) {
+            ++guard;
+            NodeId t = endpoints[rng.nextBounded(endpoints.size())];
+            targets.insert(t);
+        }
+        for (NodeId t : targets) {
+            if (seen.insert(edgeKey(v, t)).second) {
+                edges.push_back({v, t});
+                endpoints.push_back(v);
+                endpoints.push_back(t);
+            }
+        }
+    }
+    return Graph::fromEdges(n, edges);
+}
+
+Graph
+moleculeGraph(NodeId n, uint32_t num_labels, Rng &rng)
+{
+    cegma_assert(n >= 2 && num_labels >= 1);
+    std::vector<Edge> edges;
+    std::unordered_set<uint64_t> seen;
+    std::vector<uint32_t> degree(n, 0);
+
+    // Backbone: a random tree honoring a valence cap of 4. Half the
+    // atoms attach to recent hubs (repeated methyl-like groups), which
+    // produces the duplicate functional groups the paper observes in
+    // molecular data.
+    for (NodeId v = 1; v < n; ++v) {
+        NodeId parent;
+        uint32_t guard = 0;
+        do {
+            if (v >= 4 && rng.nextBool(0.5)) {
+                // Attach to a recent backbone atom, forming sibling
+                // leaves that share isomorphic neighborhoods.
+                parent = static_cast<NodeId>(
+                    v - 1 - rng.nextBounded(std::min<NodeId>(v, 4)));
+            } else {
+                parent = static_cast<NodeId>(rng.nextBounded(v));
+            }
+            ++guard;
+        } while (degree[parent] >= 4 && guard < 64);
+        edges.push_back({v, parent});
+        seen.insert(edgeKey(v, parent));
+        ++degree[v];
+        ++degree[parent];
+    }
+
+    // Ring closures: roughly one extra edge per 12 atoms keeps
+    // |E| close to |V| as in the AIDS statistics.
+    addRandomChords(edges, seen, n, n / 12, rng);
+
+    // Skewed atom-type labels: carbon-heavy, tail across the rest.
+    std::vector<uint32_t> labels(n);
+    for (NodeId v = 0; v < n; ++v) {
+        double r = rng.nextDouble();
+        if (r < 0.72) {
+            labels[v] = 0; // "carbon"
+        } else if (r < 0.86) {
+            labels[v] = 1; // "oxygen"
+        } else if (r < 0.96) {
+            labels[v] = 2; // "nitrogen"
+        } else {
+            labels[v] = 3 + static_cast<uint32_t>(
+                rng.nextBounded(std::max<uint32_t>(1, num_labels - 3)));
+        }
+    }
+    return Graph::fromEdges(n, edges, std::move(labels));
+}
+
+Graph
+egoCollabGraph(NodeId n, uint64_t target_edges, Rng &rng)
+{
+    cegma_assert(n >= 3);
+    // Partition nodes (minus the ego, node 0) into 1-3 communities.
+    uint32_t num_comms = 1 + static_cast<uint32_t>(rng.nextBounded(3));
+    std::vector<uint32_t> comm(n, 0);
+    for (NodeId v = 1; v < n; ++v)
+        comm[v] = static_cast<uint32_t>(rng.nextBounded(num_comms));
+
+    // Possible intra-community edges (ego joins every community).
+    std::vector<uint64_t> comm_size(num_comms, 0);
+    for (NodeId v = 1; v < n; ++v)
+        ++comm_size[comm[v]];
+    uint64_t possible = 0;
+    for (uint64_t s : comm_size) {
+        uint64_t members = s + 1; // +1 for the ego
+        possible += members * (members - 1) / 2;
+    }
+    double p = possible ? std::min(1.0,
+        static_cast<double>(target_edges) / static_cast<double>(possible))
+        : 1.0;
+
+    std::vector<Edge> edges;
+    std::unordered_set<uint64_t> seen;
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) {
+            bool same = (u == 0) || (v == 0) || (comm[u] == comm[v]);
+            if (same && rng.nextBool(p)) {
+                if (seen.insert(edgeKey(u, v)).second)
+                    edges.push_back({u, v});
+            }
+        }
+    }
+    return Graph::fromEdges(n, edges);
+}
+
+Graph
+sparseSocialGraph(NodeId n, uint64_t target_edges, Rng &rng)
+{
+    cegma_assert(n >= 2);
+    uint32_t attach = std::max<uint32_t>(
+        1, static_cast<uint32_t>(target_edges / std::max<NodeId>(1, n)));
+    Graph base = barabasiAlbert(n, attach, rng);
+    std::vector<Edge> edges = base.edgeList();
+    std::unordered_set<uint64_t> seen;
+    for (const auto &[u, v] : edges)
+        seen.insert(edgeKey(u, v));
+    if (edges.size() < target_edges)
+        addRandomChords(edges, seen, n, target_edges - edges.size(), rng);
+    return Graph::fromEdges(n, edges);
+}
+
+Graph
+threadGraph(NodeId n, uint64_t target_edges, Rng &rng)
+{
+    cegma_assert(n >= 2);
+    // Hubs are original posts; the rest are replies attaching to a hub
+    // (or an existing reply) with strong preference for big threads.
+    NodeId num_hubs = std::max<NodeId>(2, n / 48);
+    std::vector<Edge> edges;
+    std::unordered_set<uint64_t> seen;
+
+    // Hub backbone tree.
+    for (NodeId h = 1; h < num_hubs; ++h) {
+        NodeId parent = static_cast<NodeId>(rng.nextBounded(h));
+        edges.push_back({h, parent});
+        seen.insert(edgeKey(h, parent));
+    }
+
+    // Replies: preferential attachment restricted mostly to hubs so
+    // hubs collect many structurally equivalent leaves.
+    std::vector<NodeId> endpoints;
+    for (NodeId h = 0; h < num_hubs; ++h)
+        endpoints.push_back(h);
+    for (NodeId v = num_hubs; v < n; ++v) {
+        NodeId parent;
+        if (rng.nextBool(0.85)) {
+            parent = endpoints[rng.nextBounded(endpoints.size())];
+        } else {
+            parent = static_cast<NodeId>(rng.nextBounded(v));
+        }
+        if (parent == v)
+            parent = static_cast<NodeId>(rng.nextBounded(num_hubs));
+        edges.push_back({v, parent});
+        seen.insert(edgeKey(v, parent));
+        endpoints.push_back(parent); // rich-get-richer on thread size
+    }
+
+    if (edges.size() < target_edges)
+        addRandomChords(edges, seen, n, target_edges - edges.size(), rng);
+    return Graph::fromEdges(n, edges);
+}
+
+Graph
+randomGraphLi(NodeId n, Rng &rng, double avg_degree)
+{
+    uint64_t m = static_cast<uint64_t>(
+        std::llround(avg_degree * static_cast<double>(n) / 2.0));
+    return erdosRenyiGnm(n, std::max<uint64_t>(1, m), rng);
+}
+
+NodeId
+sampleGraphSize(double avg, double sigma, NodeId min_n, Rng &rng)
+{
+    // Lognormal around avg: E[exp(sigma Z - sigma^2/2)] = 1.
+    double z = rng.nextGaussian();
+    double v = avg * std::exp(sigma * z - sigma * sigma / 2.0);
+    auto n = static_cast<NodeId>(std::llround(v));
+    return std::max(min_n, n);
+}
+
+} // namespace cegma

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Seeded synthetic graph generators.
+ *
+ * These stand in for the paper's real datasets (Table II): each family
+ * reproduces the topology statistics that drive CEGMA's mechanisms —
+ * average node/edge counts (window scheduling, DRAM traffic) and the
+ * prevalence of duplicate l-hop neighborhoods (EMF hit rate). See
+ * DESIGN.md, "Substitutions".
+ */
+
+#ifndef CEGMA_GRAPH_GENERATORS_HH
+#define CEGMA_GRAPH_GENERATORS_HH
+
+#include "graph/graph.hh"
+
+namespace cegma {
+
+class Rng;
+
+/** Erdős–Rényi G(n, m): n nodes, m uniformly random distinct edges. */
+Graph erdosRenyiGnm(NodeId n, uint64_t m, Rng &rng);
+
+/**
+ * Barabási–Albert preferential attachment: each new node attaches to
+ * `m_attach` existing nodes chosen proportionally to degree.
+ */
+Graph barabasiAlbert(NodeId n, uint32_t m_attach, Rng &rng);
+
+/**
+ * AIDS-style molecule graph: a labeled backbone tree with ring closures
+ * and repeated functional groups. Labels follow a skewed atom-type
+ * distribution (C-heavy), so duplicate leaves/groups are common but far
+ * less prevalent than in the social-graph families.
+ *
+ * @param n node count
+ * @param num_labels number of atom-type labels to draw from
+ */
+Graph moleculeGraph(NodeId n, uint32_t num_labels, Rng &rng);
+
+/**
+ * COLLAB-style ego-collaboration graph: a handful of overlapping
+ * near-cliques around an ego node. Dense (average degree ~60); nodes
+ * fully inside one clique are structurally equivalent, giving sizable
+ * duplicate classes despite the density.
+ *
+ * @param n node count
+ * @param target_edges approximate edge count to hit
+ */
+Graph egoCollabGraph(NodeId n, uint64_t target_edges, Rng &rng);
+
+/**
+ * GITHUB-style sparse social graph: preferential attachment backbone
+ * plus a few random chords; power-law-ish degrees with many degree-1
+ * followers (duplicates).
+ */
+Graph sparseSocialGraph(NodeId n, uint64_t target_edges, Rng &rng);
+
+/**
+ * REDDIT-style discussion-thread graph: a forest of reply threads —
+ * a few hub posts with many leaf replies, hubs joined by a sparse
+ * tree, plus a few chords. Edge count stays within a few percent of
+ * node count (Table II: |E| ~ 1.16 |V|), and the many same-hub leaves
+ * produce the >90% duplicate-matching ratios the paper reports.
+ */
+Graph threadGraph(NodeId n, uint64_t target_edges, Rng &rng);
+
+/**
+ * The random graphs used by the paper's scaling studies (Figs. 2 and
+ * 25), "generated following [24]": sparse uniform random graphs with a
+ * constant average degree, so duplicate local structure grows with n.
+ *
+ * @param n node count
+ * @param avg_degree average node degree (default 2 — REDDIT-like
+ *        sparsity; see EXPERIMENTS.md)
+ */
+Graph randomGraphLi(NodeId n, Rng &rng, double avg_degree = 2.0);
+
+/**
+ * Sample a graph size around `avg` with lognormal spread `sigma`,
+ * clamped to at least `min_n`.
+ */
+NodeId sampleGraphSize(double avg, double sigma, NodeId min_n, Rng &rng);
+
+} // namespace cegma
+
+#endif // CEGMA_GRAPH_GENERATORS_HH

@@ -1,0 +1,159 @@
+#include "graph/graph.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cegma {
+
+namespace {
+
+/** Pack an undirected edge into a canonical 64-bit key. */
+uint64_t
+edgeKey(NodeId u, NodeId v)
+{
+    if (u > v)
+        std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+} // namespace
+
+Graph
+Graph::fromEdges(NodeId num_nodes, const std::vector<Edge> &edges,
+                 std::vector<uint32_t> labels)
+{
+    Graph g;
+    g.numNodes_ = num_nodes;
+    if (labels.empty()) {
+        g.labels_.assign(num_nodes, 0);
+    } else {
+        cegma_assert(labels.size() == num_nodes);
+        g.labels_ = std::move(labels);
+    }
+
+    // Deduplicate, drop self loops, then build CSR via counting sort.
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(edges.size() * 2);
+    std::vector<Edge> unique;
+    unique.reserve(edges.size());
+    for (const auto &[u, v] : edges) {
+        cegma_assert(u < num_nodes && v < num_nodes);
+        if (u == v)
+            continue;
+        if (seen.insert(edgeKey(u, v)).second)
+            unique.push_back({u, v});
+    }
+
+    std::vector<uint32_t> deg(num_nodes, 0);
+    for (const auto &[u, v] : unique) {
+        ++deg[u];
+        ++deg[v];
+    }
+    g.rowOffsets_.assign(num_nodes + 1, 0);
+    for (NodeId v = 0; v < num_nodes; ++v)
+        g.rowOffsets_[v + 1] = g.rowOffsets_[v] + deg[v];
+    g.neighbors_.resize(g.rowOffsets_[num_nodes]);
+
+    std::vector<uint64_t> cursor(g.rowOffsets_.begin(),
+                                 g.rowOffsets_.end() - 1);
+    for (const auto &[u, v] : unique) {
+        g.neighbors_[cursor[u]++] = v;
+        g.neighbors_[cursor[v]++] = u;
+    }
+    for (NodeId v = 0; v < num_nodes; ++v) {
+        std::sort(g.neighbors_.begin() + g.rowOffsets_[v],
+                  g.neighbors_.begin() + g.rowOffsets_[v + 1]);
+    }
+    return g;
+}
+
+uint32_t
+Graph::degree(NodeId v) const
+{
+    cegma_assert(v < numNodes_);
+    return static_cast<uint32_t>(rowOffsets_[v + 1] - rowOffsets_[v]);
+}
+
+std::span<const NodeId>
+Graph::neighbors(NodeId v) const
+{
+    cegma_assert(v < numNodes_);
+    return {neighbors_.data() + rowOffsets_[v],
+            neighbors_.data() + rowOffsets_[v + 1]};
+}
+
+uint32_t
+Graph::numDistinctLabels() const
+{
+    std::unordered_set<uint32_t> distinct(labels_.begin(), labels_.end());
+    return static_cast<uint32_t>(distinct.size());
+}
+
+bool
+Graph::hasEdge(NodeId u, NodeId v) const
+{
+    auto ns = neighbors(u);
+    return std::binary_search(ns.begin(), ns.end(), v);
+}
+
+std::vector<Edge>
+Graph::edgeList() const
+{
+    std::vector<Edge> out;
+    out.reserve(numEdges());
+    for (NodeId u = 0; u < numNodes_; ++u) {
+        for (NodeId v : neighbors(u)) {
+            if (u < v)
+                out.push_back({u, v});
+        }
+    }
+    return out;
+}
+
+Graph
+Graph::substituteEdges(uint32_t k, Rng &rng) const
+{
+    std::vector<Edge> edges = edgeList();
+    if (edges.empty() || numNodes_ < 3)
+        return *this;
+
+    k = std::min<uint32_t>(k, static_cast<uint32_t>(edges.size()));
+
+    // Remove k random existing edges.
+    auto removed = rng.sampleDistinct(static_cast<uint32_t>(edges.size()), k);
+    std::sort(removed.begin(), removed.end(), std::greater<>());
+    for (uint32_t idx : removed) {
+        edges[idx] = edges.back();
+        edges.pop_back();
+    }
+
+    // Add k random non-edges (w.r.t. the current working edge set).
+    std::unordered_set<uint64_t> present;
+    present.reserve(edges.size() * 2);
+    for (const auto &[u, v] : edges)
+        present.insert((static_cast<uint64_t>(std::min(u, v)) << 32) |
+                       std::max(u, v));
+    uint32_t added = 0;
+    uint32_t attempts = 0;
+    const uint32_t max_attempts = 64 * (k + 1);
+    while (added < k && attempts < max_attempts) {
+        ++attempts;
+        NodeId u = static_cast<NodeId>(rng.nextBounded(numNodes_));
+        NodeId v = static_cast<NodeId>(rng.nextBounded(numNodes_));
+        if (u == v)
+            continue;
+        uint64_t key = (static_cast<uint64_t>(std::min(u, v)) << 32) |
+                       std::max(u, v);
+        if (present.insert(key).second) {
+            edges.push_back({u, v});
+            ++added;
+        }
+    }
+
+    return fromEdges(numNodes_, edges, labels_);
+}
+
+} // namespace cegma

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The undirected labeled graph type used throughout CEGMA, stored in
+ * compressed sparse row (CSR) form with sorted adjacency lists.
+ */
+
+#ifndef CEGMA_GRAPH_GRAPH_HH
+#define CEGMA_GRAPH_GRAPH_HH
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace cegma {
+
+using NodeId = uint32_t;
+
+/** An undirected edge as an (unordered) node pair. */
+using Edge = std::pair<NodeId, NodeId>;
+
+/**
+ * An undirected graph with optional integer node labels, in CSR form.
+ *
+ * Adjacency lists are sorted, self-loops are rejected, and parallel
+ * edges are deduplicated at construction.
+ */
+class Graph
+{
+  public:
+    /** An empty graph. */
+    Graph() = default;
+
+    /**
+     * Build from an edge list.
+     *
+     * @param num_nodes node count; all edge endpoints must be < num_nodes
+     * @param edges undirected edges (duplicates and self-loops dropped)
+     * @param labels per-node labels; empty means all nodes labeled 0
+     */
+    static Graph fromEdges(NodeId num_nodes,
+                           const std::vector<Edge> &edges,
+                           std::vector<uint32_t> labels = {});
+
+    /** @return node count. */
+    NodeId numNodes() const { return numNodes_; }
+
+    /** @return undirected edge count. */
+    uint64_t numEdges() const { return neighbors_.size() / 2; }
+
+    /** @return directed-arc count (2x undirected edges). */
+    uint64_t numArcs() const { return neighbors_.size(); }
+
+    /** @return degree of node v. */
+    uint32_t degree(NodeId v) const;
+
+    /** @return sorted neighbor list of node v. */
+    std::span<const NodeId> neighbors(NodeId v) const;
+
+    /** @return label of node v. */
+    uint32_t label(NodeId v) const { return labels_[v]; }
+
+    /** @return the full label vector. */
+    const std::vector<uint32_t> &labels() const { return labels_; }
+
+    /** @return number of distinct label values present. */
+    uint32_t numDistinctLabels() const;
+
+    /** @return true if the (u, v) edge exists. */
+    bool hasEdge(NodeId u, NodeId v) const;
+
+    /** @return the canonical (u < v) undirected edge list. */
+    std::vector<Edge> edgeList() const;
+
+    /**
+     * Copy with `k` edges substituted: `k` random existing edges are
+     * removed and `k` random non-edges added (the paper's similar /
+     * dissimilar pair construction with n_positive=1 / n_negative=4).
+     */
+    Graph substituteEdges(uint32_t k, class Rng &rng) const;
+
+  private:
+    NodeId numNodes_ = 0;
+    std::vector<uint64_t> rowOffsets_;
+    std::vector<NodeId> neighbors_;
+    std::vector<uint32_t> labels_;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_GRAPH_GRAPH_HH

@@ -1,0 +1,89 @@
+#include "graph/wl_refine.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "hash/xxhash.hh"
+
+namespace cegma {
+
+namespace {
+
+/** Compact a signature vector into dense first-occurrence class ids. */
+std::vector<uint32_t>
+compact(const std::vector<uint64_t> &sigs, uint32_t &num_classes)
+{
+    std::unordered_map<uint64_t, uint32_t> ids;
+    ids.reserve(sigs.size());
+    std::vector<uint32_t> colors(sigs.size());
+    for (size_t v = 0; v < sigs.size(); ++v) {
+        auto it = ids.find(sigs[v]);
+        if (it == ids.end()) {
+            it = ids.emplace(sigs[v],
+                             static_cast<uint32_t>(ids.size())).first;
+        }
+        colors[v] = it->second;
+    }
+    num_classes = static_cast<uint32_t>(ids.size());
+    return colors;
+}
+
+} // namespace
+
+double
+WlColoring::duplicateFraction(size_t l) const
+{
+    cegma_assert(l < colors.size());
+    size_t n = colors[l].size();
+    if (n == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(numClasses[l]) / static_cast<double>(n);
+}
+
+WlColoring
+wlRefine(const Graph &g, unsigned num_layers)
+{
+    WlColoring out;
+    const NodeId n = g.numNodes();
+
+    // Level 0: hash of the node label (canonical across graphs).
+    std::vector<uint64_t> sigs(n);
+    for (NodeId v = 0; v < n; ++v) {
+        uint32_t label = g.label(v);
+        uint32_t lo = xxhash32(&label, sizeof(label), 0x57ac0001u);
+        uint32_t hi = xxhash32(&label, sizeof(label), 0x57ac0002u);
+        sigs[v] = (static_cast<uint64_t>(hi) << 32) | lo;
+    }
+    out.signatures.push_back(sigs);
+    out.numClasses.emplace_back();
+    out.colors.push_back(compact(sigs, out.numClasses.back()));
+
+    std::vector<uint64_t> next(n);
+    std::vector<uint64_t> neigh;
+    for (unsigned l = 0; l < num_layers; ++l) {
+        const auto &cur = out.signatures.back();
+        for (NodeId v = 0; v < n; ++v) {
+            neigh.clear();
+            for (NodeId u : g.neighbors(v))
+                neigh.push_back(cur[u]);
+            std::sort(neigh.begin(), neigh.end());
+
+            XxHash32Stream lo(0xcefa0001u), hi(0xcefa0002u);
+            lo.update(&cur[v], sizeof(uint64_t));
+            hi.update(&cur[v], sizeof(uint64_t));
+            if (!neigh.empty()) {
+                lo.update(neigh.data(), neigh.size() * sizeof(uint64_t));
+                hi.update(neigh.data(), neigh.size() * sizeof(uint64_t));
+            }
+            next[v] = (static_cast<uint64_t>(hi.digest()) << 32) |
+                      lo.digest();
+        }
+        out.signatures.push_back(next);
+        out.numClasses.emplace_back();
+        out.colors.push_back(compact(next, out.numClasses.back()));
+    }
+    return out;
+}
+
+} // namespace cegma

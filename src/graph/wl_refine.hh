@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Weisfeiler-Lehman color refinement: the exact oracle for CEGMA's
+ * duplicate nodes.
+ *
+ * A GNN layer computes a node's new feature from its own feature and the
+ * multiset of its neighbors' features. With the deterministic,
+ * class-ordered aggregation our nn layers use, two nodes get bitwise
+ * identical layer-l features exactly when their depth-l WL colors match.
+ * WL refinement therefore predicts the Elastic Matching Filter's
+ * duplicate sets without running the floating-point model — and the
+ * tests validate that prediction against the real forward pass.
+ *
+ * Colors are derived from XXHash signatures of (own color, sorted
+ * neighbor colors), so they are *canonical across graphs*: equal
+ * signatures mean isomorphic depth-l neighborhoods even for nodes in
+ * different graphs (used by the shared-query search extension).
+ */
+
+#ifndef CEGMA_GRAPH_WL_REFINE_HH
+#define CEGMA_GRAPH_WL_REFINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace cegma {
+
+/** Per-layer WL coloring of one graph. */
+struct WlColoring
+{
+    /**
+     * signatures[l][v]: canonical 64-bit signature of node v's depth-l
+     * neighborhood. Layer 0 encodes the node label only.
+     */
+    std::vector<std::vector<uint64_t>> signatures;
+
+    /**
+     * colors[l][v]: compact per-graph class id in [0, numClasses[l]),
+     * assigned in first-occurrence order of the signatures.
+     */
+    std::vector<std::vector<uint32_t>> colors;
+
+    /** numClasses[l]: number of distinct depth-l classes. */
+    std::vector<uint32_t> numClasses;
+
+    /** @return number of refinement levels stored (layers + 1). */
+    size_t numLevels() const { return colors.size(); }
+
+    /** Duplicate fraction at level l: 1 - numClasses/numNodes. */
+    double duplicateFraction(size_t l) const;
+};
+
+/**
+ * Run `num_layers` rounds of WL refinement on `g`.
+ *
+ * @param g the graph
+ * @param num_layers rounds beyond the initial label coloring
+ * @return coloring with num_layers + 1 levels
+ */
+WlColoring wlRefine(const Graph &g, unsigned num_layers);
+
+} // namespace cegma
+
+#endif // CEGMA_GRAPH_WL_REFINE_HH

@@ -1,0 +1,177 @@
+#include "hash/xxhash.hh"
+
+#include <cstring>
+
+namespace cegma {
+
+namespace {
+
+constexpr uint32_t PRIME1 = 0x9E3779B1u;
+constexpr uint32_t PRIME2 = 0x85EBCA77u;
+constexpr uint32_t PRIME3 = 0xC2B2AE3Du;
+constexpr uint32_t PRIME4 = 0x27D4EB2Fu;
+constexpr uint32_t PRIME5 = 0x165667B1u;
+
+uint32_t
+rotl32(uint32_t x, int r)
+{
+    return (x << r) | (x >> (32 - r));
+}
+
+uint32_t
+read32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v; // little-endian hosts assumed (x86/ARM little-endian)
+}
+
+/** Consume one 4-byte lane into a stripe accumulator. */
+uint32_t
+round(uint32_t acc, uint32_t lane)
+{
+    acc += lane * PRIME2;
+    acc = rotl32(acc, 13);
+    acc *= PRIME1;
+    return acc;
+}
+
+/** Final mixing (avalanche) of the pre-digest. */
+uint32_t
+avalanche(uint32_t h)
+{
+    h ^= h >> 15;
+    h *= PRIME2;
+    h ^= h >> 13;
+    h *= PRIME3;
+    h ^= h >> 16;
+    return h;
+}
+
+/** Fold trailing (<16) bytes and avalanche. */
+uint32_t
+finalize(uint32_t h, const uint8_t *p, size_t len)
+{
+    while (len >= 4) {
+        h += read32(p) * PRIME3;
+        h = rotl32(h, 17) * PRIME4;
+        p += 4;
+        len -= 4;
+    }
+    while (len > 0) {
+        h += (*p) * PRIME5;
+        h = rotl32(h, 11) * PRIME1;
+        ++p;
+        --len;
+    }
+    return avalanche(h);
+}
+
+} // namespace
+
+uint32_t
+xxhash32(const void *data, size_t len, uint32_t seed)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    const size_t total = len;
+    uint32_t h;
+
+    if (len >= 16) {
+        uint32_t acc1 = seed + PRIME1 + PRIME2;
+        uint32_t acc2 = seed + PRIME2;
+        uint32_t acc3 = seed;
+        uint32_t acc4 = seed - PRIME1;
+        while (len >= 16) {
+            acc1 = round(acc1, read32(p));
+            acc2 = round(acc2, read32(p + 4));
+            acc3 = round(acc3, read32(p + 8));
+            acc4 = round(acc4, read32(p + 12));
+            p += 16;
+            len -= 16;
+        }
+        h = rotl32(acc1, 1) + rotl32(acc2, 7) +
+            rotl32(acc3, 12) + rotl32(acc4, 18);
+    } else {
+        h = seed + PRIME5;
+    }
+
+    h += static_cast<uint32_t>(total);
+    return finalize(h, p, len);
+}
+
+XxHash32Stream::XxHash32Stream(uint32_t seed)
+    : seed_(seed)
+{
+    reset();
+}
+
+void
+XxHash32Stream::reset()
+{
+    acc_[0] = seed_ + PRIME1 + PRIME2;
+    acc_[1] = seed_ + PRIME2;
+    acc_[2] = seed_;
+    acc_[3] = seed_ - PRIME1;
+    bufferLen_ = 0;
+    totalLen_ = 0;
+}
+
+void
+XxHash32Stream::update(const void *data, size_t len)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    totalLen_ += len;
+
+    // Top up a partially filled stripe buffer first.
+    if (bufferLen_ > 0) {
+        size_t need = 16 - bufferLen_;
+        size_t take = len < need ? len : need;
+        std::memcpy(buffer_ + bufferLen_, p, take);
+        bufferLen_ += take;
+        p += take;
+        len -= take;
+        if (bufferLen_ < 16)
+            return;
+        acc_[0] = round(acc_[0], read32(buffer_));
+        acc_[1] = round(acc_[1], read32(buffer_ + 4));
+        acc_[2] = round(acc_[2], read32(buffer_ + 8));
+        acc_[3] = round(acc_[3], read32(buffer_ + 12));
+        bufferLen_ = 0;
+    }
+
+    while (len >= 16) {
+        acc_[0] = round(acc_[0], read32(p));
+        acc_[1] = round(acc_[1], read32(p + 4));
+        acc_[2] = round(acc_[2], read32(p + 8));
+        acc_[3] = round(acc_[3], read32(p + 12));
+        p += 16;
+        len -= 16;
+    }
+
+    if (len > 0) {
+        std::memcpy(buffer_, p, len);
+        bufferLen_ = len;
+    }
+}
+
+uint32_t
+XxHash32Stream::digest() const
+{
+    uint32_t h;
+    if (totalLen_ >= 16) {
+        h = rotl32(acc_[0], 1) + rotl32(acc_[1], 7) +
+            rotl32(acc_[2], 12) + rotl32(acc_[3], 18);
+    } else {
+        h = seed_ + PRIME5;
+    }
+    h += static_cast<uint32_t>(totalLen_);
+    return finalize(h, buffer_, bufferLen_);
+}
+
+uint32_t
+hashFeatureVector(const float *values, size_t count, uint32_t seed)
+{
+    return xxhash32(values, count * sizeof(float), seed);
+}
+
+} // namespace cegma

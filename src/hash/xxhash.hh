@@ -1,0 +1,64 @@
+/**
+ * @file
+ * From-scratch implementation of the XXH32 non-cryptographic hash.
+ *
+ * CEGMA's Elastic Matching Filter tags each node's feature vector with a
+ * 32-bit XXHash value (Section IV-B of the paper). The hardware pipelines
+ * the same per-stripe recurrence
+ *   s_k = rotl(s_k + lane * PRIME2, 13) * PRIME1
+ * on the MAC array; this software model is bit-compatible with the
+ * reference xxHash library so its collision behaviour matches the
+ * paper's quoted rates.
+ */
+
+#ifndef CEGMA_HASH_XXHASH_HH
+#define CEGMA_HASH_XXHASH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cegma {
+
+/** One-shot XXH32 of `len` bytes with the given seed. */
+uint32_t xxhash32(const void *data, size_t len, uint32_t seed = 0);
+
+/**
+ * Streaming XXH32 state, byte-order independent of call granularity:
+ * feeding the same bytes in any chunking yields the same digest.
+ */
+class XxHash32Stream
+{
+  public:
+    /** Start a stream with the given seed. */
+    explicit XxHash32Stream(uint32_t seed = 0);
+
+    /** Reset to the initial state (same seed). */
+    void reset();
+
+    /** Absorb `len` bytes. */
+    void update(const void *data, size_t len);
+
+    /** @return the digest of everything absorbed so far. */
+    uint32_t digest() const;
+
+  private:
+    uint32_t seed_;
+    uint32_t acc_[4];
+    uint8_t buffer_[16];
+    size_t bufferLen_;
+    uint64_t totalLen_;
+};
+
+/**
+ * Hash a float feature vector to a 32-bit tag, as the EMF does.
+ *
+ * Hashing the raw IEEE-754 bit patterns means two nodes map to the same
+ * tag exactly when their feature vectors are bitwise identical — the
+ * paper's duplicate-node criterion.
+ */
+uint32_t hashFeatureVector(const float *values, size_t count,
+                           uint32_t seed = 0);
+
+} // namespace cegma
+
+#endif // CEGMA_HASH_XXHASH_HH

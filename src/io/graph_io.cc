@@ -1,0 +1,141 @@
+#include "io/graph_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+namespace {
+
+/** Read a required leading keyword; fatal() on mismatch. */
+void
+expectKeyword(std::istream &is, const char *keyword)
+{
+    std::string word;
+    if (!(is >> word) || word != keyword)
+        fatal("graph_io: expected '%s', got '%s'", keyword, word.c_str());
+}
+
+} // namespace
+
+void
+writeGraph(std::ostream &os, const Graph &g)
+{
+    bool labeled = g.numDistinctLabels() > 1;
+    os << "graph " << g.numNodes() << " " << g.numEdges() << " "
+       << (labeled ? 1 : 0) << "\n";
+    if (labeled) {
+        for (NodeId v = 0; v < g.numNodes(); ++v)
+            os << g.label(v) << (v + 1 < g.numNodes() ? ' ' : '\n');
+    }
+    for (const auto &[u, v] : g.edgeList())
+        os << u << " " << v << "\n";
+}
+
+Graph
+readGraph(std::istream &is)
+{
+    expectKeyword(is, "graph");
+    uint64_t num_nodes = 0, num_edges = 0;
+    int labeled = 0;
+    if (!(is >> num_nodes >> num_edges >> labeled))
+        fatal("graph_io: malformed graph header");
+    if (num_nodes > UINT32_MAX)
+        fatal("graph_io: node count overflows NodeId");
+
+    std::vector<uint32_t> labels;
+    if (labeled) {
+        labels.resize(num_nodes);
+        for (auto &label : labels) {
+            if (!(is >> label))
+                fatal("graph_io: truncated label row");
+        }
+    }
+    std::vector<Edge> edges;
+    edges.reserve(num_edges);
+    for (uint64_t e = 0; e < num_edges; ++e) {
+        NodeId u, v;
+        if (!(is >> u >> v))
+            fatal("graph_io: truncated edge list");
+        edges.push_back({u, v});
+    }
+    return Graph::fromEdges(static_cast<NodeId>(num_nodes), edges,
+                            std::move(labels));
+}
+
+void
+writePair(std::ostream &os, const GraphPair &pair)
+{
+    os << "pair " << (pair.similar ? 1 : 0) << "\n";
+    writeGraph(os, pair.target);
+    writeGraph(os, pair.query);
+}
+
+GraphPair
+readPair(std::istream &is)
+{
+    expectKeyword(is, "pair");
+    int similar = 0;
+    if (!(is >> similar))
+        fatal("graph_io: malformed pair header");
+    GraphPair pair;
+    pair.similar = similar != 0;
+    pair.target = readGraph(is);
+    pair.query = readGraph(is);
+    return pair;
+}
+
+void
+writeDataset(std::ostream &os, const Dataset &dataset)
+{
+    os << "dataset " << dataset.spec.name << " " << dataset.pairs.size()
+       << "\n";
+    for (const GraphPair &pair : dataset.pairs)
+        writePair(os, pair);
+}
+
+Dataset
+readDataset(std::istream &is)
+{
+    expectKeyword(is, "dataset");
+    std::string name;
+    uint64_t num_pairs = 0;
+    if (!(is >> name >> num_pairs))
+        fatal("graph_io: malformed dataset header");
+
+    Dataset dataset;
+    dataset.spec.name = name;
+    for (DatasetId id : allDatasets()) {
+        if (datasetSpec(id).name == name) {
+            dataset.spec = datasetSpec(id);
+            break;
+        }
+    }
+    dataset.pairs.reserve(num_pairs);
+    for (uint64_t i = 0; i < num_pairs; ++i)
+        dataset.pairs.push_back(readPair(is));
+    return dataset;
+}
+
+void
+saveDataset(const std::string &path, const Dataset &dataset)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("graph_io: cannot open '%s' for writing", path.c_str());
+    writeDataset(os, dataset);
+}
+
+Dataset
+loadDataset(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("graph_io: cannot open '%s' for reading", path.c_str());
+    return readDataset(is);
+}
+
+} // namespace cegma

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Plain-text serialization for graphs, pairs, and datasets.
+ *
+ * The format is line-oriented and versioned so profiling runs (the
+ * paper's trace-collection step, §V-A) can be captured once and
+ * replayed into the simulator later, on any machine:
+ *
+ *   graph <num_nodes> <num_edges> <labeled:0|1>
+ *   [labels: num_nodes integers on one line, if labeled]
+ *   <u> <v>              (one line per undirected edge)
+ *
+ *   pair <similar:0|1>
+ *   <target graph>
+ *   <query graph>
+ *
+ *   dataset <name> <num_pairs>
+ *   <pairs...>
+ */
+
+#ifndef CEGMA_IO_GRAPH_IO_HH
+#define CEGMA_IO_GRAPH_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/dataset.hh"
+
+namespace cegma {
+
+/** Write one graph to `os`. */
+void writeGraph(std::ostream &os, const Graph &g);
+
+/**
+ * Read one graph from `is`.
+ * @throws calls fatal() on malformed input.
+ */
+Graph readGraph(std::istream &is);
+
+/** Write a (target, query, label) pair. */
+void writePair(std::ostream &os, const GraphPair &pair);
+
+/** Read one pair. */
+GraphPair readPair(std::istream &is);
+
+/** Write a whole dataset (spec name + pairs). */
+void writeDataset(std::ostream &os, const Dataset &dataset);
+
+/**
+ * Read a dataset written by writeDataset. The spec is looked up by
+ * name against the built-in Table II entries; unknown names keep the
+ * serialized name with zeroed statistics.
+ */
+Dataset readDataset(std::istream &is);
+
+/** Convenience: save/load a dataset to/from a file path. */
+void saveDataset(const std::string &path, const Dataset &dataset);
+Dataset loadDataset(const std::string &path);
+
+} // namespace cegma
+
+#endif // CEGMA_IO_GRAPH_IO_HH

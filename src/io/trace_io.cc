@@ -1,0 +1,186 @@
+#include "io/trace_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "io/graph_io.hh"
+
+namespace cegma {
+
+namespace {
+
+void
+expectKeyword(std::istream &is, const char *keyword)
+{
+    std::string word;
+    if (!(is >> word) || word != keyword)
+        fatal("trace_io: expected '%s', got '%s'", keyword, word.c_str());
+}
+
+const char *
+modelName(ModelId id)
+{
+    return modelConfig(id).name.c_str();
+}
+
+ModelId
+modelByName(const std::string &name)
+{
+    for (ModelId id : allModels()) {
+        if (modelConfig(id).name == name)
+            return id;
+    }
+    fatal("trace_io: unknown model '%s'", name.c_str());
+}
+
+void
+writeClasses(std::ostream &os, const std::vector<uint32_t> &classes)
+{
+    os << classes.size();
+    for (uint32_t cls : classes)
+        os << " " << cls;
+    os << "\n";
+}
+
+std::vector<uint32_t>
+readClasses(std::istream &is)
+{
+    size_t count = 0;
+    if (!(is >> count))
+        fatal("trace_io: malformed class row");
+    std::vector<uint32_t> classes(count);
+    for (auto &cls : classes) {
+        if (!(is >> cls))
+            fatal("trace_io: truncated class row");
+    }
+    return classes;
+}
+
+} // namespace
+
+void
+TraceBundle::add(const PairTrace &trace)
+{
+    cegma_assert(trace.pair != nullptr);
+    pairs_.push_back(*trace.pair);
+    PairTrace copy = trace;
+    copy.pair = &pairs_.back();
+    traces_.push_back(std::move(copy));
+}
+
+void
+writeTrace(std::ostream &os, const PairTrace &trace)
+{
+    cegma_assert(trace.pair != nullptr);
+    os << "trace " << modelName(trace.model) << " " << trace.encodeFlops
+       << " " << trace.postFlops << " " << trace.layers.size() << "\n";
+    writePair(os, *trace.pair);
+    for (const LayerWork &layer : trace.layers) {
+        os << "layer " << layer.embedTarget.aggFlops << " "
+           << layer.embedTarget.combFlops << " " << layer.embedTarget.fIn
+           << " " << layer.embedTarget.fOut << " "
+           << layer.embedQuery.aggFlops << " "
+           << layer.embedQuery.combFlops << " " << layer.embedQuery.fIn
+           << " " << layer.embedQuery.fOut << "\n";
+        const MatchingWork &match = layer.matching;
+        os << "matching " << (match.present ? 1 : 0);
+        if (match.present) {
+            os << " " << match.dim << " " << match.simFlops << " "
+               << match.crossFlops << " " << match.numUniqueTarget << " "
+               << match.numUniqueQuery << "\n";
+            writeClasses(os, match.dupClassTarget);
+            writeClasses(os, match.dupClassQuery);
+        } else {
+            os << "\n";
+        }
+    }
+}
+
+void
+readTraceInto(std::istream &is, TraceBundle &bundle)
+{
+    expectKeyword(is, "trace");
+    std::string model_name;
+    size_t num_layers = 0;
+    PairTrace trace;
+    if (!(is >> model_name >> trace.encodeFlops >> trace.postFlops >>
+          num_layers)) {
+        fatal("trace_io: malformed trace header");
+    }
+    trace.model = modelByName(model_name);
+
+    GraphPair pair = readPair(is);
+    for (size_t l = 0; l < num_layers; ++l) {
+        expectKeyword(is, "layer");
+        LayerWork layer;
+        if (!(is >> layer.embedTarget.aggFlops >>
+              layer.embedTarget.combFlops >> layer.embedTarget.fIn >>
+              layer.embedTarget.fOut >> layer.embedQuery.aggFlops >>
+              layer.embedQuery.combFlops >> layer.embedQuery.fIn >>
+              layer.embedQuery.fOut)) {
+            fatal("trace_io: malformed layer row");
+        }
+        expectKeyword(is, "matching");
+        int present = 0;
+        if (!(is >> present))
+            fatal("trace_io: malformed matching row");
+        layer.matching.present = present != 0;
+        if (layer.matching.present) {
+            if (!(is >> layer.matching.dim >> layer.matching.simFlops >>
+                  layer.matching.crossFlops >>
+                  layer.matching.numUniqueTarget >>
+                  layer.matching.numUniqueQuery)) {
+                fatal("trace_io: malformed matching parameters");
+            }
+            layer.matching.dupClassTarget = readClasses(is);
+            layer.matching.dupClassQuery = readClasses(is);
+        }
+        trace.layers.push_back(std::move(layer));
+    }
+
+    trace.pair = &pair; // re-pointed by bundle.add
+    bundle.add(trace);
+}
+
+void
+writeTraces(std::ostream &os, const std::vector<PairTrace> &traces)
+{
+    os << "traces " << traces.size() << "\n";
+    for (const PairTrace &trace : traces)
+        writeTrace(os, trace);
+}
+
+TraceBundle
+readTraces(std::istream &is)
+{
+    expectKeyword(is, "traces");
+    size_t count = 0;
+    if (!(is >> count))
+        fatal("trace_io: malformed traces header");
+    TraceBundle bundle;
+    for (size_t i = 0; i < count; ++i)
+        readTraceInto(is, bundle);
+    return bundle;
+}
+
+void
+saveTraces(const std::string &path, const std::vector<PairTrace> &traces)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("trace_io: cannot open '%s' for writing", path.c_str());
+    writeTraces(os, traces);
+}
+
+TraceBundle
+loadTraces(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("trace_io: cannot open '%s' for reading", path.c_str());
+    return readTraces(is);
+}
+
+} // namespace cegma

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Workload-trace serialization: capture the exact input the
+ * cycle-level simulators consume (per-layer FLOPs, duplicate classes,
+ * and the graph structure driving the window schedulers) and replay
+ * it later — the paper's trace-driven methodology, where profiling
+ * and simulation are separate steps (§V-A).
+ */
+
+#ifndef CEGMA_IO_TRACE_IO_HH
+#define CEGMA_IO_TRACE_IO_HH
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gmn/workload.hh"
+
+namespace cegma {
+
+/**
+ * Owning container for deserialized traces. PairTrace holds a pointer
+ * to its GraphPair; the bundle keeps the pairs in a std::deque so the
+ * pointers stay valid as traces are appended.
+ */
+class TraceBundle
+{
+  public:
+    TraceBundle() = default;
+    TraceBundle(const TraceBundle &) = delete;
+    TraceBundle &operator=(const TraceBundle &) = delete;
+    // Moving a deque preserves element addresses, so the traces'
+    // pair pointers stay valid.
+    TraceBundle(TraceBundle &&) = default;
+    TraceBundle &operator=(TraceBundle &&) = default;
+
+    /** Append a trace, copying and re-owning its pair. */
+    void add(const PairTrace &trace);
+
+    const std::vector<PairTrace> &traces() const { return traces_; }
+    size_t size() const { return traces_.size(); }
+
+  private:
+    std::deque<GraphPair> pairs_;
+    std::vector<PairTrace> traces_;
+};
+
+/** Write one trace (with its embedded pair) to `os`. */
+void writeTrace(std::ostream &os, const PairTrace &trace);
+
+/** Append one trace read from `is` into `bundle`. */
+void readTraceInto(std::istream &is, TraceBundle &bundle);
+
+/** Write a sequence of traces preceded by a count header. */
+void writeTraces(std::ostream &os, const std::vector<PairTrace> &traces);
+
+/** Read a trace file written by writeTraces. */
+TraceBundle readTraces(std::istream &is);
+
+/** Convenience: save/load trace files by path. */
+void saveTraces(const std::string &path,
+                const std::vector<PairTrace> &traces);
+TraceBundle loadTraces(const std::string &path);
+
+} // namespace cegma
+
+#endif // CEGMA_IO_TRACE_IO_HH

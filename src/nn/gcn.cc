@@ -1,0 +1,69 @@
+#include "nn/gcn.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+Matrix
+aggregateMean(const Graph &g, const Matrix &x,
+              const std::vector<uint64_t> &order_keys)
+{
+    cegma_assert(x.rows() == g.numNodes());
+    cegma_assert(order_keys.empty() || order_keys.size() == g.numNodes());
+    const size_t f = x.cols();
+    Matrix out(g.numNodes(), f);
+    std::vector<NodeId> order;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        auto ns = g.neighbors(v);
+        order.assign(ns.begin(), ns.end());
+        if (!order_keys.empty()) {
+            std::sort(order.begin(), order.end(),
+                      [&](NodeId a, NodeId b) {
+                          return order_keys[a] < order_keys[b];
+                      });
+        }
+        float *dst = out.row(v);
+        const float *self = x.row(v);
+        for (size_t j = 0; j < f; ++j)
+            dst[j] = self[j];
+        for (NodeId u : order) {
+            const float *src = x.row(u);
+            for (size_t j = 0; j < f; ++j)
+                dst[j] += src[j];
+        }
+        float inv = 1.0f / static_cast<float>(order.size() + 1);
+        for (size_t j = 0; j < f; ++j)
+            dst[j] *= inv;
+    }
+    return out;
+}
+
+GcnLayer::GcnLayer(size_t in_dim, size_t out_dim, Rng &rng, Activation act)
+    : combine_(in_dim, out_dim, rng, act)
+{
+}
+
+Matrix
+GcnLayer::forward(const Graph &g, const Matrix &x,
+                  const std::vector<uint64_t> &order_keys) const
+{
+    Matrix agg = aggregateMean(g, x, order_keys);
+    return combine_.forward(agg);
+}
+
+uint64_t
+GcnLayer::aggregateFlops(const Graph &g) const
+{
+    // One add per arc per feature, plus the self row and the scaling.
+    return (g.numArcs() + 2ull * g.numNodes()) * inDim();
+}
+
+uint64_t
+GcnLayer::combineFlops(uint64_t n) const
+{
+    return combine_.flops(n);
+}
+
+} // namespace cegma

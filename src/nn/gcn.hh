@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The standard GCN layer used by GraphSim and SimGNN (Table I),
+ * with *deterministic class-ordered aggregation*.
+ *
+ * Aggregation sums neighbor features in ascending order of a per-node
+ * ordering key (the WL signature of the current level). Floating-point
+ * addition is commutative but not associative; fixing the summation
+ * order to a function of the WL class guarantees that WL-equivalent
+ * nodes — whose neighbor multisets contain bitwise-identical feature
+ * rows in matching class order — produce bitwise-identical outputs.
+ * That is the property the paper's EMF relies on ("duplicate node
+ * features", Section III-C).
+ */
+
+#ifndef CEGMA_NN_GCN_HH
+#define CEGMA_NN_GCN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+#include "nn/linear.hh"
+
+namespace cegma {
+
+/**
+ * Aggregate node features over the graph: for each node, the mean of
+ * its own feature row and its neighbors' rows, with neighbor rows
+ * summed in ascending `order_keys` order.
+ *
+ * @param g the graph
+ * @param x (numNodes x f) input features
+ * @param order_keys per-node ordering keys (e.g.\ WL signatures);
+ *        empty means aggregate in index order
+ * @return (numNodes x f) aggregated features
+ */
+Matrix aggregateMean(const Graph &g, const Matrix &x,
+                     const std::vector<uint64_t> &order_keys);
+
+/** One GCN layer: combine(aggregate(A, X)) with ReLU. */
+class GcnLayer
+{
+  public:
+    /** Construct a (in_dim -> out_dim) layer with seeded weights. */
+    GcnLayer(size_t in_dim, size_t out_dim, Rng &rng,
+             Activation act = Activation::Relu);
+
+    /**
+     * Forward one graph's features.
+     *
+     * @param g graph
+     * @param x (numNodes x in_dim) features
+     * @param order_keys deterministic aggregation keys (see above)
+     */
+    Matrix forward(const Graph &g, const Matrix &x,
+                   const std::vector<uint64_t> &order_keys) const;
+
+    size_t inDim() const { return combine_.inDim(); }
+    size_t outDim() const { return combine_.outDim(); }
+
+    /** FLOPs of the aggregation phase for `g`. */
+    uint64_t aggregateFlops(const Graph &g) const;
+
+    /** FLOPs of the combination phase for `n` nodes. */
+    uint64_t combineFlops(uint64_t n) const;
+
+  private:
+    Linear combine_;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_NN_GCN_HH

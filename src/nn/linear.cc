@@ -1,0 +1,77 @@
+#include "nn/linear.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cegma {
+
+void
+applyActivation(Matrix &m, Activation act)
+{
+    switch (act) {
+      case Activation::None:
+        break;
+      case Activation::Relu:
+        reluInPlace(m);
+        break;
+      case Activation::Sigmoid:
+        sigmoidInPlace(m);
+        break;
+      case Activation::Tanh:
+        tanhInPlace(m);
+        break;
+    }
+}
+
+Linear::Linear(size_t in_dim, size_t out_dim, Rng &rng, Activation act)
+    : weight_(in_dim, out_dim), bias_(1, out_dim), act_(act)
+{
+    weight_.fillXavier(rng);
+    bias_.fillXavier(rng);
+}
+
+Matrix
+Linear::forward(const Matrix &x) const
+{
+    cegma_assert(x.cols() == weight_.rows());
+    Matrix y = matmul(x, weight_);
+    addBiasInPlace(y, bias_);
+    applyActivation(y, act_);
+    return y;
+}
+
+uint64_t
+Linear::flops(uint64_t rows) const
+{
+    return rows * (2 * weight_.rows() * weight_.cols() + weight_.cols());
+}
+
+Mlp::Mlp(const std::vector<size_t> &dims, Rng &rng, Activation final_act)
+{
+    cegma_assert(dims.size() >= 2);
+    for (size_t i = 0; i + 1 < dims.size(); ++i) {
+        bool last = (i + 2 == dims.size());
+        layers_.emplace_back(dims[i], dims[i + 1], rng,
+                             last ? final_act : Activation::Relu);
+    }
+}
+
+Matrix
+Mlp::forward(const Matrix &x) const
+{
+    Matrix cur = layers_.front().forward(x);
+    for (size_t i = 1; i < layers_.size(); ++i)
+        cur = layers_[i].forward(cur);
+    return cur;
+}
+
+uint64_t
+Mlp::flops(uint64_t rows) const
+{
+    uint64_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer.flops(rows);
+    return total;
+}
+
+} // namespace cegma

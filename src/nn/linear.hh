@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Dense layers: Linear and MLP, with seeded Xavier initialization.
+ */
+
+#ifndef CEGMA_NN_LINEAR_HH
+#define CEGMA_NN_LINEAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace cegma {
+
+class Rng;
+
+/** Activation applied after a dense layer. */
+enum class Activation
+{
+    None,
+    Relu,
+    Sigmoid,
+    Tanh,
+};
+
+/** Apply `act` to `m` in place. */
+void applyActivation(Matrix &m, Activation act);
+
+/** A dense layer: Y = act(X W + b). */
+class Linear
+{
+  public:
+    /** Construct with Xavier-initialized weights from `rng`. */
+    Linear(size_t in_dim, size_t out_dim, Rng &rng,
+           Activation act = Activation::None);
+
+    /** Forward a (batch x in_dim) matrix. */
+    Matrix forward(const Matrix &x) const;
+
+    size_t inDim() const { return weight_.rows(); }
+    size_t outDim() const { return weight_.cols(); }
+
+    /** FLOPs to forward `rows` input rows (2 per MAC, plus bias). */
+    uint64_t flops(uint64_t rows) const;
+
+  private:
+    Matrix weight_; ///< (in x out)
+    Matrix bias_;   ///< (1 x out)
+    Activation act_;
+};
+
+/**
+ * A multi-layer perceptron over the given layer widths, ReLU between
+ * hidden layers and a configurable final activation.
+ *
+ * E.g. Mlp({192, 64, 64}, rng) is the paper's MLP(64*3, 64, 64).
+ */
+class Mlp
+{
+  public:
+    Mlp(const std::vector<size_t> &dims, Rng &rng,
+        Activation final_act = Activation::None);
+
+    /** Forward a (batch x dims.front()) matrix. */
+    Matrix forward(const Matrix &x) const;
+
+    size_t inDim() const { return layers_.front().inDim(); }
+    size_t outDim() const { return layers_.back().outDim(); }
+
+    /** FLOPs to forward `rows` input rows. */
+    uint64_t flops(uint64_t rows) const;
+
+  private:
+    std::vector<Linear> layers_;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_NN_LINEAR_HH

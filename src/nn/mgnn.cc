@@ -1,0 +1,74 @@
+#include "nn/mgnn.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+MgnnLayer::MgnnLayer(size_t node_dim, size_t hidden, Rng &rng)
+    : nodeDim_(node_dim), hidden_(hidden),
+      edgeMlp_({2 * node_dim, hidden, hidden}, rng, Activation::Relu),
+      updateMlp_({node_dim + hidden + node_dim, node_dim, node_dim}, rng,
+                 Activation::Tanh)
+{
+}
+
+Matrix
+MgnnLayer::forward(const Graph &g, const Matrix &x, const Matrix &cross,
+                   const std::vector<uint64_t> &order_keys) const
+{
+    cegma_assert(x.rows() == g.numNodes() && x.cols() == nodeDim_);
+    cegma_assert(cross.rows() == g.numNodes() &&
+                 cross.cols() == nodeDim_);
+
+    const NodeId n = g.numNodes();
+    Matrix intra(n, hidden_);
+    Matrix edge_in(1, 2 * nodeDim_);
+    std::vector<NodeId> order;
+    for (NodeId v = 0; v < n; ++v) {
+        auto ns = g.neighbors(v);
+        order.assign(ns.begin(), ns.end());
+        if (!order_keys.empty()) {
+            std::sort(order.begin(), order.end(),
+                      [&](NodeId a, NodeId b) {
+                          return order_keys[a] < order_keys[b];
+                      });
+        }
+        float *dst = intra.row(v);
+        for (NodeId u : order) {
+            // Message on arc u -> v from [x_u, x_v].
+            std::memcpy(edge_in.row(0), x.row(u),
+                        nodeDim_ * sizeof(float));
+            std::memcpy(edge_in.row(0) + nodeDim_, x.row(v),
+                        nodeDim_ * sizeof(float));
+            Matrix msg = edgeMlp_.forward(edge_in);
+            for (size_t j = 0; j < hidden_; ++j)
+                dst[j] += msg.at(0, j);
+        }
+    }
+
+    Matrix concat = hconcat({&x, &intra, &cross});
+    return updateMlp_.forward(concat);
+}
+
+uint64_t
+MgnnLayer::edgeFlops(const Graph &g) const
+{
+    return edgeMlp_.flops(g.numArcs());
+}
+
+uint64_t
+MgnnLayer::aggregateFlops(const Graph &g) const
+{
+    return g.numArcs() * hidden_;
+}
+
+uint64_t
+MgnnLayer::updateFlops(uint64_t n) const
+{
+    return updateMlp_.flops(n);
+}
+
+} // namespace cegma

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The MGNN layer of GMN-Li (Table I: MGNN[64,64,64] + MLP(64*3,64,64)).
+ *
+ * Per the paper's description of [24]: an edge MLP turns each directed
+ * edge's endpoint features into an intra-graph message; messages are
+ * aggregated per node (class-ordered, see gcn.hh); an update MLP then
+ * combines [own feature, intra message, cross-graph matching message]
+ * into the next layer's node feature.
+ */
+
+#ifndef CEGMA_NN_MGNN_HH
+#define CEGMA_NN_MGNN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+#include "nn/linear.hh"
+
+namespace cegma {
+
+/** GMN-Li's message-passing layer with cross-graph input. */
+class MgnnLayer
+{
+  public:
+    /**
+     * @param node_dim node feature width (64 in Table I)
+     * @param hidden edge-message width (64 in Table I)
+     * @param rng weight initializer
+     */
+    MgnnLayer(size_t node_dim, size_t hidden, Rng &rng);
+
+    /**
+     * Forward one graph side.
+     *
+     * @param g graph
+     * @param x (numNodes x node_dim) features
+     * @param cross (numNodes x node_dim) cross-graph matching messages
+     * @param order_keys deterministic aggregation keys
+     * @return (numNodes x node_dim) updated features
+     */
+    Matrix forward(const Graph &g, const Matrix &x, const Matrix &cross,
+                   const std::vector<uint64_t> &order_keys) const;
+
+    size_t nodeDim() const { return nodeDim_; }
+
+    /** FLOPs of the edge-message phase (counts directed arcs). */
+    uint64_t edgeFlops(const Graph &g) const;
+
+    /** FLOPs of message aggregation. */
+    uint64_t aggregateFlops(const Graph &g) const;
+
+    /** FLOPs of the update MLP for n nodes. */
+    uint64_t updateFlops(uint64_t n) const;
+
+  private:
+    size_t nodeDim_;
+    size_t hidden_;
+    Mlp edgeMlp_;   ///< [x_src, x_dst] -> message
+    Mlp updateMlp_; ///< [x, intra, cross] -> next feature
+};
+
+} // namespace cegma
+
+#endif // CEGMA_NN_MGNN_HH

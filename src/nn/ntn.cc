@@ -1,0 +1,53 @@
+#include "nn/ntn.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cegma {
+
+Ntn::Ntn(size_t in_dim, size_t slices, Rng &rng)
+    : inDim_(in_dim), slices_(slices), v_(slices, 2 * in_dim),
+      bias_(1, slices)
+{
+    tensors_.reserve(slices);
+    for (size_t k = 0; k < slices; ++k) {
+        tensors_.emplace_back(in_dim, in_dim);
+        tensors_.back().fillXavier(rng);
+    }
+    v_.fillXavier(rng);
+    bias_.fillXavier(rng);
+}
+
+Matrix
+Ntn::forward(const Matrix &h1, const Matrix &h2) const
+{
+    cegma_assert(h1.rows() == 1 && h1.cols() == inDim_);
+    cegma_assert(h2.rows() == 1 && h2.cols() == inDim_);
+
+    Matrix out(1, slices_);
+    for (size_t k = 0; k < slices_; ++k) {
+        // h1 W_k h2^T
+        const Matrix &w = tensors_[k];
+        float bilinear = 0.0f;
+        for (size_t i = 0; i < inDim_; ++i) {
+            float hi = h1.at(0, i);
+            if (hi == 0.0f)
+                continue;
+            bilinear += hi * dot(w.row(i), h2.row(0), inDim_);
+        }
+        // v_k [h1; h2]
+        float lin = dot(v_.row(k), h1.row(0), inDim_) +
+                    dot(v_.row(k) + inDim_, h2.row(0), inDim_);
+        float s = bilinear + lin + bias_.at(0, k);
+        out.at(0, k) = s > 0.0f ? s : 0.0f;
+    }
+    return out;
+}
+
+uint64_t
+Ntn::flops() const
+{
+    return slices_ * (2ull * inDim_ * inDim_ + 4ull * inDim_);
+}
+
+} // namespace cegma

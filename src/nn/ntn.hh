@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The Neural Tensor Network used by SimGNN's graph-level interaction
+ * (Table I: NTN[128,16]).
+ */
+
+#ifndef CEGMA_NN_NTN_HH
+#define CEGMA_NN_NTN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace cegma {
+
+class Rng;
+
+/**
+ * NTN over two graph embeddings h1, h2 (each 1 x in_dim):
+ *   score_k = relu(h1 W_k h2^T + v_k [h1; h2]^T + b_k),  k in [0, slices)
+ */
+class Ntn
+{
+  public:
+    Ntn(size_t in_dim, size_t slices, Rng &rng);
+
+    /** @return (1 x slices) interaction scores. */
+    Matrix forward(const Matrix &h1, const Matrix &h2) const;
+
+    size_t inDim() const { return inDim_; }
+    size_t slices() const { return slices_; }
+
+    /** FLOPs per (h1, h2) evaluation. */
+    uint64_t flops() const;
+
+  private:
+    size_t inDim_;
+    size_t slices_;
+    std::vector<Matrix> tensors_; ///< slices x (in x in)
+    Matrix v_;                    ///< (slices x 2*in)
+    Matrix bias_;                 ///< (1 x slices)
+};
+
+} // namespace cegma
+
+#endif // CEGMA_NN_NTN_HH

@@ -1,0 +1,55 @@
+#include "sim/area.hh"
+
+#include "common/units.hh"
+
+namespace cegma {
+
+namespace {
+
+// Fractions of the "other" on-chip storage owned by each component,
+// back-derived from the paper's Table III area distribution.
+constexpr double emfBufferShareOfOther = 0.147; // Tag/Task/Map buffers
+constexpr double cgcBufferShareOfOther = 0.260; // index + edge caches
+
+// The CGC's fixed AOE logic complement (Table III).
+constexpr uint32_t aoeCounters = 34;
+constexpr uint32_t aoeComparators = 33;
+
+} // namespace
+
+AreaBreakdown
+estimateArea(const AccelConfig &config, const AreaConstants &constants)
+{
+    AreaBreakdown area;
+
+    // Processing engine: MAC array plus queues/FSMs.
+    area.peLogic = config.denseMacs * constants.macMm2 +
+                   constants.controlMm2;
+
+    double other_kib =
+        static_cast<double>(config.otherBufferBytes) / KiB;
+    double input_kib =
+        static_cast<double>(config.inputBufferBytes) / KiB;
+
+    double emf_share = config.hasEmf ? emfBufferShareOfOther : 0.0;
+    double cgc_share = config.hasCgc ? cgcBufferShareOfOther : 0.0;
+
+    area.peBuffer = (input_kib + other_kib *
+                     (1.0 - emf_share - cgc_share)) *
+                    constants.sramMm2PerKiB;
+
+    if (config.hasEmf) {
+        area.emfLogic = config.emfComparators * constants.comparatorMm2;
+        area.emfBuffer = other_kib * emf_share * constants.sramMm2PerKiB;
+    }
+    if (config.hasCgc) {
+        // 8-bit magnitude comparators are ~1/4 of a 32-bit identity
+        // comparator.
+        area.cgcLogic = aoeCounters * constants.counterMm2 +
+                        aoeComparators * constants.comparatorMm2 / 4.0;
+        area.cgcBuffer = other_kib * cgc_share * constants.sramMm2PerKiB;
+    }
+    return area;
+}
+
+} // namespace cegma

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Area model for the CEGMA chip (Table III bottom rows: 6.3 mm^2 at
+ * TSMC 14 nm, with EMF at 0.18% logic + 6.66% buffer, CGC at 0.01% +
+ * 11.79%, and the PE at 53.58% logic + 27.78% buffer).
+ *
+ * Component areas derive from per-unit constants (14 nm-class):
+ * fp32 MAC, SRAM mm^2/KB (CACTI-style), comparators and counters.
+ * The constants are calibrated so the full CEGMA configuration lands
+ * on the paper's total and distribution; the model then extrapolates
+ * to modified configurations (wider arrays, bigger buffers).
+ */
+
+#ifndef CEGMA_SIM_AREA_HH
+#define CEGMA_SIM_AREA_HH
+
+#include "sim/config.hh"
+
+namespace cegma {
+
+/** Per-unit area constants in mm^2 (14 nm-class). */
+struct AreaConstants
+{
+    double macMm2 = 8.0e-4;          ///< one fp32 MAC incl. local regs
+    double sramMm2PerKiB = 4.1e-4;   ///< dense SRAM macro
+    double comparatorMm2 = 1.1e-5;   ///< 32-bit identity comparator
+    double counterMm2 = 1.5e-5;      ///< 8-input parallel counter
+    double controlMm2 = 0.098;       ///< FSMs, queues, misc control
+};
+
+/** Component-level area breakdown. */
+struct AreaBreakdown
+{
+    double peLogic = 0.0;   ///< MAC array
+    double peBuffer = 0.0;  ///< input/weight/output SRAM
+    double emfLogic = 0.0;  ///< duplicate comparators + FSM
+    double emfBuffer = 0.0; ///< Task/Tag/Map buffers
+    double cgcLogic = 0.0;  ///< AOE counters/comparators
+    double cgcBuffer = 0.0; ///< index caches / edge buffer share
+
+    double total() const
+    {
+        return peLogic + peBuffer + emfLogic + emfBuffer + cgcLogic +
+               cgcBuffer;
+    }
+
+    double peLogicShare() const { return peLogic / total(); }
+    double peBufferShare() const { return peBuffer / total(); }
+    double emfLogicShare() const { return emfLogic / total(); }
+    double emfBufferShare() const { return emfBuffer / total(); }
+    double cgcLogicShare() const { return cgcLogic / total(); }
+    double cgcBufferShare() const { return cgcBuffer / total(); }
+};
+
+/**
+ * Estimate the die area of `config`.
+ *
+ * The "other" on-chip storage is apportioned between the PE (weights,
+ * outputs, partials), the EMF metadata buffers, and the CGC's index
+ * and edge caches following the paper's Table III distribution.
+ */
+AreaBreakdown estimateArea(const AccelConfig &config,
+                           const AreaConstants &constants = {});
+
+} // namespace cegma
+
+#endif // CEGMA_SIM_AREA_HH

@@ -1,0 +1,63 @@
+#include "sim/buffer.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+NodeBuffer::NodeBuffer(uint32_t capacity_nodes, ReplacementPolicy policy)
+    : capacity_(capacity_nodes), policy_(policy)
+{
+    cegma_assert(capacity_nodes >= 1);
+    entries_.reserve(capacity_nodes);
+}
+
+bool
+NodeBuffer::access(uint32_t id)
+{
+    auto it = std::find(entries_.begin(), entries_.end(), id);
+    if (it != entries_.end()) {
+        if (policy_ == ReplacementPolicy::Lru) {
+            // Move to the most-recently-used end.
+            entries_.erase(it);
+            entries_.push_back(id);
+        }
+        return true;
+    }
+    if (entries_.size() == capacity_)
+        entries_.erase(entries_.begin());
+    entries_.push_back(id);
+    return false;
+}
+
+bool
+NodeBuffer::resident(uint32_t id) const
+{
+    return std::find(entries_.begin(), entries_.end(), id) !=
+           entries_.end();
+}
+
+BufferReplay
+replayTrace(const std::vector<uint32_t> &trace, uint32_t capacity_nodes,
+            ReplacementPolicy policy)
+{
+    NodeBuffer buffer(capacity_nodes, policy);
+    BufferReplay replay;
+    std::unordered_set<uint32_t> seen;
+    seen.reserve(trace.size() / 4 + 16);
+    for (uint32_t id : trace) {
+        ++replay.accesses;
+        if (!buffer.access(id)) {
+            ++replay.misses;
+            if (seen.insert(id).second)
+                ++replay.coldMisses;
+        } else {
+            seen.insert(id);
+        }
+    }
+    return replay;
+}
+
+} // namespace cegma

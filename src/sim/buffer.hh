@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A replacement-policy buffer simulator over node access traces.
+ *
+ * This is the independent cross-check for the window schedulers: a
+ * scheduler's access trace replayed through an LRU buffer of the same
+ * capacity must produce a comparable miss count to the loads the
+ * scheduler charged itself — the schedulers manage residency
+ * explicitly, so they should never do much worse than LRU on their own
+ * traces. Also used for buffer-capacity studies.
+ */
+
+#ifndef CEGMA_SIM_BUFFER_HH
+#define CEGMA_SIM_BUFFER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cegma {
+
+/** Replacement policy for NodeBuffer. */
+enum class ReplacementPolicy
+{
+    Lru,
+    Fifo,
+};
+
+/** Outcome of replaying a trace through a buffer. */
+struct BufferReplay
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t coldMisses = 0; ///< first touch of a node
+
+    uint64_t hits() const { return accesses - misses; }
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/**
+ * A node-granular buffer with a fixed capacity and a replacement
+ * policy, driven one access at a time.
+ */
+class NodeBuffer
+{
+  public:
+    /**
+     * @param capacity_nodes resident node slots (>= 1)
+     * @param policy eviction policy
+     */
+    explicit NodeBuffer(uint32_t capacity_nodes,
+                        ReplacementPolicy policy = ReplacementPolicy::Lru);
+
+    /**
+     * Access node `id`.
+     * @return true on hit, false on miss (the node is then fetched).
+     */
+    bool access(uint32_t id);
+
+    /** @return whether `id` is currently resident. */
+    bool resident(uint32_t id) const;
+
+    /** @return nodes currently resident. */
+    size_t occupancy() const { return entries_.size(); }
+
+    uint32_t capacity() const { return capacity_; }
+
+  private:
+    uint32_t capacity_;
+    ReplacementPolicy policy_;
+    /** Resident node ids ordered by recency (front = next victim). */
+    std::vector<uint32_t> entries_;
+};
+
+/** Replay a whole trace; convenience over NodeBuffer::access. */
+BufferReplay replayTrace(const std::vector<uint32_t> &trace,
+                         uint32_t capacity_nodes,
+                         ReplacementPolicy policy =
+                             ReplacementPolicy::Lru);
+
+} // namespace cegma
+
+#endif // CEGMA_SIM_BUFFER_HH

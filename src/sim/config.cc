@@ -1,0 +1,94 @@
+#include "sim/config.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+uint32_t
+AccelConfig::inputBufferNodes(uint32_t feature_dim) const
+{
+    cegma_assert(feature_dim > 0);
+    uint64_t per_node = static_cast<uint64_t>(feature_dim) *
+                        bytesPerFeature;
+    return static_cast<uint32_t>(
+        std::max<uint64_t>(2, inputBufferBytes / per_node));
+}
+
+AccelConfig
+hygcnConfig()
+{
+    AccelConfig config;
+    config.name = "HyGCN";
+    // 32 SIMD16 cores feed aggregation; a 32x128 systolic array serves
+    // combination *and* (when retargeted to GMNs) the matching GEMMs.
+    // The shared combiner congests under dense matching (Section VI),
+    // modeled as a lower dense utilization.
+    config.denseMacs = 32 * 128;
+    config.aggLanes = 32 * 16;
+    config.denseUtil = 0.70;
+    config.aggUtil = 0.45;
+    config.matchUtil = 0.05;
+    config.overlapComputeMemory = false;
+    config.hasEmf = false;
+    config.hasCgc = false;
+    return config;
+}
+
+AccelConfig
+awbGcnConfig()
+{
+    AccelConfig config;
+    config.name = "AWB-GCN";
+    // 4096 homogeneous PEs; runtime rebalancing keeps utilization high
+    // on both sparse and dense work.
+    config.denseMacs = 4096;
+    config.aggLanes = 4096;
+    config.denseUtil = 0.80;
+    config.aggUtil = 0.60;
+    config.matchUtil = 0.065;
+    config.overlapComputeMemory = false;
+    config.hasEmf = false;
+    config.hasCgc = false;
+    return config;
+}
+
+AccelConfig
+cegmaConfig()
+{
+    AccelConfig config;
+    config.name = "CEGMA";
+    // Table III: 128x32 MAC array, 128 KB T+Q input buffer, 6.8 MB
+    // other SRAM, HBM 1.0 @ 256 GB/s, 1 GHz.
+    config.denseMacs = 128 * 32;
+    config.aggLanes = 128 * 32;
+    config.denseUtil = 0.85;
+    config.aggUtil = 0.60;
+    config.matchUtil = 0.85;
+    config.overlapComputeMemory = true;
+    config.otherBufferBytes = static_cast<uint64_t>(6.8 * MiB);
+    config.hasEmf = true;
+    config.hasCgc = true;
+    return config;
+}
+
+AccelConfig
+cegmaEmfOnlyConfig()
+{
+    AccelConfig config = cegmaConfig();
+    config.name = "CEGMA-EMF";
+    config.hasCgc = false;
+    return config;
+}
+
+AccelConfig
+cegmaCgcOnlyConfig()
+{
+    AccelConfig config = cegmaConfig();
+    config.name = "CEGMA-CGC";
+    config.hasEmf = false;
+    return config;
+}
+
+} // namespace cegma

@@ -1,0 +1,16 @@
+#include "sim/energy.hh"
+
+namespace cegma {
+
+double
+EnergyModel::totalNj(uint64_t dram_bytes, uint64_t sram_bytes,
+                     uint64_t mac_ops, double cycles) const
+{
+    double pj = static_cast<double>(dram_bytes) * dramPjPerByte +
+                static_cast<double>(sram_bytes) * sramPjPerByte +
+                static_cast<double>(mac_ops) * macPj +
+                cycles * leakagePjPerCycle;
+    return pj * 1e-3;
+}
+
+} // namespace cegma

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The energy model used for the paper's normalized energy comparison
+ * (Figure 19). Constants are 14 nm-class estimates in the spirit of
+ * the paper's CACTI + RTL-synthesis methodology; only *relative*
+ * energy between platforms is claimed.
+ */
+
+#ifndef CEGMA_SIM_ENERGY_HH
+#define CEGMA_SIM_ENERGY_HH
+
+#include <cstdint>
+
+namespace cegma {
+
+/** Per-event energy coefficients (picojoules). */
+struct EnergyModel
+{
+    /** HBM access energy per byte (~7 pJ/bit incl.\ PHY). */
+    double dramPjPerByte = 56.0;
+    /** On-chip SRAM access energy per byte (128 KB-class array). */
+    double sramPjPerByte = 1.2;
+    /** One fp32 MAC (two FLOPs) at 14 nm. */
+    double macPj = 1.0;
+    /** Static/leakage + clock energy per cycle for the whole chip. */
+    double leakagePjPerCycle = 60.0;
+
+    /**
+     * Total energy in nanojoules.
+     *
+     * @param dram_bytes off-chip traffic (read + write)
+     * @param sram_bytes on-chip buffer traffic
+     * @param mac_ops multiply-accumulates executed
+     * @param cycles elapsed cycles
+     */
+    double totalNj(uint64_t dram_bytes, uint64_t sram_bytes,
+                   uint64_t mac_ops, double cycles) const;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_SIM_ENERGY_HH

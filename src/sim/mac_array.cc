@@ -1,0 +1,35 @@
+#include "sim/mac_array.hh"
+
+namespace cegma {
+
+double
+denseCycles(const AccelConfig &config, uint64_t macs)
+{
+    double effective = config.denseMacs * config.denseUtil;
+    return static_cast<double>(macs) / effective;
+}
+
+double
+aggCycles(const AccelConfig &config, uint64_t macs)
+{
+    double effective = config.aggLanes * config.aggUtil;
+    return static_cast<double>(macs) / effective;
+}
+
+double
+matchCycles(const AccelConfig &config, uint64_t macs)
+{
+    double effective = config.denseMacs * config.matchUtil;
+    return static_cast<double>(macs) / effective;
+}
+
+double
+dramCycles(const AccelConfig &config, uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0.0;
+    return static_cast<double>(bytes) / config.dramBytesPerCycle +
+           config.dramStepOverheadCycles;
+}
+
+} // namespace cegma

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Cycle-cost helpers for the MAC array and aggregation lanes.
+ */
+
+#ifndef CEGMA_SIM_MAC_ARRAY_HH
+#define CEGMA_SIM_MAC_ARRAY_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+
+namespace cegma {
+
+/**
+ * Cycles for `macs` multiply-accumulates of dense work (combination,
+ * matching GEMM tiles) on `config`'s MAC array.
+ */
+double denseCycles(const AccelConfig &config, uint64_t macs);
+
+/**
+ * Cycles for `macs` multiply-accumulates of irregular aggregation on
+ * `config`'s aggregation lanes.
+ */
+double aggCycles(const AccelConfig &config, uint64_t macs);
+
+/**
+ * Cycles for `macs` multiply-accumulates of all-to-all matching work
+ * at `config`'s matching utilization.
+ */
+double matchCycles(const AccelConfig &config, uint64_t macs);
+
+/** Cycles to move `bytes` over the off-chip interface in one step. */
+double dramCycles(const AccelConfig &config, uint64_t bytes);
+
+} // namespace cegma
+
+#endif // CEGMA_SIM_MAC_ARRAY_HH

@@ -1,0 +1,40 @@
+#include "sim/result.hh"
+
+namespace cegma {
+
+double
+SimResult::msPerPair(double freq_hz) const
+{
+    if (pairsSimulated == 0)
+        return 0.0;
+    return seconds(freq_hz) * 1e3 / static_cast<double>(pairsSimulated);
+}
+
+double
+SimResult::throughput(double freq_hz) const
+{
+    double secs = seconds(freq_hz);
+    if (secs <= 0.0)
+        return 0.0;
+    return static_cast<double>(pairsSimulated) / secs;
+}
+
+double
+SimResult::energyNj(const EnergyModel &model) const
+{
+    return model.totalNj(dramBytes(), sramBytes, macOps, cycles);
+}
+
+void
+SimResult::merge(const SimResult &other)
+{
+    cycles += other.cycles;
+    dramReadBytes += other.dramReadBytes;
+    dramWriteBytes += other.dramWriteBytes;
+    sramBytes += other.sramBytes;
+    macOps += other.macOps;
+    pairsSimulated += other.pairsSimulated;
+    extra.merge(other.extra);
+}
+
+} // namespace cegma

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Simulation result accounting shared by all platform models.
+ */
+
+#ifndef CEGMA_SIM_RESULT_HH
+#define CEGMA_SIM_RESULT_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "sim/energy.hh"
+
+namespace cegma {
+
+/** Aggregated outcome of simulating one or more graph pairs. */
+struct SimResult
+{
+    /** Total cycles (or for analytical platforms, seconds * freq). */
+    double cycles = 0.0;
+
+    uint64_t dramReadBytes = 0;
+    uint64_t dramWriteBytes = 0;
+    uint64_t sramBytes = 0;
+    uint64_t macOps = 0;
+
+    /** Graph pairs covered by this result. */
+    uint64_t pairsSimulated = 0;
+
+    /** Free-form extra counters (EMF cycles, misses, steps, ...). */
+    StatSet extra;
+
+    uint64_t dramBytes() const { return dramReadBytes + dramWriteBytes; }
+
+    /** Wall-clock seconds at `freq_hz`. */
+    double seconds(double freq_hz) const { return cycles / freq_hz; }
+
+    /** Average latency per pair in milliseconds at `freq_hz`. */
+    double msPerPair(double freq_hz) const;
+
+    /** Pairs per second at `freq_hz`. */
+    double throughput(double freq_hz) const;
+
+    /** Energy under `model` in nanojoules. */
+    double energyNj(const EnergyModel &model) const;
+
+    /** Accumulate another result into this one. */
+    void merge(const SimResult &other);
+};
+
+} // namespace cegma
+
+#endif // CEGMA_SIM_RESULT_HH

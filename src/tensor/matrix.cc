@@ -1,0 +1,240 @@
+#include "tensor/matrix.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cegma {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data))
+{
+    cegma_assert(data_.size() == rows * cols);
+}
+
+void
+Matrix::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+Matrix::fillXavier(Rng &rng)
+{
+    if (rows_ == 0 || cols_ == 0)
+        return;
+    float limit = std::sqrt(6.0f / static_cast<float>(rows_ + cols_));
+    for (auto &v : data_)
+        v = static_cast<float>((rng.nextDouble() * 2.0 - 1.0) * limit);
+}
+
+bool
+Matrix::equals(const Matrix &other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           std::memcmp(data_.data(), other.data_.data(),
+                       data_.size() * sizeof(float)) == 0;
+}
+
+bool
+Matrix::approxEquals(const Matrix &other, float tol) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        return false;
+    for (size_t i = 0; i < data_.size(); ++i) {
+        if (std::fabs(data_[i] - other.data_[i]) > tol)
+            return false;
+    }
+    return true;
+}
+
+bool
+Matrix::rowsEqual(size_t r_a, size_t r_b) const
+{
+    cegma_assert(r_a < rows_ && r_b < rows_);
+    return std::memcmp(row(r_a), row(r_b), cols_ * sizeof(float)) == 0;
+}
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    cegma_assert(a.cols() == b.rows());
+    Matrix c(a.rows(), b.cols());
+    // ikj loop order: streams B rows, cache-friendly for row-major data.
+    for (size_t i = 0; i < a.rows(); ++i) {
+        float *crow = c.row(i);
+        for (size_t k = 0; k < a.cols(); ++k) {
+            float aik = a.at(i, k);
+            if (aik == 0.0f)
+                continue;
+            const float *brow = b.row(k);
+            for (size_t j = 0; j < b.cols(); ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulNT(const Matrix &a, const Matrix &b)
+{
+    cegma_assert(a.cols() == b.cols());
+    Matrix c(a.rows(), b.rows());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (size_t j = 0; j < b.rows(); ++j)
+            crow[j] = dot(arow, b.row(j), a.cols());
+    }
+    return c;
+}
+
+Matrix
+add(const Matrix &a, const Matrix &b)
+{
+    cegma_assert(a.rows() == b.rows() && a.cols() == b.cols());
+    Matrix c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] + b.data()[i];
+    return c;
+}
+
+void
+addBiasInPlace(Matrix &a, const Matrix &bias)
+{
+    cegma_assert(bias.rows() == 1 && bias.cols() == a.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        float *row = a.row(i);
+        for (size_t j = 0; j < a.cols(); ++j)
+            row[j] += bias.at(0, j);
+    }
+}
+
+Matrix
+hconcat(const std::vector<const Matrix *> &parts)
+{
+    cegma_assert(!parts.empty());
+    size_t rows = parts[0]->rows();
+    size_t cols = 0;
+    for (const Matrix *m : parts) {
+        cegma_assert(m->rows() == rows);
+        cols += m->cols();
+    }
+    Matrix out(rows, cols);
+    for (size_t i = 0; i < rows; ++i) {
+        float *dst = out.row(i);
+        for (const Matrix *m : parts) {
+            std::memcpy(dst, m->row(i), m->cols() * sizeof(float));
+            dst += m->cols();
+        }
+    }
+    return out;
+}
+
+void
+reluInPlace(Matrix &a)
+{
+    for (size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = a.data()[i] > 0.0f ? a.data()[i] : 0.0f;
+}
+
+void
+sigmoidInPlace(Matrix &a)
+{
+    for (size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = 1.0f / (1.0f + std::exp(-a.data()[i]));
+}
+
+void
+tanhInPlace(Matrix &a)
+{
+    for (size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = std::tanh(a.data()[i]);
+}
+
+void
+softmaxRowsInPlace(Matrix &a)
+{
+    for (size_t i = 0; i < a.rows(); ++i) {
+        float *row = a.row(i);
+        float mx = row[0];
+        for (size_t j = 1; j < a.cols(); ++j)
+            mx = std::max(mx, row[j]);
+        float sum = 0.0f;
+        for (size_t j = 0; j < a.cols(); ++j) {
+            row[j] = std::exp(row[j] - mx);
+            sum += row[j];
+        }
+        for (size_t j = 0; j < a.cols(); ++j)
+            row[j] /= sum;
+    }
+}
+
+Matrix
+rowL2Norms(const Matrix &a)
+{
+    Matrix out(a.rows(), 1);
+    for (size_t i = 0; i < a.rows(); ++i)
+        out.at(i, 0) = std::sqrt(dot(a.row(i), a.row(i), a.cols()));
+    return out;
+}
+
+Matrix
+rowSquaredNorms(const Matrix &a)
+{
+    Matrix out(a.rows(), 1);
+    for (size_t i = 0; i < a.rows(); ++i)
+        out.at(i, 0) = dot(a.row(i), a.row(i), a.cols());
+    return out;
+}
+
+Matrix
+columnSums(const Matrix &a)
+{
+    Matrix out(1, a.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float *row = a.row(i);
+        for (size_t j = 0; j < a.cols(); ++j)
+            out.at(0, j) += row[j];
+    }
+    return out;
+}
+
+Matrix
+columnMeans(const Matrix &a)
+{
+    Matrix out = columnSums(a);
+    if (a.rows() == 0)
+        return out;
+    for (size_t j = 0; j < a.cols(); ++j)
+        out.at(0, j) /= static_cast<float>(a.rows());
+    return out;
+}
+
+Matrix
+transpose(const Matrix &a)
+{
+    Matrix out(a.cols(), a.rows());
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < a.cols(); ++j)
+            out.at(j, i) = a.at(i, j);
+    return out;
+}
+
+float
+dot(const float *a, const float *b, size_t n)
+{
+    float acc = 0.0f;
+    for (size_t i = 0; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+} // namespace cegma

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A minimal dense row-major float matrix plus the linear-algebra kernels
+ * the GMN models need (GEMM, A*B^T, row norms, softmax, activations).
+ *
+ * This is the numeric substrate for the *functional* GMN reference; the
+ * cycle-level simulator never touches these values, only their shapes.
+ */
+
+#ifndef CEGMA_TENSOR_MATRIX_HH
+#define CEGMA_TENSOR_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace cegma {
+
+class Rng;
+
+/** Dense row-major float matrix. */
+class Matrix
+{
+  public:
+    /** An empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** A zero-initialized rows x cols matrix. */
+    Matrix(size_t rows, size_t cols);
+
+    /** A rows x cols matrix with the given (row-major) contents. */
+    Matrix(size_t rows, size_t cols, std::vector<float> data);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+
+    float &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    /** Pointer to the start of row r. */
+    float *row(size_t r) { return data_.data() + r * cols_; }
+    const float *row(size_t r) const { return data_.data() + r * cols_; }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Set every element to `v`. */
+    void fill(float v);
+
+    /** Fill with Xavier/Glorot-uniform values from `rng`. */
+    void fillXavier(Rng &rng);
+
+    /** Elementwise exact equality with another matrix. */
+    bool equals(const Matrix &other) const;
+
+    /** Elementwise approximate equality within `tol`. */
+    bool approxEquals(const Matrix &other, float tol = 1e-5f) const;
+
+    /** Rows r_a and r_b are bitwise identical. */
+    bool rowsEqual(size_t r_a, size_t r_b) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** C = A * B. Shapes: (m x k) * (k x n) -> (m x n). */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/** C = A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n). */
+Matrix matmulNT(const Matrix &a, const Matrix &b);
+
+/** C = A + B (same shape). */
+Matrix add(const Matrix &a, const Matrix &b);
+
+/** Add row-vector `bias` (1 x n) to every row of `a` in place. */
+void addBiasInPlace(Matrix &a, const Matrix &bias);
+
+/** Horizontal concatenation [A | B | ...]; all must share row count. */
+Matrix hconcat(const std::vector<const Matrix *> &parts);
+
+/** In-place ReLU. */
+void reluInPlace(Matrix &a);
+
+/** In-place logistic sigmoid. */
+void sigmoidInPlace(Matrix &a);
+
+/** In-place tanh. */
+void tanhInPlace(Matrix &a);
+
+/** In-place row-wise softmax. */
+void softmaxRowsInPlace(Matrix &a);
+
+/** L2 norm of each row, as an (rows x 1) column. */
+Matrix rowL2Norms(const Matrix &a);
+
+/** Squared L2 norm of each row, as an (rows x 1) column. */
+Matrix rowSquaredNorms(const Matrix &a);
+
+/** Sum over rows -> (1 x cols) row vector. */
+Matrix columnSums(const Matrix &a);
+
+/** Mean over rows -> (1 x cols) row vector. */
+Matrix columnMeans(const Matrix &a);
+
+/** Transposed copy. */
+Matrix transpose(const Matrix &a);
+
+/** Dot product of two equal-length float spans. */
+float dot(const float *a, const float *b, size_t n);
+
+} // namespace cegma
+
+#endif // CEGMA_TENSOR_MATRIX_HH

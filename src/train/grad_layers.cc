@@ -1,0 +1,169 @@
+#include "train/grad_layers.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "nn/gcn.hh"
+
+namespace cegma {
+
+void
+AdamState::ensureShape(const Matrix &param)
+{
+    if (m.rows() != param.rows() || m.cols() != param.cols()) {
+        m = Matrix(param.rows(), param.cols());
+        v = Matrix(param.rows(), param.cols());
+        step = 0;
+    }
+}
+
+void
+AdamState::update(Matrix &param, const Matrix &grad, double lr)
+{
+    constexpr double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+    ensureShape(param);
+    ++step;
+    double bias1 = 1.0 - std::pow(beta1, static_cast<double>(step));
+    double bias2 = 1.0 - std::pow(beta2, static_cast<double>(step));
+    for (size_t i = 0; i < param.size(); ++i) {
+        double g = grad.data()[i];
+        double mi = beta1 * m.data()[i] + (1.0 - beta1) * g;
+        double vi = beta2 * v.data()[i] + (1.0 - beta2) * g * g;
+        m.data()[i] = static_cast<float>(mi);
+        v.data()[i] = static_cast<float>(vi);
+        double mhat = mi / bias1;
+        double vhat = vi / bias2;
+        param.data()[i] -=
+            static_cast<float>(lr * mhat / (std::sqrt(vhat) + eps));
+    }
+}
+
+DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Rng &rng,
+                       Activation act)
+    : act_(act), weight_(in_dim, out_dim), bias_(1, out_dim),
+      gradWeight_(in_dim, out_dim), gradBias_(1, out_dim)
+{
+    weight_.fillXavier(rng);
+}
+
+Matrix
+DenseLayer::forward(const Matrix &x)
+{
+    cegma_assert(x.cols() == weight_.rows());
+    cachedX_ = x;
+    Matrix y = matmul(x, weight_);
+    addBiasInPlace(y, bias_);
+    applyActivation(y, act_);
+    cachedY_ = y;
+    return y;
+}
+
+Matrix
+DenseLayer::backward(const Matrix &dy)
+{
+    return backwardWith(dy, cachedX_, cachedY_);
+}
+
+Matrix
+DenseLayer::backwardWith(const Matrix &dy, const Matrix &x,
+                         const Matrix &y_out)
+{
+    cegma_assert(dy.rows() == y_out.rows() && dy.cols() == y_out.cols());
+    cegma_assert(x.rows() == dy.rows() && x.cols() == weight_.rows());
+
+    // Through the activation: dz = dy * act'(z), expressed via y.
+    Matrix dz = dy;
+    switch (act_) {
+      case Activation::None:
+        break;
+      case Activation::Relu:
+        for (size_t i = 0; i < dz.size(); ++i) {
+            if (y_out.data()[i] <= 0.0f)
+                dz.data()[i] = 0.0f;
+        }
+        break;
+      case Activation::Sigmoid:
+        for (size_t i = 0; i < dz.size(); ++i) {
+            float y = y_out.data()[i];
+            dz.data()[i] *= y * (1.0f - y);
+        }
+        break;
+      case Activation::Tanh:
+        for (size_t i = 0; i < dz.size(); ++i) {
+            float y = y_out.data()[i];
+            dz.data()[i] *= 1.0f - y * y;
+        }
+        break;
+    }
+
+    // Parameter gradients: dW = x^T dz, db = column sums of dz.
+    Matrix dw = matmul(transpose(x), dz);
+    for (size_t i = 0; i < dw.size(); ++i)
+        gradWeight_.data()[i] += dw.data()[i];
+    Matrix db = columnSums(dz);
+    for (size_t i = 0; i < db.size(); ++i)
+        gradBias_.data()[i] += db.data()[i];
+
+    // Input gradient: dx = dz W^T.
+    return matmulNT(dz, weight_);
+}
+
+void
+DenseLayer::zeroGrad()
+{
+    gradWeight_.fill(0.0f);
+    gradBias_.fill(0.0f);
+}
+
+void
+DenseLayer::adamStep(double lr)
+{
+    adamW_.update(weight_, gradWeight_, lr);
+    adamB_.update(bias_, gradBias_, lr);
+    zeroGrad();
+}
+
+Matrix
+aggregateMeanBackward(const Graph &g, const Matrix &d_agg)
+{
+    cegma_assert(d_agg.rows() == g.numNodes());
+    const size_t f = d_agg.cols();
+    Matrix dx(g.numNodes(), f);
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        float inv = 1.0f / static_cast<float>(g.degree(v) + 1);
+        const float *src = d_agg.row(v);
+        // Self term.
+        float *self = dx.row(v);
+        for (size_t j = 0; j < f; ++j)
+            self[j] += inv * src[j];
+        // Neighbor terms: x_u contributed to agg_v with weight inv_v.
+        for (NodeId u : g.neighbors(v)) {
+            float *dst = dx.row(u);
+            for (size_t j = 0; j < f; ++j)
+                dst[j] += inv * src[j];
+        }
+    }
+    return dx;
+}
+
+Matrix
+sumPool(const Matrix &x)
+{
+    return columnSums(x);
+}
+
+Matrix
+sumPoolBackward(const Matrix &dh, size_t num_nodes)
+{
+    cegma_assert(dh.rows() == 1);
+    Matrix dx(num_nodes, dh.cols());
+    for (size_t v = 0; v < num_nodes; ++v) {
+        float *row = dx.row(v);
+        for (size_t j = 0; j < dh.cols(); ++j)
+            row[j] = dh.at(0, j);
+    }
+    return dx;
+}
+
+} // namespace cegma

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Differentiable building blocks with hand-written backward passes
+ * and an Adam optimizer — the minimal training substrate for fitting
+ * GMN-style similarity models on the synthetic datasets (the paper
+ * trains its models before profiling them, §V-A).
+ *
+ * Scope: dense layers with tanh/ReLU, mean graph aggregation, and
+ * sum pooling. Gradients are validated against finite differences in
+ * tests/train_test.cc.
+ */
+
+#ifndef CEGMA_TRAIN_GRAD_LAYERS_HH
+#define CEGMA_TRAIN_GRAD_LAYERS_HH
+
+#include <vector>
+
+#include "graph/graph.hh"
+#include "nn/linear.hh"
+#include "tensor/matrix.hh"
+
+namespace cegma {
+
+class Rng;
+
+/** Adam state for one parameter matrix. */
+struct AdamState
+{
+    Matrix m; ///< first-moment estimate
+    Matrix v; ///< second-moment estimate
+    uint64_t step = 0;
+
+    /** Lazily size the moments to match `param`. */
+    void ensureShape(const Matrix &param);
+
+    /**
+     * One Adam update of `param` against `grad`.
+     *
+     * @param lr learning rate (beta1=0.9, beta2=0.999, eps=1e-8)
+     */
+    void update(Matrix &param, const Matrix &grad, double lr);
+};
+
+/**
+ * A dense layer (y = act(x W + b)) that caches its forward operands
+ * and accumulates parameter gradients on backward.
+ */
+class DenseLayer
+{
+  public:
+    DenseLayer(size_t in_dim, size_t out_dim, Rng &rng,
+               Activation act = Activation::Tanh);
+
+    /** Forward; caches x and y for the subsequent backward. */
+    Matrix forward(const Matrix &x);
+
+    /**
+     * Backward: consumes dL/dy for the most recent forward, adds to
+     * the weight/bias gradient accumulators, returns dL/dx.
+     */
+    Matrix backward(const Matrix &dy);
+
+    /**
+     * Stateless backward with caller-provided forward caches —
+     * required when one layer runs several forwards (e.g.\ both sides
+     * of a Siamese model) before the backward pass.
+     *
+     * @param dy dL/dy
+     * @param x the forward's input
+     * @param y the forward's (post-activation) output
+     */
+    Matrix backwardWith(const Matrix &dy, const Matrix &x,
+                        const Matrix &y);
+
+    /** Zero the gradient accumulators. */
+    void zeroGrad();
+
+    /** Apply one Adam step and clear the accumulators. */
+    void adamStep(double lr);
+
+    size_t inDim() const { return weight_.rows(); }
+    size_t outDim() const { return weight_.cols(); }
+
+    Matrix &weight() { return weight_; }
+    Matrix &bias() { return bias_; }
+    const Matrix &weightGrad() const { return gradWeight_; }
+    const Matrix &biasGrad() const { return gradBias_; }
+
+  private:
+    Activation act_;
+    Matrix weight_, bias_;
+    Matrix gradWeight_, gradBias_;
+    Matrix cachedX_, cachedY_;
+    AdamState adamW_, adamB_;
+};
+
+/**
+ * Backward of aggregateMean (nn/gcn.hh): given dL/d(aggregated),
+ * return dL/d(input features). The mean over {self + neighbors} is a
+ * symmetric-normalized linear operator, so the backward distributes
+ * each row's gradient to itself and its neighbors scaled by
+ * 1/(deg+1) of the *destination* row.
+ */
+Matrix aggregateMeanBackward(const Graph &g, const Matrix &d_agg);
+
+/** Sum pooling over nodes: (n x f) -> (1 x f). */
+Matrix sumPool(const Matrix &x);
+
+/** Backward of sumPool: broadcast dh to every node row. */
+Matrix sumPoolBackward(const Matrix &dh, size_t num_nodes);
+
+} // namespace cegma
+
+#endif // CEGMA_TRAIN_GRAD_LAYERS_HH

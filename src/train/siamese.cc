@@ -1,0 +1,164 @@
+#include "train/siamese.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "nn/gcn.hh"
+
+namespace cegma {
+
+namespace {
+
+/**
+ * Degree-augmented input features [label + 1, log1p(degree)]: with
+ * mean aggregation, uniform inputs stay uniform through every layer,
+ * so the degree column is what lets the network see structure.
+ */
+Matrix
+trainableFeatures(const Graph &g)
+{
+    Matrix x(g.numNodes(), 2);
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        x.at(v, 0) = static_cast<float>(g.label(v) + 1);
+        x.at(v, 1) = std::log1p(static_cast<float>(g.degree(v)));
+    }
+    return x;
+}
+
+} // namespace
+
+SiameseGcn::SiameseGcn(const TrainConfig &config, uint64_t seed)
+    : config_(config),
+      encoder_([&] {
+          Rng rng(seed);
+          return DenseLayer(2, config.hiddenDim, rng, Activation::Tanh);
+      }())
+{
+    Rng rng(seed ^ 0xabcdef12u);
+    for (unsigned l = 0; l < config_.numLayers; ++l) {
+        layers_.emplace_back(config_.hiddenDim, config_.hiddenDim, rng,
+                             Activation::Tanh);
+    }
+}
+
+Matrix
+SiameseGcn::forwardSide(const Graph &g, SideCache &cache)
+{
+    cache.graph = &g;
+    cache.layerIn.clear();
+    cache.layerOut.clear();
+
+    cache.encoderIn = trainableFeatures(g);
+    cache.encoderOut = encoder_.forward(cache.encoderIn);
+
+    Matrix x = cache.encoderOut;
+    for (DenseLayer &layer : layers_) {
+        Matrix agg = aggregateMean(g, x, {});
+        cache.layerIn.push_back(agg);
+        x = layer.forward(agg);
+        cache.layerOut.push_back(x);
+    }
+    cache.embedding = sumPool(x);
+    return cache.embedding;
+}
+
+void
+SiameseGcn::backwardSide(const SideCache &cache, const Matrix &d_embed)
+{
+    cegma_assert(cache.graph != nullptr);
+    Matrix dx = sumPoolBackward(d_embed, cache.graph->numNodes());
+    for (size_t l = layers_.size(); l > 0; --l) {
+        Matrix d_agg = layers_[l - 1].backwardWith(
+            dx, cache.layerIn[l - 1], cache.layerOut[l - 1]);
+        dx = aggregateMeanBackward(*cache.graph, d_agg);
+    }
+    encoder_.backwardWith(dx, cache.encoderIn, cache.encoderOut);
+}
+
+double
+SiameseGcn::distance(const GraphPair &pair)
+{
+    Matrix ht = forwardSide(pair.target, cacheT_);
+    Matrix hq = forwardSide(pair.query, cacheQ_);
+    double d = 0.0;
+    for (size_t j = 0; j < ht.cols(); ++j) {
+        double diff = ht.at(0, j) - hq.at(0, j);
+        d += diff * diff;
+    }
+    return d;
+}
+
+double
+SiameseGcn::trainStep(const GraphPair &pair)
+{
+    double d = distance(pair);
+
+    // Contrastive loss and dL/dd.
+    double loss, dl_dd;
+    if (pair.similar) {
+        loss = d;
+        dl_dd = 1.0;
+    } else if (d < config_.margin) {
+        loss = config_.margin - d;
+        dl_dd = -1.0;
+    } else {
+        return 0.0; // margin satisfied: no gradient
+    }
+
+    // dd/dht = 2 (ht - hq); dd/dhq = -2 (ht - hq).
+    const Matrix &ht = cacheT_.embedding;
+    const Matrix &hq = cacheQ_.embedding;
+    Matrix d_ht(1, ht.cols()), d_hq(1, hq.cols());
+    for (size_t j = 0; j < ht.cols(); ++j) {
+        float diff = 2.0f * (ht.at(0, j) - hq.at(0, j)) *
+                     static_cast<float>(dl_dd);
+        d_ht.at(0, j) = diff;
+        d_hq.at(0, j) = -diff;
+    }
+
+    backwardSide(cacheT_, d_ht);
+    backwardSide(cacheQ_, d_hq);
+
+    encoder_.adamStep(config_.learningRate);
+    for (DenseLayer &layer : layers_)
+        layer.adamStep(config_.learningRate);
+    return loss;
+}
+
+bool
+SiameseGcn::predictSimilar(const GraphPair &pair)
+{
+    return distance(pair) < config_.margin / 2.0;
+}
+
+double
+SiameseGcn::accuracy(const std::vector<GraphPair> &pairs)
+{
+    if (pairs.empty())
+        return 0.0;
+    size_t correct = 0;
+    for (const GraphPair &pair : pairs)
+        correct += predictSimilar(pair) == pair.similar;
+    return static_cast<double>(correct) / pairs.size();
+}
+
+TrainReport
+trainSiamese(SiameseGcn &model, const std::vector<GraphPair> &train_pairs,
+             const std::vector<GraphPair> &test_pairs)
+{
+    TrainReport report;
+    report.initialAccuracy = model.accuracy(test_pairs);
+    for (unsigned epoch = 0; epoch < model.config().epochs; ++epoch) {
+        double total = 0.0;
+        for (const GraphPair &pair : train_pairs)
+            total += model.trainStep(pair);
+        report.epochLoss.push_back(
+            train_pairs.empty() ? 0.0 : total / train_pairs.size());
+    }
+    report.finalAccuracy = model.accuracy(test_pairs);
+    return report;
+}
+
+} // namespace cegma

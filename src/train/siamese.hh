@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A trainable Siamese GCN similarity model with contrastive loss —
+ * the training counterpart to the inference-only models in gmn/
+ * (the paper trains its GMNs on each dataset before profiling, §V-A).
+ *
+ * Architecture: a shared encoder (1 -> d, tanh), L GCN layers
+ * (mean-aggregate then dense-tanh), sum pooling to a graph vector,
+ * and the squared euclidean distance between the two graph vectors.
+ * Training minimizes the contrastive loss
+ *   L = d               for similar pairs
+ *   L = max(0, m - d)   for dissimilar pairs
+ * so similar pairs pull together and dissimilar pairs push apart to
+ * the margin; classification thresholds the distance.
+ */
+
+#ifndef CEGMA_TRAIN_SIAMESE_HH
+#define CEGMA_TRAIN_SIAMESE_HH
+
+#include <vector>
+
+#include "graph/dataset.hh"
+#include "train/grad_layers.hh"
+
+namespace cegma {
+
+/** Training hyperparameters. */
+struct TrainConfig
+{
+    unsigned numLayers = 3;
+    size_t hiddenDim = 32;
+    double learningRate = 5e-3;
+    double margin = 4.0;
+    unsigned epochs = 12;
+};
+
+/** Trainable Siamese GCN. */
+class SiameseGcn
+{
+  public:
+    SiameseGcn(const TrainConfig &config, uint64_t seed);
+
+    /** Squared euclidean distance between graph embeddings. */
+    double distance(const GraphPair &pair);
+
+    /**
+     * One training step on a pair: forward, contrastive loss,
+     * backward, Adam update. @return the loss value.
+     */
+    double trainStep(const GraphPair &pair);
+
+    /**
+     * Classify by thresholding the distance at margin/2.
+     * @return true if predicted similar.
+     */
+    bool predictSimilar(const GraphPair &pair);
+
+    /** Accuracy over a set of pairs. */
+    double accuracy(const std::vector<GraphPair> &pairs);
+
+    const TrainConfig &config() const { return config_; }
+
+  private:
+    /** Per-side forward caches for backprop (shared weights run two
+     *  forwards per pair, so caches live outside the layers). */
+    struct SideCache
+    {
+        const Graph *graph = nullptr;
+        Matrix encoderIn, encoderOut;
+        std::vector<Matrix> layerIn;  ///< aggregated input per layer
+        std::vector<Matrix> layerOut; ///< dense output per layer
+        Matrix embedding;             ///< pooled graph vector
+    };
+
+    /** Forward one side, filling `cache`. */
+    Matrix forwardSide(const Graph &g, SideCache &cache);
+
+    /**
+     * Backward one side from the embedding gradient. Dense-layer
+     * parameter gradients accumulate in the shared layers.
+     */
+    void backwardSide(const SideCache &cache, const Matrix &d_embed);
+
+    TrainConfig config_;
+    DenseLayer encoder_;
+    std::vector<DenseLayer> layers_;
+    SideCache cacheT_, cacheQ_;
+};
+
+/** Outcome of a training run. */
+struct TrainReport
+{
+    double initialAccuracy = 0.0;
+    double finalAccuracy = 0.0;
+    std::vector<double> epochLoss;
+};
+
+/**
+ * Train on `train_pairs`, evaluate on `test_pairs` before and after.
+ */
+TrainReport trainSiamese(SiameseGcn &model,
+                         const std::vector<GraphPair> &train_pairs,
+                         const std::vector<GraphPair> &test_pairs);
+
+} // namespace cegma
+
+#endif // CEGMA_TRAIN_SIAMESE_HH

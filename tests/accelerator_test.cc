@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Integration tests for the accelerator and platform models: the
+ * paper's qualitative results must hold (CEGMA faster and lighter on
+ * DRAM than the baselines; ablations in between; software platforms
+ * slowest).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+#include "accel/platform.hh"
+#include "accel/runner.hh"
+#include "common/rng.hh"
+#include "graph/generators.hh"
+
+namespace cegma {
+namespace {
+
+std::vector<PairTrace>
+threadTraces(ModelId model, const Dataset &ds, uint32_t count)
+{
+    return buildTraces(model, ds, count);
+}
+
+class AcceleratorFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dataset_ = makeDataset(DatasetId::RD_B, 7, 6);
+    }
+
+    Dataset dataset_;
+};
+
+TEST_F(AcceleratorFixture, CegmaBeatsBaselinesOnCyclesAndDram)
+{
+    for (ModelId model : allModels()) {
+        auto traces = threadTraces(model, dataset_, 6);
+        SimResult awb = runPlatform(PlatformId::AwbGcn, traces);
+        SimResult hygcn = runPlatform(PlatformId::HyGcn, traces);
+        SimResult cegma = runPlatform(PlatformId::Cegma, traces);
+        EXPECT_LT(cegma.cycles, awb.cycles)
+            << modelConfig(model).name;
+        EXPECT_LT(cegma.cycles, hygcn.cycles)
+            << modelConfig(model).name;
+        EXPECT_LT(cegma.dramBytes(), awb.dramBytes())
+            << modelConfig(model).name;
+        EXPECT_LT(cegma.dramBytes(), hygcn.dramBytes())
+            << modelConfig(model).name;
+    }
+}
+
+TEST_F(AcceleratorFixture, AblationsLieBetweenBaselineAndFull)
+{
+    auto traces = threadTraces(ModelId::GmnLi, dataset_, 6);
+    SimResult awb = runPlatform(PlatformId::AwbGcn, traces);
+    SimResult emf = runPlatform(PlatformId::CegmaEmf, traces);
+    SimResult cgc = runPlatform(PlatformId::CegmaCgc, traces);
+    SimResult full = runPlatform(PlatformId::Cegma, traces);
+    EXPECT_LT(emf.cycles, awb.cycles);
+    EXPECT_LT(cgc.cycles, awb.cycles);
+    EXPECT_LE(full.cycles, emf.cycles);
+    EXPECT_LE(full.cycles, cgc.cycles);
+    EXPECT_LT(emf.dramBytes(), awb.dramBytes());
+    EXPECT_LT(cgc.dramBytes(), awb.dramBytes());
+}
+
+TEST_F(AcceleratorFixture, SoftwarePlatformsAreSlowest)
+{
+    auto traces = threadTraces(ModelId::GraphSim, dataset_, 6);
+    SimResult cpu = runPlatform(PlatformId::PygCpu, traces);
+    SimResult gpu = runPlatform(PlatformId::PygGpu, traces);
+    SimResult awb = runPlatform(PlatformId::AwbGcn, traces);
+    SimResult cegma = runPlatform(PlatformId::Cegma, traces);
+    EXPECT_GT(cpu.cycles, gpu.cycles);
+    EXPECT_GT(gpu.cycles, awb.cycles);
+    EXPECT_GT(gpu.cycles, cegma.cycles);
+}
+
+TEST_F(AcceleratorFixture, EmfCountersRecorded)
+{
+    auto traces = threadTraces(ModelId::GraphSim, dataset_, 2);
+    SimResult cegma = runPlatform(PlatformId::Cegma, traces);
+    EXPECT_GT(cegma.extra.get("emf_hash_cycles"), 0u);
+    EXPECT_GT(cegma.extra.get("emf_filter_cycles"), 0u);
+    SimResult awb = runPlatform(PlatformId::AwbGcn, traces);
+    EXPECT_EQ(awb.extra.get("emf_hash_cycles"), 0u);
+}
+
+TEST_F(AcceleratorFixture, BatchingAmortizesWeightTraffic)
+{
+    auto traces = threadTraces(ModelId::GraphSim, dataset_, 6);
+    AcceleratorModel awb(awbGcnConfig());
+    SimResult batched = awb.simulateAll(traces, 32);
+    SimResult unbatched = awb.simulateAll(traces, 1);
+    EXPECT_LT(batched.dramReadBytes, unbatched.dramReadBytes);
+    EXPECT_EQ(batched.pairsSimulated, unbatched.pairsSimulated);
+}
+
+TEST_F(AcceleratorFixture, GmnLiGainsMostDramReduction)
+{
+    // Fig. 17/22 shape: the type (b) model (GMN-Li) sees the largest
+    // relative DRAM reduction because CEGMA keeps S on-chip.
+    auto li = threadTraces(ModelId::GmnLi, dataset_, 6);
+    auto sg = threadTraces(ModelId::SimGnn, dataset_, 6);
+    double li_ratio =
+        static_cast<double>(runPlatform(PlatformId::Cegma, li)
+                                .dramBytes()) /
+        runPlatform(PlatformId::AwbGcn, li).dramBytes();
+    double sg_ratio =
+        static_cast<double>(runPlatform(PlatformId::Cegma, sg)
+                                .dramBytes()) /
+        runPlatform(PlatformId::AwbGcn, sg).dramBytes();
+    EXPECT_LT(li_ratio, sg_ratio);
+}
+
+TEST(LayerWeights, BytesByModel)
+{
+    EXPECT_EQ(layerWeightBytes(ModelId::GraphSim, 64), 64u * 64u * 4u);
+    EXPECT_EQ(layerWeightBytes(ModelId::SimGnn, 64), 64u * 64u * 4u);
+    EXPECT_EQ(layerWeightBytes(ModelId::GmnLi, 64), 7u * 64u * 64u * 4u);
+}
+
+TEST(EmfKeepMask, FirstOccurrencePerClass)
+{
+    auto mask = emfKeepMask({3, 3, 5, 3, 5, 9});
+    std::vector<bool> expected{true, false, true, false, false, true};
+    EXPECT_EQ(mask, expected);
+}
+
+TEST(Platform, OpSecondsRoofline)
+{
+    SoftwarePlatform gpu = pygGpuPlatform();
+    // Tiny op: dominated by launch/dispatch overhead.
+    EXPECT_NEAR(gpu.opSeconds(1e3, 1e3), gpu.kernelOverhead, 3e-5);
+    // Huge op: compute at the utilization ceiling (PyG never reaches
+    // machine peak on GMN workloads — see the utilCap doc).
+    double huge = gpu.opSeconds(1e12, 1e9);
+    double ceiling_time = 1e12 / (gpu.peakFlops * gpu.utilCap);
+    EXPECT_GT(huge, ceiling_time * 0.9);
+    EXPECT_LT(huge, ceiling_time * 1.5);
+    // Utilization grows with op size: per-FLOP cost must not rise.
+    EXPECT_LT(gpu.opSeconds(1e9, 1e6) / 1e9,
+              gpu.opSeconds(1e7, 1e4) / 1e7);
+}
+
+TEST(Platform, LargerGraphsQuadraticallySlower)
+{
+    Rng rng(31);
+    Graph small_g = randomGraphLi(100, rng);
+    Graph big_g = randomGraphLi(1000, rng);
+    GraphPair ps = makePairFromOriginal(small_g, true, rng);
+    GraphPair pb = makePairFromOriginal(big_g, true, rng);
+    std::vector<PairTrace> ts{buildTrace(ModelId::GmnLi, ps)};
+    std::vector<PairTrace> tb{buildTrace(ModelId::GmnLi, pb)};
+    SoftwarePlatform gpu = pygGpuPlatform();
+    double s = gpu.runAll(ts).cycles;
+    double b = gpu.runAll(tb).cycles;
+    // 10x nodes -> much more than 10x matching cost once past the
+    // overhead floor.
+    EXPECT_GT(b, s);
+}
+
+} // namespace
+} // namespace cegma

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the analysis passes: the exact reuse-distance profiler
+ * (validated against a naive reference), FLOP breakdowns, and
+ * redundancy statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "accel/window.hh"
+#include "analysis/flops.hh"
+#include "analysis/redundancy.hh"
+#include "analysis/reuse.hh"
+#include "common/rng.hh"
+#include "graph/generators.hh"
+#include "graph/wl_refine.hh"
+
+namespace cegma {
+namespace {
+
+/** O(N^2) reference reuse-distance profiler. */
+IntDistribution
+naiveReuse(const std::vector<uint32_t> &trace, uint64_t *cold)
+{
+    IntDistribution out;
+    uint64_t cold_count = 0;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        // Find previous access.
+        size_t prev = SIZE_MAX;
+        for (size_t j = i; j > 0; --j) {
+            if (trace[j - 1] == trace[i]) {
+                prev = j - 1;
+                break;
+            }
+        }
+        if (prev == SIZE_MAX) {
+            ++cold_count;
+            continue;
+        }
+        std::set<uint32_t> between(trace.begin() + prev + 1,
+                                   trace.begin() + i);
+        between.erase(trace[i]);
+        out.add(between.size());
+    }
+    if (cold)
+        *cold = cold_count;
+    return out;
+}
+
+TEST(ReuseProfiler, MatchesNaiveOnRandomTraces)
+{
+    Rng rng(41);
+    for (int trial = 0; trial < 5; ++trial) {
+        std::vector<uint32_t> trace(200);
+        for (auto &t : trace)
+            t = static_cast<uint32_t>(rng.nextBounded(30));
+        uint64_t cold_fast = 0, cold_naive = 0;
+        IntDistribution fast = profileReuseDistances(trace, &cold_fast);
+        IntDistribution slow = naiveReuse(trace, &cold_naive);
+        EXPECT_EQ(cold_fast, cold_naive);
+        ASSERT_EQ(fast.total(), slow.total());
+        EXPECT_EQ(fast.counts(), slow.counts()) << "trial " << trial;
+    }
+}
+
+TEST(ReuseProfiler, HandComputed)
+{
+    // Trace: a b a c a -> distances: a@2:{b}=1, a@4:{c}=1 ... plus
+    // nothing for b, c (cold).
+    std::vector<uint32_t> trace{0, 1, 0, 2, 0};
+    uint64_t cold = 0;
+    IntDistribution d = profileReuseDistances(trace, &cold);
+    EXPECT_EQ(cold, 3u);
+    EXPECT_EQ(d.total(), 2u);
+    EXPECT_EQ(d.counts().at(1), 2u);
+}
+
+TEST(ReuseProfiler, RepeatedAccessHasZeroDistance)
+{
+    std::vector<uint32_t> trace{5, 5, 5};
+    IntDistribution d = profileReuseDistances(trace);
+    EXPECT_EQ(d.total(), 2u);
+    EXPECT_EQ(d.counts().at(0), 2u);
+}
+
+TEST(ReuseProfiler, BufferHitFraction)
+{
+    IntDistribution d;
+    d.addWeighted(1, 50);
+    d.addWeighted(100, 50);
+    EXPECT_DOUBLE_EQ(bufferHitFraction(d, 10), 0.5);
+    EXPECT_DOUBLE_EQ(bufferHitFraction(d, 1000), 1.0);
+    EXPECT_DOUBLE_EQ(bufferHitFraction(d, 1), 0.0);
+}
+
+TEST(ReuseProfiler, CegmaShortensDistances)
+{
+    // The Fig. 4 vs Fig. 20 claim: CEGMA (coordinated window over the
+    // EMF-filtered unique nodes) makes node reuses land at short
+    // distances, while the baseline's matching-stage reloads span the
+    // whole pair.
+    Rng rng(43);
+    Graph t = threadGraph(150, 180, rng);
+    Graph q = threadGraph(140, 170, rng);
+    WlColoring wl_t = wlRefine(t, 1);
+    WlColoring wl_q = wlRefine(q, 1);
+    std::vector<bool> keep_t(t.numNodes()), keep_q(q.numNodes());
+    std::vector<bool> seen_t(wl_t.numClasses[1], false);
+    for (NodeId v = 0; v < t.numNodes(); ++v) {
+        keep_t[v] = !seen_t[wl_t.colors[1][v]];
+        seen_t[wl_t.colors[1][v]] = true;
+    }
+    std::vector<bool> seen_q(wl_q.numClasses[1], false);
+    for (NodeId v = 0; v < q.numNodes(); ++v) {
+        keep_q[v] = !seen_q[wl_q.colors[1][v]];
+        seen_q[wl_q.colors[1][v]] = true;
+    }
+
+    WindowWork work;
+    work.target = &t;
+    work.query = &q;
+    work.capNodes = 32;
+    work.hasMatching = true;
+
+    auto sep = scheduleLayer(SchedulerKind::SeparatePhase, work, true);
+    work.matchTarget = &keep_t;
+    work.matchQuery = &keep_q;
+    auto cegma = scheduleLayer(SchedulerKind::Coordinated, work, true);
+    IntDistribution d_sep = profileReuseDistances(sep.accessTrace);
+    IntDistribution d_cegma = profileReuseDistances(cegma.accessTrace);
+    // Fraction of reuses within a 2^6-node window.
+    EXPECT_GT(bufferHitFraction(d_cegma, 64),
+              bufferHitFraction(d_sep, 64));
+}
+
+TEST(FlopBreakdown, SharesSumToOne)
+{
+    Dataset ds = makeDataset(DatasetId::GITHUB, 7, 8);
+    FlopBreakdown bd = figure3Breakdown(ds);
+    EXPECT_NEAR(bd.aggregateShare() + bd.combineShare() +
+                    bd.matchingShare(),
+                1.0, 1e-9);
+    EXPECT_GT(bd.total(), 0.0);
+}
+
+TEST(FlopBreakdown, MatchingShareGrowsWithGraphSize)
+{
+    Dataset small_ds = makeDataset(DatasetId::AIDS, 7, 16);
+    Dataset large_ds = makeDataset(DatasetId::RD_5K, 7, 8);
+    double small_share = figure3Breakdown(small_ds).matchingShare();
+    double large_share = figure3Breakdown(large_ds).matchingShare();
+    EXPECT_GT(large_share, small_share);
+    // Large REDDIT-scale graphs: matching dominates (Fig. 3's 99%).
+    EXPECT_GT(large_share, 0.7);
+}
+
+TEST(FlopBreakdown, MergeAccumulates)
+{
+    FlopBreakdown a{1, 2, 3}, b{10, 20, 30};
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.aggregate, 11.0);
+    EXPECT_DOUBLE_EQ(a.total(), 66.0);
+}
+
+TEST(Redundancy, MatchesTraceSums)
+{
+    Dataset ds = makeDataset(DatasetId::RD_B, 7, 4);
+    std::vector<PairTrace> traces;
+    for (const auto &pair : ds.pairs)
+        traces.push_back(buildTrace(ModelId::GraphSim, pair));
+    RedundancyStats stats = redundancyOf(traces);
+    uint64_t total = 0, unique = 0;
+    for (const auto &trace : traces) {
+        total += trace.totalMatchPairs();
+        unique += trace.uniqueMatchPairs();
+    }
+    EXPECT_EQ(stats.totalMatches, total);
+    EXPECT_EQ(stats.uniqueMatches, unique);
+    EXPECT_DOUBLE_EQ(stats.remainingUniqueFraction(),
+                     static_cast<double>(unique) / total);
+}
+
+TEST(Redundancy, ThreadGraphsHeavilyRedundant)
+{
+    // Fig. 7's claim: REDDIT-like data shows >90% redundant matching.
+    Dataset ds = makeDataset(DatasetId::RD_5K, 7, 6);
+    std::vector<PairTrace> traces;
+    for (const auto &pair : ds.pairs)
+        traces.push_back(buildTrace(ModelId::GraphSim, pair));
+    RedundancyStats stats = redundancyOf(traces);
+    EXPECT_GT(stats.redundantFraction(), 0.5);
+    EXPECT_GT(stats.redundantToUniqueRatio(), 1.0);
+}
+
+} // namespace
+} // namespace cegma

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the AOE unit: Algorithm 2 semantics and the hardware
+ * cycle estimate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/aoe_unit.hh"
+
+namespace cegma {
+namespace {
+
+TEST(AoeUnit, KeepsSideWithMoreOutliers)
+{
+    // Target has two nodes at the minimum remaining degree (0), query
+    // only one: keep the target stationary.
+    AoeDecision d = evaluateAoe({0, 0, 5}, {0, 3, 4});
+    EXPECT_TRUE(d.keepTarget);
+    EXPECT_EQ(d.threshold, 0u);
+    EXPECT_EQ(d.outliersTarget, 2u);
+    EXPECT_EQ(d.outliersQuery, 1u);
+}
+
+TEST(AoeUnit, QueryWinsWithMoreOutliers)
+{
+    AoeDecision d = evaluateAoe({2, 3}, {1, 1, 1});
+    EXPECT_FALSE(d.keepTarget);
+    EXPECT_EQ(d.threshold, 1u);
+    EXPECT_EQ(d.outliersQuery, 3u);
+    EXPECT_EQ(d.outliersTarget, 0u);
+}
+
+TEST(AoeUnit, ThresholdResetClearsCounters)
+{
+    // Algorithm 2 lines 3-8: a new minimum resets both counters.
+    // Target nodes at 5 (two of them), then a query node at 1.
+    AoeDecision d = evaluateAoe({5, 5}, {1});
+    EXPECT_EQ(d.threshold, 1u);
+    EXPECT_EQ(d.outliersTarget, 0u);
+    EXPECT_EQ(d.outliersQuery, 1u);
+    EXPECT_FALSE(d.keepTarget);
+}
+
+TEST(AoeUnit, TieKeepsTarget)
+{
+    AoeDecision d = evaluateAoe({1}, {1});
+    EXPECT_TRUE(d.keepTarget);
+}
+
+TEST(AoeUnit, EmptySidesAreSafe)
+{
+    AoeDecision d = evaluateAoe({}, {});
+    EXPECT_TRUE(d.keepTarget);
+    EXPECT_EQ(d.threshold, 0u);
+    EXPECT_GE(d.cycles, 1u);
+}
+
+TEST(AoeUnit, CyclesScaleWithWindowSize)
+{
+    std::vector<uint32_t> small(16, 1), large(512, 1);
+    uint64_t c_small = evaluateAoe(small, small).cycles;
+    uint64_t c_large = evaluateAoe(large, large).cycles;
+    EXPECT_GT(c_large, c_small);
+    // Even a 1024-node window decides within a few hundred cycles —
+    // negligible against the matching sweep it steers.
+    EXPECT_LT(c_large, 10000u);
+}
+
+TEST(AoeUnit, MoreCountersAreFaster)
+{
+    std::vector<uint32_t> window(256, 2);
+    AoeUnitConfig few{8, 8, 8};
+    AoeUnitConfig many{64, 8, 64};
+    EXPECT_GT(evaluateAoe(window, window, few).cycles,
+              evaluateAoe(window, window, many).cycles);
+}
+
+} // namespace
+} // namespace cegma

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for the Table III area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/area.hh"
+
+namespace cegma {
+namespace {
+
+TEST(Area, CegmaMatchesTableThree)
+{
+    AreaBreakdown area = estimateArea(cegmaConfig());
+    // Paper: 6.3 mm^2 total at 14 nm.
+    EXPECT_NEAR(area.total(), 6.3, 0.15);
+    // Distribution rows (paper: PE 53.58%+27.78%, EMF 0.18%+6.66%,
+    // CGC 0.01%+11.79%).
+    EXPECT_NEAR(area.peLogicShare(), 0.5358, 0.01);
+    EXPECT_NEAR(area.peBufferShare(), 0.2778, 0.01);
+    EXPECT_NEAR(area.emfLogicShare(), 0.0018, 0.001);
+    EXPECT_NEAR(area.emfBufferShare(), 0.0666, 0.005);
+    EXPECT_NEAR(area.cgcLogicShare(), 0.0001, 0.001);
+    EXPECT_NEAR(area.cgcBufferShare(), 0.1179, 0.005);
+}
+
+TEST(Area, FeaturesAddArea)
+{
+    AreaBreakdown base = estimateArea(cegmaCgcOnlyConfig());
+    AreaBreakdown full = estimateArea(cegmaConfig());
+    EXPECT_GT(full.total(), base.total());
+    EXPECT_DOUBLE_EQ(base.emfLogic, 0.0);
+    EXPECT_DOUBLE_EQ(base.emfBuffer, 0.0);
+    AreaBreakdown emf_only = estimateArea(cegmaEmfOnlyConfig());
+    EXPECT_DOUBLE_EQ(emf_only.cgcLogic, 0.0);
+}
+
+TEST(Area, ScalesWithResources)
+{
+    AccelConfig wide = cegmaConfig();
+    wide.denseMacs *= 2;
+    EXPECT_GT(estimateArea(wide).peLogic,
+              estimateArea(cegmaConfig()).peLogic);
+
+    AccelConfig big_buf = cegmaConfig();
+    big_buf.inputBufferBytes *= 4;
+    EXPECT_GT(estimateArea(big_buf).peBuffer,
+              estimateArea(cegmaConfig()).peBuffer);
+}
+
+TEST(Area, EmfOverheadIsSmall)
+{
+    // The paper's point: the EMF costs <7% of the die.
+    AreaBreakdown area = estimateArea(cegmaConfig());
+    EXPECT_LT(area.emfLogicShare() + area.emfBufferShare(), 0.08);
+}
+
+} // namespace
+} // namespace cegma

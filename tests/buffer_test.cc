@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the buffer replay simulator, including the cross-check of
+ * the window schedulers' self-reported load counts against an LRU
+ * replay of their own access traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/window.hh"
+#include "common/rng.hh"
+#include "graph/generators.hh"
+#include "sim/buffer.hh"
+
+namespace cegma {
+namespace {
+
+TEST(NodeBuffer, HitsAndEvictions)
+{
+    NodeBuffer buffer(2);
+    EXPECT_FALSE(buffer.access(1)); // miss
+    EXPECT_FALSE(buffer.access(2)); // miss
+    EXPECT_TRUE(buffer.access(1));  // hit
+    EXPECT_FALSE(buffer.access(3)); // miss, evicts 2 (LRU)
+    EXPECT_FALSE(buffer.access(2)); // miss again
+    EXPECT_TRUE(buffer.access(3));  // 3 still resident
+    EXPECT_EQ(buffer.occupancy(), 2u);
+}
+
+TEST(NodeBuffer, LruVsFifoDiffer)
+{
+    // Classic sequence where LRU beats FIFO: 1 2 1 3 1 2 ...
+    std::vector<uint32_t> trace{1, 2, 1, 3, 1, 2, 1, 3, 1, 2};
+    BufferReplay lru = replayTrace(trace, 2, ReplacementPolicy::Lru);
+    BufferReplay fifo = replayTrace(trace, 2, ReplacementPolicy::Fifo);
+    EXPECT_LT(lru.misses, fifo.misses);
+    EXPECT_EQ(lru.accesses, trace.size());
+    EXPECT_EQ(lru.coldMisses, 3u);
+}
+
+TEST(NodeBuffer, InfiniteCapacityOnlyColdMisses)
+{
+    Rng rng(3);
+    std::vector<uint32_t> trace(500);
+    for (auto &t : trace)
+        t = static_cast<uint32_t>(rng.nextBounded(40));
+    BufferReplay replay = replayTrace(trace, 1000);
+    EXPECT_EQ(replay.misses, replay.coldMisses);
+    EXPECT_EQ(replay.coldMisses, 40u);
+}
+
+TEST(NodeBuffer, MissRateMonotoneInCapacity)
+{
+    // LRU has the stack property: more capacity never hurts.
+    Rng rng(5);
+    std::vector<uint32_t> trace(2000);
+    for (auto &t : trace)
+        t = static_cast<uint32_t>(rng.nextBounded(128));
+    uint64_t prev = UINT64_MAX;
+    for (uint32_t cap : {4u, 16u, 64u, 256u}) {
+        BufferReplay replay = replayTrace(trace, cap);
+        EXPECT_LE(replay.misses, prev);
+        prev = replay.misses;
+    }
+}
+
+TEST(NodeBuffer, SchedulerLoadsTrackLruReplay)
+{
+    // Replaying a scheduler's own access trace through an LRU buffer
+    // of the same capacity must give a miss count in the same
+    // ballpark as the loads the scheduler charged itself: the
+    // explicit window management should be within 2x of LRU in both
+    // directions (it loads whole blocks, LRU reuses partial overlap).
+    Rng rng(7);
+    Graph t = threadGraph(120, 140, rng);
+    Graph q = threadGraph(100, 120, rng);
+    for (SchedulerKind kind :
+         {SchedulerKind::SeparatePhase, SchedulerKind::Coordinated}) {
+        WindowWork work;
+        work.target = &t;
+        work.query = &q;
+        work.capNodes = 32;
+        work.hasMatching = true;
+        ScheduleResult sched = scheduleLayer(kind, work, true);
+        BufferReplay replay = replayTrace(sched.accessTrace, 32);
+        EXPECT_GT(sched.loads, replay.misses / 2)
+            << static_cast<int>(kind);
+        EXPECT_LT(sched.loads, replay.misses * 2 + 16)
+            << static_cast<int>(kind);
+    }
+}
+
+TEST(NodeBuffer, ResidentQueries)
+{
+    NodeBuffer buffer(3);
+    buffer.access(7);
+    EXPECT_TRUE(buffer.resident(7));
+    EXPECT_FALSE(buffer.resident(8));
+}
+
+} // namespace
+} // namespace cegma

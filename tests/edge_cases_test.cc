@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Edge-case hardening across the stack: degenerate graphs, minimal
+ * buffers, and empty inputs must flow through tracing, scheduling,
+ * and simulation without tripping invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/runner.hh"
+#include "accel/window.hh"
+#include "common/rng.hh"
+#include "emf/emf.hh"
+#include "graph/generators.hh"
+#include "graph/wl_refine.hh"
+
+namespace cegma {
+namespace {
+
+GraphPair
+pairOf(Graph target, Graph query)
+{
+    GraphPair pair;
+    pair.target = std::move(target);
+    pair.query = std::move(query);
+    pair.similar = true;
+    return pair;
+}
+
+TEST(EdgeCases, EdgelessGraphsFlowThroughTheStack)
+{
+    GraphPair pair =
+        pairOf(Graph::fromEdges(3, {}), Graph::fromEdges(2, {}));
+    for (ModelId mid : allModels()) {
+        PairTrace trace = buildTrace(mid, pair);
+        if (mid == ModelId::GraphSim) {
+            // GCN aggregation over zero arcs: only the self terms.
+            EXPECT_EQ(trace.aggFlopsTotal(),
+                      trace.layers.size() * (2ull * 5 * 64));
+        }
+        std::vector<PairTrace> traces{trace};
+        SimResult result = runPlatform(PlatformId::Cegma, traces);
+        EXPECT_GT(result.cycles, 0.0);
+    }
+}
+
+TEST(EdgeCases, TwoNodePair)
+{
+    GraphPair pair = pairOf(Graph::fromEdges(2, {{0, 1}}),
+                            Graph::fromEdges(2, {{0, 1}}));
+    PairTrace trace = buildTrace(ModelId::GraphSim, pair);
+    EXPECT_EQ(trace.totalMatchPairs(), 3ull * 4); // 3 layers x 2x2
+    std::vector<PairTrace> traces{trace};
+    for (PlatformId p : mainPlatforms()) {
+        SimResult result = runPlatform(p, traces);
+        EXPECT_GT(result.cycles, 0.0) << platformName(p);
+    }
+}
+
+TEST(EdgeCases, MinimalBufferStillCoversEverything)
+{
+    Rng rng(1);
+    Graph t = threadGraph(30, 36, rng);
+    Graph q = threadGraph(25, 30, rng);
+    WindowWork work;
+    work.target = &t;
+    work.query = &q;
+    work.capNodes = 2; // one node per side
+    work.hasMatching = true;
+    for (SchedulerKind kind :
+         {SchedulerKind::SeparatePhase, SchedulerKind::Joint,
+          SchedulerKind::Coordinated}) {
+        ScheduleResult res = scheduleLayer(kind, work);
+        EXPECT_EQ(res.arcsProcessed, t.numArcs() + q.numArcs());
+        EXPECT_EQ(res.matchesProcessed,
+                  static_cast<uint64_t>(t.numNodes()) * q.numNodes());
+    }
+}
+
+TEST(EdgeCases, AllDuplicateSideStillMatchesOnce)
+{
+    // A star's leaves all collapse to one unique node; the kept set
+    // must never be empty.
+    Graph star = Graph::fromEdges(6,
+                                  {{0, 1}, {0, 2}, {0, 3}, {0, 4},
+                                   {0, 5}});
+    GraphPair pair = pairOf(star, star);
+    PairTrace trace = buildTrace(ModelId::GraphSim, pair);
+    for (const auto &layer : trace.layers) {
+        EXPECT_GE(layer.matching.numUniqueTarget, 1u);
+        EXPECT_LE(layer.matching.numUniqueTarget, 2u); // hub + leaf
+        EXPECT_GE(layer.matching.uniquePairs(), 1u);
+    }
+}
+
+TEST(EdgeCases, WlRefineSingleNode)
+{
+    Graph g = Graph::fromEdges(1, {});
+    WlColoring wl = wlRefine(g, 3);
+    for (size_t l = 0; l < wl.numLevels(); ++l)
+        EXPECT_EQ(wl.numClasses[l], 1u);
+    EXPECT_DOUBLE_EQ(wl.duplicateFraction(0), 0.0);
+}
+
+TEST(EdgeCases, EmfOnSingleRow)
+{
+    Matrix x(1, 4, {1, 2, 3, 4});
+    EmfResult result = emfFilter(x);
+    EXPECT_EQ(result.numUnique(), 1u);
+    EXPECT_EQ(result.numDuplicates(), 0u);
+    EXPECT_TRUE(result.isUnique[0]);
+}
+
+TEST(EdgeCases, ZeroPairSimulation)
+{
+    std::vector<PairTrace> empty;
+    SimResult result = runPlatform(PlatformId::Cegma, empty);
+    EXPECT_DOUBLE_EQ(result.cycles, 0.0);
+    EXPECT_EQ(result.pairsSimulated, 0u);
+    EXPECT_DOUBLE_EQ(result.throughput(1e9), 0.0);
+}
+
+TEST(EdgeCases, SubstituteOnTinyGraphIsSafe)
+{
+    Rng rng(2);
+    Graph g = Graph::fromEdges(2, {{0, 1}});
+    // Fewer than 3 nodes: substitution is a no-op copy.
+    Graph h = g.substituteEdges(4, rng);
+    EXPECT_EQ(h.numNodes(), 2u);
+    EXPECT_EQ(h.numEdges(), 1u);
+}
+
+TEST(EdgeCases, CustomConfigOneLayer)
+{
+    Rng rng(3);
+    Graph g = threadGraph(20, 24, rng);
+    GraphPair pair = makePairFromOriginal(g, true, rng);
+    ModelConfig config = modelConfig(ModelId::SimGnn);
+    config.numLayers = 1;
+    PairTrace trace = buildCustomTrace(config, pair);
+    ASSERT_EQ(trace.layers.size(), 1u);
+    EXPECT_TRUE(trace.layers[0].matching.present);
+}
+
+} // namespace
+} // namespace cegma

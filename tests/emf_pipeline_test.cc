@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the cycle-stepped EMF pipeline model: functional
+ * agreement with Algorithm 1, back-pressure behavior, and agreement
+ * in magnitude with the analytical cycle model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "emf/emf.hh"
+#include "emf/emf_pipeline.hh"
+
+namespace cegma {
+namespace {
+
+std::vector<uint32_t>
+duplicateHeavyTags(size_t n, uint32_t pool, Rng &rng)
+{
+    std::vector<uint32_t> tags(n);
+    std::vector<uint32_t> values(pool);
+    for (auto &v : values)
+        v = static_cast<uint32_t>(rng.next64());
+    for (auto &t : tags)
+        t = values[rng.nextBounded(pool)];
+    return tags;
+}
+
+TEST(EmfPipeline, EmptyInput)
+{
+    EmfPipelineResult result = runEmfPipeline({}, 256);
+    EXPECT_EQ(result.sets.numUnique(), 0u);
+    EXPECT_EQ(result.cycles, 0u);
+}
+
+TEST(EmfPipeline, MatchesFunctionalAlgorithmExactly)
+{
+    Rng rng(5);
+    for (size_t n : {1ul, 7ul, 64ul, 400ul}) {
+        auto tags = duplicateHeavyTags(n, 12, rng);
+        EmfPipelineResult hw = runEmfPipeline(tags, 256);
+        EmfResult sw = emfFilterTags(tags);
+        EXPECT_EQ(hw.sets.recordSet, sw.recordSet) << "n=" << n;
+        EXPECT_EQ(hw.sets.tagMap, sw.tagMap) << "n=" << n;
+        EXPECT_EQ(hw.sets.uniqueOf, sw.uniqueOf) << "n=" << n;
+    }
+}
+
+TEST(EmfPipeline, CyclesScaleWithNodes)
+{
+    Rng rng(6);
+    auto small_tags = duplicateHeavyTags(64, 8, rng);
+    auto big_tags = duplicateHeavyTags(512, 8, rng);
+    uint64_t small_c = runEmfPipeline(small_tags, 256).cycles;
+    uint64_t big_c = runEmfPipeline(big_tags, 256).cycles;
+    EXPECT_GT(big_c, small_c);
+    // Roughly linear: within 4x-16x for an 8x node increase.
+    EXPECT_GT(big_c, small_c * 4);
+    EXPECT_LT(big_c, small_c * 16);
+}
+
+TEST(EmfPipeline, AgreesWithAnalyticalModelInMagnitude)
+{
+    Rng rng(7);
+    auto tags = duplicateHeavyTags(391, 40, rng); // RD-12K-ish
+    EmfPipelineConfig config;
+    EmfPipelineResult hw = runEmfPipeline(tags, 256, config);
+
+    EmfCycleModel analytical{config.hashLanes,
+                             config.totalComparators()};
+    uint64_t predicted = analytical.hashCycles(tags.size(), 256) +
+                         analytical.filterCycles(tags);
+    // The pipeline overlaps hashing and filtering; total cycles land
+    // between the slower component and the serial sum.
+    EXPECT_GT(hw.cycles, predicted / 4);
+    EXPECT_LT(hw.cycles, predicted * 2);
+}
+
+TEST(EmfPipeline, TinyTaskBufferCausesBackPressure)
+{
+    Rng rng(8);
+    auto tags = duplicateHeavyTags(512, 4, rng);
+    EmfPipelineConfig tiny;
+    tiny.taskBufferDepth = 2;
+    tiny.pipelineWidth = 1;
+    EmfPipelineConfig roomy;
+    roomy.taskBufferDepth = 256;
+
+    EmfPipelineResult constrained = runEmfPipeline(tags, 1024, tiny);
+    EmfPipelineResult free_run = runEmfPipeline(tags, 1024, roomy);
+    EXPECT_GT(constrained.stallCycles, 0u);
+    EXPECT_GE(constrained.cycles, free_run.cycles);
+    EXPECT_LE(free_run.taskBufferPeak, 256u);
+    EXPECT_LE(constrained.taskBufferPeak, 2u);
+    // Back-pressure never corrupts the result.
+    EXPECT_EQ(constrained.sets.recordSet, free_run.sets.recordSet);
+}
+
+TEST(EmfPipeline, RoundRobinBalancesSubsets)
+{
+    Rng rng(9);
+    // All-unique stream: subsets should stay within one entry of each
+    // other.
+    std::vector<uint32_t> tags(256);
+    for (uint32_t i = 0; i < 256; ++i)
+        tags[i] = i * 2654435761u;
+    EmfPipelineResult result = runEmfPipeline(tags, 256);
+    uint32_t mn = UINT32_MAX, mx = 0;
+    for (uint32_t size : result.subsetSizes) {
+        mn = std::min(mn, size);
+        mx = std::max(mx, size);
+    }
+    EXPECT_LE(mx - mn, 1u);
+    uint32_t total = 0;
+    for (uint32_t size : result.subsetSizes)
+        total += size;
+    EXPECT_EQ(total, result.sets.numUnique());
+}
+
+TEST(EmfPipeline, WiderHashArrayIsFaster)
+{
+    Rng rng(10);
+    auto tags = duplicateHeavyTags(512, 16, rng);
+    EmfPipelineConfig narrow;
+    narrow.hashLanes = 8;
+    EmfPipelineConfig wide;
+    wide.hashLanes = 64;
+    EXPECT_GT(runEmfPipeline(tags, 256, narrow).cycles,
+              runEmfPipeline(tags, 256, wide).cycles);
+}
+
+} // namespace
+} // namespace cegma

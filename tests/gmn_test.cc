@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Integration tests for the GMN models and workload tracer. The
+ * central property: the WL duplicate oracle exactly predicts bitwise
+ * feature equality (and thus identical similarity rows/columns) in the
+ * functional models — the paper's duplicate-node observation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "gmn/model.hh"
+#include "gmn/similarity.hh"
+#include "gmn/workload.hh"
+#include "graph/generators.hh"
+#include "graph/wl_refine.hh"
+
+namespace cegma {
+namespace {
+
+GraphPair
+smallPair(uint64_t seed, NodeId n = 24)
+{
+    Rng rng(seed);
+    Graph g = threadGraph(n, n + n / 6, rng);
+    return makePairFromOriginal(g, true, rng);
+}
+
+TEST(Similarity, DotProductIsPlainGemm)
+{
+    Matrix x(2, 2, {1, 0, 0, 1});
+    Matrix y(2, 2, {2, 3, 4, 5});
+    Matrix s = similarityMatrix(x, y, SimilarityKind::DotProduct);
+    EXPECT_FLOAT_EQ(s.at(0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(s.at(0, 1), 4.0f);
+    EXPECT_FLOAT_EQ(s.at(1, 0), 3.0f);
+}
+
+TEST(Similarity, CosineBoundedAndSelfIsOne)
+{
+    Rng rng(5);
+    Matrix x(4, 8);
+    x.fillXavier(rng);
+    Matrix s = similarityMatrix(x, x, SimilarityKind::Cosine);
+    for (size_t i = 0; i < s.rows(); ++i) {
+        EXPECT_NEAR(s.at(i, i), 1.0f, 1e-5f);
+        for (size_t j = 0; j < s.cols(); ++j) {
+            EXPECT_LE(s.at(i, j), 1.0f + 1e-5f);
+            EXPECT_GE(s.at(i, j), -1.0f - 1e-5f);
+        }
+    }
+}
+
+TEST(Similarity, EuclideanIsNegativeSquaredDistance)
+{
+    Matrix x(1, 2, {1.0f, 2.0f});
+    Matrix y(1, 2, {4.0f, 6.0f});
+    Matrix s = similarityMatrix(x, y, SimilarityKind::Euclidean);
+    // -((4-1)^2 + (6-2)^2) = -25
+    EXPECT_FLOAT_EQ(s.at(0, 0), -25.0f);
+}
+
+TEST(Similarity, FlopsOrdering)
+{
+    uint64_t dot = similarityFlops(10, 20, 64, SimilarityKind::DotProduct);
+    uint64_t cos = similarityFlops(10, 20, 64, SimilarityKind::Cosine);
+    uint64_t euc = similarityFlops(10, 20, 64, SimilarityKind::Euclidean);
+    EXPECT_LT(dot, cos);
+    EXPECT_LT(dot, euc);
+}
+
+TEST(ModelConfig, TableOneShapes)
+{
+    const ModelConfig &li = modelConfig(ModelId::GmnLi);
+    EXPECT_EQ(li.numLayers, 5u);
+    EXPECT_EQ(li.similarity, SimilarityKind::Euclidean);
+    EXPECT_TRUE(li.layerwiseMatching);
+    EXPECT_TRUE(li.crossFeedback);
+    EXPECT_EQ(li.matchUse, MatchUse::OnChipReuse);
+
+    const ModelConfig &gs = modelConfig(ModelId::GraphSim);
+    EXPECT_EQ(gs.numLayers, 3u);
+    EXPECT_EQ(gs.similarity, SimilarityKind::Cosine);
+    EXPECT_TRUE(gs.layerwiseMatching);
+    EXPECT_FALSE(gs.crossFeedback);
+
+    const ModelConfig &sg = modelConfig(ModelId::SimGnn);
+    EXPECT_EQ(sg.numLayers, 3u);
+    EXPECT_EQ(sg.similarity, SimilarityKind::DotProduct);
+    EXPECT_FALSE(sg.layerwiseMatching);
+}
+
+class ModelFixture : public ::testing::TestWithParam<ModelId>
+{
+  public:
+    static std::string
+    name(const ::testing::TestParamInfo<ModelId> &info)
+    {
+        std::string n = modelConfig(info.param).name;
+        for (auto &ch : n) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return n;
+    }
+};
+
+TEST_P(ModelFixture, ForwardShapes)
+{
+    auto model = makeModel(GetParam(), 42);
+    GraphPair pair = smallPair(1);
+    auto detail = model->forwardDetailed(pair);
+    const ModelConfig &config = model->config();
+
+    ASSERT_EQ(detail.xLayers.size(), config.numLayers + 1);
+    ASSERT_EQ(detail.yLayers.size(), config.numLayers + 1);
+    for (const Matrix &x : detail.xLayers) {
+        EXPECT_EQ(x.rows(), pair.target.numNodes());
+        EXPECT_EQ(x.cols(), config.nodeDim);
+    }
+    size_t expected_sims = config.layerwiseMatching ? config.numLayers : 1;
+    ASSERT_EQ(detail.simLayers.size(), expected_sims);
+    for (const Matrix &s : detail.simLayers) {
+        EXPECT_EQ(s.rows(), pair.target.numNodes());
+        EXPECT_EQ(s.cols(), pair.query.numNodes());
+    }
+    EXPECT_TRUE(std::isfinite(detail.score));
+}
+
+TEST_P(ModelFixture, DeterministicAcrossInstances)
+{
+    GraphPair pair = smallPair(2);
+    auto a = makeModel(GetParam(), 7);
+    auto b = makeModel(GetParam(), 7);
+    EXPECT_DOUBLE_EQ(a->score(pair), b->score(pair));
+}
+
+TEST_P(ModelFixture, WlOracleMatchesBitwiseFeatureEquality)
+{
+    GraphPair pair = smallPair(3, 32);
+    auto model = makeModel(GetParam(), 11);
+    const ModelConfig &config = model->config();
+    auto detail = model->forwardDetailed(pair);
+
+    WlColoring wl_t = wlRefine(pair.target, config.numLayers);
+    WlColoring wl_q = wlRefine(pair.query, config.numLayers);
+
+    for (size_t level = 0; level <= config.numLayers; ++level) {
+        const Matrix &x = detail.xLayers[level];
+        for (NodeId u = 0; u < pair.target.numNodes(); ++u) {
+            for (NodeId v = u + 1; v < pair.target.numNodes(); ++v) {
+                if (wl_t.colors[level][u] == wl_t.colors[level][v]) {
+                    EXPECT_TRUE(x.rowsEqual(u, v))
+                        << config.name << " level " << level << " nodes "
+                        << u << "," << v;
+                }
+            }
+        }
+        const Matrix &y = detail.yLayers[level];
+        for (NodeId u = 0; u < pair.query.numNodes(); ++u) {
+            for (NodeId v = u + 1; v < pair.query.numNodes(); ++v) {
+                if (wl_q.colors[level][u] == wl_q.colors[level][v]) {
+                    EXPECT_TRUE(y.rowsEqual(u, v));
+                }
+            }
+        }
+    }
+}
+
+TEST_P(ModelFixture, DuplicateRowsInSimilarityMatrices)
+{
+    // The paper's core claim (Fig. 6): duplicate target nodes have
+    // identical similarity-matrix rows; duplicate query nodes have
+    // identical columns.
+    GraphPair pair = smallPair(4, 32);
+    auto model = makeModel(GetParam(), 13);
+    const ModelConfig &config = model->config();
+    auto detail = model->forwardDetailed(pair);
+    WlColoring wl_t = wlRefine(pair.target, config.numLayers);
+    WlColoring wl_q = wlRefine(pair.query, config.numLayers);
+
+    // Map each similarity matrix back to the WL level it consumed.
+    std::vector<size_t> levels;
+    if (config.id == ModelId::GmnLi) {
+        for (unsigned l = 0; l < config.numLayers; ++l)
+            levels.push_back(l);
+    } else if (config.layerwiseMatching) {
+        for (unsigned l = 1; l <= config.numLayers; ++l)
+            levels.push_back(l);
+    } else {
+        levels.push_back(config.numLayers);
+    }
+    ASSERT_EQ(levels.size(), detail.simLayers.size());
+
+    for (size_t k = 0; k < levels.size(); ++k) {
+        const Matrix &s = detail.simLayers[k];
+        size_t level = levels[k];
+        for (NodeId u = 0; u < pair.target.numNodes(); ++u) {
+            for (NodeId v = u + 1; v < pair.target.numNodes(); ++v) {
+                if (wl_t.colors[level][u] == wl_t.colors[level][v]) {
+                    EXPECT_TRUE(s.rowsEqual(u, v))
+                        << config.name << " sim " << k;
+                }
+            }
+        }
+        for (NodeId u = 0; u < pair.query.numNodes(); ++u) {
+            for (NodeId v = u + 1; v < pair.query.numNodes(); ++v) {
+                if (wl_q.colors[level][u] == wl_q.colors[level][v]) {
+                    for (size_t r = 0; r < s.rows(); ++r)
+                        EXPECT_EQ(s.at(r, u), s.at(r, v));
+                }
+            }
+        }
+    }
+}
+
+TEST_P(ModelFixture, TraceMatchingLayerCount)
+{
+    GraphPair pair = smallPair(5);
+    PairTrace trace = buildTrace(GetParam(), pair);
+    const ModelConfig &config = modelConfig(GetParam());
+    ASSERT_EQ(trace.layers.size(), config.numLayers);
+    size_t matchings = 0;
+    for (const auto &layer : trace.layers)
+        matchings += layer.matching.present;
+    EXPECT_EQ(matchings, config.layerwiseMatching ? config.numLayers : 1u);
+}
+
+TEST_P(ModelFixture, TraceFlopsPositiveAndConsistent)
+{
+    GraphPair pair = smallPair(6);
+    PairTrace trace = buildTrace(GetParam(), pair);
+    EXPECT_GT(trace.aggFlopsTotal(), 0u);
+    EXPECT_GT(trace.combFlopsTotal(), 0u);
+    EXPECT_GT(trace.matchFlopsTotal(), 0u);
+    EXPECT_GT(trace.postFlops, 0u);
+    EXPECT_EQ(trace.totalFlops(),
+              trace.aggFlopsTotal() + trace.combFlopsTotal() +
+                  trace.matchFlopsTotal() + trace.postFlops);
+}
+
+TEST_P(ModelFixture, TraceUniqueFractionBounds)
+{
+    GraphPair pair = smallPair(7, 64);
+    PairTrace trace = buildTrace(GetParam(), pair);
+    double frac = trace.uniqueMatchingFraction();
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LE(frac, 1.0);
+    EXPECT_LE(trace.uniqueMatchPairs(), trace.totalMatchPairs());
+    // Thread graphs carry heavy duplication.
+    EXPECT_LT(frac, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelFixture,
+                         ::testing::ValuesIn(allModels()),
+                         ModelFixture::name);
+
+TEST(Workload, MatchingWorkPairCounts)
+{
+    MatchingWork match;
+    match.present = true;
+    match.dupClassTarget = {0, 0, 1};
+    match.dupClassQuery = {0, 1, 1, 2};
+    match.numUniqueTarget = 2;
+    match.numUniqueQuery = 3;
+    EXPECT_EQ(match.totalPairs(), 12u);
+    EXPECT_EQ(match.uniquePairs(), 6u);
+}
+
+TEST(Workload, BiggerGraphsMoreMatchFlops)
+{
+    Rng rng(9);
+    Graph small_g = threadGraph(20, 24, rng);
+    Graph big_g = threadGraph(80, 95, rng);
+    GraphPair small_pair = makePairFromOriginal(small_g, true, rng);
+    GraphPair big_pair = makePairFromOriginal(big_g, true, rng);
+    PairTrace ts = buildTrace(ModelId::GraphSim, small_pair);
+    PairTrace tb = buildTrace(ModelId::GraphSim, big_pair);
+    EXPECT_GT(tb.matchFlopsTotal(), ts.matchFlopsTotal());
+    // Matching grows quadratically, embedding linearly.
+    double ratio_match = static_cast<double>(tb.matchFlopsTotal()) /
+                         ts.matchFlopsTotal();
+    double ratio_comb = static_cast<double>(tb.combFlopsTotal()) /
+                        ts.combFlopsTotal();
+    EXPECT_GT(ratio_match, ratio_comb);
+}
+
+TEST(Workload, GmnLiHasCrossFlops)
+{
+    GraphPair pair = smallPair(10);
+    PairTrace li = buildTrace(ModelId::GmnLi, pair);
+    PairTrace gs = buildTrace(ModelId::GraphSim, pair);
+    EXPECT_GT(li.layers[0].matching.crossFlops, 0u);
+    EXPECT_EQ(gs.layers[0].matching.crossFlops, 0u);
+}
+
+} // namespace
+} // namespace cegma

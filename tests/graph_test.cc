@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Unit and property tests for the graph substrate: CSR construction,
+ * generators, dataset builders, batching, and the global adjacency
+ * layout of Figure 15.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/rng.hh"
+#include "graph/batch.hh"
+#include "graph/dataset.hh"
+#include "graph/generators.hh"
+#include "graph/graph.hh"
+
+namespace cegma {
+namespace {
+
+TEST(Graph, FromEdgesBasics)
+{
+    Graph g = Graph::fromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 1}, {2, 2}});
+    EXPECT_EQ(g.numNodes(), 4u);
+    EXPECT_EQ(g.numEdges(), 3u); // duplicate and self-loop dropped
+    EXPECT_EQ(g.numArcs(), 6u);
+    EXPECT_EQ(g.degree(1), 2u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_FALSE(g.hasEdge(0, 3));
+}
+
+TEST(Graph, NeighborsSorted)
+{
+    Graph g = Graph::fromEdges(5, {{3, 0}, {3, 4}, {3, 1}, {3, 2}});
+    auto ns = g.neighbors(3);
+    ASSERT_EQ(ns.size(), 4u);
+    for (size_t i = 1; i < ns.size(); ++i)
+        EXPECT_LT(ns[i - 1], ns[i]);
+}
+
+TEST(Graph, LabelsDefaultAndExplicit)
+{
+    Graph g1 = Graph::fromEdges(3, {{0, 1}});
+    EXPECT_EQ(g1.label(2), 0u);
+    EXPECT_EQ(g1.numDistinctLabels(), 1u);
+
+    Graph g2 = Graph::fromEdges(3, {{0, 1}}, {5, 6, 5});
+    EXPECT_EQ(g2.label(1), 6u);
+    EXPECT_EQ(g2.numDistinctLabels(), 2u);
+}
+
+TEST(Graph, EdgeListCanonical)
+{
+    Graph g = Graph::fromEdges(4, {{2, 1}, {3, 0}});
+    auto edges = g.edgeList();
+    ASSERT_EQ(edges.size(), 2u);
+    for (const auto &[u, v] : edges)
+        EXPECT_LT(u, v);
+}
+
+TEST(Graph, SubstituteEdgesPreservesCounts)
+{
+    Rng rng(1);
+    Graph g = erdosRenyiGnm(30, 60, rng);
+    Graph h = g.substituteEdges(4, rng);
+    EXPECT_EQ(h.numNodes(), g.numNodes());
+    // Same edge count (4 removed, 4 added) as long as non-edges exist.
+    EXPECT_EQ(h.numEdges(), g.numEdges());
+    // And it actually changed something.
+    auto ge = g.edgeList();
+    auto he = h.edgeList();
+    EXPECT_NE(ge, he);
+}
+
+TEST(Generators, ErdosRenyiExactEdgeCount)
+{
+    Rng rng(2);
+    Graph g = erdosRenyiGnm(50, 100, rng);
+    EXPECT_EQ(g.numNodes(), 50u);
+    EXPECT_EQ(g.numEdges(), 100u);
+}
+
+TEST(Generators, ErdosRenyiClampsToCompleteGraph)
+{
+    Rng rng(3);
+    Graph g = erdosRenyiGnm(5, 1000, rng);
+    EXPECT_EQ(g.numEdges(), 10u);
+}
+
+TEST(Generators, BarabasiAlbertConnectedAndSized)
+{
+    Rng rng(4);
+    Graph g = barabasiAlbert(100, 2, rng);
+    EXPECT_EQ(g.numNodes(), 100u);
+    EXPECT_GE(g.numEdges(), 99u);
+    // Hub structure: max degree well above the attach parameter.
+    uint32_t max_deg = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        max_deg = std::max(max_deg, g.degree(v));
+    EXPECT_GT(max_deg, 5u);
+}
+
+TEST(Generators, MoleculeGraphValenceAndLabels)
+{
+    Rng rng(5);
+    Graph g = moleculeGraph(16, 12, rng);
+    EXPECT_EQ(g.numNodes(), 16u);
+    EXPECT_GE(g.numEdges(), 15u); // at least the backbone tree
+    EXPECT_GE(g.numDistinctLabels(), 1u);
+    // Carbon (label 0) should dominate on a larger sample.
+    Graph big = moleculeGraph(500, 12, rng);
+    size_t carbons = 0;
+    for (NodeId v = 0; v < big.numNodes(); ++v)
+        carbons += (big.label(v) == 0);
+    EXPECT_GT(carbons, big.numNodes() / 3);
+}
+
+TEST(Generators, EgoCollabIsDense)
+{
+    Rng rng(6);
+    Graph g = egoCollabGraph(74, 2458, rng);
+    EXPECT_EQ(g.numNodes(), 74u);
+    // Dense: should land within 40% of the target.
+    EXPECT_GT(g.numEdges(), 1400u);
+    // The ego (node 0) reaches a large share of the graph.
+    EXPECT_GT(g.degree(0), 30u);
+}
+
+TEST(Generators, ThreadGraphSparseWithHubs)
+{
+    Rng rng(7);
+    Graph g = threadGraph(430, 498, rng);
+    EXPECT_EQ(g.numNodes(), 430u);
+    EXPECT_GE(g.numEdges(), 429u);
+    EXPECT_LE(g.numEdges(), 600u);
+    // Thread structure: many degree-1 leaves.
+    size_t leaves = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        leaves += (g.degree(v) == 1);
+    EXPECT_GT(leaves, g.numNodes() / 2);
+}
+
+TEST(Generators, RandomGraphLiDegree)
+{
+    Rng rng(8);
+    Graph g = randomGraphLi(1000, rng, 2.0);
+    EXPECT_EQ(g.numNodes(), 1000u);
+    EXPECT_NEAR(static_cast<double>(g.numEdges()), 1000.0, 5.0);
+}
+
+TEST(Generators, SampleGraphSizeRespectsFloorAndMean)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        NodeId s = sampleGraphSize(100.0, 0.35, 5, rng);
+        EXPECT_GE(s, 5u);
+        sum += s;
+    }
+    EXPECT_NEAR(sum / n, 100.0, 8.0);
+}
+
+class DatasetFixture : public ::testing::TestWithParam<DatasetId>
+{
+};
+
+TEST_P(DatasetFixture, MatchesTableTwoStatistics)
+{
+    DatasetId id = GetParam();
+    const DatasetSpec &spec = datasetSpec(id);
+    // Bound pair count to keep the sweep fast; sizes are i.i.d.
+    Dataset ds = makeDataset(id, 7, 64);
+    ASSERT_FALSE(ds.pairs.empty());
+    EXPECT_LE(ds.pairs.size(), 64u);
+
+    double avg_nodes = ds.measuredAvgNodes();
+    double avg_edges = ds.measuredAvgEdges();
+    // Within 30% of the paper's Table II averages.
+    EXPECT_NEAR(avg_nodes, spec.avgNodes, spec.avgNodes * 0.30)
+        << spec.name;
+    EXPECT_NEAR(avg_edges, spec.avgEdges, spec.avgEdges * 0.40)
+        << spec.name;
+}
+
+TEST_P(DatasetFixture, PairsAlternateSimilarity)
+{
+    Dataset ds = makeDataset(GetParam(), 7, 8);
+    ASSERT_GE(ds.pairs.size(), 2u);
+    EXPECT_TRUE(ds.pairs[0].similar);
+    EXPECT_FALSE(ds.pairs[1].similar);
+}
+
+TEST_P(DatasetFixture, DeterministicForSeed)
+{
+    DatasetId id = GetParam();
+    Dataset a = makeDataset(id, 99, 4);
+    Dataset b = makeDataset(id, 99, 4);
+    ASSERT_EQ(a.pairs.size(), b.pairs.size());
+    for (size_t i = 0; i < a.pairs.size(); ++i) {
+        EXPECT_EQ(a.pairs[i].target.numNodes(),
+                  b.pairs[i].target.numNodes());
+        EXPECT_EQ(a.pairs[i].target.edgeList(),
+                  b.pairs[i].target.edgeList());
+        EXPECT_EQ(a.pairs[i].query.edgeList(), b.pairs[i].query.edgeList());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetFixture,
+                         ::testing::ValuesIn(allDatasets()),
+                         [](const auto &info) {
+                             std::string name = datasetSpec(info.param).name;
+                             for (auto &ch : name) {
+                                 if (ch == '-')
+                                     ch = '_';
+                             }
+                             return name;
+                         });
+
+TEST(Batch, MakeBatchesCoversDataset)
+{
+    Dataset ds = makeDataset(DatasetId::AIDS, 7, 10);
+    auto batches = makeBatches(ds, 4);
+    ASSERT_EQ(batches.size(), 3u);
+    EXPECT_EQ(batches[0].pairs.size(), 4u);
+    EXPECT_EQ(batches[2].pairs.size(), 2u);
+    size_t total = 0;
+    for (const auto &b : batches)
+        total += b.pairs.size();
+    EXPECT_EQ(total, ds.pairs.size());
+}
+
+TEST(Batch, CountsAreSums)
+{
+    Dataset ds = makeDataset(DatasetId::AIDS, 7, 4);
+    GraphBatch batch;
+    for (const auto &pair : ds.pairs)
+        batch.pairs.push_back(&pair);
+    NodeId t = 0, q = 0;
+    uint64_t m = 0;
+    for (const auto &pair : ds.pairs) {
+        t += pair.target.numNodes();
+        q += pair.query.numNodes();
+        m += static_cast<uint64_t>(pair.target.numNodes()) *
+             pair.query.numNodes();
+    }
+    EXPECT_EQ(batch.numTargetNodes(), t);
+    EXPECT_EQ(batch.numQueryNodes(), q);
+    EXPECT_EQ(batch.numMatchingPairs(), m);
+}
+
+TEST(GlobalAdjacency, LayoutOffsetsAndPairLookup)
+{
+    Dataset ds = makeDataset(DatasetId::AIDS, 7, 4);
+    GraphBatch batch;
+    for (const auto &pair : ds.pairs)
+        batch.pairs.push_back(&pair);
+    GlobalAdjacency ga(batch);
+
+    EXPECT_EQ(ga.numTargetNodes(), batch.numTargetNodes());
+    EXPECT_EQ(ga.numQueryNodes(), batch.numQueryNodes());
+    EXPECT_EQ(ga.targetOffset(0), 0u);
+    for (size_t p = 0; p < batch.pairs.size(); ++p) {
+        NodeId off = ga.targetOffset(p);
+        EXPECT_EQ(ga.pairOfTargetRow(off), p);
+        EXPECT_EQ(ga.pairOfTargetRow(
+                      off + batch.pairs[p]->target.numNodes() - 1),
+                  p);
+    }
+}
+
+TEST(GlobalAdjacency, DenseRenderStructure)
+{
+    // Two tiny pairs; verify block placement by hand.
+    Graph g1 = Graph::fromEdges(2, {{0, 1}});
+    Graph g2 = Graph::fromEdges(2, {{0, 1}});
+    GraphPair pair{g1, g2, true};
+    GraphBatch batch;
+    batch.pairs.push_back(&pair);
+    GlobalAdjacency ga(batch);
+    ASSERT_EQ(ga.numGlobalNodes(), 4u);
+    auto pic = ga.renderDense();
+    auto at = [&](NodeId r, NodeId c) { return pic[r * 4 + c]; };
+    // Intra target edge (0,1) symmetric.
+    EXPECT_EQ(at(0, 1), 1);
+    EXPECT_EQ(at(1, 0), 1);
+    // Intra query edge in bottom-right block.
+    EXPECT_EQ(at(2, 3), 1);
+    // Cross block all ones in the top-right.
+    EXPECT_EQ(at(0, 2), 1);
+    EXPECT_EQ(at(1, 3), 1);
+    // Bottom-left stays empty.
+    EXPECT_EQ(at(2, 0), 0);
+    EXPECT_EQ(at(3, 1), 0);
+}
+
+TEST(GlobalAdjacency, MatchMaskFiltersRows)
+{
+    Graph g1 = Graph::fromEdges(2, {{0, 1}});
+    Graph g2 = Graph::fromEdges(2, {{0, 1}});
+    GraphPair pair{g1, g2, true};
+    GraphBatch batch;
+    batch.pairs.push_back(&pair);
+    GlobalAdjacency ga(batch);
+    std::vector<std::vector<bool>> mask{{true, false}};
+    auto pic = ga.renderDense(mask);
+    EXPECT_EQ(pic[0 * 4 + 2], 1); // kept row
+    EXPECT_EQ(pic[1 * 4 + 2], 0); // filtered duplicate row
+    EXPECT_EQ(pic[1 * 4 + 0], 1); // intra edges untouched
+}
+
+TEST(GlobalAdjacency, AsciiRenderNonEmpty)
+{
+    Dataset ds = makeDataset(DatasetId::AIDS, 7, 4);
+    GraphBatch batch;
+    for (const auto &pair : ds.pairs)
+        batch.pairs.push_back(&pair);
+    GlobalAdjacency ga(batch);
+    std::string art = ga.renderAscii();
+    EXPECT_GT(art.size(), 10u);
+    EXPECT_NE(art.find('\n'), std::string::npos);
+}
+
+} // namespace
+} // namespace cegma

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the from-scratch XXH32 implementation, including
+ * reference-vector compatibility and streaming/one-shot agreement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "hash/xxhash.hh"
+
+namespace cegma {
+namespace {
+
+TEST(XxHash32, ReferenceVectors)
+{
+    // Known-answer tests against the reference xxHash library.
+    EXPECT_EQ(xxhash32("", 0, 0), 0x02CC5D05u);
+    EXPECT_EQ(xxhash32("a", 1, 0), 0x550D7456u);
+    EXPECT_EQ(xxhash32("abc", 3, 0), 0x32D153FFu);
+}
+
+TEST(XxHash32, SeedChangesDigest)
+{
+    const char *msg = "duplicate node feature vector";
+    EXPECT_NE(xxhash32(msg, std::strlen(msg), 0),
+              xxhash32(msg, std::strlen(msg), 1));
+}
+
+TEST(XxHash32, LongInputsStable)
+{
+    std::vector<uint8_t> buf(1024);
+    for (size_t i = 0; i < buf.size(); ++i)
+        buf[i] = static_cast<uint8_t>(i * 31 + 7);
+    uint32_t h1 = xxhash32(buf.data(), buf.size(), 0);
+    uint32_t h2 = xxhash32(buf.data(), buf.size(), 0);
+    EXPECT_EQ(h1, h2);
+    buf[512] ^= 1;
+    EXPECT_NE(h1, xxhash32(buf.data(), buf.size(), 0));
+}
+
+TEST(XxHash32Stream, MatchesOneShotAcrossChunkings)
+{
+    Rng rng(77);
+    std::vector<uint8_t> buf(257);
+    for (auto &b : buf)
+        b = static_cast<uint8_t>(rng.next64());
+
+    uint32_t expected = xxhash32(buf.data(), buf.size(), 5);
+    for (size_t chunk : {1ul, 3ul, 7ul, 16ul, 31ul, 64ul, 257ul}) {
+        XxHash32Stream stream(5);
+        size_t pos = 0;
+        while (pos < buf.size()) {
+            size_t take = std::min(chunk, buf.size() - pos);
+            stream.update(buf.data() + pos, take);
+            pos += take;
+        }
+        EXPECT_EQ(stream.digest(), expected) << "chunk=" << chunk;
+    }
+}
+
+TEST(XxHash32Stream, DigestIsIdempotent)
+{
+    XxHash32Stream stream(0);
+    stream.update("hello", 5);
+    uint32_t d1 = stream.digest();
+    uint32_t d2 = stream.digest();
+    EXPECT_EQ(d1, d2);
+    EXPECT_EQ(d1, xxhash32("hello", 5, 0));
+}
+
+TEST(XxHash32Stream, ResetRestartsState)
+{
+    XxHash32Stream stream(9);
+    stream.update("garbage", 7);
+    stream.reset();
+    stream.update("abc", 3);
+    EXPECT_EQ(stream.digest(), xxhash32("abc", 3, 9));
+}
+
+TEST(XxHash32, EmptyStreamMatchesEmptyOneShot)
+{
+    XxHash32Stream stream(0);
+    EXPECT_EQ(stream.digest(), xxhash32("", 0, 0));
+}
+
+TEST(HashFeatureVector, EqualVectorsCollideExactly)
+{
+    std::vector<float> a{1.0f, 2.0f, 3.5f, -0.0f};
+    std::vector<float> b = a;
+    EXPECT_EQ(hashFeatureVector(a.data(), a.size()),
+              hashFeatureVector(b.data(), b.size()));
+    b[3] = 0.0f; // -0.0f and 0.0f differ bitwise -> different tag
+    EXPECT_NE(hashFeatureVector(a.data(), a.size()),
+              hashFeatureVector(b.data(), b.size()));
+}
+
+TEST(HashFeatureVector, LowCollisionRateOnRandomVectors)
+{
+    // The paper quotes a ~0.00003% conflict rate; with 20k random
+    // 64-float vectors we should see no collisions at all.
+    Rng rng(123);
+    std::set<uint32_t> tags;
+    const int count = 20000;
+    std::vector<float> vec(64);
+    for (int i = 0; i < count; ++i) {
+        for (auto &v : vec)
+            v = static_cast<float>(rng.nextGaussian());
+        tags.insert(hashFeatureVector(vec.data(), vec.size()));
+    }
+    EXPECT_EQ(tags.size(), static_cast<size_t>(count));
+}
+
+TEST(XxHash32, AllLengthsAgreeBetweenStreamAndOneShot)
+{
+    // Property sweep over lengths 0..64 covering all tail paths.
+    Rng rng(31);
+    std::vector<uint8_t> buf(64);
+    for (auto &b : buf)
+        b = static_cast<uint8_t>(rng.next64());
+    for (size_t len = 0; len <= buf.size(); ++len) {
+        XxHash32Stream stream(17);
+        stream.update(buf.data(), len);
+        EXPECT_EQ(stream.digest(), xxhash32(buf.data(), len, 17))
+            << "len=" << len;
+    }
+}
+
+} // namespace
+} // namespace cegma

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Cross-module integration sweeps: simulator invariants checked for
+ * every model x dataset combination (parameterized), plus end-to-end
+ * determinism of the full pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/runner.hh"
+#include "analysis/redundancy.hh"
+#include "common/units.hh"
+#include "sim/energy.hh"
+
+namespace cegma {
+namespace {
+
+using Combo = std::tuple<ModelId, DatasetId>;
+
+class ComboFixture : public ::testing::TestWithParam<Combo>
+{
+  public:
+    static std::string
+    name(const ::testing::TestParamInfo<Combo> &info)
+    {
+        std::string n = modelConfig(std::get<0>(info.param)).name + "_" +
+                        datasetSpec(std::get<1>(info.param)).name;
+        for (auto &ch : n) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return n;
+    }
+
+  protected:
+    void
+    SetUp() override
+    {
+        auto [mid, did] = GetParam();
+        dataset_ = makeDataset(did, 7, 6);
+        traces_ = buildTraces(mid, dataset_, 0);
+    }
+
+    Dataset dataset_;
+    std::vector<PairTrace> traces_;
+};
+
+TEST_P(ComboFixture, CegmaDominatesBaselines)
+{
+    SimResult hygcn = runPlatform(PlatformId::HyGcn, traces_);
+    SimResult awb = runPlatform(PlatformId::AwbGcn, traces_);
+    SimResult cegma = runPlatform(PlatformId::Cegma, traces_);
+    EXPECT_LT(cegma.cycles, awb.cycles);
+    EXPECT_LT(cegma.cycles, hygcn.cycles);
+    EXPECT_LE(cegma.dramBytes(), awb.dramBytes());
+    EXPECT_LE(cegma.dramBytes(), hygcn.dramBytes());
+    EXPECT_LE(cegma.macOps, awb.macOps);
+}
+
+TEST_P(ComboFixture, AblationsBracketFullCegma)
+{
+    SimResult emf = runPlatform(PlatformId::CegmaEmf, traces_);
+    SimResult cgc = runPlatform(PlatformId::CegmaCgc, traces_);
+    SimResult full = runPlatform(PlatformId::Cegma, traces_);
+    // On tiny graphs the exposed EMF pipeline latency can exceed the
+    // few hundred cycles the matching cut saves, so allow a small
+    // inversion against the CGC-only ablation (the paper likewise
+    // reports near-1x EMF gains on AIDS).
+    EXPECT_LE(full.cycles, emf.cycles * 1.0001);
+    EXPECT_LE(full.cycles, cgc.cycles * 1.02);
+    EXPECT_LE(full.dramBytes(), emf.dramBytes());
+    EXPECT_LE(full.dramBytes(), cgc.dramBytes());
+}
+
+TEST_P(ComboFixture, EnergyTracksWorkNotJustTime)
+{
+    EnergyModel energy;
+    SimResult awb = runPlatform(PlatformId::AwbGcn, traces_);
+    SimResult cegma = runPlatform(PlatformId::Cegma, traces_);
+    EXPECT_LT(cegma.energyNj(energy), awb.energyNj(energy));
+    EXPECT_GT(cegma.energyNj(energy), 0.0);
+}
+
+TEST_P(ComboFixture, ThroughputLatencyConsistency)
+{
+    SimResult cegma = runPlatform(PlatformId::Cegma, traces_);
+    double ms = cegma.msPerPair(GHz);
+    double tput = cegma.throughput(GHz);
+    ASSERT_GT(ms, 0.0);
+    EXPECT_NEAR(tput * ms / 1e3, 1.0, 1e-9);
+    EXPECT_EQ(cegma.pairsSimulated, traces_.size());
+}
+
+TEST_P(ComboFixture, TraceBuildIsDeterministic)
+{
+    auto [mid, did] = GetParam();
+    auto again = buildTraces(mid, dataset_, 0);
+    ASSERT_EQ(again.size(), traces_.size());
+    for (size_t i = 0; i < traces_.size(); ++i) {
+        EXPECT_EQ(traces_[i].totalFlops(), again[i].totalFlops());
+        EXPECT_EQ(traces_[i].uniqueMatchPairs(),
+                  again[i].uniqueMatchPairs());
+    }
+}
+
+TEST_P(ComboFixture, SimulationIsDeterministic)
+{
+    SimResult a = runPlatform(PlatformId::Cegma, traces_);
+    SimResult b = runPlatform(PlatformId::Cegma, traces_);
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dramBytes(), b.dramBytes());
+}
+
+TEST_P(ComboFixture, UniqueFractionSane)
+{
+    RedundancyStats stats = redundancyOf(traces_);
+    EXPECT_GT(stats.uniqueMatches, 0u);
+    EXPECT_LE(stats.uniqueMatches, stats.totalMatches);
+    // EMF speedup on the matching never manufactures work.
+    EXPECT_GE(stats.redundantFraction(), 0.0);
+    EXPECT_LT(stats.remainingUniqueFraction(), 1.0 + 1e-12);
+}
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> combos;
+    for (ModelId mid : allModels()) {
+        for (DatasetId did :
+             {DatasetId::AIDS, DatasetId::GITHUB, DatasetId::RD_B}) {
+            combos.push_back({mid, did});
+        }
+    }
+    return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ComboFixture,
+                         ::testing::ValuesIn(allCombos()),
+                         ComboFixture::name);
+
+TEST(Integration, BatchSizeOnlyAffectsWeightTraffic)
+{
+    Dataset ds = makeDataset(DatasetId::GITHUB, 7, 8);
+    auto traces = buildTraces(ModelId::GraphSim, ds, 0);
+    AcceleratorModel cegma(cegmaConfig());
+    SimResult b8 = cegma.simulateAll(traces, 8);
+    SimResult b1 = cegma.simulateAll(traces, 1);
+    EXPECT_LE(b8.dramReadBytes, b1.dramReadBytes);
+    EXPECT_EQ(b8.dramWriteBytes, b1.dramWriteBytes);
+    EXPECT_EQ(b8.macOps, b1.macOps);
+}
+
+TEST(Integration, SoftwareOrderingHoldsEverywhere)
+{
+    for (DatasetId did : {DatasetId::AIDS, DatasetId::RD_5K}) {
+        Dataset ds = makeDataset(did, 7, 6);
+        for (ModelId mid : allModels()) {
+            auto traces = buildTraces(mid, ds, 0);
+            double cpu = runPlatform(PlatformId::PygCpu, traces).cycles;
+            double gpu = runPlatform(PlatformId::PygGpu, traces).cycles;
+            double cegma = runPlatform(PlatformId::Cegma, traces).cycles;
+            EXPECT_GT(cpu, gpu) << datasetSpec(did).name;
+            EXPECT_GT(gpu, cegma) << datasetSpec(did).name;
+        }
+    }
+}
+
+} // namespace
+} // namespace cegma

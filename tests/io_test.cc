@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Round-trip tests for the graph/dataset/trace serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "accel/runner.hh"
+#include "common/rng.hh"
+#include "gmn/workload.hh"
+#include "graph/generators.hh"
+#include "io/graph_io.hh"
+#include "io/trace_io.hh"
+
+namespace cegma {
+namespace {
+
+bool
+graphsEqual(const Graph &a, const Graph &b)
+{
+    return a.numNodes() == b.numNodes() &&
+           a.edgeList() == b.edgeList() && a.labels() == b.labels();
+}
+
+TEST(GraphIo, GraphRoundTripUnlabeled)
+{
+    Rng rng(1);
+    Graph g = threadGraph(40, 48, rng);
+    std::stringstream ss;
+    writeGraph(ss, g);
+    Graph back = readGraph(ss);
+    EXPECT_TRUE(graphsEqual(g, back));
+}
+
+TEST(GraphIo, GraphRoundTripLabeled)
+{
+    Rng rng(2);
+    Graph g = moleculeGraph(20, 12, rng);
+    std::stringstream ss;
+    writeGraph(ss, g);
+    Graph back = readGraph(ss);
+    EXPECT_TRUE(graphsEqual(g, back));
+    EXPECT_EQ(g.numDistinctLabels(), back.numDistinctLabels());
+}
+
+TEST(GraphIo, EmptyEdgeGraph)
+{
+    Graph g = Graph::fromEdges(3, {});
+    std::stringstream ss;
+    writeGraph(ss, g);
+    Graph back = readGraph(ss);
+    EXPECT_EQ(back.numNodes(), 3u);
+    EXPECT_EQ(back.numEdges(), 0u);
+}
+
+TEST(GraphIo, PairRoundTrip)
+{
+    Rng rng(3);
+    Graph g = sparseSocialGraph(30, 50, rng);
+    GraphPair pair = makePairFromOriginal(g, false, rng);
+    std::stringstream ss;
+    writePair(ss, pair);
+    GraphPair back = readPair(ss);
+    EXPECT_FALSE(back.similar);
+    EXPECT_TRUE(graphsEqual(pair.target, back.target));
+    EXPECT_TRUE(graphsEqual(pair.query, back.query));
+}
+
+TEST(GraphIo, DatasetRoundTripKeepsSpec)
+{
+    Dataset ds = makeDataset(DatasetId::AIDS, 7, 6);
+    std::stringstream ss;
+    writeDataset(ss, ds);
+    Dataset back = readDataset(ss);
+    EXPECT_EQ(back.spec.name, "AIDS");
+    EXPECT_DOUBLE_EQ(back.spec.avgNodes, ds.spec.avgNodes);
+    ASSERT_EQ(back.pairs.size(), ds.pairs.size());
+    for (size_t i = 0; i < ds.pairs.size(); ++i) {
+        EXPECT_TRUE(graphsEqual(ds.pairs[i].target, back.pairs[i].target));
+        EXPECT_EQ(ds.pairs[i].similar, back.pairs[i].similar);
+    }
+}
+
+TEST(GraphIo, FileSaveLoad)
+{
+    Dataset ds = makeDataset(DatasetId::RD_B, 7, 2);
+    std::string path = "/tmp/cegma_io_test_dataset.txt";
+    saveDataset(path, ds);
+    Dataset back = loadDataset(path);
+    EXPECT_EQ(back.pairs.size(), ds.pairs.size());
+    EXPECT_NEAR(back.measuredAvgNodes(), ds.measuredAvgNodes(), 1e-9);
+}
+
+TEST(TraceIo, TraceRoundTripPreservesWorkload)
+{
+    Dataset ds = makeDataset(DatasetId::GITHUB, 7, 3);
+    std::vector<PairTrace> traces;
+    for (const auto &pair : ds.pairs)
+        traces.push_back(buildTrace(ModelId::GmnLi, pair));
+
+    std::stringstream ss;
+    writeTraces(ss, traces);
+    TraceBundle bundle = readTraces(ss);
+    ASSERT_EQ(bundle.size(), traces.size());
+
+    for (size_t i = 0; i < traces.size(); ++i) {
+        const PairTrace &a = traces[i];
+        const PairTrace &b = bundle.traces()[i];
+        EXPECT_EQ(a.model, b.model);
+        EXPECT_EQ(a.totalFlops(), b.totalFlops());
+        EXPECT_EQ(a.totalMatchPairs(), b.totalMatchPairs());
+        EXPECT_EQ(a.uniqueMatchPairs(), b.uniqueMatchPairs());
+        ASSERT_EQ(a.layers.size(), b.layers.size());
+        for (size_t l = 0; l < a.layers.size(); ++l) {
+            EXPECT_EQ(a.layers[l].matching.dupClassTarget,
+                      b.layers[l].matching.dupClassTarget);
+            EXPECT_EQ(a.layers[l].embedTarget.aggFlops,
+                      b.layers[l].embedTarget.aggFlops);
+        }
+        EXPECT_TRUE(graphsEqual(a.pair->target, b.pair->target));
+        EXPECT_TRUE(graphsEqual(a.pair->query, b.pair->query));
+    }
+}
+
+TEST(TraceIo, LoadedTraceDrivesTheSimulatorIdentically)
+{
+    // The whole point of trace files: replaying them must produce the
+    // same simulation results as the live traces.
+    Dataset ds = makeDataset(DatasetId::RD_B, 7, 3);
+    std::vector<PairTrace> traces;
+    for (const auto &pair : ds.pairs)
+        traces.push_back(buildTrace(ModelId::GraphSim, pair));
+
+    std::string path = "/tmp/cegma_io_test_traces.txt";
+    saveTraces(path, traces);
+    TraceBundle bundle = loadTraces(path);
+
+    SimResult a = runPlatform(PlatformId::Cegma, traces);
+    SimResult b = runPlatform(PlatformId::Cegma, bundle.traces());
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dramBytes(), b.dramBytes());
+    EXPECT_EQ(a.macOps, b.macOps);
+}
+
+} // namespace
+} // namespace cegma

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Parameterized property sweeps: scheduler invariants over the full
+ * (scheme x buffer capacity) grid, dataset-family duplicate-structure
+ * ordering, and platform dominance across graph scales.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/runner.hh"
+#include "accel/window.hh"
+#include "common/rng.hh"
+#include "graph/generators.hh"
+#include "graph/wl_refine.hh"
+
+namespace cegma {
+namespace {
+
+// ---------------------------------------------------------------
+// Scheduler x capacity grid.
+// ---------------------------------------------------------------
+
+using SchedPoint = std::tuple<SchedulerKind, uint32_t>;
+
+class SchedGrid : public ::testing::TestWithParam<SchedPoint>
+{
+  public:
+    static std::string
+    name(const ::testing::TestParamInfo<SchedPoint> &info)
+    {
+        auto [kind, cap] = info.param;
+        const char *names[] = {"Separate", "Double", "Joint",
+                               "Coordinated"};
+        return std::string(names[static_cast<int>(kind)]) + "_cap" +
+               std::to_string(cap);
+    }
+};
+
+TEST_P(SchedGrid, CoverageAndSanity)
+{
+    auto [kind, cap] = GetParam();
+    Rng rng(101 + cap);
+    Graph t = threadGraph(64, 76, rng);
+    Graph q = sparseSocialGraph(48, 90, rng);
+    WindowWork work;
+    work.target = &t;
+    work.query = &q;
+    work.capNodes = cap;
+    work.hasMatching = true;
+
+    ScheduleResult res = scheduleLayer(kind, work);
+    EXPECT_EQ(res.arcsProcessed, t.numArcs() + q.numArcs());
+    EXPECT_EQ(res.matchesProcessed,
+              static_cast<uint64_t>(t.numNodes()) * q.numNodes());
+    EXPECT_GE(res.loads, t.numNodes() + q.numNodes());
+    EXPECT_GT(res.steps, 0u);
+    // Loads are bounded by the trivially-worst schedule: refetching
+    // both sides for every window step.
+    EXPECT_LE(res.loads,
+              res.steps * static_cast<uint64_t>(cap) +
+                  t.numNodes() + q.numNodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchedGrid,
+    ::testing::Combine(
+        ::testing::Values(SchedulerKind::SeparatePhase,
+                          SchedulerKind::DoubleWindow,
+                          SchedulerKind::Joint,
+                          SchedulerKind::Coordinated),
+        ::testing::Values(4u, 8u, 16u, 64u, 256u)),
+    SchedGrid::name);
+
+// ---------------------------------------------------------------
+// Dataset-family duplicate structure.
+// ---------------------------------------------------------------
+
+TEST(PropertySweep, ThreadGraphsOutDuplicateRandomOnes)
+{
+    // At every size, REDDIT-style thread graphs must carry more
+    // depth-3 duplication than equally sized uniform random graphs.
+    Rng rng(7);
+    for (NodeId n : {50u, 150u, 400u}) {
+        Graph thread_g = threadGraph(n, n + n / 6, rng);
+        Graph random_g = erdosRenyiGnm(n, n + n / 6, rng);
+        double thread_dup = wlRefine(thread_g, 3).duplicateFraction(3);
+        double random_dup = wlRefine(random_g, 3).duplicateFraction(3);
+        EXPECT_GT(thread_dup, random_dup) << "n=" << n;
+    }
+}
+
+TEST(PropertySweep, ThreadGraphsStayDuplicateHeavyAtEverySize)
+{
+    // The thread generator's leaf-per-hub ratio is scale-free, so
+    // REDDIT-style duplication stays high at every size.
+    Rng rng(9);
+    for (NodeId n : {60u, 240u, 960u}) {
+        Graph g = threadGraph(n, n + n / 6, rng);
+        EXPECT_GT(wlRefine(g, 3).duplicateFraction(3), 0.4)
+            << "n=" << n;
+    }
+}
+
+TEST(PropertySweep, SparseRandomDuplicationGrowsWithSize)
+{
+    // The Fig. 25 mechanism: sparse uniform graphs of constant average
+    // degree repeat more local tree shapes as they grow.
+    Rng rng(13);
+    auto avg_dup = [&](NodeId n) {
+        double total = 0;
+        for (int trial = 0; trial < 4; ++trial) {
+            Graph g = randomGraphLi(n, rng);
+            total += wlRefine(g, 3).duplicateFraction(3);
+        }
+        return total / 4;
+    };
+    double small = avg_dup(100);
+    double large = avg_dup(2000);
+    EXPECT_GT(large, small);
+}
+
+// ---------------------------------------------------------------
+// Platform dominance across graph scales.
+// ---------------------------------------------------------------
+
+class ScaleSweep : public ::testing::TestWithParam<NodeId>
+{
+};
+
+TEST_P(ScaleSweep, CegmaDominatesAtEveryScale)
+{
+    NodeId n = GetParam();
+    Rng rng(11 + n);
+    Dataset ds;
+    ds.spec = datasetSpec(DatasetId::RD_B);
+    for (int i = 0; i < 4; ++i) {
+        Graph g = randomGraphLi(n, rng);
+        ds.pairs.push_back(makePairFromOriginal(g, (i % 2) == 0, rng));
+    }
+    auto traces = buildTraces(ModelId::GraphSim, ds, 0);
+    double awb = runPlatform(PlatformId::AwbGcn, traces).cycles;
+    double cegma = runPlatform(PlatformId::Cegma, traces).cycles;
+    EXPECT_LT(cegma, awb) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScaleSweep,
+                         ::testing::Values(16u, 64u, 256u, 1024u),
+                         [](const auto &info) {
+                             return "n" + std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace cegma

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the simulator substrate: configurations, cycle-cost
+ * helpers, energy model, and result accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/energy.hh"
+#include "sim/mac_array.hh"
+#include "sim/result.hh"
+
+namespace cegma {
+namespace {
+
+TEST(Config, TableThreePresets)
+{
+    AccelConfig cegma = cegmaConfig();
+    EXPECT_EQ(cegma.name, "CEGMA");
+    EXPECT_EQ(cegma.denseMacs, 128u * 32u);
+    EXPECT_EQ(cegma.inputBufferBytes, 128u * KiB);
+    EXPECT_TRUE(cegma.hasEmf);
+    EXPECT_TRUE(cegma.hasCgc);
+    EXPECT_EQ(cegma.emfComparators, 1024u);
+    EXPECT_DOUBLE_EQ(cegma.dramBytesPerCycle, 256.0);
+
+    AccelConfig hygcn = hygcnConfig();
+    EXPECT_FALSE(hygcn.hasEmf);
+    EXPECT_FALSE(hygcn.hasCgc);
+    EXPECT_EQ(hygcn.denseMacs, 32u * 128u);
+
+    AccelConfig awb = awbGcnConfig();
+    EXPECT_EQ(awb.denseMacs, 4096u);
+    EXPECT_FALSE(awb.hasCgc);
+
+    AccelConfig emf_only = cegmaEmfOnlyConfig();
+    EXPECT_TRUE(emf_only.hasEmf);
+    EXPECT_FALSE(emf_only.hasCgc);
+
+    AccelConfig cgc_only = cegmaCgcOnlyConfig();
+    EXPECT_FALSE(cgc_only.hasEmf);
+    EXPECT_TRUE(cgc_only.hasCgc);
+}
+
+TEST(Config, InputBufferNodes)
+{
+    AccelConfig config = cegmaConfig();
+    // 128 KiB / (64 floats * 4 B) = 512 nodes.
+    EXPECT_EQ(config.inputBufferNodes(64), 512u);
+    EXPECT_EQ(config.inputBufferNodes(128), 256u);
+    // Degenerate width still yields a usable window.
+    EXPECT_GE(config.inputBufferNodes(1 << 30), 2u);
+}
+
+TEST(MacArray, CycleCosts)
+{
+    AccelConfig config = awbGcnConfig();
+    // 4096 MACs at 0.8 utilization.
+    EXPECT_NEAR(denseCycles(config, 4096 * 80), 100.0, 1e-6);
+    EXPECT_GT(aggCycles(config, 1000), 0.0);
+    // Dense work is cheaper per MAC than sparse aggregation.
+    EXPECT_LT(denseCycles(config, 1000000), aggCycles(config, 1000000));
+}
+
+TEST(MacArray, DramCycles)
+{
+    AccelConfig config = cegmaConfig();
+    EXPECT_DOUBLE_EQ(dramCycles(config, 0), 0.0);
+    // 2560 bytes at 256 B/cycle = 10 cycles + fixed overhead.
+    EXPECT_NEAR(dramCycles(config, 2560),
+                10.0 + config.dramStepOverheadCycles, 1e-9);
+}
+
+TEST(Energy, Composition)
+{
+    EnergyModel model;
+    double none = model.totalNj(0, 0, 0, 0.0);
+    EXPECT_DOUBLE_EQ(none, 0.0);
+    double dram_only = model.totalNj(1000, 0, 0, 0.0);
+    EXPECT_NEAR(dram_only, 1000 * model.dramPjPerByte * 1e-3, 1e-9);
+    // DRAM dominates SRAM per byte by at least an order of magnitude.
+    EXPECT_GT(model.dramPjPerByte, 10 * model.sramPjPerByte);
+}
+
+TEST(Result, LatencyAndThroughput)
+{
+    SimResult result;
+    result.cycles = 2e6; // 2 ms at 1 GHz
+    result.pairsSimulated = 4;
+    EXPECT_DOUBLE_EQ(result.seconds(1e9), 2e-3);
+    EXPECT_DOUBLE_EQ(result.msPerPair(1e9), 0.5);
+    EXPECT_DOUBLE_EQ(result.throughput(1e9), 2000.0);
+}
+
+TEST(Result, MergeAccumulates)
+{
+    SimResult a, b;
+    a.cycles = 100;
+    a.dramReadBytes = 10;
+    a.macOps = 5;
+    a.pairsSimulated = 1;
+    a.extra.inc("x", 2);
+    b.cycles = 50;
+    b.dramWriteBytes = 20;
+    b.pairsSimulated = 2;
+    b.extra.inc("x", 3);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.cycles, 150.0);
+    EXPECT_EQ(a.dramBytes(), 30u);
+    EXPECT_EQ(a.pairsSimulated, 3u);
+    EXPECT_EQ(a.extra.get("x"), 5u);
+}
+
+TEST(Result, EnergyUsesAllComponents)
+{
+    EnergyModel model;
+    SimResult result;
+    result.cycles = 1000;
+    result.dramReadBytes = 500;
+    result.dramWriteBytes = 500;
+    result.sramBytes = 2000;
+    result.macOps = 10000;
+    double expected = (1000 * model.dramPjPerByte +
+                       2000 * model.sramPjPerByte +
+                       10000 * model.macPj +
+                       1000 * model.leakagePjPerCycle) * 1e-3;
+    EXPECT_NEAR(result.energyNj(model), expected, 1e-9);
+}
+
+} // namespace
+} // namespace cegma

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the dense matrix substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "tensor/matrix.hh"
+
+namespace cegma {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    m.at(1, 2) = 5.0f;
+    EXPECT_FLOAT_EQ(m.at(1, 2), 5.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+}
+
+TEST(Matrix, FromData)
+{
+    Matrix m(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+    EXPECT_FLOAT_EQ(m.at(0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(m.at(1, 0), 3.0f);
+}
+
+TEST(Matrix, RowsEqual)
+{
+    Matrix m(3, 2, {1, 2, 1, 2, 3, 4});
+    EXPECT_TRUE(m.rowsEqual(0, 1));
+    EXPECT_FALSE(m.rowsEqual(0, 2));
+}
+
+TEST(Matrix, Matmul)
+{
+    Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+    Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+    Matrix c = matmul(a, b);
+    ASSERT_EQ(c.rows(), 2u);
+    ASSERT_EQ(c.cols(), 2u);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matrix, MatmulNTMatchesExplicitTranspose)
+{
+    Rng rng(4);
+    Matrix a(5, 7);
+    Matrix b(6, 7);
+    a.fillXavier(rng);
+    b.fillXavier(rng);
+    Matrix direct = matmulNT(a, b);
+    Matrix via_t = matmul(a, transpose(b));
+    EXPECT_TRUE(direct.approxEquals(via_t, 1e-5f));
+}
+
+TEST(Matrix, AddAndBias)
+{
+    Matrix a(2, 2, {1, 2, 3, 4});
+    Matrix b(2, 2, {10, 20, 30, 40});
+    Matrix c = add(a, b);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 44.0f);
+
+    Matrix bias(1, 2, {100, 200});
+    addBiasInPlace(c, bias);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 111.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 244.0f);
+}
+
+TEST(Matrix, HConcat)
+{
+    Matrix a(2, 1, {1, 2});
+    Matrix b(2, 2, {3, 4, 5, 6});
+    Matrix c = hconcat({&a, &b});
+    ASSERT_EQ(c.cols(), 3u);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 2), 4.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 5.0f);
+}
+
+TEST(Matrix, Activations)
+{
+    Matrix m(1, 4, {-1.0f, 0.0f, 0.5f, 2.0f});
+    Matrix r = m;
+    reluInPlace(r);
+    EXPECT_FLOAT_EQ(r.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(r.at(0, 3), 2.0f);
+
+    Matrix s = m;
+    sigmoidInPlace(s);
+    EXPECT_NEAR(s.at(0, 1), 0.5f, 1e-6f);
+    EXPECT_GT(s.at(0, 3), 0.85f);
+
+    Matrix t = m;
+    tanhInPlace(t);
+    EXPECT_NEAR(t.at(0, 1), 0.0f, 1e-6f);
+    EXPECT_NEAR(t.at(0, 0), -std::tanh(1.0f), 1e-6f);
+}
+
+TEST(Matrix, SoftmaxRowsSumToOne)
+{
+    Matrix m(2, 3, {1, 2, 3, -5, 0, 5});
+    softmaxRowsInPlace(m);
+    for (size_t r = 0; r < 2; ++r) {
+        float sum = 0.0f;
+        for (size_t c = 0; c < 3; ++c) {
+            EXPECT_GT(m.at(r, c), 0.0f);
+            sum += m.at(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+    // Softmax is monotone in its input.
+    EXPECT_LT(m.at(0, 0), m.at(0, 2));
+}
+
+TEST(Matrix, Norms)
+{
+    Matrix m(2, 2, {3, 4, 0, 0});
+    Matrix l2 = rowL2Norms(m);
+    EXPECT_FLOAT_EQ(l2.at(0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(l2.at(1, 0), 0.0f);
+    Matrix sq = rowSquaredNorms(m);
+    EXPECT_FLOAT_EQ(sq.at(0, 0), 25.0f);
+}
+
+TEST(Matrix, ColumnReductions)
+{
+    Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+    Matrix sums = columnSums(m);
+    EXPECT_FLOAT_EQ(sums.at(0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(sums.at(0, 2), 9.0f);
+    Matrix means = columnMeans(m);
+    EXPECT_FLOAT_EQ(means.at(0, 1), 3.5f);
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    Rng rng(8);
+    Matrix m(4, 6);
+    m.fillXavier(rng);
+    EXPECT_TRUE(transpose(transpose(m)).equals(m));
+}
+
+TEST(Matrix, XavierRange)
+{
+    Rng rng(15);
+    Matrix m(64, 64);
+    m.fillXavier(rng);
+    float limit = std::sqrt(6.0f / 128.0f);
+    for (size_t i = 0; i < m.size(); ++i) {
+        EXPECT_LE(std::fabs(m.data()[i]), limit);
+    }
+    // Should not be all zeros.
+    EXPECT_FALSE(m.equals(Matrix(64, 64)));
+}
+
+TEST(Matrix, MatmulAssociativityProperty)
+{
+    Rng rng(21);
+    Matrix a(3, 4), b(4, 5), c(5, 2);
+    a.fillXavier(rng);
+    b.fillXavier(rng);
+    c.fillXavier(rng);
+    Matrix left = matmul(matmul(a, b), c);
+    Matrix right = matmul(a, matmul(b, c));
+    EXPECT_TRUE(left.approxEquals(right, 1e-4f));
+}
+
+} // namespace
+} // namespace cegma

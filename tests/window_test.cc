@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the window schedulers: exact coverage invariants (every
+ * arc and matching cell scheduled exactly once), miss-count ordering
+ * across schemes, EMF-mask interaction, and AOE behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/window.hh"
+#include "common/rng.hh"
+#include "graph/generators.hh"
+#include "graph/wl_refine.hh"
+
+namespace cegma {
+namespace {
+
+/** The paper's Figure 5 example pair. */
+struct ExamplePair
+{
+    Graph target = Graph::fromEdges(4, {{0, 2}, {1, 2}, {2, 3}});
+    Graph query = Graph::fromEdges(
+        6, {{0, 1}, {1, 2}, {2, 3}, {1, 4}, {3, 4}, {4, 5}});
+};
+
+WindowWork
+exampleWork(const ExamplePair &ex, uint32_t cap = 4)
+{
+    WindowWork work;
+    work.target = &ex.target;
+    work.query = &ex.query;
+    work.capNodes = cap;
+    work.hasMatching = true;
+    return work;
+}
+
+class AllSchedulers
+    : public ::testing::TestWithParam<SchedulerKind>
+{
+  public:
+    static std::string
+    name(const ::testing::TestParamInfo<SchedulerKind> &info)
+    {
+        switch (info.param) {
+          case SchedulerKind::SeparatePhase:
+            return "SeparatePhase";
+          case SchedulerKind::DoubleWindow:
+            return "DoubleWindow";
+          case SchedulerKind::Joint:
+            return "Joint";
+          case SchedulerKind::Coordinated:
+            return "Coordinated";
+        }
+        return "?";
+    }
+};
+
+TEST_P(AllSchedulers, FullCoverageOnExample)
+{
+    ExamplePair ex;
+    WindowWork work = exampleWork(ex);
+    ScheduleResult res = scheduleLayer(GetParam(), work);
+    EXPECT_EQ(res.arcsProcessed, ex.target.numArcs() + ex.query.numArcs());
+    EXPECT_EQ(res.matchesProcessed,
+              static_cast<uint64_t>(ex.target.numNodes()) *
+                  ex.query.numNodes());
+    EXPECT_GT(res.loads, 0u);
+    EXPECT_GT(res.steps, 0u);
+}
+
+TEST_P(AllSchedulers, FullCoverageOnRandomGraphs)
+{
+    Rng rng(11);
+    for (int trial = 0; trial < 8; ++trial) {
+        Graph t = threadGraph(30 + 10 * trial, 36 + 12 * trial, rng);
+        Graph q = erdosRenyiGnm(25 + 5 * trial, 40 + 8 * trial, rng);
+        WindowWork work;
+        work.target = &t;
+        work.query = &q;
+        work.capNodes = 8 + 2 * trial;
+        work.hasMatching = true;
+        ScheduleResult res = scheduleLayer(GetParam(), work);
+        EXPECT_EQ(res.arcsProcessed, t.numArcs() + q.numArcs())
+            << "trial " << trial;
+        EXPECT_EQ(res.matchesProcessed,
+                  static_cast<uint64_t>(t.numNodes()) * q.numNodes())
+            << "trial " << trial;
+        // Every node must be fetched at least once.
+        EXPECT_GE(res.loads, t.numNodes() + q.numNodes());
+    }
+}
+
+TEST_P(AllSchedulers, NoMatchingLayersCoverEdgesOnly)
+{
+    ExamplePair ex;
+    WindowWork work = exampleWork(ex);
+    work.hasMatching = false;
+    ScheduleResult res = scheduleLayer(GetParam(), work);
+    EXPECT_EQ(res.arcsProcessed, ex.target.numArcs() + ex.query.numArcs());
+    EXPECT_EQ(res.matchesProcessed, 0u);
+    EXPECT_GE(res.loads, ex.target.numNodes() + ex.query.numNodes());
+}
+
+TEST_P(AllSchedulers, EmfMaskShrinksMatching)
+{
+    Rng rng(13);
+    Graph t = threadGraph(60, 70, rng);
+    Graph q = threadGraph(50, 60, rng);
+    WlColoring wl_t = wlRefine(t, 1);
+    WlColoring wl_q = wlRefine(q, 1);
+    std::vector<bool> keep_t(t.numNodes()), keep_q(q.numNodes());
+    uint64_t uniq_t = 0, uniq_q = 0;
+    {
+        std::vector<bool> seen_t(wl_t.numClasses[1], false);
+        for (NodeId v = 0; v < t.numNodes(); ++v) {
+            keep_t[v] = !seen_t[wl_t.colors[1][v]];
+            seen_t[wl_t.colors[1][v]] = true;
+            uniq_t += keep_t[v];
+        }
+        std::vector<bool> seen_q(wl_q.numClasses[1], false);
+        for (NodeId v = 0; v < q.numNodes(); ++v) {
+            keep_q[v] = !seen_q[wl_q.colors[1][v]];
+            seen_q[wl_q.colors[1][v]] = true;
+            uniq_q += keep_q[v];
+        }
+    }
+
+    WindowWork work;
+    work.target = &t;
+    work.query = &q;
+    work.capNodes = 16;
+    work.hasMatching = true;
+    ScheduleResult full = scheduleLayer(GetParam(), work);
+
+    work.matchTarget = &keep_t;
+    work.matchQuery = &keep_q;
+    ScheduleResult masked = scheduleLayer(GetParam(), work);
+
+    EXPECT_EQ(masked.matchesProcessed, uniq_t * uniq_q);
+    EXPECT_LT(masked.matchesProcessed, full.matchesProcessed);
+    EXPECT_LE(masked.loads, full.loads);
+    // Edge coverage unaffected by the filter.
+    EXPECT_EQ(masked.arcsProcessed, t.numArcs() + q.numArcs());
+}
+
+TEST_P(AllSchedulers, TraceRecordsAllLoads)
+{
+    ExamplePair ex;
+    WindowWork work = exampleWork(ex);
+    ScheduleResult res = scheduleLayer(GetParam(), work, true);
+    EXPECT_GE(res.accessTrace.size(), res.loads);
+    for (uint32_t id : res.accessTrace) {
+        EXPECT_LT(id, ex.target.numNodes() + ex.query.numNodes());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, AllSchedulers,
+    ::testing::Values(SchedulerKind::SeparatePhase,
+                      SchedulerKind::DoubleWindow, SchedulerKind::Joint,
+                      SchedulerKind::Coordinated),
+    AllSchedulers::name);
+
+TEST(WindowOrdering, JointBeatsSeparateOnTheExample)
+{
+    // The paper's Fig. 8 vs Fig. 12 point: the joint window removes
+    // the matching-stage reloads the separate-phase scheme incurs.
+    ExamplePair ex;
+    WindowWork work = exampleWork(ex);
+    uint64_t separate =
+        scheduleLayer(SchedulerKind::SeparatePhase, work).loads;
+    uint64_t joint = scheduleLayer(SchedulerKind::Joint, work).loads;
+    uint64_t coord =
+        scheduleLayer(SchedulerKind::Coordinated, work).loads;
+    EXPECT_LT(joint, separate);
+    EXPECT_LE(coord, separate);
+}
+
+TEST(WindowOrdering, CoordinatedNeverWorseThanSeparateOnAverage)
+{
+    Rng rng(17);
+    uint64_t sep_total = 0, coord_total = 0;
+    for (int trial = 0; trial < 12; ++trial) {
+        Graph t = threadGraph(80, 95, rng);
+        Graph q = threadGraph(70, 85, rng);
+        WindowWork work;
+        work.target = &t;
+        work.query = &q;
+        work.capNodes = 24;
+        work.hasMatching = true;
+        sep_total +=
+            scheduleLayer(SchedulerKind::SeparatePhase, work).loads;
+        coord_total +=
+            scheduleLayer(SchedulerKind::Coordinated, work).loads;
+    }
+    EXPECT_LT(coord_total, sep_total);
+}
+
+TEST(WindowOrdering, LargerBufferNeverIncreasesLoads)
+{
+    Rng rng(19);
+    Graph t = threadGraph(100, 120, rng);
+    Graph q = threadGraph(90, 110, rng);
+    uint64_t prev = UINT64_MAX;
+    for (uint32_t cap : {8u, 32u, 128u, 512u}) {
+        WindowWork work;
+        work.target = &t;
+        work.query = &q;
+        work.capNodes = cap;
+        work.hasMatching = true;
+        uint64_t loads =
+            scheduleLayer(SchedulerKind::Coordinated, work).loads;
+        EXPECT_LE(loads, prev) << "cap " << cap;
+        prev = loads;
+    }
+    // With the whole pair resident, loads reach the cold minimum.
+    EXPECT_EQ(prev, t.numNodes() + q.numNodes());
+}
+
+TEST(Aoe, PrecisionWithinBounds)
+{
+    Rng rng(23);
+    Graph t = threadGraph(60, 72, rng);
+    Graph q = sparseSocialGraph(50, 100, rng);
+    WindowWork work;
+    work.target = &t;
+    work.query = &q;
+    work.capNodes = 12;
+    work.hasMatching = true;
+    double precision = measureAoePrecision(work);
+    EXPECT_GE(precision, 0.0);
+    EXPECT_LE(precision, 1.0);
+}
+
+TEST(Aoe, TrivialScheduleHasPerfectPrecision)
+{
+    // Whole pair fits: no decisions, precision defined as 1.
+    ExamplePair ex;
+    WindowWork work = exampleWork(ex, 64);
+    EXPECT_DOUBLE_EQ(measureAoePrecision(work), 1.0);
+}
+
+} // namespace
+} // namespace cegma

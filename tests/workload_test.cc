@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Focused tests for the workload tracer: hand-computed FLOP formulas
+ * on tiny graphs and the custom-configuration builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "gmn/workload.hh"
+#include "graph/generators.hh"
+
+namespace cegma {
+namespace {
+
+GraphPair
+tinyPair()
+{
+    // Target: triangle (3 nodes, 3 edges). Query: path of 4.
+    GraphPair pair;
+    pair.target = Graph::fromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+    pair.query = Graph::fromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+    pair.similar = true;
+    return pair;
+}
+
+TEST(Workload, GcnFlopFormulasHandChecked)
+{
+    GraphPair pair = tinyPair();
+    PairTrace trace = buildTrace(ModelId::SimGnn, pair);
+    const uint64_t d = 64;
+    const LayerWork &layer = trace.layers[0];
+    // Aggregation: (arcs + 2n) * d. Triangle: 6 arcs, 3 nodes.
+    EXPECT_EQ(layer.embedTarget.aggFlops, (6 + 2 * 3) * d);
+    // Path: 6 arcs, 4 nodes.
+    EXPECT_EQ(layer.embedQuery.aggFlops, (6 + 2 * 4) * d);
+    // Combination: n * (2 d^2 + d).
+    EXPECT_EQ(layer.embedTarget.combFlops, 3 * (2 * d * d + d));
+    // Encoder: (n + m) dense 1 -> d.
+    EXPECT_EQ(trace.encodeFlops, 7 * (2 * 1 * d + d));
+}
+
+TEST(Workload, MatchingFlopsByKind)
+{
+    GraphPair pair = tinyPair();
+    PairTrace simgnn = buildTrace(ModelId::SimGnn, pair); // dot
+    PairTrace graphsim = buildTrace(ModelId::GraphSim, pair); // cosine
+    const uint64_t base = 2 * 3 * 4 * 64; // 2 n m d
+    EXPECT_EQ(simgnn.layers.back().matching.simFlops, base);
+    EXPECT_GT(graphsim.layers.back().matching.simFlops, base);
+}
+
+TEST(Workload, ModelWiseMatchesOnlyLastLayer)
+{
+    GraphPair pair = tinyPair();
+    PairTrace trace = buildTrace(ModelId::SimGnn, pair);
+    ASSERT_EQ(trace.layers.size(), 3u);
+    EXPECT_FALSE(trace.layers[0].matching.present);
+    EXPECT_FALSE(trace.layers[1].matching.present);
+    EXPECT_TRUE(trace.layers[2].matching.present);
+}
+
+TEST(CustomTrace, LayerCountSweeps)
+{
+    Rng rng(3);
+    Graph g = threadGraph(40, 48, rng);
+    GraphPair pair = makePairFromOriginal(g, true, rng);
+
+    ModelConfig config = modelConfig(ModelId::GraphSim);
+    for (unsigned layers : {1u, 2u, 4u, 6u}) {
+        config.numLayers = layers;
+        PairTrace trace = buildCustomTrace(config, pair);
+        EXPECT_EQ(trace.layers.size(), layers);
+        size_t matchings = 0;
+        for (const auto &layer : trace.layers)
+            matchings += layer.matching.present;
+        EXPECT_EQ(matchings, layers); // layer-wise
+    }
+}
+
+TEST(CustomTrace, ModelWiseCheaperThanLayerWise)
+{
+    Rng rng(5);
+    Graph g = threadGraph(80, 95, rng);
+    GraphPair pair = makePairFromOriginal(g, true, rng);
+
+    ModelConfig config = modelConfig(ModelId::GraphSim);
+    config.numLayers = 4;
+    config.layerwiseMatching = true;
+    uint64_t layerwise = buildCustomTrace(config, pair).matchFlopsTotal();
+    config.layerwiseMatching = false;
+    uint64_t modelwise = buildCustomTrace(config, pair).matchFlopsTotal();
+    EXPECT_NEAR(static_cast<double>(layerwise),
+                4.0 * static_cast<double>(modelwise),
+                0.01 * layerwise);
+}
+
+TEST(CustomTrace, CrossFeedbackUsesMgnnBackbone)
+{
+    Rng rng(7);
+    Graph g = threadGraph(30, 36, rng);
+    GraphPair pair = makePairFromOriginal(g, true, rng);
+
+    ModelConfig config = modelConfig(ModelId::GraphSim);
+    config.crossFeedback = true;
+    config.similarity = SimilarityKind::Euclidean;
+    PairTrace mgnn = buildCustomTrace(config, pair);
+    config.crossFeedback = false;
+    PairTrace gcn = buildCustomTrace(config, pair);
+    // The edge MLP makes aggregation far more expensive.
+    EXPECT_GT(mgnn.aggFlopsTotal(), 10 * gcn.aggFlopsTotal());
+    EXPECT_GT(mgnn.layers[0].matching.crossFlops, 0u);
+    EXPECT_EQ(gcn.layers[0].matching.crossFlops, 0u);
+}
+
+TEST(CustomTrace, DeeperWlLevelsNeverGainDuplicates)
+{
+    Rng rng(9);
+    Graph g = threadGraph(100, 120, rng);
+    GraphPair pair = makePairFromOriginal(g, true, rng);
+    ModelConfig config = modelConfig(ModelId::GraphSim);
+    config.numLayers = 5;
+    PairTrace trace = buildCustomTrace(config, pair);
+    uint32_t prev = 0;
+    for (const auto &layer : trace.layers) {
+        ASSERT_TRUE(layer.matching.present);
+        EXPECT_GE(layer.matching.numUniqueTarget, prev);
+        prev = layer.matching.numUniqueTarget;
+    }
+}
+
+TEST(Workload, UniqueFractionMatchesClassProducts)
+{
+    Rng rng(11);
+    Graph g = threadGraph(60, 70, rng);
+    GraphPair pair = makePairFromOriginal(g, false, rng);
+    PairTrace trace = buildTrace(ModelId::GmnLi, pair);
+    for (const auto &layer : trace.layers) {
+        const MatchingWork &match = layer.matching;
+        // numUnique must equal the number of distinct class ids.
+        std::vector<bool> seen_t(match.dupClassTarget.size(), false);
+        uint32_t distinct = 0;
+        std::vector<uint32_t> sorted = match.dupClassTarget;
+        std::sort(sorted.begin(), sorted.end());
+        for (size_t i = 0; i < sorted.size(); ++i) {
+            if (i == 0 || sorted[i] != sorted[i - 1])
+                ++distinct;
+        }
+        EXPECT_EQ(match.numUniqueTarget, distinct);
+    }
+}
+
+} // namespace
+} // namespace cegma

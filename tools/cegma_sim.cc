@@ -1,0 +1,210 @@
+/**
+ * @file
+ * cegma_sim — command-line front end to the simulator.
+ *
+ * Usage:
+ *   cegma_sim [--model NAME] [--dataset NAME] [--platform NAME]
+ *             [--pairs N] [--seed S] [--batch B]
+ *             [--save-traces FILE | --load-traces FILE] [--csv]
+ *
+ * Examples:
+ *   cegma_sim --model GMN-Li --dataset RD-5K --platform CEGMA
+ *   cegma_sim --dataset AIDS --pairs 200 --csv        # all platforms
+ *   cegma_sim --model GraphSim --dataset RD-B --save-traces rdb.trc
+ *   cegma_sim --load-traces rdb.trc --platform AWB-GCN
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "accel/runner.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "io/trace_io.hh"
+#include "sim/energy.hh"
+
+using namespace cegma;
+
+namespace {
+
+struct Options
+{
+    std::optional<ModelId> model;
+    std::optional<DatasetId> dataset;
+    std::optional<PlatformId> platform;
+    uint32_t pairs = 32;
+    uint64_t seed = 7;
+    uint32_t batch = 32;
+    std::string saveTraces;
+    std::string loadTraces;
+    bool csv = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--model NAME] [--dataset NAME] "
+                 "[--platform NAME]\n"
+                 "          [--pairs N] [--seed S] [--batch B]\n"
+                 "          [--save-traces FILE | --load-traces FILE] "
+                 "[--csv]\n"
+                 "models: GMN-Li GraphSim SimGNN (default: all)\n"
+                 "datasets: AIDS COLLAB GITHUB RD-B RD-5K RD-12K\n"
+                 "platforms: PyG-CPU PyG-GPU HyGCN AWB-GCN CEGMA-EMF "
+                 "CEGMA-CGC CEGMA (default: all)\n",
+                 argv0);
+    std::exit(2);
+}
+
+ModelId
+parseModel(const std::string &name)
+{
+    for (ModelId id : allModels()) {
+        if (modelConfig(id).name == name)
+            return id;
+    }
+    fatal("unknown model '%s'", name.c_str());
+}
+
+DatasetId
+parseDataset(const std::string &name)
+{
+    for (DatasetId id : allDatasets()) {
+        if (datasetSpec(id).name == name)
+            return id;
+    }
+    fatal("unknown dataset '%s'", name.c_str());
+}
+
+PlatformId
+parsePlatform(const std::string &name)
+{
+    for (PlatformId id :
+         {PlatformId::PygCpu, PlatformId::PygGpu, PlatformId::HyGcn,
+          PlatformId::AwbGcn, PlatformId::CegmaEmf, PlatformId::CegmaCgc,
+          PlatformId::Cegma}) {
+        if (name == platformName(id))
+            return id;
+    }
+    fatal("unknown platform '%s'", name.c_str());
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--model") {
+            opts.model = parseModel(next());
+        } else if (arg == "--dataset") {
+            opts.dataset = parseDataset(next());
+        } else if (arg == "--platform") {
+            opts.platform = parsePlatform(next());
+        } else if (arg == "--pairs") {
+            opts.pairs = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--seed") {
+            opts.seed = std::stoull(next());
+        } else if (arg == "--batch") {
+            opts.batch = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--save-traces") {
+            opts.saveTraces = next();
+        } else if (arg == "--load-traces") {
+            opts.loadTraces = next();
+        } else if (arg == "--csv") {
+            opts.csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+        }
+    }
+    return opts;
+}
+
+void
+reportRow(TextTable &table, const std::string &model,
+          const std::string &dataset, PlatformId platform,
+          const SimResult &result)
+{
+    EnergyModel energy;
+    table.addRow({model, dataset, platformName(platform),
+                  std::to_string(result.pairsSimulated),
+                  TextTable::fmt(result.msPerPair(GHz), 4),
+                  TextTable::fmtCount(result.throughput(GHz)),
+                  TextTable::fmtBytes(
+                      static_cast<double>(result.dramBytes())),
+                  TextTable::fmt(result.energyNj(energy) / 1e6, 3)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    Options opts = parseArgs(argc, argv);
+
+    std::vector<PlatformId> platforms;
+    if (opts.platform) {
+        platforms.push_back(*opts.platform);
+    } else {
+        platforms = {PlatformId::PygCpu,   PlatformId::PygGpu,
+                     PlatformId::HyGcn,    PlatformId::AwbGcn,
+                     PlatformId::CegmaEmf, PlatformId::CegmaCgc,
+                     PlatformId::Cegma};
+    }
+
+    TextTable table({"model", "dataset", "platform", "pairs",
+                     "ms/pair", "pairs/s", "DRAM", "energy mJ"});
+
+    if (!opts.loadTraces.empty()) {
+        TraceBundle bundle = loadTraces(opts.loadTraces);
+        if (bundle.size() == 0)
+            fatal("trace file '%s' holds no traces",
+                  opts.loadTraces.c_str());
+        std::string model =
+            modelConfig(bundle.traces().front().model).name;
+        for (PlatformId p : platforms) {
+            reportRow(table, model, opts.loadTraces, p,
+                      runPlatform(p, bundle.traces(), opts.batch));
+        }
+    } else {
+        std::vector<ModelId> models =
+            opts.model ? std::vector<ModelId>{*opts.model} : allModels();
+        std::vector<DatasetId> datasets =
+            opts.dataset ? std::vector<DatasetId>{*opts.dataset}
+                         : allDatasets();
+        for (DatasetId did : datasets) {
+            Dataset ds = makeDataset(did, opts.seed, opts.pairs);
+            for (ModelId mid : models) {
+                auto traces = buildTraces(mid, ds, 0);
+                if (!opts.saveTraces.empty())
+                    saveTraces(opts.saveTraces, traces);
+                for (PlatformId p : platforms) {
+                    reportRow(table, modelConfig(mid).name,
+                              datasetSpec(did).name, p,
+                              runPlatform(p, traces, opts.batch));
+                }
+            }
+        }
+    }
+
+    if (opts.csv) {
+        table.printCsv(std::cout);
+    } else {
+        table.print(std::cout);
+    }
+    return 0;
+}
