@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aoe.dir/ablation_aoe.cc.o"
+  "CMakeFiles/ablation_aoe.dir/ablation_aoe.cc.o.d"
+  "ablation_aoe"
+  "ablation_aoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

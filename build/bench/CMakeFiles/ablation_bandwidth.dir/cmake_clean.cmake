@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bandwidth.dir/ablation_bandwidth.cc.o"
+  "CMakeFiles/ablation_bandwidth.dir/ablation_bandwidth.cc.o.d"
+  "ablation_bandwidth"
+  "ablation_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_matching_mode.dir/ablation_matching_mode.cc.o"
+  "CMakeFiles/ablation_matching_mode.dir/ablation_matching_mode.cc.o.d"
+  "ablation_matching_mode"
+  "ablation_matching_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_matching_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

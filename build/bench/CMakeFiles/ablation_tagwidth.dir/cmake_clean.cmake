@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tagwidth.dir/ablation_tagwidth.cc.o"
+  "CMakeFiles/ablation_tagwidth.dir/ablation_tagwidth.cc.o.d"
+  "ablation_tagwidth"
+  "ablation_tagwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tagwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

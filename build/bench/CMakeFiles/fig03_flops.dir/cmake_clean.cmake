@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_flops.dir/fig03_flops.cc.o"
+  "CMakeFiles/fig03_flops.dir/fig03_flops.cc.o.d"
+  "fig03_flops"
+  "fig03_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_reuse_baseline.dir/fig04_reuse_baseline.cc.o"
+  "CMakeFiles/fig04_reuse_baseline.dir/fig04_reuse_baseline.cc.o.d"
+  "fig04_reuse_baseline"
+  "fig04_reuse_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_reuse_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

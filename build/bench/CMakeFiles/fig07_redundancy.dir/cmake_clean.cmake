@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_redundancy.dir/fig07_redundancy.cc.o"
+  "CMakeFiles/fig07_redundancy.dir/fig07_redundancy.cc.o.d"
+  "fig07_redundancy"
+  "fig07_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

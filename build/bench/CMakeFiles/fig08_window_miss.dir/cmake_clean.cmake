@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_window_miss.dir/fig08_window_miss.cc.o"
+  "CMakeFiles/fig08_window_miss.dir/fig08_window_miss.cc.o.d"
+  "fig08_window_miss"
+  "fig08_window_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_window_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_dram.dir/fig17_dram.cc.o"
+  "CMakeFiles/fig17_dram.dir/fig17_dram.cc.o.d"
+  "fig17_dram"
+  "fig17_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_unique_matching.dir/fig18_unique_matching.cc.o"
+  "CMakeFiles/fig18_unique_matching.dir/fig18_unique_matching.cc.o.d"
+  "fig18_unique_matching"
+  "fig18_unique_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_unique_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

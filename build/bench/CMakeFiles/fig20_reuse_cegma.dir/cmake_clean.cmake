@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_reuse_cegma.dir/fig20_reuse_cegma.cc.o"
+  "CMakeFiles/fig20_reuse_cegma.dir/fig20_reuse_cegma.cc.o.d"
+  "fig20_reuse_cegma"
+  "fig20_reuse_cegma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_reuse_cegma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_reuse_cegma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_breakdown_speedup.dir/fig21_breakdown_speedup.cc.o"
+  "CMakeFiles/fig21_breakdown_speedup.dir/fig21_breakdown_speedup.cc.o.d"
+  "fig21_breakdown_speedup"
+  "fig21_breakdown_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_breakdown_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_breakdown_dram.dir/fig22_breakdown_dram.cc.o"
+  "CMakeFiles/fig22_breakdown_dram.dir/fig22_breakdown_dram.cc.o.d"
+  "fig22_breakdown_dram"
+  "fig22_breakdown_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_breakdown_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

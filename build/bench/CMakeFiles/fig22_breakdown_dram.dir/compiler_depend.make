@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig22_breakdown_dram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_emf_cycles.dir/fig23_emf_cycles.cc.o"
+  "CMakeFiles/fig23_emf_cycles.dir/fig23_emf_cycles.cc.o.d"
+  "fig23_emf_cycles"
+  "fig23_emf_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_emf_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_throughput.dir/fig24_throughput.cc.o"
+  "CMakeFiles/fig24_throughput.dir/fig24_throughput.cc.o.d"
+  "fig24_throughput"
+  "fig24_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_large_graphs.dir/fig25_large_graphs.cc.o"
+  "CMakeFiles/fig25_large_graphs.dir/fig25_large_graphs.cc.o.d"
+  "fig25_large_graphs"
+  "fig25_large_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_large_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

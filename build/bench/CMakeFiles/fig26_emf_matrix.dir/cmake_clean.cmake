@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_emf_matrix.dir/fig26_emf_matrix.cc.o"
+  "CMakeFiles/fig26_emf_matrix.dir/fig26_emf_matrix.cc.o.d"
+  "fig26_emf_matrix"
+  "fig26_emf_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_emf_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

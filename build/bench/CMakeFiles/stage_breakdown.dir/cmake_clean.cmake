@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_breakdown.dir/stage_breakdown.cc.o"
+  "CMakeFiles/stage_breakdown.dir/stage_breakdown.cc.o.d"
+  "stage_breakdown"
+  "stage_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

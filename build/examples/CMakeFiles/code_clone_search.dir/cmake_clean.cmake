@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_clone_search.dir/code_clone_search.cpp.o"
+  "CMakeFiles/code_clone_search.dir/code_clone_search.cpp.o.d"
+  "code_clone_search"
+  "code_clone_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_clone_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

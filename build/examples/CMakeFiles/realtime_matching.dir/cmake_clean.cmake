@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_matching.dir/realtime_matching.cpp.o"
+  "CMakeFiles/realtime_matching.dir/realtime_matching.cpp.o.d"
+  "realtime_matching"
+  "realtime_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_similarity.dir/train_similarity.cpp.o"
+  "CMakeFiles/train_similarity.dir/train_similarity.cpp.o.d"
+  "train_similarity"
+  "train_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hash")
+subdirs("tensor")
+subdirs("graph")
+subdirs("nn")
+subdirs("gmn")
+subdirs("emf")
+subdirs("sim")
+subdirs("accel")
+subdirs("analysis")
+subdirs("io")
+subdirs("train")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cegma_accel.dir/accelerator.cc.o"
+  "CMakeFiles/cegma_accel.dir/accelerator.cc.o.d"
+  "CMakeFiles/cegma_accel.dir/aoe_unit.cc.o"
+  "CMakeFiles/cegma_accel.dir/aoe_unit.cc.o.d"
+  "CMakeFiles/cegma_accel.dir/platform.cc.o"
+  "CMakeFiles/cegma_accel.dir/platform.cc.o.d"
+  "CMakeFiles/cegma_accel.dir/runner.cc.o"
+  "CMakeFiles/cegma_accel.dir/runner.cc.o.d"
+  "CMakeFiles/cegma_accel.dir/window.cc.o"
+  "CMakeFiles/cegma_accel.dir/window.cc.o.d"
+  "libcegma_accel.a"
+  "libcegma_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cegma_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/flops.cc" "src/analysis/CMakeFiles/cegma_analysis.dir/flops.cc.o" "gcc" "src/analysis/CMakeFiles/cegma_analysis.dir/flops.cc.o.d"
+  "/root/repo/src/analysis/redundancy.cc" "src/analysis/CMakeFiles/cegma_analysis.dir/redundancy.cc.o" "gcc" "src/analysis/CMakeFiles/cegma_analysis.dir/redundancy.cc.o.d"
+  "/root/repo/src/analysis/reuse.cc" "src/analysis/CMakeFiles/cegma_analysis.dir/reuse.cc.o" "gcc" "src/analysis/CMakeFiles/cegma_analysis.dir/reuse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cegma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmn/CMakeFiles/cegma_gmn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cegma_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cegma_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cegma_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cegma_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cegma_analysis.dir/flops.cc.o"
+  "CMakeFiles/cegma_analysis.dir/flops.cc.o.d"
+  "CMakeFiles/cegma_analysis.dir/redundancy.cc.o"
+  "CMakeFiles/cegma_analysis.dir/redundancy.cc.o.d"
+  "CMakeFiles/cegma_analysis.dir/reuse.cc.o"
+  "CMakeFiles/cegma_analysis.dir/reuse.cc.o.d"
+  "libcegma_analysis.a"
+  "libcegma_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cegma_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

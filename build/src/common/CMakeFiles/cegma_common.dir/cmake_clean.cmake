@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cegma_common.dir/logging.cc.o"
+  "CMakeFiles/cegma_common.dir/logging.cc.o.d"
+  "CMakeFiles/cegma_common.dir/rng.cc.o"
+  "CMakeFiles/cegma_common.dir/rng.cc.o.d"
+  "CMakeFiles/cegma_common.dir/stats.cc.o"
+  "CMakeFiles/cegma_common.dir/stats.cc.o.d"
+  "CMakeFiles/cegma_common.dir/table.cc.o"
+  "CMakeFiles/cegma_common.dir/table.cc.o.d"
+  "libcegma_common.a"
+  "libcegma_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cegma_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emf/emf.cc" "src/emf/CMakeFiles/cegma_emf.dir/emf.cc.o" "gcc" "src/emf/CMakeFiles/cegma_emf.dir/emf.cc.o.d"
+  "/root/repo/src/emf/emf_pipeline.cc" "src/emf/CMakeFiles/cegma_emf.dir/emf_pipeline.cc.o" "gcc" "src/emf/CMakeFiles/cegma_emf.dir/emf_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hash/CMakeFiles/cegma_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cegma_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cegma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cegma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cegma_emf.dir/emf.cc.o"
+  "CMakeFiles/cegma_emf.dir/emf.cc.o.d"
+  "CMakeFiles/cegma_emf.dir/emf_pipeline.cc.o"
+  "CMakeFiles/cegma_emf.dir/emf_pipeline.cc.o.d"
+  "libcegma_emf.a"
+  "libcegma_emf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cegma_emf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

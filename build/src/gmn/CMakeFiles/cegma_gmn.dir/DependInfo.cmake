@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gmn/gmn_li.cc" "src/gmn/CMakeFiles/cegma_gmn.dir/gmn_li.cc.o" "gcc" "src/gmn/CMakeFiles/cegma_gmn.dir/gmn_li.cc.o.d"
+  "/root/repo/src/gmn/graphsim.cc" "src/gmn/CMakeFiles/cegma_gmn.dir/graphsim.cc.o" "gcc" "src/gmn/CMakeFiles/cegma_gmn.dir/graphsim.cc.o.d"
+  "/root/repo/src/gmn/model.cc" "src/gmn/CMakeFiles/cegma_gmn.dir/model.cc.o" "gcc" "src/gmn/CMakeFiles/cegma_gmn.dir/model.cc.o.d"
+  "/root/repo/src/gmn/simgnn.cc" "src/gmn/CMakeFiles/cegma_gmn.dir/simgnn.cc.o" "gcc" "src/gmn/CMakeFiles/cegma_gmn.dir/simgnn.cc.o.d"
+  "/root/repo/src/gmn/similarity.cc" "src/gmn/CMakeFiles/cegma_gmn.dir/similarity.cc.o" "gcc" "src/gmn/CMakeFiles/cegma_gmn.dir/similarity.cc.o.d"
+  "/root/repo/src/gmn/workload.cc" "src/gmn/CMakeFiles/cegma_gmn.dir/workload.cc.o" "gcc" "src/gmn/CMakeFiles/cegma_gmn.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/cegma_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cegma_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cegma_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cegma_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cegma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cegma_gmn.dir/gmn_li.cc.o"
+  "CMakeFiles/cegma_gmn.dir/gmn_li.cc.o.d"
+  "CMakeFiles/cegma_gmn.dir/graphsim.cc.o"
+  "CMakeFiles/cegma_gmn.dir/graphsim.cc.o.d"
+  "CMakeFiles/cegma_gmn.dir/model.cc.o"
+  "CMakeFiles/cegma_gmn.dir/model.cc.o.d"
+  "CMakeFiles/cegma_gmn.dir/simgnn.cc.o"
+  "CMakeFiles/cegma_gmn.dir/simgnn.cc.o.d"
+  "CMakeFiles/cegma_gmn.dir/similarity.cc.o"
+  "CMakeFiles/cegma_gmn.dir/similarity.cc.o.d"
+  "CMakeFiles/cegma_gmn.dir/workload.cc.o"
+  "CMakeFiles/cegma_gmn.dir/workload.cc.o.d"
+  "libcegma_gmn.a"
+  "libcegma_gmn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cegma_gmn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/batch.cc" "src/graph/CMakeFiles/cegma_graph.dir/batch.cc.o" "gcc" "src/graph/CMakeFiles/cegma_graph.dir/batch.cc.o.d"
+  "/root/repo/src/graph/dataset.cc" "src/graph/CMakeFiles/cegma_graph.dir/dataset.cc.o" "gcc" "src/graph/CMakeFiles/cegma_graph.dir/dataset.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/cegma_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/cegma_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/cegma_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/cegma_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/wl_refine.cc" "src/graph/CMakeFiles/cegma_graph.dir/wl_refine.cc.o" "gcc" "src/graph/CMakeFiles/cegma_graph.dir/wl_refine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cegma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cegma_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cegma_graph.dir/batch.cc.o"
+  "CMakeFiles/cegma_graph.dir/batch.cc.o.d"
+  "CMakeFiles/cegma_graph.dir/dataset.cc.o"
+  "CMakeFiles/cegma_graph.dir/dataset.cc.o.d"
+  "CMakeFiles/cegma_graph.dir/generators.cc.o"
+  "CMakeFiles/cegma_graph.dir/generators.cc.o.d"
+  "CMakeFiles/cegma_graph.dir/graph.cc.o"
+  "CMakeFiles/cegma_graph.dir/graph.cc.o.d"
+  "CMakeFiles/cegma_graph.dir/wl_refine.cc.o"
+  "CMakeFiles/cegma_graph.dir/wl_refine.cc.o.d"
+  "libcegma_graph.a"
+  "libcegma_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cegma_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cegma_hash.dir/xxhash.cc.o"
+  "CMakeFiles/cegma_hash.dir/xxhash.cc.o.d"
+  "libcegma_hash.a"
+  "libcegma_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cegma_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

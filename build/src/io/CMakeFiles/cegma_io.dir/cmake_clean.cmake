@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cegma_io.dir/graph_io.cc.o"
+  "CMakeFiles/cegma_io.dir/graph_io.cc.o.d"
+  "CMakeFiles/cegma_io.dir/trace_io.cc.o"
+  "CMakeFiles/cegma_io.dir/trace_io.cc.o.d"
+  "libcegma_io.a"
+  "libcegma_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cegma_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cegma_nn.dir/cnn.cc.o"
+  "CMakeFiles/cegma_nn.dir/cnn.cc.o.d"
+  "CMakeFiles/cegma_nn.dir/gcn.cc.o"
+  "CMakeFiles/cegma_nn.dir/gcn.cc.o.d"
+  "CMakeFiles/cegma_nn.dir/linear.cc.o"
+  "CMakeFiles/cegma_nn.dir/linear.cc.o.d"
+  "CMakeFiles/cegma_nn.dir/mgnn.cc.o"
+  "CMakeFiles/cegma_nn.dir/mgnn.cc.o.d"
+  "CMakeFiles/cegma_nn.dir/ntn.cc.o"
+  "CMakeFiles/cegma_nn.dir/ntn.cc.o.d"
+  "libcegma_nn.a"
+  "libcegma_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cegma_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/area.cc" "src/sim/CMakeFiles/cegma_sim.dir/area.cc.o" "gcc" "src/sim/CMakeFiles/cegma_sim.dir/area.cc.o.d"
+  "/root/repo/src/sim/buffer.cc" "src/sim/CMakeFiles/cegma_sim.dir/buffer.cc.o" "gcc" "src/sim/CMakeFiles/cegma_sim.dir/buffer.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/cegma_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/cegma_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/sim/CMakeFiles/cegma_sim.dir/energy.cc.o" "gcc" "src/sim/CMakeFiles/cegma_sim.dir/energy.cc.o.d"
+  "/root/repo/src/sim/mac_array.cc" "src/sim/CMakeFiles/cegma_sim.dir/mac_array.cc.o" "gcc" "src/sim/CMakeFiles/cegma_sim.dir/mac_array.cc.o.d"
+  "/root/repo/src/sim/result.cc" "src/sim/CMakeFiles/cegma_sim.dir/result.cc.o" "gcc" "src/sim/CMakeFiles/cegma_sim.dir/result.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cegma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cegma_sim.dir/area.cc.o"
+  "CMakeFiles/cegma_sim.dir/area.cc.o.d"
+  "CMakeFiles/cegma_sim.dir/buffer.cc.o"
+  "CMakeFiles/cegma_sim.dir/buffer.cc.o.d"
+  "CMakeFiles/cegma_sim.dir/config.cc.o"
+  "CMakeFiles/cegma_sim.dir/config.cc.o.d"
+  "CMakeFiles/cegma_sim.dir/energy.cc.o"
+  "CMakeFiles/cegma_sim.dir/energy.cc.o.d"
+  "CMakeFiles/cegma_sim.dir/mac_array.cc.o"
+  "CMakeFiles/cegma_sim.dir/mac_array.cc.o.d"
+  "CMakeFiles/cegma_sim.dir/result.cc.o"
+  "CMakeFiles/cegma_sim.dir/result.cc.o.d"
+  "libcegma_sim.a"
+  "libcegma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cegma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cegma_tensor.dir/matrix.cc.o"
+  "CMakeFiles/cegma_tensor.dir/matrix.cc.o.d"
+  "libcegma_tensor.a"
+  "libcegma_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cegma_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

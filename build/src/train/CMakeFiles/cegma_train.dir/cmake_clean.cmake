@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cegma_train.dir/grad_layers.cc.o"
+  "CMakeFiles/cegma_train.dir/grad_layers.cc.o.d"
+  "CMakeFiles/cegma_train.dir/siamese.cc.o"
+  "CMakeFiles/cegma_train.dir/siamese.cc.o.d"
+  "libcegma_train.a"
+  "libcegma_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cegma_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aoe_unit_test.dir/aoe_unit_test.cc.o"
+  "CMakeFiles/aoe_unit_test.dir/aoe_unit_test.cc.o.d"
+  "aoe_unit_test"
+  "aoe_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aoe_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emf_pipeline_test.dir/emf_pipeline_test.cc.o"
+  "CMakeFiles/emf_pipeline_test.dir/emf_pipeline_test.cc.o.d"
+  "emf_pipeline_test"
+  "emf_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emf_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

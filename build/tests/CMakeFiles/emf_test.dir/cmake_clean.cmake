@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emf_test.dir/emf_test.cc.o"
+  "CMakeFiles/emf_test.dir/emf_test.cc.o.d"
+  "emf_test"
+  "emf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/train_test.cc" "tests/CMakeFiles/train_test.dir/train_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/cegma_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cegma_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cegma_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cegma_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cegma_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cegma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

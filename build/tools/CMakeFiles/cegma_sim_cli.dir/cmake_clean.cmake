@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cegma_sim_cli.dir/cegma_sim.cc.o"
+  "CMakeFiles/cegma_sim_cli.dir/cegma_sim.cc.o.d"
+  "cegma_sim"
+  "cegma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cegma_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
