@@ -4,6 +4,12 @@
  * hashing, dense GEMM, WL refinement, the EMF filter pass, and the
  * coordinated window scheduler. These are genuine wall-clock
  * google-benchmark measurements (multiple iterations).
+ *
+ * The parallel kernels (GEMM, A*B^T similarity, cosine normalization,
+ * EMF tags) run under an explicit `threads:N` second argument so a
+ * threads=1 vs threads=N comparison is one benchmark filter away; the
+ * `*Naive` variants re-measure the pre-parallel seed loops as a fixed
+ * baseline.
  */
 
 #include <benchmark/benchmark.h>
@@ -12,8 +18,10 @@
 
 #include "accel/window.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "emf/emf.hh"
+#include "gmn/similarity.hh"
 #include "graph/generators.hh"
 #include "graph/wl_refine.hh"
 #include "hash/xxhash.hh"
@@ -22,6 +30,43 @@
 namespace {
 
 using namespace cegma;
+
+/** Pre-parallel seed GEMM (ikj, scalar) for baseline comparison. */
+Matrix
+matmulNaive(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        float *crow = c.row(i);
+        for (size_t k = 0; k < a.cols(); ++k) {
+            float aik = a.at(i, k);
+            if (aik == 0.0f)
+                continue;
+            const float *brow = b.row(k);
+            for (size_t j = 0; j < b.cols(); ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+/** Pre-parallel seed A*B^T (scalar single-accumulator dot). */
+Matrix
+matmulNTNaive(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.rows());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (size_t j = 0; j < b.rows(); ++j) {
+            float acc = 0.0f;
+            for (size_t k = 0; k < a.cols(); ++k)
+                acc += arow[k] * b.at(j, k);
+            crow[j] = acc;
+        }
+    }
+    return c;
+}
 
 void
 BM_XxHash32(benchmark::State &state)
@@ -40,6 +85,8 @@ void
 BM_Gemm(benchmark::State &state)
 {
     size_t n = static_cast<size_t>(state.range(0));
+    ThreadPool::instance().setThreads(
+        static_cast<uint32_t>(state.range(1)));
     Rng rng(2);
     Matrix a(n, n), b(n, n);
     a.fillXavier(rng);
@@ -47,22 +94,110 @@ BM_Gemm(benchmark::State &state)
     for (auto _ : state)
         benchmark::DoNotOptimize(matmul(a, b));
     state.SetItemsProcessed(state.iterations() * n * n * n);
+    ThreadPool::instance().setThreads(1);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)
+    ->ArgNames({"n", "threads"})
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
+
+void
+BM_GemmNaive(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    Rng rng(2);
+    Matrix a(n, n), b(n, n);
+    a.fillXavier(rng);
+    b.fillXavier(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(matmulNaive(a, b));
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(256);
 
 void
 BM_SimilarityNT(benchmark::State &state)
 {
     size_t n = static_cast<size_t>(state.range(0));
+    ThreadPool::instance().setThreads(
+        static_cast<uint32_t>(state.range(1)));
     Rng rng(3);
-    Matrix x(n, 64), y(n, 64);
+    Matrix x(n, 128), y(n, 128);
     x.fillXavier(rng);
     y.fillXavier(rng);
     for (auto _ : state)
         benchmark::DoNotOptimize(matmulNT(x, y));
-    state.SetItemsProcessed(state.iterations() * n * n * 64);
+    state.SetItemsProcessed(state.iterations() * n * n * 128);
+    ThreadPool::instance().setThreads(1);
 }
-BENCHMARK(BM_SimilarityNT)->Arg(128)->Arg(512);
+BENCHMARK(BM_SimilarityNT)
+    ->ArgNames({"n", "threads"})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 4});
+
+void
+BM_SimilarityNTNaive(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    Rng rng(3);
+    Matrix x(n, 128), y(n, 128);
+    x.fillXavier(rng);
+    y.fillXavier(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(matmulNTNaive(x, y));
+    state.SetItemsProcessed(state.iterations() * n * n * 128);
+}
+BENCHMARK(BM_SimilarityNTNaive)->Arg(256);
+
+void
+BM_SimilarityCosine(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    ThreadPool::instance().setThreads(
+        static_cast<uint32_t>(state.range(1)));
+    Rng rng(7);
+    Matrix x(n, 128), y(n, 128);
+    x.fillXavier(rng);
+    y.fillXavier(rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            similarityMatrix(x, y, SimilarityKind::Cosine));
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * 128);
+    ThreadPool::instance().setThreads(1);
+}
+BENCHMARK(BM_SimilarityCosine)
+    ->ArgNames({"n", "threads"})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
+
+void
+BM_EmfTags(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    ThreadPool::instance().setThreads(
+        static_cast<uint32_t>(state.range(1)));
+    Rng rng(9);
+    Matrix features(n, 64);
+    features.fillXavier(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(computeEmfTags(features));
+    state.SetItemsProcessed(state.iterations() * n);
+    ThreadPool::instance().setThreads(1);
+}
+BENCHMARK(BM_EmfTags)
+    ->ArgNames({"n", "threads"})
+    ->Args({4096, 1})
+    ->Args({4096, 2})
+    ->Args({4096, 4});
 
 void
 BM_WlRefine(benchmark::State &state)

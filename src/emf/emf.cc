@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "hash/xxhash.hh"
 
 namespace cegma {
@@ -38,15 +39,25 @@ filterFromTags(const std::vector<uint32_t> &tags)
 
 } // namespace
 
+std::vector<uint32_t>
+computeEmfTags(const Matrix &features, uint32_t seed)
+{
+    std::vector<uint32_t> tags(features.rows());
+    // XXH32 consumes ~1 byte/cycle, so weight the grain by row bytes.
+    size_t grain = grainForRows(features.rows(), 4 * features.cols());
+    parallelFor(0, features.rows(), grain, [&](size_t v0, size_t v1) {
+        for (size_t v = v0; v < v1; ++v) {
+            tags[v] = hashFeatureVector(features.row(v),
+                                        features.cols(), seed);
+        }
+    });
+    return tags;
+}
+
 EmfResult
 emfFilter(const Matrix &features, uint32_t seed)
 {
-    std::vector<uint32_t> tags(features.rows());
-    for (size_t v = 0; v < features.rows(); ++v) {
-        tags[v] = hashFeatureVector(features.row(v), features.cols(),
-                                    seed);
-    }
-    return filterFromTags(tags);
+    return filterFromTags(computeEmfTags(features, seed));
 }
 
 EmfResult

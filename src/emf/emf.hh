@@ -64,6 +64,15 @@ EmfResult emfFilter(const Matrix &features, uint32_t seed = 0);
 /** Run Algorithm 1 over precomputed 32-bit tags. */
 EmfResult emfFilterTags(const std::vector<uint32_t> &tags);
 
+/**
+ * XXHash32 tag per feature row — the hashing stage of Algorithm 1 on
+ * its own. Row-parallel over the pool (the hardware analogue hashes
+ * `hashLanes` nodes concurrently); per-row tags are independent, so
+ * the result is bit-identical at any thread count.
+ */
+std::vector<uint32_t> computeEmfTags(const Matrix &features,
+                                     uint32_t seed = 0);
+
 /** Cycle model of the EMF hardware (Table III / Fig. 23). */
 struct EmfCycleModel
 {

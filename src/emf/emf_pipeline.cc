@@ -120,4 +120,12 @@ runEmfPipeline(const std::vector<uint32_t> &tags, uint64_t feature_bytes,
     return result;
 }
 
+EmfPipelineResult
+hashAndRunEmfPipeline(const Matrix &features, uint32_t seed,
+                      const EmfPipelineConfig &config)
+{
+    return runEmfPipeline(computeEmfTags(features, seed),
+                          features.cols() * sizeof(float), config);
+}
+
 } // namespace cegma

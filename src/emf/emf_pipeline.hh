@@ -81,6 +81,15 @@ EmfPipelineResult runEmfPipeline(const std::vector<uint32_t> &tags,
                                  uint64_t feature_bytes,
                                  const EmfPipelineConfig &config = {});
 
+/**
+ * Convenience entry point: hash `features` rows to tags (row-parallel
+ * over the thread pool, see `computeEmfTags`) and run the pipeline on
+ * them. `feature_bytes` is taken from the row width.
+ */
+EmfPipelineResult hashAndRunEmfPipeline(
+    const Matrix &features, uint32_t seed = 0,
+    const EmfPipelineConfig &config = {});
+
 } // namespace cegma
 
 #endif // CEGMA_EMF_EMF_PIPELINE_HH

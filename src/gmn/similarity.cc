@@ -1,6 +1,9 @@
 #include "gmn/similarity.hh"
 
+#include <vector>
+
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace cegma {
 
@@ -28,25 +31,39 @@ similarityMatrix(const Matrix &x, const Matrix &y, SimilarityKind kind)
       case SimilarityKind::DotProduct:
         break;
       case SimilarityKind::Cosine: {
+        // Precompute 1/norm per row once instead of a divide per cell;
+        // a zero-norm row gets inverse 0, so its cells come out 0
+        // exactly as the old `denom > 0` guard produced.
         Matrix nx = rowL2Norms(x);
         Matrix ny = rowL2Norms(y);
-        for (size_t i = 0; i < s.rows(); ++i) {
-            for (size_t j = 0; j < s.cols(); ++j) {
-                float denom = nx.at(i, 0) * ny.at(j, 0);
-                s.at(i, j) = denom > 0.0f ? s.at(i, j) / denom : 0.0f;
+        std::vector<float> inv_nx(s.rows()), inv_ny(s.cols());
+        for (size_t i = 0; i < s.rows(); ++i)
+            inv_nx[i] = nx.at(i, 0) > 0.0f ? 1.0f / nx.at(i, 0) : 0.0f;
+        for (size_t j = 0; j < s.cols(); ++j)
+            inv_ny[j] = ny.at(j, 0) > 0.0f ? 1.0f / ny.at(j, 0) : 0.0f;
+        size_t grain = grainForRows(s.rows(), 2 * s.cols());
+        parallelFor(0, s.rows(), grain, [&](size_t r0, size_t r1) {
+            for (size_t i = r0; i < r1; ++i) {
+                float *srow = s.row(i);
+                float ix = inv_nx[i];
+                for (size_t j = 0; j < s.cols(); ++j)
+                    srow[j] *= ix * inv_ny[j];
             }
-        }
+        });
         break;
       }
       case SimilarityKind::Euclidean: {
         Matrix sx = rowSquaredNorms(x);
         Matrix sy = rowSquaredNorms(y);
-        for (size_t i = 0; i < s.rows(); ++i) {
-            for (size_t j = 0; j < s.cols(); ++j) {
-                s.at(i, j) =
-                    2.0f * s.at(i, j) - sx.at(i, 0) - sy.at(j, 0);
+        size_t grain = grainForRows(s.rows(), 3 * s.cols());
+        parallelFor(0, s.rows(), grain, [&](size_t r0, size_t r1) {
+            for (size_t i = r0; i < r1; ++i) {
+                float *srow = s.row(i);
+                float sxi = sx.at(i, 0);
+                for (size_t j = 0; j < s.cols(); ++j)
+                    srow[j] = 2.0f * srow[j] - sxi - sy.at(j, 0);
             }
-        }
+        });
         break;
       }
     }

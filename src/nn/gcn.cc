@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace cegma {
 
@@ -13,30 +14,38 @@ aggregateMean(const Graph &g, const Matrix &x,
     cegma_assert(x.rows() == g.numNodes());
     cegma_assert(order_keys.empty() || order_keys.size() == g.numNodes());
     const size_t f = x.cols();
-    Matrix out(g.numNodes(), f);
-    std::vector<NodeId> order;
-    for (NodeId v = 0; v < g.numNodes(); ++v) {
-        auto ns = g.neighbors(v);
-        order.assign(ns.begin(), ns.end());
-        if (!order_keys.empty()) {
-            std::sort(order.begin(), order.end(),
-                      [&](NodeId a, NodeId b) {
-                          return order_keys[a] < order_keys[b];
-                      });
-        }
-        float *dst = out.row(v);
-        const float *self = x.row(v);
-        for (size_t j = 0; j < f; ++j)
-            dst[j] = self[j];
-        for (NodeId u : order) {
-            const float *src = x.row(u);
+    const NodeId n = g.numNodes();
+    Matrix out(n, f);
+    // Each node writes only its own output row, so the row-parallel
+    // split is race-free and bit-deterministic; the class-sorted
+    // neighbor order (the WL-oracle guarantee) is preserved per node.
+    size_t avg_deg = n > 0 ? g.numArcs() / n : 0;
+    size_t grain = grainForRows(n, (avg_deg + 2) * f);
+    parallelFor(0, n, grain, [&](size_t v0, size_t v1) {
+        std::vector<NodeId> order;
+        for (NodeId v = static_cast<NodeId>(v0); v < v1; ++v) {
+            auto ns = g.neighbors(v);
+            order.assign(ns.begin(), ns.end());
+            if (!order_keys.empty()) {
+                std::sort(order.begin(), order.end(),
+                          [&](NodeId a, NodeId b) {
+                              return order_keys[a] < order_keys[b];
+                          });
+            }
+            float *dst = out.row(v);
+            const float *self = x.row(v);
             for (size_t j = 0; j < f; ++j)
-                dst[j] += src[j];
+                dst[j] = self[j];
+            for (NodeId u : order) {
+                const float *src = x.row(u);
+                for (size_t j = 0; j < f; ++j)
+                    dst[j] += src[j];
+            }
+            float inv = 1.0f / static_cast<float>(order.size() + 1);
+            for (size_t j = 0; j < f; ++j)
+                dst[j] *= inv;
         }
-        float inv = 1.0f / static_cast<float>(order.size() + 1);
-        for (size_t j = 0; j < f; ++j)
-            dst[j] *= inv;
-    }
+    });
     return out;
 }
 

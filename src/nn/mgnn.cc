@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace cegma {
 
@@ -25,29 +26,39 @@ MgnnLayer::forward(const Graph &g, const Matrix &x, const Matrix &cross,
 
     const NodeId n = g.numNodes();
     Matrix intra(n, hidden_);
-    Matrix edge_in(1, 2 * nodeDim_);
-    std::vector<NodeId> order;
-    for (NodeId v = 0; v < n; ++v) {
-        auto ns = g.neighbors(v);
-        order.assign(ns.begin(), ns.end());
-        if (!order_keys.empty()) {
-            std::sort(order.begin(), order.end(),
-                      [&](NodeId a, NodeId b) {
-                          return order_keys[a] < order_keys[b];
-                      });
+    // Destination nodes own disjoint rows of `intra`, so the edge-MLP
+    // messages parallelize over destinations; the per-destination
+    // class-sorted accumulation order is unchanged (bit-determinism).
+    // The inner MLP matmuls run serially inside the region (nested
+    // parallelFor falls back to serial).
+    size_t avg_deg = n > 0 ? g.numArcs() / n : 0;
+    size_t edge_mlp_work = 2 * edgeMlp_.flops(1);
+    size_t grain = grainForRows(n, (avg_deg + 1) * edge_mlp_work);
+    parallelFor(0, n, grain, [&](size_t v0, size_t v1) {
+        Matrix edge_in(1, 2 * nodeDim_);
+        std::vector<NodeId> order;
+        for (NodeId v = static_cast<NodeId>(v0); v < v1; ++v) {
+            auto ns = g.neighbors(v);
+            order.assign(ns.begin(), ns.end());
+            if (!order_keys.empty()) {
+                std::sort(order.begin(), order.end(),
+                          [&](NodeId a, NodeId b) {
+                              return order_keys[a] < order_keys[b];
+                          });
+            }
+            float *dst = intra.row(v);
+            for (NodeId u : order) {
+                // Message on arc u -> v from [x_u, x_v].
+                std::memcpy(edge_in.row(0), x.row(u),
+                            nodeDim_ * sizeof(float));
+                std::memcpy(edge_in.row(0) + nodeDim_, x.row(v),
+                            nodeDim_ * sizeof(float));
+                Matrix msg = edgeMlp_.forward(edge_in);
+                for (size_t j = 0; j < hidden_; ++j)
+                    dst[j] += msg.at(0, j);
+            }
         }
-        float *dst = intra.row(v);
-        for (NodeId u : order) {
-            // Message on arc u -> v from [x_u, x_v].
-            std::memcpy(edge_in.row(0), x.row(u),
-                        nodeDim_ * sizeof(float));
-            std::memcpy(edge_in.row(0) + nodeDim_, x.row(v),
-                        nodeDim_ * sizeof(float));
-            Matrix msg = edgeMlp_.forward(edge_in);
-            for (size_t j = 0; j < hidden_; ++j)
-                dst[j] += msg.at(0, j);
-        }
-    }
+    });
 
     Matrix concat = hconcat({&x, &intra, &cross});
     return updateMlp_.forward(concat);

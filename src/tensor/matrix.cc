@@ -1,12 +1,29 @@
 #include "tensor/matrix.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 
 namespace cegma {
+
+namespace {
+
+// Cache-blocking parameters, shared by the GEMM variants. A KC-row
+// panel of B (KC * n floats in matmul) or a JB-row panel of B (JB *
+// k floats in matmulNT) stays resident in L1/L2 while a chunk of A
+// rows streams over it. Fixed constants keep the reduction order — and
+// therefore the bit pattern of every output — independent of the
+// machine and the thread count.
+constexpr size_t kGemmKc = 256; ///< matmul: B panel rows per k-block
+constexpr size_t kGemmNtJb = 64; ///< matmulNT: B rows per j-tile
+constexpr size_t kTransposeTile = 32;
+constexpr size_t kElemwiseGrain = size_t(1) << 16; ///< floats per chunk
+
+} // namespace
 
 Matrix::Matrix(size_t rows, size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
@@ -66,19 +83,55 @@ Matrix
 matmul(const Matrix &a, const Matrix &b)
 {
     cegma_assert(a.cols() == b.rows());
-    Matrix c(a.rows(), b.cols());
-    // ikj loop order: streams B rows, cache-friendly for row-major data.
-    for (size_t i = 0; i < a.rows(); ++i) {
-        float *crow = c.row(i);
-        for (size_t k = 0; k < a.cols(); ++k) {
-            float aik = a.at(i, k);
-            if (aik == 0.0f)
-                continue;
-            const float *brow = b.row(k);
-            for (size_t j = 0; j < b.cols(); ++j)
-                crow[j] += aik * brow[j];
+    const size_t m = a.rows(), k = a.cols(), n = b.cols();
+    Matrix c(m, n);
+    if (m == 0 || k == 0 || n == 0)
+        return c;
+    // Raw pointers by value: member access through the chunk lambda's
+    // capture frame costs measurably in the hot loops.
+    const float *ad = a.data();
+    const float *bd = b.data();
+    float *cd = c.data();
+    size_t grain = grainForRows(m, 2 * k * n);
+    parallelFor(0, m, grain, [=](size_t r0, size_t r1) {
+        // ikj order inside each k-block: streams B rows (cache
+        // friendly for row-major data) while the KC-row B panel stays
+        // hot across the chunk's A rows. Four B rows per pass over the
+        // C row quarters the C-row traffic and lets the j loop
+        // vectorize over four independent products.
+        for (size_t k0 = 0; k0 < k; k0 += kGemmKc) {
+            size_t k1 = std::min(k, k0 + kGemmKc);
+            for (size_t i = r0; i < r1; ++i) {
+                float *crow = cd + i * n;
+                const float *arow = ad + i * k;
+                size_t kk = k0;
+                for (; kk + 4 <= k1; kk += 4) {
+                    float a0 = arow[kk], a1 = arow[kk + 1];
+                    float a2 = arow[kk + 2], a3 = arow[kk + 3];
+                    if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f &&
+                        a3 == 0.0f) {
+                        continue; // e.g. post-ReLU sparsity
+                    }
+                    const float *b0 = bd + kk * n;
+                    const float *b1 = b0 + n;
+                    const float *b2 = b1 + n;
+                    const float *b3 = b2 + n;
+                    for (size_t j = 0; j < n; ++j) {
+                        crow[j] += a0 * b0[j] + a1 * b1[j] +
+                                   a2 * b2[j] + a3 * b3[j];
+                    }
+                }
+                for (; kk < k1; ++kk) {
+                    float aik = arow[kk];
+                    if (aik == 0.0f)
+                        continue;
+                    const float *brow = bd + kk * n;
+                    for (size_t j = 0; j < n; ++j)
+                        crow[j] += aik * brow[j];
+                }
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -86,13 +139,27 @@ Matrix
 matmulNT(const Matrix &a, const Matrix &b)
 {
     cegma_assert(a.cols() == b.cols());
-    Matrix c(a.rows(), b.rows());
-    for (size_t i = 0; i < a.rows(); ++i) {
-        const float *arow = a.row(i);
-        float *crow = c.row(i);
-        for (size_t j = 0; j < b.rows(); ++j)
-            crow[j] = dot(arow, b.row(j), a.cols());
-    }
+    const size_t m = a.rows(), k = a.cols(), n = b.rows();
+    Matrix c(m, n);
+    if (m == 0 || n == 0)
+        return c;
+    const float *ad = a.data();
+    const float *bd = b.data();
+    float *cd = c.data();
+    size_t grain = grainForRows(m, 2 * k * n);
+    parallelFor(0, m, grain, [=](size_t r0, size_t r1) {
+        // j-tiling keeps a JB-row panel of B in cache across the
+        // chunk's A rows.
+        for (size_t j0 = 0; j0 < n; j0 += kGemmNtJb) {
+            size_t j1 = std::min(n, j0 + kGemmNtJb);
+            for (size_t i = r0; i < r1; ++i) {
+                const float *arow = ad + i * k;
+                float *crow = cd + i * n;
+                for (size_t j = j0; j < j1; ++j)
+                    crow[j] = dot(arow, bd + j * k, k);
+            }
+        }
+    });
     return c;
 }
 
@@ -101,8 +168,10 @@ add(const Matrix &a, const Matrix &b)
 {
     cegma_assert(a.rows() == b.rows() && a.cols() == b.cols());
     Matrix c(a.rows(), a.cols());
-    for (size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] + b.data()[i];
+    parallelFor(0, a.size(), kElemwiseGrain, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i)
+            c.data()[i] = a.data()[i] + b.data()[i];
+    });
     return c;
 }
 
@@ -110,11 +179,15 @@ void
 addBiasInPlace(Matrix &a, const Matrix &bias)
 {
     cegma_assert(bias.rows() == 1 && bias.cols() == a.cols());
-    for (size_t i = 0; i < a.rows(); ++i) {
-        float *row = a.row(i);
-        for (size_t j = 0; j < a.cols(); ++j)
-            row[j] += bias.at(0, j);
-    }
+    const float *brow = bias.row(0);
+    size_t grain = grainForRows(a.rows(), a.cols());
+    parallelFor(0, a.rows(), grain, [&](size_t r0, size_t r1) {
+        for (size_t i = r0; i < r1; ++i) {
+            float *row = a.row(i);
+            for (size_t j = 0; j < a.cols(); ++j)
+                row[j] += brow[j];
+        }
+    });
 }
 
 Matrix
@@ -128,61 +201,83 @@ hconcat(const std::vector<const Matrix *> &parts)
         cols += m->cols();
     }
     Matrix out(rows, cols);
-    for (size_t i = 0; i < rows; ++i) {
-        float *dst = out.row(i);
-        for (const Matrix *m : parts) {
-            std::memcpy(dst, m->row(i), m->cols() * sizeof(float));
-            dst += m->cols();
+    size_t grain = grainForRows(rows, cols);
+    parallelFor(0, rows, grain, [&](size_t r0, size_t r1) {
+        for (size_t i = r0; i < r1; ++i) {
+            float *dst = out.row(i);
+            for (const Matrix *m : parts) {
+                std::memcpy(dst, m->row(i), m->cols() * sizeof(float));
+                dst += m->cols();
+            }
         }
-    }
+    });
     return out;
 }
 
 void
 reluInPlace(Matrix &a)
 {
-    for (size_t i = 0; i < a.size(); ++i)
-        a.data()[i] = a.data()[i] > 0.0f ? a.data()[i] : 0.0f;
+    float *data = a.data();
+    parallelFor(0, a.size(), kElemwiseGrain, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i)
+            data[i] = data[i] > 0.0f ? data[i] : 0.0f;
+    });
 }
 
 void
 sigmoidInPlace(Matrix &a)
 {
-    for (size_t i = 0; i < a.size(); ++i)
-        a.data()[i] = 1.0f / (1.0f + std::exp(-a.data()[i]));
+    float *data = a.data();
+    parallelFor(0, a.size(), kElemwiseGrain / 8,
+                [&](size_t i0, size_t i1) {
+                    for (size_t i = i0; i < i1; ++i)
+                        data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+                });
 }
 
 void
 tanhInPlace(Matrix &a)
 {
-    for (size_t i = 0; i < a.size(); ++i)
-        a.data()[i] = std::tanh(a.data()[i]);
+    float *data = a.data();
+    parallelFor(0, a.size(), kElemwiseGrain / 8,
+                [&](size_t i0, size_t i1) {
+                    for (size_t i = i0; i < i1; ++i)
+                        data[i] = std::tanh(data[i]);
+                });
 }
 
 void
 softmaxRowsInPlace(Matrix &a)
 {
-    for (size_t i = 0; i < a.rows(); ++i) {
-        float *row = a.row(i);
-        float mx = row[0];
-        for (size_t j = 1; j < a.cols(); ++j)
-            mx = std::max(mx, row[j]);
-        float sum = 0.0f;
-        for (size_t j = 0; j < a.cols(); ++j) {
-            row[j] = std::exp(row[j] - mx);
-            sum += row[j];
+    if (a.cols() == 0)
+        return;
+    size_t grain = grainForRows(a.rows(), 5 * a.cols());
+    parallelFor(0, a.rows(), grain, [&](size_t r0, size_t r1) {
+        for (size_t i = r0; i < r1; ++i) {
+            float *row = a.row(i);
+            float mx = row[0];
+            for (size_t j = 1; j < a.cols(); ++j)
+                mx = std::max(mx, row[j]);
+            float sum = 0.0f;
+            for (size_t j = 0; j < a.cols(); ++j) {
+                row[j] = std::exp(row[j] - mx);
+                sum += row[j];
+            }
+            for (size_t j = 0; j < a.cols(); ++j)
+                row[j] /= sum;
         }
-        for (size_t j = 0; j < a.cols(); ++j)
-            row[j] /= sum;
-    }
+    });
 }
 
 Matrix
 rowL2Norms(const Matrix &a)
 {
     Matrix out(a.rows(), 1);
-    for (size_t i = 0; i < a.rows(); ++i)
-        out.at(i, 0) = std::sqrt(dot(a.row(i), a.row(i), a.cols()));
+    size_t grain = grainForRows(a.rows(), 2 * a.cols());
+    parallelFor(0, a.rows(), grain, [&](size_t r0, size_t r1) {
+        for (size_t i = r0; i < r1; ++i)
+            out.at(i, 0) = std::sqrt(dot(a.row(i), a.row(i), a.cols()));
+    });
     return out;
 }
 
@@ -190,14 +285,20 @@ Matrix
 rowSquaredNorms(const Matrix &a)
 {
     Matrix out(a.rows(), 1);
-    for (size_t i = 0; i < a.rows(); ++i)
-        out.at(i, 0) = dot(a.row(i), a.row(i), a.cols());
+    size_t grain = grainForRows(a.rows(), 2 * a.cols());
+    parallelFor(0, a.rows(), grain, [&](size_t r0, size_t r1) {
+        for (size_t i = r0; i < r1; ++i)
+            out.at(i, 0) = dot(a.row(i), a.row(i), a.cols());
+    });
     return out;
 }
 
 Matrix
 columnSums(const Matrix &a)
 {
+    // Serial on purpose: a parallel row reduction would either need
+    // per-thread partials (order depends on chunking) or atomics; the
+    // op is O(rows * cols) light and never hot.
     Matrix out(1, a.cols());
     for (size_t i = 0; i < a.rows(); ++i) {
         const float *row = a.row(i);
@@ -222,17 +323,40 @@ Matrix
 transpose(const Matrix &a)
 {
     Matrix out(a.cols(), a.rows());
-    for (size_t i = 0; i < a.rows(); ++i)
-        for (size_t j = 0; j < a.cols(); ++j)
-            out.at(j, i) = a.at(i, j);
+    const size_t tb = kTransposeTile;
+    size_t grain = std::max<size_t>(1, grainForRows(a.rows(), a.cols()));
+    // Round the row grain up to a whole number of tiles so chunk
+    // boundaries and tile boundaries coincide.
+    grain = ((grain + tb - 1) / tb) * tb;
+    parallelFor(0, a.rows(), grain, [&](size_t r0, size_t r1) {
+        for (size_t i0 = r0; i0 < r1; i0 += tb) {
+            size_t i1 = std::min(r1, i0 + tb);
+            for (size_t j0 = 0; j0 < a.cols(); j0 += tb) {
+                size_t j1 = std::min(a.cols(), j0 + tb);
+                for (size_t i = i0; i < i1; ++i)
+                    for (size_t j = j0; j < j1; ++j)
+                        out.at(j, i) = a.at(i, j);
+            }
+        }
+    });
     return out;
 }
 
 float
 dot(const float *a, const float *b, size_t n)
 {
-    float acc = 0.0f;
-    for (size_t i = 0; i < n; ++i)
+    // Four independent accumulators break the loop-carried add
+    // dependence so the compiler can vectorize and pipeline the FMAs.
+    float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        acc0 += a[i] * b[i];
+        acc1 += a[i + 1] * b[i + 1];
+        acc2 += a[i + 2] * b[i + 2];
+        acc3 += a[i + 3] * b[i + 3];
+    }
+    float acc = (acc0 + acc1) + (acc2 + acc3);
+    for (; i < n; ++i)
         acc += a[i] * b[i];
     return acc;
 }

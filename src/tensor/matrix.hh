@@ -5,6 +5,12 @@
  *
  * This is the numeric substrate for the *functional* GMN reference; the
  * cycle-level simulator never touches these values, only their shapes.
+ *
+ * The kernels are cache-blocked and row-parallel over the shared
+ * thread pool (common/parallel.hh). Chunk boundaries and per-row
+ * reduction orders are fixed by the shapes alone, so every kernel is
+ * bit-deterministic regardless of the thread count — the property the
+ * WL-oracle/EMF duplicate machinery depends on.
  */
 
 #ifndef CEGMA_TENSOR_MATRIX_HH
@@ -107,7 +113,10 @@ Matrix columnMeans(const Matrix &a);
 /** Transposed copy. */
 Matrix transpose(const Matrix &a);
 
-/** Dot product of two equal-length float spans. */
+/**
+ * Dot product of two equal-length float spans. Four-accumulator
+ * unrolled so the compiler can vectorize across the loop-carried sum.
+ */
 float dot(const float *a, const float *b, size_t n);
 
 } // namespace cegma

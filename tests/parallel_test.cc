@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the parallel runtime: pool lifecycle/reuse, exception
+ * propagation out of parallelFor, chunking edge cases, and the
+ * bit-exact determinism guarantee of the hot kernels across thread
+ * counts (1/2/8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "emf/emf.hh"
+#include "gmn/similarity.hh"
+#include "tensor/matrix.hh"
+
+namespace cegma {
+namespace {
+
+/** Restore the pool to a known state after each test. */
+class ParallelTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { ThreadPool::instance().setThreads(1); }
+};
+
+TEST_F(ParallelTest, CoversRangeExactlyOnce)
+{
+    ThreadPool::instance().setThreads(4);
+    const size_t n = 10007; // prime: exercises a ragged last chunk
+    std::vector<std::atomic<uint32_t>> hits(n);
+    parallelFor(0, n, 64, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST_F(ParallelTest, ChunkBoundariesFollowGrain)
+{
+    ThreadPool::instance().setThreads(2);
+    std::vector<std::pair<size_t, size_t>> chunks(4, {0, 0});
+    parallelFor(3, 13, 3, [&](size_t b, size_t e) {
+        chunks[(b - 3) / 3] = {b, e};
+    });
+    // Static chunking: [3,6) [6,9) [9,12) [12,13) regardless of pool.
+    EXPECT_EQ(chunks[0], (std::pair<size_t, size_t>{3, 6}));
+    EXPECT_EQ(chunks[1], (std::pair<size_t, size_t>{6, 9}));
+    EXPECT_EQ(chunks[2], (std::pair<size_t, size_t>{9, 12}));
+    EXPECT_EQ(chunks[3], (std::pair<size_t, size_t>{12, 13}));
+}
+
+TEST_F(ParallelTest, EmptyAndDegenerateRanges)
+{
+    std::atomic<int> calls{0};
+    parallelFor(5, 5, 4, [&](size_t, size_t) { ++calls; });
+    parallelFor(7, 3, 4, [&](size_t, size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+    // grain 0 is promoted to 1 rather than dividing by zero.
+    parallelFor(0, 3, 0, [&](size_t b, size_t e) {
+        EXPECT_EQ(e, b + 1);
+        ++calls;
+    });
+    EXPECT_EQ(calls.load(), 3);
+}
+
+TEST_F(ParallelTest, PoolIsReusedAcrossManyJobs)
+{
+    ThreadPool &pool = ThreadPool::instance();
+    pool.setThreads(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    const size_t n = 4096;
+    std::vector<uint64_t> out(n);
+    for (int round = 0; round < 200; ++round) {
+        parallelFor(0, n, 32, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i)
+                out[i] = i + static_cast<size_t>(round);
+        });
+        ASSERT_EQ(out[n - 1], n - 1 + static_cast<size_t>(round));
+    }
+    uint64_t sum = std::accumulate(out.begin(), out.end(), uint64_t{0});
+    EXPECT_EQ(sum, (n - 1) * n / 2 + 199 * n);
+    // Same singleton throughout.
+    EXPECT_EQ(&pool, &ThreadPool::instance());
+}
+
+TEST_F(ParallelTest, ThreadCountIsAdjustableBothWays)
+{
+    ThreadPool &pool = ThreadPool::instance();
+    for (uint32_t t : {1u, 8u, 2u, 1u, 4u}) {
+        pool.setThreads(t);
+        EXPECT_EQ(pool.threads(), t);
+        std::atomic<uint64_t> sum{0};
+        parallelFor(0, 1000, 10, [&](size_t b, size_t e) {
+            uint64_t local = 0;
+            for (size_t i = b; i < e; ++i)
+                local += i;
+            sum.fetch_add(local, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), 999u * 1000u / 2);
+    }
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool::instance().setThreads(4);
+    EXPECT_THROW(
+        parallelFor(0, 1000, 1,
+                    [&](size_t b, size_t) {
+                        if (b == 500)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+
+    // The pool must still be fully usable after the throw.
+    std::atomic<uint32_t> count{0};
+    parallelFor(0, 256, 8, [&](size_t b, size_t e) {
+        count.fetch_add(static_cast<uint32_t>(e - b));
+    });
+    EXPECT_EQ(count.load(), 256u);
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesFromSerialFallback)
+{
+    ThreadPool::instance().setThreads(1);
+    EXPECT_THROW(parallelFor(0, 10, 2,
+                             [&](size_t, size_t) {
+                                 throw std::logic_error("serial boom");
+                             }),
+                 std::logic_error);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsSerially)
+{
+    ThreadPool::instance().setThreads(4);
+    std::atomic<uint64_t> total{0};
+    parallelFor(0, 16, 1, [&](size_t, size_t) {
+        EXPECT_TRUE(ThreadPool::inParallelRegion());
+        // Nested region: must complete (serially) without deadlock.
+        uint64_t local = 0;
+        parallelFor(0, 100, 7, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i)
+                local += i;
+        });
+        total.fetch_add(local, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(total.load(), 16u * (99u * 100u / 2));
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+}
+
+// ---- Determinism across thread counts -------------------------------
+
+template <typename Fn>
+void
+expectBitIdenticalAcrossThreads(Fn &&make)
+{
+    ThreadPool &pool = ThreadPool::instance();
+    pool.setThreads(1);
+    auto golden = make();
+    for (uint32_t t : {2u, 8u}) {
+        pool.setThreads(t);
+        auto got = make();
+        EXPECT_TRUE(got.equals(golden)) << "threads=" << t;
+    }
+}
+
+TEST_F(ParallelTest, MatmulBitExactAcrossThreadCounts)
+{
+    Rng rng(31);
+    Matrix a(173, 91), b(91, 67);
+    a.fillXavier(rng);
+    b.fillXavier(rng);
+    expectBitIdenticalAcrossThreads([&] { return matmul(a, b); });
+}
+
+TEST_F(ParallelTest, MatmulNTBitExactAcrossThreadCounts)
+{
+    Rng rng(32);
+    Matrix a(200, 77), b(150, 77);
+    a.fillXavier(rng);
+    b.fillXavier(rng);
+    expectBitIdenticalAcrossThreads([&] { return matmulNT(a, b); });
+}
+
+TEST_F(ParallelTest, SimilarityBitExactAcrossThreadCounts)
+{
+    Rng rng(33);
+    Matrix x(160, 64), y(120, 64);
+    x.fillXavier(rng);
+    y.fillXavier(rng);
+    // Zero-norm rows exercise the cosine guard.
+    for (size_t j = 0; j < x.cols(); ++j)
+        x.at(7, j) = 0.0f;
+    for (SimilarityKind kind :
+         {SimilarityKind::DotProduct, SimilarityKind::Cosine,
+          SimilarityKind::Euclidean}) {
+        expectBitIdenticalAcrossThreads(
+            [&] { return similarityMatrix(x, y, kind); });
+    }
+}
+
+TEST_F(ParallelTest, EmfTagsBitExactAcrossThreadCounts)
+{
+    Rng rng(34);
+    Matrix features(777, 48);
+    features.fillXavier(rng);
+
+    ThreadPool &pool = ThreadPool::instance();
+    pool.setThreads(1);
+    std::vector<uint32_t> golden = computeEmfTags(features, 5);
+    for (uint32_t t : {2u, 8u}) {
+        pool.setThreads(t);
+        EXPECT_EQ(computeEmfTags(features, 5), golden)
+            << "threads=" << t;
+    }
+
+    // And the full filter keeps Algorithm 1's scan-order semantics.
+    pool.setThreads(8);
+    EmfResult par = emfFilter(features, 5);
+    pool.setThreads(1);
+    EmfResult ser = emfFilter(features, 5);
+    EXPECT_EQ(par.recordSet, ser.recordSet);
+    EXPECT_EQ(par.tagMap, ser.tagMap);
+    EXPECT_EQ(par.uniqueOf, ser.uniqueOf);
+}
+
+TEST_F(ParallelTest, GrainForRowsIsShapeOnly)
+{
+    // Never zero, never exceeds the row count, and scales down as the
+    // per-row cost grows.
+    EXPECT_EQ(grainForRows(0, 100), 1u);
+    EXPECT_EQ(grainForRows(10, 1), 10u);
+    EXPECT_GE(grainForRows(1000, 1 << 20), 1u);
+    EXPECT_LE(grainForRows(1000, 64), 1000u);
+    EXPECT_GT(grainForRows(100000, 8), grainForRows(100000, 4096));
+}
+
+} // namespace
+} // namespace cegma

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * bench_to_json — machine-readable kernel benchmark summary.
+ *
+ * Times the parallel hot kernels (GEMM, A*B^T similarity, cosine
+ * normalization, EMF tag hashing) at several pool sizes, plus the
+ * pre-parallel naive serial versions (`*_naive`) as a fixed baseline,
+ * and writes a JSON array of {kernel, threads, ns_per_iter} records so
+ * later PRs can track the perf trajectory mechanically.
+ *
+ * Usage:
+ *   bench_to_json [--out FILE] [--threads LIST] [--min-ms M]
+ *
+ * Defaults: --out BENCH_kernels.json, --threads 1,2,4, --min-ms 200.
+ * `--out -` writes to stdout.
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "emf/emf.hh"
+#include "gmn/similarity.hh"
+#include "hash/xxhash.hh"
+#include "tensor/matrix.hh"
+
+using namespace cegma;
+
+namespace {
+
+struct Record
+{
+    std::string kernel;
+    uint32_t threads;
+    double nsPerIter;
+};
+
+/**
+ * Wall-clock ns per call of `fn`, running it for at least `min_ms`
+ * after one untimed warmup call.
+ */
+template <typename Fn>
+double
+timeKernel(Fn &&fn, double min_ms)
+{
+    using clock = std::chrono::steady_clock;
+    fn(); // warmup: page in buffers, spin up the pool
+    uint64_t iters = 0;
+    auto start = clock::now();
+    double elapsed_ms = 0.0;
+    do {
+        fn();
+        ++iters;
+        elapsed_ms = std::chrono::duration<double, std::milli>(
+                         clock::now() - start)
+                         .count();
+    } while (elapsed_ms < min_ms);
+    return elapsed_ms * 1e6 / static_cast<double>(iters);
+}
+
+// ---- Pre-parallel reference kernels (the seed implementations) ------
+
+Matrix
+matmulNaive(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        float *crow = c.row(i);
+        for (size_t k = 0; k < a.cols(); ++k) {
+            float aik = a.at(i, k);
+            if (aik == 0.0f)
+                continue;
+            const float *brow = b.row(k);
+            for (size_t j = 0; j < b.cols(); ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+float
+dotNaive(const float *a, const float *b, size_t n)
+{
+    float acc = 0.0f;
+    for (size_t i = 0; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+Matrix
+matmulNTNaive(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.rows());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (size_t j = 0; j < b.rows(); ++j)
+            crow[j] = dotNaive(arow, b.row(j), a.cols());
+    }
+    return c;
+}
+
+std::vector<uint32_t>
+emfTagsNaive(const Matrix &features, uint32_t seed)
+{
+    std::vector<uint32_t> tags(features.rows());
+    for (size_t v = 0; v < features.rows(); ++v) {
+        tags[v] =
+            hashFeatureVector(features.row(v), features.cols(), seed);
+    }
+    return tags;
+}
+
+void
+writeJson(const std::vector<Record> &records, const std::string &path)
+{
+    FILE *out = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    std::fprintf(out, "[\n");
+    for (size_t i = 0; i < records.size(); ++i) {
+        std::fprintf(out,
+                     "  {\"kernel\": \"%s\", \"threads\": %" PRIu32
+                     ", \"ns_per_iter\": %.1f}%s\n",
+                     records[i].kernel.c_str(), records[i].threads,
+                     records[i].nsPerIter,
+                     i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    if (out != stdout)
+        std::fclose(out);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    std::string out_path = "BENCH_kernels.json";
+    std::vector<uint32_t> thread_counts = {1, 2, 4};
+    double min_ms = 200.0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for '%s'", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--threads") {
+            thread_counts.clear();
+            const char *list = next();
+            for (const char *p = list; *p;) {
+                thread_counts.push_back(
+                    static_cast<uint32_t>(std::strtoul(p, nullptr, 10)));
+                p = std::strchr(p, ',');
+                p = p ? p + 1 : "";
+            }
+            if (thread_counts.empty())
+                fatal("empty --threads list");
+        } else if (arg == "--min-ms") {
+            min_ms = std::strtod(next(), nullptr);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--out FILE|-] [--threads LIST] "
+                         "[--min-ms M]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    // Fixtures sized to the acceptance shapes: GEMM 256x256x256 and a
+    // 256x256 similarity over 128-wide features.
+    Rng rng(11);
+    Matrix ga(256, 256), gb(256, 256);
+    ga.fillXavier(rng);
+    gb.fillXavier(rng);
+    Matrix sx(256, 128), sy(256, 128);
+    sx.fillXavier(rng);
+    sy.fillXavier(rng);
+    Matrix ef(4096, 64);
+    ef.fillXavier(rng);
+
+    std::vector<Record> records;
+    ThreadPool &pool = ThreadPool::instance();
+
+    pool.setThreads(1);
+    records.push_back({"gemm_naive_256x256x256", 1,
+                       timeKernel([&] { matmulNaive(ga, gb); }, min_ms)});
+    records.push_back(
+        {"similarity_nt_naive_256x256x128", 1,
+         timeKernel([&] { matmulNTNaive(sx, sy); }, min_ms)});
+    records.push_back(
+        {"emf_tags_naive_4096x64", 1,
+         timeKernel([&] { emfTagsNaive(ef, 0); }, min_ms)});
+
+    for (uint32_t requested : thread_counts) {
+        pool.setThreads(requested);
+        // Record the resolved count: --threads 0 means "hardware/env
+        // default", and the JSON should say what actually ran.
+        const uint32_t t = pool.threads();
+        records.push_back({"gemm_256x256x256", t,
+                           timeKernel([&] { matmul(ga, gb); }, min_ms)});
+        records.push_back(
+            {"similarity_nt_256x256x128", t,
+             timeKernel([&] { matmulNT(sx, sy); }, min_ms)});
+        records.push_back(
+            {"similarity_cosine_256x256x128", t,
+             timeKernel(
+                 [&] {
+                     similarityMatrix(sx, sy, SimilarityKind::Cosine);
+                 },
+                 min_ms)});
+        records.push_back(
+            {"emf_tags_4096x64", t,
+             timeKernel([&] { computeEmfTags(ef, 0); }, min_ms)});
+    }
+
+    writeJson(records, out_path);
+    if (out_path != "-")
+        std::printf("wrote %zu records to %s\n", records.size(),
+                    out_path.c_str());
+    return 0;
+}

@@ -22,6 +22,7 @@
 
 #include "accel/runner.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "io/trace_io.hh"
@@ -39,6 +40,7 @@ struct Options
     uint32_t pairs = 32;
     uint64_t seed = 7;
     uint32_t batch = 32;
+    uint32_t threads = 0; // 0 = CEGMA_THREADS / hardware default
     std::string saveTraces;
     std::string loadTraces;
     bool csv = false;
@@ -50,7 +52,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--model NAME] [--dataset NAME] "
                  "[--platform NAME]\n"
-                 "          [--pairs N] [--seed S] [--batch B]\n"
+                 "          [--pairs N] [--seed S] [--batch B] "
+                 "[--threads T]\n"
                  "          [--save-traces FILE | --load-traces FILE] "
                  "[--csv]\n"
                  "models: GMN-Li GraphSim SimGNN (default: all)\n"
@@ -117,6 +120,8 @@ parseArgs(int argc, char **argv)
             opts.seed = std::stoull(next());
         } else if (arg == "--batch") {
             opts.batch = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--threads") {
+            opts.threads = static_cast<uint32_t>(std::stoul(next()));
         } else if (arg == "--save-traces") {
             opts.saveTraces = next();
         } else if (arg == "--load-traces") {
@@ -155,6 +160,8 @@ main(int argc, char **argv)
 {
     setVerbose(false);
     Options opts = parseArgs(argc, argv);
+    if (opts.threads != 0)
+        ThreadPool::instance().setThreads(opts.threads);
 
     std::vector<PlatformId> platforms;
     if (opts.platform) {
