@@ -1,0 +1,150 @@
+/**
+ * @file
+ * End-to-end functional inference wall-clock: dense vs EMF-skipped
+ * dedup vs dedup + cross-pair memoization, per model, on a
+ * duplicate-heavy clone-search dataset (RD-B thread graphs, the paper's
+ * Fig. 18 >90%-duplicate regime, with every candidate graph recurring
+ * across queries — the serving workload the memo layer targets).
+ *
+ * The three modes produce bit-identical scores (asserted by
+ * dedup_exec_test); only the wall clock moves, which is exactly what
+ * these benchmarks measure. `tools/bench_to_json --e2e` runs the same
+ * sweep once and emits BENCH_e2e.json with speedup-vs-dense columns.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/runner.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "graph/dataset.hh"
+
+namespace {
+
+using namespace cegma;
+
+/** Mode selector for the benchmark's second argument. */
+enum Mode
+{
+    kDense = 0,
+    kDedup = 1,
+    kDedupMemo = 2,
+};
+
+const char *
+modeName(int64_t mode)
+{
+    switch (mode) {
+      case kDense:
+        return "dense";
+      case kDedup:
+        return "dedup";
+      case kDedupMemo:
+        return "dedup+memo";
+    }
+    return "?";
+}
+
+FunctionalOptions
+modeOptions(int64_t mode)
+{
+    FunctionalOptions options;
+    options.dedup = mode != kDense;
+    options.memo = mode == kDedupMemo;
+    return options;
+}
+
+/** Shared across iterations: generating the dataset is not the SUT. */
+const Dataset &
+cloneSearchSet()
+{
+    static const Dataset ds = makeCloneSearchDataset(DatasetId::RD_B,
+                                                     /*num_queries=*/4,
+                                                     /*num_candidates=*/4);
+    return ds;
+}
+
+void
+runE2e(benchmark::State &state, ModelId model)
+{
+    const Dataset &ds = cloneSearchSet();
+    const FunctionalOptions options = modeOptions(state.range(0));
+    double total_pairs = 0.0;
+    for (auto _ : state) {
+        FunctionalResult result = runFunctional(model, ds, options);
+        benchmark::DoNotOptimize(result.scores.data());
+        total_pairs += static_cast<double>(result.scores.size());
+    }
+    state.SetLabel(modeName(state.range(0)));
+    state.counters["pairs_per_s"] =
+        benchmark::Counter(total_pairs, benchmark::Counter::kIsRate);
+}
+
+void
+BM_E2eGmnLi(benchmark::State &state)
+{
+    runE2e(state, ModelId::GmnLi);
+}
+BENCHMARK(BM_E2eGmnLi)
+    ->ArgName("mode")
+    ->Arg(kDense)
+    ->Arg(kDedup)
+    ->Arg(kDedupMemo)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_E2eGraphSim(benchmark::State &state)
+{
+    runE2e(state, ModelId::GraphSim);
+}
+BENCHMARK(BM_E2eGraphSim)
+    ->ArgName("mode")
+    ->Arg(kDense)
+    ->Arg(kDedup)
+    ->Arg(kDedupMemo)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_E2eSimGnn(benchmark::State &state)
+{
+    runE2e(state, ModelId::SimGnn);
+}
+BENCHMARK(BM_E2eSimGnn)
+    ->ArgName("mode")
+    ->Arg(kDense)
+    ->Arg(kDedup)
+    ->Arg(kDedupMemo)
+    ->Unit(benchmark::kMillisecond);
+
+/** Pair-parallel trace building (the simulator front end). */
+void
+BM_E2eBuildTraces(benchmark::State &state)
+{
+    const Dataset &ds = cloneSearchSet();
+    ThreadPool::instance().setThreads(
+        static_cast<uint32_t>(state.range(0)));
+    for (auto _ : state) {
+        auto traces = buildTraces(ModelId::GmnLi, ds);
+        benchmark::DoNotOptimize(traces.data());
+    }
+    ThreadPool::instance().setThreads(1);
+}
+BENCHMARK(BM_E2eBuildTraces)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cegma::setVerbose(false);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

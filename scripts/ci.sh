@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 CI in one command: release build + full test suite, then the
+# ThreadSanitizer configuration of the same suite at CEGMA_THREADS=8
+# (the determinism/bit-exactness contracts are only meaningful if the
+# parallel runtime is race-free).
+#
+# Usage: scripts/ci.sh [JOBS]   (default: all cores)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-$(nproc)}"
+
+echo "== tier-1: release build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== tsan: instrumented build =="
+cmake -B build-tsan -S . -DCEGMA_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs"
+
+echo "== tsan: ctest (CEGMA_THREADS=8) =="
+CEGMA_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+
+echo "== ci.sh: all green =="

@@ -1,6 +1,10 @@
 #include "accel/runner.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
+#include "common/parallel.hh"
+#include "gmn/memo.hh"
 
 namespace cegma {
 
@@ -42,11 +46,47 @@ buildTraces(ModelId model, const Dataset &dataset, uint32_t max_pairs)
     size_t count = dataset.pairs.size();
     if (max_pairs > 0)
         count = std::min<size_t>(count, max_pairs);
-    std::vector<PairTrace> traces;
-    traces.reserve(count);
-    for (size_t i = 0; i < count; ++i)
-        traces.push_back(buildTrace(model, dataset.pairs[i]));
+    std::vector<PairTrace> traces(count);
+    // Pair-level parallelism: each chunk writes its own trace slots,
+    // and the WL memoization behind `buildTrace` is mutex-protected
+    // (duplicate builds race benignly — wlRefine is deterministic).
+    MemoCache memo;
+    parallelFor(0, count, 1, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i)
+            traces[i] = buildTrace(model, dataset.pairs[i], &memo);
+    });
     return traces;
+}
+
+FunctionalResult
+runFunctional(ModelId model, const Dataset &dataset,
+              const FunctionalOptions &options, uint32_t max_pairs)
+{
+    size_t count = dataset.pairs.size();
+    if (max_pairs > 0)
+        count = std::min<size_t>(count, max_pairs);
+
+    auto gmn = makeModel(model, options.modelSeed);
+    MemoCache memo;
+    InferenceOptions infer;
+    infer.dedupMatching = options.dedup;
+    infer.memo = options.memo ? &memo : nullptr;
+    gmn->setInferenceOptions(infer);
+
+    FunctionalResult result;
+    result.scores.resize(count);
+    // Pairs run serially; the kernels inside each forward pass already
+    // spread over the thread pool, so the wall clock is an honest
+    // whole-machine measurement for every knob combination.
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < count; ++i)
+        result.scores[i] = gmn->score(dataset.pairs[i]);
+    result.wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    result.memoHits = memo.hits();
+    result.memoMisses = memo.misses();
+    return result;
 }
 
 SimResult

@@ -34,13 +34,52 @@ const char *platformName(PlatformId id);
 const std::vector<PlatformId> &mainPlatforms();
 
 /**
- * Build traces of `model` over the dataset's pairs.
+ * Build traces of `model` over the dataset's pairs. Pair-level
+ * parallel over the shared thread pool, with WL colorings memoized by
+ * graph content across pairs (a graph appearing in many pairs is
+ * refined once). Output is bit-identical to the serial per-pair path.
  *
  * @param max_pairs if nonzero, use only the first `max_pairs` pairs
  * @note the returned traces point into `dataset`; keep it alive.
  */
 std::vector<PairTrace> buildTraces(ModelId model, const Dataset &dataset,
                                    uint32_t max_pairs = 0);
+
+/** Elastic execution knobs for `runFunctional`. */
+struct FunctionalOptions
+{
+    bool dedup = false; ///< EMF-skipped similarity (+ cross messages)
+    bool memo = false;  ///< cross-pair WL / embedding memoization
+    uint64_t modelSeed = 1234; ///< weight seed for the model build
+};
+
+/** Outcome of a functional (wall-clock) inference run. */
+struct FunctionalResult
+{
+    std::vector<double> scores; ///< per-pair similarity scores
+    double wallMs = 0.0;        ///< wall-clock of the scoring loop
+    size_t memoHits = 0;        ///< cache hits (memo mode only)
+    size_t memoMisses = 0;      ///< cache misses (memo mode only)
+
+    double msPerPair() const
+    {
+        return scores.empty() ? 0.0
+                              : wallMs / static_cast<double>(scores.size());
+    }
+};
+
+/**
+ * Run the *functional* model end to end over the dataset's pairs —
+ * the software-baseline counterpart of the cycle simulators, and the
+ * target of the elastic dedup runtime. Scores (and every intermediate
+ * feature and similarity matrix) are bit-identical across all four
+ * knob combinations; only the wall clock moves.
+ *
+ * @param max_pairs if nonzero, score only the first `max_pairs` pairs
+ */
+FunctionalResult runFunctional(ModelId model, const Dataset &dataset,
+                               const FunctionalOptions &options = {},
+                               uint32_t max_pairs = 0);
 
 /**
  * Run `traces` on `platform`. All platforms report `cycles` on a

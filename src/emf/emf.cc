@@ -16,8 +16,13 @@ filterFromTags(const std::vector<uint32_t> &tags)
 {
     EmfResult result;
     const size_t n = tags.size();
-    result.isUnique.assign(n, false);
+    result.isUnique.assign(n, 0);
     result.uniqueOf.resize(n);
+    // Worst case every node is unique (or every node past the first a
+    // duplicate); reserving both to n trades one allocation each for
+    // zero realloc churn inside the scan loop.
+    result.recordSet.reserve(n);
+    result.tagMap.reserve(n);
 
     // tag -> index of the unique node that registered it.
     std::unordered_map<uint32_t, uint32_t> record;
@@ -27,7 +32,7 @@ filterFromTags(const std::vector<uint32_t> &tags)
         if (it == record.end()) {
             record.emplace(tags[i], i);
             result.recordSet.push_back({i, tags[i]});
-            result.isUnique[i] = true;
+            result.isUnique[i] = 1;
             result.uniqueOf[i] = i;
         } else {
             result.tagMap.push_back({i, it->second});

@@ -34,8 +34,13 @@ struct EmfResult
     /** TagMap entries: (duplicate node index, unique node index). */
     std::vector<std::pair<uint32_t, uint32_t>> tagMap;
 
-    /** Per node: true iff the node's tag was first seen at the node. */
-    std::vector<bool> isUnique;
+    /**
+     * Per node: nonzero iff the node's tag was first seen at the node.
+     * Stored as bytes, not `std::vector<bool>`: the bit-packed proxy
+     * reads are slow on the hot dedup paths and hostile to parallel
+     * writers (two bits of one word may be written from two chunks).
+     */
+    std::vector<uint8_t> isUnique;
 
     /** Per node: index of its unique representative (self if unique). */
     std::vector<uint32_t> uniqueOf;

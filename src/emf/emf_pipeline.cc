@@ -16,8 +16,10 @@ runEmfPipeline(const std::vector<uint32_t> &tags, uint64_t feature_bytes,
     cegma_assert(config.numSubsets > 0 && config.pipelineWidth > 0);
 
     EmfPipelineResult result;
-    result.sets.isUnique.assign(tags.size(), false);
+    result.sets.isUnique.assign(tags.size(), 0);
     result.sets.uniqueOf.resize(tags.size());
+    result.sets.recordSet.reserve(tags.size());
+    result.sets.tagMap.reserve(tags.size());
     result.subsetSizes.assign(config.numSubsets, 0);
 
     // Producer state: the MAC subarray hashes waves of hashLanes
@@ -104,7 +106,7 @@ runEmfPipeline(const std::vector<uint32_t> &tags, uint64_t feature_bytes,
                 // Miss: insert into the TagBuffer round-robin.
                 record.emplace(tag, node);
                 result.sets.recordSet.push_back({node, tag});
-                result.sets.isUnique[node] = true;
+                result.sets.isUnique[node] = 1;
                 result.sets.uniqueOf[node] = node;
                 ++result.subsetSizes[round_robin];
                 round_robin = (round_robin + 1) % config.numSubsets;

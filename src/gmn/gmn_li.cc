@@ -6,6 +6,8 @@
  */
 
 #include "common/rng.hh"
+#include "emf/emf.hh"
+#include "gmn/memo.hh"
 #include "gmn/model.hh"
 #include "graph/wl_refine.hh"
 #include "nn/linear.hh"
@@ -43,6 +45,24 @@ class GmnLiModel : public GmnModel
         return out;
     }
 
+    /**
+     * EMF-skipped cross message: message row i is a deterministic
+     * function of (x row i, S row i, all of `other`), and duplicate x
+     * rows have duplicate S rows, so computing the unique rows only
+     * and scattering back through the confirmed map is bit-identical
+     * to the dense message.
+     */
+    static Matrix
+    crossMessageDedup(const Matrix &x, const Matrix &s,
+                      const Matrix &other, const DedupMap &dx)
+    {
+        if (!dx.anyDuplicates())
+            return crossMessage(x, s, other);
+        Matrix xu = gatherRows(x, dx.uniqueRows);
+        Matrix su = gatherRows(s, dx.uniqueRows);
+        return scatterRows(crossMessage(xu, su, other), dx);
+    }
+
     mutable Rng rng_;
     Linear encoder_;
     std::vector<MgnnLayer> layers_;
@@ -53,8 +73,18 @@ GmnModel::Detail
 GmnLiModel::forwardDetailed(const GraphPair &pair) const
 {
     Detail detail;
-    WlColoring wl_t = wlRefine(pair.target, config_.numLayers);
-    WlColoring wl_q = wlRefine(pair.query, config_.numLayers);
+    // Cross-feedback means embeddings depend on the partner graph, so
+    // only the per-graph WL colorings are memoizable here.
+    std::shared_ptr<const WlColoring> wl_t_ptr =
+        infer_.memo ? infer_.memo->wl(pair.target, config_.numLayers)
+                    : std::make_shared<const WlColoring>(
+                          wlRefine(pair.target, config_.numLayers));
+    std::shared_ptr<const WlColoring> wl_q_ptr =
+        infer_.memo ? infer_.memo->wl(pair.query, config_.numLayers)
+                    : std::make_shared<const WlColoring>(
+                          wlRefine(pair.query, config_.numLayers));
+    const WlColoring &wl_t = *wl_t_ptr;
+    const WlColoring &wl_q = *wl_q_ptr;
 
     Matrix x = encoder_.forward(initialFeatures(pair.target));
     Matrix y = encoder_.forward(initialFeatures(pair.query));
@@ -62,11 +92,19 @@ GmnLiModel::forwardDetailed(const GraphPair &pair) const
     detail.yLayers.push_back(y);
 
     for (unsigned l = 0; l < config_.numLayers; ++l) {
-        Matrix s = similarityMatrix(x, y, config_.similarity);
+        Matrix s, cross_x, cross_y;
+        if (infer_.dedupMatching) {
+            DedupMap dx = confirmDedup(x, emfFilter(x));
+            DedupMap dy = confirmDedup(y, emfFilter(y));
+            s = similarityMatrixDedup(x, y, config_.similarity, dx, dy);
+            cross_x = crossMessageDedup(x, s, y, dx);
+            cross_y = crossMessageDedup(y, transpose(s), x, dy);
+        } else {
+            s = similarityMatrix(x, y, config_.similarity);
+            cross_x = crossMessage(x, s, y);
+            cross_y = crossMessage(y, transpose(s), x);
+        }
         detail.simLayers.push_back(s);
-
-        Matrix cross_x = crossMessage(x, s, y);
-        Matrix cross_y = crossMessage(y, transpose(s), x);
 
         x = layers_[l].forward(pair.target, x, cross_x,
                                wl_t.signatures[l]);

@@ -6,6 +6,8 @@
  */
 
 #include "common/rng.hh"
+#include "emf/emf.hh"
+#include "gmn/memo.hh"
 #include "gmn/model.hh"
 #include "graph/wl_refine.hh"
 #include "nn/cnn.hh"
@@ -34,6 +36,32 @@ class GraphSimModel : public GmnModel
     Detail forwardDetailed(const GraphPair &pair) const override;
 
   private:
+    /** The per-graph embedding chain (encoder + all GCN layers). */
+    GraphEmbedding
+    embedSide(const Graph &g) const
+    {
+        GraphEmbedding embed;
+        WlColoring wl = wlRefine(g, config_.numLayers);
+        Matrix x = encoder_.forward(initialFeatures(g));
+        embed.layers.push_back(x);
+        for (unsigned l = 0; l < config_.numLayers; ++l) {
+            x = layers_[l].forward(g, x, wl.signatures[l]);
+            embed.layers.push_back(x);
+        }
+        return embed;
+    }
+
+    /** Run `embedSide` through the memo cache when one is attached. */
+    std::shared_ptr<const GraphEmbedding>
+    embedCached(const Graph &g) const
+    {
+        if (infer_.memo) {
+            return infer_.memo->embedding(
+                g, [&] { return embedSide(g); });
+        }
+        return std::make_shared<const GraphEmbedding>(embedSide(g));
+    }
+
     mutable Rng rng_;
     Linear encoder_;
     std::vector<GcnLayer> layers_;
@@ -45,22 +73,18 @@ GmnModel::Detail
 GraphSimModel::forwardDetailed(const GraphPair &pair) const
 {
     Detail detail;
-    WlColoring wl_t = wlRefine(pair.target, config_.numLayers);
-    WlColoring wl_q = wlRefine(pair.query, config_.numLayers);
-
-    Matrix x = encoder_.forward(initialFeatures(pair.target));
-    Matrix y = encoder_.forward(initialFeatures(pair.query));
-    detail.xLayers.push_back(x);
-    detail.yLayers.push_back(y);
+    std::shared_ptr<const GraphEmbedding> et = embedCached(pair.target);
+    std::shared_ptr<const GraphEmbedding> eq = embedCached(pair.query);
+    detail.xLayers = et->layers;
+    detail.yLayers = eq->layers;
 
     std::vector<Matrix> branch_feats;
     for (unsigned l = 0; l < config_.numLayers; ++l) {
-        x = layers_[l].forward(pair.target, x, wl_t.signatures[l]);
-        y = layers_[l].forward(pair.query, y, wl_q.signatures[l]);
-        detail.xLayers.push_back(x);
-        detail.yLayers.push_back(y);
-
-        Matrix s = similarityMatrix(x, y, config_.similarity);
+        const Matrix &x = et->layers[l + 1];
+        const Matrix &y = eq->layers[l + 1];
+        Matrix s = infer_.dedupMatching
+                       ? similarityMatrixDedup(x, y, config_.similarity)
+                       : similarityMatrix(x, y, config_.similarity);
         branch_feats.push_back(cnns_[l].forward(s));
         detail.simLayers.push_back(std::move(s));
     }

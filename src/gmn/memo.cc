@@ -1,0 +1,89 @@
+#include "gmn/memo.hh"
+
+#include "hash/xxhash.hh"
+
+namespace cegma {
+
+GraphKey
+graphKey(const Graph &g)
+{
+    GraphKey key;
+    key.nodes = g.numNodes();
+    key.arcs = g.numArcs();
+
+    // Two independently-seeded streaming digests over the exact
+    // structure: per-node (degree, sorted neighbors, label). The CSR
+    // representation is canonical (sorted adjacency, deduplicated), so
+    // equal content means equal streams.
+    XxHash32Stream lo(0x5eed0001u);
+    XxHash32Stream hi(0x5eed0002u);
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        auto nbrs = g.neighbors(v);
+        uint32_t head[2] = {static_cast<uint32_t>(nbrs.size()),
+                            g.label(v)};
+        lo.update(head, sizeof(head));
+        hi.update(head, sizeof(head));
+        lo.update(nbrs.data(), nbrs.size() * sizeof(NodeId));
+        hi.update(nbrs.data(), nbrs.size() * sizeof(NodeId));
+    }
+    key.digest = (static_cast<uint64_t>(hi.digest()) << 32) |
+                 lo.digest();
+    return key;
+}
+
+std::shared_ptr<const WlColoring>
+MemoCache::wl(const Graph &g, unsigned num_layers)
+{
+    WlKey key{graphKey(g), num_layers};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = wl_.find(key);
+        if (it != wl_.end()) {
+            ++hits_;
+            return it->second;
+        }
+        ++misses_;
+    }
+    // Build outside the lock: wlRefine is deterministic, so a racing
+    // duplicate build produces identical bits and the loser is simply
+    // discarded by try_emplace.
+    auto built =
+        std::make_shared<const WlColoring>(wlRefine(g, num_layers));
+    std::lock_guard<std::mutex> lock(mutex_);
+    return wl_.try_emplace(key, std::move(built)).first->second;
+}
+
+std::shared_ptr<const GraphEmbedding>
+MemoCache::embedding(const Graph &g,
+                     const std::function<GraphEmbedding()> &build)
+{
+    GraphKey key = graphKey(g);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = embeddings_.find(key);
+        if (it != embeddings_.end()) {
+            ++hits_;
+            return it->second;
+        }
+        ++misses_;
+    }
+    auto built = std::make_shared<const GraphEmbedding>(build());
+    std::lock_guard<std::mutex> lock(mutex_);
+    return embeddings_.try_emplace(key, std::move(built)).first->second;
+}
+
+size_t
+MemoCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+size_t
+MemoCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+} // namespace cegma

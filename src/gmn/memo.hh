@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Cross-pair memoization for the functional inference path.
+ *
+ * Serving workloads (clone search, library screening) pair the same
+ * graph against many partners, yet a naive runner re-runs WL
+ * refinement and the per-graph embedding chain for every pair. Both
+ * are pure functions of one graph (for the non-cross-feedback models,
+ * whose embeddings never see the partner graph), so this cache keys
+ * them by *graph identity* — a content fingerprint over the CSR arrays
+ * and labels, because pairs hold graphs by value and pointer identity
+ * does not survive pair construction.
+ *
+ * Thread safety: lookups and insertions are mutex-protected; builds
+ * run outside the lock, and when two threads race to build the same
+ * key the first insert wins and the loser's (bit-identical —
+ * everything here is deterministic) result is discarded.
+ */
+
+#ifndef CEGMA_GMN_MEMO_HH
+#define CEGMA_GMN_MEMO_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hh"
+#include "graph/wl_refine.hh"
+#include "tensor/matrix.hh"
+
+namespace cegma {
+
+/**
+ * Content identity of a graph: two 32-bit XXHash digests over the
+ * adjacency lists and labels plus the exact node/arc counts. Equal
+ * keys for distinct graphs would need a simultaneous 64-bit hash
+ * collision at equal shape — negligible against the caches' scale.
+ */
+struct GraphKey
+{
+    uint64_t digest = 0; ///< two seeded XXH32 runs, concatenated
+    uint64_t nodes = 0;
+    uint64_t arcs = 0;
+
+    bool operator==(const GraphKey &other) const = default;
+};
+
+/** @return the content key of `g`. */
+GraphKey graphKey(const Graph &g);
+
+struct GraphKeyHash
+{
+    size_t operator()(const GraphKey &k) const
+    {
+        return static_cast<size_t>(k.digest ^ (k.nodes * 0x9e3779b97f4a7c15ull) ^ k.arcs);
+    }
+};
+
+/** One graph side's embedding chain, as a model produced it. */
+struct GraphEmbedding
+{
+    /**
+     * Node features per level: index 0 is the encoded input, index l
+     * the output of embedding layer l (size numLayers + 1).
+     */
+    std::vector<Matrix> layers;
+};
+
+/**
+ * The memoization layer: WL colorings (any model) and per-graph layer
+ * embeddings (non-cross-feedback models only — GMN-Li's embeddings
+ * depend on the partner graph and are never cached).
+ *
+ * One cache serves one model instance: embeddings bake in the model's
+ * weights, so sharing a cache across differently-seeded models would
+ * return wrong features. WL colorings are model-independent.
+ */
+class MemoCache
+{
+  public:
+    /** Memoized `wlRefine(g, num_layers)`. */
+    std::shared_ptr<const WlColoring> wl(const Graph &g,
+                                         unsigned num_layers);
+
+    /**
+     * Memoized per-graph embedding chain; `build` runs on a miss (and
+     * must be a pure function of `g`).
+     */
+    std::shared_ptr<const GraphEmbedding>
+    embedding(const Graph &g,
+              const std::function<GraphEmbedding()> &build);
+
+    /** Lookups that returned a cached value. */
+    size_t hits() const;
+
+    /** Lookups that had to build. */
+    size_t misses() const;
+
+  private:
+    mutable std::mutex mutex_;
+    size_t hits_ = 0;
+    size_t misses_ = 0;
+
+    struct WlKey
+    {
+        GraphKey graph;
+        unsigned layers = 0;
+        bool operator==(const WlKey &other) const = default;
+    };
+    struct WlKeyHash
+    {
+        size_t operator()(const WlKey &k) const
+        {
+            return GraphKeyHash{}(k.graph) * 31 + k.layers;
+        }
+    };
+
+    std::unordered_map<WlKey, std::shared_ptr<const WlColoring>,
+                       WlKeyHash>
+        wl_;
+    std::unordered_map<GraphKey, std::shared_ptr<const GraphEmbedding>,
+                       GraphKeyHash>
+        embeddings_;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_GMN_MEMO_HH

@@ -22,6 +22,8 @@
 
 namespace cegma {
 
+class MemoCache;
+
 /** Model identifiers (Table I rows). */
 enum class ModelId
 {
@@ -60,6 +62,29 @@ struct ModelConfig
 /** @return the Table I configuration of `id`. */
 const ModelConfig &modelConfig(ModelId id);
 
+/**
+ * Elastic execution knobs for the functional inference path. Neither
+ * knob changes any produced bit: dedup scatters representative results
+ * back through a `memcmp`-confirmed map, and the memo cache only
+ * replays deterministic per-graph computations.
+ */
+struct InferenceOptions
+{
+    /**
+     * Run the matching stage EMF-skipped: hash node features, compute
+     * similarity on the unique-row block only, scatter back
+     * (GMN-Li additionally dedups its cross-attention messages).
+     */
+    bool dedupMatching = false;
+
+    /**
+     * Cross-pair memoization of WL colorings and (for the
+     * non-cross-feedback models) per-graph layer embeddings. One
+     * cache per model instance; not owned.
+     */
+    MemoCache *memo = nullptr;
+};
+
 /** Functional GMN inference model. */
 class GmnModel
 {
@@ -95,10 +120,19 @@ class GmnModel
     /** Run inference, returning only the score. */
     double score(const GraphPair &pair) const;
 
+    /** Set the elastic execution knobs (see `InferenceOptions`). */
+    void setInferenceOptions(const InferenceOptions &options)
+    {
+        infer_ = options;
+    }
+
+    const InferenceOptions &inferenceOptions() const { return infer_; }
+
   protected:
     explicit GmnModel(ModelConfig config) : config_(std::move(config)) {}
 
     ModelConfig config_;
+    InferenceOptions infer_;
 };
 
 /** Build model `id` with seeded random weights. */

@@ -1,6 +1,7 @@
 #include "gmn/workload.hh"
 
 #include "common/logging.hh"
+#include "gmn/memo.hh"
 #include "graph/wl_refine.hh"
 
 namespace cegma {
@@ -108,6 +109,30 @@ MatchingWork::uniquePairs() const
 }
 
 uint64_t
+MatchingWork::dedupSimFlops(SimilarityKind kind) const
+{
+    return similarityFlopsDedup(dupClassTarget.size(),
+                                dupClassQuery.size(), numUniqueTarget,
+                                numUniqueQuery, dim, kind);
+}
+
+uint64_t
+MatchingWork::dedupCrossFlops() const
+{
+    if (crossFlops == 0)
+        return 0;
+    const uint64_t n = dupClassTarget.size();
+    const uint64_t m = dupClassQuery.size();
+    const uint64_t u_n = numUniqueTarget;
+    const uint64_t u_m = numUniqueQuery;
+    // The dense accounting (makeMatching) splits per direction as
+    // 5*n*m softmax + 2*n*m*dim weighted sum + n*dim subtract; dedup
+    // computes each direction over that side's unique rows only.
+    return 5 * u_n * m + 5 * u_m * n + 2 * u_n * m * dim +
+           2 * u_m * n * dim + (u_n + u_m) * dim;
+}
+
+uint64_t
 PairTrace::aggFlopsTotal() const
 {
     uint64_t total = 0;
@@ -145,6 +170,20 @@ PairTrace::totalFlops() const
 }
 
 uint64_t
+PairTrace::dedupMatchFlopsTotal() const
+{
+    const SimilarityKind kind = modelConfig(model).similarity;
+    uint64_t total = 0;
+    for (const auto &layer : layers) {
+        if (layer.matching.present) {
+            total += layer.matching.dedupSimFlops(kind) +
+                     layer.matching.dedupCrossFlops();
+        }
+    }
+    return total;
+}
+
+uint64_t
 PairTrace::totalMatchPairs() const
 {
     uint64_t total = 0;
@@ -177,13 +216,14 @@ PairTrace::uniqueMatchingFraction() const
 }
 
 PairTrace
-buildTrace(ModelId id, const GraphPair &pair)
+buildTrace(ModelId id, const GraphPair &pair, MemoCache *memo)
 {
-    return buildCustomTrace(modelConfig(id), pair);
+    return buildCustomTrace(modelConfig(id), pair, memo);
 }
 
 PairTrace
-buildCustomTrace(const ModelConfig &config, const GraphPair &pair)
+buildCustomTrace(const ModelConfig &config, const GraphPair &pair,
+                 MemoCache *memo)
 {
     const ModelId id = config.id;
     const size_t d = config.nodeDim;
@@ -195,8 +235,16 @@ buildCustomTrace(const ModelConfig &config, const GraphPair &pair)
     trace.pair = &pair;
     trace.encodeFlops = denseFlops(n + m, 1, d);
 
-    WlColoring wl_t = wlRefine(pair.target, config.numLayers);
-    WlColoring wl_q = wlRefine(pair.query, config.numLayers);
+    std::shared_ptr<const WlColoring> wl_t_ptr =
+        memo ? memo->wl(pair.target, config.numLayers)
+             : std::make_shared<const WlColoring>(
+                   wlRefine(pair.target, config.numLayers));
+    std::shared_ptr<const WlColoring> wl_q_ptr =
+        memo ? memo->wl(pair.query, config.numLayers)
+             : std::make_shared<const WlColoring>(
+                   wlRefine(pair.query, config.numLayers));
+    const WlColoring &wl_t = *wl_t_ptr;
+    const WlColoring &wl_q = *wl_q_ptr;
 
     for (unsigned l = 0; l < config.numLayers; ++l) {
         LayerWork layer;

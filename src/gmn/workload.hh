@@ -50,6 +50,22 @@ struct MatchingWork
 
     /** Pairs surviving the EMF: uniqueTarget * uniqueQuery. */
     uint64_t uniquePairs() const;
+
+    /**
+     * FLOPs of the EMF-skipped similarity: the dense kernel charged on
+     * the `uniqueTarget x uniqueQuery` block only (`uniquePairs()`
+     * pairs — the same pairs the cycle model credits the EMF for), via
+     * `similarityFlopsDedup`.
+     */
+    uint64_t dedupSimFlops(SimilarityKind kind) const;
+
+    /**
+     * FLOPs of the EMF-skipped GMN-Li cross messages: each direction's
+     * softmax/weighted-sum/subtract terms charged on that side's
+     * unique rows only (full-width rows — the partner dimension does
+     * not shrink). Zero when the matching has no cross feedback.
+     */
+    uint64_t dedupCrossFlops() const;
 };
 
 /** One GMN layer's work. */
@@ -74,6 +90,13 @@ struct PairTrace
     uint64_t matchFlopsTotal() const; ///< sim + cross, all layers
     uint64_t totalFlops() const;
 
+    /**
+     * Matching FLOPs under EMF-skipped execution (deduped similarity +
+     * deduped cross messages, all layers) — what the elastic software
+     * path actually computes.
+     */
+    uint64_t dedupMatchFlopsTotal() const;
+
     uint64_t totalMatchPairs() const;
     uint64_t uniqueMatchPairs() const;
 
@@ -87,8 +110,14 @@ struct PairTrace
  * Structure-only: no floating-point forward pass is run; duplicate
  * classes come from the WL oracle, which tests validate against the
  * functional models' bitwise feature equality.
+ *
+ * @param memo optional cross-pair cache: WL colorings are memoized by
+ *        graph content, so a graph appearing in many pairs is refined
+ *        once (the dominant trace-building cost). Thread-safe — pass
+ *        the same cache from a parallel `buildTraces`.
  */
-PairTrace buildTrace(ModelId id, const GraphPair &pair);
+PairTrace buildTrace(ModelId id, const GraphPair &pair,
+                     MemoCache *memo = nullptr);
 
 /**
  * Build a trace for a *custom* model configuration — any layer count,
@@ -98,7 +127,8 @@ PairTrace buildTrace(ModelId id, const GraphPair &pair);
  * models (e.g.\ the layer-wise vs model-wise matching ablation).
  */
 PairTrace buildCustomTrace(const ModelConfig &config,
-                           const GraphPair &pair);
+                           const GraphPair &pair,
+                           MemoCache *memo = nullptr);
 
 } // namespace cegma
 

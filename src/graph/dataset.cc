@@ -94,6 +94,44 @@ makePairFromOriginal(const Graph &original, bool similar, Rng &rng)
 }
 
 Dataset
+makeCloneSearchDataset(DatasetId base, uint32_t num_queries,
+                       uint32_t num_candidates, uint64_t seed)
+{
+    const DatasetSpec &spec = datasetSpec(base);
+    Dataset ds;
+    ds.spec = spec;
+
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(base) +
+            0x517cc1b727220a95ULL);
+
+    // The candidate database, generated once and reused across every
+    // query (each candidate graph appears in num_queries pairs).
+    std::vector<Graph> candidates;
+    candidates.reserve(num_candidates);
+    for (uint32_t c = 0; c < num_candidates; ++c) {
+        NodeId n = sampleGraphSize(spec.avgNodes, 0.35, 5, rng);
+        candidates.push_back(makeDatasetGraph(base, n, rng));
+    }
+
+    ds.pairs.reserve(static_cast<size_t>(num_queries) * num_candidates);
+    for (uint32_t q = 0; q < num_queries; ++q) {
+        // Each query is a 1-edge perturbation of one candidate (a
+        // "clone" planted in the database), scanned against all of it.
+        Graph query =
+            candidates[q % std::max<uint32_t>(num_candidates, 1)]
+                .substituteEdges(1, rng);
+        for (uint32_t c = 0; c < num_candidates; ++c) {
+            GraphPair pair;
+            pair.target = candidates[c];
+            pair.query = query;
+            pair.similar = c == q % std::max<uint32_t>(num_candidates, 1);
+            ds.pairs.push_back(std::move(pair));
+        }
+    }
+    return ds;
+}
+
+Dataset
 makeDataset(DatasetId id, uint64_t seed, uint32_t max_pairs)
 {
     const DatasetSpec &spec = datasetSpec(id);

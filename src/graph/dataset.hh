@@ -90,6 +90,19 @@ Graph makeDatasetGraph(DatasetId id, NodeId n, Rng &rng);
 GraphPair makePairFromOriginal(const Graph &original, bool similar,
                                Rng &rng);
 
+/**
+ * A clone-search-style evaluation set over `base`'s graph family:
+ * `num_queries` query graphs, each paired against the same
+ * `num_candidates` candidate graphs (num_queries * num_candidates
+ * pairs). Every graph therefore appears in many pairs — the serving
+ * regime where cross-pair memoization pays — and the REDDIT-style
+ * families additionally carry the paper's >90% duplicate-node ratios
+ * (the Fig. 18 regime for the EMF-skipped similarity).
+ */
+Dataset makeCloneSearchDataset(DatasetId base, uint32_t num_queries,
+                               uint32_t num_candidates,
+                               uint64_t seed = 7);
+
 } // namespace cegma
 
 #endif // CEGMA_GRAPH_DATASET_HH

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * The elastic dedup runtime's contract: EMF-skipped similarity,
+ * cross-pair memoization, and the full functional inference path are
+ * *bit-identical* to the dense reference at every thread count, and a
+ * 32-bit tag collision can never alias two distinct rows thanks to the
+ * memcmp confirm in `confirmDedup`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "accel/runner.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "emf/emf.hh"
+#include "gmn/memo.hh"
+#include "gmn/model.hh"
+#include "gmn/similarity.hh"
+#include "graph/generators.hh"
+
+namespace cegma {
+namespace {
+
+const SimilarityKind kAllKinds[] = {
+    SimilarityKind::DotProduct,
+    SimilarityKind::Cosine,
+    SimilarityKind::Euclidean,
+};
+
+const uint32_t kThreadCounts[] = {1, 2, 8};
+
+class DedupExecTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { ThreadPool::instance().setThreads(1); }
+};
+
+/** A WL-duplicate-heavy pair (thread graphs, paper Fig. 18 regime). */
+GraphPair
+dupHeavyPair(uint64_t seed, NodeId n = 48)
+{
+    Rng rng(seed);
+    Graph g = threadGraph(n, n + n / 6, rng);
+    return makePairFromOriginal(g, true, rng);
+}
+
+/**
+ * Realistic duplicate-heavy feature matrices: the per-layer node
+ * features a GCN model actually produces on a thread graph (WL-class
+ * duplicates are bitwise duplicates there).
+ */
+std::pair<Matrix, Matrix>
+dupHeavyFeatures(uint64_t seed)
+{
+    GraphPair pair = dupHeavyPair(seed);
+    auto model = makeModel(ModelId::GraphSim, 99);
+    GmnModel::Detail detail = model->forwardDetailed(pair);
+    return {detail.xLayers[1], detail.yLayers[1]};
+}
+
+TEST_F(DedupExecTest, FeaturesActuallyHaveDuplicates)
+{
+    auto [x, y] = dupHeavyFeatures(3);
+    EmfResult ex = emfFilter(x);
+    EmfResult ey = emfFilter(y);
+    EXPECT_GT(ex.numDuplicates(), 0u);
+    EXPECT_GT(ey.numDuplicates(), 0u);
+}
+
+TEST_F(DedupExecTest, SimilarityBitExactAllKindsAllThreads)
+{
+    auto [x, y] = dupHeavyFeatures(7);
+    for (SimilarityKind kind : kAllKinds) {
+        ThreadPool::instance().setThreads(1);
+        Matrix dense = similarityMatrix(x, y, kind);
+        for (uint32_t threads : kThreadCounts) {
+            ThreadPool::instance().setThreads(threads);
+            Matrix dedup = similarityMatrixDedup(x, y, kind);
+            EXPECT_TRUE(dense.equals(dedup))
+                << similarityName(kind) << " @ " << threads << " threads";
+            // The dense kernel itself must also hold its determinism
+            // contract, or the comparison above proves nothing.
+            Matrix dense_t = similarityMatrix(x, y, kind);
+            EXPECT_TRUE(dense.equals(dense_t))
+                << similarityName(kind) << " dense @ " << threads;
+        }
+    }
+}
+
+TEST_F(DedupExecTest, DedupMapMatchesEmfOnCleanTags)
+{
+    auto [x, y] = dupHeavyFeatures(11);
+    EmfResult emf = emfFilter(x);
+    DedupMap map = confirmDedup(x, emf);
+    // No collisions in practice: the confirmed map preserves EMF's
+    // unique count, and every row aliases a bitwise-equal unique row.
+    EXPECT_EQ(map.numUnique(), emf.numUnique());
+    for (size_t v = 0; v < x.rows(); ++v) {
+        uint32_t rep = map.uniqueRows[map.repOf[v]];
+        EXPECT_TRUE(x.rowsEqual(v, rep)) << "row " << v;
+    }
+}
+
+TEST_F(DedupExecTest, ForcedTagCollisionFallsBackToMemcmp)
+{
+    // Four rows: 0 and 3 distinct, 1 == 2 but != 0. Hand-poison the
+    // EMF outcome to claim rows 1..3 all duplicate row 0 — the tag
+    // collision case a 32-bit hash cannot rule out.
+    Matrix x(4, 3,
+             {1.0f, 2.0f, 3.0f,   //
+              4.0f, 5.0f, 6.0f,   //
+              4.0f, 5.0f, 6.0f,   //
+              7.0f, 8.0f, 9.0f});
+    EmfResult poisoned;
+    poisoned.recordSet = {{0, 42}};
+    poisoned.tagMap = {{1, 0}, {2, 0}, {3, 0}};
+    poisoned.isUnique = {1, 0, 0, 0};
+    poisoned.uniqueOf = {0, 0, 0, 0};
+
+    DedupMap map = confirmDedup(x, poisoned);
+    // The confirm must promote row 1 (bits differ from row 0), alias
+    // row 2 to the *promoted* row 1, and promote row 3 again.
+    ASSERT_EQ(map.numUnique(), 3u);
+    EXPECT_EQ(map.uniqueRows[0], 0u);
+    EXPECT_EQ(map.uniqueRows[1], 1u);
+    EXPECT_EQ(map.uniqueRows[2], 3u);
+    EXPECT_EQ(map.repOf[0], 0u);
+    EXPECT_EQ(map.repOf[1], 1u);
+    EXPECT_EQ(map.repOf[2], 1u);
+    EXPECT_EQ(map.repOf[3], 2u);
+
+    // And the dedup similarity built through the poisoned-then-
+    // confirmed map still equals dense, for every kind and both sides.
+    Matrix y(2, 3, {0.5f, -1.0f, 2.0f, 3.0f, 0.0f, -2.0f});
+    DedupMap dy = confirmDedup(y, emfFilter(y));
+    for (SimilarityKind kind : kAllKinds) {
+        Matrix dense = similarityMatrix(x, y, kind);
+        Matrix dedup = similarityMatrixDedup(x, y, kind, map, dy);
+        EXPECT_TRUE(dense.equals(dedup)) << similarityName(kind);
+        Matrix dense_t = similarityMatrix(y, x, kind);
+        Matrix dedup_t = similarityMatrixDedup(y, x, kind, dy, map);
+        EXPECT_TRUE(dense_t.equals(dedup_t)) << similarityName(kind);
+    }
+}
+
+TEST_F(DedupExecTest, ScatterRowsReplicatesRepresentatives)
+{
+    Matrix block(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+    DedupMap map;
+    map.uniqueRows = {0, 2};
+    map.repOf = {0, 0, 1, 1, 0};
+    Matrix out = scatterRows(block, map);
+    ASSERT_EQ(out.rows(), 5u);
+    for (size_t i = 0; i < out.rows(); ++i) {
+        EXPECT_FLOAT_EQ(out.at(i, 0), block.at(map.repOf[i], 0));
+        EXPECT_FLOAT_EQ(out.at(i, 1), block.at(map.repOf[i], 1));
+    }
+}
+
+TEST_F(DedupExecTest, DedupFlopsConsistentWithUniquePairs)
+{
+    for (SimilarityKind kind : kAllKinds) {
+        uint64_t dense = similarityFlops(100, 80, 64, kind);
+        uint64_t dedup = similarityFlopsDedup(100, 80, 10, 8, 64, kind);
+        EXPECT_EQ(dedup, similarityFlops(10, 8, 64, kind));
+        EXPECT_LT(dedup, dense);
+        // No duplicates -> dedup accounting degenerates to dense.
+        EXPECT_EQ(similarityFlopsDedup(100, 80, 100, 80, 64, kind),
+                  dense);
+    }
+}
+
+/** All-knob bitwise identity of the full forward pass, per model. */
+void
+expectForwardBitIdentical(ModelId id, const GraphPair &pair)
+{
+    auto dense_model = makeModel(id, 1234);
+    GmnModel::Detail dense = dense_model->forwardDetailed(pair);
+
+    MemoCache memo;
+    InferenceOptions knobs[3];
+    knobs[0].dedupMatching = true;
+    knobs[1].memo = &memo;
+    knobs[2].dedupMatching = true;
+    knobs[2].memo = &memo;
+
+    for (const InferenceOptions &opts : knobs) {
+        auto model = makeModel(id, 1234);
+        model->setInferenceOptions(opts);
+        GmnModel::Detail got = model->forwardDetailed(pair);
+
+        ASSERT_EQ(got.xLayers.size(), dense.xLayers.size());
+        ASSERT_EQ(got.yLayers.size(), dense.yLayers.size());
+        ASSERT_EQ(got.simLayers.size(), dense.simLayers.size());
+        for (size_t l = 0; l < dense.xLayers.size(); ++l) {
+            EXPECT_TRUE(got.xLayers[l].equals(dense.xLayers[l]))
+                << "xLayers[" << l << "]";
+            EXPECT_TRUE(got.yLayers[l].equals(dense.yLayers[l]))
+                << "yLayers[" << l << "]";
+        }
+        for (size_t l = 0; l < dense.simLayers.size(); ++l) {
+            EXPECT_TRUE(got.simLayers[l].equals(dense.simLayers[l]))
+                << "simLayers[" << l << "]";
+        }
+        EXPECT_EQ(got.score, dense.score);
+    }
+}
+
+TEST_F(DedupExecTest, GmnLiForwardBitIdenticalAllThreads)
+{
+    GraphPair pair = dupHeavyPair(21);
+    for (uint32_t threads : kThreadCounts) {
+        ThreadPool::instance().setThreads(threads);
+        expectForwardBitIdentical(ModelId::GmnLi, pair);
+    }
+}
+
+TEST_F(DedupExecTest, GraphSimForwardBitIdenticalAllThreads)
+{
+    GraphPair pair = dupHeavyPair(22);
+    for (uint32_t threads : kThreadCounts) {
+        ThreadPool::instance().setThreads(threads);
+        expectForwardBitIdentical(ModelId::GraphSim, pair);
+    }
+}
+
+TEST_F(DedupExecTest, SimGnnForwardBitIdenticalAllThreads)
+{
+    GraphPair pair = dupHeavyPair(23);
+    for (uint32_t threads : kThreadCounts) {
+        ThreadPool::instance().setThreads(threads);
+        expectForwardBitIdentical(ModelId::SimGnn, pair);
+    }
+}
+
+TEST_F(DedupExecTest, MemoCacheHitsAcrossPairs)
+{
+    // Two pairs sharing the same target graph: the second pair's
+    // target-side WL and embedding must come out of the cache.
+    Rng rng(31);
+    Graph g = threadGraph(40, 48, rng);
+    GraphPair a = makePairFromOriginal(g, true, rng);
+    GraphPair b = makePairFromOriginal(g, false, rng);
+
+    MemoCache memo;
+    auto model = makeModel(ModelId::SimGnn, 1234);
+    InferenceOptions opts;
+    opts.memo = &memo;
+    model->setInferenceOptions(opts);
+    model->score(a);
+    size_t misses_after_a = memo.misses();
+    EXPECT_GT(misses_after_a, 0u);
+    EXPECT_EQ(memo.hits(), 0u);
+    model->score(b);
+    // Pair b's target side (WL + embedding) hits; only its query side
+    // misses.
+    EXPECT_GT(memo.hits(), 0u);
+}
+
+TEST_F(DedupExecTest, RunFunctionalKnobsBitIdentical)
+{
+    Dataset ds = makeCloneSearchDataset(DatasetId::RD_B, 3, 3, 5);
+    ASSERT_EQ(ds.pairs.size(), 9u);
+    for (ModelId id : allModels()) {
+        FunctionalOptions dense;
+        FunctionalResult ref = runFunctional(id, ds, dense);
+
+        FunctionalOptions dedup;
+        dedup.dedup = true;
+        FunctionalOptions both;
+        both.dedup = true;
+        both.memo = true;
+        for (const FunctionalOptions &opts : {dedup, both}) {
+            FunctionalResult got = runFunctional(id, ds, opts);
+            ASSERT_EQ(got.scores.size(), ref.scores.size());
+            for (size_t i = 0; i < ref.scores.size(); ++i)
+                EXPECT_EQ(got.scores[i], ref.scores[i])
+                    << modelConfig(id).name << " pair " << i;
+            if (opts.memo) {
+                // Every graph recurs across the 3x3 pair grid.
+                EXPECT_GT(got.memoHits, 0u) << modelConfig(id).name;
+            }
+        }
+    }
+}
+
+TEST_F(DedupExecTest, ParallelTraceBuildMatchesSerial)
+{
+    Dataset ds = makeCloneSearchDataset(DatasetId::RD_B, 2, 4, 9);
+    for (uint32_t threads : kThreadCounts) {
+        ThreadPool::instance().setThreads(threads);
+        std::vector<PairTrace> par =
+            buildTraces(ModelId::GmnLi, ds);
+        ASSERT_EQ(par.size(), ds.pairs.size());
+        for (size_t i = 0; i < par.size(); ++i) {
+            PairTrace serial = buildTrace(ModelId::GmnLi, ds.pairs[i]);
+            EXPECT_EQ(par[i].totalFlops(), serial.totalFlops());
+            EXPECT_EQ(par[i].uniqueMatchPairs(),
+                      serial.uniqueMatchPairs());
+            EXPECT_EQ(par[i].dedupMatchFlopsTotal(),
+                      serial.dedupMatchFlopsTotal());
+        }
+    }
+}
+
+} // namespace
+} // namespace cegma

@@ -10,11 +10,24 @@
  *
  * Usage:
  *   bench_to_json [--out FILE] [--threads LIST] [--min-ms M]
+ *   bench_to_json --e2e [--out FILE] [--threads LIST] [--queries Q]
+ *                 [--candidates C] [--reps R]
  *
  * Defaults: --out BENCH_kernels.json, --threads 1,2,4, --min-ms 200.
  * `--out -` writes to stdout.
+ *
+ * `--e2e` switches to the end-to-end functional-inference sweep: for
+ * each model, run `runFunctional` over a duplicate-heavy RD-B
+ * clone-search dataset (Q queries x C candidates, default 4x4) in the
+ * three elastic modes — dense, dedup, dedup+memo — at the *last*
+ * thread count of `--threads`, best-of-R reps, and write
+ * {model, mode, ms_per_pair, speedup_vs_dense, ...} records to
+ * BENCH_e2e.json (default). The modes are bitwise-identical in output
+ * (see tests/dedup_exec_test.cc); this records how much wall clock the
+ * elastic paths save.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -22,11 +35,13 @@
 #include <string>
 #include <vector>
 
+#include "accel/runner.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "emf/emf.hh"
 #include "gmn/similarity.hh"
+#include "graph/dataset.hh"
 #include "hash/xxhash.hh"
 #include "tensor/matrix.hh"
 
@@ -137,13 +152,116 @@ writeJson(const std::vector<Record> &records, const std::string &path)
         std::fclose(out);
 }
 
+// ---- End-to-end functional inference sweep (--e2e) ------------------
+
+struct E2eRecord
+{
+    std::string model;
+    std::string mode;
+    uint32_t threads;
+    size_t pairs;
+    double msPerPair;
+    double speedupVsDense;
+    size_t memoHits;
+    size_t memoMisses;
+};
+
+/** The three elastic modes, in cheap-to-expensive savings order. */
+const struct
+{
+    const char *name;
+    bool dedup;
+    bool memo;
+} kE2eModes[] = {
+    {"dense", false, false},
+    {"dedup", true, false},
+    {"dedup+memo", true, true},
+};
+
+/** Best-of-`reps` ms/pair of `runFunctional` for one (model, mode). */
+FunctionalResult
+bestFunctionalRun(ModelId model, const Dataset &ds,
+                  const FunctionalOptions &options, uint32_t reps)
+{
+    FunctionalResult best = runFunctional(model, ds, options);
+    for (uint32_t r = 1; r < reps; ++r) {
+        FunctionalResult run = runFunctional(model, ds, options);
+        if (run.wallMs < best.wallMs)
+            best = std::move(run);
+    }
+    return best;
+}
+
+std::vector<E2eRecord>
+runE2eSweep(uint32_t num_queries, uint32_t num_candidates, uint32_t reps)
+{
+    Dataset ds =
+        makeCloneSearchDataset(DatasetId::RD_B, num_queries,
+                               num_candidates);
+    const uint32_t threads = ThreadPool::instance().threads();
+    std::vector<E2eRecord> records;
+    for (ModelId model : allModels()) {
+        double dense_ms = 0.0;
+        for (const auto &mode : kE2eModes) {
+            FunctionalOptions options;
+            options.dedup = mode.dedup;
+            options.memo = mode.memo;
+            FunctionalResult result =
+                bestFunctionalRun(model, ds, options, reps);
+            if (!mode.dedup && !mode.memo)
+                dense_ms = result.msPerPair();
+            E2eRecord rec;
+            rec.model = modelConfig(model).name;
+            rec.mode = mode.name;
+            rec.threads = threads;
+            rec.pairs = result.scores.size();
+            rec.msPerPair = result.msPerPair();
+            rec.speedupVsDense =
+                rec.msPerPair > 0.0 ? dense_ms / rec.msPerPair : 0.0;
+            rec.memoHits = result.memoHits;
+            rec.memoMisses = result.memoMisses;
+            records.push_back(std::move(rec));
+        }
+    }
+    return records;
+}
+
+void
+writeE2eJson(const std::vector<E2eRecord> &records,
+             const std::string &path)
+{
+    FILE *out = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    std::fprintf(out, "[\n");
+    for (size_t i = 0; i < records.size(); ++i) {
+        const E2eRecord &r = records[i];
+        std::fprintf(out,
+                     "  {\"model\": \"%s\", \"mode\": \"%s\", "
+                     "\"threads\": %" PRIu32 ", \"pairs\": %zu, "
+                     "\"ms_per_pair\": %.3f, "
+                     "\"speedup_vs_dense\": %.3f, "
+                     "\"memo_hits\": %zu, \"memo_misses\": %zu}%s\n",
+                     r.model.c_str(), r.mode.c_str(), r.threads,
+                     r.pairs, r.msPerPair, r.speedupVsDense, r.memoHits,
+                     r.memoMisses, i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    if (out != stdout)
+        std::fclose(out);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    std::string out_path = "BENCH_kernels.json";
+    std::string out_path;
+    bool e2e = false;
+    uint32_t num_queries = 4;
+    uint32_t num_candidates = 4;
+    uint32_t reps = 2;
     std::vector<uint32_t> thread_counts = {1, 2, 4};
     double min_ms = 200.0;
 
@@ -156,6 +274,18 @@ main(int argc, char **argv)
         };
         if (arg == "--out") {
             out_path = next();
+        } else if (arg == "--e2e") {
+            e2e = true;
+        } else if (arg == "--queries") {
+            num_queries =
+                static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--candidates") {
+            num_candidates =
+                static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--reps") {
+            reps = std::max<uint32_t>(
+                1, static_cast<uint32_t>(
+                       std::strtoul(next(), nullptr, 10)));
         } else if (arg == "--threads") {
             thread_counts.clear();
             const char *list = next();
@@ -172,10 +302,28 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--out FILE|-] [--threads LIST] "
-                         "[--min-ms M]\n",
-                         argv[0]);
+                         "[--min-ms M]\n"
+                         "       %s --e2e [--out FILE|-] "
+                         "[--threads LIST] [--queries Q] "
+                         "[--candidates C] [--reps R]\n",
+                         argv[0], argv[0]);
             return 2;
         }
+    }
+    if (out_path.empty())
+        out_path = e2e ? "BENCH_e2e.json" : "BENCH_kernels.json";
+
+    if (e2e) {
+        // The e2e sweep runs at one pool size — the last (largest by
+        // convention) entry of --threads.
+        ThreadPool::instance().setThreads(thread_counts.back());
+        std::vector<E2eRecord> records =
+            runE2eSweep(num_queries, num_candidates, reps);
+        writeE2eJson(records, out_path);
+        if (out_path != "-")
+            std::printf("wrote %zu records to %s\n", records.size(),
+                        out_path.c_str());
+        return 0;
     }
 
     // Fixtures sized to the acceptance shapes: GEMM 256x256x256 and a

@@ -6,12 +6,17 @@
  *   cegma_sim [--model NAME] [--dataset NAME] [--platform NAME]
  *             [--pairs N] [--seed S] [--batch B]
  *             [--save-traces FILE | --load-traces FILE] [--csv]
+ *   cegma_sim --functional [--dedup=on|off] [--memo=on|off]
+ *             [--clone-search QxC] [--model NAME] [--dataset NAME]
+ *             [--pairs N] [--threads T] [--csv]
  *
  * Examples:
  *   cegma_sim --model GMN-Li --dataset RD-5K --platform CEGMA
  *   cegma_sim --dataset AIDS --pairs 200 --csv        # all platforms
  *   cegma_sim --model GraphSim --dataset RD-B --save-traces rdb.trc
  *   cegma_sim --load-traces rdb.trc --platform AWB-GCN
+ *   cegma_sim --functional --dataset RD-B --dedup=on --memo=on \
+ *             --clone-search 4x4      # elastic wall-clock inference
  */
 
 #include <cstdio>
@@ -44,6 +49,11 @@ struct Options
     std::string saveTraces;
     std::string loadTraces;
     bool csv = false;
+    bool functional = false;
+    bool dedup = false;
+    bool memo = false;
+    uint32_t cloneQueries = 0;    // nonzero enables clone-search pairs
+    uint32_t cloneCandidates = 0;
 };
 
 [[noreturn]] void
@@ -56,11 +66,16 @@ usage(const char *argv0)
                  "[--threads T]\n"
                  "          [--save-traces FILE | --load-traces FILE] "
                  "[--csv]\n"
+                 "       %s --functional [--dedup=on|off] "
+                 "[--memo=on|off]\n"
+                 "          [--clone-search QxC] [--model NAME] "
+                 "[--dataset NAME]\n"
+                 "          [--pairs N] [--threads T] [--csv]\n"
                  "models: GMN-Li GraphSim SimGNN (default: all)\n"
                  "datasets: AIDS COLLAB GITHUB RD-B RD-5K RD-12K\n"
                  "platforms: PyG-CPU PyG-GPU HyGCN AWB-GCN CEGMA-EMF "
                  "CEGMA-CGC CEGMA (default: all)\n",
-                 argv0);
+                 argv0, argv0);
     std::exit(2);
 }
 
@@ -97,6 +112,19 @@ parsePlatform(const std::string &name)
     fatal("unknown platform '%s'", name.c_str());
 }
 
+/** Parse "on"/"off" (the documented toggle form). */
+bool
+parseToggle(const std::string &value, const char *flag, const char *argv0)
+{
+    if (value == "on")
+        return true;
+    if (value == "off")
+        return false;
+    std::fprintf(stderr, "%s expects on|off, got '%s'\n", flag,
+                 value.c_str());
+    usage(argv0);
+}
+
 Options
 parseArgs(int argc, char **argv)
 {
@@ -108,6 +136,14 @@ parseArgs(int argc, char **argv)
                 usage(argv[0]);
             return argv[++i];
         };
+        if (arg.rfind("--dedup=", 0) == 0) {
+            opts.dedup = parseToggle(arg.substr(8), "--dedup", argv[0]);
+            continue;
+        }
+        if (arg.rfind("--memo=", 0) == 0) {
+            opts.memo = parseToggle(arg.substr(7), "--memo", argv[0]);
+            continue;
+        }
         if (arg == "--model") {
             opts.model = parseModel(next());
         } else if (arg == "--dataset") {
@@ -128,6 +164,23 @@ parseArgs(int argc, char **argv)
             opts.loadTraces = next();
         } else if (arg == "--csv") {
             opts.csv = true;
+        } else if (arg == "--functional") {
+            opts.functional = true;
+        } else if (arg == "--dedup") {
+            opts.dedup = parseToggle(next(), "--dedup", argv[0]);
+        } else if (arg == "--memo") {
+            opts.memo = parseToggle(next(), "--memo", argv[0]);
+        } else if (arg == "--clone-search") {
+            std::string spec = next();
+            size_t x = spec.find('x');
+            if (x == std::string::npos)
+                usage(argv[0]);
+            opts.cloneQueries =
+                static_cast<uint32_t>(std::stoul(spec.substr(0, x)));
+            opts.cloneCandidates =
+                static_cast<uint32_t>(std::stoul(spec.substr(x + 1)));
+            if (opts.cloneQueries == 0 || opts.cloneCandidates == 0)
+                usage(argv[0]);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else {
@@ -153,6 +206,71 @@ reportRow(TextTable &table, const std::string &model,
                   TextTable::fmt(result.energyNj(energy) / 1e6, 3)});
 }
 
+/** Build the evaluation pairs for one dataset id per the options. */
+Dataset
+makeEvalDataset(DatasetId did, const Options &opts)
+{
+    if (opts.cloneQueries > 0) {
+        return makeCloneSearchDataset(did, opts.cloneQueries,
+                                      opts.cloneCandidates, opts.seed);
+    }
+    return makeDataset(did, opts.seed, opts.pairs);
+}
+
+/**
+ * The --functional mode: wall-clock inference through the floating-
+ * point models with the elastic knobs (--dedup / --memo). Scores are
+ * bit-identical across knob settings; ms/pair is the measurement.
+ */
+int
+runFunctionalMode(const Options &opts)
+{
+    FunctionalOptions options;
+    options.dedup = opts.dedup;
+    options.memo = opts.memo;
+    options.modelSeed = 1234;
+
+    std::vector<ModelId> models =
+        opts.model ? std::vector<ModelId>{*opts.model} : allModels();
+    std::vector<DatasetId> datasets =
+        opts.dataset ? std::vector<DatasetId>{*opts.dataset}
+                     : allDatasets();
+
+    TextTable table({"model", "dataset", "pairs", "dedup", "memo",
+                     "ms/pair", "pairs/s", "memo hit%"});
+    for (DatasetId did : datasets) {
+        Dataset ds = makeEvalDataset(did, opts);
+        for (ModelId mid : models) {
+            // --clone-search sizes the pair grid itself; --pairs caps
+            // only the i.i.d. test-split datasets.
+            uint32_t cap = opts.cloneQueries > 0 ? 0 : opts.pairs;
+            FunctionalResult result =
+                runFunctional(mid, ds, options, cap);
+            size_t lookups = result.memoHits + result.memoMisses;
+            double hit_pct =
+                lookups > 0 ? 100.0 * static_cast<double>(
+                                          result.memoHits) /
+                                  static_cast<double>(lookups)
+                            : 0.0;
+            table.addRow(
+                {modelConfig(mid).name, datasetSpec(did).name,
+                 std::to_string(result.scores.size()),
+                 opts.dedup ? "on" : "off", opts.memo ? "on" : "off",
+                 TextTable::fmt(result.msPerPair(), 4),
+                 TextTable::fmtCount(result.msPerPair() > 0.0
+                                         ? 1e3 / result.msPerPair()
+                                         : 0.0),
+                 TextTable::fmt(hit_pct, 1)});
+        }
+    }
+    if (opts.csv) {
+        table.printCsv(std::cout);
+    } else {
+        table.print(std::cout);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -162,6 +280,9 @@ main(int argc, char **argv)
     Options opts = parseArgs(argc, argv);
     if (opts.threads != 0)
         ThreadPool::instance().setThreads(opts.threads);
+
+    if (opts.functional)
+        return runFunctionalMode(opts);
 
     std::vector<PlatformId> platforms;
     if (opts.platform) {
