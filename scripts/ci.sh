@@ -25,4 +25,11 @@ cmake --build build-tsan -j "$jobs"
 echo "== tsan: ctest (CEGMA_THREADS=8) =="
 CEGMA_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j "$jobs"
 
+# The serving subsystem's concurrent submit/shutdown paths get an
+# explicit second TSan pass: serve_test is the suite that races
+# producers against the dispatcher and the batcher's close().
+echo "== tsan: serve_test (CEGMA_THREADS=8) =="
+CEGMA_THREADS=8 ctest --test-dir build-tsan -R serve_test \
+    --output-on-failure
+
 echo "== ci.sh: all green =="

@@ -67,10 +67,12 @@ runFunctional(ModelId model, const Dataset &dataset,
         count = std::min<size_t>(count, max_pairs);
 
     auto gmn = makeModel(model, options.modelSeed);
-    MemoCache memo;
+    MemoCache memo(MemoConfig{options.memoBytes, options.memoShards});
+    DedupStats dedup_stats;
     InferenceOptions infer;
     infer.dedupMatching = options.dedup;
     infer.memo = options.memo ? &memo : nullptr;
+    infer.dedupStats = options.dedup ? &dedup_stats : nullptr;
     gmn->setInferenceOptions(infer);
 
     FunctionalResult result;
@@ -86,6 +88,12 @@ runFunctional(ModelId model, const Dataset &dataset,
                         .count();
     result.memoHits = memo.hits();
     result.memoMisses = memo.misses();
+    result.memoEvictions = memo.evictions();
+    result.memoBytes = memo.bytes();
+    result.dedupRowsTotal =
+        dedup_stats.rowsTotal.load(std::memory_order_relaxed);
+    result.dedupRowsUnique =
+        dedup_stats.rowsUnique.load(std::memory_order_relaxed);
     return result;
 }
 

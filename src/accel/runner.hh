@@ -51,6 +51,10 @@ struct FunctionalOptions
     bool dedup = false; ///< EMF-skipped similarity (+ cross messages)
     bool memo = false;  ///< cross-pair WL / embedding memoization
     uint64_t modelSeed = 1234; ///< weight seed for the model build
+
+    /** Memo byte budget (0 = unbounded) and shard count. */
+    size_t memoBytes = 0;
+    uint32_t memoShards = 8;
 };
 
 /** Outcome of a functional (wall-clock) inference run. */
@@ -60,11 +64,35 @@ struct FunctionalResult
     double wallMs = 0.0;        ///< wall-clock of the scoring loop
     size_t memoHits = 0;        ///< cache hits (memo mode only)
     size_t memoMisses = 0;      ///< cache misses (memo mode only)
+    size_t memoEvictions = 0;   ///< entries evicted (bounded memo only)
+    size_t memoBytes = 0;       ///< resident cache bytes at the end
+
+    /** Matching rows entering / surviving dedup (dedup mode only). */
+    uint64_t dedupRowsTotal = 0;
+    uint64_t dedupRowsUnique = 0;
 
     double msPerPair() const
     {
         return scores.empty() ? 0.0
                               : wallMs / static_cast<double>(scores.size());
+    }
+
+    /** Memo hit rate over all lookups (0 when memo was off). */
+    double memoHitRate() const
+    {
+        size_t lookups = memoHits + memoMisses;
+        return lookups > 0 ? static_cast<double>(memoHits) /
+                                 static_cast<double>(lookups)
+                           : 0.0;
+    }
+
+    /** Fraction of matching rows the EMF skip elided. */
+    double dedupSkipRatio() const
+    {
+        return dedupRowsTotal > 0
+                   ? 1.0 - static_cast<double>(dedupRowsUnique) /
+                               static_cast<double>(dedupRowsTotal)
+                   : 0.0;
     }
 };
 

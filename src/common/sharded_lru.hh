@@ -1,0 +1,206 @@
+/**
+ * @file
+ * A bounded, sharded, byte-budgeted LRU cache of shared immutable
+ * values — the replacement for the unbounded single-mutex maps the
+ * memoization layer grew up with, sized for sustained serving traffic
+ * where the working set must not grow without limit.
+ *
+ * Sharding: the key hash picks one of `shards` independent shards, each
+ * with its own mutex, map, and recency list, so concurrent lookups from
+ * the pair-parallel scoring pass contend only when they collide on a
+ * shard. The byte budget is split evenly across shards (per-shard
+ * budget = maxBytes / shards), which keeps every eviction decision
+ * shard-local — no global lock is ever taken.
+ *
+ * Budget invariant: the cache's resident bytes NEVER exceed the
+ * configured budget. Inserting past the per-shard budget evicts
+ * least-recently-used entries first; a single value larger than the
+ * per-shard budget is not admitted at all (the caller still gets its
+ * value back, it just isn't cached). A `maxBytes` of 0 means unbounded
+ * (the pre-serving behavior).
+ *
+ * Values are handed out as `shared_ptr<const V>`, so an evicted value
+ * stays alive for whoever is still holding it — eviction can never
+ * invalidate a result a scoring pass is reading.
+ */
+
+#ifndef CEGMA_COMMON_SHARDED_LRU_HH
+#define CEGMA_COMMON_SHARDED_LRU_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace cegma {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache
+{
+  public:
+    using ValuePtr = std::shared_ptr<const Value>;
+
+    /**
+     * @param max_bytes total byte budget across all shards; 0 means
+     *        unbounded
+     * @param shards number of independent shards (clamped to >= 1)
+     */
+    explicit ShardedLruCache(size_t max_bytes = 0, uint32_t shards = 8)
+        : maxBytes_(max_bytes),
+          shards_(std::max<uint32_t>(shards, 1)),
+          shardBudget_(max_bytes / std::max<uint32_t>(shards, 1))
+    {
+    }
+
+    /**
+     * Look up `key`, refreshing its recency on a hit.
+     *
+     * @return the cached value, or null on a miss
+     */
+    ValuePtr find(const Key &key)
+    {
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it == shard.map.end()) {
+            ++shard.misses;
+            return nullptr;
+        }
+        ++shard.hits;
+        // Most-recently-used = front of the recency list.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return it->second->value;
+    }
+
+    /**
+     * Insert `value` under `key`, charging `bytes` against the budget
+     * and evicting LRU entries until the shard fits again. First insert
+     * wins: if `key` is already resident (a racing builder got there
+     * first), the resident value is returned and `value` is dropped.
+     *
+     * @return the value now associated with `key` — the resident one on
+     *         a race, `value` otherwise (even when it was too large to
+     *         admit)
+     */
+    ValuePtr insert(const Key &key, ValuePtr value, size_t bytes)
+    {
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            return it->second->value;
+        }
+        if (maxBytes_ > 0 && bytes > shardBudget_) {
+            // Admitting this value alone would break the budget
+            // invariant; serve it uncached.
+            ++shard.oversized;
+            return value;
+        }
+        shard.lru.push_front(Entry{key, value, bytes});
+        shard.map.emplace(key, shard.lru.begin());
+        shard.bytes += bytes;
+        while (maxBytes_ > 0 && shard.bytes > shardBudget_) {
+            Entry &victim = shard.lru.back();
+            shard.bytes -= victim.bytes;
+            shard.map.erase(victim.key);
+            shard.lru.pop_back();
+            ++shard.evictions;
+        }
+        return value;
+    }
+
+    /** Drop every entry (counters are kept). */
+    void clear()
+    {
+        for (Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            shard.lru.clear();
+            shard.map.clear();
+            shard.bytes = 0;
+        }
+    }
+
+    /** Lookups that found a resident entry. */
+    size_t hits() const { return sum(&Shard::hits); }
+
+    /** Lookups that missed. */
+    size_t misses() const { return sum(&Shard::misses); }
+
+    /** Entries evicted to stay within the budget. */
+    size_t evictions() const { return sum(&Shard::evictions); }
+
+    /** Values refused because they alone exceed a shard's budget. */
+    size_t oversized() const { return sum(&Shard::oversized); }
+
+    /** Resident bytes across all shards (never exceeds `maxBytes`). */
+    size_t bytes() const { return sum(&Shard::bytes); }
+
+    /** Resident entry count across all shards. */
+    size_t size() const
+    {
+        size_t total = 0;
+        for (const Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            total += shard.map.size();
+        }
+        return total;
+    }
+
+    /** Configured total byte budget (0 = unbounded). */
+    size_t maxBytes() const { return maxBytes_; }
+
+    /** Number of shards. */
+    uint32_t numShards() const
+    {
+        return static_cast<uint32_t>(shards_.size());
+    }
+
+  private:
+    struct Entry
+    {
+        Key key;
+        ValuePtr value;
+        size_t bytes = 0;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::list<Entry> lru; ///< front = most recently used
+        std::unordered_map<Key, typename std::list<Entry>::iterator,
+                           Hash>
+            map;
+        size_t bytes = 0;
+        size_t hits = 0;
+        size_t misses = 0;
+        size_t evictions = 0;
+        size_t oversized = 0;
+    };
+
+    Shard &shardFor(const Key &key)
+    {
+        return shards_[Hash{}(key) % shards_.size()];
+    }
+
+    size_t sum(size_t Shard::*member) const
+    {
+        size_t total = 0;
+        for (const Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            total += shard.*member;
+        }
+        return total;
+    }
+
+    size_t maxBytes_;
+    std::vector<Shard> shards_;
+    size_t shardBudget_;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_COMMON_SHARDED_LRU_HH

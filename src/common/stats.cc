@@ -73,6 +73,28 @@ IntDistribution::cdfAtPow2(unsigned k) const
     return fractionBelow(k >= 64 ? UINT64_MAX : (uint64_t{1} << k));
 }
 
+uint64_t
+IntDistribution::valueAtQuantile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // ceil(q * total) samples must be <= the answer; exact because the
+    // full value -> count map is kept.
+    auto needed = static_cast<uint64_t>(q * static_cast<double>(total_));
+    if (static_cast<double>(needed) < q * static_cast<double>(total_))
+        ++needed;
+    if (needed == 0)
+        needed = 1;
+    uint64_t seen = 0;
+    for (const auto &[value, count] : counts_) {
+        seen += count;
+        if (seen >= needed)
+            return value;
+    }
+    return counts_.rbegin()->first;
+}
+
 void
 StatSet::inc(const std::string &name, uint64_t delta)
 {

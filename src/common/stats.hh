@@ -66,6 +66,14 @@ class IntDistribution
     /** Cumulative fraction of samples with value < 2^k. */
     double cdfAtPow2(unsigned k) const;
 
+    /**
+     * Exact quantile: the smallest recorded value v such that at least
+     * `q * total()` samples are <= v (q clamped to [0, 1]; 0 when
+     * empty). `valueAtQuantile(0.5)` is the median; the serving metrics
+     * use this for p50/p95/p99 latency over microsecond samples.
+     */
+    uint64_t valueAtQuantile(double q) const;
+
     /** @return ordered value/count view. */
     const std::map<uint64_t, uint64_t> &counts() const { return counts_; }
 

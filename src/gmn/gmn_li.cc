@@ -96,6 +96,8 @@ GmnLiModel::forwardDetailed(const GraphPair &pair) const
         if (infer_.dedupMatching) {
             DedupMap dx = confirmDedup(x, emfFilter(x));
             DedupMap dy = confirmDedup(y, emfFilter(y));
+            noteDedup(x.rows(), dx.numUnique());
+            noteDedup(y.rows(), dy.numUnique());
             s = similarityMatrixDedup(x, y, config_.similarity, dx, dy);
             cross_x = crossMessageDedup(x, s, y, dx);
             cross_y = crossMessageDedup(y, transpose(s), x, dy);

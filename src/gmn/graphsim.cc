@@ -51,13 +51,12 @@ class GraphSimModel : public GmnModel
         return embed;
     }
 
-    /** Run `embedSide` through the memo cache when one is attached. */
+    /** Run `embedSide` through the memo cache when one is usable. */
     std::shared_ptr<const GraphEmbedding>
     embedCached(const Graph &g) const
     {
-        if (infer_.memo) {
-            return infer_.memo->embedding(
-                g, [&] { return embedSide(g); });
+        if (MemoCache *memo = embeddingMemo()) {
+            return memo->embedding(g, [&] { return embedSide(g); });
         }
         return std::make_shared<const GraphEmbedding>(embedSide(g));
     }
@@ -82,9 +81,16 @@ GraphSimModel::forwardDetailed(const GraphPair &pair) const
     for (unsigned l = 0; l < config_.numLayers; ++l) {
         const Matrix &x = et->layers[l + 1];
         const Matrix &y = eq->layers[l + 1];
-        Matrix s = infer_.dedupMatching
-                       ? similarityMatrixDedup(x, y, config_.similarity)
-                       : similarityMatrix(x, y, config_.similarity);
+        Matrix s;
+        if (infer_.dedupMatching) {
+            DedupMap dx = confirmDedup(x, emfFilter(x));
+            DedupMap dy = confirmDedup(y, emfFilter(y));
+            noteDedup(x.rows(), dx.numUnique());
+            noteDedup(y.rows(), dy.numUnique());
+            s = similarityMatrixDedup(x, y, config_.similarity, dx, dy);
+        } else {
+            s = similarityMatrix(x, y, config_.similarity);
+        }
         branch_feats.push_back(cnns_[l].forward(s));
         detail.simLayers.push_back(std::move(s));
     }

@@ -31,26 +31,63 @@ graphKey(const Graph &g)
     return key;
 }
 
+size_t
+wlColoringBytes(const WlColoring &wl)
+{
+    size_t bytes = sizeof(WlColoring);
+    for (const auto &level : wl.signatures)
+        bytes += level.size() * sizeof(uint64_t);
+    for (const auto &level : wl.colors)
+        bytes += level.size() * sizeof(uint32_t);
+    bytes += wl.numClasses.size() * sizeof(uint32_t);
+    return bytes;
+}
+
+size_t
+graphEmbeddingBytes(const GraphEmbedding &embed)
+{
+    size_t bytes = sizeof(GraphEmbedding);
+    for (const Matrix &m : embed.layers)
+        bytes += sizeof(Matrix) + m.size() * sizeof(float);
+    return bytes;
+}
+
+namespace {
+
+/** WL colorings take 1/8 of the budget, embeddings the rest. */
+size_t
+wlBudget(size_t max_bytes)
+{
+    return max_bytes / 8;
+}
+
+size_t
+embeddingBudget(size_t max_bytes)
+{
+    return max_bytes == 0 ? 0 : max_bytes - wlBudget(max_bytes);
+}
+
+} // namespace
+
+MemoCache::MemoCache(const MemoConfig &config)
+    : config_(config), wl_(wlBudget(config.maxBytes), config.shards),
+      embeddings_(embeddingBudget(config.maxBytes), config.shards)
+{
+}
+
 std::shared_ptr<const WlColoring>
 MemoCache::wl(const Graph &g, unsigned num_layers)
 {
     WlKey key{graphKey(g), num_layers};
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = wl_.find(key);
-        if (it != wl_.end()) {
-            ++hits_;
-            return it->second;
-        }
-        ++misses_;
-    }
-    // Build outside the lock: wlRefine is deterministic, so a racing
+    if (auto cached = wl_.find(key))
+        return cached;
+    // Build outside any lock: wlRefine is deterministic, so a racing
     // duplicate build produces identical bits and the loser is simply
-    // discarded by try_emplace.
+    // discarded by the first-insert-wins policy.
     auto built =
         std::make_shared<const WlColoring>(wlRefine(g, num_layers));
-    std::lock_guard<std::mutex> lock(mutex_);
-    return wl_.try_emplace(key, std::move(built)).first->second;
+    size_t bytes = wlColoringBytes(*built);
+    return wl_.insert(key, std::move(built), bytes);
 }
 
 std::shared_ptr<const GraphEmbedding>
@@ -58,32 +95,47 @@ MemoCache::embedding(const Graph &g,
                      const std::function<GraphEmbedding()> &build)
 {
     GraphKey key = graphKey(g);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = embeddings_.find(key);
-        if (it != embeddings_.end()) {
-            ++hits_;
-            return it->second;
-        }
-        ++misses_;
-    }
+    if (auto cached = embeddings_.find(key))
+        return cached;
     auto built = std::make_shared<const GraphEmbedding>(build());
-    std::lock_guard<std::mutex> lock(mutex_);
-    return embeddings_.try_emplace(key, std::move(built)).first->second;
+    size_t bytes = graphEmbeddingBytes(*built);
+    return embeddings_.insert(key, std::move(built), bytes);
 }
 
 size_t
 MemoCache::hits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return hits_;
+    return wl_.hits() + embeddings_.hits();
 }
 
 size_t
 MemoCache::misses() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return misses_;
+    return wl_.misses() + embeddings_.misses();
+}
+
+size_t
+MemoCache::evictions() const
+{
+    return wl_.evictions() + embeddings_.evictions();
+}
+
+size_t
+MemoCache::bytes() const
+{
+    return wl_.bytes() + embeddings_.bytes();
+}
+
+size_t
+MemoCache::wlLookups() const
+{
+    return wl_.hits() + wl_.misses();
+}
+
+size_t
+MemoCache::embeddingLookups() const
+{
+    return embeddings_.hits() + embeddings_.misses();
 }
 
 } // namespace cegma

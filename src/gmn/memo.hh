@@ -11,10 +11,18 @@
  * and labels, because pairs hold graphs by value and pointer identity
  * does not survive pair construction.
  *
- * Thread safety: lookups and insertions are mutex-protected; builds
- * run outside the lock, and when two threads race to build the same
- * key the first insert wins and the loser's (bit-identical —
- * everything here is deterministic) result is discarded.
+ * Storage is a pair of bounded, sharded LRU caches
+ * (common/sharded_lru.hh): under sustained serving traffic the working
+ * set must not grow without limit, so a byte budget with LRU eviction
+ * replaces the seed's unbounded single-mutex maps. Eviction never
+ * changes any produced bit — a rebuilt entry is bit-identical to the
+ * evicted one (everything memoized here is deterministic) — it only
+ * costs the rebuild.
+ *
+ * Thread safety: lookups and insertions lock only the owning shard;
+ * builds run outside any lock, and when two threads race to build the
+ * same key the first insert wins and the loser's (bit-identical)
+ * result is discarded.
  */
 
 #ifndef CEGMA_GMN_MEMO_HH
@@ -23,10 +31,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "common/sharded_lru.hh"
 #include "graph/graph.hh"
 #include "graph/wl_refine.hh"
 #include "tensor/matrix.hh"
@@ -69,10 +76,33 @@ struct GraphEmbedding
     std::vector<Matrix> layers;
 };
 
+/** Approximate resident bytes of a WL coloring. */
+size_t wlColoringBytes(const WlColoring &wl);
+
+/** Approximate resident bytes of an embedding chain. */
+size_t graphEmbeddingBytes(const GraphEmbedding &embed);
+
+/** Capacity/sharding knobs for a `MemoCache`. */
+struct MemoConfig
+{
+    /**
+     * Total byte budget across both entry families; 0 = unbounded
+     * (the single-shot benchmark behavior). Embeddings get 7/8 of the
+     * budget and WL colorings 1/8 — an embedding chain is roughly 20x
+     * the bytes of its coloring (numLayers+1 dense 64-wide float
+     * matrices vs 12 bytes per node per level).
+     */
+    size_t maxBytes = 0;
+
+    /** Shards per family (per-shard mutex; budget split evenly). */
+    uint32_t shards = 8;
+};
+
 /**
  * The memoization layer: WL colorings (any model) and per-graph layer
  * embeddings (non-cross-feedback models only — GMN-Li's embeddings
- * depend on the partner graph and are never cached).
+ * depend on the partner graph and are never cached; see
+ * `GmnModel::embeddingMemo`).
  *
  * One cache serves one model instance: embeddings bake in the model's
  * weights, so sharing a cache across differently-seeded models would
@@ -81,6 +111,8 @@ struct GraphEmbedding
 class MemoCache
 {
   public:
+    explicit MemoCache(const MemoConfig &config = {});
+
     /** Memoized `wlRefine(g, num_layers)`. */
     std::shared_ptr<const WlColoring> wl(const Graph &g,
                                          unsigned num_layers);
@@ -93,17 +125,31 @@ class MemoCache
     embedding(const Graph &g,
               const std::function<GraphEmbedding()> &build);
 
-    /** Lookups that returned a cached value. */
+    /** Lookups that returned a cached value (both families). */
     size_t hits() const;
 
-    /** Lookups that had to build. */
+    /** Lookups that had to build (both families). */
     size_t misses() const;
 
-  private:
-    mutable std::mutex mutex_;
-    size_t hits_ = 0;
-    size_t misses_ = 0;
+    /** Entries evicted to stay inside the byte budget. */
+    size_t evictions() const;
 
+    /** Resident bytes (never exceeds `config().maxBytes` when set). */
+    size_t bytes() const;
+
+    /** WL-coloring lookups (hits + misses). */
+    size_t wlLookups() const;
+
+    /**
+     * Embedding-chain lookups (hits + misses). Exactly 0 when the
+     * cache only ever served a cross-feedback model — the guard the
+     * "memo is never a regression for GMN-Li" test asserts.
+     */
+    size_t embeddingLookups() const;
+
+    const MemoConfig &config() const { return config_; }
+
+  private:
     struct WlKey
     {
         GraphKey graph;
@@ -118,12 +164,9 @@ class MemoCache
         }
     };
 
-    std::unordered_map<WlKey, std::shared_ptr<const WlColoring>,
-                       WlKeyHash>
-        wl_;
-    std::unordered_map<GraphKey, std::shared_ptr<const GraphEmbedding>,
-                       GraphKeyHash>
-        embeddings_;
+    MemoConfig config_;
+    ShardedLruCache<WlKey, WlColoring, WlKeyHash> wl_;
+    ShardedLruCache<GraphKey, GraphEmbedding, GraphKeyHash> embeddings_;
 };
 
 } // namespace cegma

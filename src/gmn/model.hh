@@ -12,6 +12,8 @@
 #ifndef CEGMA_GMN_MODEL_HH
 #define CEGMA_GMN_MODEL_HH
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,6 +65,31 @@ struct ModelConfig
 const ModelConfig &modelConfig(ModelId id);
 
 /**
+ * Live counters for the dedup runtime, safe to share across the
+ * pair-parallel scoring threads (relaxed atomics; the counts are
+ * telemetry, never control flow).
+ */
+struct DedupStats
+{
+    /** Feature rows that entered a dedup'd matching stage. */
+    std::atomic<uint64_t> rowsTotal{0};
+
+    /** Rows the dense kernel actually ran on (the unique block). */
+    std::atomic<uint64_t> rowsUnique{0};
+
+    /** Fraction of rows the EMF skip elided (0 when nothing ran). */
+    double skipRatio() const
+    {
+        uint64_t total = rowsTotal.load(std::memory_order_relaxed);
+        uint64_t unique = rowsUnique.load(std::memory_order_relaxed);
+        return total > 0
+                   ? 1.0 - static_cast<double>(unique) /
+                               static_cast<double>(total)
+                   : 0.0;
+    }
+};
+
+/**
  * Elastic execution knobs for the functional inference path. Neither
  * knob changes any produced bit: dedup scatters representative results
  * back through a `memcmp`-confirmed map, and the memo cache only
@@ -83,6 +110,9 @@ struct InferenceOptions
      * cache per model instance; not owned.
      */
     MemoCache *memo = nullptr;
+
+    /** Optional dedup telemetry sink (not owned; may be shared). */
+    DedupStats *dedupStats = nullptr;
 };
 
 /** Functional GMN inference model. */
@@ -130,6 +160,29 @@ class GmnModel
 
   protected:
     explicit GmnModel(ModelConfig config) : config_(std::move(config)) {}
+
+    /**
+     * The memo cache usable for per-graph embedding chains: null for
+     * cross-feedback models, whose embeddings depend on the partner
+     * graph. Keying by one graph would be wrong there, and even the
+     * lookups would be pure overhead — so they are skipped entirely
+     * (memo mode must never be a regression; see the serve tests).
+     */
+    MemoCache *embeddingMemo() const
+    {
+        return config_.crossFeedback ? nullptr : infer_.memo;
+    }
+
+    /** Record one side's dedup outcome into the telemetry sink. */
+    void noteDedup(size_t rows, size_t unique_rows) const
+    {
+        if (infer_.dedupStats == nullptr)
+            return;
+        infer_.dedupStats->rowsTotal.fetch_add(
+            rows, std::memory_order_relaxed);
+        infer_.dedupStats->rowsUnique.fetch_add(
+            unique_rows, std::memory_order_relaxed);
+    }
 
     ModelConfig config_;
     InferenceOptions infer_;

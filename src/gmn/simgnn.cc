@@ -94,13 +94,12 @@ class SimGnnModel : public GmnModel
         return embed;
     }
 
-    /** Run `embedSide` through the memo cache when one is attached. */
+    /** Run `embedSide` through the memo cache when one is usable. */
     std::shared_ptr<const GraphEmbedding>
     embedCached(const Graph &g) const
     {
-        if (infer_.memo) {
-            return infer_.memo->embedding(
-                g, [&] { return embedSide(g); });
+        if (MemoCache *memo = embeddingMemo()) {
+            return memo->embedding(g, [&] { return embedSide(g); });
         }
         return std::make_shared<const GraphEmbedding>(embedSide(g));
     }
@@ -126,9 +125,16 @@ SimGnnModel::forwardDetailed(const GraphPair &pair) const
     const Matrix &y = eq->layers.back();
 
     // Model-wise matching: one similarity matrix from the last layer.
-    Matrix s = infer_.dedupMatching
-                   ? similarityMatrixDedup(x, y, config_.similarity)
-                   : similarityMatrix(x, y, config_.similarity);
+    Matrix s;
+    if (infer_.dedupMatching) {
+        DedupMap dx = confirmDedup(x, emfFilter(x));
+        DedupMap dy = confirmDedup(y, emfFilter(y));
+        noteDedup(x.rows(), dx.numUnique());
+        noteDedup(y.rows(), dy.numUnique());
+        s = similarityMatrixDedup(x, y, config_.similarity, dx, dy);
+    } else {
+        s = similarityMatrix(x, y, config_.similarity);
+    }
     Matrix hist = similarityHistogram(s);
     detail.simLayers.push_back(std::move(s));
 

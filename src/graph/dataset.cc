@@ -93,37 +93,50 @@ makePairFromOriginal(const Graph &original, bool similar, Rng &rng)
     return pair;
 }
 
-Dataset
-makeCloneSearchDataset(DatasetId base, uint32_t num_queries,
-                       uint32_t num_candidates, uint64_t seed)
+CloneSearchCorpus
+makeCloneSearchCorpus(DatasetId base, uint32_t num_queries,
+                      uint32_t num_candidates, uint64_t seed)
 {
     const DatasetSpec &spec = datasetSpec(base);
-    Dataset ds;
-    ds.spec = spec;
+    CloneSearchCorpus corpus;
 
     Rng rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(base) +
             0x517cc1b727220a95ULL);
 
     // The candidate database, generated once and reused across every
     // query (each candidate graph appears in num_queries pairs).
-    std::vector<Graph> candidates;
-    candidates.reserve(num_candidates);
+    corpus.candidates.reserve(num_candidates);
     for (uint32_t c = 0; c < num_candidates; ++c) {
         NodeId n = sampleGraphSize(spec.avgNodes, 0.35, 5, rng);
-        candidates.push_back(makeDatasetGraph(base, n, rng));
+        corpus.candidates.push_back(makeDatasetGraph(base, n, rng));
     }
 
+    // Each query is a 1-edge perturbation of one candidate (a "clone"
+    // planted in the database), scanned against all of it.
+    corpus.queries.reserve(num_queries);
+    for (uint32_t q = 0; q < num_queries; ++q) {
+        corpus.queries.push_back(
+            corpus.candidates[q % std::max<uint32_t>(num_candidates, 1)]
+                .substituteEdges(1, rng));
+    }
+    return corpus;
+}
+
+Dataset
+makeCloneSearchDataset(DatasetId base, uint32_t num_queries,
+                       uint32_t num_candidates, uint64_t seed)
+{
+    Dataset ds;
+    ds.spec = datasetSpec(base);
+
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(base, num_queries, num_candidates, seed);
     ds.pairs.reserve(static_cast<size_t>(num_queries) * num_candidates);
     for (uint32_t q = 0; q < num_queries; ++q) {
-        // Each query is a 1-edge perturbation of one candidate (a
-        // "clone" planted in the database), scanned against all of it.
-        Graph query =
-            candidates[q % std::max<uint32_t>(num_candidates, 1)]
-                .substituteEdges(1, rng);
         for (uint32_t c = 0; c < num_candidates; ++c) {
             GraphPair pair;
-            pair.target = candidates[c];
-            pair.query = query;
+            pair.target = corpus.candidates[c];
+            pair.query = corpus.queries[q];
             pair.similar = c == q % std::max<uint32_t>(num_candidates, 1);
             ds.pairs.push_back(std::move(pair));
         }

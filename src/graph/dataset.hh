@@ -91,6 +91,30 @@ GraphPair makePairFromOriginal(const Graph &original, bool similar,
                                Rng &rng);
 
 /**
+ * The raw material of a clone-search evaluation: the candidate
+ * database and the query graphs, *before* they are crossed into pairs.
+ * The serving subsystem indexes `candidates` as the service corpus and
+ * streams `queries` at it; `makeCloneSearchDataset` crosses the same
+ * graphs into a pair grid, so a service run and a `runFunctional` run
+ * over the dataset score bit-identical (graph, graph) combinations.
+ */
+struct CloneSearchCorpus
+{
+    std::vector<Graph> candidates;
+    std::vector<Graph> queries; ///< query q perturbs candidate q % C
+};
+
+/**
+ * Generate the candidates/queries of the clone-search protocol (same
+ * seeded RNG stream as `makeCloneSearchDataset`, so the graphs match
+ * bit for bit).
+ */
+CloneSearchCorpus makeCloneSearchCorpus(DatasetId base,
+                                        uint32_t num_queries,
+                                        uint32_t num_candidates,
+                                        uint64_t seed = 7);
+
+/**
  * A clone-search-style evaluation set over `base`'s graph family:
  * `num_queries` query graphs, each paired against the same
  * `num_candidates` candidate graphs (num_queries * num_candidates

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The admission queue + dynamic micro-batcher behind `SearchService`.
+ *
+ * Concurrent producers enqueue work items; a single consumer pulls
+ * *batches*. A batch flushes when either trigger fires, whichever
+ * comes first:
+ *   - size: `max_batch` items are waiting, or
+ *   - deadline: the oldest waiting item has aged `flush_deadline`.
+ *
+ * The deadline is anchored to the *first* queued item (not the last),
+ * so a trickle of arrivals cannot postpone a flush indefinitely — the
+ * classic micro-batching latency bound. Under load the size trigger
+ * dominates and batches arrive full; near idle the deadline trigger
+ * bounds added latency to `flush_deadline`.
+ *
+ * Admission is bounded: past `max_depth` waiting items, `enqueue`
+ * refuses (the service surfaces this as a rejected request) instead of
+ * queueing unboundedly — queue depth, not latency, is the resource to
+ * protect under overload.
+ */
+
+#ifndef CEGMA_SERVE_BATCHER_HH
+#define CEGMA_SERVE_BATCHER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace cegma {
+
+template <typename Item>
+class MicroBatcher
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    MicroBatcher(uint32_t max_batch, std::chrono::microseconds flush_deadline,
+                 size_t max_depth)
+        : maxBatch_(max_batch > 0 ? max_batch : 1),
+          flushDeadline_(flush_deadline), maxDepth_(max_depth)
+    {
+    }
+
+    /**
+     * Enqueue one item.
+     *
+     * @return false when the batcher is closed or the queue is at
+     *         `max_depth` (the item is left untouched so the caller
+     *         can reject it)
+     */
+    bool enqueue(Item &&item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || queue_.size() >= maxDepth_)
+                return false;
+            queue_.push_back(Timed{Clock::now(), std::move(item)});
+        }
+        wake_.notify_all();
+        return true;
+    }
+
+    /**
+     * Block until a batch is ready (size or deadline trigger) and pop
+     * it. After `close()`, drains the remaining items batch by batch,
+     * then returns an empty vector — the consumer's exit signal.
+     */
+    std::vector<Item> nextBatch()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            if (queue_.empty()) {
+                if (closed_)
+                    return {};
+                wake_.wait(lock);
+                continue;
+            }
+            if (queue_.size() >= maxBatch_ || closed_)
+                break;
+            auto deadline = queue_.front().enqueued + flushDeadline_;
+            bool ready = wake_.wait_until(lock, deadline, [&] {
+                return closed_ || queue_.size() >= maxBatch_;
+            });
+            if (!ready)
+                break; // deadline: flush whatever is waiting
+        }
+        std::vector<Item> batch;
+        size_t take = std::min<size_t>(queue_.size(), maxBatch_);
+        batch.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(queue_.front().item));
+            queue_.pop_front();
+        }
+        return batch;
+    }
+
+    /** Stop admitting; wakes the consumer to drain and exit. */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        wake_.notify_all();
+    }
+
+    /** Current number of waiting items. */
+    size_t depth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return queue_.size();
+    }
+
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+  private:
+    struct Timed
+    {
+        Clock::time_point enqueued;
+        Item item;
+    };
+
+    const uint32_t maxBatch_;
+    const std::chrono::microseconds flushDeadline_;
+    const size_t maxDepth_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<Timed> queue_;
+    bool closed_ = false;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_SERVE_BATCHER_HH

@@ -1,0 +1,120 @@
+#include "serve/loadgen.hh"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cegma {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+secondsSince(SteadyClock::time_point start, SteadyClock::time_point now)
+{
+    return std::chrono::duration<double>(now - start).count();
+}
+
+} // namespace
+
+LoadGenResult
+runOpenLoop(SearchService &service, const std::vector<Graph> &queries,
+            uint32_t num_requests, double qps, uint64_t seed)
+{
+    if (queries.empty())
+        fatal("runOpenLoop: no query graphs");
+    if (qps <= 0.0)
+        fatal("runOpenLoop: qps must be positive");
+
+    // Pre-draw the whole arrival schedule so the offered load is a
+    // pure function of (seed, qps, num_requests) — identical for every
+    // service configuration being compared.
+    Rng rng(seed);
+    std::vector<double> arrival_sec(num_requests);
+    double t = 0.0;
+    for (uint32_t i = 0; i < num_requests; ++i) {
+        // Exponential inter-arrival: -ln(1 - u) / qps, u in [0, 1).
+        t += -std::log1p(-rng.nextDouble()) / qps;
+        arrival_sec[i] = t;
+    }
+
+    LoadGenResult result;
+    result.offeredQps = qps;
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(num_requests);
+
+    SteadyClock::time_point start = SteadyClock::now();
+    for (uint32_t i = 0; i < num_requests; ++i) {
+        auto when = start + std::chrono::duration_cast<
+                                SteadyClock::duration>(
+                                std::chrono::duration<double>(
+                                    arrival_sec[i]));
+        std::this_thread::sleep_until(when);
+        futures.push_back(service.submit(queries[i % queries.size()]));
+    }
+    for (auto &future : futures) {
+        try {
+            future.get();
+        } catch (const std::exception &) {
+            ++result.errors;
+        }
+    }
+    result.makespanSec = secondsSince(start, SteadyClock::now());
+    result.metrics = service.metrics();
+    result.achievedQps =
+        result.makespanSec > 0.0
+            ? static_cast<double>(result.metrics.completed) /
+                  result.makespanSec
+            : 0.0;
+    return result;
+}
+
+LoadGenResult
+runClosedLoop(SearchService &service, const std::vector<Graph> &queries,
+              uint32_t num_requests, uint32_t clients)
+{
+    if (queries.empty())
+        fatal("runClosedLoop: no query graphs");
+    clients = std::max<uint32_t>(clients, 1);
+
+    LoadGenResult result;
+    std::atomic<uint32_t> next{0};
+    std::atomic<uint64_t> errors{0};
+
+    SteadyClock::time_point start = SteadyClock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (uint32_t w = 0; w < clients; ++w) {
+        workers.emplace_back([&] {
+            for (;;) {
+                uint32_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= num_requests)
+                    return;
+                try {
+                    service.submit(queries[i % queries.size()]).get();
+                } catch (const std::exception &) {
+                    errors.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+
+    result.errors = errors.load(std::memory_order_relaxed);
+    result.makespanSec = secondsSince(start, SteadyClock::now());
+    result.metrics = service.metrics();
+    result.achievedQps =
+        result.makespanSec > 0.0
+            ? static_cast<double>(result.metrics.completed) /
+                  result.makespanSec
+            : 0.0;
+    return result;
+}
+
+} // namespace cegma

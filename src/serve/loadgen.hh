@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Load generators for `SearchService`: an open-loop driver with
+ * seeded Poisson (exponential inter-arrival) request times, and a
+ * closed-loop driver with a fixed number of back-to-back clients.
+ *
+ * Open loop measures *latency under a fixed offered load* — arrivals
+ * do not wait for completions, so queueing delay shows up honestly
+ * (the serving regime the paper's clone-search evaluation targets).
+ * Closed loop measures *capacity* — clients issue as fast as results
+ * return, so throughput saturates at the service's limit.
+ *
+ * Arrival schedules are seeded and deterministic; two runs at the same
+ * (seed, qps, requests) offer byte-identical load, which is what makes
+ * "dedup+memo is no slower at equal load" a well-posed comparison.
+ */
+
+#ifndef CEGMA_SERVE_LOADGEN_HH
+#define CEGMA_SERVE_LOADGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+#include "serve/service.hh"
+
+namespace cegma {
+
+/** Outcome of one load-generation run. */
+struct LoadGenResult
+{
+    MetricsSnapshot metrics; ///< service snapshot after the last result
+    double offeredQps = 0.0; ///< open loop only (0 for closed loop)
+    double achievedQps = 0.0; ///< completed / makespan
+    double makespanSec = 0.0; ///< first submit -> last completion
+    uint64_t errors = 0;      ///< rejected/failed requests observed
+};
+
+/**
+ * Drive `service` open-loop: `num_requests` submits at Poisson arrival
+ * times of rate `qps` (query graphs cycled in order), then wait for
+ * every result.
+ */
+LoadGenResult runOpenLoop(SearchService &service,
+                          const std::vector<Graph> &queries,
+                          uint32_t num_requests, double qps,
+                          uint64_t seed = 1);
+
+/**
+ * Drive `service` closed-loop: `clients` threads issue back-to-back
+ * requests (each waits for its result before the next submit) until
+ * `num_requests` have been issued in total.
+ */
+LoadGenResult runClosedLoop(SearchService &service,
+                            const std::vector<Graph> &queries,
+                            uint32_t num_requests, uint32_t clients);
+
+} // namespace cegma
+
+#endif // CEGMA_SERVE_LOADGEN_HH

@@ -1,0 +1,133 @@
+#include "serve/metrics.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cegma {
+
+namespace {
+
+/** Append `"key": value` (number) to `out`. */
+void
+appendField(std::string &out, const char *key, double value,
+            bool comma = true)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"%s\": %.4f%s", key, value,
+                  comma ? ", " : "");
+    out += buf;
+}
+
+void
+appendField(std::string &out, const char *key, uint64_t value,
+            bool comma = true)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"%s\": %" PRIu64 "%s", key, value,
+                  comma ? ", " : "");
+    out += buf;
+}
+
+} // namespace
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string out = "{";
+    appendField(out, "submitted", submitted);
+    appendField(out, "completed", completed);
+    appendField(out, "rejected", rejected);
+    appendField(out, "batches", batches);
+    appendField(out, "queue_depth", queueDepth);
+    appendField(out, "elapsed_sec", elapsedSec);
+    appendField(out, "qps", qps);
+    appendField(out, "batch_mean", batchMean);
+    appendField(out, "batch_max", batchMax);
+    appendField(out, "latency_p50_ms", latencyP50Ms);
+    appendField(out, "latency_p95_ms", latencyP95Ms);
+    appendField(out, "latency_p99_ms", latencyP99Ms);
+    appendField(out, "latency_mean_ms", latencyMeanMs);
+    appendField(out, "latency_max_ms", latencyMaxMs);
+    appendField(out, "queue_mean_ms", queueMeanMs);
+    appendField(out, "cache_hits", cacheHits);
+    appendField(out, "cache_misses", cacheMisses);
+    appendField(out, "cache_evictions", cacheEvictions);
+    appendField(out, "cache_bytes", cacheBytes);
+    appendField(out, "cache_hit_rate", cacheHitRate);
+    appendField(out, "dedup_rows_total", dedupRowsTotal);
+    appendField(out, "dedup_rows_unique", dedupRowsUnique);
+    appendField(out, "dedup_skip_ratio", dedupSkipRatio, false);
+    out += "}";
+    return out;
+}
+
+void
+ServiceMetrics::recordSubmitted()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) {
+        started_ = true;
+        firstSubmit_ = std::chrono::steady_clock::now();
+    }
+    ++submitted_;
+}
+
+void
+ServiceMetrics::recordRejected()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++rejected_;
+}
+
+void
+ServiceMetrics::recordBatch(uint64_t batch_size)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++batches_;
+    batchSizes_.add(static_cast<double>(batch_size));
+}
+
+void
+ServiceMetrics::recordCompleted(double queue_us, double total_us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    queueUs_.add(queue_us);
+    latencyStat_.add(total_us);
+    latencyUs_.add(total_us > 0.0 ? static_cast<uint64_t>(total_us) : 0);
+}
+
+MetricsSnapshot
+ServiceMetrics::snapshot(uint64_t queue_depth) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.submitted = submitted_;
+    snap.completed = completed_;
+    snap.rejected = rejected_;
+    snap.batches = batches_;
+    snap.queueDepth = queue_depth;
+    if (started_) {
+        snap.elapsedSec =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - firstSubmit_)
+                .count();
+    }
+    snap.qps = snap.elapsedSec > 0.0
+                   ? static_cast<double>(completed_) / snap.elapsedSec
+                   : 0.0;
+    snap.batchMean = batchSizes_.mean();
+    snap.batchMax = static_cast<uint64_t>(batchSizes_.max());
+    snap.latencyP50Ms =
+        static_cast<double>(latencyUs_.valueAtQuantile(0.50)) / 1e3;
+    snap.latencyP95Ms =
+        static_cast<double>(latencyUs_.valueAtQuantile(0.95)) / 1e3;
+    snap.latencyP99Ms =
+        static_cast<double>(latencyUs_.valueAtQuantile(0.99)) / 1e3;
+    snap.latencyMeanMs = latencyStat_.mean() / 1e3;
+    snap.latencyMaxMs = latencyStat_.max() / 1e3;
+    snap.queueMeanMs = queueUs_.mean() / 1e3;
+    return snap;
+}
+
+} // namespace cegma

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Request-level telemetry for the serving subsystem: QPS, queue depth,
+ * batch-size distribution, exact latency percentiles, and the memo
+ * cache's hit/eviction counters, exportable as a JSON snapshot.
+ *
+ * Latencies are recorded as integer microseconds into an
+ * `IntDistribution`, so p50/p95/p99 are *exact* over the recorded
+ * samples (no histogram bucketing error) — the same machinery the
+ * paper's reuse-distance CDFs use.
+ */
+
+#ifndef CEGMA_SERVE_METRICS_HH
+#define CEGMA_SERVE_METRICS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace cegma {
+
+/** A point-in-time copy of every serving metric. */
+struct MetricsSnapshot
+{
+    // Request accounting.
+    uint64_t submitted = 0; ///< submit() calls, admitted or not
+    uint64_t completed = 0; ///< requests whose result was delivered
+    uint64_t rejected = 0;  ///< refused at admission (full / shutdown)
+    uint64_t batches = 0;   ///< scoring passes flushed
+    uint64_t queueDepth = 0; ///< pending requests at snapshot time
+
+    // Throughput over the window from the first submit to the
+    // snapshot.
+    double elapsedSec = 0.0;
+    double qps = 0.0; ///< completed / elapsedSec
+
+    // Batch-size distribution across flushes.
+    double batchMean = 0.0;
+    uint64_t batchMax = 0;
+
+    // End-to-end latency (submit -> result), milliseconds.
+    double latencyP50Ms = 0.0;
+    double latencyP95Ms = 0.0;
+    double latencyP99Ms = 0.0;
+    double latencyMeanMs = 0.0;
+    double latencyMaxMs = 0.0;
+
+    // Queue wait (submit -> batch flush), milliseconds.
+    double queueMeanMs = 0.0;
+
+    // Memo cache counters (filled by the service).
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t cacheEvictions = 0;
+    uint64_t cacheBytes = 0;
+    double cacheHitRate = 0.0;
+
+    // Dedup telemetry (filled by the service).
+    uint64_t dedupRowsTotal = 0;
+    uint64_t dedupRowsUnique = 0;
+    double dedupSkipRatio = 0.0;
+
+    /** One JSON object, keys in the order above. */
+    std::string toJson() const;
+};
+
+/**
+ * Mutex-guarded metric sink. One instance per service; the dispatcher
+ * and the submitting threads record concurrently, and `snapshot()` can
+ * be taken at any time (including mid-load).
+ */
+class ServiceMetrics
+{
+  public:
+    /** Count one submit() call (the admission verdict comes apart). */
+    void recordSubmitted();
+
+    /** Count one refused admission. */
+    void recordRejected();
+
+    /** Count one flushed scoring pass of `batch_size` requests. */
+    void recordBatch(uint64_t batch_size);
+
+    /** Record one delivered request's queue wait and total latency. */
+    void recordCompleted(double queue_us, double total_us);
+
+    /**
+     * Snapshot everything recorded so far. Cache and dedup fields are
+     * left zero — the service overlays them from its own counters.
+     *
+     * @param queue_depth current admission-queue depth
+     */
+    MetricsSnapshot snapshot(uint64_t queue_depth) const;
+
+  private:
+    mutable std::mutex mutex_;
+    bool started_ = false;
+    std::chrono::steady_clock::time_point firstSubmit_;
+    uint64_t submitted_ = 0;
+    uint64_t completed_ = 0;
+    uint64_t rejected_ = 0;
+    uint64_t batches_ = 0;
+    RunningStat batchSizes_;
+    IntDistribution latencyUs_;
+    RunningStat latencyStat_;
+    RunningStat queueUs_;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_SERVE_METRICS_HH

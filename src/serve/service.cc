@@ -1,0 +1,169 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/parallel.hh"
+
+namespace cegma {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+msSince(SteadyClock::time_point start, SteadyClock::time_point now)
+{
+    return std::chrono::duration<double, std::milli>(now - start)
+        .count();
+}
+
+/** Best-k hits, score-descending, ties broken by candidate index. */
+std::vector<SearchHit>
+topKHits(const std::vector<double> &scores, uint32_t k)
+{
+    std::vector<SearchHit> hits;
+    hits.reserve(scores.size());
+    for (size_t c = 0; c < scores.size(); ++c)
+        hits.push_back(SearchHit{static_cast<uint32_t>(c), scores[c]});
+    auto better = [](const SearchHit &a, const SearchHit &b) {
+        if (a.score != b.score)
+            return a.score > b.score;
+        return a.candidate < b.candidate;
+    };
+    size_t keep = std::min<size_t>(k, hits.size());
+    std::partial_sort(hits.begin(), hits.begin() + keep, hits.end(),
+                      better);
+    hits.resize(keep);
+    return hits;
+}
+
+} // namespace
+
+SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus)
+    : config_(config), corpus_(std::move(corpus)),
+      model_(makeModel(config.model, config.modelSeed)),
+      memo_(MemoConfig{config.memoBytes, config.memoShards}),
+      batcher_(config.maxBatch,
+               std::chrono::microseconds(config.flushMicros),
+               config.maxQueueDepth)
+{
+    InferenceOptions infer;
+    infer.dedupMatching = config_.dedup;
+    infer.memo = config_.memo ? &memo_ : nullptr;
+    infer.dedupStats = config_.dedup ? &dedupStats_ : nullptr;
+    model_->setInferenceOptions(infer);
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+SearchService::~SearchService()
+{
+    shutdown();
+}
+
+std::future<QueryResult>
+SearchService::submit(Graph query)
+{
+    metrics_.recordSubmitted();
+    Pending pending;
+    pending.query = std::move(query);
+    pending.submitted = SteadyClock::now();
+    std::future<QueryResult> future = pending.promise.get_future();
+    if (stopping_.load(std::memory_order_acquire) ||
+        !batcher_.enqueue(std::move(pending))) {
+        metrics_.recordRejected();
+        // The move only happens on successful enqueue, so the promise
+        // is still ours to fail on either rejection path.
+        std::promise<QueryResult> rejected;
+        future = rejected.get_future();
+        rejected.set_exception(std::make_exception_ptr(
+            std::runtime_error("SearchService: request rejected "
+                               "(shutting down or queue full)")));
+    }
+    return future;
+}
+
+void
+SearchService::shutdown()
+{
+    stopping_.store(true, std::memory_order_release);
+    batcher_.close();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+}
+
+MetricsSnapshot
+SearchService::metrics() const
+{
+    MetricsSnapshot snap = metrics_.snapshot(batcher_.depth());
+    snap.cacheHits = memo_.hits();
+    snap.cacheMisses = memo_.misses();
+    snap.cacheEvictions = memo_.evictions();
+    snap.cacheBytes = memo_.bytes();
+    uint64_t lookups = snap.cacheHits + snap.cacheMisses;
+    snap.cacheHitRate =
+        lookups > 0 ? static_cast<double>(snap.cacheHits) /
+                          static_cast<double>(lookups)
+                    : 0.0;
+    snap.dedupRowsTotal =
+        dedupStats_.rowsTotal.load(std::memory_order_relaxed);
+    snap.dedupRowsUnique =
+        dedupStats_.rowsUnique.load(std::memory_order_relaxed);
+    snap.dedupSkipRatio = dedupStats_.skipRatio();
+    return snap;
+}
+
+void
+SearchService::dispatchLoop()
+{
+    for (;;) {
+        std::vector<Pending> batch = batcher_.nextBatch();
+        if (batch.empty())
+            return; // closed and drained
+        scoreBatch(batch);
+    }
+}
+
+void
+SearchService::scoreBatch(std::vector<Pending> &batch)
+{
+    const size_t num_queries = batch.size();
+    const size_t num_candidates = corpus_.size();
+    const size_t num_pairs = num_queries * num_candidates;
+    SteadyClock::time_point flushed = SteadyClock::now();
+    metrics_.recordBatch(num_queries);
+
+    // One pair-parallel scoring pass for the whole batch: every
+    // (query, candidate) pair is an independent task writing its own
+    // slot, so any thread count produces the same bits, and the memo
+    // cache amortizes per-graph work across all queries in the batch.
+    std::vector<double> scores(num_pairs, 0.0);
+    if (num_pairs > 0) {
+        parallelFor(0, num_pairs, 1, [&](size_t i0, size_t i1) {
+            for (size_t i = i0; i < i1; ++i) {
+                GraphPair pair;
+                pair.target = corpus_[i % num_candidates];
+                pair.query = batch[i / num_candidates].query;
+                scores[i] = model_->score(pair);
+            }
+        });
+    }
+
+    SteadyClock::time_point done = SteadyClock::now();
+    for (size_t q = 0; q < num_queries; ++q) {
+        QueryResult result;
+        result.scores.assign(
+            scores.begin() + static_cast<ptrdiff_t>(q * num_candidates),
+            scores.begin() +
+                static_cast<ptrdiff_t>((q + 1) * num_candidates));
+        result.topK = topKHits(result.scores, config_.topK);
+        result.queueMs = msSince(batch[q].submitted, flushed);
+        result.totalMs = msSince(batch[q].submitted, done);
+        result.batchSize = static_cast<uint32_t>(num_queries);
+        metrics_.recordCompleted(result.queueMs * 1e3,
+                                 result.totalMs * 1e3);
+        batch[q].promise.set_value(std::move(result));
+    }
+}
+
+} // namespace cegma

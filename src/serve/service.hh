@@ -1,0 +1,161 @@
+/**
+ * @file
+ * `SearchService` — the request-level serving layer over the
+ * functional GMN models: graph-similarity search of a query graph
+ * against an indexed candidate corpus, with micro-batched admission,
+ * a bounded cross-request memo cache, and full latency telemetry.
+ *
+ * Execution model: `submit()` hands a query to the admission queue and
+ * returns a future. A single dispatcher thread pulls micro-batches
+ * (flush on batch size or deadline — see serve/batcher.hh) and scores
+ * each batch in ONE pair-parallel pass over the shared thread pool:
+ * all batch_size x corpus pairs are independent tasks, so the
+ * dedup/memo machinery amortizes across every request in the batch
+ * (a corpus graph's WL coloring and embedding chain are built once,
+ * then hit from every concurrent query).
+ *
+ * Determinism: every score the service returns is bit-identical to
+ * what a serial `runFunctional` over the same (candidate, query) pairs
+ * produces, at any thread count and any batch size. The argument
+ * composes three invariants the repo already enforces:
+ *   1. each pair's forward pass is bit-deterministic regardless of the
+ *      pool size (parallel.hh chunking contract);
+ *   2. pairs are scored into disjoint output slots, so pair-level
+ *      parallelism cannot reorder any arithmetic *within* a pair;
+ *   3. the memo cache only replays deterministic per-graph results —
+ *      a hit returns exactly the bits a rebuild would produce, so
+ *      cache state (including evictions) never leaks into scores.
+ * Batching therefore affects *when* a pair is scored, never *what* it
+ * computes — the property tests/serve_test.cc proves at 1/2/8 threads
+ * and batch sizes 1/4/32.
+ */
+
+#ifndef CEGMA_SERVE_SERVICE_HH
+#define CEGMA_SERVE_SERVICE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gmn/memo.hh"
+#include "gmn/model.hh"
+#include "graph/dataset.hh"
+#include "serve/batcher.hh"
+#include "serve/metrics.hh"
+
+namespace cegma {
+
+/** Static configuration of one `SearchService`. */
+struct ServeConfig
+{
+    ModelId model = ModelId::GraphSim;
+    uint64_t modelSeed = 1234;
+
+    /** Elastic knobs (bit-neutral; see the determinism note above). */
+    bool dedup = true;
+    bool memo = true;
+
+    /** Memo byte budget; bounded by default — serving must not leak. */
+    size_t memoBytes = size_t{256} << 20;
+    uint32_t memoShards = 8;
+
+    /** Micro-batcher: flush on size or deadline, whichever first. */
+    uint32_t maxBatch = 16;
+    uint32_t flushMicros = 2000;
+
+    /** Admission bound: submits past this depth are rejected. */
+    size_t maxQueueDepth = 4096;
+
+    /** Results keep the best `topK` candidates (and all raw scores). */
+    uint32_t topK = 10;
+};
+
+/** One ranked search result. */
+struct SearchHit
+{
+    uint32_t candidate = 0; ///< corpus index
+    double score = 0.0;
+};
+
+/** What a completed query resolves to. */
+struct QueryResult
+{
+    /** Per-candidate similarity scores, in corpus order. */
+    std::vector<double> scores;
+
+    /** Best `topK` hits, score-descending (ties: lower index first). */
+    std::vector<SearchHit> topK;
+
+    double queueMs = 0.0; ///< submit -> batch flush
+    double totalMs = 0.0; ///< submit -> result ready
+    uint32_t batchSize = 0; ///< size of the batch this query rode in
+};
+
+/**
+ * A graph-similarity search service over a fixed corpus. Construction
+ * builds the model and starts the dispatcher; destruction (or
+ * `shutdown()`) stops admission, drains every admitted request, and
+ * joins. Thread-safe: any number of threads may `submit()`
+ * concurrently with each other, with `metrics()`, and with
+ * `shutdown()`.
+ */
+class SearchService
+{
+  public:
+    SearchService(ServeConfig config, std::vector<Graph> corpus);
+    ~SearchService();
+
+    SearchService(const SearchService &) = delete;
+    SearchService &operator=(const SearchService &) = delete;
+
+    /**
+     * Submit one query for scoring against the whole corpus.
+     *
+     * @return a future that resolves to the result, or (when the
+     *         service is shutting down or the admission queue is full)
+     *         throws `std::runtime_error` from `get()`
+     */
+    std::future<QueryResult> submit(Graph query);
+
+    /**
+     * Stop admitting, score every already-admitted request, and join
+     * the dispatcher. Idempotent; called by the destructor.
+     */
+    void shutdown();
+
+    /** Live metrics, including memo-cache and dedup counters. */
+    MetricsSnapshot metrics() const;
+
+    const ServeConfig &config() const { return config_; }
+    size_t corpusSize() const { return corpus_.size(); }
+    const MemoCache &memo() const { return memo_; }
+
+  private:
+    struct Pending
+    {
+        Graph query;
+        std::promise<QueryResult> promise;
+        std::chrono::steady_clock::time_point submitted;
+    };
+
+    void dispatchLoop();
+    void scoreBatch(std::vector<Pending> &batch);
+
+    ServeConfig config_;
+    std::vector<Graph> corpus_;
+    std::unique_ptr<GmnModel> model_;
+    MemoCache memo_;
+    DedupStats dedupStats_;
+    ServiceMetrics metrics_;
+    MicroBatcher<Pending> batcher_;
+    std::atomic<bool> stopping_{false};
+    std::thread dispatcher_;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_SERVE_SERVICE_HH

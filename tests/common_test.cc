@@ -166,6 +166,38 @@ TEST(IntDistribution, MergeAndWeights)
     EXPECT_DOUBLE_EQ(a.fractionBelow(4), 0.5);
 }
 
+TEST(IntDistribution, ValueAtQuantile)
+{
+    IntDistribution d;
+    EXPECT_EQ(d.valueAtQuantile(0.5), 0u); // empty
+
+    for (uint64_t v = 1; v <= 100; ++v)
+        d.add(v);
+    EXPECT_EQ(d.valueAtQuantile(0.0), 1u);
+    EXPECT_EQ(d.valueAtQuantile(0.01), 1u);
+    EXPECT_EQ(d.valueAtQuantile(0.5), 50u);
+    EXPECT_EQ(d.valueAtQuantile(0.95), 95u);
+    EXPECT_EQ(d.valueAtQuantile(0.99), 99u);
+    EXPECT_EQ(d.valueAtQuantile(1.0), 100u);
+    EXPECT_EQ(d.valueAtQuantile(2.0), 100u);  // clamped
+    EXPECT_EQ(d.valueAtQuantile(-1.0), 1u);   // clamped
+}
+
+TEST(IntDistribution, ValueAtQuantileWeighted)
+{
+    IntDistribution d;
+    d.addWeighted(10, 9);
+    d.addWeighted(1000, 1);
+    EXPECT_EQ(d.valueAtQuantile(0.5), 10u);
+    EXPECT_EQ(d.valueAtQuantile(0.9), 10u);
+    EXPECT_EQ(d.valueAtQuantile(0.91), 1000u);
+
+    IntDistribution single;
+    single.add(42);
+    EXPECT_EQ(single.valueAtQuantile(0.5), 42u);
+    EXPECT_EQ(single.valueAtQuantile(0.99), 42u);
+}
+
 TEST(StatSet, IncrementAndMerge)
 {
     StatSet s;

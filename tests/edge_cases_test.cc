@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "accel/runner.hh"
 #include "accel/window.hh"
 #include "common/rng.hh"
@@ -128,6 +130,60 @@ TEST(EdgeCases, SubstituteOnTinyGraphIsSafe)
     Graph h = g.substituteEdges(4, rng);
     EXPECT_EQ(h.numNodes(), 2u);
     EXPECT_EQ(h.numEdges(), 1u);
+}
+
+TEST(EdgeCases, RunFunctionalOnEmptyDataset)
+{
+    Dataset empty;
+    empty.spec = datasetSpec(DatasetId::AIDS);
+    for (ModelId mid : allModels()) {
+        FunctionalOptions options;
+        options.dedup = true;
+        options.memo = true;
+        FunctionalResult result = runFunctional(mid, empty, options);
+        EXPECT_TRUE(result.scores.empty());
+        EXPECT_DOUBLE_EQ(result.msPerPair(), 0.0);
+        EXPECT_DOUBLE_EQ(result.dedupSkipRatio(), 0.0);
+        EXPECT_DOUBLE_EQ(result.memoHitRate(), 0.0);
+    }
+}
+
+TEST(EdgeCases, RunFunctionalMaxPairsBeyondDatasetSize)
+{
+    Dataset ds = makeCloneSearchDataset(DatasetId::AIDS, 2, 2);
+    ASSERT_EQ(ds.pairs.size(), 4u);
+    FunctionalResult capped =
+        runFunctional(ModelId::GraphSim, ds, {}, 1000);
+    FunctionalResult full = runFunctional(ModelId::GraphSim, ds, {});
+    ASSERT_EQ(capped.scores.size(), 4u);
+    for (size_t i = 0; i < full.scores.size(); ++i)
+        EXPECT_EQ(capped.scores[i], full.scores[i]);
+}
+
+TEST(EdgeCases, SingleNodePairThroughEveryModelAndKnob)
+{
+    Dataset ds;
+    ds.spec = datasetSpec(DatasetId::AIDS);
+    ds.pairs.push_back(
+        pairOf(Graph::fromEdges(1, {}), Graph::fromEdges(1, {})));
+    for (ModelId mid : allModels()) {
+        FunctionalResult dense = runFunctional(mid, ds);
+        ASSERT_EQ(dense.scores.size(), 1u);
+        EXPECT_TRUE(std::isfinite(dense.scores[0]));
+        // Every elastic knob combination must produce the same bit.
+        for (bool dedup : {false, true}) {
+            for (bool memo : {false, true}) {
+                FunctionalOptions options;
+                options.dedup = dedup;
+                options.memo = memo;
+                FunctionalResult result = runFunctional(mid, ds, options);
+                ASSERT_EQ(result.scores.size(), 1u);
+                EXPECT_EQ(result.scores[0], dense.scores[0])
+                    << modelConfig(mid).name << " dedup=" << dedup
+                    << " memo=" << memo;
+            }
+        }
+    }
 }
 
 TEST(EdgeCases, CustomConfigOneLayer)

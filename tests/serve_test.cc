@@ -1,0 +1,432 @@
+/**
+ * @file
+ * The serving subsystem's proof obligations:
+ *   - the bounded sharded LRU keeps its byte-budget invariant and
+ *     evicts least-recently-used first;
+ *   - the bounded MemoCache evicts under pressure without changing a
+ *     single produced bit;
+ *   - the memo is structurally a no-op for cross-feedback models
+ *     (GMN-Li never touches the embedding cache);
+ *   - `SearchService` scores are bit-identical to a serial
+ *     `runFunctional` at thread counts {1, 2, 8} x batch sizes
+ *     {1, 4, 32};
+ *   - micro-batcher flush/bound semantics;
+ *   - concurrent submit/shutdown is safe (run under TSan by ci.sh) and
+ *     loses no request: everything submitted is completed or rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "accel/runner.hh"
+#include "common/parallel.hh"
+#include "common/sharded_lru.hh"
+#include "gmn/memo.hh"
+#include "graph/dataset.hh"
+#include "serve/batcher.hh"
+#include "serve/loadgen.hh"
+#include "serve/service.hh"
+
+namespace cegma {
+namespace {
+
+// ---- ShardedLruCache ------------------------------------------------
+
+using IntCache = ShardedLruCache<int, int>;
+
+std::shared_ptr<const int>
+val(int v)
+{
+    return std::make_shared<const int>(v);
+}
+
+TEST(ShardedLru, BudgetNeverExceeded)
+{
+    IntCache cache(100, 4);
+    for (int k = 0; k < 200; ++k) {
+        cache.insert(k, val(k), static_cast<size_t>(1 + k % 13));
+        ASSERT_LE(cache.bytes(), 100u) << "after insert " << k;
+    }
+    EXPECT_GT(cache.evictions(), 0u);
+    EXPECT_GT(cache.size(), 0u);
+}
+
+TEST(ShardedLru, EvictsLeastRecentlyUsedFirst)
+{
+    // One shard makes the recency order global and testable.
+    IntCache cache(30, 1);
+    cache.insert(1, val(1), 10);
+    cache.insert(2, val(2), 10);
+    cache.insert(3, val(3), 10);
+    // Touch 1 so 2 becomes the LRU entry.
+    ASSERT_NE(cache.find(1), nullptr);
+    cache.insert(4, val(4), 10);
+    EXPECT_EQ(cache.find(2), nullptr); // evicted
+    EXPECT_NE(cache.find(1), nullptr);
+    EXPECT_NE(cache.find(3), nullptr);
+    EXPECT_NE(cache.find(4), nullptr);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.bytes(), 30u);
+}
+
+TEST(ShardedLru, OversizedValueServedUncached)
+{
+    IntCache cache(100, 4); // per-shard budget: 25 bytes
+    auto returned = cache.insert(7, val(7), 50);
+    ASSERT_NE(returned, nullptr);
+    EXPECT_EQ(*returned, 7); // caller still gets its value
+    EXPECT_EQ(cache.find(7), nullptr);
+    EXPECT_EQ(cache.oversized(), 1u);
+    EXPECT_EQ(cache.bytes(), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedLru, FirstInsertWins)
+{
+    IntCache cache(100, 1);
+    auto first = cache.insert(5, val(50), 10);
+    auto second = cache.insert(5, val(99), 10);
+    EXPECT_EQ(*second, 50); // the resident value, not the loser's
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.bytes(), 10u);
+}
+
+TEST(ShardedLru, UnboundedWhenBudgetZero)
+{
+    IntCache cache(0, 2);
+    for (int k = 0; k < 64; ++k)
+        cache.insert(k, val(k), 1 << 20);
+    EXPECT_EQ(cache.size(), 64u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.oversized(), 0u);
+}
+
+// ---- Bounded MemoCache in the functional path -----------------------
+
+TEST(BoundedMemo, EvictsUnderPressureWithoutChangingBits)
+{
+    Dataset ds = makeCloneSearchDataset(DatasetId::AIDS, 5, 3);
+
+    FunctionalOptions unbounded;
+    unbounded.memo = true;
+    FunctionalResult reference = runFunctional(ModelId::GraphSim, ds,
+                                               unbounded);
+    EXPECT_EQ(reference.memoEvictions, 0u);
+
+    FunctionalOptions bounded = unbounded;
+    // Small enough that the 8 distinct graphs' embedding chains cannot
+    // all stay resident; one shard keeps the LRU order global.
+    bounded.memoBytes = size_t{48} << 10;
+    bounded.memoShards = 1;
+    FunctionalResult result = runFunctional(ModelId::GraphSim, ds,
+                                            bounded);
+
+    EXPECT_GT(result.memoEvictions, 0u);
+    EXPECT_LE(result.memoBytes, bounded.memoBytes);
+    ASSERT_EQ(result.scores.size(), reference.scores.size());
+    for (size_t i = 0; i < result.scores.size(); ++i)
+        EXPECT_EQ(result.scores[i], reference.scores[i]) << "pair " << i;
+}
+
+TEST(BoundedMemo, CrossFeedbackModelNeverTouchesEmbeddingCache)
+{
+    Dataset ds = makeCloneSearchDataset(DatasetId::AIDS, 2, 2);
+
+    // GMN-Li's embeddings depend on the partner graph: the memo must
+    // skip the embedding cache entirely (lookups would be pure
+    // overhead), while WL colorings stay memoizable.
+    {
+        MemoCache memo;
+        auto model = makeModel(ModelId::GmnLi);
+        InferenceOptions infer;
+        infer.memo = &memo;
+        model->setInferenceOptions(infer);
+        for (const GraphPair &pair : ds.pairs)
+            model->score(pair);
+        EXPECT_EQ(memo.embeddingLookups(), 0u);
+        EXPECT_GT(memo.wlLookups(), 0u);
+    }
+
+    // A non-cross-feedback model does use it.
+    {
+        MemoCache memo;
+        auto model = makeModel(ModelId::GraphSim);
+        InferenceOptions infer;
+        infer.memo = &memo;
+        model->setInferenceOptions(infer);
+        for (const GraphPair &pair : ds.pairs)
+            model->score(pair);
+        EXPECT_GT(memo.embeddingLookups(), 0u);
+    }
+}
+
+// ---- MicroBatcher ---------------------------------------------------
+
+TEST(MicroBatcher, SizeTriggerSplitsIntoMaxBatchChunks)
+{
+    MicroBatcher<int> batcher(2, std::chrono::microseconds(1000000), 64);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(batcher.enqueue(int{i}));
+    EXPECT_EQ(batcher.nextBatch(), (std::vector<int>{0, 1}));
+    EXPECT_EQ(batcher.nextBatch(), (std::vector<int>{2, 3}));
+    batcher.close();
+    EXPECT_EQ(batcher.nextBatch(), (std::vector<int>{4}));
+    EXPECT_TRUE(batcher.nextBatch().empty()); // closed and drained
+}
+
+TEST(MicroBatcher, DeadlineFlushesPartialBatch)
+{
+    // maxBatch far above what arrives: only the deadline can flush.
+    MicroBatcher<int> batcher(64, std::chrono::microseconds(500), 64);
+    ASSERT_TRUE(batcher.enqueue(7));
+    std::vector<int> batch = batcher.nextBatch();
+    EXPECT_EQ(batch, (std::vector<int>{7}));
+}
+
+TEST(MicroBatcher, DepthBoundAndCloseRefuseAdmission)
+{
+    MicroBatcher<int> batcher(8, std::chrono::microseconds(1000), 2);
+    EXPECT_TRUE(batcher.enqueue(1));
+    EXPECT_TRUE(batcher.enqueue(2));
+    EXPECT_FALSE(batcher.enqueue(3)); // at max_depth
+    EXPECT_EQ(batcher.depth(), 2u);
+    batcher.close();
+    EXPECT_FALSE(batcher.enqueue(4)); // closed
+    EXPECT_TRUE(batcher.closed());
+}
+
+// ---- SearchService --------------------------------------------------
+
+constexpr uint32_t kQueries = 5;
+constexpr uint32_t kCandidates = 3;
+
+/** Serial reference scores over the same (candidate, query) grid. */
+std::vector<double>
+serialReferenceScores(ModelId model)
+{
+    ThreadPool::instance().setThreads(1);
+    Dataset ds = makeCloneSearchDataset(DatasetId::AIDS, kQueries,
+                                        kCandidates);
+    FunctionalResult result = runFunctional(model, ds);
+    return result.scores;
+}
+
+/**
+ * Submit every query to a fresh service and check each result against
+ * the reference grid (`reference[q * C + c]` is query q vs candidate
+ * c — the clone-search pair order).
+ */
+void
+expectServiceMatchesReference(ModelId model,
+                              const std::vector<double> &reference,
+                              uint32_t threads, uint32_t batch)
+{
+    ThreadPool::instance().setThreads(threads);
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, kQueries, kCandidates);
+
+    ServeConfig config;
+    config.model = model;
+    config.dedup = true;
+    config.memo = true;
+    config.maxBatch = batch;
+    config.flushMicros = 200; // let the deadline trigger fire too
+    config.topK = kCandidates;
+    SearchService service(config, corpus.candidates);
+
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(corpus.queries.size());
+    for (const Graph &query : corpus.queries)
+        futures.push_back(service.submit(query));
+
+    for (size_t q = 0; q < futures.size(); ++q) {
+        QueryResult result = futures[q].get();
+        ASSERT_EQ(result.scores.size(), kCandidates);
+        for (size_t c = 0; c < kCandidates; ++c) {
+            EXPECT_EQ(result.scores[c], reference[q * kCandidates + c])
+                << modelConfig(model).name << " threads=" << threads
+                << " batch=" << batch << " q=" << q << " c=" << c;
+        }
+        EXPECT_GE(result.batchSize, 1u);
+        EXPECT_LE(result.batchSize, batch);
+    }
+    service.shutdown();
+
+    MetricsSnapshot snap = service.metrics();
+    EXPECT_EQ(snap.completed, corpus.queries.size());
+    EXPECT_EQ(snap.rejected, 0u);
+    EXPECT_GT(snap.batches, 0u);
+}
+
+TEST(SearchService, BitIdenticalToSerialAcrossThreadsAndBatches)
+{
+    std::vector<double> reference =
+        serialReferenceScores(ModelId::GraphSim);
+    for (uint32_t threads : {1u, 2u, 8u}) {
+        for (uint32_t batch : {1u, 4u, 32u}) {
+            expectServiceMatchesReference(ModelId::GraphSim, reference,
+                                          threads, batch);
+        }
+    }
+    ThreadPool::instance().setThreads(0);
+}
+
+TEST(SearchService, BitIdenticalForEveryModel)
+{
+    for (ModelId model : allModels()) {
+        std::vector<double> reference = serialReferenceScores(model);
+        expectServiceMatchesReference(model, reference, 2, 4);
+    }
+    ThreadPool::instance().setThreads(0);
+}
+
+TEST(SearchService, TopKIsSortedAndConsistent)
+{
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, 1, 6);
+    ServeConfig config;
+    config.topK = 3;
+    config.flushMicros = 200;
+    SearchService service(config, corpus.candidates);
+    QueryResult result = service.submit(corpus.queries[0]).get();
+    ASSERT_EQ(result.scores.size(), 6u);
+    ASSERT_EQ(result.topK.size(), 3u);
+    for (size_t i = 0; i + 1 < result.topK.size(); ++i)
+        EXPECT_GE(result.topK[i].score, result.topK[i + 1].score);
+    for (const SearchHit &hit : result.topK) {
+        ASSERT_LT(hit.candidate, result.scores.size());
+        EXPECT_EQ(hit.score, result.scores[hit.candidate]);
+    }
+    // The best hit dominates all scores.
+    for (double s : result.scores)
+        EXPECT_GE(result.topK.front().score, s);
+}
+
+TEST(SearchService, EmptyCorpusYieldsEmptyResults)
+{
+    ServeConfig config;
+    config.flushMicros = 200;
+    SearchService service(config, {});
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, 1, 1);
+    QueryResult result = service.submit(corpus.queries[0]).get();
+    EXPECT_TRUE(result.scores.empty());
+    EXPECT_TRUE(result.topK.empty());
+}
+
+TEST(SearchService, SubmitAfterShutdownIsRejected)
+{
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, 1, 2);
+    ServeConfig config;
+    config.flushMicros = 200;
+    SearchService service(config, corpus.candidates);
+    service.shutdown();
+    std::future<QueryResult> future = service.submit(corpus.queries[0]);
+    EXPECT_THROW(future.get(), std::runtime_error);
+    MetricsSnapshot snap = service.metrics();
+    EXPECT_EQ(snap.rejected, 1u);
+}
+
+TEST(SearchService, ConcurrentSubmitAndShutdownLosesNothing)
+{
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, 4, 2);
+    ServeConfig config;
+    config.maxBatch = 4;
+    config.flushMicros = 100;
+    SearchService service(config, corpus.candidates);
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 6;
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> rejected{0};
+    std::vector<std::thread> submitters;
+    submitters.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        submitters.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                const Graph &query =
+                    corpus.queries[static_cast<size_t>(t + i) %
+                                   corpus.queries.size()];
+                std::future<QueryResult> future = service.submit(query);
+                try {
+                    QueryResult result = future.get();
+                    EXPECT_EQ(result.scores.size(),
+                              corpus.candidates.size());
+                    ++completed;
+                } catch (const std::runtime_error &) {
+                    ++rejected;
+                }
+            }
+        });
+    }
+    // Race shutdown against the submitters: admitted requests must
+    // still complete, late ones must reject — never hang, never drop.
+    service.shutdown();
+    for (std::thread &thread : submitters)
+        thread.join();
+
+    EXPECT_EQ(completed + rejected,
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    MetricsSnapshot snap = service.metrics();
+    EXPECT_EQ(snap.completed, completed.load());
+    EXPECT_EQ(snap.rejected, rejected.load());
+    EXPECT_EQ(snap.submitted, snap.completed + snap.rejected);
+}
+
+TEST(SearchService, MetricsReportLatencyAndCacheActivity)
+{
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, 3, 3);
+    ServeConfig config;
+    config.dedup = true;
+    config.memo = true;
+    config.maxBatch = 4;
+    config.flushMicros = 200;
+    SearchService service(config, corpus.candidates);
+    LoadGenResult run =
+        runClosedLoop(service, corpus.queries, 9, 2);
+    service.shutdown();
+
+    EXPECT_EQ(run.errors, 0u);
+    EXPECT_EQ(run.metrics.completed, 9u);
+    EXPECT_GT(run.metrics.qps, 0.0);
+    EXPECT_GT(run.metrics.latencyP50Ms, 0.0);
+    EXPECT_GE(run.metrics.latencyP95Ms, run.metrics.latencyP50Ms);
+    EXPECT_GE(run.metrics.latencyP99Ms, run.metrics.latencyP95Ms);
+    EXPECT_GE(run.metrics.latencyMaxMs, run.metrics.latencyP99Ms);
+    // Every candidate recurs across requests: the memo must hit.
+    EXPECT_GT(run.metrics.cacheHits, 0u);
+    EXPECT_GT(run.metrics.cacheHitRate, 0.0);
+    EXPECT_GT(run.metrics.dedupRowsTotal, 0u);
+    std::string json = run.metrics.toJson();
+    EXPECT_NE(json.find("\"completed\": 9"), std::string::npos);
+    EXPECT_NE(json.find("\"latency_p99_ms\""), std::string::npos);
+}
+
+TEST(SearchService, OpenLoopScheduleIsDeterministic)
+{
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, 2, 2);
+    ServeConfig config;
+    config.maxBatch = 4;
+    config.flushMicros = 200;
+    SearchService service(config, corpus.candidates);
+    LoadGenResult run =
+        runOpenLoop(service, corpus.queries, 8, 200.0, 3);
+    service.shutdown();
+    EXPECT_EQ(run.errors, 0u);
+    EXPECT_EQ(run.metrics.completed, 8u);
+    EXPECT_DOUBLE_EQ(run.offeredQps, 200.0);
+    EXPECT_GT(run.achievedQps, 0.0);
+}
+
+} // namespace
+} // namespace cegma

@@ -12,9 +12,22 @@
  *   bench_to_json [--out FILE] [--threads LIST] [--min-ms M]
  *   bench_to_json --e2e [--out FILE] [--threads LIST] [--queries Q]
  *                 [--candidates C] [--reps R]
+ *   bench_to_json --serving [--out FILE] [--threads LIST]
+ *                 [--queries Q] [--candidates C] [--requests N]
+ *                 [--load F]
  *
  * Defaults: --out BENCH_kernels.json, --threads 1,2,4, --min-ms 200.
  * `--out -` writes to stdout.
+ *
+ * `--serving` drives the src/serve SearchService with the open-loop
+ * Poisson load generator over the RD-B clone-search corpus (Q queries,
+ * C candidates): for each model, the offered load is calibrated to
+ * `--load` (default 0.6) of the measured *dense* capacity, then both
+ * the dense and the dedup+memo service score the byte-identical
+ * arrival schedule. Records {model, mode, offered_qps, achieved_qps,
+ * p50/p95/p99 ms, batch mean, cache hit rate, dedup skip ratio} land
+ * in BENCH_serving.json — equal load by construction, so "dedup+memo
+ * no slower" is directly readable off the percentiles.
  *
  * `--e2e` switches to the end-to-end functional-inference sweep: for
  * each model, run `runFunctional` over a duplicate-heavy RD-B
@@ -43,6 +56,8 @@
 #include "gmn/similarity.hh"
 #include "graph/dataset.hh"
 #include "hash/xxhash.hh"
+#include "serve/loadgen.hh"
+#include "serve/service.hh"
 #include "tensor/matrix.hh"
 
 using namespace cegma;
@@ -251,6 +266,121 @@ writeE2eJson(const std::vector<E2eRecord> &records,
         std::fclose(out);
 }
 
+// ---- Serving latency/throughput sweep (--serving) -------------------
+
+struct ServingRecord
+{
+    std::string model;
+    std::string mode;
+    uint32_t threads;
+    uint32_t requests;
+    double offeredQps;
+    double achievedQps;
+    double p50Ms;
+    double p95Ms;
+    double p99Ms;
+    double batchMean;
+    double cacheHitRate;
+    double dedupSkipRatio;
+};
+
+/** The serving comparison: baseline vs the full elastic runtime. */
+const struct
+{
+    const char *name;
+    bool dedup;
+    bool memo;
+} kServingModes[] = {
+    {"dense", false, false},
+    {"dedup+memo", true, true},
+};
+
+std::vector<ServingRecord>
+runServingSweep(uint32_t num_queries, uint32_t num_candidates,
+                uint32_t requests, double load_fraction)
+{
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::RD_B, num_queries, num_candidates);
+    const uint32_t threads = ThreadPool::instance().threads();
+    std::vector<ServingRecord> records;
+    for (ModelId model : allModels()) {
+        // Calibrate the offered load from the *dense* per-request cost
+        // (one query scanned across the candidate database) so that
+        // the schedule is feasible for the baseline; both modes then
+        // face the byte-identical arrival times.
+        Dataset probe = makeCloneSearchDataset(DatasetId::RD_B, 1,
+                                               num_candidates);
+        FunctionalResult dense_probe =
+            runFunctional(model, probe, FunctionalOptions{});
+        double request_ms =
+            dense_probe.msPerPair() *
+            static_cast<double>(num_candidates);
+        double offered_qps =
+            request_ms > 0.0 ? load_fraction * 1e3 / request_ms : 1.0;
+
+        for (const auto &mode : kServingModes) {
+            ServeConfig config;
+            config.model = model;
+            config.dedup = mode.dedup;
+            config.memo = mode.memo;
+            config.maxBatch = 8;
+            config.flushMicros = 2000;
+            SearchService service(config, corpus.candidates);
+            LoadGenResult run = runOpenLoop(
+                service, corpus.queries, requests, offered_qps, 11);
+            service.shutdown();
+            if (run.errors > 0)
+                fatal("serving sweep: %zu rejected requests",
+                      static_cast<size_t>(run.errors));
+
+            ServingRecord rec;
+            rec.model = modelConfig(model).name;
+            rec.mode = mode.name;
+            rec.threads = threads;
+            rec.requests = requests;
+            rec.offeredQps = offered_qps;
+            rec.achievedQps = run.achievedQps;
+            rec.p50Ms = run.metrics.latencyP50Ms;
+            rec.p95Ms = run.metrics.latencyP95Ms;
+            rec.p99Ms = run.metrics.latencyP99Ms;
+            rec.batchMean = run.metrics.batchMean;
+            rec.cacheHitRate = run.metrics.cacheHitRate;
+            rec.dedupSkipRatio = run.metrics.dedupSkipRatio;
+            records.push_back(std::move(rec));
+        }
+    }
+    return records;
+}
+
+void
+writeServingJson(const std::vector<ServingRecord> &records,
+                 const std::string &path)
+{
+    FILE *out = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    std::fprintf(out, "[\n");
+    for (size_t i = 0; i < records.size(); ++i) {
+        const ServingRecord &r = records[i];
+        std::fprintf(out,
+                     "  {\"model\": \"%s\", \"mode\": \"%s\", "
+                     "\"threads\": %" PRIu32 ", \"requests\": %" PRIu32
+                     ", \"offered_qps\": %.3f, "
+                     "\"achieved_qps\": %.3f, \"p50_ms\": %.3f, "
+                     "\"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                     "\"batch_mean\": %.2f, \"cache_hit_rate\": %.3f, "
+                     "\"dedup_skip_ratio\": %.3f}%s\n",
+                     r.model.c_str(), r.mode.c_str(), r.threads,
+                     r.requests, r.offeredQps, r.achievedQps, r.p50Ms,
+                     r.p95Ms, r.p99Ms, r.batchMean, r.cacheHitRate,
+                     r.dedupSkipRatio,
+                     i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    if (out != stdout)
+        std::fclose(out);
+}
+
 } // namespace
 
 int
@@ -259,9 +389,12 @@ main(int argc, char **argv)
     setVerbose(false);
     std::string out_path;
     bool e2e = false;
+    bool serving = false;
     uint32_t num_queries = 4;
     uint32_t num_candidates = 4;
     uint32_t reps = 2;
+    uint32_t requests = 48;
+    double load_fraction = 0.6;
     std::vector<uint32_t> thread_counts = {1, 2, 4};
     double min_ms = 200.0;
 
@@ -276,6 +409,14 @@ main(int argc, char **argv)
             out_path = next();
         } else if (arg == "--e2e") {
             e2e = true;
+        } else if (arg == "--serving") {
+            serving = true;
+        } else if (arg == "--requests") {
+            requests = std::max<uint32_t>(
+                1, static_cast<uint32_t>(
+                       std::strtoul(next(), nullptr, 10)));
+        } else if (arg == "--load") {
+            load_fraction = std::strtod(next(), nullptr);
         } else if (arg == "--queries") {
             num_queries =
                 static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
@@ -305,13 +446,30 @@ main(int argc, char **argv)
                          "[--min-ms M]\n"
                          "       %s --e2e [--out FILE|-] "
                          "[--threads LIST] [--queries Q] "
-                         "[--candidates C] [--reps R]\n",
-                         argv[0], argv[0]);
+                         "[--candidates C] [--reps R]\n"
+                         "       %s --serving [--out FILE|-] "
+                         "[--threads LIST] [--queries Q] "
+                         "[--candidates C] [--requests N] [--load F]\n",
+                         argv[0], argv[0], argv[0]);
             return 2;
         }
     }
-    if (out_path.empty())
-        out_path = e2e ? "BENCH_e2e.json" : "BENCH_kernels.json";
+    if (out_path.empty()) {
+        out_path = serving ? "BENCH_serving.json"
+                   : e2e   ? "BENCH_e2e.json"
+                           : "BENCH_kernels.json";
+    }
+
+    if (serving) {
+        ThreadPool::instance().setThreads(thread_counts.back());
+        std::vector<ServingRecord> records = runServingSweep(
+            num_queries, num_candidates, requests, load_fraction);
+        writeServingJson(records, out_path);
+        if (out_path != "-")
+            std::printf("wrote %zu records to %s\n", records.size(),
+                        out_path.c_str());
+        return 0;
+    }
 
     if (e2e) {
         // The e2e sweep runs at one pool size — the last (largest by

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * cegma_serve — load generator + metrics front end for the serving
+ * subsystem (src/serve): build a clone-search corpus, start a
+ * `SearchService`, drive it open-loop (Poisson arrivals at --qps) or
+ * closed-loop (--clients back-to-back workers), and print the latency
+ * and cache metrics table.
+ *
+ * Usage:
+ *   cegma_serve [--model NAME] [--dataset NAME]
+ *               [--candidates C] [--queries Q] [--requests N]
+ *               [--qps R | --clients K]
+ *               [--batch B] [--flush-us U] [--topk K]
+ *               [--dedup=on|off] [--memo=on|off] [--memo-mb M]
+ *               [--threads T] [--seed S] [--json] [--csv]
+ *
+ * Examples:
+ *   cegma_serve --model GraphSim --dataset RD-B --qps 50 --requests 200
+ *   cegma_serve --clients 8 --requests 400       # closed-loop capacity
+ *   cegma_serve --qps 20 --json                  # JSON metrics snapshot
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/table.hh"
+#include "serve/loadgen.hh"
+#include "serve/service.hh"
+
+using namespace cegma;
+
+namespace {
+
+struct Options
+{
+    ModelId model = ModelId::GraphSim;
+    DatasetId dataset = DatasetId::RD_B;
+    uint32_t candidates = 8;
+    uint32_t queries = 8;
+    uint32_t requests = 64;
+    double qps = 0.0;      // > 0 selects open loop
+    uint32_t clients = 4;  // closed loop otherwise
+    uint32_t batch = 16;
+    uint32_t flushUs = 2000;
+    uint32_t topk = 5;
+    bool dedup = true;
+    bool memo = true;
+    size_t memoMb = 256;
+    uint32_t threads = 0;
+    uint64_t seed = 7;
+    bool json = false;
+    bool csv = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--model NAME] [--dataset NAME]\n"
+        "          [--candidates C] [--queries Q] [--requests N]\n"
+        "          [--qps R | --clients K]\n"
+        "          [--batch B] [--flush-us U] [--topk K]\n"
+        "          [--dedup=on|off] [--memo=on|off] [--memo-mb M]\n"
+        "          [--threads T] [--seed S] [--json] [--csv]\n"
+        "models: GMN-Li GraphSim SimGNN\n"
+        "datasets: AIDS COLLAB GITHUB RD-B RD-5K RD-12K\n"
+        "--qps > 0 drives open-loop Poisson arrivals; otherwise\n"
+        "--clients closed-loop workers issue back-to-back requests.\n",
+        argv0);
+    std::exit(2);
+}
+
+ModelId
+parseModel(const std::string &name, const char *argv0)
+{
+    for (ModelId id : allModels()) {
+        if (modelConfig(id).name == name)
+            return id;
+    }
+    std::fprintf(stderr, "unknown model '%s'\n", name.c_str());
+    usage(argv0);
+}
+
+DatasetId
+parseDataset(const std::string &name, const char *argv0)
+{
+    for (DatasetId id : allDatasets()) {
+        if (datasetSpec(id).name == name)
+            return id;
+    }
+    std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+    usage(argv0);
+}
+
+bool
+parseToggle(const std::string &value, const char *flag, const char *argv0)
+{
+    if (value == "on")
+        return true;
+    if (value == "off")
+        return false;
+    std::fprintf(stderr, "%s expects on|off, got '%s'\n", flag,
+                 value.c_str());
+    usage(argv0);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg.rfind("--dedup=", 0) == 0) {
+            opts.dedup = parseToggle(arg.substr(8), "--dedup", argv[0]);
+        } else if (arg.rfind("--memo=", 0) == 0) {
+            opts.memo = parseToggle(arg.substr(7), "--memo", argv[0]);
+        } else if (arg == "--model") {
+            opts.model = parseModel(next(), argv[0]);
+        } else if (arg == "--dataset") {
+            opts.dataset = parseDataset(next(), argv[0]);
+        } else if (arg == "--candidates") {
+            opts.candidates =
+                static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--queries") {
+            opts.queries = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--requests") {
+            opts.requests = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--qps") {
+            opts.qps = std::stod(next());
+        } else if (arg == "--clients") {
+            opts.clients = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--batch") {
+            opts.batch = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--flush-us") {
+            opts.flushUs = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--topk") {
+            opts.topk = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--memo-mb") {
+            opts.memoMb = std::stoul(next());
+        } else if (arg == "--threads") {
+            opts.threads = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--seed") {
+            opts.seed = std::stoull(next());
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--csv") {
+            opts.csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+        }
+    }
+    if (opts.candidates == 0 || opts.queries == 0 || opts.requests == 0)
+        usage(argv[0]);
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    Options opts = parseArgs(argc, argv);
+    if (opts.threads != 0)
+        ThreadPool::instance().setThreads(opts.threads);
+
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        opts.dataset, opts.queries, opts.candidates, opts.seed);
+
+    ServeConfig config;
+    config.model = opts.model;
+    config.dedup = opts.dedup;
+    config.memo = opts.memo;
+    config.memoBytes = opts.memoMb << 20;
+    config.maxBatch = opts.batch;
+    config.flushMicros = opts.flushUs;
+    config.topK = opts.topk;
+
+    SearchService service(config, corpus.candidates);
+    LoadGenResult run =
+        opts.qps > 0.0
+            ? runOpenLoop(service, corpus.queries, opts.requests,
+                          opts.qps, opts.seed)
+            : runClosedLoop(service, corpus.queries, opts.requests,
+                            opts.clients);
+    service.shutdown();
+    MetricsSnapshot snap = run.metrics;
+
+    if (opts.json) {
+        std::printf("%s\n", snap.toJson().c_str());
+        return 0;
+    }
+
+    std::string mode =
+        opts.qps > 0.0
+            ? "open@" + TextTable::fmt(opts.qps, 1) + "qps"
+            : "closed x" + std::to_string(opts.clients);
+    TextTable table({"model", "dataset", "mode", "reqs", "ok", "rej",
+                     "qps", "p50 ms", "p95 ms", "p99 ms", "batch",
+                     "hit%", "skip%", "evict", "cache"});
+    table.addRow({
+        modelConfig(opts.model).name,
+        datasetSpec(opts.dataset).name,
+        mode,
+        std::to_string(snap.submitted),
+        std::to_string(snap.completed),
+        std::to_string(snap.rejected),
+        TextTable::fmt(run.achievedQps, 2),
+        TextTable::fmt(snap.latencyP50Ms, 2),
+        TextTable::fmt(snap.latencyP95Ms, 2),
+        TextTable::fmt(snap.latencyP99Ms, 2),
+        TextTable::fmt(snap.batchMean, 2),
+        TextTable::fmtPct(snap.cacheHitRate),
+        TextTable::fmtPct(snap.dedupSkipRatio),
+        std::to_string(snap.cacheEvictions),
+        TextTable::fmtBytes(static_cast<double>(snap.cacheBytes)),
+    });
+    if (opts.csv) {
+        table.printCsv(std::cout);
+    } else {
+        table.print(std::cout);
+    }
+    return 0;
+}

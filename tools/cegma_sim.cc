@@ -237,7 +237,7 @@ runFunctionalMode(const Options &opts)
                      : allDatasets();
 
     TextTable table({"model", "dataset", "pairs", "dedup", "memo",
-                     "ms/pair", "pairs/s", "memo hit%"});
+                     "ms/pair", "pairs/s", "memo hit%", "skip%"});
     for (DatasetId did : datasets) {
         Dataset ds = makeEvalDataset(did, opts);
         for (ModelId mid : models) {
@@ -260,7 +260,8 @@ runFunctionalMode(const Options &opts)
                  TextTable::fmtCount(result.msPerPair() > 0.0
                                          ? 1e3 / result.msPerPair()
                                          : 0.0),
-                 TextTable::fmt(hit_pct, 1)});
+                 TextTable::fmt(hit_pct, 1),
+                 TextTable::fmt(100.0 * result.dedupSkipRatio(), 1)});
         }
     }
     if (opts.csv) {
