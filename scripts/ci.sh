@@ -2,7 +2,8 @@
 # Tier-1 CI in one command: release build + full test suite, then the
 # ThreadSanitizer configuration of the same suite at CEGMA_THREADS=8
 # (the determinism/bit-exactness contracts are only meaningful if the
-# parallel runtime is race-free).
+# parallel runtime is race-free), then an ASan+UBSan pass of the same
+# suite for memory errors the release build would hide.
 #
 # Usage: scripts/ci.sh [JOBS]   (default: all cores)
 
@@ -18,6 +19,14 @@ cmake --build build -j "$jobs"
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+# Tracing-disabled overhead smoke: the observability layer must be
+# free when off. The gtest bound (2 us/scope, vs the ~10 ns a relaxed
+# load costs) only trips on a structural regression, e.g. a lock on
+# the disabled path.
+echo "== tier-1: tracing-disabled overhead smoke =="
+./build/tests/obs_test \
+    --gtest_filter='TraceTest.DisabledScopeOverheadIsNegligible'
+
 echo "== tsan: instrumented build =="
 cmake -B build-tsan -S . -DCEGMA_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs"
@@ -31,5 +40,12 @@ CEGMA_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j "$jobs"
 echo "== tsan: serve_test (CEGMA_THREADS=8) =="
 CEGMA_THREADS=8 ctest --test-dir build-tsan -R serve_test \
     --output-on-failure
+
+echo "== asan: instrumented build =="
+cmake -B build-asan -S . -DCEGMA_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$jobs"
+
+echo "== asan: ctest =="
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
 echo "== ci.sh: all green =="

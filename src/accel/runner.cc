@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "gmn/memo.hh"
+#include "obs/trace.hh"
 
 namespace cegma {
 
@@ -46,6 +47,7 @@ buildTraces(ModelId model, const Dataset &dataset, uint32_t max_pairs)
     size_t count = dataset.pairs.size();
     if (max_pairs > 0)
         count = std::min<size_t>(count, max_pairs);
+    CEGMA_TRACE_SCOPE("buildTraces");
     std::vector<PairTrace> traces(count);
     // Pair-level parallelism: each chunk writes its own trace slots,
     // and the WL memoization behind `buildTrace` is mutex-protected
@@ -81,8 +83,10 @@ runFunctional(ModelId model, const Dataset &dataset,
     // spread over the thread pool, so the wall clock is an honest
     // whole-machine measurement for every knob combination.
     auto start = std::chrono::steady_clock::now();
-    for (size_t i = 0; i < count; ++i)
+    for (size_t i = 0; i < count; ++i) {
+        CEGMA_TRACE_SCOPE("pair.score");
         result.scores[i] = gmn->score(dataset.pairs[i]);
+    }
     result.wallMs = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
                         .count();
@@ -90,10 +94,8 @@ runFunctional(ModelId model, const Dataset &dataset,
     result.memoMisses = memo.misses();
     result.memoEvictions = memo.evictions();
     result.memoBytes = memo.bytes();
-    result.dedupRowsTotal =
-        dedup_stats.rowsTotal.load(std::memory_order_relaxed);
-    result.dedupRowsUnique =
-        dedup_stats.rowsUnique.load(std::memory_order_relaxed);
+    result.dedupRowsTotal = dedup_stats.rowsTotal.value();
+    result.dedupRowsUnique = dedup_stats.rowsUnique.value();
     return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 namespace cegma {
 
@@ -23,12 +25,44 @@ verbose()
 
 namespace {
 
+/**
+ * Build the whole log line in one buffer and hand it to stderr as a
+ * single write. Concurrent loggers (the thread pool's workers warn
+ * too) then interleave *lines*, never fragments — the three-fprintf
+ * version this replaces could shear a line mid-message under load.
+ */
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, "\n");
+    char prefix[256];
+    int prefix_len = std::snprintf(prefix, sizeof(prefix), "%s: ", tag);
+    if (prefix_len < 0)
+        return;
+
+    va_list probe;
+    va_copy(probe, ap);
+    int body_len = std::vsnprintf(nullptr, 0, fmt, probe);
+    va_end(probe);
+    if (body_len < 0)
+        body_len = 0;
+
+    std::vector<char> line(static_cast<size_t>(prefix_len) +
+                           static_cast<size_t>(body_len) + 2);
+    std::memcpy(line.data(), prefix, static_cast<size_t>(prefix_len));
+    std::vsnprintf(line.data() + prefix_len,
+                   static_cast<size_t>(body_len) + 1, fmt, ap);
+    line[line.size() - 2] = '\n';
+    std::fwrite(line.data(), 1, line.size() - 1, stderr);
+    std::fflush(stderr);
+}
+
+void
+vreportAt(const char *tag, const char *file, int line, const char *fmt,
+          va_list ap)
+{
+    char prefix[512];
+    std::snprintf(prefix, sizeof(prefix), "%s: %s:%d", tag, file, line);
+    vreport(prefix, fmt, ap);
 }
 
 } // namespace
@@ -36,24 +70,20 @@ vreport(const char *tag, const char *fmt, va_list ap)
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: ", file, line);
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    vreportAt("panic", file, line, fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "\n");
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    vreportAt("fatal", file, line, fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "\n");
     std::exit(1);
 }
 

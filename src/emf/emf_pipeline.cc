@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace cegma {
 
@@ -12,6 +13,7 @@ EmfPipelineResult
 runEmfPipeline(const std::vector<uint32_t> &tags, uint64_t feature_bytes,
                const EmfPipelineConfig &config)
 {
+    CEGMA_TRACE_SCOPE_CAT("emf.pipeline", "kernel");
     cegma_assert(config.hashLanes > 0 && config.taskBufferDepth > 0);
     cegma_assert(config.numSubsets > 0 && config.pipelineWidth > 0);
 

@@ -12,6 +12,7 @@
 #include "graph/wl_refine.hh"
 #include "nn/linear.hh"
 #include "nn/mgnn.hh"
+#include "obs/trace.hh"
 
 namespace cegma {
 
@@ -75,47 +76,68 @@ GmnLiModel::forwardDetailed(const GraphPair &pair) const
     Detail detail;
     // Cross-feedback means embeddings depend on the partner graph, so
     // only the per-graph WL colorings are memoizable here.
-    std::shared_ptr<const WlColoring> wl_t_ptr =
-        infer_.memo ? infer_.memo->wl(pair.target, config_.numLayers)
-                    : std::make_shared<const WlColoring>(
-                          wlRefine(pair.target, config_.numLayers));
-    std::shared_ptr<const WlColoring> wl_q_ptr =
-        infer_.memo ? infer_.memo->wl(pair.query, config_.numLayers)
-                    : std::make_shared<const WlColoring>(
-                          wlRefine(pair.query, config_.numLayers));
+    std::shared_ptr<const WlColoring> wl_t_ptr, wl_q_ptr;
+    Matrix x, y;
+    {
+        obs::StageScope stage("embed",
+                              stageHist(&obs::StageSink::embedUs));
+        wl_t_ptr =
+            infer_.memo
+                ? infer_.memo->wl(pair.target, config_.numLayers)
+                : std::make_shared<const WlColoring>(
+                      wlRefine(pair.target, config_.numLayers));
+        wl_q_ptr =
+            infer_.memo
+                ? infer_.memo->wl(pair.query, config_.numLayers)
+                : std::make_shared<const WlColoring>(
+                      wlRefine(pair.query, config_.numLayers));
+        x = encoder_.forward(initialFeatures(pair.target));
+        y = encoder_.forward(initialFeatures(pair.query));
+    }
     const WlColoring &wl_t = *wl_t_ptr;
     const WlColoring &wl_q = *wl_q_ptr;
-
-    Matrix x = encoder_.forward(initialFeatures(pair.target));
-    Matrix y = encoder_.forward(initialFeatures(pair.query));
     detail.xLayers.push_back(x);
     detail.yLayers.push_back(y);
 
     for (unsigned l = 0; l < config_.numLayers; ++l) {
         Matrix s, cross_x, cross_y;
         if (infer_.dedupMatching) {
-            DedupMap dx = confirmDedup(x, emfFilter(x));
-            DedupMap dy = confirmDedup(y, emfFilter(y));
+            DedupMap dx, dy;
+            {
+                obs::StageScope stage(
+                    "dedup", stageHist(&obs::StageSink::dedupUs));
+                dx = confirmDedup(x, emfFilter(x));
+                dy = confirmDedup(y, emfFilter(y));
+            }
             noteDedup(x.rows(), dx.numUnique());
             noteDedup(y.rows(), dy.numUnique());
+            obs::StageScope stage("match",
+                                  stageHist(&obs::StageSink::matchUs));
             s = similarityMatrixDedup(x, y, config_.similarity, dx, dy);
             cross_x = crossMessageDedup(x, s, y, dx);
             cross_y = crossMessageDedup(y, transpose(s), x, dy);
         } else {
+            obs::StageScope stage("match",
+                                  stageHist(&obs::StageSink::matchUs));
             s = similarityMatrix(x, y, config_.similarity);
             cross_x = crossMessage(x, s, y);
             cross_y = crossMessage(y, transpose(s), x);
         }
         detail.simLayers.push_back(s);
 
-        x = layers_[l].forward(pair.target, x, cross_x,
-                               wl_t.signatures[l]);
-        y = layers_[l].forward(pair.query, y, cross_y,
-                               wl_q.signatures[l]);
+        {
+            obs::StageScope stage("embed",
+                                  stageHist(&obs::StageSink::embedUs));
+            x = layers_[l].forward(pair.target, x, cross_x,
+                                   wl_t.signatures[l]);
+            y = layers_[l].forward(pair.query, y, cross_y,
+                                   wl_q.signatures[l]);
+        }
         detail.xLayers.push_back(x);
         detail.yLayers.push_back(y);
     }
 
+    obs::StageScope stage("head", stageHist(&obs::StageSink::headUs));
     Matrix hx = readout_.forward(columnSums(x));
     Matrix hy = readout_.forward(columnSums(y));
     double dist = 0.0;

@@ -13,6 +13,7 @@
 #include "nn/cnn.hh"
 #include "nn/gcn.hh"
 #include "nn/linear.hh"
+#include "obs/trace.hh"
 
 namespace cegma {
 
@@ -72,8 +73,13 @@ GmnModel::Detail
 GraphSimModel::forwardDetailed(const GraphPair &pair) const
 {
     Detail detail;
-    std::shared_ptr<const GraphEmbedding> et = embedCached(pair.target);
-    std::shared_ptr<const GraphEmbedding> eq = embedCached(pair.query);
+    std::shared_ptr<const GraphEmbedding> et, eq;
+    {
+        obs::StageScope stage("embed",
+                              stageHist(&obs::StageSink::embedUs));
+        et = embedCached(pair.target);
+        eq = embedCached(pair.query);
+    }
     detail.xLayers = et->layers;
     detail.yLayers = eq->layers;
 
@@ -83,18 +89,32 @@ GraphSimModel::forwardDetailed(const GraphPair &pair) const
         const Matrix &y = eq->layers[l + 1];
         Matrix s;
         if (infer_.dedupMatching) {
-            DedupMap dx = confirmDedup(x, emfFilter(x));
-            DedupMap dy = confirmDedup(y, emfFilter(y));
+            DedupMap dx, dy;
+            {
+                obs::StageScope stage(
+                    "dedup", stageHist(&obs::StageSink::dedupUs));
+                dx = confirmDedup(x, emfFilter(x));
+                dy = confirmDedup(y, emfFilter(y));
+            }
             noteDedup(x.rows(), dx.numUnique());
             noteDedup(y.rows(), dy.numUnique());
+            obs::StageScope stage("match",
+                                  stageHist(&obs::StageSink::matchUs));
             s = similarityMatrixDedup(x, y, config_.similarity, dx, dy);
         } else {
+            obs::StageScope stage("match",
+                                  stageHist(&obs::StageSink::matchUs));
             s = similarityMatrix(x, y, config_.similarity);
         }
-        branch_feats.push_back(cnns_[l].forward(s));
+        {
+            obs::StageScope stage("head",
+                                  stageHist(&obs::StageSink::headUs));
+            branch_feats.push_back(cnns_[l].forward(s));
+        }
         detail.simLayers.push_back(std::move(s));
     }
 
+    obs::StageScope stage("head", stageHist(&obs::StageSink::headUs));
     std::vector<const Matrix *> parts;
     for (const Matrix &feat : branch_feats)
         parts.push_back(&feat);

@@ -1,6 +1,7 @@
 #include "gmn/memo.hh"
 
 #include "hash/xxhash.hh"
+#include "obs/trace.hh"
 
 namespace cegma {
 
@@ -78,28 +79,46 @@ MemoCache::MemoCache(const MemoConfig &config)
 std::shared_ptr<const WlColoring>
 MemoCache::wl(const Graph &g, unsigned num_layers)
 {
+    CEGMA_TRACE_SCOPE_CAT("memo.wl", "memo");
+    uint64_t t0 = obs::nowNs();
     WlKey key{graphKey(g), num_layers};
-    if (auto cached = wl_.find(key))
+    if (auto cached = wl_.find(key)) {
+        lookupNs_.fetch_add(obs::nowNs() - t0,
+                            std::memory_order_relaxed);
         return cached;
+    }
+    lookupNs_.fetch_add(obs::nowNs() - t0, std::memory_order_relaxed);
     // Build outside any lock: wlRefine is deterministic, so a racing
     // duplicate build produces identical bits and the loser is simply
     // discarded by the first-insert-wins policy.
     auto built =
         std::make_shared<const WlColoring>(wlRefine(g, num_layers));
     size_t bytes = wlColoringBytes(*built);
-    return wl_.insert(key, std::move(built), bytes);
+    uint64_t t1 = obs::nowNs();
+    auto out = wl_.insert(key, std::move(built), bytes);
+    lookupNs_.fetch_add(obs::nowNs() - t1, std::memory_order_relaxed);
+    return out;
 }
 
 std::shared_ptr<const GraphEmbedding>
 MemoCache::embedding(const Graph &g,
                      const std::function<GraphEmbedding()> &build)
 {
+    CEGMA_TRACE_SCOPE_CAT("memo.embedding", "memo");
+    uint64_t t0 = obs::nowNs();
     GraphKey key = graphKey(g);
-    if (auto cached = embeddings_.find(key))
+    if (auto cached = embeddings_.find(key)) {
+        lookupNs_.fetch_add(obs::nowNs() - t0,
+                            std::memory_order_relaxed);
         return cached;
+    }
+    lookupNs_.fetch_add(obs::nowNs() - t0, std::memory_order_relaxed);
     auto built = std::make_shared<const GraphEmbedding>(build());
     size_t bytes = graphEmbeddingBytes(*built);
-    return embeddings_.insert(key, std::move(built), bytes);
+    uint64_t t1 = obs::nowNs();
+    auto out = embeddings_.insert(key, std::move(built), bytes);
+    lookupNs_.fetch_add(obs::nowNs() - t1, std::memory_order_relaxed);
+    return out;
 }
 
 size_t

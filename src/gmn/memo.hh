@@ -28,6 +28,7 @@
 #ifndef CEGMA_GMN_MEMO_HH
 #define CEGMA_GMN_MEMO_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -147,6 +148,17 @@ class MemoCache
      */
     size_t embeddingLookups() const;
 
+    /**
+     * Total wall time spent in cache lookups and insertions (both
+     * families), excluding miss-path builds. This is the price of
+     * having the memo layer at all; the serving stats reporter turns
+     * it into the memo share of a request's latency breakdown.
+     */
+    uint64_t lookupNs() const
+    {
+        return lookupNs_.load(std::memory_order_relaxed);
+    }
+
     const MemoConfig &config() const { return config_; }
 
   private:
@@ -167,6 +179,10 @@ class MemoCache
     MemoConfig config_;
     ShardedLruCache<WlKey, WlColoring, WlKeyHash> wl_;
     ShardedLruCache<GraphKey, GraphEmbedding, GraphKeyHash> embeddings_;
+
+    /** Accumulated lookup/insert time; telemetry only, never control
+     *  flow, so relaxed ordering suffices. */
+    mutable std::atomic<uint64_t> lookupNs_{0};
 };
 
 } // namespace cegma

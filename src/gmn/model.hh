@@ -12,7 +12,6 @@
 #ifndef CEGMA_GMN_MODEL_HH
 #define CEGMA_GMN_MODEL_HH
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -20,6 +19,7 @@
 
 #include "gmn/similarity.hh"
 #include "graph/dataset.hh"
+#include "obs/metrics.hh"
 #include "tensor/matrix.hh"
 
 namespace cegma {
@@ -66,22 +66,24 @@ const ModelConfig &modelConfig(ModelId id);
 
 /**
  * Live counters for the dedup runtime, safe to share across the
- * pair-parallel scoring threads (relaxed atomics; the counts are
- * telemetry, never control flow).
+ * pair-parallel scoring threads (obs::Counter is a relaxed atomic;
+ * the counts are telemetry, never control flow). Owners that expose a
+ * metrics registry publish these through provider gauges — see
+ * serve/service.cc.
  */
 struct DedupStats
 {
     /** Feature rows that entered a dedup'd matching stage. */
-    std::atomic<uint64_t> rowsTotal{0};
+    obs::Counter rowsTotal;
 
     /** Rows the dense kernel actually ran on (the unique block). */
-    std::atomic<uint64_t> rowsUnique{0};
+    obs::Counter rowsUnique;
 
     /** Fraction of rows the EMF skip elided (0 when nothing ran). */
     double skipRatio() const
     {
-        uint64_t total = rowsTotal.load(std::memory_order_relaxed);
-        uint64_t unique = rowsUnique.load(std::memory_order_relaxed);
+        uint64_t total = rowsTotal.value();
+        uint64_t unique = rowsUnique.value();
         return total > 0
                    ? 1.0 - static_cast<double>(unique) /
                                static_cast<double>(total)
@@ -113,6 +115,14 @@ struct InferenceOptions
 
     /** Optional dedup telemetry sink (not owned; may be shared). */
     DedupStats *dedupStats = nullptr;
+
+    /**
+     * Optional per-stage timing sink (not owned): embed / match /
+     * dedup / head durations per forward pass land in the referenced
+     * histograms. Null members (or a null sink) cost two branches per
+     * stage — the always-on serving default is to wire this.
+     */
+    const obs::StageSink *stages = nullptr;
 };
 
 /** Functional GMN inference model. */
@@ -178,10 +188,15 @@ class GmnModel
     {
         if (infer_.dedupStats == nullptr)
             return;
-        infer_.dedupStats->rowsTotal.fetch_add(
-            rows, std::memory_order_relaxed);
-        infer_.dedupStats->rowsUnique.fetch_add(
-            unique_rows, std::memory_order_relaxed);
+        infer_.dedupStats->rowsTotal.add(rows);
+        infer_.dedupStats->rowsUnique.add(unique_rows);
+    }
+
+    /** The stage histogram for `member`, or null when unwired. */
+    obs::Histogram *stageHist(obs::Histogram *obs::StageSink::*member) const
+    {
+        return infer_.stages != nullptr ? infer_.stages->*member
+                                        : nullptr;
     }
 
     ModelConfig config_;

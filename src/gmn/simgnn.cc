@@ -16,6 +16,7 @@
 #include "nn/gcn.hh"
 #include "nn/linear.hh"
 #include "nn/ntn.hh"
+#include "obs/trace.hh"
 
 namespace cegma {
 
@@ -117,8 +118,13 @@ GmnModel::Detail
 SimGnnModel::forwardDetailed(const GraphPair &pair) const
 {
     Detail detail;
-    std::shared_ptr<const GraphEmbedding> et = embedCached(pair.target);
-    std::shared_ptr<const GraphEmbedding> eq = embedCached(pair.query);
+    std::shared_ptr<const GraphEmbedding> et, eq;
+    {
+        obs::StageScope stage("embed",
+                              stageHist(&obs::StageSink::embedUs));
+        et = embedCached(pair.target);
+        eq = embedCached(pair.query);
+    }
     detail.xLayers = et->layers;
     detail.yLayers = eq->layers;
     const Matrix &x = et->layers.back();
@@ -127,14 +133,25 @@ SimGnnModel::forwardDetailed(const GraphPair &pair) const
     // Model-wise matching: one similarity matrix from the last layer.
     Matrix s;
     if (infer_.dedupMatching) {
-        DedupMap dx = confirmDedup(x, emfFilter(x));
-        DedupMap dy = confirmDedup(y, emfFilter(y));
+        DedupMap dx, dy;
+        {
+            obs::StageScope stage("dedup",
+                                  stageHist(&obs::StageSink::dedupUs));
+            dx = confirmDedup(x, emfFilter(x));
+            dy = confirmDedup(y, emfFilter(y));
+        }
         noteDedup(x.rows(), dx.numUnique());
         noteDedup(y.rows(), dy.numUnique());
+        obs::StageScope stage("match",
+                              stageHist(&obs::StageSink::matchUs));
         s = similarityMatrixDedup(x, y, config_.similarity, dx, dy);
     } else {
+        obs::StageScope stage("match",
+                              stageHist(&obs::StageSink::matchUs));
         s = similarityMatrix(x, y, config_.similarity);
     }
+
+    obs::StageScope stage("head", stageHist(&obs::StageSink::headUs));
     Matrix hist = similarityHistogram(s);
     detail.simLayers.push_back(std::move(s));
 

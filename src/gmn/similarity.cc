@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "obs/trace.hh"
 
 namespace cegma {
 
@@ -26,6 +27,7 @@ similarityName(SimilarityKind kind)
 Matrix
 similarityMatrix(const Matrix &x, const Matrix &y, SimilarityKind kind)
 {
+    CEGMA_TRACE_SCOPE_CAT("similarityMatrix", "kernel");
     cegma_assert(x.cols() == y.cols());
     Matrix s = matmulNT(x, y);
 
@@ -101,6 +103,7 @@ similarityFlopsDedup(uint64_t n, uint64_t m, uint64_t u_n, uint64_t u_m,
 DedupMap
 confirmDedup(const Matrix &features, const EmfResult &emf)
 {
+    CEGMA_TRACE_SCOPE_CAT("confirmDedup", "kernel");
     const size_t n = features.rows();
     cegma_assert(emf.uniqueOf.size() == n);
     const size_t row_bytes = features.cols() * sizeof(float);
@@ -192,6 +195,7 @@ similarityMatrixDedup(const Matrix &x, const Matrix &y,
                       SimilarityKind kind, const DedupMap &dx,
                       const DedupMap &dy)
 {
+    CEGMA_TRACE_SCOPE_CAT("similarityMatrixDedup", "kernel");
     cegma_assert(dx.repOf.size() == x.rows());
     cegma_assert(dy.repOf.size() == y.rows());
     if (!dx.anyDuplicates() && !dy.anyDuplicates())

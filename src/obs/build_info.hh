@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Build identification, generated at configure time (see
+ * src/obs/CMakeLists.txt and build_info.cc.in): git hash, compiler,
+ * flags, build type, and sanitizer mode. Every metrics/trace JSON
+ * export embeds this stamp, and the CLIs print it under `--version`,
+ * so a result file is always traceable to the build that produced it.
+ */
+
+#ifndef CEGMA_OBS_BUILD_INFO_HH
+#define CEGMA_OBS_BUILD_INFO_HH
+
+#include <string>
+
+namespace cegma::obs {
+
+/** Short git hash of the configured checkout ("unknown" outside git). */
+const char *buildGitHash();
+
+/** Compiler id and version, e.g. "GNU 12.2.0". */
+const char *buildCompiler();
+
+/** The configured CMAKE_CXX_FLAGS (may be empty). */
+const char *buildFlags();
+
+/** CMake build type, e.g. "Release". */
+const char *buildType();
+
+/** Sanitizer mode: "none", "thread", or "address". */
+const char *buildSanitizer();
+
+/** One human-readable line (the `--version` output). */
+std::string buildInfoString();
+
+/** One JSON object with the same fields. */
+std::string buildInfoJson();
+
+} // namespace cegma::obs
+
+#endif // CEGMA_OBS_BUILD_INFO_HH

@@ -1,0 +1,191 @@
+#include "obs/metrics.hh"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/build_info.hh"
+
+namespace cegma::obs {
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::providerGauge(const std::string &name,
+                               std::function<int64_t()> provider)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    slot->provider_ = std::move(provider);
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &unit)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(unit);
+    return *slot;
+}
+
+RegistrySnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    RegistrySnapshot snap;
+    snap.metrics.reserve(counters_.size() + gauges_.size() +
+                         histograms_.size());
+    for (const auto &[name, counter] : counters_) {
+        MetricValue v;
+        v.name = name;
+        v.kind = MetricValue::Kind::Counter;
+        v.counter = counter->value();
+        snap.metrics.push_back(std::move(v));
+    }
+    for (const auto &[name, gauge] : gauges_) {
+        MetricValue v;
+        v.name = name;
+        v.kind = MetricValue::Kind::Gauge;
+        v.gauge = gauge->value();
+        snap.metrics.push_back(std::move(v));
+    }
+    for (const auto &[name, hist] : histograms_) {
+        MetricValue v;
+        v.name = name;
+        v.kind = MetricValue::Kind::Histogram;
+        v.hist = hist->summary();
+        v.unit = hist->unit();
+        snap.metrics.push_back(std::move(v));
+    }
+    return snap;
+}
+
+namespace {
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+/** Prometheus metric name: every non-[a-zA-Z0-9_] becomes '_'. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        if (!ok)
+            c = '_';
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+} // namespace
+
+std::string
+RegistrySnapshot::toJson() const
+{
+    std::string out = "{\"build\": ";
+    out += buildInfoJson();
+    out += ", \"metrics\": {";
+    bool first = true;
+    for (const MetricValue &m : metrics) {
+        if (!first)
+            out += ", ";
+        first = false;
+        appendf(out, "\"%s\": ", m.name.c_str());
+        switch (m.kind) {
+          case MetricValue::Kind::Counter:
+            appendf(out, "%" PRIu64, m.counter);
+            break;
+          case MetricValue::Kind::Gauge:
+            appendf(out, "%" PRId64, m.gauge);
+            break;
+          case MetricValue::Kind::Histogram:
+            appendf(out,
+                    "{\"unit\": \"%s\", \"count\": %" PRIu64
+                    ", \"sum\": %.3f, \"mean\": %.3f, \"max\": %.3f, "
+                    "\"p50\": %" PRIu64 ", \"p95\": %" PRIu64
+                    ", \"p99\": %" PRIu64 "}",
+                    m.unit.c_str(), m.hist.count, m.hist.sum,
+                    m.hist.mean, m.hist.max, m.hist.p50, m.hist.p95,
+                    m.hist.p99);
+            break;
+        }
+    }
+    out += "}}";
+    return out;
+}
+
+std::string
+RegistrySnapshot::toPrometheus() const
+{
+    std::string out;
+    for (const MetricValue &m : metrics) {
+        std::string name = promName(m.name);
+        switch (m.kind) {
+          case MetricValue::Kind::Counter:
+            appendf(out, "# TYPE %s counter\n", name.c_str());
+            appendf(out, "%s %" PRIu64 "\n", name.c_str(), m.counter);
+            break;
+          case MetricValue::Kind::Gauge:
+            appendf(out, "# TYPE %s gauge\n", name.c_str());
+            appendf(out, "%s %" PRId64 "\n", name.c_str(), m.gauge);
+            break;
+          case MetricValue::Kind::Histogram:
+            appendf(out, "# TYPE %s summary\n", name.c_str());
+            appendf(out, "%s{quantile=\"0.5\"} %" PRIu64 "\n",
+                    name.c_str(), m.hist.p50);
+            appendf(out, "%s{quantile=\"0.95\"} %" PRIu64 "\n",
+                    name.c_str(), m.hist.p95);
+            appendf(out, "%s{quantile=\"0.99\"} %" PRIu64 "\n",
+                    name.c_str(), m.hist.p99);
+            appendf(out, "%s_sum %.3f\n", name.c_str(), m.hist.sum);
+            appendf(out, "%s_count %" PRIu64 "\n", name.c_str(),
+                    m.hist.count);
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace cegma::obs

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * The process-level metrics registry: named counters, gauges, and
+ * exact-quantile histograms (built on `IntDistribution`) behind one
+ * exposition surface — JSON and Prometheus text.
+ *
+ * Design rules, in priority order:
+ *   1. Recording must be cheap enough for per-stage use on the
+ *      serving hot path: counters and gauges are single relaxed
+ *      atomics; a histogram record is one uncontended mutex plus a
+ *      map insert (the same machinery `ServiceMetrics` always paid).
+ *   2. Registration returns *stable references*: `counter("x")` hands
+ *      out an object that lives as long as the registry, so call
+ *      sites resolve the name once (at wiring time) and never touch
+ *      the registry map again.
+ *   3. Registries are instances, not a forced global. The serving
+ *      layer owns one per `SearchService` so concurrent services (and
+ *      tests) do not bleed into each other; `MetricsRegistry::global()`
+ *      is the process-wide default the CLI tools report from.
+ *
+ * Exposition: `snapshot()` copies every metric under the registration
+ * lock (each histogram under its own lock) into a `RegistrySnapshot`
+ * that renders as a JSON object (with the build-info stamp, see
+ * obs/build_info.hh) or Prometheus text (`# TYPE` + summary
+ * quantiles).
+ */
+
+#ifndef CEGMA_OBS_METRICS_HH
+#define CEGMA_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace cegma::obs {
+
+/** A monotonically increasing 64-bit counter (relaxed atomics). */
+class Counter
+{
+  public:
+    void add(uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/**
+ * A settable signed gauge. Alternatively a gauge can be registered
+ * with a *provider* callback (`MetricsRegistry::providerGauge`), in
+ * which case `value()` polls the provider — the Prometheus "collect"
+ * pattern for values something else already owns (cache bytes, queue
+ * depth).
+ */
+class Gauge
+{
+  public:
+    void set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+    void add(int64_t delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    int64_t value() const
+    {
+        if (provider_)
+            return provider_();
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    std::atomic<int64_t> value_{0};
+    std::function<int64_t()> provider_; ///< set once at registration
+};
+
+/** Point-in-time summary of one histogram. */
+struct HistogramSummary
+{
+    uint64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+};
+
+/**
+ * An exact-quantile histogram over unsigned integer samples: a
+ * mutex-guarded `IntDistribution` (value -> count map, so quantiles
+ * are exact over the recorded samples) plus a running sum/max. The
+ * unit tag ("us", "bytes", ...) travels into the exposition.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::string unit) : unit_(std::move(unit)) {}
+
+    void record(uint64_t value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        dist_.add(value);
+        stat_.add(static_cast<double>(value));
+    }
+
+    HistogramSummary summary() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        HistogramSummary s;
+        s.count = dist_.total();
+        s.sum = stat_.sum();
+        s.mean = stat_.mean();
+        s.max = stat_.max();
+        s.p50 = dist_.valueAtQuantile(0.50);
+        s.p95 = dist_.valueAtQuantile(0.95);
+        s.p99 = dist_.valueAtQuantile(0.99);
+        return s;
+    }
+
+    /** Exact quantile over everything recorded so far. */
+    uint64_t valueAtQuantile(double q) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return dist_.valueAtQuantile(q);
+    }
+
+    /** Sum of all recorded samples. */
+    double sum() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stat_.sum();
+    }
+
+    uint64_t count() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return dist_.total();
+    }
+
+    const std::string &unit() const { return unit_; }
+
+  private:
+    mutable std::mutex mutex_;
+    IntDistribution dist_;
+    RunningStat stat_;
+    std::string unit_;
+};
+
+/** One metric copied out of a registry. */
+struct MetricValue
+{
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    std::string name;
+    Kind kind = Kind::Counter;
+    uint64_t counter = 0;   ///< Kind::Counter
+    int64_t gauge = 0;      ///< Kind::Gauge
+    HistogramSummary hist;  ///< Kind::Histogram
+    std::string unit;       ///< Kind::Histogram
+};
+
+/** A point-in-time copy of a whole registry, name-ordered. */
+struct RegistrySnapshot
+{
+    std::vector<MetricValue> metrics;
+
+    /**
+     * One JSON object: `{"build": {...}, "metrics": {name: ...}}`.
+     * Counters and gauges render as numbers, histograms as objects
+     * with count/sum/mean/max/p50/p95/p99/unit.
+     */
+    std::string toJson() const;
+
+    /**
+     * Prometheus text exposition: metric names sanitized to
+     * `[a-zA-Z0-9_]`, counters/gauges as singles, histograms as
+     * summaries (quantile series + `_sum` + `_count`).
+     */
+    std::string toPrometheus() const;
+};
+
+/**
+ * A named set of metrics. `counter`/`gauge`/`histogram` find-or-create
+ * and hand back stable references (never invalidated while the
+ * registry lives); creation takes the registry mutex, recording
+ * through the returned reference does not.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide default registry. */
+    static MetricsRegistry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Register (or re-bind) a gauge whose value is polled from
+     * `provider` at read time. The provider must stay valid for the
+     * registry's lifetime (or until re-bound).
+     */
+    Gauge &providerGauge(const std::string &name,
+                         std::function<int64_t()> provider);
+
+    /**
+     * Find-or-create a histogram. The unit is fixed by the first
+     * registration; later calls ignore their `unit` argument.
+     */
+    Histogram &histogram(const std::string &name,
+                         const std::string &unit = "");
+
+    /** Copy every metric out (see `RegistrySnapshot`). */
+    RegistrySnapshot snapshot() const;
+
+  private:
+    // node-based maps: values never move, so references stay stable.
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * The per-request stage timing sinks a model records into (wired by
+ * whoever owns the registry — see `InferenceOptions::stages`). Null
+ * members are simply not recorded.
+ */
+struct StageSink
+{
+    Histogram *embedUs = nullptr; ///< per-graph embedding chain
+    Histogram *matchUs = nullptr; ///< similarity (+ cross messages)
+    Histogram *dedupUs = nullptr; ///< EMF confirm + gather/scatter
+    Histogram *headUs = nullptr;  ///< readout / CNN / MLP head
+};
+
+} // namespace cegma::obs
+
+#endif // CEGMA_OBS_METRICS_HH

@@ -1,0 +1,239 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "obs/build_info.hh"
+
+namespace cegma::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_dropped{0};
+
+/**
+ * One thread's span ring. The mutex is effectively uncontended: the
+ * owning thread takes it per commit, and only `collectSpans` /
+ * `clearTrace` (rare) take it from outside.
+ */
+class ThreadSpanRing
+{
+  public:
+    ThreadSpanRing(uint32_t tid, size_t capacity)
+        : tid_(tid), spans_(capacity > 0 ? capacity : 1)
+    {
+    }
+
+    void push(SpanRecord span)
+    {
+        span.tid = tid_;
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (pushed_ >= spans_.size())
+            g_dropped.fetch_add(1, std::memory_order_relaxed);
+        spans_[pushed_ % spans_.size()] = span;
+        ++pushed_;
+    }
+
+    void collect(std::vector<SpanRecord> &out) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        size_t kept = std::min(pushed_, spans_.size());
+        size_t first = pushed_ - kept; // oldest retained push index
+        for (size_t i = 0; i < kept; ++i)
+            out.push_back(spans_[(first + i) % spans_.size()]);
+    }
+
+    void clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pushed_ = 0;
+    }
+
+  private:
+    const uint32_t tid_;
+    mutable std::mutex mutex_;
+    std::vector<SpanRecord> spans_;
+    size_t pushed_ = 0; ///< total commits; retained = min(., capacity)
+};
+
+/** Global ring registry: rings outlive their threads for export. */
+struct RingRegistry
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadSpanRing>> rings;
+    uint32_t nextTid = 1;
+    size_t capacity = size_t{1} << 15;
+};
+
+RingRegistry &
+registry()
+{
+    static RingRegistry *reg = new RingRegistry; // never destroyed:
+    // worker threads may commit spans during static destruction.
+    return *reg;
+}
+
+ThreadSpanRing &
+threadRing()
+{
+    thread_local std::shared_ptr<ThreadSpanRing> ring = [] {
+        RingRegistry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        auto created = std::make_shared<ThreadSpanRing>(reg.nextTid++,
+                                                        reg.capacity);
+        reg.rings.push_back(created);
+        return created;
+    }();
+    return *ring;
+}
+
+} // namespace
+
+bool
+tracingEnabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setTracingEnabled(bool enabled)
+{
+    g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void
+setTraceRingCapacity(size_t spans)
+{
+    RingRegistry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.capacity = spans > 0 ? spans : 1;
+}
+
+void
+recordSpan(const char *name, const char *cat, uint64_t start_ns,
+           uint64_t dur_ns, const char *arg_name, uint64_t arg_value)
+{
+    if (!tracingEnabled())
+        return;
+    SpanRecord span;
+    span.name = name;
+    span.cat = cat;
+    span.startNs = start_ns;
+    span.durNs = dur_ns;
+    span.argName = arg_name;
+    span.argValue = arg_value;
+    threadRing().push(span);
+}
+
+std::vector<SpanRecord>
+collectSpans()
+{
+    RingRegistry &reg = registry();
+    std::vector<std::shared_ptr<ThreadSpanRing>> rings;
+    {
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        rings = reg.rings;
+    }
+    std::vector<SpanRecord> spans;
+    for (const auto &ring : rings)
+        ring->collect(spans);
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  return a.tid < b.tid;
+              });
+    return spans;
+}
+
+uint64_t
+droppedSpans()
+{
+    return g_dropped.load(std::memory_order_relaxed);
+}
+
+void
+clearTrace()
+{
+    RingRegistry &reg = registry();
+    std::vector<std::shared_ptr<ThreadSpanRing>> rings;
+    {
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        rings = reg.rings;
+    }
+    for (const auto &ring : rings)
+        ring->clear();
+    g_dropped.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/**
+ * Render `spans` as Chrome trace_event JSON. Timestamps are rebased
+ * to the earliest span so the trace opens at t=0.
+ */
+std::string
+renderChromeTrace(const std::vector<SpanRecord> &spans)
+{
+    uint64_t base = spans.empty() ? 0 : spans.front().startNs;
+    std::string out = "{\"displayTimeUnit\": \"ms\",\n\"otherData\": "
+                      "{\"build\": ";
+    out += buildInfoJson();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ", \"dropped_spans\": %" PRIu64,
+                  droppedSpans());
+    out += buf;
+    out += "},\n\"traceEvents\": [\n";
+    for (size_t i = 0; i < spans.size(); ++i) {
+        const SpanRecord &s = spans[i];
+        char line[384];
+        int n = std::snprintf(
+            line, sizeof(line),
+            "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+            "\"pid\": 1, \"tid\": %" PRIu32
+            ", \"ts\": %.3f, \"dur\": %.3f",
+            s.name, s.cat, s.tid,
+            static_cast<double>(s.startNs - base) / 1e3,
+            static_cast<double>(s.durNs) / 1e3);
+        out.append(line, static_cast<size_t>(n));
+        if (s.argName != nullptr) {
+            n = std::snprintf(line, sizeof(line),
+                              ", \"args\": {\"%s\": %" PRIu64 "}",
+                              s.argName, s.argValue);
+            out.append(line, static_cast<size_t>(n));
+        }
+        out += i + 1 < spans.size() ? "},\n" : "}\n";
+    }
+    out += "]}\n";
+    return out;
+}
+
+} // namespace
+
+std::string
+chromeTraceJson()
+{
+    return renderChromeTrace(collectSpans());
+}
+
+size_t
+writeChromeTrace(const std::string &path)
+{
+    std::vector<SpanRecord> spans = collectSpans();
+    std::string json = renderChromeTrace(spans);
+    FILE *out = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+    if (out == nullptr)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    std::fwrite(json.data(), 1, json.size(), out);
+    if (out != stdout)
+        std::fclose(out);
+    return spans.size();
+}
+
+} // namespace cegma::obs

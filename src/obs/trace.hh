@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Per-request span tracing for the CEGMA runtime.
+ *
+ * Model: every thread owns a fixed-capacity ring of completed spans
+ * (name, category, start, duration, thread id). `CEGMA_TRACE_SCOPE`
+ * drops an RAII scope into a function; when tracing is enabled the
+ * scope commits one span to the calling thread's ring on destruction,
+ * and when it is disabled the whole mechanism costs one relaxed
+ * atomic load and a branch — cheap enough to leave in the GEMM and
+ * similarity kernels permanently.
+ *
+ * Rings keep the *newest* spans: on overflow the oldest span in that
+ * thread's ring is overwritten (and counted in `droppedSpans()`), so
+ * a bounded trace of a long run always ends with the most recent
+ * activity. Rings are registered globally and outlive their threads,
+ * so an export after the pool quiesces still sees worker spans.
+ *
+ * Export: `writeChromeTrace()` emits Chrome `trace_event` JSON
+ * ("X" complete events, microsecond timestamps) with the build-info
+ * stamp in `otherData` — loadable directly in Perfetto / chrome://tracing.
+ *
+ * Span names and categories must be string literals (or otherwise
+ * outlive the export): rings store the pointers, not copies.
+ */
+
+#ifndef CEGMA_OBS_TRACE_HH
+#define CEGMA_OBS_TRACE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace cegma::obs {
+
+/** One completed span, as stored in a thread's ring. */
+struct SpanRecord
+{
+    const char *name = nullptr;
+    const char *cat = nullptr;
+    uint64_t startNs = 0; ///< steady-clock ns (see `nowNs`)
+    uint64_t durNs = 0;
+    uint32_t tid = 0;           ///< small per-thread id (not the OS tid)
+    const char *argName = nullptr; ///< optional numeric argument
+    uint64_t argValue = 0;
+};
+
+/** Monotonic nanoseconds on the tracing timeline. */
+inline uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** @return whether span recording is on (one relaxed load). */
+bool tracingEnabled();
+
+/** Turn span recording on or off (off is the default). */
+void setTracingEnabled(bool enabled);
+
+/**
+ * Capacity (in spans) of rings created *after* this call; existing
+ * rings keep their size. Call before enabling tracing. Default 32768
+ * spans per thread (~2 MiB/thread).
+ */
+void setTraceRingCapacity(size_t spans);
+
+/** Record one explicit span (used for queue-wait style intervals). */
+void recordSpan(const char *name, const char *cat, uint64_t start_ns,
+                uint64_t dur_ns, const char *arg_name = nullptr,
+                uint64_t arg_value = 0);
+
+/** All retained spans from every ring, start-time ordered. */
+std::vector<SpanRecord> collectSpans();
+
+/** Spans overwritten by ring overflow since the last `clearTrace`. */
+uint64_t droppedSpans();
+
+/** Drop every retained span (rings stay registered). */
+void clearTrace();
+
+/**
+ * Write the retained spans as Chrome trace_event JSON to `path`
+ * ("-" = stdout). @return number of spans written.
+ */
+size_t writeChromeTrace(const std::string &path);
+
+/** The same trace_event JSON as a string (tests, embedding). */
+std::string chromeTraceJson();
+
+/**
+ * RAII span: records [construction, destruction) into the calling
+ * thread's ring when tracing is enabled, else does nothing.
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const char *name, const char *cat = "app")
+    {
+        if (tracingEnabled()) {
+            name_ = name;
+            cat_ = cat;
+            start_ = nowNs();
+        }
+    }
+
+    /** Span with one numeric argument (e.g. batch size). */
+    TraceScope(const char *name, const char *cat, const char *arg_name,
+               uint64_t arg_value)
+        : TraceScope(name, cat)
+    {
+        if (name_ != nullptr) {
+            argName_ = arg_name;
+            argValue_ = arg_value;
+        }
+    }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    ~TraceScope()
+    {
+        if (name_ != nullptr) {
+            recordSpan(name_, cat_, start_, nowNs() - start_, argName_,
+                       argValue_);
+        }
+    }
+
+  private:
+    const char *name_ = nullptr;
+    const char *cat_ = nullptr;
+    uint64_t start_ = 0;
+    const char *argName_ = nullptr;
+    uint64_t argValue_ = 0;
+};
+
+/**
+ * A stage scope: times one pipeline stage into a `Histogram` (in
+ * microseconds, when a sink is wired) *and* emits a trace span (when
+ * tracing is on). With neither active it costs two null checks — the
+ * models run it unconditionally.
+ */
+class StageScope
+{
+  public:
+    StageScope(const char *name, Histogram *hist,
+               const char *cat = "stage")
+        : hist_(hist)
+    {
+        bool tracing = tracingEnabled();
+        if (tracing)
+            name_ = name;
+        if (hist_ != nullptr || tracing) {
+            cat_ = cat;
+            start_ = nowNs();
+        }
+    }
+
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+    ~StageScope()
+    {
+        if (hist_ == nullptr && name_ == nullptr)
+            return;
+        uint64_t dur = nowNs() - start_;
+        if (hist_ != nullptr)
+            hist_->record(dur / 1000);
+        if (name_ != nullptr)
+            recordSpan(name_, cat_, start_, dur);
+    }
+
+  private:
+    Histogram *hist_ = nullptr;
+    const char *name_ = nullptr;
+    const char *cat_ = nullptr;
+    uint64_t start_ = 0;
+};
+
+} // namespace cegma::obs
+
+#define CEGMA_TRACE_CONCAT2(a, b) a##b
+#define CEGMA_TRACE_CONCAT(a, b) CEGMA_TRACE_CONCAT2(a, b)
+
+/** Trace the enclosing scope as span `name` (category "app"). */
+#define CEGMA_TRACE_SCOPE(name)                                             \
+    ::cegma::obs::TraceScope CEGMA_TRACE_CONCAT(cegma_trace_scope_,         \
+                                                __LINE__)(name)
+
+/** Trace the enclosing scope as span `name` under category `cat`. */
+#define CEGMA_TRACE_SCOPE_CAT(name, cat)                                    \
+    ::cegma::obs::TraceScope CEGMA_TRACE_CONCAT(cegma_trace_scope_,         \
+                                                __LINE__)(name, cat)
+
+#endif // CEGMA_OBS_TRACE_HH

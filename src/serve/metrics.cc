@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/build_info.hh"
+
 namespace cegma {
 
 namespace {
@@ -56,77 +58,111 @@ MetricsSnapshot::toJson() const
     appendField(out, "cache_hit_rate", cacheHitRate);
     appendField(out, "dedup_rows_total", dedupRowsTotal);
     appendField(out, "dedup_rows_unique", dedupRowsUnique);
-    appendField(out, "dedup_skip_ratio", dedupSkipRatio, false);
+    appendField(out, "dedup_skip_ratio", dedupSkipRatio);
+    appendField(out, "stage_embed_ms", stageEmbedMs);
+    appendField(out, "stage_match_ms", stageMatchMs);
+    appendField(out, "stage_dedup_ms", stageDedupMs);
+    appendField(out, "stage_head_ms", stageHeadMs);
+    appendField(out, "stage_memo_ms", stageMemoMs);
+    appendField(out, "stage_queue_ms", stageQueueMs);
+    out += "\"build\": " + obs::buildInfoJson();
     out += "}";
     return out;
+}
+
+ServiceMetrics::ServiceMetrics()
+    : submitted_(registry_.counter("serve.requests.submitted")),
+      completed_(registry_.counter("serve.requests.completed")),
+      rejected_(registry_.counter("serve.requests.rejected")),
+      batches_(registry_.counter("serve.batches")),
+      batchSize_(registry_.histogram("serve.batch.size", "requests")),
+      latencyUs_(registry_.histogram("serve.latency.total", "us")),
+      queueUs_(registry_.histogram("serve.latency.queue", "us"))
+{
+    stages_.embedUs = &registry_.histogram("serve.stage.embed", "us");
+    stages_.matchUs = &registry_.histogram("serve.stage.match", "us");
+    stages_.dedupUs = &registry_.histogram("serve.stage.dedup", "us");
+    stages_.headUs = &registry_.histogram("serve.stage.head", "us");
 }
 
 void
 ServiceMetrics::recordSubmitted()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!started_) {
-        started_ = true;
-        firstSubmit_ = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!started_) {
+            started_ = true;
+            firstSubmit_ = std::chrono::steady_clock::now();
+        }
     }
-    ++submitted_;
+    submitted_.add();
 }
 
 void
 ServiceMetrics::recordRejected()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++rejected_;
+    rejected_.add();
 }
 
 void
 ServiceMetrics::recordBatch(uint64_t batch_size)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++batches_;
-    batchSizes_.add(static_cast<double>(batch_size));
+    batches_.add();
+    batchSize_.record(batch_size);
 }
 
 void
 ServiceMetrics::recordCompleted(double queue_us, double total_us)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++completed_;
-    queueUs_.add(queue_us);
-    latencyStat_.add(total_us);
-    latencyUs_.add(total_us > 0.0 ? static_cast<uint64_t>(total_us) : 0);
+    completed_.add();
+    queueUs_.record(queue_us > 0.0 ? static_cast<uint64_t>(queue_us)
+                                   : 0);
+    latencyUs_.record(total_us > 0.0 ? static_cast<uint64_t>(total_us)
+                                     : 0);
 }
 
 MetricsSnapshot
 ServiceMetrics::snapshot(uint64_t queue_depth) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     MetricsSnapshot snap;
-    snap.submitted = submitted_;
-    snap.completed = completed_;
-    snap.rejected = rejected_;
-    snap.batches = batches_;
+    snap.submitted = submitted_.value();
+    snap.completed = completed_.value();
+    snap.rejected = rejected_.value();
+    snap.batches = batches_.value();
     snap.queueDepth = queue_depth;
-    if (started_) {
-        snap.elapsedSec =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - firstSubmit_)
-                .count();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (started_) {
+            snap.elapsedSec =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - firstSubmit_)
+                    .count();
+        }
     }
     snap.qps = snap.elapsedSec > 0.0
-                   ? static_cast<double>(completed_) / snap.elapsedSec
+                   ? static_cast<double>(snap.completed) /
+                         snap.elapsedSec
                    : 0.0;
-    snap.batchMean = batchSizes_.mean();
-    snap.batchMax = static_cast<uint64_t>(batchSizes_.max());
-    snap.latencyP50Ms =
-        static_cast<double>(latencyUs_.valueAtQuantile(0.50)) / 1e3;
-    snap.latencyP95Ms =
-        static_cast<double>(latencyUs_.valueAtQuantile(0.95)) / 1e3;
-    snap.latencyP99Ms =
-        static_cast<double>(latencyUs_.valueAtQuantile(0.99)) / 1e3;
-    snap.latencyMeanMs = latencyStat_.mean() / 1e3;
-    snap.latencyMaxMs = latencyStat_.max() / 1e3;
-    snap.queueMeanMs = queueUs_.mean() / 1e3;
+
+    obs::HistogramSummary batch = batchSize_.summary();
+    snap.batchMean = batch.mean;
+    snap.batchMax = static_cast<uint64_t>(batch.max);
+
+    obs::HistogramSummary lat = latencyUs_.summary();
+    snap.latencyP50Ms = static_cast<double>(lat.p50) / 1e3;
+    snap.latencyP95Ms = static_cast<double>(lat.p95) / 1e3;
+    snap.latencyP99Ms = static_cast<double>(lat.p99) / 1e3;
+    snap.latencyMeanMs = lat.mean / 1e3;
+    snap.latencyMaxMs = lat.max / 1e3;
+
+    obs::HistogramSummary queue = queueUs_.summary();
+    snap.queueMeanMs = queue.mean / 1e3;
+    snap.stageQueueMs = queue.sum / 1e3;
+
+    snap.stageEmbedMs = stages_.embedUs->sum() / 1e3;
+    snap.stageMatchMs = stages_.matchUs->sum() / 1e3;
+    snap.stageDedupMs = stages_.dedupUs->sum() / 1e3;
+    snap.stageHeadMs = stages_.headUs->sum() / 1e3;
     return snap;
 }
 

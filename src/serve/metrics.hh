@@ -1,13 +1,18 @@
 /**
  * @file
  * Request-level telemetry for the serving subsystem: QPS, queue depth,
- * batch-size distribution, exact latency percentiles, and the memo
- * cache's hit/eviction counters, exportable as a JSON snapshot.
+ * batch-size distribution, exact latency percentiles, per-stage time
+ * breakdown, and the memo cache's hit/eviction counters, exportable as
+ * a JSON snapshot.
  *
- * Latencies are recorded as integer microseconds into an
- * `IntDistribution`, so p50/p95/p99 are *exact* over the recorded
- * samples (no histogram bucketing error) — the same machinery the
- * paper's reuse-distance CDFs use.
+ * Storage lives in a per-service `obs::MetricsRegistry`: every counter
+ * and histogram here is a named registry metric, so the same numbers
+ * that fill a `MetricsSnapshot` are also exposable as registry JSON or
+ * Prometheus text (see obs/metrics.hh) without a second bookkeeping
+ * path. Latencies are recorded as integer microseconds into the
+ * registry's exact-quantile histograms, so p50/p95/p99 are *exact*
+ * over the recorded samples (no bucketing error) — the same machinery
+ * the paper's reuse-distance CDFs use.
  */
 
 #ifndef CEGMA_SERVE_METRICS_HH
@@ -18,7 +23,7 @@
 #include <mutex>
 #include <string>
 
-#include "common/stats.hh"
+#include "obs/metrics.hh"
 
 namespace cegma {
 
@@ -63,18 +68,38 @@ struct MetricsSnapshot
     uint64_t dedupRowsUnique = 0;
     double dedupSkipRatio = 0.0;
 
+    // Per-stage thread-time totals across every scored pair,
+    // milliseconds. These are sums over the pair-parallel workers, so
+    // they can exceed the wall clock; their *shares* are the latency
+    // breakdown. stageQueueMs sums the submit->flush waits;
+    // stageMemoMs is the memo cache's lookup/insert time (filled by
+    // the service).
+    double stageEmbedMs = 0.0;
+    double stageMatchMs = 0.0;
+    double stageDedupMs = 0.0;
+    double stageHeadMs = 0.0;
+    double stageMemoMs = 0.0;
+    double stageQueueMs = 0.0;
+
     /** One JSON object, keys in the order above. */
     std::string toJson() const;
 };
 
 /**
- * Mutex-guarded metric sink. One instance per service; the dispatcher
- * and the submitting threads record concurrently, and `snapshot()` can
- * be taken at any time (including mid-load).
+ * The serving metric sink: a facade over a per-service
+ * `obs::MetricsRegistry`. One instance per service; the dispatcher and
+ * the submitting threads record concurrently, and `snapshot()` can be
+ * taken at any time (including mid-load). Per-service ownership keeps
+ * concurrent services (and tests) from bleeding into each other.
  */
 class ServiceMetrics
 {
   public:
+    ServiceMetrics();
+
+    ServiceMetrics(const ServiceMetrics &) = delete;
+    ServiceMetrics &operator=(const ServiceMetrics &) = delete;
+
     /** Count one submit() call (the admission verdict comes apart). */
     void recordSubmitted();
 
@@ -88,25 +113,40 @@ class ServiceMetrics
     void recordCompleted(double queue_us, double total_us);
 
     /**
-     * Snapshot everything recorded so far. Cache and dedup fields are
-     * left zero — the service overlays them from its own counters.
+     * Snapshot everything recorded so far. Cache, dedup, and memo
+     * fields are left zero — the service overlays them from its own
+     * counters.
      *
      * @param queue_depth current admission-queue depth
      */
     MetricsSnapshot snapshot(uint64_t queue_depth) const;
 
+    /**
+     * The registry every metric lives in. The service adds its
+     * provider gauges (cache bytes, queue depth, ...) here, and the
+     * CLI exposes it as JSON / Prometheus text.
+     */
+    obs::MetricsRegistry &registry() { return registry_; }
+    const obs::MetricsRegistry &registry() const { return registry_; }
+
+    /** The per-stage sinks wired into `InferenceOptions::stages`. */
+    const obs::StageSink &stages() const { return stages_; }
+
   private:
+    obs::MetricsRegistry registry_;
+    obs::Counter &submitted_;
+    obs::Counter &completed_;
+    obs::Counter &rejected_;
+    obs::Counter &batches_;
+    obs::Histogram &batchSize_;
+    obs::Histogram &latencyUs_;
+    obs::Histogram &queueUs_;
+    obs::StageSink stages_;
+
+    // Only the throughput-window start needs a lock of its own.
     mutable std::mutex mutex_;
     bool started_ = false;
     std::chrono::steady_clock::time_point firstSubmit_;
-    uint64_t submitted_ = 0;
-    uint64_t completed_ = 0;
-    uint64_t rejected_ = 0;
-    uint64_t batches_ = 0;
-    RunningStat batchSizes_;
-    IntDistribution latencyUs_;
-    RunningStat latencyStat_;
-    RunningStat queueUs_;
 };
 
 } // namespace cegma

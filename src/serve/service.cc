@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/logging.hh"
 #include "common/parallel.hh"
+#include "obs/trace.hh"
 
 namespace cegma {
 
@@ -16,6 +18,16 @@ msSince(SteadyClock::time_point start, SteadyClock::time_point now)
 {
     return std::chrono::duration<double, std::milli>(now - start)
         .count();
+}
+
+/** A steady time point on the tracing timeline (see obs::nowNs). */
+uint64_t
+traceNs(SteadyClock::time_point tp)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count());
 }
 
 /** Best-k hits, score-descending, ties broken by candidate index. */
@@ -52,7 +64,38 @@ SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus)
     infer.dedupMatching = config_.dedup;
     infer.memo = config_.memo ? &memo_ : nullptr;
     infer.dedupStats = config_.dedup ? &dedupStats_ : nullptr;
+    infer.stages = &metrics_.stages();
     model_->setInferenceOptions(infer);
+
+    // Publish the values other members already own as provider gauges
+    // (polled at exposition time). The registry dies with metrics_,
+    // before any provider target, so the captures stay valid.
+    obs::MetricsRegistry &reg = metrics_.registry();
+    reg.providerGauge("serve.queue.depth", [this] {
+        return static_cast<int64_t>(batcher_.depth());
+    });
+    reg.providerGauge("serve.cache.hits", [this] {
+        return static_cast<int64_t>(memo_.hits());
+    });
+    reg.providerGauge("serve.cache.misses", [this] {
+        return static_cast<int64_t>(memo_.misses());
+    });
+    reg.providerGauge("serve.cache.evictions", [this] {
+        return static_cast<int64_t>(memo_.evictions());
+    });
+    reg.providerGauge("serve.cache.bytes", [this] {
+        return static_cast<int64_t>(memo_.bytes());
+    });
+    reg.providerGauge("serve.memo.lookup_us", [this] {
+        return static_cast<int64_t>(memo_.lookupNs() / 1000);
+    });
+    reg.providerGauge("serve.dedup.rows_total", [this] {
+        return static_cast<int64_t>(dedupStats_.rowsTotal.value());
+    });
+    reg.providerGauge("serve.dedup.rows_unique", [this] {
+        return static_cast<int64_t>(dedupStats_.rowsUnique.value());
+    });
+
     dispatcher_ = std::thread([this] { dispatchLoop(); });
 }
 
@@ -105,11 +148,10 @@ SearchService::metrics() const
         lookups > 0 ? static_cast<double>(snap.cacheHits) /
                           static_cast<double>(lookups)
                     : 0.0;
-    snap.dedupRowsTotal =
-        dedupStats_.rowsTotal.load(std::memory_order_relaxed);
-    snap.dedupRowsUnique =
-        dedupStats_.rowsUnique.load(std::memory_order_relaxed);
+    snap.dedupRowsTotal = dedupStats_.rowsTotal.value();
+    snap.dedupRowsUnique = dedupStats_.rowsUnique.value();
     snap.dedupSkipRatio = dedupStats_.skipRatio();
+    snap.stageMemoMs = static_cast<double>(memo_.lookupNs()) / 1e6;
     return snap;
 }
 
@@ -139,6 +181,8 @@ SearchService::scoreBatch(std::vector<Pending> &batch)
     // cache amortizes per-graph work across all queries in the batch.
     std::vector<double> scores(num_pairs, 0.0);
     if (num_pairs > 0) {
+        obs::TraceScope span("batch.score", "serve", "batch_size",
+                             num_queries);
         parallelFor(0, num_pairs, 1, [&](size_t i0, size_t i1) {
             for (size_t i = i0; i < i1; ++i) {
                 GraphPair pair;
@@ -162,6 +206,20 @@ SearchService::scoreBatch(std::vector<Pending> &batch)
         result.batchSize = static_cast<uint32_t>(num_queries);
         metrics_.recordCompleted(result.queueMs * 1e3,
                                  result.totalMs * 1e3);
+        if (obs::tracingEnabled()) {
+            uint64_t sub_ns = traceNs(batch[q].submitted);
+            obs::recordSpan("request", "serve", sub_ns,
+                            traceNs(done) - sub_ns, "batch_size",
+                            num_queries);
+            obs::recordSpan("queue.wait", "serve", sub_ns,
+                            traceNs(flushed) - sub_ns);
+        }
+        if (config_.slowMs > 0.0 && result.totalMs >= config_.slowMs) {
+            warn("slow request: %.2f ms total (%.2f ms queued, batch "
+                 "%u, %zu candidates)",
+                 result.totalMs, result.queueMs, result.batchSize,
+                 num_candidates);
+        }
         batch[q].promise.set_value(std::move(result));
     }
 }

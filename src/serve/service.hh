@@ -72,6 +72,13 @@ struct ServeConfig
 
     /** Results keep the best `topK` candidates (and all raw scores). */
     uint32_t topK = 10;
+
+    /**
+     * Slow-request log threshold in milliseconds of end-to-end
+     * latency; 0 disables. A breaching request logs one warn() line
+     * with its queue/total split and batch size.
+     */
+    double slowMs = 0.0;
 };
 
 /** One ranked search result. */
@@ -129,6 +136,16 @@ class SearchService
 
     /** Live metrics, including memo-cache and dedup counters. */
     MetricsSnapshot metrics() const;
+
+    /**
+     * The service's metrics registry (counters, latency and per-stage
+     * histograms, provider gauges over the memo cache and queue) for
+     * JSON / Prometheus exposition.
+     */
+    const obs::MetricsRegistry &registry() const
+    {
+        return metrics_.registry();
+    }
 
     const ServeConfig &config() const { return config_; }
     size_t corpusSize() const { return corpus_.size(); }

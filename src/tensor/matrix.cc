@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "obs/trace.hh"
 
 namespace cegma {
 
@@ -82,6 +83,7 @@ Matrix::rowsEqual(size_t r_a, size_t r_b) const
 Matrix
 matmul(const Matrix &a, const Matrix &b)
 {
+    CEGMA_TRACE_SCOPE_CAT("matmul", "kernel.gemm");
     cegma_assert(a.cols() == b.rows());
     const size_t m = a.rows(), k = a.cols(), n = b.cols();
     Matrix c(m, n);
@@ -138,6 +140,7 @@ matmul(const Matrix &a, const Matrix &b)
 Matrix
 matmulNT(const Matrix &a, const Matrix &b)
 {
+    CEGMA_TRACE_SCOPE_CAT("matmulNT", "kernel.gemm");
     cegma_assert(a.cols() == b.cols());
     const size_t m = a.rows(), k = a.cols(), n = b.rows();
     Matrix c(m, n);

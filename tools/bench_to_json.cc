@@ -282,7 +282,36 @@ struct ServingRecord
     double batchMean;
     double cacheHitRate;
     double dedupSkipRatio;
+
+    // Per-stage latency breakdown: each stage's share of the total
+    // accounted time (queue wait + embed + match + dedup + head +
+    // memo lookups). Stage times are thread-time sums, so the shares
+    // describe where the compute went, not wall-clock fractions.
+    double embedShare;
+    double matchShare;
+    double dedupShare;
+    double headShare;
+    double memoShare;
+    double queueShare;
 };
+
+/** The stage shares of `snap`, normalized over the accounted total. */
+void
+fillStageShares(const MetricsSnapshot &snap, ServingRecord &rec)
+{
+    double total = snap.stageQueueMs + snap.stageEmbedMs +
+                   snap.stageMatchMs + snap.stageDedupMs +
+                   snap.stageHeadMs + snap.stageMemoMs;
+    auto share = [total](double ms) {
+        return total > 0.0 ? ms / total : 0.0;
+    };
+    rec.embedShare = share(snap.stageEmbedMs);
+    rec.matchShare = share(snap.stageMatchMs);
+    rec.dedupShare = share(snap.stageDedupMs);
+    rec.headShare = share(snap.stageHeadMs);
+    rec.memoShare = share(snap.stageMemoMs);
+    rec.queueShare = share(snap.stageQueueMs);
+}
 
 /** The serving comparison: baseline vs the full elastic runtime. */
 const struct
@@ -346,6 +375,7 @@ runServingSweep(uint32_t num_queries, uint32_t num_candidates,
             rec.batchMean = run.metrics.batchMean;
             rec.cacheHitRate = run.metrics.cacheHitRate;
             rec.dedupSkipRatio = run.metrics.dedupSkipRatio;
+            fillStageShares(run.metrics, rec);
             records.push_back(std::move(rec));
         }
     }
@@ -369,12 +399,16 @@ writeServingJson(const std::vector<ServingRecord> &records,
                      "\"achieved_qps\": %.3f, \"p50_ms\": %.3f, "
                      "\"p95_ms\": %.3f, \"p99_ms\": %.3f, "
                      "\"batch_mean\": %.2f, \"cache_hit_rate\": %.3f, "
-                     "\"dedup_skip_ratio\": %.3f}%s\n",
+                     "\"dedup_skip_ratio\": %.3f, "
+                     "\"embed_share\": %.3f, \"match_share\": %.3f, "
+                     "\"dedup_share\": %.3f, \"head_share\": %.3f, "
+                     "\"memo_share\": %.3f, \"queue_share\": %.3f}%s\n",
                      r.model.c_str(), r.mode.c_str(), r.threads,
                      r.requests, r.offeredQps, r.achievedQps, r.p50Ms,
                      r.p95Ms, r.p99Ms, r.batchMean, r.cacheHitRate,
-                     r.dedupSkipRatio,
-                     i + 1 < records.size() ? "," : "");
+                     r.dedupSkipRatio, r.embedShare, r.matchShare,
+                     r.dedupShare, r.headShare, r.memoShare,
+                     r.queueShare, i + 1 < records.size() ? "," : "");
     }
     std::fprintf(out, "]\n");
     if (out != stdout)

@@ -12,22 +12,32 @@
  *               [--qps R | --clients K]
  *               [--batch B] [--flush-us U] [--topk K]
  *               [--dedup=on|off] [--memo=on|off] [--memo-mb M]
- *               [--threads T] [--seed S] [--json] [--csv]
+ *               [--threads T] [--seed S] [--json] [--csv] [--prom]
+ *               [--trace-out FILE] [--metrics-every SEC]
+ *               [--slow-ms MS] [--version]
  *
  * Examples:
  *   cegma_serve --model GraphSim --dataset RD-B --qps 50 --requests 200
  *   cegma_serve --clients 8 --requests 400       # closed-loop capacity
  *   cegma_serve --qps 20 --json                  # JSON metrics snapshot
+ *   cegma_serve --trace-out trace.json           # Perfetto-loadable trace
+ *   cegma_serve --qps 10 --metrics-every 1 --slow-ms 50
  */
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/table.hh"
+#include "obs/build_info.hh"
+#include "obs/trace.hh"
 #include "serve/loadgen.hh"
 #include "serve/service.hh"
 
@@ -54,6 +64,10 @@ struct Options
     uint64_t seed = 7;
     bool json = false;
     bool csv = false;
+    bool prom = false;
+    std::string traceOut;     // Chrome trace_event JSON path
+    double metricsEvery = 0.0; // seconds; > 0 starts the reporter
+    double slowMs = 0.0;       // slow-request log threshold
 };
 
 [[noreturn]] void
@@ -66,11 +80,17 @@ usage(const char *argv0)
         "          [--qps R | --clients K]\n"
         "          [--batch B] [--flush-us U] [--topk K]\n"
         "          [--dedup=on|off] [--memo=on|off] [--memo-mb M]\n"
-        "          [--threads T] [--seed S] [--json] [--csv]\n"
+        "          [--threads T] [--seed S] [--json] [--csv] [--prom]\n"
+        "          [--trace-out FILE] [--metrics-every SEC]\n"
+        "          [--slow-ms MS] [--version]\n"
         "models: GMN-Li GraphSim SimGNN\n"
         "datasets: AIDS COLLAB GITHUB RD-B RD-5K RD-12K\n"
         "--qps > 0 drives open-loop Poisson arrivals; otherwise\n"
-        "--clients closed-loop workers issue back-to-back requests.\n",
+        "--clients closed-loop workers issue back-to-back requests.\n"
+        "--trace-out writes a Chrome trace_event JSON (Perfetto /\n"
+        "chrome://tracing); --prom prints the metrics registry as\n"
+        "Prometheus text; --metrics-every prints periodic stats to\n"
+        "stderr; --slow-ms logs requests slower than the threshold.\n",
         argv0);
     std::exit(2);
 }
@@ -155,6 +175,17 @@ parseArgs(int argc, char **argv)
             opts.json = true;
         } else if (arg == "--csv") {
             opts.csv = true;
+        } else if (arg == "--prom") {
+            opts.prom = true;
+        } else if (arg == "--trace-out") {
+            opts.traceOut = next();
+        } else if (arg == "--metrics-every") {
+            opts.metricsEvery = std::stod(next());
+        } else if (arg == "--slow-ms") {
+            opts.slowMs = std::stod(next());
+        } else if (arg == "--version") {
+            std::printf("%s\n", obs::buildInfoString().c_str());
+            std::exit(0);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else {
@@ -188,16 +219,69 @@ main(int argc, char **argv)
     config.maxBatch = opts.batch;
     config.flushMicros = opts.flushUs;
     config.topK = opts.topk;
+    config.slowMs = opts.slowMs;
+
+    if (!opts.traceOut.empty())
+        obs::setTracingEnabled(true);
 
     SearchService service(config, corpus.candidates);
+
+    // Periodic stats reporter: one stderr line per interval while the
+    // load runs (single fwrite per line — see common/logging.cc).
+    std::mutex reporter_mutex;
+    std::condition_variable reporter_cv;
+    bool reporter_stop = false;
+    std::thread reporter;
+    if (opts.metricsEvery > 0.0) {
+        reporter = std::thread([&] {
+            std::unique_lock<std::mutex> lock(reporter_mutex);
+            auto interval =
+                std::chrono::duration<double>(opts.metricsEvery);
+            while (!reporter_cv.wait_for(
+                lock, interval, [&] { return reporter_stop; })) {
+                MetricsSnapshot s = service.metrics();
+                std::fprintf(
+                    stderr,
+                    "stats: %llu/%llu done, %.1f qps, p50 %.2f ms, "
+                    "p95 %.2f ms, queue %llu, cache hit %.0f%%\n",
+                    static_cast<unsigned long long>(s.completed),
+                    static_cast<unsigned long long>(s.submitted),
+                    s.qps, s.latencyP50Ms, s.latencyP95Ms,
+                    static_cast<unsigned long long>(s.queueDepth),
+                    100.0 * s.cacheHitRate);
+            }
+        });
+    }
+
     LoadGenResult run =
         opts.qps > 0.0
             ? runOpenLoop(service, corpus.queries, opts.requests,
                           opts.qps, opts.seed)
             : runClosedLoop(service, corpus.queries, opts.requests,
                             opts.clients);
+
+    if (reporter.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(reporter_mutex);
+            reporter_stop = true;
+        }
+        reporter_cv.notify_all();
+        reporter.join();
+    }
     service.shutdown();
     MetricsSnapshot snap = run.metrics;
+
+    if (!opts.traceOut.empty()) {
+        size_t spans = obs::writeChromeTrace(opts.traceOut);
+        std::fprintf(stderr, "trace: %zu spans -> %s\n", spans,
+                     opts.traceOut.c_str());
+    }
+
+    if (opts.prom) {
+        std::fputs(service.registry().snapshot().toPrometheus().c_str(),
+                   stdout);
+        return 0;
+    }
 
     if (opts.json) {
         std::printf("%s\n", snap.toJson().c_str());

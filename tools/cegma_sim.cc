@@ -31,6 +31,7 @@
 #include "common/table.hh"
 #include "common/units.hh"
 #include "io/trace_io.hh"
+#include "obs/build_info.hh"
 #include "sim/energy.hh"
 
 using namespace cegma;
@@ -181,6 +182,9 @@ parseArgs(int argc, char **argv)
                 static_cast<uint32_t>(std::stoul(spec.substr(x + 1)));
             if (opts.cloneQueries == 0 || opts.cloneCandidates == 0)
                 usage(argv[0]);
+        } else if (arg == "--version") {
+            std::printf("%s\n", obs::buildInfoString().c_str());
+            std::exit(0);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else {
