@@ -35,6 +35,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hh"
+
 namespace cegma {
 
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
@@ -46,13 +48,24 @@ class ShardedLruCache
     /**
      * @param max_bytes total byte budget across all shards; 0 means
      *        unbounded
-     * @param shards number of independent shards (clamped to >= 1)
+     * @param shards number of independent shards (clamped to >= 1,
+     *        and — when bounded — to at most `max_bytes` shards, so
+     *        the per-shard budget never rounds down to zero bytes;
+     *        `0 < max_bytes < shards` would otherwise refuse every
+     *        insert as oversized)
      */
     explicit ShardedLruCache(size_t max_bytes = 0, uint32_t shards = 8)
         : maxBytes_(max_bytes),
-          shards_(std::max<uint32_t>(shards, 1)),
-          shardBudget_(max_bytes / std::max<uint32_t>(shards, 1))
+          shards_(effectiveShards(max_bytes, shards)),
+          shardBudget_(max_bytes / effectiveShards(max_bytes, shards))
     {
+        if (max_bytes > 0 && max_bytes < std::max<uint32_t>(shards, 1)) {
+            warn("ShardedLruCache: budget of %zu bytes is below the "
+                 "requested %u shards; collapsing to %zu shard(s) so "
+                 "the per-shard budget stays nonzero",
+                 max_bytes, std::max<uint32_t>(shards, 1),
+                 shards_.size());
+        }
     }
 
     /**
@@ -180,6 +193,20 @@ class ShardedLruCache
         size_t evictions = 0;
         size_t oversized = 0;
     };
+
+    /**
+     * The shard count actually built: at least 1, and when a byte
+     * budget is set, at most `max_bytes` so every shard's budget is
+     * >= 1 byte (a zero per-shard budget silently refuses every
+     * insert — the tiny-budget bug this clamp exists to prevent).
+     */
+    static uint32_t effectiveShards(size_t max_bytes, uint32_t shards)
+    {
+        uint64_t count = std::max<uint32_t>(shards, 1);
+        if (max_bytes > 0 && max_bytes < count)
+            count = max_bytes;
+        return static_cast<uint32_t>(count);
+    }
 
     Shard &shardFor(const Key &key)
     {

@@ -30,7 +30,7 @@ class GmnLiModel : public GmnModel
             layers_.emplace_back(config_.nodeDim, config_.nodeDim, rng_);
     }
 
-    Detail forwardDetailed(const GraphPair &pair) const override;
+    Detail forwardDetailed(GraphPairView pair) const override;
 
   private:
     /** Cross-graph attention message: x - softmax(S) y (per [24]). */
@@ -71,7 +71,7 @@ class GmnLiModel : public GmnModel
 };
 
 GmnModel::Detail
-GmnLiModel::forwardDetailed(const GraphPair &pair) const
+GmnLiModel::forwardDetailed(GraphPairView pair) const
 {
     Detail detail;
     // Cross-feedback means embeddings depend on the partner graph, so

@@ -34,7 +34,7 @@ class GraphSimModel : public GmnModel
         }
     }
 
-    Detail forwardDetailed(const GraphPair &pair) const override;
+    Detail forwardDetailed(GraphPairView pair) const override;
 
   private:
     /** The per-graph embedding chain (encoder + all GCN layers). */
@@ -70,7 +70,7 @@ class GraphSimModel : public GmnModel
 };
 
 GmnModel::Detail
-GraphSimModel::forwardDetailed(const GraphPair &pair) const
+GraphSimModel::forwardDetailed(GraphPairView pair) const
 {
     Detail detail;
     std::shared_ptr<const GraphEmbedding> et, eq;

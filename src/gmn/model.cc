@@ -36,7 +36,7 @@ modelConfig(ModelId id)
 }
 
 double
-GmnModel::score(const GraphPair &pair) const
+GmnModel::score(GraphPairView pair) const
 {
     return forwardDetailed(pair).score;
 }

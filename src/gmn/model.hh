@@ -154,11 +154,16 @@ class GmnModel
         double score = 0.0;
     };
 
-    /** Run inference, keeping all intermediates. */
-    virtual Detail forwardDetailed(const GraphPair &pair) const = 0;
+    /**
+     * Run inference, keeping all intermediates. Takes a non-owning
+     * view so hot callers (the serving batch loop) can pair corpus
+     * and query graphs without copying either; `GraphPair` converts
+     * implicitly.
+     */
+    virtual Detail forwardDetailed(GraphPairView pair) const = 0;
 
     /** Run inference, returning only the score. */
-    double score(const GraphPair &pair) const;
+    double score(GraphPairView pair) const;
 
     /** Set the elastic execution knobs (see `InferenceOptions`). */
     void setInferenceOptions(const InferenceOptions &options)

@@ -43,7 +43,7 @@ class SimGnnModel : public GmnModel
             layers_.emplace_back(config_.nodeDim, config_.nodeDim, rng_);
     }
 
-    Detail forwardDetailed(const GraphPair &pair) const override;
+    Detail forwardDetailed(GraphPairView pair) const override;
 
   private:
     /** SimGNN's global-context attention readout: 1 x nodeDim. */
@@ -115,7 +115,7 @@ class SimGnnModel : public GmnModel
 };
 
 GmnModel::Detail
-SimGnnModel::forwardDetailed(const GraphPair &pair) const
+SimGnnModel::forwardDetailed(GraphPairView pair) const
 {
     Detail detail;
     std::shared_ptr<const GraphEmbedding> et, eq;

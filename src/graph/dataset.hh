@@ -55,6 +55,29 @@ struct GraphPair
     bool similar; ///< true if the query is the 1-edge perturbation.
 };
 
+/**
+ * A non-owning (target, query) view over graphs that live elsewhere —
+ * what the scoring hot paths take, so pairing a corpus graph with a
+ * query never deep-copies either side. Converts implicitly from a
+ * `GraphPair`, so owning call sites are unchanged. The referenced
+ * graphs must outlive the view (it is a call-scope type, not storage).
+ */
+struct GraphPairView
+{
+    const Graph &target;
+    const Graph &query;
+
+    GraphPairView(const Graph &target_graph, const Graph &query_graph)
+        : target(target_graph), query(query_graph)
+    {
+    }
+
+    GraphPairView(const GraphPair &pair) // NOLINT(google-explicit-*)
+        : target(pair.target), query(pair.query)
+    {
+    }
+};
+
 /** A realized dataset: spec plus generated test pairs. */
 struct Dataset
 {

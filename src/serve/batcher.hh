@@ -18,6 +18,20 @@
  * refuses (the service surfaces this as a rejected request) instead of
  * queueing unboundedly — queue depth, not latency, is the resource to
  * protect under overload.
+ *
+ * Load shedding is deadline-aware: when a `shed_watermark` is set and
+ * the depth crosses it, the batcher drops the waiting items with the
+ * *least remaining deadline budget* (earliest request deadline) first,
+ * instead of blindly refusing new arrivals — those items are the ones
+ * most likely to expire unserved anyway, so sacrificing them converts
+ * would-be deadline misses into explicit early failures and keeps
+ * admission open for requests that can still make their deadlines.
+ * Items without a deadline are never shed (their budget is infinite);
+ * the hard `max_depth` bound still backstops them.
+ *
+ * The single consumer is woken with `notify_one` — `notify_all` on
+ * every enqueue was a thundering-herd bug waiting for a second
+ * consumer that never existed.
  */
 
 #ifndef CEGMA_SERVE_BATCHER_HH
@@ -32,6 +46,10 @@
 
 namespace cegma {
 
+/** The "no request deadline" sentinel: infinite remaining budget. */
+inline constexpr std::chrono::steady_clock::time_point kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
+
 template <typename Item>
 class MicroBatcher
 {
@@ -39,14 +57,15 @@ class MicroBatcher
     using Clock = std::chrono::steady_clock;
 
     MicroBatcher(uint32_t max_batch, std::chrono::microseconds flush_deadline,
-                 size_t max_depth)
+                 size_t max_depth, size_t shed_watermark = 0)
         : maxBatch_(max_batch > 0 ? max_batch : 1),
-          flushDeadline_(flush_deadline), maxDepth_(max_depth)
+          flushDeadline_(flush_deadline), maxDepth_(max_depth),
+          shedWatermark_(shed_watermark)
     {
     }
 
     /**
-     * Enqueue one item.
+     * Enqueue one item with no deadline (never shed, never expires).
      *
      * @return false when the batcher is closed or the queue is at
      *         `max_depth` (the item is left untouched so the caller
@@ -54,13 +73,39 @@ class MicroBatcher
      */
     bool enqueue(Item &&item)
     {
+        return enqueue(std::move(item), kNoDeadline, nullptr);
+    }
+
+    /**
+     * Enqueue one item carrying a request deadline. When the depth
+     * crosses the shed watermark (or the queue is full but holds
+     * sheddable items), the least-deadline-budget items are moved
+     * into `*shed_out` — possibly including the one being enqueued —
+     * and the caller must fail them. `shed_out` may be null only when
+     * shedding is disabled.
+     *
+     * @return false when the batcher is closed, or the queue is full
+     *         and nothing was sheddable (the item is left untouched)
+     */
+    bool enqueue(Item &&item, Clock::time_point deadline,
+                 std::vector<Item> *shed_out)
+    {
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            if (closed_ || queue_.size() >= maxDepth_)
+            if (closed_)
                 return false;
-            queue_.push_back(Timed{Clock::now(), std::move(item)});
+            if (queue_.size() >= maxDepth_ && !shedOne(shed_out))
+                return false;
+            queue_.push_back(
+                Timed{Clock::now(), deadline, std::move(item)});
+            if (shedWatermark_ > 0) {
+                while (queue_.size() > shedWatermark_ &&
+                       shedOne(shed_out)) {
+                }
+            }
         }
-        wake_.notify_all();
+        // Single consumer: exactly one waiter can make progress.
+        wake_.notify_one();
         return true;
     }
 
@@ -108,6 +153,28 @@ class MicroBatcher
         wake_.notify_all();
     }
 
+    /**
+     * Close AND empty the queue, handing every still-queued item back
+     * to the caller (who owns failing their promises). This is the
+     * bounded-drain escape hatch: when a shutdown drain times out,
+     * the service aborts instead of blocking on a stuck dispatcher.
+     * Idempotent — a second call returns an empty vector.
+     */
+    std::vector<Item> abort()
+    {
+        std::vector<Item> leftover;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+            leftover.reserve(queue_.size());
+            for (Timed &timed : queue_)
+                leftover.push_back(std::move(timed.item));
+            queue_.clear();
+        }
+        wake_.notify_all();
+        return leftover;
+    }
+
     /** Current number of waiting items. */
     size_t depth() const
     {
@@ -121,21 +188,59 @@ class MicroBatcher
         return closed_;
     }
 
+    /** Items dropped by deadline-aware shedding so far. */
+    uint64_t shedCount() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return shed_;
+    }
+
   private:
     struct Timed
     {
         Clock::time_point enqueued;
+        Clock::time_point deadline;
         Item item;
     };
+
+    /**
+     * Drop the waiting item with the earliest (finite) deadline into
+     * `*shed_out`. Requires `mutex_` held.
+     *
+     * @return false when no item carries a finite deadline — nothing
+     *         is sheddable
+     */
+    bool shedOne(std::vector<Item> *shed_out)
+    {
+        if (shedWatermark_ == 0)
+            return false;
+        auto victim = queue_.end();
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->deadline == kNoDeadline)
+                continue;
+            if (victim == queue_.end() ||
+                it->deadline < victim->deadline)
+                victim = it;
+        }
+        if (victim == queue_.end())
+            return false;
+        ++shed_;
+        if (shed_out != nullptr)
+            shed_out->push_back(std::move(victim->item));
+        queue_.erase(victim);
+        return true;
+    }
 
     const uint32_t maxBatch_;
     const std::chrono::microseconds flushDeadline_;
     const size_t maxDepth_;
+    const size_t shedWatermark_;
 
     mutable std::mutex mutex_;
     std::condition_variable wake_;
     std::deque<Timed> queue_;
     bool closed_ = false;
+    uint64_t shed_ = 0;
 };
 
 } // namespace cegma

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Typed request-failure errors for the serving runtime. Every way a
+ * submitted request can fail without a score resolves its future with
+ * a `RequestError` carrying a machine-readable code, so clients (and
+ * the loadgen retry policy) can tell a shed request from an expired
+ * one without parsing message strings. `RequestError` derives from
+ * `std::runtime_error`, so callers that only care about "it failed"
+ * keep working unchanged.
+ */
+
+#ifndef CEGMA_SERVE_ERRORS_HH
+#define CEGMA_SERVE_ERRORS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace cegma {
+
+/** Why a request failed without being scored. */
+enum class RequestErrorCode
+{
+    /** Refused at admission: queue full or service shutting down. */
+    Rejected,
+
+    /** The request's deadline passed before it could be scored. */
+    DeadlineExceeded,
+
+    /**
+     * Dropped by deadline-aware load shedding: past the shed
+     * watermark, the requests with the least remaining deadline
+     * budget are sacrificed first.
+     */
+    Shed,
+
+    /**
+     * Still queued when the bounded shutdown drain timed out; the
+     * service failed the promise instead of blocking forever.
+     */
+    DrainTimeout,
+
+    /** A fault injector failed the request on purpose (tests only). */
+    Injected,
+};
+
+/** @return a stable lowercase name for `code` (metrics/log keys). */
+const char *requestErrorCodeName(RequestErrorCode code);
+
+/** The exception a failed request's future throws from `get()`. */
+class RequestError : public std::runtime_error
+{
+  public:
+    RequestError(RequestErrorCode code, const std::string &what)
+        : std::runtime_error(what), code_(code)
+    {
+    }
+
+    RequestErrorCode code() const { return code_; }
+
+    /**
+     * Whether a client retry can plausibly succeed: true for load
+     * failures (rejected / shed / injected) that a backoff can wait
+     * out, false once the service is draining away.
+     */
+    bool retryable() const
+    {
+        return code_ != RequestErrorCode::DrainTimeout;
+    }
+
+  private:
+    RequestErrorCode code_;
+};
+
+inline const char *
+requestErrorCodeName(RequestErrorCode code)
+{
+    switch (code) {
+      case RequestErrorCode::Rejected:
+        return "rejected";
+      case RequestErrorCode::DeadlineExceeded:
+        return "deadline_exceeded";
+      case RequestErrorCode::Shed:
+        return "shed";
+      case RequestErrorCode::DrainTimeout:
+        return "drain_timeout";
+      case RequestErrorCode::Injected:
+        return "injected";
+    }
+    return "unknown";
+}
+
+} // namespace cegma
+
+#endif // CEGMA_SERVE_ERRORS_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Seeded fault injection for the serving runtime — the test harness
+ * behind the overload-robustness features (deadlines, shedding,
+ * retries, bounded drain). Three injectable faults:
+ *
+ *   - scoring delays: before a batch is scored, sleep `delayMicros`
+ *     with probability `delayProb` (models a slow batch);
+ *   - spurious request errors: fail a request with probability
+ *     `errorProb` *before* it is scored (models transient backend
+ *     failures the client retry path must absorb);
+ *   - stuck-dispatcher stalls: the first `stallBatches` batches each
+ *     sleep `stallMicros` before scoring (models a wedged dispatcher,
+ *     the scenario the bounded shutdown drain protects against).
+ *
+ * Determinism: all coin flips come from one seeded `Rng` consumed
+ * only by the single dispatcher thread, in batch order — a run with
+ * the same seed and the same request sequence injects the same
+ * faults. Counters are relaxed atomics so tests and metrics can read
+ * them from other threads.
+ *
+ * Cost when off: the service holds a `FaultInjector *` that is null
+ * by default, so the entire feature is one null-pointer branch per
+ * batch and per request — nothing else touches the hot path.
+ */
+
+#ifndef CEGMA_SERVE_FAULTS_HH
+#define CEGMA_SERVE_FAULTS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/rng.hh"
+
+namespace cegma {
+
+/** What to inject, and how often. All-zero (the default) is a no-op. */
+struct FaultConfig
+{
+    uint64_t seed = 1;
+
+    /** Per-batch probability of an injected pre-scoring delay. */
+    double delayProb = 0.0;
+
+    /** Length of an injected scoring delay. */
+    uint32_t delayMicros = 0;
+
+    /** Per-request probability of an injected (unscored) failure. */
+    double errorProb = 0.0;
+
+    /** The first `stallBatches` batches stall before scoring... */
+    uint32_t stallBatches = 0;
+
+    /** ...for this long each (a deterministically wedged dispatcher). */
+    uint32_t stallMicros = 0;
+};
+
+/**
+ * The injector the dispatcher consults. Only the dispatcher thread
+ * calls `onBatchStart()` / `shouldFailRequest()`, which keeps the
+ * seeded RNG stream (and therefore the injected fault sequence)
+ * deterministic; any thread may read the counters.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultConfig config)
+        : config_(config), rng_(config.seed)
+    {
+    }
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Dispatcher hook: run the per-batch stall/delay faults. */
+    void onBatchStart()
+    {
+        uint64_t batch = batches_.fetch_add(1, std::memory_order_relaxed);
+        if (batch < config_.stallBatches && config_.stallMicros > 0) {
+            stalls_.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(config_.stallMicros));
+            return;
+        }
+        if (config_.delayProb > 0.0 && rng_.nextBool(config_.delayProb) &&
+            config_.delayMicros > 0) {
+            delays_.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(config_.delayMicros));
+        }
+    }
+
+    /** Dispatcher hook: should this request fail instead of score? */
+    bool shouldFailRequest()
+    {
+        if (config_.errorProb <= 0.0)
+            return false;
+        if (!rng_.nextBool(config_.errorProb))
+            return false;
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    uint64_t injectedStalls() const
+    {
+        return stalls_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t injectedDelays() const
+    {
+        return delays_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t injectedErrors() const
+    {
+        return errors_.load(std::memory_order_relaxed);
+    }
+
+    const FaultConfig &config() const { return config_; }
+
+  private:
+    FaultConfig config_;
+    Rng rng_; ///< dispatcher-thread only
+    std::atomic<uint64_t> batches_{0};
+    std::atomic<uint64_t> stalls_{0};
+    std::atomic<uint64_t> delays_{0};
+    std::atomic<uint64_t> errors_{0};
+};
+
+} // namespace cegma
+
+#endif // CEGMA_SERVE_FAULTS_HH

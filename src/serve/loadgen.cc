@@ -1,5 +1,6 @@
 #include "serve/loadgen.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <thread>
@@ -19,11 +20,129 @@ secondsSince(SteadyClock::time_point start, SteadyClock::time_point now)
     return std::chrono::duration<double>(now - start).count();
 }
 
+/** Whether a failed attempt is worth re-submitting. */
+bool
+isRetryable(const std::exception_ptr &error)
+{
+    try {
+        std::rethrow_exception(error);
+    } catch (const RequestError &e) {
+        return e.retryable();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+/** The jittered backoff before retry `attempt` (1-based), in ms. */
+double
+backoffMs(const RetryPolicy &retry, uint32_t attempt, Rng &rng)
+{
+    double backoff = retry.baseBackoffMs *
+                     std::pow(2.0, static_cast<double>(attempt - 1));
+    backoff = std::min(backoff, retry.maxBackoffMs);
+    double jitter = std::clamp(retry.jitter, 0.0, 1.0);
+    return backoff * (1.0 - jitter + jitter * rng.nextDouble());
+}
+
+/** Accounting shared by both drivers (atomics: clients are threads). */
+struct RetryCounters
+{
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> giveups{0};
+};
+
+std::future<QueryResult>
+submitOne(SearchService &service, const Graph &query,
+          const RetryPolicy &retry)
+{
+    return retry.deadlineMs != 0.0
+               ? service.submit(query, retry.deadlineMs)
+               : service.submit(query);
+}
+
+/**
+ * Finish a request whose first attempt already failed with `error`:
+ * backoff-sleep and resubmit until success, a non-retryable failure,
+ * or `retry.maxAttempts` total tries. Backoff draws come from the
+ * caller's seeded RNG, so the retry schedule is deterministic per
+ * (seed, failure sequence). Each retry is reported to the service's
+ * registry via `noteClientRetry()`.
+ *
+ * @return true when the request eventually succeeded
+ */
+bool
+retryAfterFailure(SearchService &service, const Graph &query,
+                  const RetryPolicy &retry, Rng &rng,
+                  RetryCounters &counters, std::exception_ptr error)
+{
+    uint32_t max_attempts = std::max<uint32_t>(retry.maxAttempts, 1);
+    for (uint32_t attempt = 1;; ++attempt) {
+        if (!isRetryable(error)) {
+            counters.errors.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        if (attempt >= max_attempts) {
+            counters.errors.fetch_add(1, std::memory_order_relaxed);
+            if (max_attempts > 1)
+                counters.giveups.fetch_add(1,
+                                           std::memory_order_relaxed);
+            return false;
+        }
+        counters.retries.fetch_add(1, std::memory_order_relaxed);
+        service.noteClientRetry();
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(
+                backoffMs(retry, attempt, rng)));
+        std::future<QueryResult> future =
+            submitOne(service, query, retry);
+        try {
+            future.get();
+            return true;
+        } catch (const std::exception &) {
+            error = std::current_exception();
+        }
+    }
+}
+
+/** One full request lifecycle: submit + wait (+ retries). */
+bool
+runOneRequest(SearchService &service, const Graph &query,
+              const RetryPolicy &retry, Rng &rng,
+              RetryCounters &counters)
+{
+    std::future<QueryResult> future = submitOne(service, query, retry);
+    try {
+        future.get();
+        return true;
+    } catch (const std::exception &) {
+        return retryAfterFailure(service, query, retry, rng, counters,
+                                 std::current_exception());
+    }
+}
+
+void
+fillResult(LoadGenResult &result, SearchService &service,
+           SteadyClock::time_point start, const RetryCounters &counters)
+{
+    result.errors = counters.errors.load(std::memory_order_relaxed);
+    result.retries = counters.retries.load(std::memory_order_relaxed);
+    result.giveups = counters.giveups.load(std::memory_order_relaxed);
+    result.makespanSec = secondsSince(start, SteadyClock::now());
+    result.metrics = service.metrics();
+    result.achievedQps =
+        result.makespanSec > 0.0
+            ? static_cast<double>(result.metrics.completed) /
+                  result.makespanSec
+            : 0.0;
+}
+
 } // namespace
 
 LoadGenResult
 runOpenLoop(SearchService &service, const std::vector<Graph> &queries,
-            uint32_t num_requests, double qps, uint64_t seed)
+            uint32_t num_requests, double qps, uint64_t seed,
+            const RetryPolicy &retry)
 {
     if (queries.empty())
         fatal("runOpenLoop: no query graphs");
@@ -41,9 +160,13 @@ runOpenLoop(SearchService &service, const std::vector<Graph> &queries,
         t += -std::log1p(-rng.nextDouble()) / qps;
         arrival_sec[i] = t;
     }
+    // A forked stream for backoff jitter: enabling retries never
+    // perturbs the arrival schedule above.
+    Rng retry_rng = rng.fork();
 
     LoadGenResult result;
     result.offeredQps = qps;
+    RetryCounters counters;
     std::vector<std::future<QueryResult>> futures;
     futures.reserve(num_requests);
 
@@ -54,66 +177,60 @@ runOpenLoop(SearchService &service, const std::vector<Graph> &queries,
                                 std::chrono::duration<double>(
                                     arrival_sec[i]));
         std::this_thread::sleep_until(when);
-        futures.push_back(service.submit(queries[i % queries.size()]));
+        futures.push_back(submitOne(
+            service, queries[i % queries.size()], retry));
     }
-    for (auto &future : futures) {
+    // Reap in submit order; failed first attempts take the retry path
+    // (backoff + resubmit) after the whole schedule has been offered,
+    // so retries never distort the open-loop arrival comparison.
+    for (size_t i = 0; i < futures.size(); ++i) {
         try {
-            future.get();
+            futures[i].get();
         } catch (const std::exception &) {
-            ++result.errors;
+            retryAfterFailure(service, queries[i % queries.size()],
+                              retry, retry_rng, counters,
+                              std::current_exception());
         }
     }
-    result.makespanSec = secondsSince(start, SteadyClock::now());
-    result.metrics = service.metrics();
-    result.achievedQps =
-        result.makespanSec > 0.0
-            ? static_cast<double>(result.metrics.completed) /
-                  result.makespanSec
-            : 0.0;
+    fillResult(result, service, start, counters);
     return result;
 }
 
 LoadGenResult
 runClosedLoop(SearchService &service, const std::vector<Graph> &queries,
-              uint32_t num_requests, uint32_t clients)
+              uint32_t num_requests, uint32_t clients,
+              const RetryPolicy &retry, uint64_t seed)
 {
     if (queries.empty())
         fatal("runClosedLoop: no query graphs");
     clients = std::max<uint32_t>(clients, 1);
 
     LoadGenResult result;
+    RetryCounters counters;
     std::atomic<uint32_t> next{0};
-    std::atomic<uint64_t> errors{0};
 
     SteadyClock::time_point start = SteadyClock::now();
     std::vector<std::thread> workers;
     workers.reserve(clients);
     for (uint32_t w = 0; w < clients; ++w) {
-        workers.emplace_back([&] {
+        workers.emplace_back([&, w] {
+            // Per-client seeded stream: deterministic backoff jitter
+            // without cross-thread RNG sharing.
+            Rng client_rng(seed + w);
             for (;;) {
                 uint32_t i =
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= num_requests)
                     return;
-                try {
-                    service.submit(queries[i % queries.size()]).get();
-                } catch (const std::exception &) {
-                    errors.fetch_add(1, std::memory_order_relaxed);
-                }
+                runOneRequest(service, queries[i % queries.size()],
+                              retry, client_rng, counters);
             }
         });
     }
     for (std::thread &worker : workers)
         worker.join();
 
-    result.errors = errors.load(std::memory_order_relaxed);
-    result.makespanSec = secondsSince(start, SteadyClock::now());
-    result.metrics = service.metrics();
-    result.achievedQps =
-        result.makespanSec > 0.0
-            ? static_cast<double>(result.metrics.completed) /
-                  result.makespanSec
-            : 0.0;
+    fillResult(result, service, start, counters);
     return result;
 }
 

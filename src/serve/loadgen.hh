@@ -10,6 +10,14 @@
  * Closed loop measures *capacity* — clients issue as fast as results
  * return, so throughput saturates at the service's limit.
  *
+ * Both drivers speak the service's failure taxonomy: a request that
+ * fails with a retryable `RequestError` (rejected / shed / injected)
+ * is retried under a jittered-exponential-backoff `RetryPolicy`
+ * drawn from a seeded RNG — so runs with retries stay byte-for-byte
+ * reproducible — and each retry is reported both in `LoadGenResult`
+ * and through `SearchService::noteClientRetry()` into the service's
+ * metrics registry (`serve.requests.retries`).
+ *
  * Arrival schedules are seeded and deterministic; two runs at the same
  * (seed, qps, requests) offer byte-identical load, which is what makes
  * "dedup+memo is no slower at equal load" a well-posed comparison.
@@ -26,6 +34,33 @@
 
 namespace cegma {
 
+/**
+ * Client-side retry behavior. The default (1 attempt) never retries —
+ * the pre-existing loadgen behavior.
+ */
+struct RetryPolicy
+{
+    /** Total tries per request, first attempt included; >= 1. */
+    uint32_t maxAttempts = 1;
+
+    /** Backoff before retry k (1-based): base * 2^(k-1), capped. */
+    double baseBackoffMs = 1.0;
+    double maxBackoffMs = 64.0;
+
+    /**
+     * Fraction of each backoff that is randomized (0 = fixed, 1 =
+     * fully jittered): sleep = backoff * (1 - jitter + jitter * u),
+     * u uniform in [0, 1) from the seeded RNG.
+     */
+    double jitter = 0.5;
+
+    /**
+     * Per-request deadline override passed to `submit`; 0 uses the
+     * service default. Each retry gets a fresh budget.
+     */
+    double deadlineMs = 0.0;
+};
+
 /** Outcome of one load-generation run. */
 struct LoadGenResult
 {
@@ -33,27 +68,35 @@ struct LoadGenResult
     double offeredQps = 0.0; ///< open loop only (0 for closed loop)
     double achievedQps = 0.0; ///< completed / makespan
     double makespanSec = 0.0; ///< first submit -> last completion
-    uint64_t errors = 0;      ///< rejected/failed requests observed
+    uint64_t errors = 0;   ///< requests that ultimately failed
+    uint64_t retries = 0;  ///< re-submissions after retryable failures
+    uint64_t giveups = 0;  ///< requests that exhausted maxAttempts
 };
 
 /**
  * Drive `service` open-loop: `num_requests` submits at Poisson arrival
  * times of rate `qps` (query graphs cycled in order), then wait for
- * every result.
+ * every result, retrying failures per `retry`. First attempts follow
+ * the pre-drawn schedule exactly; retries backoff-sleep afterwards,
+ * so the offered load of the comparison window is untouched.
  */
 LoadGenResult runOpenLoop(SearchService &service,
                           const std::vector<Graph> &queries,
                           uint32_t num_requests, double qps,
-                          uint64_t seed = 1);
+                          uint64_t seed = 1,
+                          const RetryPolicy &retry = RetryPolicy{});
 
 /**
  * Drive `service` closed-loop: `clients` threads issue back-to-back
- * requests (each waits for its result before the next submit) until
- * `num_requests` have been issued in total.
+ * requests (each waits for its result — retrying failed ones per
+ * `retry` — before the next submit) until `num_requests` have been
+ * issued in total.
  */
 LoadGenResult runClosedLoop(SearchService &service,
                             const std::vector<Graph> &queries,
-                            uint32_t num_requests, uint32_t clients);
+                            uint32_t num_requests, uint32_t clients,
+                            const RetryPolicy &retry = RetryPolicy{},
+                            uint64_t seed = 1);
 
 } // namespace cegma
 

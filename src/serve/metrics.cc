@@ -39,6 +39,10 @@ MetricsSnapshot::toJson() const
     appendField(out, "submitted", submitted);
     appendField(out, "completed", completed);
     appendField(out, "rejected", rejected);
+    appendField(out, "expired", expired);
+    appendField(out, "shed", shed);
+    appendField(out, "retries", retries);
+    appendField(out, "drain_dropped", drainDropped);
     appendField(out, "batches", batches);
     appendField(out, "queue_depth", queueDepth);
     appendField(out, "elapsed_sec", elapsedSec);
@@ -74,6 +78,10 @@ ServiceMetrics::ServiceMetrics()
     : submitted_(registry_.counter("serve.requests.submitted")),
       completed_(registry_.counter("serve.requests.completed")),
       rejected_(registry_.counter("serve.requests.rejected")),
+      expired_(registry_.counter("serve.requests.expired")),
+      shed_(registry_.counter("serve.requests.shed")),
+      retries_(registry_.counter("serve.requests.retries")),
+      drainDropped_(registry_.counter("serve.requests.drain_dropped")),
       batches_(registry_.counter("serve.batches")),
       batchSize_(registry_.histogram("serve.batch.size", "requests")),
       latencyUs_(registry_.histogram("serve.latency.total", "us")),
@@ -105,6 +113,30 @@ ServiceMetrics::recordRejected()
 }
 
 void
+ServiceMetrics::recordExpired()
+{
+    expired_.add();
+}
+
+void
+ServiceMetrics::recordShed()
+{
+    shed_.add();
+}
+
+void
+ServiceMetrics::recordRetry()
+{
+    retries_.add();
+}
+
+void
+ServiceMetrics::recordDrainDropped()
+{
+    drainDropped_.add();
+}
+
+void
 ServiceMetrics::recordBatch(uint64_t batch_size)
 {
     batches_.add();
@@ -128,6 +160,10 @@ ServiceMetrics::snapshot(uint64_t queue_depth) const
     snap.submitted = submitted_.value();
     snap.completed = completed_.value();
     snap.rejected = rejected_.value();
+    snap.expired = expired_.value();
+    snap.shed = shed_.value();
+    snap.retries = retries_.value();
+    snap.drainDropped = drainDropped_.value();
     snap.batches = batches_.value();
     snap.queueDepth = queue_depth;
     {

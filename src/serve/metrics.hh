@@ -34,6 +34,10 @@ struct MetricsSnapshot
     uint64_t submitted = 0; ///< submit() calls, admitted or not
     uint64_t completed = 0; ///< requests whose result was delivered
     uint64_t rejected = 0;  ///< refused at admission (full / shutdown)
+    uint64_t expired = 0;   ///< failed on a passed request deadline
+    uint64_t shed = 0;      ///< dropped by deadline-aware shedding
+    uint64_t retries = 0;   ///< client-side retries (loadgen-reported)
+    uint64_t drainDropped = 0; ///< failed by the bounded shutdown drain
     uint64_t batches = 0;   ///< scoring passes flushed
     uint64_t queueDepth = 0; ///< pending requests at snapshot time
 
@@ -106,6 +110,18 @@ class ServiceMetrics
     /** Count one refused admission. */
     void recordRejected();
 
+    /** Count one request failed on a passed deadline (unscored). */
+    void recordExpired();
+
+    /** Count one request dropped by deadline-aware load shedding. */
+    void recordShed();
+
+    /** Count one client-side retry (reported by the load generator). */
+    void recordRetry();
+
+    /** Count one request failed by the bounded shutdown drain. */
+    void recordDrainDropped();
+
     /** Count one flushed scoring pass of `batch_size` requests. */
     void recordBatch(uint64_t batch_size);
 
@@ -137,6 +153,10 @@ class ServiceMetrics
     obs::Counter &submitted_;
     obs::Counter &completed_;
     obs::Counter &rejected_;
+    obs::Counter &expired_;
+    obs::Counter &shed_;
+    obs::Counter &retries_;
+    obs::Counter &drainDropped_;
     obs::Counter &batches_;
     obs::Histogram &batchSize_;
     obs::Histogram &latencyUs_;

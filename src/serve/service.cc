@@ -1,7 +1,7 @@
 #include "serve/service.hh"
 
 #include <algorithm>
-#include <stdexcept>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
@@ -30,7 +30,17 @@ traceNs(SteadyClock::time_point tp)
             .count());
 }
 
-/** Best-k hits, score-descending, ties broken by candidate index. */
+/** Fail `pending`'s promise with a typed `RequestError`. */
+void
+failPending(std::promise<QueryResult> &promise, RequestErrorCode code,
+            const char *what)
+{
+    promise.set_exception(
+        std::make_exception_ptr(RequestError(code, what)));
+}
+
+} // namespace
+
 std::vector<SearchHit>
 topKHits(const std::vector<double> &scores, uint32_t k)
 {
@@ -38,8 +48,17 @@ topKHits(const std::vector<double> &scores, uint32_t k)
     hits.reserve(scores.size());
     for (size_t c = 0; c < scores.size(); ++c)
         hits.push_back(SearchHit{static_cast<uint32_t>(c), scores[c]});
+    // NaN-aware comparator: NaN orders strictly after every real
+    // score (and by index among NaNs). The naive `a.score > b.score`
+    // form is not a strict weak ordering once a NaN appears — NaN
+    // compares "equivalent" to *everything*, breaking transitivity of
+    // equivalence — and std::partial_sort on it is undefined behavior.
     auto better = [](const SearchHit &a, const SearchHit &b) {
-        if (a.score != b.score)
+        bool a_nan = std::isnan(a.score);
+        bool b_nan = std::isnan(b.score);
+        if (a_nan != b_nan)
+            return b_nan; // the non-NaN side wins
+        if (!a_nan && a.score != b.score)
             return a.score > b.score;
         return a.candidate < b.candidate;
     };
@@ -50,15 +69,13 @@ topKHits(const std::vector<double> &scores, uint32_t k)
     return hits;
 }
 
-} // namespace
-
 SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus)
     : config_(config), corpus_(std::move(corpus)),
       model_(makeModel(config.model, config.modelSeed)),
       memo_(MemoConfig{config.memoBytes, config.memoShards}),
       batcher_(config.maxBatch,
                std::chrono::microseconds(config.flushMicros),
-               config.maxQueueDepth)
+               config.maxQueueDepth, config.shedWatermark)
 {
     InferenceOptions infer;
     infer.dedupMatching = config_.dedup;
@@ -68,8 +85,10 @@ SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus)
     model_->setInferenceOptions(infer);
 
     // Publish the values other members already own as provider gauges
-    // (polled at exposition time). The registry dies with metrics_,
-    // before any provider target, so the captures stay valid.
+    // (polled at exposition time). Member order guarantees the
+    // lifetime: metrics_ (and so the registry) is declared after
+    // every provider target, so it is destroyed first; shutdown()
+    // additionally freezes these gauges to constants.
     obs::MetricsRegistry &reg = metrics_.registry();
     reg.providerGauge("serve.queue.depth", [this] {
         return static_cast<int64_t>(batcher_.depth());
@@ -107,21 +126,54 @@ SearchService::~SearchService()
 std::future<QueryResult>
 SearchService::submit(Graph query)
 {
+    return submit(std::move(query), config_.requestDeadlineMs);
+}
+
+std::future<QueryResult>
+SearchService::submit(Graph query, double deadline_ms)
+{
     metrics_.recordSubmitted();
     Pending pending;
     pending.query = std::move(query);
     pending.submitted = SteadyClock::now();
+    if (deadline_ms != 0.0) {
+        // A positive budget bounds the request; a negative one is
+        // already spent — enforce the deadline at admission too.
+        pending.deadline =
+            pending.submitted +
+            std::chrono::duration_cast<SteadyClock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    std::max(deadline_ms, 0.0)));
+    }
     std::future<QueryResult> future = pending.promise.get_future();
+
+    if (deadline_ms < 0.0) {
+        metrics_.recordExpired();
+        failPending(pending.promise, RequestErrorCode::DeadlineExceeded,
+                    "SearchService: deadline budget exhausted before "
+                    "admission");
+        return future;
+    }
+
+    SteadyClock::time_point deadline = pending.deadline;
+    std::vector<Pending> shed;
     if (stopping_.load(std::memory_order_acquire) ||
-        !batcher_.enqueue(std::move(pending))) {
+        !batcher_.enqueue(std::move(pending), deadline, &shed)) {
         metrics_.recordRejected();
-        // The move only happens on successful enqueue, so the promise
-        // is still ours to fail on either rejection path.
-        std::promise<QueryResult> rejected;
-        future = rejected.get_future();
-        rejected.set_exception(std::make_exception_ptr(
-            std::runtime_error("SearchService: request rejected "
-                               "(shutting down or queue full)")));
+        // enqueue only moves the item out on admission, so the
+        // promise is still ours to fail on either rejection path.
+        failPending(pending.promise, RequestErrorCode::Rejected,
+                    "SearchService: request rejected (shutting down "
+                    "or queue full)");
+        return future;
+    }
+    // Admitting this request may have shed lower-budget ones (or, if
+    // it carried the least budget itself, the new arrival).
+    for (Pending &victim : shed) {
+        metrics_.recordShed();
+        failPending(victim.promise, RequestErrorCode::Shed,
+                    "SearchService: shed under overload (least "
+                    "remaining deadline budget)");
     }
     return future;
 }
@@ -129,10 +181,61 @@ SearchService::submit(Graph query)
 void
 SearchService::shutdown()
 {
+    std::lock_guard<std::mutex> guard(shutdownMutex_);
     stopping_.store(true, std::memory_order_release);
     batcher_.close();
+    if (config_.drainTimeoutMs > 0.0 && dispatcher_.joinable()) {
+        std::unique_lock<std::mutex> lock(drainMutex_);
+        bool drained = drainCv_.wait_for(
+            lock,
+            std::chrono::duration<double, std::milli>(
+                config_.drainTimeoutMs),
+            [&] { return drained_; });
+        lock.unlock();
+        if (!drained) {
+            // Bounded drain: fail whatever is still queued instead of
+            // blocking forever behind a stuck dispatcher. The batch
+            // already in flight still finishes (join below).
+            std::vector<Pending> leftover = batcher_.abort();
+            for (Pending &victim : leftover) {
+                metrics_.recordDrainDropped();
+                failPending(victim.promise,
+                            RequestErrorCode::DrainTimeout,
+                            "SearchService: shutdown drain timed out "
+                            "with the request still queued");
+            }
+            if (!leftover.empty()) {
+                warn("shutdown drain timed out after %.1f ms; failed "
+                     "%zu still-queued request(s)",
+                     config_.drainTimeoutMs, leftover.size());
+            }
+        }
+    }
     if (dispatcher_.joinable())
         dispatcher_.join();
+    freezeGauges();
+}
+
+void
+SearchService::freezeGauges()
+{
+    // Re-bind every provider gauge to its final value: a scrape that
+    // races teardown then reads constants instead of polling members
+    // whose destruction is imminent. Re-binding and snapshotting
+    // share the registry mutex, so this is race-free.
+    obs::MetricsRegistry &reg = metrics_.registry();
+    auto freeze = [&reg](const char *name, size_t value) {
+        int64_t frozen = static_cast<int64_t>(value);
+        reg.providerGauge(name, [frozen] { return frozen; });
+    };
+    freeze("serve.queue.depth", batcher_.depth());
+    freeze("serve.cache.hits", memo_.hits());
+    freeze("serve.cache.misses", memo_.misses());
+    freeze("serve.cache.evictions", memo_.evictions());
+    freeze("serve.cache.bytes", memo_.bytes());
+    freeze("serve.memo.lookup_us", memo_.lookupNs() / 1000);
+    freeze("serve.dedup.rows_total", dedupStats_.rowsTotal.value());
+    freeze("serve.dedup.rows_unique", dedupStats_.rowsUnique.value());
 }
 
 MetricsSnapshot
@@ -161,34 +264,68 @@ SearchService::dispatchLoop()
     for (;;) {
         std::vector<Pending> batch = batcher_.nextBatch();
         if (batch.empty())
-            return; // closed and drained
+            break; // closed and drained (or aborted)
         scoreBatch(batch);
     }
+    {
+        std::lock_guard<std::mutex> lock(drainMutex_);
+        drained_ = true;
+    }
+    drainCv_.notify_all();
 }
 
 void
 SearchService::scoreBatch(std::vector<Pending> &batch)
 {
-    const size_t num_queries = batch.size();
+    FaultInjector *faults = config_.faults;
+    if (faults != nullptr)
+        faults->onBatchStart(); // injected delay / stall (tests only)
+
+    // Deadline enforcement at flush: a request whose budget ran out
+    // while it queued fails fast, *without* being scored — the whole
+    // point of a deadline is not to spend corpus-sized scoring work
+    // on an answer nobody is waiting for anymore. Injected spurious
+    // failures take the same unscored early exit.
+    SteadyClock::time_point flushed = SteadyClock::now();
+    std::vector<Pending> live;
+    live.reserve(batch.size());
+    for (Pending &pending : batch) {
+        if (pending.deadline <= flushed) {
+            metrics_.recordExpired();
+            failPending(pending.promise,
+                        RequestErrorCode::DeadlineExceeded,
+                        "SearchService: request deadline exceeded "
+                        "before scoring");
+        } else if (faults != nullptr && faults->shouldFailRequest()) {
+            failPending(pending.promise, RequestErrorCode::Injected,
+                        "SearchService: injected fault");
+        } else {
+            live.push_back(std::move(pending));
+        }
+    }
+    if (live.empty())
+        return;
+
+    const size_t num_queries = live.size();
     const size_t num_candidates = corpus_.size();
     const size_t num_pairs = num_queries * num_candidates;
-    SteadyClock::time_point flushed = SteadyClock::now();
     metrics_.recordBatch(num_queries);
 
     // One pair-parallel scoring pass for the whole batch: every
     // (query, candidate) pair is an independent task writing its own
     // slot, so any thread count produces the same bits, and the memo
     // cache amortizes per-graph work across all queries in the batch.
+    // Pairs are scored through non-owning views — the corpus and
+    // query graphs are never copied on the hot path.
     std::vector<double> scores(num_pairs, 0.0);
     if (num_pairs > 0) {
         obs::TraceScope span("batch.score", "serve", "batch_size",
                              num_queries);
         parallelFor(0, num_pairs, 1, [&](size_t i0, size_t i1) {
             for (size_t i = i0; i < i1; ++i) {
-                GraphPair pair;
-                pair.target = corpus_[i % num_candidates];
-                pair.query = batch[i / num_candidates].query;
-                scores[i] = model_->score(pair);
+                scores[i] = model_->score(GraphPairView(
+                    corpus_[i % num_candidates],
+                    live[i / num_candidates].query));
             }
         });
     }
@@ -201,13 +338,13 @@ SearchService::scoreBatch(std::vector<Pending> &batch)
             scores.begin() +
                 static_cast<ptrdiff_t>((q + 1) * num_candidates));
         result.topK = topKHits(result.scores, config_.topK);
-        result.queueMs = msSince(batch[q].submitted, flushed);
-        result.totalMs = msSince(batch[q].submitted, done);
+        result.queueMs = msSince(live[q].submitted, flushed);
+        result.totalMs = msSince(live[q].submitted, done);
         result.batchSize = static_cast<uint32_t>(num_queries);
         metrics_.recordCompleted(result.queueMs * 1e3,
                                  result.totalMs * 1e3);
         if (obs::tracingEnabled()) {
-            uint64_t sub_ns = traceNs(batch[q].submitted);
+            uint64_t sub_ns = traceNs(live[q].submitted);
             obs::recordSpan("request", "serve", sub_ns,
                             traceNs(done) - sub_ns, "batch_size",
                             num_queries);
@@ -220,7 +357,7 @@ SearchService::scoreBatch(std::vector<Pending> &batch)
                  result.totalMs, result.queueMs, result.batchSize,
                  num_candidates);
         }
-        batch[q].promise.set_value(std::move(result));
+        live[q].promise.set_value(std::move(result));
     }
 }
 

@@ -14,6 +14,23 @@
  * (a corpus graph's WL coloring and embedding chain are built once,
  * then hit from every concurrent query).
  *
+ * Overload robustness (request lifecycle, in failure order):
+ *   1. admission — a full queue (or a closed service) rejects with
+ *      `RequestErrorCode::Rejected`; a request whose deadline budget
+ *      is already spent fails `DeadlineExceeded` without enqueueing;
+ *   2. shedding — past `shedWatermark`, the queued requests with the
+ *      least remaining deadline budget are dropped (`Shed`) to keep
+ *      admission open for requests that can still make it;
+ *   3. flush — a request whose deadline passed while queued fails
+ *      `DeadlineExceeded` *without being scored*, so one slow batch
+ *      cannot cascade into a convoy of wasted scoring work;
+ *   4. drain — `shutdown()` scores everything admitted, but when
+ *      `drainTimeoutMs` is set and the dispatcher cannot drain in
+ *      time, still-queued requests fail `DrainTimeout` instead of
+ *      blocking the caller forever.
+ * All of it is deterministic under test via the seeded fault injector
+ * (`serve/faults.hh`), and all of it is off by default.
+ *
  * Determinism: every score the service returns is bit-identical to
  * what a serial `runFunctional` over the same (candidate, query) pairs
  * produces, at any thread count and any batch size. The argument
@@ -27,7 +44,8 @@
  *      cache state (including evictions) never leaks into scores.
  * Batching therefore affects *when* a pair is scored, never *what* it
  * computes — the property tests/serve_test.cc proves at 1/2/8 threads
- * and batch sizes 1/4/32.
+ * and batch sizes 1/4/32. Deadlines/shedding/faults only decide
+ * *whether* a pair is scored, never what it computes.
  */
 
 #ifndef CEGMA_SERVE_SERVICE_HH
@@ -35,9 +53,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -45,6 +65,8 @@
 #include "gmn/model.hh"
 #include "graph/dataset.hh"
 #include "serve/batcher.hh"
+#include "serve/errors.hh"
+#include "serve/faults.hh"
 #include "serve/metrics.hh"
 
 namespace cegma {
@@ -69,6 +91,39 @@ struct ServeConfig
 
     /** Admission bound: submits past this depth are rejected. */
     size_t maxQueueDepth = 4096;
+
+    /**
+     * Default per-request deadline budget in milliseconds; 0 disables
+     * deadlines. A per-`submit` override takes precedence. Expired
+     * requests fail with `RequestErrorCode::DeadlineExceeded` without
+     * being scored.
+     */
+    double requestDeadlineMs = 0.0;
+
+    /**
+     * Queue depth past which deadline-aware load shedding kicks in;
+     * 0 disables. When the depth crosses the watermark, the waiting
+     * requests with the least remaining deadline budget are dropped
+     * (`RequestErrorCode::Shed`) — they were the likeliest to expire
+     * unserved — instead of blindly rejecting new arrivals.
+     * Deadline-less requests are never shed.
+     */
+    size_t shedWatermark = 0;
+
+    /**
+     * Bound on how long `shutdown()` waits for the dispatcher to
+     * drain, in milliseconds; 0 waits indefinitely (the pre-existing
+     * behavior). On timeout, still-queued requests fail with
+     * `RequestErrorCode::DrainTimeout` instead of blocking the
+     * shutdown caller behind a stuck dispatcher.
+     */
+    double drainTimeoutMs = 0.0;
+
+    /**
+     * Fault injection hook (not owned; null = off, at the cost of one
+     * null-pointer branch per batch/request). See serve/faults.hh.
+     */
+    FaultInjector *faults = nullptr;
 
     /** Results keep the best `topK` candidates (and all raw scores). */
     uint32_t topK = 10;
@@ -103,6 +158,16 @@ struct QueryResult
 };
 
 /**
+ * Best-k hits over `scores`, score-descending, ties broken by lower
+ * candidate index. NaN scores order strictly last (by index among
+ * themselves) — a NaN-oblivious comparator would violate strict weak
+ * ordering and hand `std::partial_sort` undefined behavior.
+ * Exposed for direct unit testing.
+ */
+std::vector<SearchHit> topKHits(const std::vector<double> &scores,
+                                uint32_t k);
+
+/**
  * A graph-similarity search service over a fixed corpus. Construction
  * builds the model and starts the dispatcher; destruction (or
  * `shutdown()`) stops admission, drains every admitted request, and
@@ -120,17 +185,30 @@ class SearchService
     SearchService &operator=(const SearchService &) = delete;
 
     /**
-     * Submit one query for scoring against the whole corpus.
+     * Submit one query for scoring against the whole corpus, under
+     * the service's default deadline (`ServeConfig.requestDeadlineMs`).
      *
-     * @return a future that resolves to the result, or (when the
-     *         service is shutting down or the admission queue is full)
-     *         throws `std::runtime_error` from `get()`
+     * @return a future that resolves to the result, or throws a
+     *         `RequestError` from `get()` (see `RequestErrorCode` for
+     *         the failure taxonomy)
      */
     std::future<QueryResult> submit(Graph query);
 
     /**
-     * Stop admitting, score every already-admitted request, and join
-     * the dispatcher. Idempotent; called by the destructor.
+     * Submit with a per-request deadline budget override:
+     * `deadline_ms` > 0 bounds this request, 0 disables its deadline,
+     * and a negative budget means the client already spent it — the
+     * request fails `DeadlineExceeded` at admission, unscored.
+     */
+    std::future<QueryResult> submit(Graph query, double deadline_ms);
+
+    /**
+     * Stop admitting, score every already-admitted request (bounded
+     * by `ServeConfig.drainTimeoutMs` when set), and join the
+     * dispatcher. Idempotent and thread-safe; called by the
+     * destructor. After shutdown the provider gauges are frozen to
+     * their final values, so late metric scrapes during teardown
+     * never poll a dead member.
      */
     void shutdown();
 
@@ -147,6 +225,13 @@ class SearchService
         return metrics_.registry();
     }
 
+    /**
+     * Client-side retry accounting: load generators report each retry
+     * here so `serve.requests.retries` flows through the same registry
+     * as the server-side counters.
+     */
+    void noteClientRetry() { metrics_.recordRetry(); }
+
     const ServeConfig &config() const { return config_; }
     size_t corpusSize() const { return corpus_.size(); }
     const MemoCache &memo() const { return memo_; }
@@ -157,19 +242,35 @@ class SearchService
         Graph query;
         std::promise<QueryResult> promise;
         std::chrono::steady_clock::time_point submitted;
+        std::chrono::steady_clock::time_point deadline = kNoDeadline;
     };
 
     void dispatchLoop();
     void scoreBatch(std::vector<Pending> &batch);
+    void freezeGauges();
 
     ServeConfig config_;
     std::vector<Graph> corpus_;
     std::unique_ptr<GmnModel> model_;
+
+    // Provider-gauge targets (memo_, dedupStats_, batcher_) are
+    // declared BEFORE metrics_: members destroy in reverse order, so
+    // the registry (inside metrics_) dies first and a provider
+    // callback can never poll an already-destroyed member.
     MemoCache memo_;
     DedupStats dedupStats_;
-    ServiceMetrics metrics_;
     MicroBatcher<Pending> batcher_;
+    ServiceMetrics metrics_;
+
     std::atomic<bool> stopping_{false};
+    std::mutex shutdownMutex_; ///< serializes concurrent shutdown()
+
+    // Bounded-drain handshake: the dispatcher flags completion, the
+    // shutdown path waits on it with a timeout.
+    std::mutex drainMutex_;
+    std::condition_variable drainCv_;
+    bool drained_ = false;
+
     std::thread dispatcher_;
 };
 

@@ -10,15 +10,27 @@
  *   - `SearchService` scores are bit-identical to a serial
  *     `runFunctional` at thread counts {1, 2, 8} x batch sizes
  *     {1, 4, 32};
- *   - micro-batcher flush/bound semantics;
+ *   - micro-batcher flush/bound semantics, deadline-aware shedding,
+ *     and the close-while-waiting / deadline-vs-size flush races (run
+ *     under TSan by ci.sh);
  *   - concurrent submit/shutdown is safe (run under TSan by ci.sh) and
- *     loses no request: everything submitted is completed or rejected.
+ *     loses no request: everything submitted is completed or rejected;
+ *   - overload robustness under seeded fault injection: expired
+ *     requests fail `DeadlineExceeded` *unscored*, shedding drops the
+ *     least-budget requests, client retries recover injected failures
+ *     with bit-identical scores, and the bounded shutdown drain fails
+ *     still-queued promises instead of blocking forever;
+ *   - metric scrapes racing shutdown/teardown never touch destroyed
+ *     members (run under ASan by ci.sh).
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <future>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -28,7 +40,10 @@
 #include "common/sharded_lru.hh"
 #include "gmn/memo.hh"
 #include "graph/dataset.hh"
+#include "obs/metrics.hh"
 #include "serve/batcher.hh"
+#include "serve/errors.hh"
+#include "serve/faults.hh"
 #include "serve/loadgen.hh"
 #include "serve/service.hh"
 
@@ -95,6 +110,35 @@ TEST(ShardedLru, FirstInsertWins)
     EXPECT_EQ(first.get(), second.get());
     EXPECT_EQ(cache.size(), 1u);
     EXPECT_EQ(cache.bytes(), 10u);
+}
+
+TEST(ShardedLru, TinyBudgetCollapsesShardsInsteadOfZeroing)
+{
+    // 3-byte budget across 8 requested shards: integer division used
+    // to hand every shard a zero budget, which evicted each entry the
+    // moment it was inserted. The cache must instead collapse to at
+    // most 3 shards so the per-shard budget stays nonzero.
+    IntCache cache(3, 8);
+    cache.insert(1, val(1), 1);
+    EXPECT_NE(cache.find(1), nullptr) << "1-byte value must be cached";
+    for (int k = 2; k < 40; ++k) {
+        cache.insert(k, val(k), 1);
+        ASSERT_LE(cache.bytes(), 3u) << "after insert " << k;
+    }
+    EXPECT_GT(cache.size(), 0u);
+    EXPECT_GT(cache.evictions(), 0u);
+    EXPECT_EQ(cache.oversized(), 0u); // 1-byte values always fit
+}
+
+TEST(ShardedLru, OneByteBudgetStillCaches)
+{
+    IntCache cache(1, 16); // the most extreme collapse: one shard
+    cache.insert(1, val(1), 1);
+    EXPECT_NE(cache.find(1), nullptr);
+    cache.insert(2, val(2), 1);
+    EXPECT_EQ(cache.find(1), nullptr); // evicted by the 1-byte budget
+    EXPECT_NE(cache.find(2), nullptr);
+    EXPECT_LE(cache.bytes(), 1u);
 }
 
 TEST(ShardedLru, UnboundedWhenBudgetZero)
@@ -199,6 +243,135 @@ TEST(MicroBatcher, DepthBoundAndCloseRefuseAdmission)
     batcher.close();
     EXPECT_FALSE(batcher.enqueue(4)); // closed
     EXPECT_TRUE(batcher.closed());
+}
+
+TEST(MicroBatcher, ShedsLeastRemainingBudgetFirst)
+{
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point now = Clock::now();
+    MicroBatcher<int> batcher(64, std::chrono::microseconds(1000000),
+                              64, /*shed_watermark=*/2);
+    std::vector<int> shed;
+    ASSERT_TRUE(batcher.enqueue(1, now + std::chrono::hours(2), &shed));
+    ASSERT_TRUE(batcher.enqueue(2, now + std::chrono::hours(1), &shed));
+    EXPECT_TRUE(shed.empty()); // depth 2 == watermark: no shedding yet
+    // Crossing the watermark sheds the earliest-deadline item (2), not
+    // the newest arrival or the queue head.
+    ASSERT_TRUE(batcher.enqueue(3, now + std::chrono::hours(3), &shed));
+    EXPECT_EQ(shed, (std::vector<int>{2}));
+    EXPECT_EQ(batcher.depth(), 2u);
+    EXPECT_EQ(batcher.shedCount(), 1u);
+    // A new arrival carrying the least budget is itself the victim.
+    ASSERT_TRUE(
+        batcher.enqueue(4, now + std::chrono::minutes(1), &shed));
+    EXPECT_EQ(shed, (std::vector<int>{2, 4}));
+    EXPECT_EQ(batcher.depth(), 2u);
+    // The survivors are the two with the most remaining budget.
+    batcher.close();
+    EXPECT_EQ(batcher.nextBatch(), (std::vector<int>{1, 3}));
+}
+
+TEST(MicroBatcher, DeadlineLessItemsAreNeverShed)
+{
+    using Clock = std::chrono::steady_clock;
+    MicroBatcher<int> batcher(64, std::chrono::microseconds(1000000),
+                              64, /*shed_watermark=*/1);
+    std::vector<int> shed;
+    ASSERT_TRUE(batcher.enqueue(1, kNoDeadline, &shed));
+    ASSERT_TRUE(batcher.enqueue(2, kNoDeadline, &shed));
+    ASSERT_TRUE(batcher.enqueue(3, kNoDeadline, &shed));
+    EXPECT_TRUE(shed.empty()); // above the watermark, but unsheddable
+    EXPECT_EQ(batcher.depth(), 3u);
+    // A deadline-carrying item among deadline-less ones is the only
+    // candidate — and here it is the arrival itself.
+    ASSERT_TRUE(batcher.enqueue(
+        4, Clock::now() + std::chrono::seconds(1), &shed));
+    EXPECT_EQ(shed, (std::vector<int>{4}));
+    EXPECT_EQ(batcher.depth(), 3u);
+}
+
+TEST(MicroBatcher, FullQueueShedsInsteadOfRejectingWhenPossible)
+{
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point now = Clock::now();
+    MicroBatcher<int> batcher(64, std::chrono::microseconds(1000000),
+                              /*max_depth=*/2, /*shed_watermark=*/2);
+    std::vector<int> shed;
+    ASSERT_TRUE(batcher.enqueue(1, now + std::chrono::hours(1), &shed));
+    ASSERT_TRUE(batcher.enqueue(2, now + std::chrono::hours(2), &shed));
+    // Full queue + sheddable items: drop the least-budget one (1) to
+    // admit the new arrival rather than bouncing it.
+    ASSERT_TRUE(batcher.enqueue(3, now + std::chrono::hours(3), &shed));
+    EXPECT_EQ(shed, (std::vector<int>{1}));
+    EXPECT_EQ(batcher.depth(), 2u);
+}
+
+TEST(MicroBatcher, CloseWhileConsumerWaitsReleasesIt)
+{
+    // Race close() against a consumer blocked in nextBatch() on an
+    // empty queue — under TSan this is the close-while-waiting probe.
+    for (int round = 0; round < 20; ++round) {
+        MicroBatcher<int> batcher(8, std::chrono::microseconds(500000),
+                                  64);
+        std::atomic<bool> released{false};
+        std::thread consumer([&] {
+            std::vector<int> batch = batcher.nextBatch();
+            EXPECT_TRUE(batch.empty());
+            released.store(true);
+        });
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            100 * (round % 5))); // vary the interleaving
+        batcher.close();
+        consumer.join();
+        EXPECT_TRUE(released.load());
+    }
+}
+
+TEST(MicroBatcher, DeadlineAndSizeFlushRaceLosesNoItem)
+{
+    // Deadline flushes (short flush window) race size flushes (bursts
+    // larger than max_batch) across concurrent producers; every item
+    // must come out exactly once. TSan covers the locking.
+    MicroBatcher<int> batcher(4, std::chrono::microseconds(200), 4096);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 64;
+    constexpr int kTotal = kProducers * kPerProducer;
+
+    std::vector<std::atomic<int>> seen(kTotal);
+    std::atomic<bool> done{false};
+    std::thread consumer([&] {
+        for (;;) {
+            std::vector<int> batch = batcher.nextBatch();
+            if (batch.empty())
+                break; // closed and drained
+            EXPECT_LE(batch.size(), 4u);
+            for (int v : batch)
+                seen[static_cast<size_t>(v)].fetch_add(1);
+        }
+        done.store(true);
+    });
+
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                ASSERT_TRUE(batcher.enqueue(p * kPerProducer + i));
+                if (i % 16 == 15) {
+                    // Let the deadline trigger fire on partial batches.
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(300));
+                }
+            }
+        });
+    }
+    for (std::thread &producer : producers)
+        producer.join();
+    batcher.close();
+    consumer.join();
+    ASSERT_TRUE(done.load());
+    for (int v = 0; v < kTotal; ++v)
+        EXPECT_EQ(seen[static_cast<size_t>(v)].load(), 1) << "item " << v;
 }
 
 // ---- SearchService --------------------------------------------------
@@ -426,6 +599,390 @@ TEST(SearchService, OpenLoopScheduleIsDeterministic)
     EXPECT_EQ(run.metrics.completed, 8u);
     EXPECT_DOUBLE_EQ(run.offeredQps, 200.0);
     EXPECT_GT(run.achievedQps, 0.0);
+}
+
+// ---- topKHits (NaN strict-weak-ordering regression) -----------------
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(TopKHits, NanScoresOrderLastDeterministically)
+{
+    std::vector<SearchHit> hits =
+        topKHits({1.0, kNaN, 3.0, kNaN, 2.0}, 5);
+    ASSERT_EQ(hits.size(), 5u);
+    EXPECT_EQ(hits[0].candidate, 2u); // 3.0
+    EXPECT_EQ(hits[1].candidate, 4u); // 2.0
+    EXPECT_EQ(hits[2].candidate, 0u); // 1.0
+    // NaNs after every real score, ordered by index among themselves.
+    EXPECT_EQ(hits[3].candidate, 1u);
+    EXPECT_EQ(hits[4].candidate, 3u);
+    EXPECT_TRUE(std::isnan(hits[3].score));
+    EXPECT_TRUE(std::isnan(hits[4].score));
+}
+
+TEST(TopKHits, NanNeverDisplacesRealScoresFromTopK)
+{
+    std::vector<SearchHit> hits = topKHits({kNaN, 0.5, kNaN, 0.25}, 2);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].candidate, 1u);
+    EXPECT_EQ(hits[1].candidate, 3u);
+}
+
+TEST(TopKHits, ManyNansDoNotCorruptPartialSort)
+{
+    // The pre-fix comparator (`a.score > b.score`) was not a strict
+    // weak ordering once NaN appeared: NaN compares false both ways,
+    // so "equivalence" lost transitivity and std::partial_sort was
+    // undefined behavior. Heavily NaN-laced inputs exercise the heap
+    // paths where that UB actually bit.
+    std::vector<double> scores;
+    for (int i = 0; i < 101; ++i)
+        scores.push_back(i % 3 == 0 ? kNaN
+                                    : static_cast<double>(i % 17));
+    std::vector<SearchHit> hits =
+        topKHits(scores, static_cast<uint32_t>(scores.size()));
+    ASSERT_EQ(hits.size(), scores.size());
+    bool seen_nan = false;
+    for (size_t i = 0; i < hits.size(); ++i) {
+        if (std::isnan(hits[i].score)) {
+            seen_nan = true;
+        } else {
+            EXPECT_FALSE(seen_nan)
+                << "real score after a NaN at position " << i;
+            if (i > 0 && !std::isnan(hits[i - 1].score)) {
+                EXPECT_GE(hits[i - 1].score, hits[i].score);
+            }
+        }
+        if (std::isnan(hits[i].score)) {
+            EXPECT_TRUE(std::isnan(scores[hits[i].candidate]));
+        } else {
+            EXPECT_EQ(hits[i].score, scores[hits[i].candidate]);
+        }
+    }
+    // All-NaN input: pure index order.
+    std::vector<SearchHit> all_nan = topKHits({kNaN, kNaN, kNaN}, 3);
+    ASSERT_EQ(all_nan.size(), 3u);
+    for (uint32_t i = 0; i < 3; ++i)
+        EXPECT_EQ(all_nan[i].candidate, i);
+}
+
+// ---- Overload robustness (deadlines / shedding / faults / drain) ----
+
+/** The `RequestErrorCode` a failed future throws, or a test failure. */
+RequestErrorCode
+failureCode(std::future<QueryResult> &future)
+{
+    try {
+        future.get();
+    } catch (const RequestError &error) {
+        return error.code();
+    } catch (const std::exception &error) {
+        ADD_FAILURE() << "expected RequestError, got: " << error.what();
+        return RequestErrorCode::Rejected;
+    }
+    ADD_FAILURE() << "expected a failed future, got a result";
+    return RequestErrorCode::Rejected;
+}
+
+TEST(Overload, SpentDeadlineBudgetFailsAtAdmissionUnscored)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 1, 2);
+    ServeConfig config;
+    config.flushMicros = 200;
+    SearchService service(config, corpus.candidates);
+
+    std::future<QueryResult> future =
+        service.submit(corpus.queries[0], -1.0);
+    EXPECT_EQ(failureCode(future), RequestErrorCode::DeadlineExceeded);
+    service.shutdown();
+
+    MetricsSnapshot snap = service.metrics();
+    EXPECT_EQ(snap.expired, 1u);
+    EXPECT_EQ(snap.completed, 0u);
+    EXPECT_EQ(snap.batches, 0u); // never reached scoring
+    std::string json = snap.toJson();
+    EXPECT_NE(json.find("\"expired\": 1"), std::string::npos);
+}
+
+TEST(Overload, ExpiredWhileQueuedFailsWithoutBeingScored)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 2, 2);
+
+    // Deterministically wedge the first batch for 300 ms: a request
+    // with a 20 ms budget *must* expire while it rides that batch.
+    FaultConfig fault_config;
+    fault_config.stallBatches = 1;
+    fault_config.stallMicros = 300000;
+    FaultInjector faults(fault_config);
+
+    ServeConfig config;
+    config.maxBatch = 1;
+    config.flushMicros = 100;
+    config.faults = &faults;
+    SearchService service(config, corpus.candidates);
+
+    std::future<QueryResult> doomed =
+        service.submit(corpus.queries[0], 20.0);
+    EXPECT_EQ(failureCode(doomed), RequestErrorCode::DeadlineExceeded);
+    EXPECT_EQ(faults.injectedStalls(), 1u);
+
+    // The next request rides batch 2 (no stall) and completes — the
+    // expired one did not poison the dispatcher.
+    QueryResult ok = service.submit(corpus.queries[1]).get();
+    EXPECT_EQ(ok.scores.size(), corpus.candidates.size());
+    service.shutdown();
+
+    MetricsSnapshot snap = service.metrics();
+    EXPECT_EQ(snap.expired, 1u);
+    EXPECT_EQ(snap.completed, 1u);
+    // The expired request was never scored: the only flushed scoring
+    // pass is the survivor's.
+    EXPECT_EQ(snap.batches, 1u);
+}
+
+TEST(Overload, SheddingDropsLeastBudgetRequestsUnderPressure)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 4, 2);
+
+    // Wedge the dispatcher on the first batch so later submits pile up
+    // behind it and cross the shed watermark.
+    FaultConfig fault_config;
+    fault_config.stallBatches = 1;
+    fault_config.stallMicros = 500000;
+    FaultInjector faults(fault_config);
+
+    ServeConfig config;
+    config.maxBatch = 1;
+    config.flushMicros = 100;
+    config.shedWatermark = 2;
+    config.faults = &faults;
+    SearchService service(config, corpus.candidates);
+
+    // Occupies the dispatcher (popped, then stalled 500 ms).
+    std::future<QueryResult> in_flight =
+        service.submit(corpus.queries[0], 60000.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // Three queued requests cross the watermark (2): the one with the
+    // least remaining budget — r_small, 2 s — is shed; the others have
+    // hours of budget and survive the stall comfortably.
+    std::future<QueryResult> r_big =
+        service.submit(corpus.queries[1], 3600000.0);
+    std::future<QueryResult> r_small =
+        service.submit(corpus.queries[2], 2000.0);
+    std::future<QueryResult> r_medium =
+        service.submit(corpus.queries[3], 7200000.0);
+
+    EXPECT_EQ(failureCode(r_small), RequestErrorCode::Shed);
+    EXPECT_EQ(in_flight.get().scores.size(), corpus.candidates.size());
+    EXPECT_EQ(r_big.get().scores.size(), corpus.candidates.size());
+    EXPECT_EQ(r_medium.get().scores.size(), corpus.candidates.size());
+    service.shutdown();
+
+    MetricsSnapshot snap = service.metrics();
+    EXPECT_EQ(snap.shed, 1u);
+    EXPECT_EQ(snap.completed, 3u);
+    EXPECT_EQ(snap.expired, 0u);
+}
+
+TEST(Overload, RetriesRecoverInjectedFailuresWithIdenticalBits)
+{
+    constexpr uint32_t kNumQueries = 3;
+    constexpr uint32_t kNumCandidates = 3;
+    constexpr int kRequests = 12;
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, kNumQueries, kNumCandidates);
+
+    // Reference scores from a fault-free service.
+    std::vector<std::vector<double>> reference;
+    {
+        ServeConfig config;
+        config.flushMicros = 200;
+        SearchService service(config, corpus.candidates);
+        for (int r = 0; r < kRequests; ++r) {
+            reference.push_back(
+                service
+                    .submit(corpus.queries[static_cast<size_t>(r) %
+                                           kNumQueries])
+                    .get()
+                    .scores);
+        }
+    }
+
+    // The same requests against a service that spuriously fails ~30%
+    // of them (seeded, so the injected pattern is reproducible), with
+    // a client retry loop absorbing the failures.
+    FaultConfig fault_config;
+    fault_config.seed = 42;
+    fault_config.errorProb = 0.3;
+    FaultInjector faults(fault_config);
+
+    ServeConfig config;
+    config.flushMicros = 200;
+    config.faults = &faults;
+    SearchService service(config, corpus.candidates);
+
+    int client_retries = 0;
+    for (int r = 0; r < kRequests; ++r) {
+        const Graph &query =
+            corpus.queries[static_cast<size_t>(r) % kNumQueries];
+        std::vector<double> scores;
+        for (int attempt = 0;; ++attempt) {
+            ASSERT_LT(attempt, 40) << "retries did not converge";
+            std::future<QueryResult> future = service.submit(query);
+            try {
+                scores = future.get().scores;
+                break;
+            } catch (const RequestError &error) {
+                ASSERT_EQ(error.code(), RequestErrorCode::Injected);
+                ASSERT_TRUE(error.retryable());
+                ++client_retries;
+            }
+        }
+        // Recovered results carry exactly the bits of a run that never
+        // saw a fault — retries change *when* a score is computed,
+        // never what it is.
+        EXPECT_EQ(scores, reference[static_cast<size_t>(r)])
+            << "request " << r;
+    }
+    service.shutdown();
+
+    EXPECT_GT(faults.injectedErrors(), 0u) << "seed 42 must inject";
+    EXPECT_EQ(static_cast<uint64_t>(client_retries),
+              faults.injectedErrors());
+}
+
+TEST(Overload, LoadgenRetryPolicyAbsorbsInjectedFailures)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 3, 2);
+
+    FaultConfig fault_config;
+    fault_config.seed = 42;
+    fault_config.errorProb = 0.3;
+    FaultInjector faults(fault_config);
+
+    ServeConfig config;
+    config.flushMicros = 200;
+    config.faults = &faults;
+    SearchService service(config, corpus.candidates);
+
+    RetryPolicy retry;
+    retry.maxAttempts = 10;
+    retry.baseBackoffMs = 0.1;
+    retry.maxBackoffMs = 1.0;
+    LoadGenResult run =
+        runClosedLoop(service, corpus.queries, 16, 1, retry, 7);
+    service.shutdown();
+
+    EXPECT_GT(faults.injectedErrors(), 0u) << "seed 42 must inject";
+    EXPECT_EQ(run.errors, 0u) << "every injected failure must recover";
+    EXPECT_EQ(run.giveups, 0u);
+    EXPECT_EQ(run.retries, faults.injectedErrors());
+    // Client retries flow into the service registry with the server
+    // counters: cegma_serve --json / --prom report all three.
+    EXPECT_EQ(run.metrics.retries, run.retries);
+    EXPECT_EQ(run.metrics.completed, 16u);
+}
+
+TEST(Overload, BoundedDrainFailsQueuedRequestsInsteadOfBlocking)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 3, 2);
+
+    // Wedge the dispatcher on the first batch for 600 ms; the drain is
+    // bounded at 50 ms, so shutdown must abort and fail the two still
+    // -queued requests rather than wait out the stall.
+    FaultConfig fault_config;
+    fault_config.stallBatches = 1;
+    fault_config.stallMicros = 600000;
+    FaultInjector faults(fault_config);
+
+    ServeConfig config;
+    config.maxBatch = 1;
+    config.flushMicros = 100;
+    config.drainTimeoutMs = 50.0;
+    config.faults = &faults;
+    SearchService service(config, corpus.candidates);
+
+    std::future<QueryResult> in_flight =
+        service.submit(corpus.queries[0]);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::future<QueryResult> queued_a =
+        service.submit(corpus.queries[1]);
+    std::future<QueryResult> queued_b =
+        service.submit(corpus.queries[2]);
+
+    auto shutdown_started = std::chrono::steady_clock::now();
+    service.shutdown();
+    double shutdown_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() -
+                             shutdown_started)
+                             .count();
+    // Bounded: ~50 ms drain + the in-flight batch, never the queued
+    // backlog. Generous ceiling for sanitizer builds.
+    EXPECT_LT(shutdown_ms, 5000.0);
+
+    // The batch already in flight still completes at join...
+    EXPECT_EQ(in_flight.get().scores.size(), corpus.candidates.size());
+    // ...while the still-queued requests fail fast, non-retryably.
+    for (std::future<QueryResult> *future : {&queued_a, &queued_b}) {
+        try {
+            future->get();
+            ADD_FAILURE() << "queued request must fail on drain timeout";
+        } catch (const RequestError &error) {
+            EXPECT_EQ(error.code(), RequestErrorCode::DrainTimeout);
+            EXPECT_FALSE(error.retryable());
+        }
+    }
+    MetricsSnapshot snap = service.metrics();
+    EXPECT_EQ(snap.drainDropped, 2u);
+    EXPECT_EQ(snap.completed, 1u);
+}
+
+TEST(Overload, MetricScrapesRacingShutdownNeverTouchDeadMembers)
+{
+    // The regression this pins down: the batcher (a provider-gauge
+    // target) used to be declared after the metrics registry, so a
+    // scrape during teardown polled a destroyed member. Scrape
+    // continuously across shutdown(); ASan (ci.sh tier 3) turns any
+    // lifetime slip into a hard failure.
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 2, 2);
+    ServeConfig config;
+    config.flushMicros = 200;
+    auto service =
+        std::make_unique<SearchService>(config, corpus.candidates);
+
+    std::atomic<bool> stop{false};
+    std::thread scraper([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            obs::RegistrySnapshot snap = service->registry().snapshot();
+            std::string prom = snap.toPrometheus();
+            EXPECT_NE(prom.find("serve_queue_depth"),
+                      std::string::npos);
+        }
+    });
+
+    for (int r = 0; r < 6; ++r) {
+        service
+            ->submit(
+                corpus.queries[static_cast<size_t>(r) %
+                               corpus.queries.size()])
+            .get();
+    }
+    service->shutdown();
+    // Post-shutdown scrapes read the frozen gauges for a while...
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop.store(true, std::memory_order_release);
+    scraper.join();
+    // ...and the frozen values match a direct snapshot.
+    MetricsSnapshot final_snap = service->metrics();
+    EXPECT_EQ(final_snap.completed, 6u);
+    service.reset();
 }
 
 } // namespace

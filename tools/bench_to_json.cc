@@ -283,6 +283,12 @@ struct ServingRecord
     double cacheHitRate;
     double dedupSkipRatio;
 
+    // Overload-robustness counters (nonzero only when the sweep is
+    // run with deadlines/shedding/faults enabled).
+    uint64_t expired;
+    uint64_t shed;
+    uint64_t retries;
+
     // Per-stage latency breakdown: each stage's share of the total
     // accounted time (queue wait + embed + match + dedup + head +
     // memo lookups). Stage times are thread-time sums, so the shares
@@ -375,6 +381,9 @@ runServingSweep(uint32_t num_queries, uint32_t num_candidates,
             rec.batchMean = run.metrics.batchMean;
             rec.cacheHitRate = run.metrics.cacheHitRate;
             rec.dedupSkipRatio = run.metrics.dedupSkipRatio;
+            rec.expired = run.metrics.expired;
+            rec.shed = run.metrics.shed;
+            rec.retries = run.metrics.retries;
             fillStageShares(run.metrics, rec);
             records.push_back(std::move(rec));
         }
@@ -400,13 +409,16 @@ writeServingJson(const std::vector<ServingRecord> &records,
                      "\"p95_ms\": %.3f, \"p99_ms\": %.3f, "
                      "\"batch_mean\": %.2f, \"cache_hit_rate\": %.3f, "
                      "\"dedup_skip_ratio\": %.3f, "
+                     "\"expired\": %" PRIu64 ", \"shed\": %" PRIu64
+                     ", \"retries\": %" PRIu64 ", "
                      "\"embed_share\": %.3f, \"match_share\": %.3f, "
                      "\"dedup_share\": %.3f, \"head_share\": %.3f, "
                      "\"memo_share\": %.3f, \"queue_share\": %.3f}%s\n",
                      r.model.c_str(), r.mode.c_str(), r.threads,
                      r.requests, r.offeredQps, r.achievedQps, r.p50Ms,
                      r.p95Ms, r.p99Ms, r.batchMean, r.cacheHitRate,
-                     r.dedupSkipRatio, r.embedShare, r.matchShare,
+                     r.dedupSkipRatio, r.expired, r.shed, r.retries,
+                     r.embedShare, r.matchShare,
                      r.dedupShare, r.headShare, r.memoShare,
                      r.queueShare, i + 1 < records.size() ? "," : "");
     }

@@ -15,6 +15,11 @@
  *               [--threads T] [--seed S] [--json] [--csv] [--prom]
  *               [--trace-out FILE] [--metrics-every SEC]
  *               [--slow-ms MS] [--version]
+ *               [--deadline-ms D] [--shed-watermark N]
+ *               [--drain-timeout-ms D] [--retries K] [--backoff-ms B]
+ *               [--fault-error-prob P] [--fault-delay-prob P]
+ *               [--fault-delay-us U] [--fault-stall-batches N]
+ *               [--fault-stall-us U] [--fault-seed S]
  *
  * Examples:
  *   cegma_serve --model GraphSim --dataset RD-B --qps 50 --requests 200
@@ -22,6 +27,9 @@
  *   cegma_serve --qps 20 --json                  # JSON metrics snapshot
  *   cegma_serve --trace-out trace.json           # Perfetto-loadable trace
  *   cegma_serve --qps 10 --metrics-every 1 --slow-ms 50
+ *   cegma_serve --qps 50 --deadline-ms 100 --shed-watermark 64 \
+ *               --retries 3 --json       # overload-robust serving
+ *   cegma_serve --fault-error-prob 0.3 --retries 5 --json
  */
 
 #include <chrono>
@@ -68,6 +76,16 @@ struct Options
     std::string traceOut;     // Chrome trace_event JSON path
     double metricsEvery = 0.0; // seconds; > 0 starts the reporter
     double slowMs = 0.0;       // slow-request log threshold
+
+    // Overload robustness (all off by default).
+    double deadlineMs = 0.0;     // per-request deadline budget
+    size_t shedWatermark = 0;    // shed depth; 0 disables
+    double drainTimeoutMs = 0.0; // bounded shutdown drain
+    uint32_t retries = 0;        // client retries past the 1st attempt
+    double backoffMs = 1.0;      // base retry backoff
+
+    // Fault injection (all zero = injector not installed).
+    FaultConfig faults;
 };
 
 [[noreturn]] void
@@ -83,6 +101,12 @@ usage(const char *argv0)
         "          [--threads T] [--seed S] [--json] [--csv] [--prom]\n"
         "          [--trace-out FILE] [--metrics-every SEC]\n"
         "          [--slow-ms MS] [--version]\n"
+        "          [--deadline-ms D] [--shed-watermark N]\n"
+        "          [--drain-timeout-ms D] [--retries K]\n"
+        "          [--backoff-ms B]\n"
+        "          [--fault-error-prob P] [--fault-delay-prob P]\n"
+        "          [--fault-delay-us U] [--fault-stall-batches N]\n"
+        "          [--fault-stall-us U] [--fault-seed S]\n"
         "models: GMN-Li GraphSim SimGNN\n"
         "datasets: AIDS COLLAB GITHUB RD-B RD-5K RD-12K\n"
         "--qps > 0 drives open-loop Poisson arrivals; otherwise\n"
@@ -90,7 +114,13 @@ usage(const char *argv0)
         "--trace-out writes a Chrome trace_event JSON (Perfetto /\n"
         "chrome://tracing); --prom prints the metrics registry as\n"
         "Prometheus text; --metrics-every prints periodic stats to\n"
-        "stderr; --slow-ms logs requests slower than the threshold.\n",
+        "stderr; --slow-ms logs requests slower than the threshold.\n"
+        "--deadline-ms bounds each request (expired requests fail\n"
+        "fast, unscored); --shed-watermark sheds the least-budget\n"
+        "queued requests past that depth; --drain-timeout-ms bounds\n"
+        "the shutdown drain; --retries enables jittered-backoff\n"
+        "client retries; the --fault-* flags install the seeded\n"
+        "fault injector (serve/faults.hh) for chaos runs.\n",
         argv0);
     std::exit(2);
 }
@@ -183,6 +213,31 @@ parseArgs(int argc, char **argv)
             opts.metricsEvery = std::stod(next());
         } else if (arg == "--slow-ms") {
             opts.slowMs = std::stod(next());
+        } else if (arg == "--deadline-ms") {
+            opts.deadlineMs = std::stod(next());
+        } else if (arg == "--shed-watermark") {
+            opts.shedWatermark = std::stoul(next());
+        } else if (arg == "--drain-timeout-ms") {
+            opts.drainTimeoutMs = std::stod(next());
+        } else if (arg == "--retries") {
+            opts.retries = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--backoff-ms") {
+            opts.backoffMs = std::stod(next());
+        } else if (arg == "--fault-error-prob") {
+            opts.faults.errorProb = std::stod(next());
+        } else if (arg == "--fault-delay-prob") {
+            opts.faults.delayProb = std::stod(next());
+        } else if (arg == "--fault-delay-us") {
+            opts.faults.delayMicros =
+                static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--fault-stall-batches") {
+            opts.faults.stallBatches =
+                static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--fault-stall-us") {
+            opts.faults.stallMicros =
+                static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--fault-seed") {
+            opts.faults.seed = std::stoull(next());
         } else if (arg == "--version") {
             std::printf("%s\n", obs::buildInfoString().c_str());
             std::exit(0);
@@ -220,6 +275,23 @@ main(int argc, char **argv)
     config.flushMicros = opts.flushUs;
     config.topK = opts.topk;
     config.slowMs = opts.slowMs;
+    config.requestDeadlineMs = opts.deadlineMs;
+    config.shedWatermark = opts.shedWatermark;
+    config.drainTimeoutMs = opts.drainTimeoutMs;
+
+    // Install the seeded fault injector only when a fault was asked
+    // for; a null hook keeps the hot path at one branch per batch.
+    std::optional<FaultInjector> injector;
+    if (opts.faults.errorProb > 0.0 || opts.faults.delayProb > 0.0 ||
+        opts.faults.stallBatches > 0) {
+        injector.emplace(opts.faults);
+        config.faults = &*injector;
+    }
+
+    RetryPolicy retry;
+    retry.maxAttempts = opts.retries + 1;
+    retry.baseBackoffMs = opts.backoffMs;
+    retry.deadlineMs = opts.deadlineMs;
 
     if (!opts.traceOut.empty())
         obs::setTracingEnabled(true);
@@ -256,9 +328,9 @@ main(int argc, char **argv)
     LoadGenResult run =
         opts.qps > 0.0
             ? runOpenLoop(service, corpus.queries, opts.requests,
-                          opts.qps, opts.seed)
+                          opts.qps, opts.seed, retry)
             : runClosedLoop(service, corpus.queries, opts.requests,
-                            opts.clients);
+                            opts.clients, retry, opts.seed);
 
     if (reporter.joinable()) {
         {
@@ -293,8 +365,9 @@ main(int argc, char **argv)
             ? "open@" + TextTable::fmt(opts.qps, 1) + "qps"
             : "closed x" + std::to_string(opts.clients);
     TextTable table({"model", "dataset", "mode", "reqs", "ok", "rej",
-                     "qps", "p50 ms", "p95 ms", "p99 ms", "batch",
-                     "hit%", "skip%", "evict", "cache"});
+                     "exp", "shed", "retry", "qps", "p50 ms", "p95 ms",
+                     "p99 ms", "batch", "hit%", "skip%", "evict",
+                     "cache"});
     table.addRow({
         modelConfig(opts.model).name,
         datasetSpec(opts.dataset).name,
@@ -302,6 +375,9 @@ main(int argc, char **argv)
         std::to_string(snap.submitted),
         std::to_string(snap.completed),
         std::to_string(snap.rejected),
+        std::to_string(snap.expired),
+        std::to_string(snap.shed),
+        std::to_string(snap.retries),
         TextTable::fmt(run.achievedQps, 2),
         TextTable::fmt(snap.latencyP50Ms, 2),
         TextTable::fmt(snap.latencyP95Ms, 2),
