@@ -7,9 +7,19 @@
  *
  * The parallel kernels (GEMM, A*B^T similarity, cosine normalization,
  * EMF tags) run under an explicit `threads:N` second argument so a
- * threads=1 vs threads=N comparison is one benchmark filter away; the
+ * threads=1 vs threads=N comparison is one benchmark filter away, and
+ * a `simd:0|1` argument pinning the dispatched kernels to scalar or
+ * AVX2 so the vectorization speedup is measurable in isolation; the
  * `*Naive` variants re-measure the pre-parallel seed loops as a fixed
  * baseline.
+ *
+ * The `BM_SimilarityWindowed` / `BM_SimilarityStreamed` pair compares
+ * the CGC joint-window schedule against full-matrix streaming on a
+ * clone-search-sized pair; when `perf_event_open` is permitted they
+ * attach LLC/L1D miss counters to the measured region (single
+ * threaded, so the counting thread does the work), and they always
+ * report the deterministic feature-line-load estimate from
+ * `WindowSchedStats`.
  */
 
 #include <benchmark/benchmark.h>
@@ -20,16 +30,36 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "emf/emf.hh"
 #include "gmn/similarity.hh"
+#include "gmn/window_sched.hh"
 #include "graph/generators.hh"
 #include "graph/wl_refine.hh"
 #include "hash/xxhash.hh"
+#include "obs/perf_counters.hh"
 #include "tensor/matrix.hh"
 
 namespace {
 
 using namespace cegma;
+
+/**
+ * Apply the bench's `simd` argument (0 = scalar, 1 = avx2); returns
+ * false (after flagging the run) when AVX2 was requested but the
+ * CPU/build lacks it, so those rows show as skipped rather than
+ * silently re-measuring scalar.
+ */
+bool
+applySimdArg(benchmark::State &state, int64_t simd)
+{
+    if (simd != 0 && !cpuSupportsAvx2()) {
+        state.SkipWithError("AVX2 not available");
+        return false;
+    }
+    setSimdLevel(simd != 0 ? SimdLevel::Avx2 : SimdLevel::Scalar);
+    return true;
+}
 
 /** Pre-parallel seed GEMM (ikj, scalar) for baseline comparison. */
 Matrix
@@ -81,10 +111,37 @@ BM_XxHash32(benchmark::State &state)
 }
 BENCHMARK(BM_XxHash32)->Arg(256)->Arg(4096)->Arg(65536);
 
+/** The batched row-hash path the EMF tag stage runs on. */
+void
+BM_XxHash32Rows(benchmark::State &state)
+{
+    const size_t rows = static_cast<size_t>(state.range(0));
+    const size_t row_bytes = 256;
+    if (!applySimdArg(state, state.range(1)))
+        return;
+    std::vector<uint8_t> buf(rows * row_bytes);
+    Rng rng(1);
+    for (auto &b : buf)
+        b = static_cast<uint8_t>(rng.next64());
+    std::vector<uint32_t> tags(rows);
+    for (auto _ : state) {
+        xxhash32Rows(buf.data(), row_bytes, row_bytes, rows, 0,
+                     tags.data());
+        benchmark::DoNotOptimize(tags.data());
+    }
+    state.SetBytesProcessed(state.iterations() * buf.size());
+}
+BENCHMARK(BM_XxHash32Rows)
+    ->ArgNames({"rows", "simd"})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
 void
 BM_Gemm(benchmark::State &state)
 {
     size_t n = static_cast<size_t>(state.range(0));
+    if (!applySimdArg(state, state.range(2)))
+        return;
     ThreadPool::instance().setThreads(
         static_cast<uint32_t>(state.range(1)));
     Rng rng(2);
@@ -97,12 +154,15 @@ BM_Gemm(benchmark::State &state)
     ThreadPool::instance().setThreads(1);
 }
 BENCHMARK(BM_Gemm)
-    ->ArgNames({"n", "threads"})
-    ->Args({64, 1})
-    ->Args({128, 1})
-    ->Args({256, 1})
-    ->Args({256, 2})
-    ->Args({256, 4});
+    ->ArgNames({"n", "threads", "simd"})
+    ->Args({64, 1, 1})
+    ->Args({128, 1, 1})
+    ->Args({256, 1, 0})
+    ->Args({256, 1, 1})
+    ->Args({256, 2, 1})
+    ->Args({256, 4, 1})
+    ->Args({256, 8, 0})
+    ->Args({256, 8, 1});
 
 void
 BM_GemmNaive(benchmark::State &state)
@@ -122,6 +182,8 @@ void
 BM_SimilarityNT(benchmark::State &state)
 {
     size_t n = static_cast<size_t>(state.range(0));
+    if (!applySimdArg(state, state.range(2)))
+        return;
     ThreadPool::instance().setThreads(
         static_cast<uint32_t>(state.range(1)));
     Rng rng(3);
@@ -134,13 +196,16 @@ BM_SimilarityNT(benchmark::State &state)
     ThreadPool::instance().setThreads(1);
 }
 BENCHMARK(BM_SimilarityNT)
-    ->ArgNames({"n", "threads"})
-    ->Args({128, 1})
-    ->Args({256, 1})
-    ->Args({256, 2})
-    ->Args({256, 4})
-    ->Args({512, 1})
-    ->Args({512, 4});
+    ->ArgNames({"n", "threads", "simd"})
+    ->Args({128, 1, 1})
+    ->Args({256, 1, 0})
+    ->Args({256, 1, 1})
+    ->Args({256, 2, 1})
+    ->Args({256, 4, 1})
+    ->Args({512, 1, 1})
+    ->Args({512, 4, 1})
+    ->Args({512, 8, 0})
+    ->Args({512, 8, 1});
 
 void
 BM_SimilarityNTNaive(benchmark::State &state)
@@ -160,6 +225,8 @@ void
 BM_SimilarityCosine(benchmark::State &state)
 {
     size_t n = static_cast<size_t>(state.range(0));
+    if (!applySimdArg(state, state.range(2)))
+        return;
     ThreadPool::instance().setThreads(
         static_cast<uint32_t>(state.range(1)));
     Rng rng(7);
@@ -174,15 +241,20 @@ BM_SimilarityCosine(benchmark::State &state)
     ThreadPool::instance().setThreads(1);
 }
 BENCHMARK(BM_SimilarityCosine)
-    ->ArgNames({"n", "threads"})
-    ->Args({256, 1})
-    ->Args({256, 2})
-    ->Args({256, 4});
+    ->ArgNames({"n", "threads", "simd"})
+    ->Args({256, 1, 0})
+    ->Args({256, 1, 1})
+    ->Args({256, 2, 1})
+    ->Args({256, 4, 1})
+    ->Args({256, 8, 0})
+    ->Args({256, 8, 1});
 
 void
 BM_EmfTags(benchmark::State &state)
 {
     size_t n = static_cast<size_t>(state.range(0));
+    if (!applySimdArg(state, state.range(2)))
+        return;
     ThreadPool::instance().setThreads(
         static_cast<uint32_t>(state.range(1)));
     Rng rng(9);
@@ -194,10 +266,92 @@ BM_EmfTags(benchmark::State &state)
     ThreadPool::instance().setThreads(1);
 }
 BENCHMARK(BM_EmfTags)
-    ->ArgNames({"n", "threads"})
-    ->Args({4096, 1})
-    ->Args({4096, 2})
-    ->Args({4096, 4});
+    ->ArgNames({"n", "threads", "simd"})
+    ->Args({4096, 1, 0})
+    ->Args({4096, 1, 1})
+    ->Args({4096, 2, 1})
+    ->Args({4096, 4, 1});
+
+/**
+ * The joint-window vs streaming comparison on a clone-search-shaped
+ * pair: a query graph's features against a corpus batch whose feature
+ * block (m x f) overflows L2, the regime CGC targets. Runs single
+ * threaded so the perf-counter group (which counts the calling
+ * thread) sees all the work; `lines_est` is the deterministic
+ * feature-line-load estimate, `llc_miss` / `l1d_miss` the measured
+ * counters when the kernel permits them.
+ */
+void
+similarityLocalityBench(benchmark::State &state, bool windowed)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    const size_t m = static_cast<size_t>(state.range(1));
+    const size_t f = 128;
+    if (!applySimdArg(state, state.range(2)))
+        return;
+    ThreadPool::instance().setThreads(1);
+    Rng rng(12);
+    Matrix x(n, f), y(m, f);
+    x.fillXavier(rng);
+    y.fillXavier(rng);
+
+    obs::CacheCounters counters;
+    WindowSchedStats stats;
+    uint64_t iters = 0;
+    counters.start();
+    for (auto _ : state) {
+        if (windowed) {
+            benchmark::DoNotOptimize(similarityMatrixWindowed(
+                x, y, SimilarityKind::Cosine, {}, &stats));
+        } else {
+            benchmark::DoNotOptimize(similarityMatrixStreamed(
+                x, y, SimilarityKind::Cosine));
+        }
+        ++iters;
+    }
+    obs::CacheCounterSample sample = counters.stop();
+    state.SetItemsProcessed(state.iterations() * n * m * f);
+
+    const double row_lines = f * sizeof(float) / 64.0;
+    double lines_est;
+    if (windowed) {
+        lines_est = (stats.xTileLoads * stats.tileRowsX +
+                     stats.yTileLoads * stats.tileRowsY) *
+                    row_lines;
+    } else {
+        // Streaming touches all of Y once per x row (plus X once).
+        lines_est = (static_cast<double>(n) * m + n) * row_lines;
+    }
+    state.counters["lines_est"] = lines_est;
+    if (sample.valid && iters > 0) {
+        state.counters["llc_miss"] =
+            static_cast<double>(sample.llcMisses) /
+            static_cast<double>(iters);
+        state.counters["l1d_miss"] =
+            static_cast<double>(sample.l1dMisses) /
+            static_cast<double>(iters);
+    }
+}
+
+void
+BM_SimilarityWindowed(benchmark::State &state)
+{
+    similarityLocalityBench(state, true);
+}
+BENCHMARK(BM_SimilarityWindowed)
+    ->ArgNames({"n", "m", "simd"})
+    ->Args({256, 8192, 1})
+    ->Args({1024, 8192, 1});
+
+void
+BM_SimilarityStreamed(benchmark::State &state)
+{
+    similarityLocalityBench(state, false);
+}
+BENCHMARK(BM_SimilarityStreamed)
+    ->ArgNames({"n", "m", "simd"})
+    ->Args({256, 8192, 1})
+    ->Args({1024, 8192, 1});
 
 void
 BM_WlRefine(benchmark::State &state)

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 CI in one command: release build + full test suite, then the
+# Tier-1 CI in one command: release build + full test suite (once with
+# the default SIMD dispatch, once forced to the scalar oracle via
+# CEGMA_SIMD=scalar), then the
 # ThreadSanitizer configuration of the same suite at CEGMA_THREADS=8
 # (the determinism/bit-exactness contracts are only meaningful if the
 # parallel runtime is race-free), then an ASan+UBSan pass of the same
@@ -27,6 +29,14 @@ echo "== tier-1: tracing-disabled overhead smoke =="
 ./build/tests/obs_test \
     --gtest_filter='TraceTest.DisabledScopeOverheadIsNegligible'
 
+# Forced-scalar tier: the whole suite again with the SIMD dispatch
+# pinned to the scalar oracle. This proves the dispatcher honors the
+# override everywhere and that no caller depends on the AVX2 path —
+# the bit-identity contract (tests/simd_test.cc) is only as good as
+# the scalar kernels actually running when asked.
+echo "== tier-1: ctest (CEGMA_SIMD=scalar) =="
+CEGMA_SIMD=scalar ctest --test-dir build --output-on-failure -j "$jobs"
+
 echo "== tsan: instrumented build =="
 cmake -B build-tsan -S . -DCEGMA_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs"
@@ -52,6 +62,14 @@ echo "== tsan: fault-injection tests (CEGMA_THREADS=8) =="
 CEGMA_THREADS=8 ./build-tsan/tests/serve_test \
     --gtest_filter='Overload.*:MicroBatcher.*'
 
+# SIMD kernels under TSan: the bit-identity grid runs the dispatched
+# kernels and the joint-window scheduler at 8 pool threads, so any
+# race in the per-tile parallelFor chunking or the dispatch atomics
+# surfaces here.
+echo "== tsan: simd_test (CEGMA_THREADS=8) =="
+CEGMA_THREADS=8 ctest --test-dir build-tsan -R simd_test \
+    --output-on-failure
+
 echo "== asan: instrumented build =="
 cmake -B build-asan -S . -DCEGMA_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$jobs"
@@ -65,5 +83,12 @@ ctest --test-dir build-asan --output-on-failure -j "$jobs"
 echo "== asan: fault-injection tests =="
 ./build-asan/tests/serve_test \
     --gtest_filter='Overload.*:TopKHits.*'
+
+# SIMD kernels under ASan+UBSan: the AVX2 loads are unaligned by
+# design (loadu on arbitrary row offsets, ragged tails, the 64-byte
+# allocator's promises) — UBSan proves they are clean, ASan catches
+# any tail over-read the masked drains could hide.
+echo "== asan: simd_test =="
+ctest --test-dir build-asan -R simd_test --output-on-failure
 
 echo "== ci.sh: all green =="

@@ -1,0 +1,95 @@
+#include "common/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace cegma {
+
+namespace {
+
+// -1 = unresolved; otherwise a SimdLevel value. Resolution is
+// idempotent (same inputs -> same level), so a racing double-resolve
+// is harmless.
+std::atomic<int> g_level{-1};
+
+SimdLevel
+clampToSupported(SimdLevel requested, const char *origin)
+{
+    if (requested == SimdLevel::Avx2 && !cpuSupportsAvx2()) {
+        warn("%s requested avx2 but this %s lacks AVX2; using scalar "
+             "kernels",
+             origin,
+#ifdef CEGMA_HAVE_AVX2
+             "CPU"
+#else
+             "build"
+#endif
+        );
+        return SimdLevel::Scalar;
+    }
+    return requested;
+}
+
+SimdLevel
+resolve()
+{
+    const char *env = std::getenv("CEGMA_SIMD");
+    if (env != nullptr && *env != '\0') {
+        if (std::strcmp(env, "scalar") == 0)
+            return SimdLevel::Scalar;
+        if (std::strcmp(env, "avx2") == 0)
+            return clampToSupported(SimdLevel::Avx2, "CEGMA_SIMD");
+        warn("ignoring unknown CEGMA_SIMD value '%s' "
+             "(expected 'avx2' or 'scalar')",
+             env);
+    }
+    return cpuSupportsAvx2() ? SimdLevel::Avx2 : SimdLevel::Scalar;
+}
+
+} // namespace
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Scalar:
+        return "scalar";
+      case SimdLevel::Avx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+SimdLevel
+simdLevel()
+{
+    int cur = g_level.load(std::memory_order_relaxed);
+    if (cur >= 0)
+        return static_cast<SimdLevel>(cur);
+    SimdLevel resolved = resolve();
+    g_level.store(static_cast<int>(resolved), std::memory_order_relaxed);
+    return resolved;
+}
+
+void
+setSimdLevel(SimdLevel level)
+{
+    level = clampToSupported(level, "setSimdLevel");
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool
+cpuSupportsAvx2()
+{
+#ifdef CEGMA_HAVE_AVX2
+    // GCC/Clang resolve this through cpuid once and cache the result.
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+} // namespace cegma

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Runtime SIMD dispatch for the software hot kernels.
+ *
+ * Two instruction levels exist: `Scalar` (the reference kernels, also
+ * the bit-exactness oracle in tests) and `Avx2` (8-lane float / 8-row
+ * hash kernels). The active level is resolved once, lazily:
+ *
+ *   1. an explicit `setSimdLevel()` call (e.g. a `--simd` CLI flag);
+ *   2. the `CEGMA_SIMD` environment variable (`avx2` or `scalar`);
+ *   3. CPUID: `Avx2` when the CPU supports it, else `Scalar`.
+ *
+ * Requesting `avx2` on a machine (or build) without AVX2 support logs
+ * a warning and falls back to `Scalar` rather than faulting.
+ *
+ * Determinism contract: both levels of every dispatched kernel use the
+ * *same* lane-split accumulation order (8 partial accumulators per
+ * vector lane group, identical reduction tree, identical tail
+ * handling) and never use FMA contraction, so outputs are bit-identical
+ * across levels — switching `CEGMA_SIMD` must never change any
+ * produced bit. tests/simd_test.cc enforces this over a shape sweep.
+ */
+
+#ifndef CEGMA_COMMON_SIMD_HH
+#define CEGMA_COMMON_SIMD_HH
+
+namespace cegma {
+
+/** Instruction level of the dispatched kernels. */
+enum class SimdLevel
+{
+    Scalar,
+    Avx2,
+};
+
+/** @return display name ("scalar", "avx2"). */
+const char *simdLevelName(SimdLevel level);
+
+/**
+ * The active kernel level (one relaxed atomic load after the first
+ * call resolves it; see the file comment for the resolution order).
+ */
+SimdLevel simdLevel();
+
+/**
+ * Force the kernel level. Unsupported requests (AVX2 on a non-AVX2
+ * machine or a non-x86 build) warn and clamp to `Scalar`. Safe to call
+ * between kernels at any time; not synchronized with kernels already
+ * in flight (levels are bit-identical, so a mid-job flip is still
+ * correct — just unusual).
+ */
+void setSimdLevel(SimdLevel level);
+
+/** True when both the build and the CPU can run the AVX2 kernels. */
+bool cpuSupportsAvx2();
+
+} // namespace cegma
+
+#endif // CEGMA_COMMON_SIMD_HH

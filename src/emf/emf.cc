@@ -48,13 +48,15 @@ std::vector<uint32_t>
 computeEmfTags(const Matrix &features, uint32_t seed)
 {
     std::vector<uint32_t> tags(features.rows());
+    const size_t row_bytes = features.cols() * sizeof(float);
     // XXH32 consumes ~1 byte/cycle, so weight the grain by row bytes.
     size_t grain = grainForRows(features.rows(), 4 * features.cols());
     parallelFor(0, features.rows(), grain, [&](size_t v0, size_t v1) {
-        for (size_t v = v0; v < v1; ++v) {
-            tags[v] = hashFeatureVector(features.row(v),
-                                        features.cols(), seed);
-        }
+        // Batch API: under AVX2 dispatch eight rows hash in parallel
+        // lanes; per-row digests are independent, so the result is
+        // bit-identical at any thread count and SIMD level.
+        xxhash32Rows(features.row(v0), row_bytes, row_bytes, v1 - v0,
+                     seed, tags.data() + v0);
     });
     return tags;
 }

@@ -6,7 +6,9 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "gmn/window_sched.hh"
 #include "obs/trace.hh"
+#include "tensor/kernels.hh"
 
 namespace cegma {
 
@@ -29,6 +31,11 @@ similarityMatrix(const Matrix &x, const Matrix &y, SimilarityKind kind)
 {
     CEGMA_TRACE_SCOPE_CAT("similarityMatrix", "kernel");
     cegma_assert(x.cols() == y.cols());
+    // Large pairs take the L2-resident joint-window path (CGC in
+    // software); bit-identical, so the policy is purely a locality
+    // decision. See window_sched.hh for the CEGMA_WINDOW override.
+    if (shouldWindow(x, y))
+        return similarityMatrixWindowed(x, y, kind);
     Matrix s = matmulNT(x, y);
 
     switch (kind) {
@@ -45,13 +52,12 @@ similarityMatrix(const Matrix &x, const Matrix &y, SimilarityKind kind)
             inv_nx[i] = nx.at(i, 0) > 0.0f ? 1.0f / nx.at(i, 0) : 0.0f;
         for (size_t j = 0; j < s.cols(); ++j)
             inv_ny[j] = ny.at(j, 0) > 0.0f ? 1.0f / ny.at(j, 0) : 0.0f;
+        const TensorKernels &kern = tensorKernels();
         size_t grain = grainForRows(s.rows(), 2 * s.cols());
         parallelFor(0, s.rows(), grain, [&](size_t r0, size_t r1) {
             for (size_t i = r0; i < r1; ++i) {
-                float *srow = s.row(i);
-                float ix = inv_nx[i];
-                for (size_t j = 0; j < s.cols(); ++j)
-                    srow[j] *= ix * inv_ny[j];
+                kern.cosineScaleRow(s.row(i), inv_nx[i], inv_ny.data(),
+                                    s.cols());
             }
         });
         break;
@@ -59,13 +65,14 @@ similarityMatrix(const Matrix &x, const Matrix &y, SimilarityKind kind)
       case SimilarityKind::Euclidean: {
         Matrix sx = rowSquaredNorms(x);
         Matrix sy = rowSquaredNorms(y);
+        const TensorKernels &kern = tensorKernels();
         size_t grain = grainForRows(s.rows(), 3 * s.cols());
         parallelFor(0, s.rows(), grain, [&](size_t r0, size_t r1) {
             for (size_t i = r0; i < r1; ++i) {
-                float *srow = s.row(i);
-                float sxi = sx.at(i, 0);
-                for (size_t j = 0; j < s.cols(); ++j)
-                    srow[j] = 2.0f * srow[j] - sxi - sy.at(j, 0);
+                // sy is (m x 1), so its buffer is the contiguous
+                // per-column squared-norm array.
+                kern.euclidFinishRow(s.row(i), sx.at(i, 0), sy.data(),
+                                     s.cols());
             }
         });
         break;

@@ -1,0 +1,362 @@
+#include "gmn/window_sched.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include <unistd.h>
+
+#include "accel/aoe_unit.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "obs/trace.hh"
+#include "tensor/kernels.hh"
+
+namespace cegma {
+
+namespace {
+
+// -1 = unresolved; otherwise a WindowPolicy value. Same idempotent
+// resolve-once idiom as common/simd.cc.
+std::atomic<int> g_policy{-1};
+
+WindowPolicy
+resolvePolicy()
+{
+    const char *env = std::getenv("CEGMA_WINDOW");
+    if (env != nullptr && *env != '\0') {
+        if (std::strcmp(env, "auto") == 0)
+            return WindowPolicy::Auto;
+        if (std::strcmp(env, "joint") == 0)
+            return WindowPolicy::Joint;
+        if (std::strcmp(env, "stream") == 0)
+            return WindowPolicy::Stream;
+        warn("ignoring unknown CEGMA_WINDOW value '%s' "
+             "(expected 'auto', 'joint' or 'stream')",
+             env);
+    }
+    return WindowPolicy::Auto;
+}
+
+/**
+ * Per-row normalization inputs, precomputed once per side exactly as
+ * the dense `similarityMatrix` does: cosine stores 1/norm (0 for a
+ * zero-norm row), euclidean the squared norms, dot product nothing.
+ */
+struct NormData
+{
+    std::vector<float> xPerRow;
+    std::vector<float> yPerRow;
+};
+
+NormData
+computeNorms(const Matrix &x, const Matrix &y, SimilarityKind kind)
+{
+    NormData norms;
+    switch (kind) {
+      case SimilarityKind::DotProduct:
+        break;
+      case SimilarityKind::Cosine: {
+        Matrix nx = rowL2Norms(x);
+        Matrix ny = rowL2Norms(y);
+        norms.xPerRow.resize(x.rows());
+        norms.yPerRow.resize(y.rows());
+        for (size_t i = 0; i < x.rows(); ++i)
+            norms.xPerRow[i] =
+                nx.at(i, 0) > 0.0f ? 1.0f / nx.at(i, 0) : 0.0f;
+        for (size_t j = 0; j < y.rows(); ++j)
+            norms.yPerRow[j] =
+                ny.at(j, 0) > 0.0f ? 1.0f / ny.at(j, 0) : 0.0f;
+        break;
+      }
+      case SimilarityKind::Euclidean: {
+        Matrix sx = rowSquaredNorms(x);
+        Matrix sy = rowSquaredNorms(y);
+        norms.xPerRow.assign(sx.data(), sx.data() + x.rows());
+        norms.yPerRow.assign(sy.data(), sy.data() + y.rows());
+        break;
+      }
+    }
+    return norms;
+}
+
+/** Normalize one row segment [j0, j0+len) in place. */
+inline void
+finishSegment(const TensorKernels &kern, SimilarityKind kind,
+              float *seg, float x_norm, const float *y_norms,
+              size_t len)
+{
+    switch (kind) {
+      case SimilarityKind::DotProduct:
+        break;
+      case SimilarityKind::Cosine:
+        kern.cosineScaleRow(seg, x_norm, y_norms, len);
+        break;
+      case SimilarityKind::Euclidean:
+        kern.euclidFinishRow(seg, x_norm, y_norms, len);
+        break;
+    }
+}
+
+} // namespace
+
+WindowPolicy
+windowPolicy()
+{
+    int cur = g_policy.load(std::memory_order_relaxed);
+    if (cur >= 0)
+        return static_cast<WindowPolicy>(cur);
+    WindowPolicy resolved = resolvePolicy();
+    g_policy.store(static_cast<int>(resolved),
+                   std::memory_order_relaxed);
+    return resolved;
+}
+
+void
+setWindowPolicy(WindowPolicy policy)
+{
+    g_policy.store(static_cast<int>(policy), std::memory_order_relaxed);
+}
+
+size_t
+defaultWindowBytes()
+{
+    static const size_t bytes = [] {
+        long l2 = -1;
+#ifdef _SC_LEVEL2_CACHE_SIZE
+        l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+#endif
+        size_t base = l2 > 0 ? static_cast<size_t>(l2)
+                             : (size_t(512) << 10);
+        // Leave a quarter of the cache for the output strip, norms and
+        // whatever else the core touches between loads.
+        return base - base / 4;
+    }();
+    return bytes;
+}
+
+bool
+shouldWindow(const Matrix &x, const Matrix &y)
+{
+    if (x.rows() == 0 || y.rows() == 0)
+        return false;
+    switch (windowPolicy()) {
+      case WindowPolicy::Stream:
+        return false;
+      case WindowPolicy::Joint:
+        return true;
+      case WindowPolicy::Auto:
+        break;
+    }
+    size_t footprint = (x.rows() + y.rows()) * x.cols() * sizeof(float);
+    return footprint > defaultWindowBytes();
+}
+
+Matrix
+similarityMatrixWindowed(const Matrix &x, const Matrix &y,
+                         SimilarityKind kind,
+                         const WindowSchedConfig &config,
+                         WindowSchedStats *stats)
+{
+    CEGMA_TRACE_SCOPE_CAT("similarityMatrixWindowed", "kernel");
+    cegma_assert(x.cols() == y.cols());
+    const size_t n = x.rows(), m = y.rows(), f = x.cols();
+
+    WindowSchedStats local;
+    WindowSchedStats &st = stats != nullptr ? *stats : local;
+    st = WindowSchedStats{};
+
+    Matrix s(n, m);
+    if (n == 0 || m == 0)
+        return s;
+
+    const size_t budget =
+        config.cacheBytes > 0 ? config.cacheBytes : defaultWindowBytes();
+    const size_t row_bytes = std::max<size_t>(f, 1) * sizeof(float);
+    // Each side gets half the window, in whole rows; a floor of 8 rows
+    // keeps degenerate budgets from producing per-row tiles.
+    auto tile_rows = [&](size_t total) {
+        size_t t = (budget / 2) / row_bytes;
+        t = std::clamp<size_t>(t, 8, std::max<size_t>(total, 1));
+        return t;
+    };
+    const size_t xt = tile_rows(n);
+    const size_t yt = tile_rows(m);
+    st.tileRowsX = xt;
+    st.tileRowsY = yt;
+    const size_t ntx = (n + xt - 1) / xt;
+    const size_t nty = (m + yt - 1) / yt;
+    const size_t total = ntx * nty;
+
+    NormData norms = computeNorms(x, y, kind);
+    const TensorKernels &kern = tensorKernels();
+    const float *yd = y.data();
+
+    // One joint window: the resident x rows sweep the resident y rows
+    // (GEMM part), and the normalization runs on the freshly produced
+    // segment while it is still cache-hot. Chunks write disjoint rows
+    // and every cell is a fixed-order dot, so the pass is
+    // bit-deterministic at any thread count.
+    auto process = [&](size_t ti, size_t tj) {
+        CEGMA_TRACE_SCOPE_CAT("jointWindow", "kernel.window");
+        const size_t xi0 = ti * xt, xi1 = std::min(n, xi0 + xt);
+        const size_t yj0 = tj * yt, yj1 = std::min(m, yj0 + yt);
+        const size_t width = yj1 - yj0;
+        size_t grain = grainForRows(xi1 - xi0, 2 * f * width);
+        parallelFor(xi0, xi1, grain, [&](size_t r0, size_t r1) {
+            for (size_t i = r0; i < r1; ++i) {
+                float *srow = s.row(i);
+                kern.ntRow(x.row(i), yd, f, yj0, yj1, srow);
+                finishSegment(kern, kind, srow + yj0,
+                              norms.xPerRow.empty() ? 0.0f
+                                                    : norms.xPerRow[i],
+                              norms.yPerRow.empty()
+                                  ? nullptr
+                                  : norms.yPerRow.data() + yj0,
+                              width);
+            }
+        });
+        ++st.windows;
+    };
+
+    // Coordinated traversal state: which windows each tile strip still
+    // owes. `remRow[ti]` is the remaining work of every resident x row
+    // of tile ti, at window granularity — the software analogue of the
+    // AOE unit's Remains Counters.
+    std::vector<uint8_t> visited(total, 0);
+    std::vector<uint32_t> remRow(ntx, static_cast<uint32_t>(nty));
+    std::vector<uint32_t> remCol(nty, static_cast<uint32_t>(ntx));
+
+    size_t ti = 0, tj = 0;
+    auto visit = [&](size_t i, size_t j) {
+        visited[i * nty + j] = 1;
+        --remRow[i];
+        --remCol[j];
+        process(i, j);
+    };
+
+    // Nearest unvisited window in the current x strip (keep X
+    // resident, slide Y); prefers the forward direction on ties.
+    auto slide_in_row = [&](size_t row, size_t &col) {
+        if (remRow[row] == 0)
+            return false;
+        for (size_t d = 1; d < nty; ++d) {
+            if (col + d < nty && !visited[row * nty + col + d]) {
+                col += d;
+                return true;
+            }
+            if (col >= d && !visited[row * nty + col - d]) {
+                col -= d;
+                return true;
+            }
+        }
+        return false;
+    };
+    auto slide_in_col = [&](size_t col, size_t &row) {
+        if (remCol[col] == 0)
+            return false;
+        for (size_t d = 1; d < ntx; ++d) {
+            if (row + d < ntx && !visited[(row + d) * nty + col]) {
+                row += d;
+                return true;
+            }
+            if (row >= d && !visited[(row - d) * nty + col]) {
+                row -= d;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    ++st.xTileLoads;
+    ++st.yTileLoads;
+    visit(ti, tj);
+
+    for (size_t done = 1; done < total; ++done) {
+        bool keep_x = true;
+        if (config.useAoe) {
+            // Algorithm 2 over the resident rows' remaining window
+            // counts. Every row of a tile shares its strip's count;
+            // ragged edge tiles contribute fewer counters, like a
+            // partially filled hardware window. The side whose rows
+            // are closer to finishing (more outliers at the minimum)
+            // stays stationary so they retire without a reload.
+            const size_t xi1 = std::min(n, ti * xt + xt);
+            const size_t yj1 = std::min(m, tj * yt + yt);
+            std::vector<uint32_t> remains_x(xi1 - ti * xt, remRow[ti]);
+            std::vector<uint32_t> remains_y(yj1 - tj * yt, remCol[tj]);
+            AoeDecision d = evaluateAoe(remains_x, remains_y);
+            keep_x = d.keepTarget;
+            ++(keep_x ? st.aoeKeepX : st.aoeKeepY);
+        }
+        // Without AOE, keep_x stays true: exhaust the x strip, then
+        // drop one tile down the current column — a fixed row-major
+        // serpentine (the "double window" baseline).
+
+        bool moved;
+        if (keep_x) {
+            if ((moved = slide_in_row(ti, tj)))
+                ++st.yTileLoads;
+            else if ((moved = slide_in_col(tj, ti)))
+                ++st.xTileLoads;
+        } else {
+            if ((moved = slide_in_col(tj, ti)))
+                ++st.xTileLoads;
+            else if ((moved = slide_in_row(ti, tj)))
+                ++st.yTileLoads;
+        }
+        if (moved) {
+            ++st.slides;
+        } else {
+            // Both strips of the current window are fully matched:
+            // reload both sides at the first unvisited window.
+            for (size_t t = 0; t < total; ++t) {
+                if (!visited[t]) {
+                    ti = t / nty;
+                    tj = t % nty;
+                    break;
+                }
+            }
+            ++st.xTileLoads;
+            ++st.yTileLoads;
+            ++st.jumps;
+        }
+        visit(ti, tj);
+    }
+    return s;
+}
+
+Matrix
+similarityMatrixStreamed(const Matrix &x, const Matrix &y,
+                         SimilarityKind kind)
+{
+    CEGMA_TRACE_SCOPE_CAT("similarityMatrixStreamed", "kernel");
+    cegma_assert(x.cols() == y.cols());
+    const size_t n = x.rows(), m = y.rows(), f = x.cols();
+    Matrix s(n, m);
+    if (n == 0 || m == 0)
+        return s;
+
+    NormData norms = computeNorms(x, y, kind);
+    const TensorKernels &kern = tensorKernels();
+    const float *yd = y.data();
+    size_t grain = grainForRows(n, 2 * f * m);
+    parallelFor(0, n, grain, [&](size_t r0, size_t r1) {
+        for (size_t i = r0; i < r1; ++i) {
+            float *srow = s.row(i);
+            // No j-tiling: each x row streams the whole of Y.
+            kern.ntRow(x.row(i), yd, f, 0, m, srow);
+            finishSegment(kern, kind, srow,
+                          norms.xPerRow.empty() ? 0.0f
+                                                : norms.xPerRow[i],
+                          norms.yPerRow.empty() ? nullptr
+                                                : norms.yPerRow.data(),
+                          m);
+        }
+    });
+    return s;
+}
+
+} // namespace cegma

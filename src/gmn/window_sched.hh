@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Software port of the Coordinated Graph Co-location (CGC) joint
+ * window: the cross-similarity S = sim(X, Y) is computed tile by tile
+ * over joint (x-rows, y-rows) windows sized to fit the L2 cache, so
+ * the resident feature rows are reused across the whole window instead
+ * of streaming the full opposite matrix per row.
+ *
+ * Window traversal follows the paper's coordinated slide: after each
+ * window the AOE unit (accel/aoe_unit.hh, Algorithm 2) scores both
+ * resident sides by their remaining work — here, the number of
+ * still-unvisited windows each resident row participates in — and the
+ * side with more outliers (rows closest to finishing) stays
+ * stationary, so those rows complete their matching and never have to
+ * be reloaded.
+ *
+ * Bit-identity contract: every similarity cell is an independent
+ * fixed-order dot product plus a per-cell normalization, computed with
+ * the same dispatched kernels (tensor/kernels.hh) the dense
+ * `similarityMatrix` uses. Tiling only reorders *which cell is
+ * computed when*, never the arithmetic inside a cell, so the windowed
+ * result is bit-identical to the dense one at every SIMD level and
+ * thread count (tests/simd_test.cc asserts this).
+ */
+
+#ifndef CEGMA_GMN_WINDOW_SCHED_HH
+#define CEGMA_GMN_WINDOW_SCHED_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gmn/similarity.hh"
+#include "tensor/matrix.hh"
+
+namespace cegma {
+
+/** Tuning knobs for the joint-window pass. */
+struct WindowSchedConfig
+{
+    /**
+     * Cache budget in bytes for one joint window (x tile + y tile);
+     * 0 means `defaultWindowBytes()`.
+     */
+    size_t cacheBytes = 0;
+
+    /**
+     * Use the AOE coordinated slide order (Algorithm 2). When false
+     * the tiles are walked in a fixed row-major serpentine — the
+     * "double window" baseline.
+     */
+    bool useAoe = true;
+};
+
+/** Counters filled in by `similarityMatrixWindowed`. */
+struct WindowSchedStats
+{
+    uint64_t windows = 0;    ///< joint windows computed
+    uint64_t slides = 0;     ///< moves where one side stayed resident
+    uint64_t jumps = 0;      ///< moves that reloaded both sides
+    uint64_t xTileLoads = 0; ///< times an x tile entered the window
+    uint64_t yTileLoads = 0; ///< times a y tile entered the window
+    uint64_t aoeKeepX = 0;   ///< AOE decisions that kept X resident
+    uint64_t aoeKeepY = 0;   ///< AOE decisions that kept Y resident
+    size_t tileRowsX = 0;    ///< resolved x-tile height (rows)
+    size_t tileRowsY = 0;    ///< resolved y-tile height (rows)
+};
+
+/**
+ * Joint-window similarity: bit-identical to
+ * `similarityMatrix(x, y, kind)`, computed over L2-resident tiles in
+ * AOE-coordinated order. Safe for any shape (tiny matrices collapse
+ * to a single window).
+ */
+Matrix similarityMatrixWindowed(const Matrix &x, const Matrix &y,
+                                SimilarityKind kind,
+                                const WindowSchedConfig &config = {},
+                                WindowSchedStats *stats = nullptr);
+
+/**
+ * Full-matrix streaming baseline: every x row walks all of Y with no
+ * j-tiling, the access pattern the paper's separate-phase scheduling
+ * exhibits. Same bits, worst-case locality — benches compare its
+ * cache-miss counts against the windowed pass.
+ */
+Matrix similarityMatrixStreamed(const Matrix &x, const Matrix &y,
+                                SimilarityKind kind);
+
+/** How `similarityMatrix` picks its execution path. */
+enum class WindowPolicy
+{
+    Auto,   ///< windowed when the joint footprint overflows the budget
+    Joint,  ///< always windowed
+    Stream, ///< never windowed (dense j-tiled kernel)
+};
+
+/**
+ * Active policy. Resolution order: `setWindowPolicy()` if called,
+ * else the `CEGMA_WINDOW` environment variable (`auto` | `joint` |
+ * `stream`; unknown values warn and mean `auto`), else `Auto`.
+ */
+WindowPolicy windowPolicy();
+
+/** Force a policy (tests, benches); overrides the environment. */
+void setWindowPolicy(WindowPolicy policy);
+
+/**
+ * Default per-window cache budget: 3/4 of the detected L2 size
+ * (`sysconf(_SC_LEVEL2_CACHE_SIZE)`), or 3/4 of 512 KiB when the
+ * platform does not report one.
+ */
+size_t defaultWindowBytes();
+
+/**
+ * Whether `similarityMatrix(x, y, ...)` should take the windowed path
+ * under the active policy.
+ */
+bool shouldWindow(const Matrix &x, const Matrix &y);
+
+} // namespace cegma
+
+#endif // CEGMA_GMN_WINDOW_SCHED_HH

@@ -2,72 +2,12 @@
 
 #include <cstring>
 
+#include "common/simd.hh"
+#include "hash/xxhash_impl.hh"
+
 namespace cegma {
 
-namespace {
-
-constexpr uint32_t PRIME1 = 0x9E3779B1u;
-constexpr uint32_t PRIME2 = 0x85EBCA77u;
-constexpr uint32_t PRIME3 = 0xC2B2AE3Du;
-constexpr uint32_t PRIME4 = 0x27D4EB2Fu;
-constexpr uint32_t PRIME5 = 0x165667B1u;
-
-uint32_t
-rotl32(uint32_t x, int r)
-{
-    return (x << r) | (x >> (32 - r));
-}
-
-uint32_t
-read32(const uint8_t *p)
-{
-    uint32_t v;
-    std::memcpy(&v, p, sizeof(v));
-    return v; // little-endian hosts assumed (x86/ARM little-endian)
-}
-
-/** Consume one 4-byte lane into a stripe accumulator. */
-uint32_t
-round(uint32_t acc, uint32_t lane)
-{
-    acc += lane * PRIME2;
-    acc = rotl32(acc, 13);
-    acc *= PRIME1;
-    return acc;
-}
-
-/** Final mixing (avalanche) of the pre-digest. */
-uint32_t
-avalanche(uint32_t h)
-{
-    h ^= h >> 15;
-    h *= PRIME2;
-    h ^= h >> 13;
-    h *= PRIME3;
-    h ^= h >> 16;
-    return h;
-}
-
-/** Fold trailing (<16) bytes and avalanche. */
-uint32_t
-finalize(uint32_t h, const uint8_t *p, size_t len)
-{
-    while (len >= 4) {
-        h += read32(p) * PRIME3;
-        h = rotl32(h, 17) * PRIME4;
-        p += 4;
-        len -= 4;
-    }
-    while (len > 0) {
-        h += (*p) * PRIME5;
-        h = rotl32(h, 11) * PRIME1;
-        ++p;
-        --len;
-    }
-    return avalanche(h);
-}
-
-} // namespace
+using namespace xxdetail;
 
 uint32_t
 xxhash32(const void *data, size_t len, uint32_t seed)
@@ -97,6 +37,25 @@ xxhash32(const void *data, size_t len, uint32_t seed)
 
     h += static_cast<uint32_t>(total);
     return finalize(h, p, len);
+}
+
+void
+xxhash32Rows(const void *data, size_t row_bytes, size_t stride_bytes,
+             size_t num_rows, uint32_t seed, uint32_t *out)
+{
+    const uint8_t *base = static_cast<const uint8_t *>(data);
+    size_t done = 0;
+#ifdef CEGMA_HAVE_AVX2
+    // Eight rows per pass; the function hashes the largest multiple of
+    // eight and reports how many rows it covered. Rows shorter than a
+    // stripe have no vectorizable main loop.
+    if (simdLevel() == SimdLevel::Avx2 && row_bytes >= 16) {
+        done = xxhash32RowsAvx2(base, row_bytes, stride_bytes, num_rows,
+                                seed, out);
+    }
+#endif
+    for (size_t r = done; r < num_rows; ++r)
+        out[r] = xxhash32(base + r * stride_bytes, row_bytes, seed);
 }
 
 XxHash32Stream::XxHash32Stream(uint32_t seed)

@@ -23,6 +23,30 @@ namespace cegma {
 uint32_t xxhash32(const void *data, size_t len, uint32_t seed = 0);
 
 /**
+ * XXH32 of `num_rows` equal-length rows: `out[r]` is the digest of the
+ * `row_bytes` bytes at `data + r * stride_bytes`. Bit-identical to
+ * calling `xxhash32` per row; under AVX2 dispatch (common/simd.hh)
+ * eight rows are hashed lane-parallel per pass — per-row digests are
+ * independent integer recurrences, so the batch needs no scalar
+ * restructuring to stay exact.
+ */
+void xxhash32Rows(const void *data, size_t row_bytes,
+                  size_t stride_bytes, size_t num_rows, uint32_t seed,
+                  uint32_t *out);
+
+#ifdef CEGMA_HAVE_AVX2
+/**
+ * AVX2 8-row batch kernel (xxhash_avx2.cc): hashes the largest
+ * multiple-of-8 prefix of the rows, @return rows covered. Internal —
+ * go through `xxhash32Rows`, which handles dispatch and remainders.
+ * Requires `row_bytes >= 16`.
+ */
+size_t xxhash32RowsAvx2(const uint8_t *base, size_t row_bytes,
+                        size_t stride_bytes, size_t num_rows,
+                        uint32_t seed, uint32_t *out);
+#endif
+
+/**
  * Streaming XXH32 state, byte-order independent of call granularity:
  * feeding the same bytes in any chunking yields the same digest.
  */

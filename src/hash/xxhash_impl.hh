@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared scalar building blocks of the XXH32 implementation, used by
+ * both the portable TU (xxhash.cc) and the AVX2 8-row batch TU
+ * (xxhash_avx2.cc). Internal to src/hash.
+ */
+
+#ifndef CEGMA_HASH_XXHASH_IMPL_HH
+#define CEGMA_HASH_XXHASH_IMPL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace cegma::xxdetail {
+
+constexpr uint32_t PRIME1 = 0x9E3779B1u;
+constexpr uint32_t PRIME2 = 0x85EBCA77u;
+constexpr uint32_t PRIME3 = 0xC2B2AE3Du;
+constexpr uint32_t PRIME4 = 0x27D4EB2Fu;
+constexpr uint32_t PRIME5 = 0x165667B1u;
+
+inline uint32_t
+rotl32(uint32_t x, int r)
+{
+    return (x << r) | (x >> (32 - r));
+}
+
+inline uint32_t
+read32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v; // little-endian hosts assumed (x86/ARM little-endian)
+}
+
+/** Consume one 4-byte lane into a stripe accumulator. */
+inline uint32_t
+round(uint32_t acc, uint32_t lane)
+{
+    acc += lane * PRIME2;
+    acc = rotl32(acc, 13);
+    acc *= PRIME1;
+    return acc;
+}
+
+/** Final mixing (avalanche) of the pre-digest. */
+inline uint32_t
+avalanche(uint32_t h)
+{
+    h ^= h >> 15;
+    h *= PRIME2;
+    h ^= h >> 13;
+    h *= PRIME3;
+    h ^= h >> 16;
+    return h;
+}
+
+/** Fold trailing (<16) bytes and avalanche. */
+inline uint32_t
+finalize(uint32_t h, const uint8_t *p, size_t len)
+{
+    while (len >= 4) {
+        h += read32(p) * PRIME3;
+        h = rotl32(h, 17) * PRIME4;
+        p += 4;
+        len -= 4;
+    }
+    while (len > 0) {
+        h += (*p) * PRIME5;
+        h = rotl32(h, 11) * PRIME1;
+        ++p;
+        --len;
+    }
+    return avalanche(h);
+}
+
+} // namespace cegma::xxdetail
+
+#endif // CEGMA_HASH_XXHASH_IMPL_HH

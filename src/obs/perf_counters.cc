@@ -1,0 +1,146 @@
+#include "obs/perf_counters.hh"
+
+#ifdef __linux__
+
+#include <cerrno>
+#include <cstring>
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace cegma::obs {
+
+namespace {
+
+int
+openCounter(uint32_t type, uint64_t config, int group_fd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = group_fd < 0 ? 1 : 0; // leader starts the group
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    return static_cast<int>(syscall(SYS_perf_event_open, &attr, 0, -1,
+                                    group_fd, 0));
+}
+
+uint64_t
+readCount(int fd)
+{
+    uint64_t value = 0;
+    if (fd >= 0 && read(fd, &value, sizeof(value)) != sizeof(value))
+        value = 0;
+    return value;
+}
+
+const char *
+openFailureName(int err)
+{
+    switch (err) {
+      case EACCES:
+      case EPERM:
+        return "perf_event_open denied (kernel.perf_event_paranoid)";
+      case ENOENT:
+      case ENODEV:
+        return "cache events not supported on this CPU/PMU";
+      case ENOSYS:
+        return "perf_event_open not available (sandboxed kernel)";
+      default:
+        return "perf_event_open failed";
+    }
+}
+
+} // namespace
+
+CacheCounters::CacheCounters()
+{
+    fds_[0] = openCounter(PERF_TYPE_HARDWARE,
+                          PERF_COUNT_HW_CACHE_REFERENCES, -1);
+    if (fds_[0] < 0) {
+        status_ = openFailureName(errno);
+        return;
+    }
+    fds_[1] = openCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES,
+                          fds_[0]);
+    fds_[2] = openCounter(PERF_TYPE_HW_CACHE,
+                          PERF_COUNT_HW_CACHE_L1D |
+                              (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                              (PERF_COUNT_HW_CACHE_RESULT_MISS << 16),
+                          fds_[0]);
+    if (fds_[1] < 0 || fds_[2] < 0) {
+        // All or nothing: a partial group would silently compare
+        // columns measured under different multiplexing.
+        status_ = openFailureName(errno);
+        for (int &fd : fds_) {
+            if (fd >= 0)
+                close(fd);
+            fd = -1;
+        }
+        return;
+    }
+    status_ = "ok";
+}
+
+CacheCounters::~CacheCounters()
+{
+    for (int fd : fds_) {
+        if (fd >= 0)
+            close(fd);
+    }
+}
+
+void
+CacheCounters::start()
+{
+    if (!available())
+        return;
+    ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+CacheCounterSample
+CacheCounters::stop()
+{
+    CacheCounterSample sample;
+    if (!available())
+        return sample;
+    ioctl(fds_[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    sample.llcReferences = readCount(fds_[0]);
+    sample.llcMisses = readCount(fds_[1]);
+    sample.l1dMisses = readCount(fds_[2]);
+    sample.valid = true;
+    return sample;
+}
+
+} // namespace cegma::obs
+
+#else // !__linux__
+
+namespace cegma::obs {
+
+CacheCounters::CacheCounters()
+{
+    status_ = "perf_event_open is Linux-only";
+}
+
+CacheCounters::~CacheCounters() = default;
+
+void
+CacheCounters::start()
+{
+}
+
+CacheCounterSample
+CacheCounters::stop()
+{
+    return {};
+}
+
+} // namespace cegma::obs
+
+#endif // __linux__

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hardware cache-miss counters over `perf_event_open(2)`, used by the
+ * benches to show that the joint-window scheduler actually trades
+ * DRAM traffic for cache residency (the claim behind CGC) rather than
+ * just reordering work.
+ *
+ * The counters are per *calling thread* (pid = 0, any CPU): a
+ * measured section must run its work on the calling thread, so the
+ * benches pin the pool to one thread around measured regions.
+ *
+ * Containers and locked-down kernels frequently refuse
+ * `perf_event_open` (EPERM/EACCES under
+ * `kernel.perf_event_paranoid`, ENOSYS in some sandboxes). That is a
+ * supported configuration, not an error: `available()` turns false,
+ * `status()` says why, and samples come back with `valid == false` so
+ * callers print "n/a" instead of zeros.
+ */
+
+#ifndef CEGMA_OBS_PERF_COUNTERS_HH
+#define CEGMA_OBS_PERF_COUNTERS_HH
+
+#include <cstdint>
+
+namespace cegma::obs {
+
+/** One measured interval; `valid` is false when counters are off. */
+struct CacheCounterSample
+{
+    uint64_t llcReferences = 0; ///< last-level cache accesses
+    uint64_t llcMisses = 0;     ///< last-level cache misses
+    uint64_t l1dMisses = 0;     ///< L1D read misses
+    bool valid = false;
+};
+
+/**
+ * A group of three hardware cache counters (LLC references, LLC
+ * misses, L1D read misses) that enable and disable atomically.
+ * Construction opens the group; when the kernel refuses, the object
+ * degrades to a no-op whose samples are `valid == false`.
+ */
+class CacheCounters
+{
+  public:
+    CacheCounters();
+    ~CacheCounters();
+
+    CacheCounters(const CacheCounters &) = delete;
+    CacheCounters &operator=(const CacheCounters &) = delete;
+
+    /** Whether the group opened (kernel + permissions allow it). */
+    bool available() const { return fds_[0] >= 0; }
+
+    /** Human-readable availability ("ok" or the open failure). */
+    const char *status() const { return status_; }
+
+    /** Zero and enable the group (no-op when unavailable). */
+    void start();
+
+    /** Disable the group and read the interval's counts. */
+    CacheCounterSample stop();
+
+  private:
+    int fds_[3] = {-1, -1, -1}; ///< leader (LLC refs), LLC miss, L1D
+    const char *status_ = "not opened";
+};
+
+} // namespace cegma::obs
+
+#endif // CEGMA_OBS_PERF_COUNTERS_HH

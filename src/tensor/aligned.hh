@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A 64-byte (cache-line) aligned allocator and the aligned float
+ * buffer type `Matrix` stores its data in.
+ *
+ * Why 64: the AVX2 kernels issue 32-byte vector loads, and a 64-byte
+ * base guarantees a tensor never straddles a cache line at element 0 —
+ * row pointers are only as aligned as `cols` allows, so the kernels
+ * still use unaligned load instructions (free on aligned addresses,
+ * correct on the rest), but whole-tensor sweeps stay line-aligned and
+ * the L2-resident window tiles of window_sched start on line
+ * boundaries. UBSan's alignment check stays happy because no code path
+ * ever casts a float pointer to a wider vector type outside the
+ * intrinsic load/store wrappers.
+ */
+
+#ifndef CEGMA_TENSOR_ALIGNED_HH
+#define CEGMA_TENSOR_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace cegma {
+
+/** Minimal C++17 allocator returning 64-byte aligned storage. */
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator
+{
+    static_assert(Alignment >= alignof(T),
+                  "alignment must not weaken the type's natural one");
+    static_assert((Alignment & (Alignment - 1)) == 0,
+                  "alignment must be a power of two");
+
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Alignment> &) noexcept
+    {
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Alignment>;
+    };
+
+    T *allocate(std::size_t n)
+    {
+        if (n == 0)
+            return nullptr;
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(Alignment)));
+    }
+
+    void deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(Alignment));
+    }
+
+    friend bool operator==(const AlignedAllocator &,
+                           const AlignedAllocator &) noexcept
+    {
+        return true;
+    }
+
+    friend bool operator!=(const AlignedAllocator &,
+                           const AlignedAllocator &) noexcept
+    {
+        return false;
+    }
+};
+
+/** The cache-line aligned buffer behind `Matrix`. */
+using AlignedFloatVector = std::vector<float, AlignedAllocator<float>>;
+
+} // namespace cegma
+
+#endif // CEGMA_TENSOR_ALIGNED_HH

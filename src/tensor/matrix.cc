@@ -8,6 +8,7 @@
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "obs/trace.hh"
+#include "tensor/kernels.hh"
 
 namespace cegma {
 
@@ -32,8 +33,10 @@ Matrix::Matrix(size_t rows, size_t cols)
 }
 
 Matrix::Matrix(size_t rows, size_t cols, std::vector<float> data)
-    : rows_(rows), cols_(cols), data_(std::move(data))
+    : rows_(rows), cols_(cols), data_(data.begin(), data.end())
 {
+    // Copies into the aligned buffer; this ctor is for tests and
+    // fixtures, never a hot path.
     cegma_assert(data_.size() == rows * cols);
 }
 
@@ -94,13 +97,14 @@ matmul(const Matrix &a, const Matrix &b)
     const float *ad = a.data();
     const float *bd = b.data();
     float *cd = c.data();
+    const TensorKernels &kern = tensorKernels();
     size_t grain = grainForRows(m, 2 * k * n);
     parallelFor(0, m, grain, [=](size_t r0, size_t r1) {
         // ikj order inside each k-block: streams B rows (cache
         // friendly for row-major data) while the KC-row B panel stays
         // hot across the chunk's A rows. Four B rows per pass over the
-        // C row quarters the C-row traffic and lets the j loop
-        // vectorize over four independent products.
+        // C row quarters the C-row traffic; the per-pass update runs
+        // in the dispatched quadAxpy kernel (8 lanes under AVX2).
         for (size_t k0 = 0; k0 < k; k0 += kGemmKc) {
             size_t k1 = std::min(k, k0 + kGemmKc);
             for (size_t i = r0; i < r1; ++i) {
@@ -108,28 +112,20 @@ matmul(const Matrix &a, const Matrix &b)
                 const float *arow = ad + i * k;
                 size_t kk = k0;
                 for (; kk + 4 <= k1; kk += 4) {
-                    float a0 = arow[kk], a1 = arow[kk + 1];
-                    float a2 = arow[kk + 2], a3 = arow[kk + 3];
-                    if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f &&
-                        a3 == 0.0f) {
+                    const float *a4 = arow + kk;
+                    if (a4[0] == 0.0f && a4[1] == 0.0f &&
+                        a4[2] == 0.0f && a4[3] == 0.0f) {
                         continue; // e.g. post-ReLU sparsity
                     }
                     const float *b0 = bd + kk * n;
-                    const float *b1 = b0 + n;
-                    const float *b2 = b1 + n;
-                    const float *b3 = b2 + n;
-                    for (size_t j = 0; j < n; ++j) {
-                        crow[j] += a0 * b0[j] + a1 * b1[j] +
-                                   a2 * b2[j] + a3 * b3[j];
-                    }
+                    kern.quadAxpy(crow, a4, b0, b0 + n, b0 + 2 * n,
+                                  b0 + 3 * n, n);
                 }
                 for (; kk < k1; ++kk) {
                     float aik = arow[kk];
                     if (aik == 0.0f)
                         continue;
-                    const float *brow = bd + kk * n;
-                    for (size_t j = 0; j < n; ++j)
-                        crow[j] += aik * brow[j];
+                    kern.axpy(crow, aik, bd + kk * n, n);
                 }
             }
         }
@@ -149,6 +145,7 @@ matmulNT(const Matrix &a, const Matrix &b)
     const float *ad = a.data();
     const float *bd = b.data();
     float *cd = c.data();
+    const TensorKernels &kern = tensorKernels();
     size_t grain = grainForRows(m, 2 * k * n);
     parallelFor(0, m, grain, [=](size_t r0, size_t r1) {
         // j-tiling keeps a JB-row panel of B in cache across the
@@ -158,8 +155,7 @@ matmulNT(const Matrix &a, const Matrix &b)
             for (size_t i = r0; i < r1; ++i) {
                 const float *arow = ad + i * k;
                 float *crow = cd + i * n;
-                for (size_t j = j0; j < j1; ++j)
-                    crow[j] = dot(arow, bd + j * k, k);
+                kern.ntRow(arow, bd, k, j0, j1, crow);
             }
         }
     });
@@ -276,10 +272,13 @@ Matrix
 rowL2Norms(const Matrix &a)
 {
     Matrix out(a.rows(), 1);
+    const TensorKernels &kern = tensorKernels();
     size_t grain = grainForRows(a.rows(), 2 * a.cols());
     parallelFor(0, a.rows(), grain, [&](size_t r0, size_t r1) {
-        for (size_t i = r0; i < r1; ++i)
-            out.at(i, 0) = std::sqrt(dot(a.row(i), a.row(i), a.cols()));
+        for (size_t i = r0; i < r1; ++i) {
+            out.at(i, 0) =
+                std::sqrt(kern.dot(a.row(i), a.row(i), a.cols()));
+        }
     });
     return out;
 }
@@ -288,10 +287,11 @@ Matrix
 rowSquaredNorms(const Matrix &a)
 {
     Matrix out(a.rows(), 1);
+    const TensorKernels &kern = tensorKernels();
     size_t grain = grainForRows(a.rows(), 2 * a.cols());
     parallelFor(0, a.rows(), grain, [&](size_t r0, size_t r1) {
         for (size_t i = r0; i < r1; ++i)
-            out.at(i, 0) = dot(a.row(i), a.row(i), a.cols());
+            out.at(i, 0) = kern.dot(a.row(i), a.row(i), a.cols());
     });
     return out;
 }
@@ -348,20 +348,7 @@ transpose(const Matrix &a)
 float
 dot(const float *a, const float *b, size_t n)
 {
-    // Four independent accumulators break the loop-carried add
-    // dependence so the compiler can vectorize and pipeline the FMAs.
-    float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-    size_t i = 0;
-    for (; i + 4 <= n; i += 4) {
-        acc0 += a[i] * b[i];
-        acc1 += a[i + 1] * b[i + 1];
-        acc2 += a[i + 2] * b[i + 2];
-        acc3 += a[i + 3] * b[i + 3];
-    }
-    float acc = (acc0 + acc1) + (acc2 + acc3);
-    for (; i < n; ++i)
-        acc += a[i] * b[i];
-    return acc;
+    return tensorKernels().dot(a, b, n);
 }
 
 } // namespace cegma

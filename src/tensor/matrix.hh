@@ -19,11 +19,17 @@
 #include <cstddef>
 #include <vector>
 
+#include "tensor/aligned.hh"
+
 namespace cegma {
 
 class Rng;
 
-/** Dense row-major float matrix. */
+/**
+ * Dense row-major float matrix. Storage is 64-byte aligned
+ * (tensor/aligned.hh) so the SIMD kernels' whole-tensor sweeps start
+ * on a cache-line boundary.
+ */
 class Matrix
 {
   public:
@@ -68,7 +74,7 @@ class Matrix
   private:
     size_t rows_ = 0;
     size_t cols_ = 0;
-    std::vector<float> data_;
+    AlignedFloatVector data_;
 };
 
 /** C = A * B. Shapes: (m x k) * (k x n) -> (m x n). */
@@ -114,8 +120,10 @@ Matrix columnMeans(const Matrix &a);
 Matrix transpose(const Matrix &a);
 
 /**
- * Dot product of two equal-length float spans. Four-accumulator
- * unrolled so the compiler can vectorize across the loop-carried sum.
+ * Dot product of two equal-length float spans, dispatched to the
+ * active SIMD level (common/simd.hh). Both levels use the same
+ * 32-way lane-split accumulation order, so the result is bit-identical
+ * whether the AVX2 or the scalar kernel ran.
  */
 float dot(const float *a, const float *b, size_t n);
 

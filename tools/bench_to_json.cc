@@ -2,14 +2,22 @@
  * @file
  * bench_to_json — machine-readable kernel benchmark summary.
  *
- * Times the parallel hot kernels (GEMM, A*B^T similarity, cosine
- * normalization, EMF tag hashing) at several pool sizes, plus the
- * pre-parallel naive serial versions (`*_naive`) as a fixed baseline,
- * and writes a JSON array of {kernel, threads, ns_per_iter} records so
- * later PRs can track the perf trajectory mechanically.
+ * The default (`--kernels`) mode times the parallel hot kernels (GEMM,
+ * A*B^T similarity, cosine normalization, EMF tag hashing) at several
+ * pool sizes, each at every available SIMD level (`"simd": "scalar"` /
+ * `"avx2"` columns — the restructured scalar oracle vs the vectorized
+ * kernels), plus the pre-parallel naive serial versions (`*_naive`,
+ * `"simd": "naive"`) as a fixed baseline, and writes a JSON array of
+ * {kernel, threads, simd, ns_per_iter} records so later PRs can track
+ * the perf trajectory mechanically. It also records the joint-window
+ * vs full-streaming similarity comparison on a clone-search-shaped
+ * pair: those records carry `lines_est` (deterministic feature
+ * cache-line-load estimate) and, when `perf_event_open` is permitted,
+ * measured `llc_miss` / `l1d_miss` per call.
  *
  * Usage:
- *   bench_to_json [--out FILE] [--threads LIST] [--min-ms M]
+ *   bench_to_json [--kernels] [--out FILE] [--threads LIST]
+ *                 [--min-ms M]
  *   bench_to_json --e2e [--out FILE] [--threads LIST] [--queries Q]
  *                 [--candidates C] [--reps R]
  *   bench_to_json --serving [--out FILE] [--threads LIST]
@@ -52,10 +60,13 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "emf/emf.hh"
 #include "gmn/similarity.hh"
+#include "gmn/window_sched.hh"
 #include "graph/dataset.hh"
 #include "hash/xxhash.hh"
+#include "obs/perf_counters.hh"
 #include "serve/loadgen.hh"
 #include "serve/service.hh"
 #include "tensor/matrix.hh"
@@ -68,7 +79,13 @@ struct Record
 {
     std::string kernel;
     uint32_t threads;
+    std::string simd; ///< "naive", "scalar" or "avx2"
     double nsPerIter;
+
+    // Locality records only (negative = not applicable / measured).
+    double linesEst = -1.0; ///< estimated feature cache-line loads
+    double llcMiss = -1.0;  ///< measured LLC misses per call
+    double l1dMiss = -1.0;  ///< measured L1D read misses per call
 };
 
 /**
@@ -155,12 +172,20 @@ writeJson(const std::vector<Record> &records, const std::string &path)
         fatal("cannot open '%s' for writing", path.c_str());
     std::fprintf(out, "[\n");
     for (size_t i = 0; i < records.size(); ++i) {
+        const Record &r = records[i];
         std::fprintf(out,
                      "  {\"kernel\": \"%s\", \"threads\": %" PRIu32
-                     ", \"ns_per_iter\": %.1f}%s\n",
-                     records[i].kernel.c_str(), records[i].threads,
-                     records[i].nsPerIter,
-                     i + 1 < records.size() ? "," : "");
+                     ", \"simd\": \"%s\", \"ns_per_iter\": %.1f",
+                     r.kernel.c_str(), r.threads, r.simd.c_str(),
+                     r.nsPerIter);
+        if (r.linesEst >= 0.0)
+            std::fprintf(out, ", \"lines_est\": %.0f", r.linesEst);
+        if (r.llcMiss >= 0.0) {
+            std::fprintf(out,
+                         ", \"llc_miss\": %.0f, \"l1d_miss\": %.0f",
+                         r.llcMiss, r.l1dMiss);
+        }
+        std::fprintf(out, "}%s\n", i + 1 < records.size() ? "," : "");
     }
     std::fprintf(out, "]\n");
     if (out != stdout)
@@ -453,6 +478,9 @@ main(int argc, char **argv)
         };
         if (arg == "--out") {
             out_path = next();
+        } else if (arg == "--kernels") {
+            // Default mode; accepted explicitly for symmetry with
+            // --e2e / --serving.
         } else if (arg == "--e2e") {
             e2e = true;
         } else if (arg == "--serving") {
@@ -488,8 +516,8 @@ main(int argc, char **argv)
             min_ms = std::strtod(next(), nullptr);
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--out FILE|-] [--threads LIST] "
-                         "[--min-ms M]\n"
+                         "usage: %s [--kernels] [--out FILE|-] "
+                         "[--threads LIST] [--min-ms M]\n"
                          "       %s --e2e [--out FILE|-] "
                          "[--threads LIST] [--queries Q] "
                          "[--candidates C] [--reps R]\n"
@@ -546,35 +574,115 @@ main(int argc, char **argv)
     ThreadPool &pool = ThreadPool::instance();
 
     pool.setThreads(1);
-    records.push_back({"gemm_naive_256x256x256", 1,
+    records.push_back({"gemm_naive_256x256x256", 1, "naive",
                        timeKernel([&] { matmulNaive(ga, gb); }, min_ms)});
     records.push_back(
-        {"similarity_nt_naive_256x256x128", 1,
+        {"similarity_nt_naive_256x256x128", 1, "naive",
          timeKernel([&] { matmulNTNaive(sx, sy); }, min_ms)});
     records.push_back(
-        {"emf_tags_naive_4096x64", 1,
+        {"emf_tags_naive_4096x64", 1, "naive",
          timeKernel([&] { emfTagsNaive(ef, 0); }, min_ms)});
+
+    // The dispatched kernels, each thread count x each SIMD level the
+    // machine supports — scalar is always present (it is the test
+    // oracle), so the avx2/scalar ratio per row pair is the
+    // vectorization speedup at that pool size.
+    std::vector<SimdLevel> levels = {SimdLevel::Scalar};
+    if (cpuSupportsAvx2())
+        levels.push_back(SimdLevel::Avx2);
 
     for (uint32_t requested : thread_counts) {
         pool.setThreads(requested);
         // Record the resolved count: --threads 0 means "hardware/env
         // default", and the JSON should say what actually ran.
         const uint32_t t = pool.threads();
-        records.push_back({"gemm_256x256x256", t,
-                           timeKernel([&] { matmul(ga, gb); }, min_ms)});
-        records.push_back(
-            {"similarity_nt_256x256x128", t,
-             timeKernel([&] { matmulNT(sx, sy); }, min_ms)});
-        records.push_back(
-            {"similarity_cosine_256x256x128", t,
-             timeKernel(
-                 [&] {
-                     similarityMatrix(sx, sy, SimilarityKind::Cosine);
-                 },
-                 min_ms)});
-        records.push_back(
-            {"emf_tags_4096x64", t,
-             timeKernel([&] { computeEmfTags(ef, 0); }, min_ms)});
+        for (SimdLevel level : levels) {
+            setSimdLevel(level);
+            const std::string simd = simdLevelName(level);
+            records.push_back(
+                {"gemm_256x256x256", t, simd,
+                 timeKernel([&] { matmul(ga, gb); }, min_ms)});
+            records.push_back(
+                {"similarity_nt_256x256x128", t, simd,
+                 timeKernel([&] { matmulNT(sx, sy); }, min_ms)});
+            records.push_back(
+                {"similarity_cosine_256x256x128", t, simd,
+                 timeKernel(
+                     [&] {
+                         similarityMatrix(sx, sy,
+                                          SimilarityKind::Cosine);
+                     },
+                     min_ms)});
+            records.push_back(
+                {"emf_tags_4096x64", t, simd,
+                 timeKernel([&] { computeEmfTags(ef, 0); }, min_ms)});
+        }
+    }
+
+    // Joint-window vs full-streaming locality on a clone-search-shaped
+    // pair (small query set against a large candidate bank). Runs
+    // single-threaded so the per-thread cache-counter group sees every
+    // access; `lines_est` is the deterministic feature-line-load
+    // estimate and stands in when perf_event_open is unavailable
+    // (containers typically deny it).
+    pool.setThreads(1);
+    setSimdLevel(levels.back());
+    {
+        Rng wrng(13);
+        Matrix wx(256, 128), wy(8192, 128);
+        wx.fillXavier(wrng);
+        wy.fillXavier(wrng);
+        const std::string simd = simdLevelName(levels.back());
+        const double feature_lines =
+            static_cast<double>(wx.cols()) * 4.0 / 64.0;
+
+        obs::CacheCounters counters;
+        auto locality = [&](bool windowed) {
+            Record rec;
+            rec.kernel = windowed ? "similarity_windowed_256x8192x128"
+                                  : "similarity_streamed_256x8192x128";
+            rec.threads = 1;
+            rec.simd = simd;
+            WindowSchedStats stats;
+            auto run = [&] {
+                if (windowed) {
+                    similarityMatrixWindowed(wx, wy,
+                                             SimilarityKind::Cosine,
+                                             WindowSchedConfig{},
+                                             &stats);
+                } else {
+                    similarityMatrixStreamed(wx, wy,
+                                             SimilarityKind::Cosine);
+                }
+            };
+            rec.nsPerIter = timeKernel(run, min_ms);
+            if (windowed) {
+                rec.linesEst =
+                    (static_cast<double>(stats.xTileLoads) *
+                         stats.tileRowsX +
+                     static_cast<double>(stats.yTileLoads) *
+                         stats.tileRowsY) *
+                    feature_lines;
+            } else {
+                rec.linesEst = static_cast<double>(wx.rows()) *
+                               (static_cast<double>(wy.rows()) + 1.0) *
+                               feature_lines;
+            }
+            if (counters.available()) {
+                counters.start();
+                run();
+                obs::CacheCounterSample sample = counters.stop();
+                if (sample.valid) {
+                    rec.llcMiss =
+                        static_cast<double>(sample.llcMisses);
+                    rec.l1dMiss =
+                        static_cast<double>(sample.l1dMisses);
+                }
+            }
+            records.push_back(std::move(rec));
+        };
+        locality(true);
+        locality(false);
     }
 
     writeJson(records, out_path);
