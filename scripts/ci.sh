@@ -29,6 +29,17 @@ echo "== tier-1: tracing-disabled overhead smoke =="
 ./build/tests/obs_test \
     --gtest_filter='TraceTest.DisabledScopeOverheadIsNegligible'
 
+# Retrieval-cascade recall gate: rebuild the RetrievalGate fixture at
+# a 10^4-candidate corpus (CI-sized; the 10^5–10^6 sweep lives in
+# `bench_to_json --retrieval`) and assert tie-aware cascade recall@10
+# >= 0.99 against the exhaustive oracle. This is the contract that
+# lets the cascade ship as a serving mode: exact scores stay
+# bit-identical (proved by CascadeService.* above), and the shortlist
+# keeps effectively all of the oracle's top-10 score mass.
+echo "== tier-1: retrieval recall gate (10^4 corpus) =="
+CEGMA_RETRIEVAL_CI_CANDIDATES=10000 ./build/tests/retrieval_test \
+    --gtest_filter='RetrievalGate.*'
+
 # Forced-scalar tier: the whole suite again with the SIMD dispatch
 # pinned to the scalar oracle. This proves the dispatcher honors the
 # override everywhere and that no caller depends on the AVX2 path —

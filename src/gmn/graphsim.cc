@@ -36,6 +36,12 @@ class GraphSimModel : public GmnModel
 
     Detail forwardDetailed(GraphPairView pair) const override;
 
+    std::shared_ptr<const GraphEmbedding>
+    graphEmbedding(const Graph &g) const override
+    {
+        return embedCached(g);
+    }
+
   private:
     /** The per-graph embedding chain (encoder + all GCN layers). */
     GraphEmbedding

@@ -25,6 +25,7 @@
 namespace cegma {
 
 class MemoCache;
+struct GraphEmbedding;
 
 /** Model identifiers (Table I rows). */
 enum class ModelId
@@ -125,6 +126,24 @@ struct InferenceOptions
     const obs::StageSink *stages = nullptr;
 };
 
+/**
+ * A query-conditioned scorer over stored per-graph coarse descriptors
+ * — the model-aware ranking function of the retrieval cascade's
+ * shortlist stage. Built once per query (implementations precompute
+ * every query-side term there), then applied to many candidate
+ * descriptors. A ranking surrogate only: higher means "more likely in
+ * the exact top-k", with no bit-level relationship to `score`. Must
+ * not outlive the model that built it.
+ */
+class CoarseScorer
+{
+  public:
+    virtual ~CoarseScorer() = default;
+
+    /** Rank a candidate from its stored descriptor (higher = better). */
+    virtual float operator()(const float *descriptor, size_t dim) const = 0;
+};
+
 /** Functional GMN inference model. */
 class GmnModel
 {
@@ -164,6 +183,58 @@ class GmnModel
 
     /** Run inference, returning only the score. */
     double score(GraphPairView pair) const;
+
+    /**
+     * The per-graph embedding chain of `g` alone, or null when the
+     * model has no partner-independent embedding (GMN-Li's cross
+     * feedback makes every layer depend on the partner graph). When a
+     * memo cache is wired it is consulted exactly like the forward
+     * pass does, so a retrieval index built through this call warms
+     * the same entries the exact scoring stage will hit. Used by the
+     * coarse shortlist stage (retrieval/coarse.hh).
+     */
+    virtual std::shared_ptr<const GraphEmbedding>
+    graphEmbedding(const Graph &g) const
+    {
+        (void)g;
+        return nullptr;
+    }
+
+    /**
+     * Width of the model-aware coarse descriptor, or 0 when the model
+     * has none (the retrieval shortlist then falls back to generic
+     * pooled-chain / WL-sketch distance). A model whose exact score
+     * has a per-graph decomposable head (SimGNN's NTN over projected
+     * readouts) exposes that head's inputs here, because ranking by
+     * the model's own head is what keeps shortlist recall high when
+     * scores separate at noise level — a generic embedding distance
+     * cannot resolve that.
+     */
+    virtual size_t coarseDim() const { return 0; }
+
+    /**
+     * Fill `out[0 .. coarseDim())` with `g`'s coarse descriptor. Goes
+     * through the memo cache like `graphEmbedding`, so index builds
+     * warm the entries exact scoring reuses. Only called when
+     * `coarseDim() > 0`.
+     */
+    virtual void coarseDescriptor(const Graph &g, float *out) const
+    {
+        (void)g;
+        (void)out;
+    }
+
+    /**
+     * The query-conditioned coarse scorer, or null when
+     * `coarseDim() == 0`. Thread-safe to build and apply concurrently
+     * for different queries.
+     */
+    virtual std::unique_ptr<CoarseScorer>
+    coarseScorer(const Graph &query) const
+    {
+        (void)query;
+        return nullptr;
+    }
 
     /** Set the elastic execution knobs (see `InferenceOptions`). */
     void setInferenceOptions(const InferenceOptions &options)

@@ -6,6 +6,7 @@
  * head (Table I row 3).
  */
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.hh"
@@ -45,7 +46,47 @@ class SimGnnModel : public GmnModel
 
     Detail forwardDetailed(GraphPairView pair) const override;
 
+    std::shared_ptr<const GraphEmbedding>
+    graphEmbedding(const Graph &g) const override
+    {
+        return embedCached(g);
+    }
+
+    /**
+     * The coarse descriptor is hx = project(readout(last layer)) —
+     * exactly the NTN input of the exact head — concatenated with the
+     * graph's self-similarity histogram, so the coarse scorer can
+     * replay the graph-level part of the score and estimate the
+     * cross-graph histogram term from embedDim + histBins stored
+     * floats per candidate.
+     */
+    size_t coarseDim() const override { return embedDim + histBins; }
+
+    void
+    coarseDescriptor(const Graph &g, float *out) const override
+    {
+        std::shared_ptr<const GraphEmbedding> e = embedCached(g);
+        const Matrix &x = e->layers.back();
+        Matrix h = project_.forward(readout(x));
+        std::copy(h.data(), h.data() + h.size(), out);
+        Matrix hist = similarityHistogram(
+            similarityMatrix(x, x, config_.similarity));
+        std::copy(hist.data(), hist.data() + hist.size(),
+                  out + embedDim);
+    }
+
+    std::unique_ptr<CoarseScorer>
+    coarseScorer(const Graph &query) const override;
+
   private:
+    /** hx = project(readout(last chain layer)): the NTN input. */
+    Matrix
+    graphProjection(const Graph &g) const
+    {
+        std::shared_ptr<const GraphEmbedding> e = embedCached(g);
+        return project_.forward(readout(e->layers.back()));
+    }
+
     /** SimGNN's global-context attention readout: 1 x nodeDim. */
     Matrix
     readout(const Matrix &x) const
@@ -163,6 +204,58 @@ SimGnnModel::forwardDetailed(GraphPairView pair) const
     Matrix out = head_.forward(head_in);
     detail.score = out.at(0, 0);
     return detail;
+}
+
+/**
+ * The shortlist ranking surrogate: replay the exact head on the
+ * query-factored NTN (one dot per slice against the stored hx), with
+ * the pairwise-similarity histogram — the cross-graph term the cascade
+ * exists to avoid computing — estimated as the mean of the query's and
+ * the candidate's self-similarity histograms. Both halves matter: a
+ * per-candidate estimate tracks the actual histogram features far
+ * closer than any fixed constant, and an operating point near where
+ * the exact scores live keeps the nonlinear head's ranking faithful.
+ */
+class SimGnnCoarseScorer : public CoarseScorer
+{
+  public:
+    SimGnnCoarseScorer(Matrix factor, Matrix hist, const Mlp &head)
+        : factor_(std::move(factor)), hist_(std::move(hist)), head_(head)
+    {
+    }
+
+    float
+    operator()(const float *descriptor, size_t dim) const override
+    {
+        (void)dim;
+        Matrix in(1, ntnSlices + histBins);
+        for (size_t k = 0; k < ntnSlices; ++k) {
+            const float *f = factor_.row(k);
+            float s = dot(descriptor, f, embedDim) + f[embedDim];
+            in.at(0, k) = s > 0.0f ? s : 0.0f;
+        }
+        for (size_t b = 0; b < histBins; ++b)
+            in.at(0, ntnSlices + b) =
+                0.5f * (hist_.at(0, b) + descriptor[embedDim + b]);
+        return head_.forward(in).at(0, 0);
+    }
+
+  private:
+    Matrix factor_;   ///< ntn_.queryFactor(hy): (slices x dim + 1)
+    Matrix hist_;     ///< fixed histogram features (1 x histBins)
+    const Mlp &head_; ///< the model's head; the model outlives us
+};
+
+std::unique_ptr<CoarseScorer>
+SimGnnModel::coarseScorer(const Graph &query) const
+{
+    std::shared_ptr<const GraphEmbedding> e = embedCached(query);
+    const Matrix &y = e->layers.back();
+    Matrix hy = project_.forward(readout(y));
+    Matrix hist = similarityHistogram(
+        similarityMatrix(y, y, config_.similarity));
+    return std::make_unique<SimGnnCoarseScorer>(ntn_.queryFactor(hy),
+                                                std::move(hist), head_);
 }
 
 } // namespace

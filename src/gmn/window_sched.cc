@@ -100,7 +100,49 @@ finishSegment(const TensorKernels &kern, SimilarityKind kind,
     }
 }
 
+/** Process-wide window-stat accumulators (see windowSchedTotals). */
+struct TotalsAtomics
+{
+    std::atomic<uint64_t> windows{0};
+    std::atomic<uint64_t> slides{0};
+    std::atomic<uint64_t> jumps{0};
+    std::atomic<uint64_t> xTileLoads{0};
+    std::atomic<uint64_t> yTileLoads{0};
+    std::atomic<uint64_t> aoeKeepX{0};
+    std::atomic<uint64_t> aoeKeepY{0};
+};
+
+TotalsAtomics g_totals;
+
+void
+accumulateTotals(const WindowSchedStats &st)
+{
+    g_totals.windows.fetch_add(st.windows, std::memory_order_relaxed);
+    g_totals.slides.fetch_add(st.slides, std::memory_order_relaxed);
+    g_totals.jumps.fetch_add(st.jumps, std::memory_order_relaxed);
+    g_totals.xTileLoads.fetch_add(st.xTileLoads,
+                                  std::memory_order_relaxed);
+    g_totals.yTileLoads.fetch_add(st.yTileLoads,
+                                  std::memory_order_relaxed);
+    g_totals.aoeKeepX.fetch_add(st.aoeKeepX, std::memory_order_relaxed);
+    g_totals.aoeKeepY.fetch_add(st.aoeKeepY, std::memory_order_relaxed);
+}
+
 } // namespace
+
+WindowSchedStats
+windowSchedTotals()
+{
+    WindowSchedStats st;
+    st.windows = g_totals.windows.load(std::memory_order_relaxed);
+    st.slides = g_totals.slides.load(std::memory_order_relaxed);
+    st.jumps = g_totals.jumps.load(std::memory_order_relaxed);
+    st.xTileLoads = g_totals.xTileLoads.load(std::memory_order_relaxed);
+    st.yTileLoads = g_totals.yTileLoads.load(std::memory_order_relaxed);
+    st.aoeKeepX = g_totals.aoeKeepX.load(std::memory_order_relaxed);
+    st.aoeKeepY = g_totals.aoeKeepY.load(std::memory_order_relaxed);
+    return st;
+}
 
 WindowPolicy
 windowPolicy()
@@ -325,6 +367,7 @@ similarityMatrixWindowed(const Matrix &x, const Matrix &y,
         }
         visit(ti, tj);
     }
+    accumulateTotals(st);
     return s;
 }
 

@@ -66,6 +66,16 @@ struct WindowSchedStats
 };
 
 /**
+ * Process-wide accumulated `WindowSchedStats` across every windowed
+ * pass since startup. Callers that need a window's own numbers pass a
+ * `stats` out-param; the totals exist so long-running owners (the
+ * serving metrics registry) can expose window behaviour without
+ * threading a sink through every similarity call. Monotone counters,
+ * accumulated with relaxed atomics — telemetry, never control flow.
+ */
+WindowSchedStats windowSchedTotals();
+
+/**
  * Joint-window similarity: bit-identical to
  * `similarityMatrix(x, y, kind)`, computed over L2-resident tiles in
  * AOE-coordinated order. Safe for any shape (tiny matrices collapse

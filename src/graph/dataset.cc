@@ -1,6 +1,7 @@
 #include "graph/dataset.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "graph/generators.hh"
 
@@ -93,6 +94,24 @@ makePairFromOriginal(const Graph &original, bool similar, Rng &rng)
     return pair;
 }
 
+namespace {
+
+/**
+ * SplitMix64-style finalizer over (seed, salt, index): every graph of
+ * a corpus gets its own decorrelated RNG stream, so generation can be
+ * index-parallel and still produce the same bits at any thread count.
+ */
+uint64_t
+deriveSeed(uint64_t seed, uint64_t salt, uint64_t index)
+{
+    uint64_t z = seed + salt + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
 CloneSearchCorpus
 makeCloneSearchCorpus(DatasetId base, uint32_t num_queries,
                       uint32_t num_candidates, uint64_t seed)
@@ -100,25 +119,38 @@ makeCloneSearchCorpus(DatasetId base, uint32_t num_queries,
     const DatasetSpec &spec = datasetSpec(base);
     CloneSearchCorpus corpus;
 
-    Rng rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(base) +
-            0x517cc1b727220a95ULL);
+    uint64_t mixed = seed * 0x9e3779b97f4a7c15ULL +
+                     static_cast<uint64_t>(base) + 0x517cc1b727220a95ULL;
 
     // The candidate database, generated once and reused across every
     // query (each candidate graph appears in num_queries pairs).
-    corpus.candidates.reserve(num_candidates);
-    for (uint32_t c = 0; c < num_candidates; ++c) {
-        NodeId n = sampleGraphSize(spec.avgNodes, 0.35, 5, rng);
-        corpus.candidates.push_back(makeDatasetGraph(base, n, rng));
-    }
+    // Per-graph derived RNG streams make generation embarrassingly
+    // parallel — the retrieval benchmarks build 10^5–10^6 candidates,
+    // where a single serial stream is minutes of setup — and each
+    // graph's bits depend only on (seed, index), never on the thread
+    // count or on how many graphs precede it.
+    corpus.candidates.resize(num_candidates);
+    parallelFor(0, num_candidates, 1, [&](size_t c0, size_t c1) {
+        for (size_t c = c0; c < c1; ++c) {
+            Rng rng(deriveSeed(mixed, /*salt=*/1, c));
+            NodeId n = sampleGraphSize(spec.avgNodes, 0.35, 5, rng);
+            corpus.candidates[c] = makeDatasetGraph(base, n, rng);
+        }
+    });
 
     // Each query is a 1-edge perturbation of one candidate (a "clone"
     // planted in the database), scanned against all of it.
-    corpus.queries.reserve(num_queries);
-    for (uint32_t q = 0; q < num_queries; ++q) {
-        corpus.queries.push_back(
-            corpus.candidates[q % std::max<uint32_t>(num_candidates, 1)]
-                .substituteEdges(1, rng));
-    }
+    corpus.queries.resize(num_queries);
+    parallelFor(0, num_queries, 1, [&](size_t q0, size_t q1) {
+        for (size_t q = q0; q < q1; ++q) {
+            Rng rng(deriveSeed(mixed, /*salt=*/2, q));
+            corpus.queries[q] =
+                corpus
+                    .candidates[q %
+                                std::max<uint32_t>(num_candidates, 1)]
+                    .substituteEdges(1, rng);
+        }
+    });
     return corpus;
 }
 

@@ -128,9 +128,12 @@ struct CloneSearchCorpus
 };
 
 /**
- * Generate the candidates/queries of the clone-search protocol (same
- * seeded RNG stream as `makeCloneSearchDataset`, so the graphs match
- * bit for bit).
+ * Generate the candidates/queries of the clone-search protocol
+ * (`makeCloneSearchDataset` calls this, so the graphs match bit for
+ * bit). Every graph draws from its own (seed, index)-derived RNG
+ * stream, so generation is index-parallel over the shared pool and
+ * the output is identical at any thread count — sized for the
+ * retrieval benchmarks' 10^5–10^6-candidate corpora.
  */
 CloneSearchCorpus makeCloneSearchCorpus(DatasetId base,
                                         uint32_t num_queries,

@@ -44,6 +44,36 @@ Ntn::forward(const Matrix &h1, const Matrix &h2) const
     return out;
 }
 
+Matrix
+Ntn::queryFactor(const Matrix &h2) const
+{
+    cegma_assert(h2.rows() == 1 && h2.cols() == inDim_);
+    Matrix factor(slices_, inDim_ + 1);
+    for (size_t k = 0; k < slices_; ++k) {
+        const Matrix &w = tensors_[k];
+        float *f = factor.row(k);
+        for (size_t i = 0; i < inDim_; ++i)
+            f[i] = dot(w.row(i), h2.row(0), inDim_) + v_.at(k, i);
+        f[inDim_] = dot(v_.row(k) + inDim_, h2.row(0), inDim_) +
+                    bias_.at(0, k);
+    }
+    return factor;
+}
+
+Matrix
+Ntn::forwardFactored(const Matrix &h1, const Matrix &factor)
+{
+    size_t in = factor.cols() - 1;
+    cegma_assert(h1.rows() == 1 && h1.cols() == in);
+    Matrix out(1, factor.rows());
+    for (size_t k = 0; k < factor.rows(); ++k) {
+        const float *f = factor.row(k);
+        float s = dot(h1.row(0), f, in) + f[in];
+        out.at(0, k) = s > 0.0f ? s : 0.0f;
+    }
+    return out;
+}
+
 uint64_t
 Ntn::flops() const
 {

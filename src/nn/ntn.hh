@@ -28,6 +28,21 @@ class Ntn
     /** @return (1 x slices) interaction scores. */
     Matrix forward(const Matrix &h1, const Matrix &h2) const;
 
+    /**
+     * Precompute the query-conditioned affine form: with h2 fixed,
+     * slice k collapses to relu(h1 . f_k + c_k). Row k of the returned
+     * (slices x in_dim + 1) matrix holds f_k = W_k h2^T + v_k[:in] in
+     * the first in_dim entries and c_k = v_k[in:] . h2 + b_k last, so
+     * scoring a candidate h1 against a fixed h2 costs one dot per
+     * slice instead of the full bilinear form. Matches `forward` up to
+     * float reassociation — a ranking surrogate, not a bit-exact
+     * replay.
+     */
+    Matrix queryFactor(const Matrix &h2) const;
+
+    /** Evaluate the factored form: (1 x slices), relu applied. */
+    static Matrix forwardFactored(const Matrix &h1, const Matrix &factor);
+
     size_t inDim() const { return inDim_; }
     size_t slices() const { return slices_; }
 

@@ -1,0 +1,159 @@
+#include "retrieval/coarse.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/parallel.hh"
+#include "gmn/memo.hh"
+#include "gmn/model.hh"
+#include "graph/wl_refine.hh"
+#include "obs/trace.hh"
+
+namespace cegma {
+
+std::vector<float>
+wlSketch(const Graph &g, unsigned level, unsigned dim)
+{
+    std::vector<float> sketch(dim, 0.0f);
+    if (g.numNodes() == 0)
+        return sketch;
+    WlColoring wl = wlRefine(g, level);
+    for (const auto &sigs : wl.signatures) {
+        for (uint64_t sig : sigs) {
+            // Bucket from the low bits, sign from a high bit — both
+            // sides of the signature's avalanche, so bucket and sign
+            // are independent enough for a signed count sketch.
+            auto bucket = static_cast<size_t>(sig % dim);
+            float sign = (sig >> 63) != 0 ? -1.0f : 1.0f;
+            sketch[bucket] += sign;
+        }
+    }
+    // Node-count normalization keeps clones of differently sized bases
+    // comparable on one distance scale.
+    auto inv = 1.0f / static_cast<float>(g.numNodes());
+    for (float &v : sketch)
+        v *= inv;
+    return sketch;
+}
+
+std::vector<float>
+coarseVector(const Graph &g, const GmnModel &model, unsigned sketch_level,
+             unsigned sketch_dim)
+{
+    std::shared_ptr<const GraphEmbedding> chain = model.graphEmbedding(g);
+    if (chain == nullptr)
+        return wlSketch(g, sketch_level, sketch_dim);
+
+    std::vector<float> out;
+    for (const Matrix &layer : chain->layers) {
+        Matrix pooled = columnMeans(layer);
+        out.insert(out.end(), pooled.data(),
+                   pooled.data() + pooled.size());
+    }
+    return out;
+}
+
+void
+CoarseIndex::build(const std::vector<Graph> &corpus, const GmnModel &model,
+                   unsigned sketch_level, unsigned sketch_dim)
+{
+    CEGMA_TRACE_SCOPE_CAT("coarseIndex.build", "retrieval");
+    modelAware_ = false;
+    if (corpus.empty()) {
+        vectors_ = Matrix();
+        norms_ = Matrix();
+        return;
+    }
+    if (model.coarseDim() > 0) {
+        // The model decomposes its head per graph: store its own
+        // descriptors and let its scorer rank (shortlistScored). The
+        // descriptors go through the memo like the generic chain path.
+        modelAware_ = true;
+        vectors_ = Matrix(corpus.size(), model.coarseDim());
+        parallelFor(0, corpus.size(), 1, [&](size_t g0, size_t g1) {
+            for (size_t g = g0; g < g1; ++g)
+                model.coarseDescriptor(corpus[g], vectors_.row(g));
+        });
+        norms_ = Matrix();
+        return;
+    }
+    // The first vector fixes the dimension (a constant of the model /
+    // sketch config); the rest fill their rows in parallel.
+    std::vector<float> first =
+        coarseVector(corpus[0], model, sketch_level, sketch_dim);
+    vectors_ = Matrix(corpus.size(), first.size());
+    std::copy(first.begin(), first.end(), vectors_.row(0));
+    parallelFor(1, corpus.size(), 1, [&](size_t g0, size_t g1) {
+        for (size_t g = g0; g < g1; ++g) {
+            std::vector<float> v =
+                coarseVector(corpus[g], model, sketch_level, sketch_dim);
+            assert(v.size() == vectors_.cols());
+            std::copy(v.begin(), v.end(), vectors_.row(g));
+        }
+    });
+    norms_ = rowSquaredNorms(vectors_);
+}
+
+std::vector<uint32_t>
+CoarseIndex::shortlist(const std::vector<float> &query_vec,
+                       const std::vector<uint32_t> &survivors,
+                       size_t shortlist_size) const
+{
+    if (shortlist_size == 0 || survivors.size() <= shortlist_size)
+        return survivors;
+    CEGMA_TRACE_SCOPE_CAT("retrieval.shortlist", "retrieval");
+    assert(query_vec.size() == vectors_.cols());
+
+    // ||q - c||^2 = ||q||^2 + ||c||^2 - 2 q.c with the corpus norms
+    // precomputed and the dot SIMD-dispatched; the query norm is a
+    // shared constant so ranking drops it.
+    std::vector<std::pair<float, uint32_t>> ranked(survivors.size());
+    for (size_t i = 0; i < survivors.size(); ++i) {
+        uint32_t c = survivors[i];
+        float d = norms_.at(c, 0) -
+                  2.0f * dot(query_vec.data(), vectors_.row(c),
+                             vectors_.cols());
+        ranked[i] = {d, c};
+    }
+    // (distance, id) is a strict total order, so the selected set is a
+    // deterministic function of the vectors alone.
+    std::nth_element(ranked.begin(), ranked.begin() + shortlist_size,
+                     ranked.end());
+    std::vector<uint32_t> out(shortlist_size);
+    for (size_t i = 0; i < shortlist_size; ++i)
+        out[i] = ranked[i].second;
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<uint32_t>
+CoarseIndex::shortlistScored(const CoarseScorer &scorer,
+                             const std::vector<uint32_t> &survivors,
+                             size_t shortlist_size) const
+{
+    if (shortlist_size == 0 || survivors.size() <= shortlist_size)
+        return survivors;
+    CEGMA_TRACE_SCOPE_CAT("retrieval.shortlist", "retrieval");
+    assert(modelAware_);
+
+    // Negated score so the (key, id) pair orders best-first under the
+    // same ascending strict total order the distance path uses — the
+    // selected set is a deterministic function of the descriptors.
+    std::vector<std::pair<float, uint32_t>> ranked(survivors.size());
+    parallelFor(0, survivors.size(), 64, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+            uint32_t c = survivors[i];
+            ranked[i] = {-scorer(vectors_.row(c), vectors_.cols()), c};
+        }
+    });
+    std::nth_element(ranked.begin(), ranked.begin() + shortlist_size,
+                     ranked.end());
+    std::vector<uint32_t> out(shortlist_size);
+    for (size_t i = 0; i < shortlist_size; ++i)
+        out[i] = ranked[i].second;
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace cegma

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Stage 2 of the retrieval cascade: a coarse shortlist over pooled
+ * per-graph embedding chains.
+ *
+ * The memo pipeline already produces each graph's layer-embedding
+ * chain once (gmn/memo.hh); pooling every layer's node features to a
+ * mean vector and concatenating gives a compact per-graph vector —
+ * (numLayers + 1) x nodeDim floats instead of the full chain's
+ * numNodes x that — whose L2 distance tracks the exact GMN score well
+ * enough to rank a shortlist. Corpus vectors are computed once at
+ * index build and stored in one flat matrix; a query costs one pooled
+ * chain plus `|survivors|` dot-free squared-distance sweeps.
+ *
+ * When the model decomposes its exact head per graph
+ * (`GmnModel::coarseDim() > 0`, e.g.\ SimGNN's NTN over projected
+ * readouts), the index instead stores the model's own coarse
+ * descriptors and ranks with the model's query-conditioned
+ * `CoarseScorer` — the model's head resolves score differences at
+ * noise level that no generic embedding distance can, which is what
+ * the recall floor of the CI gate requires.
+ *
+ * GMN-Li has no partner-independent chain (cross feedback), so
+ * `GmnModel::graphEmbedding` returns null there and the stage falls
+ * back to a model-free WL feature sketch: every canonical signature
+ * hashes to a bucket and a sign, node counts accumulate, and clones —
+ * which share almost all depth-l neighborhoods — land close in sketch
+ * space. The sketch is content-keyed, so it never needs the model.
+ */
+
+#ifndef CEGMA_RETRIEVAL_COARSE_HH
+#define CEGMA_RETRIEVAL_COARSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+#include "tensor/matrix.hh"
+
+namespace cegma {
+
+class CoarseScorer;
+class GmnModel;
+
+/**
+ * Model-free WL feature sketch of `g`: signatures at every level up to
+ * `level` hash into `dim` signed buckets (one count per node per
+ * level). Deterministic; equal for isomorphic graphs.
+ */
+std::vector<float> wlSketch(const Graph &g, unsigned level, unsigned dim);
+
+/**
+ * Coarse vector of `g` under `model`: the pooled embedding chain when
+ * the model has one, else the WL sketch at `sketch_level`/`sketch_dim`.
+ * Chain pooling goes through the model's memo cache when wired, so
+ * corpus-index builds warm the same entries exact scoring reuses.
+ */
+std::vector<float> coarseVector(const Graph &g, const GmnModel &model,
+                                unsigned sketch_level,
+                                unsigned sketch_dim);
+
+/**
+ * The corpus-side store of coarse vectors plus the shortlist kernel.
+ * Built once at corpus load; immutable and thread-safe afterwards.
+ */
+class CoarseIndex
+{
+  public:
+    /** Compute and store one vector per corpus graph (parallel). */
+    void build(const std::vector<Graph> &corpus, const GmnModel &model,
+               unsigned sketch_level, unsigned sketch_dim);
+
+    /**
+     * The `shortlist_size` survivors closest to `query_vec` in squared
+     * L2 distance, ascending by corpus id. Ties break toward the lower
+     * id, so the selected *set* is a deterministic function of the
+     * vectors alone (thread-count independent). `shortlist_size` = 0
+     * means unlimited: all survivors pass through.
+     */
+    std::vector<uint32_t>
+    shortlist(const std::vector<float> &query_vec,
+              const std::vector<uint32_t> &survivors,
+              size_t shortlist_size) const;
+
+    /**
+     * Model-aware variant: the `shortlist_size` survivors with the
+     * highest `scorer` value over their stored descriptors, ascending
+     * by corpus id; ties break toward the lower id, 0 = unlimited.
+     * Only valid when `modelAware()`.
+     */
+    std::vector<uint32_t>
+    shortlistScored(const CoarseScorer &scorer,
+                    const std::vector<uint32_t> &survivors,
+                    size_t shortlist_size) const;
+
+    /**
+     * True when the rows are model coarse descriptors (the model
+     * provides `coarseDim() > 0`) rather than generic pooled-chain /
+     * sketch vectors; rank with `shortlistScored` then.
+     */
+    bool modelAware() const { return modelAware_; }
+
+    size_t corpusSize() const { return vectors_.rows(); }
+    size_t dim() const { return vectors_.cols(); }
+    size_t bytes() const
+    {
+        return (vectors_.size() + norms_.size()) * sizeof(float);
+    }
+
+  private:
+    Matrix vectors_; ///< corpusSize x dim, row g = coarse vector of g
+    Matrix norms_;   ///< corpusSize x 1, squared L2 norm of each row
+    bool modelAware_ = false;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_RETRIEVAL_COARSE_HH

@@ -1,0 +1,119 @@
+#include "retrieval/tag_index.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.hh"
+#include "graph/wl_refine.hh"
+#include "obs/trace.hh"
+
+namespace cegma {
+
+std::vector<uint64_t>
+wlTagSet(const Graph &g, unsigned level)
+{
+    WlColoring wl = wlRefine(g, level);
+    const std::vector<uint64_t> &sigs = wl.signatures.back();
+    std::vector<uint64_t> tags(sigs.begin(), sigs.end());
+    std::sort(tags.begin(), tags.end());
+    tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+    return tags;
+}
+
+void
+TagIndex::build(const std::vector<Graph> &corpus, unsigned level)
+{
+    CEGMA_TRACE_SCOPE_CAT("tagIndex.build", "retrieval");
+    level_ = level;
+    corpusSize_ = corpus.size();
+    slotOf_.clear();
+    offsets_.clear();
+    postings_.clear();
+    if (corpus.empty())
+        return;
+
+    // Per-graph tag extraction is the expensive part (one WL refine per
+    // graph) and embarrassingly parallel; each slot is written by
+    // exactly one chunk, so the result is thread-count independent.
+    std::vector<std::vector<uint64_t>> tagSets(corpus.size());
+    parallelFor(0, corpus.size(), 1, [&](size_t g0, size_t g1) {
+        for (size_t g = g0; g < g1; ++g)
+            tagSets[g] = wlTagSet(corpus[g], level);
+    });
+
+    // Serial inversion: assign slots in first-occurrence order (a
+    // deterministic function of the corpus), count, then fill CSR.
+    size_t total = 0;
+    for (const auto &tags : tagSets)
+        total += tags.size();
+    std::vector<uint32_t> counts;
+    for (const auto &tags : tagSets) {
+        for (uint64_t tag : tags) {
+            auto [it, inserted] = slotOf_.try_emplace(
+                tag, static_cast<uint32_t>(counts.size()));
+            if (inserted)
+                counts.push_back(0);
+            ++counts[it->second];
+        }
+    }
+    offsets_.assign(counts.size() + 1, 0);
+    for (size_t s = 0; s < counts.size(); ++s)
+        offsets_[s + 1] = offsets_[s] + counts[s];
+    postings_.resize(total);
+    std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (size_t g = 0; g < tagSets.size(); ++g) {
+        for (uint64_t tag : tagSets[g]) {
+            uint32_t slot = slotOf_.find(tag)->second;
+            postings_[cursor[slot]++] = static_cast<uint32_t>(g);
+        }
+    }
+}
+
+std::vector<uint32_t>
+TagIndex::survivors(const Graph &query, double min_overlap) const
+{
+    CEGMA_TRACE_SCOPE_CAT("retrieval.filter", "retrieval");
+    std::vector<uint32_t> out;
+    if (corpusSize_ == 0)
+        return out;
+
+    std::vector<uint64_t> tags = wlTagSet(query, level_);
+    auto needed = static_cast<uint32_t>(std::ceil(
+        std::max(min_overlap, 0.0) * static_cast<double>(tags.size())));
+    if (needed == 0) {
+        // Nothing to prune on: every candidate survives.
+        out.resize(corpusSize_);
+        for (size_t c = 0; c < corpusSize_; ++c)
+            out[c] = static_cast<uint32_t>(c);
+        return out;
+    }
+
+    // Count tag overlaps through the posting lists. The counter array
+    // is corpus-sized but touched only along postings of the query's
+    // tags; one increment per posting entry.
+    std::vector<uint32_t> overlap(corpusSize_, 0);
+    for (uint64_t tag : tags) {
+        auto it = slotOf_.find(tag);
+        if (it == slotOf_.end())
+            continue;
+        uint32_t slot = it->second;
+        for (uint32_t p = offsets_[slot]; p < offsets_[slot + 1]; ++p)
+            ++overlap[postings_[p]];
+    }
+    for (size_t c = 0; c < corpusSize_; ++c) {
+        if (overlap[c] >= needed)
+            out.push_back(static_cast<uint32_t>(c));
+    }
+    return out;
+}
+
+size_t
+TagIndex::bytes() const
+{
+    // unordered_map nodes are roughly key+value+two pointers+hash.
+    return slotOf_.size() * (sizeof(uint64_t) + sizeof(uint32_t) + 24) +
+           offsets_.capacity() * sizeof(uint32_t) +
+           postings_.capacity() * sizeof(uint32_t);
+}
+
+} // namespace cegma

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Stage 1 of the retrieval cascade: an inverted index over canonical
+ * WL signatures (the software analogue of the EMF's content tags).
+ *
+ * `wlRefine` produces *cross-graph canonical* 64-bit signatures: equal
+ * signatures mean isomorphic depth-l neighborhoods even for nodes in
+ * different graphs (graph/wl_refine.hh). A graph's level-l *tag set* —
+ * its distinct depth-l signatures — is therefore a cheap structural
+ * sketch, and tag-set overlap is a lower-bound style filter for clone
+ * search: a query that perturbs k edges of a corpus graph disturbs only
+ * the l-hop neighborhoods of the touched endpoints, so the clone keeps
+ * almost all of the query's tags while unrelated graphs share few.
+ *
+ * The index is content-keyed like the memo layer: tags depend only on
+ * graph structure + labels, never on a model, so one index serves every
+ * model. Query cost is O(sum of posting lengths of the query's tags)
+ * increments into a per-query counter array — independent of the GMN,
+ * and in practice orders of magnitude below one exact pair score.
+ */
+
+#ifndef CEGMA_RETRIEVAL_TAG_INDEX_HH
+#define CEGMA_RETRIEVAL_TAG_INDEX_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace cegma {
+
+/** The distinct level-`level` WL signatures of `g`, sorted. */
+std::vector<uint64_t> wlTagSet(const Graph &g, unsigned level);
+
+/**
+ * Inverted index: WL tag -> posting list of corpus graph ids. Built
+ * once at corpus load (parallel tag extraction, serial inversion);
+ * immutable and thread-safe afterwards.
+ */
+class TagIndex
+{
+  public:
+    /** Build over `corpus` at WL depth `level`. */
+    void build(const std::vector<Graph> &corpus, unsigned level);
+
+    /**
+     * Candidates sharing at least `ceil(min_overlap * |queryTags|)`
+     * tags with `query`, ascending by corpus id. `min_overlap` <= 0
+     * (or an empty tag set) keeps everyone — the filter only ever
+     * *prunes*, it never invents candidates.
+     *
+     * Thread-safe for concurrent queries (the scratch counter array is
+     * call-local).
+     */
+    std::vector<uint32_t> survivors(const Graph &query,
+                                    double min_overlap) const;
+
+    /** WL depth the index was built at. */
+    unsigned level() const { return level_; }
+
+    /** Number of distinct tags across the corpus. */
+    size_t numTags() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+    /** Total posting entries (sum of per-graph distinct tag counts). */
+    size_t numPostings() const { return postings_.size(); }
+
+    /** Corpus size the index covers. */
+    size_t corpusSize() const { return corpusSize_; }
+
+    /** Approximate resident bytes of the index. */
+    size_t bytes() const;
+
+  private:
+    unsigned level_ = 0;
+    size_t corpusSize_ = 0;
+    std::unordered_map<uint64_t, uint32_t> slotOf_; ///< tag -> slot
+    std::vector<uint32_t> offsets_;  ///< CSR offsets, numTags()+1
+    std::vector<uint32_t> postings_; ///< graph ids, grouped by slot
+};
+
+} // namespace cegma
+
+#endif // CEGMA_RETRIEVAL_TAG_INDEX_HH

@@ -63,6 +63,17 @@ MetricsSnapshot::toJson() const
     appendField(out, "dedup_rows_total", dedupRowsTotal);
     appendField(out, "dedup_rows_unique", dedupRowsUnique);
     appendField(out, "dedup_skip_ratio", dedupSkipRatio);
+    appendField(out, "retrieval_candidates", retrievalCandidates);
+    appendField(out, "retrieval_survivors", retrievalSurvivors);
+    appendField(out, "retrieval_verified", retrievalVerified);
+    appendField(out, "retrieval_filter_prune_ratio",
+                retrievalFilterPruneRatio);
+    appendField(out, "retrieval_prune_ratio", retrievalPruneRatio);
+    appendField(out, "window_windows", windowWindows);
+    appendField(out, "window_slides", windowSlides);
+    appendField(out, "window_jumps", windowJumps);
+    appendField(out, "window_x_tile_loads", windowXTileLoads);
+    appendField(out, "window_y_tile_loads", windowYTileLoads);
     appendField(out, "stage_embed_ms", stageEmbedMs);
     appendField(out, "stage_match_ms", stageMatchMs);
     appendField(out, "stage_dedup_ms", stageDedupMs);
@@ -83,6 +94,11 @@ ServiceMetrics::ServiceMetrics()
       retries_(registry_.counter("serve.requests.retries")),
       drainDropped_(registry_.counter("serve.requests.drain_dropped")),
       batches_(registry_.counter("serve.batches")),
+      retrievalCandidates_(
+          registry_.counter("serve.retrieval.candidates")),
+      retrievalSurvivors_(
+          registry_.counter("serve.retrieval.survivors")),
+      retrievalVerified_(registry_.counter("serve.retrieval.verified")),
       batchSize_(registry_.histogram("serve.batch.size", "requests")),
       latencyUs_(registry_.histogram("serve.latency.total", "us")),
       queueUs_(registry_.histogram("serve.latency.queue", "us"))
@@ -144,6 +160,15 @@ ServiceMetrics::recordBatch(uint64_t batch_size)
 }
 
 void
+ServiceMetrics::recordRetrieval(uint64_t candidates, uint64_t survivors,
+                                uint64_t verified)
+{
+    retrievalCandidates_.add(candidates);
+    retrievalSurvivors_.add(survivors);
+    retrievalVerified_.add(verified);
+}
+
+void
 ServiceMetrics::recordCompleted(double queue_us, double total_us)
 {
     completed_.add();
@@ -179,6 +204,17 @@ ServiceMetrics::snapshot(uint64_t queue_depth) const
                    ? static_cast<double>(snap.completed) /
                          snap.elapsedSec
                    : 0.0;
+
+    snap.retrievalCandidates = retrievalCandidates_.value();
+    snap.retrievalSurvivors = retrievalSurvivors_.value();
+    snap.retrievalVerified = retrievalVerified_.value();
+    if (snap.retrievalCandidates > 0) {
+        auto cand = static_cast<double>(snap.retrievalCandidates);
+        snap.retrievalFilterPruneRatio =
+            1.0 - static_cast<double>(snap.retrievalSurvivors) / cand;
+        snap.retrievalPruneRatio =
+            1.0 - static_cast<double>(snap.retrievalVerified) / cand;
+    }
 
     obs::HistogramSummary batch = batchSize_.summary();
     snap.batchMean = batch.mean;

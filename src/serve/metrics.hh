@@ -72,6 +72,23 @@ struct MetricsSnapshot
     uint64_t dedupRowsUnique = 0;
     double dedupSkipRatio = 0.0;
 
+    // Retrieval-cascade stage sizes, summed over scored queries.
+    // Exhaustive mode verifies everything, so candidates == verified
+    // and both ratios are 0.
+    uint64_t retrievalCandidates = 0; ///< candidates entering stage 1
+    uint64_t retrievalSurvivors = 0;  ///< past the tag filter
+    uint64_t retrievalVerified = 0;   ///< exact GMN scores actually run
+    double retrievalFilterPruneRatio = 0.0; ///< 1 - survivors/candidates
+    double retrievalPruneRatio = 0.0;       ///< 1 - verified/candidates
+
+    // Joint-window scheduler activity during this service's lifetime
+    // (deltas of the process totals; filled by the service).
+    uint64_t windowWindows = 0;
+    uint64_t windowSlides = 0;
+    uint64_t windowJumps = 0;
+    uint64_t windowXTileLoads = 0;
+    uint64_t windowYTileLoads = 0;
+
     // Per-stage thread-time totals across every scored pair,
     // milliseconds. These are sums over the pair-parallel workers, so
     // they can exceed the wall clock; their *shares* are the latency
@@ -125,6 +142,10 @@ class ServiceMetrics
     /** Count one flushed scoring pass of `batch_size` requests. */
     void recordBatch(uint64_t batch_size);
 
+    /** Record one query's cascade stage sizes (exhaustive: c == v). */
+    void recordRetrieval(uint64_t candidates, uint64_t survivors,
+                         uint64_t verified);
+
     /** Record one delivered request's queue wait and total latency. */
     void recordCompleted(double queue_us, double total_us);
 
@@ -158,6 +179,9 @@ class ServiceMetrics
     obs::Counter &retries_;
     obs::Counter &drainDropped_;
     obs::Counter &batches_;
+    obs::Counter &retrievalCandidates_;
+    obs::Counter &retrievalSurvivors_;
+    obs::Counter &retrievalVerified_;
     obs::Histogram &batchSize_;
     obs::Histogram &latencyUs_;
     obs::Histogram &queueUs_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
@@ -62,9 +63,16 @@ topKHits(const std::vector<double> &scores, uint32_t k)
             return a.score > b.score;
         return a.candidate < b.candidate;
     };
+    // Select-then-sort beats a heap-based partial_sort over the whole
+    // corpus: nth_element is linear in the candidate count, and the
+    // O(k log k) sort touches only the k winners — the difference is
+    // measurable once the corpus is 10^5+ and k stays small.
     size_t keep = std::min<size_t>(k, hits.size());
-    std::partial_sort(hits.begin(), hits.begin() + keep, hits.end(),
-                      better);
+    std::nth_element(hits.begin(),
+                     hits.begin() + static_cast<ptrdiff_t>(keep),
+                     hits.end(), better);
+    std::sort(hits.begin(), hits.begin() + static_cast<ptrdiff_t>(keep),
+              better);
     hits.resize(keep);
     return hits;
 }
@@ -83,6 +91,15 @@ SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus)
     infer.dedupStats = config_.dedup ? &dedupStats_ : nullptr;
     infer.stages = &metrics_.stages();
     model_->setInferenceOptions(infer);
+
+    windowBase_ = windowSchedTotals();
+
+    if (config_.retrieval.mode == RetrievalMode::Cascade) {
+        // Build both stage indexes up front. The coarse vectors go
+        // through the model's memo (graphEmbedding), so the corpus
+        // chains the exact stage will need are warmed right here.
+        retrieval_.build(corpus_, *model_, config_.retrieval);
+    }
 
     // Publish the values other members already own as provider gauges
     // (polled at exposition time). Member order guarantees the
@@ -113,6 +130,27 @@ SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus)
     });
     reg.providerGauge("serve.dedup.rows_unique", [this] {
         return static_cast<int64_t>(dedupStats_.rowsUnique.value());
+    });
+    reg.providerGauge("serve.retrieval.index_bytes", [this] {
+        return static_cast<int64_t>(retrieval_.bytes());
+    });
+    // Joint-window scheduler visibility (satellite of the CGC port):
+    // the process-wide totals, rebased to this service's lifetime so
+    // concurrent services (and tests) do not see each other's windows.
+    reg.providerGauge("serve.window.windows", [this] {
+        return static_cast<int64_t>(windowDelta().windows);
+    });
+    reg.providerGauge("serve.window.slides", [this] {
+        return static_cast<int64_t>(windowDelta().slides);
+    });
+    reg.providerGauge("serve.window.jumps", [this] {
+        return static_cast<int64_t>(windowDelta().jumps);
+    });
+    reg.providerGauge("serve.window.x_tile_loads", [this] {
+        return static_cast<int64_t>(windowDelta().xTileLoads);
+    });
+    reg.providerGauge("serve.window.y_tile_loads", [this] {
+        return static_cast<int64_t>(windowDelta().yTileLoads);
     });
 
     dispatcher_ = std::thread([this] { dispatchLoop(); });
@@ -236,6 +274,28 @@ SearchService::freezeGauges()
     freeze("serve.memo.lookup_us", memo_.lookupNs() / 1000);
     freeze("serve.dedup.rows_total", dedupStats_.rowsTotal.value());
     freeze("serve.dedup.rows_unique", dedupStats_.rowsUnique.value());
+    freeze("serve.retrieval.index_bytes", retrieval_.bytes());
+    WindowSchedStats win = windowDelta();
+    freeze("serve.window.windows", win.windows);
+    freeze("serve.window.slides", win.slides);
+    freeze("serve.window.jumps", win.jumps);
+    freeze("serve.window.x_tile_loads", win.xTileLoads);
+    freeze("serve.window.y_tile_loads", win.yTileLoads);
+}
+
+WindowSchedStats
+SearchService::windowDelta() const
+{
+    WindowSchedStats now = windowSchedTotals();
+    WindowSchedStats d;
+    d.windows = now.windows - windowBase_.windows;
+    d.slides = now.slides - windowBase_.slides;
+    d.jumps = now.jumps - windowBase_.jumps;
+    d.xTileLoads = now.xTileLoads - windowBase_.xTileLoads;
+    d.yTileLoads = now.yTileLoads - windowBase_.yTileLoads;
+    d.aoeKeepX = now.aoeKeepX - windowBase_.aoeKeepX;
+    d.aoeKeepY = now.aoeKeepY - windowBase_.aoeKeepY;
+    return d;
 }
 
 MetricsSnapshot
@@ -255,6 +315,12 @@ SearchService::metrics() const
     snap.dedupRowsUnique = dedupStats_.rowsUnique.value();
     snap.dedupSkipRatio = dedupStats_.skipRatio();
     snap.stageMemoMs = static_cast<double>(memo_.lookupNs()) / 1e6;
+    WindowSchedStats win = windowDelta();
+    snap.windowWindows = win.windows;
+    snap.windowSlides = win.slides;
+    snap.windowJumps = win.jumps;
+    snap.windowXTileLoads = win.xTileLoads;
+    snap.windowYTileLoads = win.yTileLoads;
     return snap;
 }
 
@@ -308,8 +374,12 @@ SearchService::scoreBatch(std::vector<Pending> &batch)
 
     const size_t num_queries = live.size();
     const size_t num_candidates = corpus_.size();
-    const size_t num_pairs = num_queries * num_candidates;
     metrics_.recordBatch(num_queries);
+
+    if (config_.retrieval.mode == RetrievalMode::Cascade) {
+        scoreBatchCascade(live, flushed);
+        return;
+    }
 
     // One pair-parallel scoring pass for the whole batch: every
     // (query, candidate) pair is an independent task writing its own
@@ -317,6 +387,7 @@ SearchService::scoreBatch(std::vector<Pending> &batch)
     // cache amortizes per-graph work across all queries in the batch.
     // Pairs are scored through non-owning views — the corpus and
     // query graphs are never copied on the hot path.
+    const size_t num_pairs = num_queries * num_candidates;
     std::vector<double> scores(num_pairs, 0.0);
     if (num_pairs > 0) {
         obs::TraceScope span("batch.score", "serve", "batch_size",
@@ -338,27 +409,109 @@ SearchService::scoreBatch(std::vector<Pending> &batch)
             scores.begin() +
                 static_cast<ptrdiff_t>((q + 1) * num_candidates));
         result.topK = topKHits(result.scores, config_.topK);
-        result.queueMs = msSince(live[q].submitted, flushed);
-        result.totalMs = msSince(live[q].submitted, done);
-        result.batchSize = static_cast<uint32_t>(num_queries);
-        metrics_.recordCompleted(result.queueMs * 1e3,
-                                 result.totalMs * 1e3);
-        if (obs::tracingEnabled()) {
-            uint64_t sub_ns = traceNs(live[q].submitted);
-            obs::recordSpan("request", "serve", sub_ns,
-                            traceNs(done) - sub_ns, "batch_size",
-                            num_queries);
-            obs::recordSpan("queue.wait", "serve", sub_ns,
-                            traceNs(flushed) - sub_ns);
-        }
-        if (config_.slowMs > 0.0 && result.totalMs >= config_.slowMs) {
-            warn("slow request: %.2f ms total (%.2f ms queued, batch "
-                 "%u, %zu candidates)",
-                 result.totalMs, result.queueMs, result.batchSize,
-                 num_candidates);
-        }
-        live[q].promise.set_value(std::move(result));
+        metrics_.recordRetrieval(num_candidates, num_candidates,
+                                 num_candidates);
+        finishQuery(live[q], std::move(result), flushed, done,
+                    static_cast<uint32_t>(num_queries));
     }
+}
+
+void
+SearchService::scoreBatchCascade(std::vector<Pending> &live,
+                                 SteadyTime flushed)
+{
+    const size_t num_queries = live.size();
+    const size_t num_candidates = corpus_.size();
+
+    // Stages 1–2, query-parallel: each query's filter + shortlist is
+    // an independent task, and the cascade's structures are immutable
+    // after build. The shortlist a query gets is a deterministic
+    // function of (corpus, model, query) — never of the thread count.
+    std::vector<std::vector<uint32_t>> lists(num_queries);
+    std::vector<RetrievalStages> stages(num_queries);
+    {
+        obs::TraceScope span("batch.retrieve", "serve", "batch_size",
+                             num_queries);
+        parallelFor(0, num_queries, 1, [&](size_t q0, size_t q1) {
+            for (size_t q = q0; q < q1; ++q) {
+                lists[q] = retrieval_.shortlist(live[q].query, *model_,
+                                                &stages[q]);
+            }
+        });
+    }
+
+    // Stage 3: one pair-parallel exact pass over the flattened
+    // shortlists. Same bit-determinism argument as the exhaustive
+    // path — disjoint output slots, per-pair forward passes — so each
+    // verified score is bit-identical to what exhaustive mode would
+    // produce for that pair.
+    std::vector<size_t> offsets(num_queries + 1, 0);
+    for (size_t q = 0; q < num_queries; ++q)
+        offsets[q + 1] = offsets[q] + lists[q].size();
+    const size_t num_pairs = offsets.back();
+    std::vector<double> exact(num_pairs, 0.0);
+    if (num_pairs > 0) {
+        obs::TraceScope span("batch.score", "serve", "batch_size",
+                             num_queries);
+        parallelFor(0, num_pairs, 1, [&](size_t i0, size_t i1) {
+            for (size_t i = i0; i < i1; ++i) {
+                size_t q = static_cast<size_t>(
+                               std::upper_bound(offsets.begin(),
+                                                offsets.end(), i) -
+                               offsets.begin()) -
+                           1;
+                uint32_t c = lists[q][i - offsets[q]];
+                exact[i] = model_->score(
+                    GraphPairView(corpus_[c], live[q].query));
+            }
+        });
+    }
+
+    SteadyClock::time_point done = SteadyClock::now();
+    for (size_t q = 0; q < num_queries; ++q) {
+        QueryResult result;
+        // Unverified candidates stay NaN: "not scored". The NaN-aware
+        // topKHits comparator orders them strictly last, so the hit
+        // list ranks exactly the verified scores.
+        result.scores.assign(num_candidates,
+                             std::numeric_limits<double>::quiet_NaN());
+        for (size_t j = 0; j < lists[q].size(); ++j)
+            result.scores[lists[q][j]] = exact[offsets[q] + j];
+        result.topK = topKHits(result.scores, config_.topK);
+        while (!result.topK.empty() &&
+               std::isnan(result.topK.back().score))
+            result.topK.pop_back();
+        metrics_.recordRetrieval(stages[q].corpus, stages[q].survivors,
+                                 stages[q].shortlisted);
+        finishQuery(live[q], std::move(result), flushed, done,
+                    static_cast<uint32_t>(num_queries));
+    }
+}
+
+void
+SearchService::finishQuery(Pending &pending, QueryResult result,
+                           SteadyTime flushed, SteadyTime done,
+                           uint32_t batch_size)
+{
+    result.queueMs = msSince(pending.submitted, flushed);
+    result.totalMs = msSince(pending.submitted, done);
+    result.batchSize = batch_size;
+    metrics_.recordCompleted(result.queueMs * 1e3, result.totalMs * 1e3);
+    if (obs::tracingEnabled()) {
+        uint64_t sub_ns = traceNs(pending.submitted);
+        obs::recordSpan("request", "serve", sub_ns,
+                        traceNs(done) - sub_ns, "batch_size",
+                        batch_size);
+        obs::recordSpan("queue.wait", "serve", sub_ns,
+                        traceNs(flushed) - sub_ns);
+    }
+    if (config_.slowMs > 0.0 && result.totalMs >= config_.slowMs) {
+        warn("slow request: %.2f ms total (%.2f ms queued, batch %u, "
+             "%zu candidates)",
+             result.totalMs, result.queueMs, result.batchSize,
+             corpus_.size());
+    }
+    pending.promise.set_value(std::move(result));
 }
 
 } // namespace cegma

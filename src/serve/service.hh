@@ -63,7 +63,9 @@
 
 #include "gmn/memo.hh"
 #include "gmn/model.hh"
+#include "gmn/window_sched.hh"
 #include "graph/dataset.hh"
+#include "retrieval/retrieval.hh"
 #include "serve/batcher.hh"
 #include "serve/errors.hh"
 #include "serve/faults.hh"
@@ -129,6 +131,17 @@ struct ServeConfig
     uint32_t topK = 10;
 
     /**
+     * Candidate selection (retrieval/retrieval.hh). Exhaustive scores
+     * the whole corpus per query — the oracle. Cascade prunes through
+     * the tag filter and coarse shortlist first and runs the exact GMN
+     * only on the survivors; those exact scores are bit-identical to
+     * exhaustive mode's, but a true top-k hit pruned early is lost
+     * (recall < 1 is possible). Cascade builds both retrieval indexes
+     * at construction.
+     */
+    RetrievalConfig retrieval;
+
+    /**
      * Slow-request log threshold in milliseconds of end-to-end
      * latency; 0 disables. A breaching request logs one warn() line
      * with its queue/total split and batch size.
@@ -146,7 +159,12 @@ struct SearchHit
 /** What a completed query resolves to. */
 struct QueryResult
 {
-    /** Per-candidate similarity scores, in corpus order. */
+    /**
+     * Per-candidate similarity scores, in corpus order. In cascade
+     * mode only the verified (shortlisted) candidates carry scores;
+     * every pruned candidate's slot is NaN — "not scored", distinct
+     * from any real similarity.
+     */
     std::vector<double> scores;
 
     /** Best `topK` hits, score-descending (ties: lower index first). */
@@ -236,6 +254,9 @@ class SearchService
     size_t corpusSize() const { return corpus_.size(); }
     const MemoCache &memo() const { return memo_; }
 
+    /** The retrieval indexes (empty in exhaustive mode). */
+    const RetrievalIndex &retrieval() const { return retrieval_; }
+
   private:
     struct Pending
     {
@@ -245,21 +266,34 @@ class SearchService
         std::chrono::steady_clock::time_point deadline = kNoDeadline;
     };
 
+    using SteadyTime = std::chrono::steady_clock::time_point;
+
     void dispatchLoop();
     void scoreBatch(std::vector<Pending> &batch);
+    void scoreBatchCascade(std::vector<Pending> &live,
+                           SteadyTime flushed);
+    void finishQuery(Pending &pending, QueryResult result,
+                     SteadyTime flushed, SteadyTime done,
+                     uint32_t batch_size);
     void freezeGauges();
+
+    /** Window-scheduler activity since this service was constructed. */
+    WindowSchedStats windowDelta() const;
 
     ServeConfig config_;
     std::vector<Graph> corpus_;
     std::unique_ptr<GmnModel> model_;
 
-    // Provider-gauge targets (memo_, dedupStats_, batcher_) are
-    // declared BEFORE metrics_: members destroy in reverse order, so
-    // the registry (inside metrics_) dies first and a provider
-    // callback can never poll an already-destroyed member.
+    // Provider-gauge targets (memo_, dedupStats_, batcher_,
+    // retrieval_, windowBase_) are declared BEFORE metrics_: members
+    // destroy in reverse order, so the registry (inside metrics_) dies
+    // first and a provider callback can never poll an
+    // already-destroyed member.
     MemoCache memo_;
     DedupStats dedupStats_;
     MicroBatcher<Pending> batcher_;
+    RetrievalIndex retrieval_;
+    WindowSchedStats windowBase_; ///< process totals at construction
     ServiceMetrics metrics_;
 
     std::atomic<bool> stopping_{false};

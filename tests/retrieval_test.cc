@@ -1,0 +1,578 @@
+/**
+ * @file
+ * The retrieval cascade's proof obligations:
+ *   - WL tag sets are canonical, sorted-unique, and clone queries keep
+ *     most of their base graph's tags;
+ *   - the inverted tag index honors the overlap threshold, returns
+ *     ascending candidate ids, and never prunes at threshold 0;
+ *   - coarse vectors have the documented dimensions (pooled chain for
+ *     partner-independent models, WL sketch for GMN-Li) and the
+ *     shortlist kernel is a pure function of the vectors — same set on
+ *     every call, id-ascending, with C=0 meaning "no cut";
+ *   - a cascade `SearchService`'s verified scores are bit-identical to
+ *     exhaustive mode's for every candidate the cascade touches, at
+ *     multiple thread counts and batch sizes, and pruned candidates
+ *     surface as NaN ("not scored"), never as fabricated scores;
+ *   - the per-stage candidate counters flow through the metrics
+ *     registry (exhaustive mode verifies everything; cascade prunes);
+ *   - the recall gate: at the CI corpus size (see
+ *     CEGMA_RETRIEVAL_CI_CANDIDATES), cascade recall@10 against the
+ *     exhaustive oracle stays >= 0.99 (`RetrievalGate.*` is the
+ *     scripts/ci.sh regression tier).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <future>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "gmn/model.hh"
+#include "graph/dataset.hh"
+#include "retrieval/coarse.hh"
+#include "retrieval/retrieval.hh"
+#include "retrieval/tag_index.hh"
+#include "serve/service.hh"
+
+namespace cegma {
+namespace {
+
+// ---- WL tag sets ----------------------------------------------------
+
+TEST(WlTags, SortedUniqueAndStable)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 1, 4);
+    const Graph &g = corpus.candidates[0];
+    std::vector<uint64_t> tags = wlTagSet(g, 2);
+    ASSERT_FALSE(tags.empty());
+    EXPECT_TRUE(std::is_sorted(tags.begin(), tags.end()));
+    EXPECT_EQ(std::adjacent_find(tags.begin(), tags.end()), tags.end());
+    EXPECT_EQ(wlTagSet(g, 2), tags); // pure function of the graph
+}
+
+TEST(WlTags, CloneKeepsMostTags)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 8, 8);
+    for (size_t q = 0; q < corpus.queries.size(); ++q) {
+        std::vector<uint64_t> qt = wlTagSet(corpus.queries[q], 1);
+        std::vector<uint64_t> ct = wlTagSet(corpus.candidates[q], 1);
+        std::vector<uint64_t> common;
+        std::set_intersection(qt.begin(), qt.end(), ct.begin(), ct.end(),
+                              std::back_inserter(common));
+        // A 1-edge substitution disturbs only the touched endpoints'
+        // 1-hop neighborhoods; the clone keeps the majority of tags.
+        EXPECT_GE(common.size() * 2, qt.size()) << "query " << q;
+    }
+}
+
+// ---- TagIndex -------------------------------------------------------
+
+TEST(TagIndex, ThresholdZeroKeepsEveryoneAscending)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 1, 12);
+    TagIndex index;
+    index.build(corpus.candidates, 1);
+    EXPECT_EQ(index.corpusSize(), 12u);
+    EXPECT_GT(index.numTags(), 0u);
+    EXPECT_GT(index.numPostings(), 0u);
+    EXPECT_GT(index.bytes(), 0u);
+
+    std::vector<uint32_t> all = index.survivors(corpus.queries[0], 0.0);
+    ASSERT_EQ(all.size(), 12u);
+    for (uint32_t c = 0; c < 12; ++c)
+        EXPECT_EQ(all[c], c);
+}
+
+TEST(TagIndex, ThresholdPrunesMonotonically)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 4, 32);
+    TagIndex index;
+    index.build(corpus.candidates, 1);
+    for (size_t q = 0; q < corpus.queries.size(); ++q) {
+        std::vector<uint32_t> loose =
+            index.survivors(corpus.queries[q], 0.25);
+        std::vector<uint32_t> tight =
+            index.survivors(corpus.queries[q], 0.75);
+        EXPECT_TRUE(std::is_sorted(loose.begin(), loose.end()));
+        // A stricter threshold can only shrink the survivor set.
+        EXPECT_TRUE(std::includes(loose.begin(), loose.end(),
+                                  tight.begin(), tight.end()))
+            << "query " << q;
+        // The planted clone shares most tags, so it survives a loose
+        // threshold.
+        EXPECT_TRUE(std::binary_search(loose.begin(), loose.end(),
+                                       static_cast<uint32_t>(q)))
+            << "query " << q;
+    }
+}
+
+TEST(TagIndex, SelfQuerySurvivesFullOverlap)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 1, 8);
+    TagIndex index;
+    index.build(corpus.candidates, 2);
+    for (uint32_t c = 0; c < 8; ++c) {
+        std::vector<uint32_t> s =
+            index.survivors(corpus.candidates[c], 1.0);
+        EXPECT_TRUE(std::binary_search(s.begin(), s.end(), c))
+            << "candidate " << c;
+    }
+}
+
+TEST(TagIndex, EmptyCorpus)
+{
+    TagIndex index;
+    index.build({}, 1);
+    EXPECT_EQ(index.corpusSize(), 0u);
+    EXPECT_EQ(index.numTags(), 0u);
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 1, 1);
+    EXPECT_TRUE(index.survivors(corpus.queries[0], 0.0).empty());
+}
+
+// ---- Coarse vectors & shortlist -------------------------------------
+
+TEST(Coarse, PooledChainDimensionsForPartnerIndependentModels)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 1, 1);
+    for (ModelId id : {ModelId::GraphSim, ModelId::SimGnn}) {
+        std::unique_ptr<GmnModel> model = makeModel(id);
+        const ModelConfig &mc = modelConfig(id);
+        std::vector<float> v =
+            coarseVector(corpus.candidates[0], *model, 1, 128);
+        EXPECT_EQ(v.size(), (mc.numLayers + 1) * mc.nodeDim)
+            << mc.name;
+    }
+}
+
+TEST(Coarse, SketchFallbackForCrossFeedbackModel)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 1, 1);
+    std::unique_ptr<GmnModel> model = makeModel(ModelId::GmnLi);
+    EXPECT_EQ(model->graphEmbedding(corpus.candidates[0]), nullptr);
+    std::vector<float> v =
+        coarseVector(corpus.candidates[0], *model, 1, 96);
+    EXPECT_EQ(v.size(), 96u);
+    // The sketch is content-keyed: same graph, same sketch.
+    EXPECT_EQ(coarseVector(corpus.candidates[0], *model, 1, 96), v);
+}
+
+TEST(Coarse, ShortlistIsDeterministicAndBounded)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 4, 24);
+    std::unique_ptr<GmnModel> model = makeModel(ModelId::GraphSim);
+    CoarseIndex index;
+    index.build(corpus.candidates, *model, 1, 128);
+    EXPECT_EQ(index.corpusSize(), 24u);
+
+    std::vector<uint32_t> everyone(24);
+    for (uint32_t c = 0; c < 24; ++c)
+        everyone[c] = c;
+
+    for (size_t q = 0; q < corpus.queries.size(); ++q) {
+        std::vector<float> qv =
+            coarseVector(corpus.queries[q], *model, 1, 128);
+        std::vector<uint32_t> top = index.shortlist(qv, everyone, 6);
+        ASSERT_EQ(top.size(), 6u);
+        EXPECT_TRUE(std::is_sorted(top.begin(), top.end()));
+        EXPECT_EQ(index.shortlist(qv, everyone, 6), top); // pure
+        // C = 0 and C >= N both mean "no cut".
+        EXPECT_EQ(index.shortlist(qv, everyone, 0), everyone);
+        EXPECT_EQ(index.shortlist(qv, everyone, 24), everyone);
+        // The clone's base graph is the nearest thing in chain space.
+        EXPECT_TRUE(std::binary_search(top.begin(), top.end(),
+                                       static_cast<uint32_t>(q)))
+            << "query " << q;
+    }
+}
+
+// ---- RetrievalIndex (stage 1 + stage 2 composed) --------------------
+
+TEST(RetrievalIndex, ChainDistanceShortlistFindsPlantedClone)
+{
+    // GraphSim has no model-aware coarse head, so the index ranks by
+    // pooled-chain distance — where a 1-edge clone is the nearest
+    // corpus graph by construction.
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 6, 48);
+    std::unique_ptr<GmnModel> model = makeModel(ModelId::GraphSim);
+    EXPECT_EQ(model->coarseDim(), 0u);
+    EXPECT_EQ(model->coarseScorer(corpus.queries[0]), nullptr);
+
+    RetrievalConfig config;
+    config.mode = RetrievalMode::Cascade;
+    config.shortlist = 8;
+    config.tagPrune = 0.25;
+    RetrievalIndex index;
+    index.build(corpus.candidates, *model, config);
+    EXPECT_GT(index.bytes(), 0u);
+    EXPECT_FALSE(index.coarse().modelAware());
+
+    for (size_t q = 0; q < corpus.queries.size(); ++q) {
+        RetrievalStages stages;
+        std::vector<uint32_t> list =
+            index.shortlist(corpus.queries[q], *model, &stages);
+        EXPECT_LE(list.size(), 8u);
+        EXPECT_EQ(stages.corpus, 48u);
+        EXPECT_GE(stages.survivors, stages.shortlisted);
+        EXPECT_EQ(stages.shortlisted, list.size());
+        EXPECT_TRUE(std::binary_search(list.begin(), list.end(),
+                                       static_cast<uint32_t>(q)))
+            << "query " << q << " lost its planted clone";
+    }
+}
+
+TEST(RetrievalIndex, ModelAwareShortlistTracksExactRanking)
+{
+    // SimGNN decomposes its head, so the index stores model
+    // descriptors and ranks with the query-conditioned scorer — whose
+    // whole point is agreeing with the *exact score* ranking, clone or
+    // not.
+    constexpr uint32_t kCandidates = 64;
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 4, kCandidates);
+    std::unique_ptr<GmnModel> model = makeModel(ModelId::SimGnn);
+    EXPECT_GT(model->coarseDim(), 0u);
+
+    RetrievalConfig config;
+    config.mode = RetrievalMode::Cascade;
+    config.shortlist = 16;
+    RetrievalIndex index;
+    index.build(corpus.candidates, *model, config);
+    EXPECT_TRUE(index.coarse().modelAware());
+    EXPECT_EQ(index.coarse().dim(), model->coarseDim());
+
+    for (size_t q = 0; q < corpus.queries.size(); ++q) {
+        const Graph &query = corpus.queries[q];
+        RetrievalStages stages;
+        std::vector<uint32_t> list =
+            index.shortlist(query, *model, &stages);
+        ASSERT_EQ(list.size(), 16u);
+        EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+        EXPECT_EQ(index.shortlist(query, *model), list); // pure
+
+        // The shortlist must reach the exact-score maximum: on a
+        // 64-graph corpus, a 16-deep model-aware shortlist containing
+        // *a* top-scoring candidate (ties at the exact maximum all
+        // count) is the minimum bar for "tracks the exact ranking".
+        double best = -1.0;
+        for (uint32_t c = 0; c < kCandidates; ++c)
+            best = std::max(best,
+                            model->score(GraphPairView(
+                                corpus.candidates[c], query)));
+        double best_in_list = -1.0;
+        for (uint32_t c : list)
+            best_in_list = std::max(
+                best_in_list,
+                model->score(GraphPairView(corpus.candidates[c], query)));
+        EXPECT_EQ(best_in_list, best)
+            << "query " << q << " shortlist missed every exact-best";
+    }
+}
+
+// ---- Cascade SearchService ------------------------------------------
+
+/** All per-candidate score vectors of `service`, query-major. */
+std::vector<std::vector<double>>
+serviceScores(SearchService &service, const std::vector<Graph> &queries)
+{
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(queries.size());
+    for (const Graph &query : queries)
+        futures.push_back(service.submit(query));
+    std::vector<std::vector<double>> scores;
+    scores.reserve(queries.size());
+    for (auto &future : futures)
+        scores.push_back(future.get().scores);
+    return scores;
+}
+
+TEST(CascadeService, VerifiedScoresBitIdenticalToExhaustive)
+{
+    constexpr uint32_t kQueries = 6;
+    constexpr uint32_t kCandidates = 40;
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, kQueries, kCandidates);
+
+    // The exhaustive oracle, once.
+    ThreadPool::instance().setThreads(1);
+    ServeConfig exhaustive;
+    exhaustive.model = ModelId::SimGnn;
+    exhaustive.flushMicros = 200;
+    SearchService oracle(exhaustive, corpus.candidates);
+    std::vector<std::vector<double>> reference =
+        serviceScores(oracle, corpus.queries);
+    oracle.shutdown();
+
+    for (uint32_t threads : {1u, 2u, 8u}) {
+        for (uint32_t batch : {1u, 4u}) {
+            ThreadPool::instance().setThreads(threads);
+            ServeConfig config = exhaustive;
+            config.maxBatch = batch;
+            config.retrieval.mode = RetrievalMode::Cascade;
+            config.retrieval.shortlist = 10;
+            config.retrieval.tagPrune = 0.25;
+            SearchService service(config, corpus.candidates);
+            std::vector<std::vector<double>> cascade =
+                serviceScores(service, corpus.queries);
+            service.shutdown();
+
+            size_t verified = 0;
+            for (uint32_t q = 0; q < kQueries; ++q) {
+                ASSERT_EQ(cascade[q].size(), kCandidates);
+                for (uint32_t c = 0; c < kCandidates; ++c) {
+                    if (std::isnan(cascade[q][c]))
+                        continue;
+                    ++verified;
+                    // Bit-identity: the cascade changes WHICH pairs
+                    // are scored, never HOW.
+                    EXPECT_EQ(cascade[q][c], reference[q][c])
+                        << "threads=" << threads << " batch=" << batch
+                        << " q=" << q << " c=" << c;
+                }
+            }
+            EXPECT_GT(verified, 0u);
+            EXPECT_LT(verified,
+                      static_cast<size_t>(kQueries) * kCandidates)
+                << "cascade pruned nothing";
+        }
+    }
+    ThreadPool::instance().setThreads(0);
+}
+
+TEST(CascadeService, TopKRanksOnlyVerifiedCandidates)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 3, 30);
+    ServeConfig config;
+    config.model = ModelId::SimGnn;
+    config.flushMicros = 200;
+    config.topK = 10;
+    config.retrieval.mode = RetrievalMode::Cascade;
+    config.retrieval.shortlist = 5;
+    config.retrieval.tagPrune = 0.25;
+    SearchService service(config, corpus.candidates);
+    for (const Graph &query : corpus.queries) {
+        QueryResult result = service.submit(query).get();
+        // At most `shortlist` candidates were verified, so at most
+        // that many hits exist — never NaN-backed ones.
+        EXPECT_LE(result.topK.size(), 5u);
+        ASSERT_FALSE(result.topK.empty());
+        for (const SearchHit &hit : result.topK) {
+            EXPECT_FALSE(std::isnan(hit.score));
+            EXPECT_EQ(hit.score, result.scores[hit.candidate]);
+        }
+        for (size_t i = 0; i + 1 < result.topK.size(); ++i)
+            EXPECT_GE(result.topK[i].score, result.topK[i + 1].score);
+    }
+    service.shutdown();
+    MetricsSnapshot snap = service.metrics();
+    EXPECT_EQ(snap.retrievalCandidates, 3u * 30u);
+    EXPECT_LE(snap.retrievalVerified, 3u * 5u);
+    EXPECT_GT(snap.retrievalPruneRatio, 0.0);
+    EXPECT_GT(snap.retrievalFilterPruneRatio, 0.0);
+}
+
+TEST(CascadeService, ExhaustiveModeVerifiesEverything)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 2, 5);
+    ServeConfig config;
+    config.model = ModelId::SimGnn;
+    config.flushMicros = 200;
+    SearchService service(config, corpus.candidates);
+    for (const Graph &query : corpus.queries) {
+        QueryResult result = service.submit(query).get();
+        for (double s : result.scores)
+            EXPECT_FALSE(std::isnan(s));
+    }
+    service.shutdown();
+    MetricsSnapshot snap = service.metrics();
+    EXPECT_EQ(snap.retrievalCandidates, 2u * 5u);
+    EXPECT_EQ(snap.retrievalSurvivors, 2u * 5u);
+    EXPECT_EQ(snap.retrievalVerified, 2u * 5u);
+    EXPECT_EQ(snap.retrievalPruneRatio, 0.0);
+}
+
+TEST(CascadeService, StageCountersReachRegistryExports)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 2, 20);
+    ServeConfig config;
+    config.model = ModelId::SimGnn;
+    config.flushMicros = 200;
+    config.retrieval.mode = RetrievalMode::Cascade;
+    config.retrieval.shortlist = 4;
+    SearchService service(config, corpus.candidates);
+    for (const Graph &query : corpus.queries)
+        service.submit(query).get();
+    service.shutdown();
+
+    // Both exposition paths carry the stage counters: the snapshot
+    // JSON (cegma_serve --json) and the registry (--prom).
+    std::string json = service.metrics().toJson();
+    EXPECT_NE(json.find("\"retrieval_candidates\": 40"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("retrieval_prune_ratio"), std::string::npos);
+    std::string prom = service.registry().snapshot().toPrometheus();
+    EXPECT_NE(prom.find("serve_retrieval_candidates"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("serve_retrieval_verified"), std::string::npos);
+    EXPECT_NE(prom.find("serve_retrieval_index_bytes"),
+              std::string::npos);
+}
+
+TEST(CascadeService, CascadeOnEmptyCorpusIsEmpty)
+{
+    ServeConfig config;
+    config.flushMicros = 200;
+    config.retrieval.mode = RetrievalMode::Cascade;
+    SearchService service(config, {});
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 1, 1);
+    QueryResult result = service.submit(corpus.queries[0]).get();
+    EXPECT_TRUE(result.scores.empty());
+    EXPECT_TRUE(result.topK.empty());
+}
+
+// ---- Window-scheduler visibility (satellite of the CGC port) --------
+
+TEST(WindowMetrics, TotalsAccumulateAndReachServiceExports)
+{
+    WindowSchedStats before = windowSchedTotals();
+    Matrix x(64, 32), y(48, 32);
+    for (size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(i % 7) * 0.25f;
+    for (size_t i = 0; i < y.size(); ++i)
+        y.data()[i] = static_cast<float>(i % 5) * 0.5f;
+    WindowSchedConfig small;
+    small.cacheBytes = 16 << 10; // force several windows
+    similarityMatrixWindowed(x, y, SimilarityKind::Cosine, small);
+    WindowSchedStats after = windowSchedTotals();
+    EXPECT_GT(after.windows, before.windows);
+    EXPECT_GE(after.xTileLoads, before.xTileLoads + 1);
+    EXPECT_GE(after.yTileLoads, before.yTileLoads + 1);
+
+    // A service constructed NOW must report only its own lifetime's
+    // window activity (rebased totals), and expose it in both formats.
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 1, 2);
+    ServeConfig config;
+    config.flushMicros = 200;
+    SearchService service(config, corpus.candidates);
+    MetricsSnapshot snap = service.metrics();
+    EXPECT_EQ(snap.windowWindows, 0u)
+        << "pre-construction windows leaked into the service metrics";
+    std::string json = snap.toJson();
+    EXPECT_NE(json.find("window_windows"), std::string::npos);
+    EXPECT_NE(json.find("window_slides"), std::string::npos);
+    std::string prom = service.registry().snapshot().toPrometheus();
+    EXPECT_NE(prom.find("serve_window_windows"), std::string::npos);
+    EXPECT_NE(prom.find("serve_window_x_tile_loads"),
+              std::string::npos);
+
+    // Window activity during the service's lifetime shows up.
+    similarityMatrixWindowed(x, y, SimilarityKind::Cosine, small);
+    MetricsSnapshot snap2 = service.metrics();
+    EXPECT_GT(snap2.windowWindows, 0u);
+    service.shutdown();
+}
+
+// ---- The CI recall gate ---------------------------------------------
+
+/**
+ * The fast regression gate scripts/ci.sh runs at 10^4 candidates
+ * (CEGMA_RETRIEVAL_CI_CANDIDATES=10000): cascade recall@10 against the
+ * exhaustive oracle must stay >= 0.99. The plain ctest run uses a
+ * 2000-candidate corpus to stay fast; the full 10^5 sweep lives in
+ * `bench_to_json --retrieval` only.
+ *
+ * Recall is tie-aware, the standard treatment when ground truth has
+ * score ties: a cascade top-10 slot counts as a hit when its exact
+ * score is >= the oracle's 10th-best score. Under an untrained model
+ * many candidates tie bit-exactly at the score ceiling, where *any*
+ * top-scoring subset is equally correct and id-matching would reject
+ * correct answers at random. Cascade scores are bit-identical to
+ * exhaustive for every verified pair (proven above), so comparing
+ * scores across the two services is exact.
+ */
+TEST(RetrievalGate, CascadeRecallAtLeast99Percent)
+{
+    uint32_t num_candidates = 2000;
+    if (const char *env = std::getenv("CEGMA_RETRIEVAL_CI_CANDIDATES");
+        env != nullptr && *env != '\0') {
+        num_candidates = static_cast<uint32_t>(std::stoul(env));
+    }
+    const uint32_t num_queries = 24;
+    const uint32_t k = 10;
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, num_queries, num_candidates);
+
+    ServeConfig base;
+    base.model = ModelId::SimGnn;
+    base.maxBatch = num_queries;
+    base.topK = k;
+
+    ServeConfig cascade = base;
+    cascade.retrieval.mode = RetrievalMode::Cascade;
+    cascade.retrieval.shortlist = 256;
+    cascade.retrieval.tagPrune = 0.0;
+
+    // The oracle's 10th-best exact score per query.
+    std::vector<double> threshold(num_queries);
+    {
+        SearchService oracle(base, corpus.candidates);
+        std::vector<std::future<QueryResult>> futures;
+        for (const Graph &query : corpus.queries)
+            futures.push_back(oracle.submit(query));
+        for (uint32_t q = 0; q < num_queries; ++q) {
+            QueryResult result = futures[q].get();
+            ASSERT_EQ(result.topK.size(), k);
+            threshold[q] = result.topK.back().score;
+        }
+    }
+
+    size_t hit = 0, want = 0;
+    {
+        SearchService service(cascade, corpus.candidates);
+        std::vector<std::future<QueryResult>> futures;
+        for (const Graph &query : corpus.queries)
+            futures.push_back(service.submit(query));
+        for (uint32_t q = 0; q < num_queries; ++q) {
+            QueryResult result = futures[q].get();
+            want += k;
+            size_t counted = 0;
+            for (const SearchHit &h : result.topK) {
+                if (counted == k)
+                    break;
+                if (h.score >= threshold[q]) {
+                    ++hit;
+                    ++counted;
+                }
+            }
+        }
+    }
+
+    ASSERT_GT(want, 0u);
+    double recall =
+        static_cast<double>(hit) / static_cast<double>(want);
+    EXPECT_GE(recall, 0.99)
+        << "recall@" << k << " over " << num_queries << " queries x "
+        << num_candidates << " candidates: " << recall;
+}
+
+} // namespace
+} // namespace cegma

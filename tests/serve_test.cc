@@ -2,7 +2,9 @@
  * @file
  * The serving subsystem's proof obligations:
  *   - the bounded sharded LRU keeps its byte-budget invariant and
- *     evicts least-recently-used first;
+ *     evicts least-recently-used first; its concurrent same-key insert
+ *     (first-insert-wins) and eviction-during-lookup races are
+ *     exercised at shard counts 1 and 16 (under TSan via ci.sh);
  *   - the bounded MemoCache evicts under pressure without changing a
  *     single produced bit;
  *   - the memo is structurally a no-op for cross-feedback models
@@ -149,6 +151,100 @@ TEST(ShardedLru, UnboundedWhenBudgetZero)
     EXPECT_EQ(cache.size(), 64u);
     EXPECT_EQ(cache.evictions(), 0u);
     EXPECT_EQ(cache.oversized(), 0u);
+}
+
+TEST(ShardedLru, ConcurrentSameKeyInsertFirstWinsUnderRace)
+{
+    // Many builders produce the same key at once (the memo's "every
+    // batch pairs the same corpus graph" pattern): exactly one value
+    // may become resident, and every racer must walk away holding that
+    // resident value — never its own losing copy. Run under TSan by
+    // ci.sh, at both the contended (1) and sharded (16) layouts.
+    for (uint32_t shards : {1u, 16u}) {
+        IntCache cache(1 << 20, shards);
+        constexpr int kThreads = 8;
+        constexpr int kKeys = 32;
+        std::vector<std::shared_ptr<const int>> got(
+            static_cast<size_t>(kThreads) * kKeys);
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&cache, &got, t] {
+                for (int k = 0; k < kKeys; ++k) {
+                    // Distinct payloads per racer: t * 1000 + k. Only
+                    // one of the 8 payloads for key k may survive.
+                    got[static_cast<size_t>(t) * kKeys + k] =
+                        cache.insert(k, val(t * 1000 + k), 8);
+                }
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+
+        EXPECT_EQ(cache.size(), static_cast<size_t>(kKeys));
+        for (int k = 0; k < kKeys; ++k) {
+            auto resident = cache.find(k);
+            ASSERT_NE(resident, nullptr) << "key " << k;
+            EXPECT_EQ(*resident % 1000, k);
+            for (int t = 0; t < kThreads; ++t) {
+                // First insert wins: every racer got the SAME object.
+                EXPECT_EQ(got[static_cast<size_t>(t) * kKeys + k].get(),
+                          resident.get())
+                    << "shards=" << shards << " key=" << k
+                    << " thread=" << t;
+            }
+        }
+    }
+}
+
+TEST(ShardedLru, EvictionDuringConcurrentLookupKeepsValuesAlive)
+{
+    // Readers hold and dereference values while writers churn a tiny
+    // budget that evicts constantly. shared_ptr handout means eviction
+    // must never invalidate a value a reader is using; TSan (ci.sh)
+    // checks the synchronization, the *p == k check the integrity.
+    for (uint32_t shards : {1u, 16u}) {
+        // ~8 resident 64-byte entries per shard, 256 live keys: every
+        // shard is perpetually over budget and evicting.
+        IntCache cache(static_cast<size_t>(64) * 8 * shards, shards);
+        constexpr int kKeys = 256;
+        std::atomic<bool> stop{false};
+        std::atomic<int> mismatches{0};
+
+        std::vector<std::thread> readers;
+        for (int r = 0; r < 4; ++r) {
+            readers.emplace_back([&] {
+                for (int pass = 0; !stop.load(); ++pass) {
+                    int k = pass % kKeys;
+                    auto p = cache.find(k);
+                    if (p != nullptr && *p != k)
+                        mismatches.fetch_add(1);
+                }
+            });
+        }
+        std::vector<std::thread> writers;
+        for (int w = 0; w < 4; ++w) {
+            writers.emplace_back([&cache, w] {
+                for (int pass = 0; pass < 200; ++pass) {
+                    for (int k = w; k < kKeys; k += 4) {
+                        auto p = cache.insert(k, val(k), 64);
+                        if (p != nullptr)
+                            EXPECT_EQ(*p, k);
+                    }
+                }
+            });
+        }
+        for (auto &thread : writers)
+            thread.join();
+        stop.store(true);
+        for (auto &thread : readers)
+            thread.join();
+
+        EXPECT_EQ(mismatches.load(), 0) << "shards=" << shards;
+        EXPECT_GT(cache.evictions(), 0u) << "shards=" << shards;
+        EXPECT_LE(cache.bytes(), 64u * 8u * shards)
+            << "shards=" << shards;
+    }
 }
 
 // ---- Bounded MemoCache in the functional path -----------------------

@@ -23,9 +23,24 @@
  *   bench_to_json --serving [--out FILE] [--threads LIST]
  *                 [--queries Q] [--candidates C] [--requests N]
  *                 [--load F]
+ *   bench_to_json --retrieval [--out FILE] [--threads LIST]
+ *                 [--queries Q] [--candidates C]
  *
  * Defaults: --out BENCH_kernels.json, --threads 1,2,4, --min-ms 200.
  * `--out -` writes to stdout.
+ *
+ * `--retrieval` runs the recall@10-vs-speedup sweep of the retrieval
+ * cascade (src/retrieval) on an AIDS clone-search corpus (default
+ * 16 queries x 100000 candidates): one exhaustive SimGNN pass over
+ * the full corpus establishes the per-query oracle top-10 score
+ * thresholds *and* the latency baseline, then each (shortlist,
+ * tag-prune) cascade config is timed end to end (tag filter + coarse
+ * shortlist + exact verify + top-k select). Recall is tie-aware — a
+ * cascade top-10 slot counts when its exact score reaches the
+ * oracle's 10th-best score, the honest reading when scores tie
+ * bit-exactly — and every verified score is checked bit-identical to
+ * the exhaustive pass before it is counted. Records land in
+ * BENCH_retrieval.json.
  *
  * `--serving` drives the src/serve SearchService with the open-loop
  * Poisson load generator over the RD-B clone-search corpus (Q queries,
@@ -53,6 +68,8 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,8 +82,10 @@
 #include "gmn/similarity.hh"
 #include "gmn/window_sched.hh"
 #include "graph/dataset.hh"
+#include "gmn/model.hh"
 #include "hash/xxhash.hh"
 #include "obs/perf_counters.hh"
+#include "retrieval/retrieval.hh"
 #include "serve/loadgen.hh"
 #include "serve/service.hh"
 #include "tensor/matrix.hh"
@@ -452,6 +471,205 @@ writeServingJson(const std::vector<ServingRecord> &records,
         std::fclose(out);
 }
 
+// ---- Retrieval cascade recall/speedup sweep (--retrieval) -----------
+
+struct RetrievalRecord
+{
+    std::string model;
+    std::string mode; ///< "exhaustive" or "cascade"
+    uint32_t threads;
+    uint32_t queries;
+    uint32_t candidates;
+    size_t shortlist; ///< exact-verify budget (0 = whole corpus)
+    double tagPrune;
+    double recallAt10;
+    double msPerQuery;
+    double speedupVsExhaustive;
+    double avgSurvivors;   ///< mean candidates past the tag filter
+    double avgShortlisted; ///< mean candidates reaching exact verify
+    double indexBuildMs;   ///< one-time corpus-side build (cascade rows)
+};
+
+/**
+ * The recall@10-vs-speedup sweep: one exhaustive oracle pass, then
+ * every (shortlist, tag-prune) cascade config against it. SimGNN only —
+ * it is the model with a decomposable head, so its cascade runs the
+ * model-aware coarse stage the acceptance numbers are about.
+ */
+std::vector<RetrievalRecord>
+runRetrievalSweep(uint32_t num_queries, uint32_t num_candidates)
+{
+    const size_t K = 10;
+    using clock = std::chrono::steady_clock;
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, num_queries, num_candidates);
+    std::unique_ptr<GmnModel> model = makeModel(ModelId::SimGnn);
+    const uint32_t threads = ThreadPool::instance().threads();
+
+    // Exhaustive oracle: every (query, candidate) exact score, timed
+    // as the latency baseline and kept as ground truth for every
+    // cascade config's recall and bit-identity check.
+    std::vector<std::vector<double>> exact(num_queries);
+    auto ex_start = clock::now();
+    for (uint32_t q = 0; q < num_queries; ++q) {
+        exact[q].resize(num_candidates);
+        parallelFor(0, num_candidates, 8, [&](size_t a, size_t b) {
+            for (size_t c = a; c < b; ++c)
+                exact[q][c] = model->score(GraphPairView(
+                    corpus.candidates[c], corpus.queries[q]));
+        });
+    }
+    const double exhaustive_ms =
+        std::chrono::duration<double, std::milli>(clock::now() -
+                                                  ex_start)
+            .count() /
+        static_cast<double>(num_queries);
+
+    // Tie-aware hit threshold per query: the oracle's 10th-best exact
+    // score. Any candidate reaching it is as correct a top-10 member
+    // as the oracle's own pick — bit-exact score ties are common on
+    // this corpus, so id-matching would reject correct answers at
+    // random.
+    std::vector<double> kth(num_queries);
+    for (uint32_t q = 0; q < num_queries; ++q) {
+        std::vector<double> sorted = exact[q];
+        std::nth_element(sorted.begin(), sorted.begin() + (K - 1),
+                         sorted.end(), std::greater<>());
+        kth[q] = sorted[K - 1];
+    }
+
+    std::vector<RetrievalRecord> records;
+    RetrievalRecord base;
+    base.model = modelConfig(ModelId::SimGnn).name;
+    base.mode = "exhaustive";
+    base.threads = threads;
+    base.queries = num_queries;
+    base.candidates = num_candidates;
+    base.shortlist = 0;
+    base.tagPrune = 0.0;
+    base.recallAt10 = 1.0;
+    base.msPerQuery = exhaustive_ms;
+    base.speedupVsExhaustive = 1.0;
+    base.avgSurvivors = static_cast<double>(num_candidates);
+    base.avgShortlisted = static_cast<double>(num_candidates);
+    base.indexBuildMs = 0.0;
+    records.push_back(base);
+
+    RetrievalConfig cfg;
+    cfg.mode = RetrievalMode::Cascade;
+    RetrievalIndex index;
+    auto build_start = clock::now();
+    index.build(corpus.candidates, *model, cfg);
+    const double build_ms =
+        std::chrono::duration<double, std::milli>(clock::now() -
+                                                  build_start)
+            .count();
+
+    const size_t kShortlists[] = {16, 64, 256, 1024};
+    const double kTagPrunes[] = {0.0, 0.25};
+    for (double tag_prune : kTagPrunes) {
+        for (size_t shortlist : kShortlists) {
+            index.setQueryKnobs(shortlist, tag_prune);
+            size_t hits = 0;
+            double survivors = 0.0, shortlisted = 0.0;
+            double cascade_ms = 0.0;
+            for (uint32_t q = 0; q < num_queries; ++q) {
+                auto t0 = clock::now();
+                RetrievalStages st;
+                std::vector<uint32_t> list = index.shortlist(
+                    corpus.queries[q], *model, &st);
+                std::vector<double> scores(list.size());
+                parallelFor(0, list.size(), 8,
+                            [&](size_t a, size_t b) {
+                                for (size_t i = a; i < b; ++i)
+                                    scores[i] = model->score(
+                                        GraphPairView(
+                                            corpus.candidates[list[i]],
+                                            corpus.queries[q]));
+                            });
+                std::vector<double> top = scores;
+                if (top.size() > K) {
+                    std::nth_element(top.begin(), top.begin() + (K - 1),
+                                     top.end(), std::greater<>());
+                    top.resize(K);
+                }
+                cascade_ms +=
+                    std::chrono::duration<double, std::milli>(
+                        clock::now() - t0)
+                        .count();
+
+                // Outside the timer: the bit-identity contract and the
+                // tie-aware recall bookkeeping.
+                for (size_t i = 0; i < list.size(); ++i) {
+                    if (scores[i] != exact[q][list[i]])
+                        fatal("cascade score for candidate %" PRIu32
+                              " differs from exhaustive",
+                              list[i]);
+                }
+                for (double s : top)
+                    if (s >= kth[q])
+                        ++hits;
+                survivors += static_cast<double>(st.survivors);
+                shortlisted += static_cast<double>(st.shortlisted);
+            }
+            RetrievalRecord rec;
+            rec.model = base.model;
+            rec.mode = "cascade";
+            rec.threads = threads;
+            rec.queries = num_queries;
+            rec.candidates = num_candidates;
+            rec.shortlist = shortlist;
+            rec.tagPrune = tag_prune;
+            rec.recallAt10 =
+                static_cast<double>(hits) /
+                static_cast<double>(num_queries * K);
+            rec.msPerQuery =
+                cascade_ms / static_cast<double>(num_queries);
+            rec.speedupVsExhaustive =
+                rec.msPerQuery > 0.0 ? exhaustive_ms / rec.msPerQuery
+                                     : 0.0;
+            rec.avgSurvivors =
+                survivors / static_cast<double>(num_queries);
+            rec.avgShortlisted =
+                shortlisted / static_cast<double>(num_queries);
+            rec.indexBuildMs = build_ms;
+            records.push_back(std::move(rec));
+        }
+    }
+    return records;
+}
+
+void
+writeRetrievalJson(const std::vector<RetrievalRecord> &records,
+                   const std::string &path)
+{
+    FILE *out = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    std::fprintf(out, "[\n");
+    for (size_t i = 0; i < records.size(); ++i) {
+        const RetrievalRecord &r = records[i];
+        std::fprintf(
+            out,
+            "  {\"model\": \"%s\", \"mode\": \"%s\", "
+            "\"threads\": %" PRIu32 ", \"queries\": %" PRIu32
+            ", \"candidates\": %" PRIu32 ", \"shortlist\": %zu, "
+            "\"tag_prune\": %.2f, \"recall_at_10\": %.4f, "
+            "\"ms_per_query\": %.2f, "
+            "\"speedup_vs_exhaustive\": %.2f, "
+            "\"avg_survivors\": %.0f, \"avg_shortlisted\": %.0f, "
+            "\"index_build_ms\": %.1f}%s\n",
+            r.model.c_str(), r.mode.c_str(), r.threads, r.queries,
+            r.candidates, r.shortlist, r.tagPrune, r.recallAt10,
+            r.msPerQuery, r.speedupVsExhaustive, r.avgSurvivors,
+            r.avgShortlisted, r.indexBuildMs,
+            i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    if (out != stdout)
+        std::fclose(out);
+}
+
 } // namespace
 
 int
@@ -461,8 +679,11 @@ main(int argc, char **argv)
     std::string out_path;
     bool e2e = false;
     bool serving = false;
+    bool retrieval = false;
     uint32_t num_queries = 4;
     uint32_t num_candidates = 4;
+    bool queries_set = false;
+    bool candidates_set = false;
     uint32_t reps = 2;
     uint32_t requests = 48;
     double load_fraction = 0.6;
@@ -485,6 +706,8 @@ main(int argc, char **argv)
             e2e = true;
         } else if (arg == "--serving") {
             serving = true;
+        } else if (arg == "--retrieval") {
+            retrieval = true;
         } else if (arg == "--requests") {
             requests = std::max<uint32_t>(
                 1, static_cast<uint32_t>(
@@ -494,9 +717,11 @@ main(int argc, char **argv)
         } else if (arg == "--queries") {
             num_queries =
                 static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+            queries_set = true;
         } else if (arg == "--candidates") {
             num_candidates =
                 static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+            candidates_set = true;
         } else if (arg == "--reps") {
             reps = std::max<uint32_t>(
                 1, static_cast<uint32_t>(
@@ -523,15 +748,36 @@ main(int argc, char **argv)
                          "[--candidates C] [--reps R]\n"
                          "       %s --serving [--out FILE|-] "
                          "[--threads LIST] [--queries Q] "
-                         "[--candidates C] [--requests N] [--load F]\n",
-                         argv[0], argv[0], argv[0]);
+                         "[--candidates C] [--requests N] [--load F]\n"
+                         "       %s --retrieval [--out FILE|-] "
+                         "[--threads LIST] [--queries Q] "
+                         "[--candidates C]\n",
+                         argv[0], argv[0], argv[0], argv[0]);
             return 2;
         }
     }
     if (out_path.empty()) {
-        out_path = serving ? "BENCH_serving.json"
-                   : e2e   ? "BENCH_e2e.json"
-                           : "BENCH_kernels.json";
+        out_path = retrieval ? "BENCH_retrieval.json"
+                   : serving ? "BENCH_serving.json"
+                   : e2e     ? "BENCH_e2e.json"
+                             : "BENCH_kernels.json";
+    }
+
+    if (retrieval) {
+        // The retrieval sweep's corpus is sized for the acceptance
+        // numbers (10^5 candidates) unless overridden.
+        if (!queries_set)
+            num_queries = 16;
+        if (!candidates_set)
+            num_candidates = 100000;
+        ThreadPool::instance().setThreads(thread_counts.back());
+        std::vector<RetrievalRecord> records =
+            runRetrievalSweep(num_queries, num_candidates);
+        writeRetrievalJson(records, out_path);
+        if (out_path != "-")
+            std::printf("wrote %zu records to %s\n", records.size(),
+                        out_path.c_str());
+        return 0;
     }
 
     if (serving) {

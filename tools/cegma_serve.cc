@@ -10,6 +10,8 @@
  *   cegma_serve [--model NAME] [--dataset NAME]
  *               [--candidates C] [--queries Q] [--requests N]
  *               [--qps R | --clients K]
+ *               [--retrieval=exhaustive|cascade] [--shortlist=C]
+ *               [--tag-prune=F] [--tag-level L]
  *               [--batch B] [--flush-us U] [--topk K]
  *               [--dedup=on|off] [--memo=on|off] [--memo-mb M]
  *               [--threads T] [--seed S] [--json] [--csv] [--prom]
@@ -30,6 +32,8 @@
  *   cegma_serve --qps 50 --deadline-ms 100 --shed-watermark 64 \
  *               --retries 3 --json       # overload-robust serving
  *   cegma_serve --fault-error-prob 0.3 --retries 5 --json
+ *   cegma_serve --dataset AIDS --candidates 100000 \
+ *               --retrieval=cascade --shortlist=64   # filter-then-verify
  */
 
 #include <chrono>
@@ -65,6 +69,9 @@ struct Options
     uint32_t batch = 16;
     uint32_t flushUs = 2000;
     uint32_t topk = 5;
+
+    // Retrieval cascade (exhaustive by default; see retrieval/).
+    RetrievalConfig retrieval;
     bool dedup = true;
     bool memo = true;
     size_t memoMb = 256;
@@ -96,6 +103,8 @@ usage(const char *argv0)
         "usage: %s [--model NAME] [--dataset NAME]\n"
         "          [--candidates C] [--queries Q] [--requests N]\n"
         "          [--qps R | --clients K]\n"
+        "          [--retrieval=exhaustive|cascade] [--shortlist=C]\n"
+        "          [--tag-prune=F] [--tag-level L]\n"
         "          [--batch B] [--flush-us U] [--topk K]\n"
         "          [--dedup=on|off] [--memo=on|off] [--memo-mb M]\n"
         "          [--threads T] [--seed S] [--json] [--csv] [--prom]\n"
@@ -115,6 +124,12 @@ usage(const char *argv0)
         "chrome://tracing); --prom prints the metrics registry as\n"
         "Prometheus text; --metrics-every prints periodic stats to\n"
         "stderr; --slow-ms logs requests slower than the threshold.\n"
+        "--retrieval=cascade serves through the filter-then-verify\n"
+        "cascade: WL-tag filter (--tag-prune overlap threshold at\n"
+        "--tag-level depth; default 0 = off, opt in for clone-style\n"
+        "workloads), coarse model-aware shortlist of --shortlist\n"
+        "candidates, exact GMN on the survivors only. Exhaustive mode\n"
+        "stays the oracle; cascade trades recall for latency.\n"
         "--deadline-ms bounds each request (expired requests fail\n"
         "fast, unscored); --shed-watermark sheds the least-budget\n"
         "queued requests past that depth; --drain-timeout-ms bounds\n"
@@ -172,6 +187,30 @@ parseArgs(int argc, char **argv)
         };
         if (arg.rfind("--dedup=", 0) == 0) {
             opts.dedup = parseToggle(arg.substr(8), "--dedup", argv[0]);
+        } else if (arg.rfind("--retrieval=", 0) == 0) {
+            std::string mode = arg.substr(12);
+            if (mode == "exhaustive") {
+                opts.retrieval.mode = RetrievalMode::Exhaustive;
+            } else if (mode == "cascade") {
+                opts.retrieval.mode = RetrievalMode::Cascade;
+            } else {
+                std::fprintf(stderr,
+                             "--retrieval expects exhaustive|cascade, "
+                             "got '%s'\n",
+                             mode.c_str());
+                usage(argv[0]);
+            }
+        } else if (arg.rfind("--shortlist=", 0) == 0) {
+            opts.retrieval.shortlist = std::stoul(arg.substr(12));
+        } else if (arg == "--shortlist") {
+            opts.retrieval.shortlist = std::stoul(next());
+        } else if (arg.rfind("--tag-prune=", 0) == 0) {
+            opts.retrieval.tagPrune = std::stod(arg.substr(12));
+        } else if (arg == "--tag-prune") {
+            opts.retrieval.tagPrune = std::stod(next());
+        } else if (arg == "--tag-level") {
+            opts.retrieval.tagLevel =
+                static_cast<unsigned>(std::stoul(next()));
         } else if (arg.rfind("--memo=", 0) == 0) {
             opts.memo = parseToggle(arg.substr(7), "--memo", argv[0]);
         } else if (arg == "--model") {
@@ -274,6 +313,7 @@ main(int argc, char **argv)
     config.maxBatch = opts.batch;
     config.flushMicros = opts.flushUs;
     config.topK = opts.topk;
+    config.retrieval = opts.retrieval;
     config.slowMs = opts.slowMs;
     config.requestDeadlineMs = opts.deadlineMs;
     config.shedWatermark = opts.shedWatermark;
@@ -366,8 +406,8 @@ main(int argc, char **argv)
             : "closed x" + std::to_string(opts.clients);
     TextTable table({"model", "dataset", "mode", "reqs", "ok", "rej",
                      "exp", "shed", "retry", "qps", "p50 ms", "p95 ms",
-                     "p99 ms", "batch", "hit%", "skip%", "evict",
-                     "cache"});
+                     "p99 ms", "batch", "hit%", "skip%", "pruned%",
+                     "evict", "cache"});
     table.addRow({
         modelConfig(opts.model).name,
         datasetSpec(opts.dataset).name,
@@ -385,6 +425,7 @@ main(int argc, char **argv)
         TextTable::fmt(snap.batchMean, 2),
         TextTable::fmtPct(snap.cacheHitRate),
         TextTable::fmtPct(snap.dedupSkipRatio),
+        TextTable::fmtPct(snap.retrievalPruneRatio),
         std::to_string(snap.cacheEvictions),
         TextTable::fmtBytes(static_cast<double>(snap.cacheBytes)),
     });
