@@ -40,6 +40,15 @@ echo "== tier-1: retrieval recall gate (10^4 corpus) =="
 CEGMA_RETRIEVAL_CI_CANDIDATES=10000 ./build/tests/retrieval_test \
     --gtest_filter='RetrievalGate.*'
 
+# Live-corpus mutation gate: a seeded interleaved mutation+query
+# workload at 8 pool threads must return, for every request, the
+# pinned epoch's exact candidate list and scores bit-identical to a
+# serial oracle model replaying that epoch offline — in exhaustive
+# mode and against an offline-rebuilt cascade index — with epochs
+# actually retiring (`corpus.epochs_reclaimed` > 0) along the way.
+echo "== tier-1: live-corpus mutation gate =="
+./build/tests/corpus_test --gtest_filter='LiveGate.*'
+
 # Forced-scalar tier: the whole suite again with the SIMD dispatch
 # pinned to the scalar oracle. This proves the dispatcher honors the
 # override everywhere and that no caller depends on the AVX2 path —
@@ -81,6 +90,15 @@ echo "== tsan: simd_test (CEGMA_THREADS=8) =="
 CEGMA_THREADS=8 ctest --test-dir build-tsan -R simd_test \
     --output-on-failure
 
+# Live-corpus mutation paths under TSan: the snapshot storms race
+# pinned readers against insert/remove/flush/compaction, and the
+# LiveGate workloads race the mutator thread against the dispatcher's
+# scoring batches — the epoch consistency contract is only meaningful
+# if those paths are race-free.
+echo "== tsan: live-corpus gate (CEGMA_THREADS=8) =="
+CEGMA_THREADS=8 ./build-tsan/tests/corpus_test \
+    --gtest_filter='LiveGate.*:LiveCorpusStorm.*'
+
 echo "== asan: instrumented build =="
 cmake -B build-asan -S . -DCEGMA_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$jobs"
@@ -101,5 +119,13 @@ echo "== asan: fault-injection tests =="
 # any tail over-read the masked drains could hide.
 echo "== asan: simd_test =="
 ctest --test-dir build-asan -R simd_test --output-on-failure
+
+# Live-corpus gate under ASan+UBSan: chunked slot storage, tombstone
+# compaction, and memo invalidation reclaim memory while snapshots
+# may still read it — a use-after-reclaim is exactly what this tier
+# turns into a hard failure.
+echo "== asan: live-corpus gate =="
+./build-asan/tests/corpus_test \
+    --gtest_filter='LiveGate.*:LiveCorpusStorm.*'
 
 echo "== ci.sh: all green =="

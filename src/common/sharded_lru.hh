@@ -126,6 +126,57 @@ class ShardedLruCache
         return value;
     }
 
+    /**
+     * Erase the entry under `key`, releasing its bytes. Holders of a
+     * previously returned `ValuePtr` keep their value alive — erase,
+     * like eviction, can never invalidate a result being read.
+     *
+     * @return true if an entry was resident and removed
+     */
+    bool erase(const Key &key)
+    {
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it == shard.map.end())
+            return false;
+        shard.bytes -= it->second->bytes;
+        shard.lru.erase(it->second);
+        shard.map.erase(it);
+        ++shard.erased;
+        return true;
+    }
+
+    /**
+     * Erase every entry whose key satisfies `pred` — the keyed-erase
+     * primitive behind memo invalidation, where one removed graph owns
+     * a *family* of entries (e.g. WL colorings at several depths) that
+     * share a key prefix rather than a single exact key. Scans all
+     * shards under their locks; O(size), intended for mutation-rate
+     * call sites, not the scoring hot path.
+     *
+     * @return number of entries removed
+     */
+    template <typename Pred> size_t eraseIf(Pred pred)
+    {
+        size_t removed = 0;
+        for (Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            for (auto it = shard.map.begin(); it != shard.map.end();) {
+                if (pred(it->first)) {
+                    shard.bytes -= it->second->bytes;
+                    shard.lru.erase(it->second);
+                    it = shard.map.erase(it);
+                    ++shard.erased;
+                    ++removed;
+                } else {
+                    ++it;
+                }
+            }
+        }
+        return removed;
+    }
+
     /** Drop every entry (counters are kept). */
     void clear()
     {
@@ -148,6 +199,9 @@ class ShardedLruCache
 
     /** Values refused because they alone exceed a shard's budget. */
     size_t oversized() const { return sum(&Shard::oversized); }
+
+    /** Entries removed via erase()/eraseIf() (not LRU evictions). */
+    size_t erased() const { return sum(&Shard::erased); }
 
     /** Resident bytes across all shards (never exceeds `maxBytes`). */
     size_t bytes() const { return sum(&Shard::bytes); }
@@ -192,6 +246,7 @@ class ShardedLruCache
         size_t misses = 0;
         size_t evictions = 0;
         size_t oversized = 0;
+        size_t erased = 0;
     };
 
     /**

@@ -122,6 +122,25 @@ MemoCache::embedding(const Graph &g,
 }
 
 size_t
+MemoCache::invalidate(const GraphKey &key)
+{
+    CEGMA_TRACE_SCOPE_CAT("memo.invalidate", "memo");
+    size_t removed = embeddings_.erase(key) ? 1u : 0u;
+    // WL colorings for one graph exist at every refinement depth a
+    // model ever asked for — a key *family* sharing the GraphKey
+    // prefix, removed with a predicate scan rather than exact keys.
+    removed += wl_.eraseIf(
+        [&key](const WlKey &k) { return k.graph == key; });
+    return removed;
+}
+
+size_t
+MemoCache::invalidate(const Graph &g)
+{
+    return invalidate(graphKey(g));
+}
+
+size_t
 MemoCache::hits() const
 {
     return wl_.hits() + embeddings_.hits();

@@ -126,6 +126,22 @@ class MemoCache
     embedding(const Graph &g,
               const std::function<GraphEmbedding()> &build);
 
+    /**
+     * Drop every memo entry derived from the graph with content key
+     * `key` — its embedding chain and its WL colorings at every depth.
+     * Called when a corpus entry is removed so its bytes are reclaimed
+     * promptly instead of aging out by LRU. Never required for
+     * correctness: entries are content-keyed and deterministic, so a
+     * stale entry for a re-inserted identical graph replays identical
+     * bits.
+     *
+     * @return number of entries removed
+     */
+    size_t invalidate(const GraphKey &key);
+
+    /** Convenience overload: `invalidate(graphKey(g))`. */
+    size_t invalidate(const Graph &g);
+
     /** Lookups that returned a cached value (both families). */
     size_t hits() const;
 

@@ -17,6 +17,17 @@ allDatasets()
     return ids;
 }
 
+const std::vector<DatasetId> &
+extendedDatasets()
+{
+    static const std::vector<DatasetId> ids = {
+        DatasetId::AIDS,  DatasetId::COLLAB, DatasetId::GITHUB,
+        DatasetId::RD_B,  DatasetId::RD_5K,  DatasetId::RD_12K,
+        DatasetId::BIN_CFG,
+    };
+    return ids;
+}
+
 const DatasetSpec &
 datasetSpec(DatasetId id)
 {
@@ -32,6 +43,11 @@ datasetSpec(DatasetId id)
          false},
         {DatasetId::RD_12K, "RD-12K", 391.41, 456.89, 1193, "large-sized",
          false},
+        // Beyond Table II: binary-function CFGs (the GMN binary-diff
+        // deployment scenario). Sizes model stripped-binary functions
+        // of a few dozen to a few hundred basic blocks.
+        {DatasetId::BIN_CFG, "BIN-CFG", 92.0, 112.0, 600, "middle-sized",
+         true},
     };
     for (const auto &spec : specs) {
         if (spec.id == id)
@@ -80,6 +96,8 @@ makeDatasetGraph(DatasetId id, NodeId n, Rng &rng)
       case DatasetId::RD_5K:
       case DatasetId::RD_12K:
         return threadGraph(n, target_edges, rng);
+      case DatasetId::BIN_CFG:
+        return binaryCfgGraph(n, rng);
     }
     panic("unknown dataset id %d", static_cast<int>(id));
 }
@@ -130,9 +148,16 @@ makeCloneSearchCorpus(DatasetId base, uint32_t num_queries,
     // graph's bits depend only on (seed, index), never on the thread
     // count or on how many graphs precede it.
     corpus.candidates.resize(num_candidates);
+    corpus.candidateIds.resize(num_candidates);
     parallelFor(0, num_candidates, 1, [&](size_t c0, size_t c1) {
         for (size_t c = c0; c < c1; ++c) {
-            Rng rng(deriveSeed(mixed, /*salt=*/1, c));
+            // The derived stream seed doubles as the candidate's
+            // stable 64-bit id: a pure function of (seed, base, index)
+            // that survives insertion order and corpus growth, unlike
+            // the dense vector index.
+            uint64_t stream = deriveSeed(mixed, /*salt=*/1, c);
+            corpus.candidateIds[c] = stream;
+            Rng rng(stream);
             NodeId n = sampleGraphSize(spec.avgNodes, 0.35, 5, rng);
             corpus.candidates[c] = makeDatasetGraph(base, n, rng);
         }
@@ -174,6 +199,30 @@ makeCloneSearchDataset(DatasetId base, uint32_t num_queries,
         }
     }
     return ds;
+}
+
+MutationPool
+makeMutationPool(DatasetId base, uint32_t count, uint64_t seed)
+{
+    const DatasetSpec &spec = datasetSpec(base);
+    uint64_t mixed = seed * 0x9e3779b97f4a7c15ULL +
+                     static_cast<uint64_t>(base) + 0x517cc1b727220a95ULL;
+    MutationPool pool;
+    pool.graphs.resize(count);
+    pool.ids.resize(count);
+    // salt=3 keeps the pool's streams — and therefore its ids —
+    // disjoint from the bootstrap candidates (salt=1) and queries
+    // (salt=2) of the same (seed, base).
+    parallelFor(0, count, 1, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+            uint64_t stream = deriveSeed(mixed, /*salt=*/3, i);
+            pool.ids[i] = stream;
+            Rng rng(stream);
+            NodeId n = sampleGraphSize(spec.avgNodes, 0.35, 5, rng);
+            pool.graphs[i] = makeDatasetGraph(base, n, rng);
+        }
+    });
+    return pool;
 }
 
 Dataset

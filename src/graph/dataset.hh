@@ -18,7 +18,11 @@ namespace cegma {
 
 class Rng;
 
-/** Dataset identifiers matching Table II. */
+/**
+ * Dataset identifiers: the six Table II rows, plus families added by
+ * this repository beyond the paper (currently BIN_CFG, the GMN binary
+ * function-search workload).
+ */
 enum class DatasetId
 {
     AIDS,
@@ -27,10 +31,18 @@ enum class DatasetId
     RD_B,
     RD_5K,
     RD_12K,
+    BIN_CFG,
 };
 
-/** All six datasets, in the paper's presentation order. */
+/**
+ * The paper's six datasets, in Table II presentation order. Table
+ * reproductions and paper-comparison benches iterate this list, so it
+ * deliberately excludes the repository's extra families.
+ */
 const std::vector<DatasetId> &allDatasets();
+
+/** Every dataset family, including the extra-paper ones (BIN-CFG). */
+const std::vector<DatasetId> &extendedDatasets();
 
 /** Static description of a dataset (the Table II row). */
 struct DatasetSpec
@@ -125,6 +137,17 @@ struct CloneSearchCorpus
 {
     std::vector<Graph> candidates;
     std::vector<Graph> queries; ///< query q perturbs candidate q % C
+
+    /**
+     * Stable 64-bit id of each candidate: the graph's derived
+     * generator-stream seed, a pure function of (corpus seed, dataset,
+     * index). Unlike a dense vector index, the id survives insertion
+     * order and corpus growth — candidate c keeps the same id whether
+     * the corpus was built with 10^3 or 10^6 entries, and whether or
+     * not earlier entries were since removed. This is what tombstones
+     * key on in the live-corpus subsystem.
+     */
+    std::vector<uint64_t> candidateIds;
 };
 
 /**
@@ -152,6 +175,23 @@ CloneSearchCorpus makeCloneSearchCorpus(DatasetId base,
 Dataset makeCloneSearchDataset(DatasetId base, uint32_t num_queries,
                                uint32_t num_candidates,
                                uint64_t seed = 7);
+
+/**
+ * Fresh graphs to stream *into* a live corpus: same family and size
+ * distribution as `makeCloneSearchCorpus(base, ...)` but drawn from a
+ * disjoint salt, so pool ids never collide with the bootstrap
+ * candidates' ids and a mutation schedule can insert pool entry i
+ * under `ids[i]` deterministically.
+ */
+struct MutationPool
+{
+    std::vector<Graph> graphs;
+    std::vector<uint64_t> ids; ///< stable ids, disjoint from corpus ids
+};
+
+/** Build a `count`-entry mutation pool for `base` (index-parallel). */
+MutationPool makeMutationPool(DatasetId base, uint32_t count,
+                              uint64_t seed = 7);
 
 } // namespace cegma
 

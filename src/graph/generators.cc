@@ -234,6 +234,87 @@ threadGraph(NodeId n, uint64_t target_edges, Rng &rng)
 }
 
 Graph
+binaryCfgGraph(NodeId n, Rng &rng)
+{
+    cegma_assert(n >= 2);
+    std::vector<Edge> edges;
+    std::unordered_set<uint64_t> seen;
+    std::vector<uint32_t> labels;
+    labels.reserve(n);
+
+    auto newBlock = [&labels](uint32_t label) {
+        labels.push_back(label);
+        return static_cast<NodeId>(labels.size() - 1);
+    };
+    auto addEdge = [&](NodeId u, NodeId v) {
+        if (u != v && seen.insert(edgeKey(u, v)).second)
+            edges.push_back({u, v});
+    };
+    // Instruction-class mix of straight-line blocks: ALU-heavy, then
+    // loads/stores, call sites, and a tail of rarer classes (FP,
+    // shifts, vector) — the skew that makes duplicate blocks common.
+    auto bodyLabel = [&rng]() -> uint32_t {
+        double r = rng.nextDouble();
+        if (r < 0.55)
+            return 0; // arithmetic/logic
+        if (r < 0.80)
+            return 1; // load/store
+        if (r < 0.92)
+            return 3; // call site
+        return 5 + static_cast<uint32_t>(rng.nextBounded(3));
+    };
+    constexpr uint32_t kBranch = 2;
+    constexpr uint32_t kReturn = 4;
+
+    // Grow the function as a sequence of structured regions hanging off
+    // a moving frontier block, exactly the way a compiler lays out
+    // reducible control flow. Each region's guard keeps the block
+    // count landing exactly on n.
+    NodeId frontier = newBlock(bodyLabel()); // function entry
+    while (static_cast<NodeId>(labels.size()) < n) {
+        NodeId remaining = n - static_cast<NodeId>(labels.size());
+        double r = rng.nextDouble();
+        if (remaining >= 4 && r < 0.28) {
+            // if/else diamond: cond -> {then, else} -> join.
+            NodeId cond = newBlock(kBranch);
+            NodeId then_b = newBlock(bodyLabel());
+            NodeId else_b = newBlock(bodyLabel());
+            NodeId join = newBlock(bodyLabel());
+            addEdge(frontier, cond);
+            addEdge(cond, then_b);
+            addEdge(cond, else_b);
+            addEdge(then_b, join);
+            addEdge(else_b, join);
+            frontier = join;
+        } else if (remaining >= 3 && r < 0.48) {
+            // Natural loop: header -> body [-> body2] -> header back
+            // edge; execution leaves through the header.
+            NodeId header = newBlock(kBranch);
+            NodeId body = newBlock(bodyLabel());
+            addEdge(frontier, header);
+            addEdge(header, body);
+            NodeId tail = body;
+            if (remaining >= 4 && rng.nextBool(0.5)) {
+                NodeId body2 = newBlock(bodyLabel());
+                addEdge(tail, body2);
+                tail = body2;
+            }
+            addEdge(tail, header);
+            frontier = header;
+        } else {
+            NodeId block = newBlock(bodyLabel());
+            addEdge(frontier, block);
+            frontier = block;
+        }
+    }
+    // The last frontier is the function's return block; a few chords
+    // model early returns and shared epilogues (gotos).
+    labels[frontier] = kReturn;
+    addRandomChords(edges, seen, n, n / 24, rng);
+    return Graph::fromEdges(n, edges, std::move(labels));
+}
+
+Graph
 randomGraphLi(NodeId n, Rng &rng, double avg_degree)
 {
     uint64_t m = static_cast<uint64_t>(

@@ -77,6 +77,19 @@ Graph threadGraph(NodeId n, uint64_t target_edges, Rng &rng);
 Graph randomGraphLi(NodeId n, Rng &rng, double avg_degree = 2.0);
 
 /**
+ * Binary-function control-flow graph: the GMN paper's binary-diff /
+ * vulnerability-search use case, where each graph is one function's
+ * CFG of basic blocks. Synthesized by structured-program composition —
+ * straight-line chains, if/else diamonds, and natural loops with back
+ * edges, closed by a return block and a few goto/shared-epilogue
+ * chords — so out-degrees stay <= 2 like compiler output. Nodes carry
+ * instruction-class labels (ALU-heavy with memory/branch/call/return
+ * classes following a skewed mix), giving the high duplicate-block
+ * ratios that make binary corpora a strong dedup/memo workload.
+ */
+Graph binaryCfgGraph(NodeId n, Rng &rng);
+
+/**
  * Sample a graph size around `avg` with lognormal spread `sigma`,
  * clamped to at least `min_n`.
  */

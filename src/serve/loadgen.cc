@@ -139,6 +139,223 @@ fillResult(LoadGenResult &result, SearchService &service,
 
 } // namespace
 
+ZipfPicker::ZipfPicker(size_t n, double skew) : n_(std::max<size_t>(n, 1))
+{
+    if (skew <= 0.0)
+        return; // uniform: one nextBounded, no CDF
+    cdf_.resize(n_);
+    double total = 0.0;
+    for (size_t r = 0; r < n_; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+        cdf_[r] = total;
+    }
+    for (size_t r = 0; r < n_; ++r)
+        cdf_[r] /= total;
+    cdf_.back() = 1.0; // guard the binary search against rounding
+}
+
+uint32_t
+ZipfPicker::pick(Rng &rng) const
+{
+    if (cdf_.empty())
+        return static_cast<uint32_t>(rng.nextBounded(n_));
+    double u = rng.nextDouble();
+    size_t r = static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    return static_cast<uint32_t>(std::min(r, n_ - 1));
+}
+
+MutationPlan
+planMutations(const std::vector<uint64_t> &bootstrap_ids,
+              const MutationPool &pool, uint32_t num_requests,
+              const MutationMix &mix, uint64_t seed)
+{
+    MutationPlan plan;
+    plan.before.resize(num_requests);
+    plan.flushBefore.assign(num_requests, false);
+    if (mix.perQuery <= 0.0 || num_requests == 0)
+        return plan;
+
+    Rng rng(seed);
+    // `order` tracks the post-staged live ids in slot order. Staged
+    // inserts are always the trailing `staged_inserts` entries (slots
+    // append), so "flushed-live" removal candidates are exactly the
+    // prefix — removing a same-epoch staged insert is never planned.
+    std::vector<uint64_t> order = bootstrap_ids;
+    size_t staged_inserts = 0;
+    uint32_t staged = 0; // ops since the last planned flush
+    uint32_t next_pool = 0;
+    uint32_t publish = std::max<uint32_t>(mix.publishBatch, 1);
+    double acc = 0.0;
+
+    for (uint32_t i = 0; i < num_requests; ++i) {
+        acc += mix.perQuery;
+        while (acc >= 1.0) {
+            acc -= 1.0;
+            double u = rng.nextDouble();
+            bool can_insert =
+                next_pool < static_cast<uint32_t>(pool.graphs.size());
+            size_t removable = order.size() - staged_inserts;
+            bool can_remove = removable > 0;
+            if (!can_insert && !can_remove)
+                break;
+            MutationOp op;
+            if (can_insert &&
+                (!can_remove || u < mix.insertFraction)) {
+                op.isInsert = true;
+                op.poolIndex = next_pool;
+                op.id = pool.ids[next_pool];
+                ++next_pool;
+                order.push_back(op.id);
+                ++staged_inserts;
+                ++plan.totalInserts;
+            } else {
+                size_t victim = static_cast<size_t>(
+                    rng.nextBounded(static_cast<uint64_t>(removable)));
+                op.isInsert = false;
+                op.id = order[victim];
+                order.erase(order.begin() +
+                            static_cast<ptrdiff_t>(victim));
+                ++plan.totalRemoves;
+            }
+            plan.before[i].push_back(op);
+            ++plan.totalMutations;
+            ++staged;
+        }
+        if (staged >= publish) {
+            plan.flushBefore[i] = true;
+            staged = 0;
+            staged_inserts = 0;
+        }
+    }
+    plan.totalFlushes = 0;
+    for (uint32_t i = 0; i < num_requests; ++i)
+        if (plan.flushBefore[i])
+            ++plan.totalFlushes;
+    if (staged > 0)
+        ++plan.totalFlushes; // the driver's trailing flush
+    return plan;
+}
+
+std::vector<std::vector<uint64_t>>
+liveIdsByEpoch(const std::vector<uint64_t> &bootstrap_ids,
+               const MutationPool &pool, const MutationPlan &plan)
+{
+    (void)pool; // ids are carried in the ops themselves
+    std::vector<std::vector<uint64_t>> epochs;
+    std::vector<uint64_t> order = bootstrap_ids;
+    epochs.push_back(order); // epoch 0: the bootstrap corpus
+    uint32_t staged = 0;
+    for (size_t i = 0; i < plan.before.size(); ++i) {
+        for (const MutationOp &op : plan.before[i]) {
+            if (op.isInsert) {
+                order.push_back(op.id);
+            } else {
+                auto it =
+                    std::find(order.begin(), order.end(), op.id);
+                if (it != order.end())
+                    order.erase(it);
+            }
+            ++staged;
+        }
+        if (i < plan.flushBefore.size() && plan.flushBefore[i]) {
+            epochs.push_back(order);
+            staged = 0;
+        }
+    }
+    if (staged > 0)
+        epochs.push_back(order); // the trailing flush
+    return epochs;
+}
+
+LoadGenResult
+runOpenLoopMutating(SearchService &service,
+                    const std::vector<Graph> &queries,
+                    const MutationPool &pool, const MutationPlan &plan,
+                    const MutationMix &mix, uint32_t num_requests,
+                    double qps, uint64_t seed, const RetryPolicy &retry)
+{
+    if (queries.empty())
+        fatal("runOpenLoopMutating: no query graphs");
+    if (qps <= 0.0)
+        fatal("runOpenLoopMutating: qps must be positive");
+    if (plan.before.size() < num_requests)
+        fatal("runOpenLoopMutating: plan covers %zu < %u requests",
+              plan.before.size(), num_requests);
+
+    // Pre-draw arrivals AND query indices: the offered workload is a
+    // pure function of (seed, qps, num_requests, mix) regardless of
+    // service timing. Stream order (arrivals, retry fork, query fork)
+    // is fixed so adding skew never perturbs the arrival schedule.
+    Rng rng(seed);
+    std::vector<double> arrival_sec(num_requests);
+    double t = 0.0;
+    for (uint32_t i = 0; i < num_requests; ++i) {
+        t += -std::log1p(-rng.nextDouble()) / qps;
+        arrival_sec[i] = t;
+    }
+    Rng retry_rng = rng.fork();
+    Rng query_rng = rng.fork();
+    std::vector<uint32_t> query_index(num_requests);
+    if (mix.zipfSkew > 0.0) {
+        ZipfPicker picker(queries.size(), mix.zipfSkew);
+        for (uint32_t i = 0; i < num_requests; ++i)
+            query_index[i] = picker.pick(query_rng);
+    } else {
+        for (uint32_t i = 0; i < num_requests; ++i)
+            query_index[i] =
+                static_cast<uint32_t>(i % queries.size());
+    }
+
+    LoadGenResult result;
+    result.offeredQps = qps;
+    RetryCounters counters;
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(num_requests);
+
+    SteadyClock::time_point start = SteadyClock::now();
+    for (uint32_t i = 0; i < num_requests; ++i) {
+        auto when = start + std::chrono::duration_cast<
+                                SteadyClock::duration>(
+                                std::chrono::duration<double>(
+                                    arrival_sec[i]));
+        std::this_thread::sleep_until(when);
+        // Mutations ride the arrival thread: stage this request's
+        // ops, publish at the planned epoch boundary, then submit.
+        // In-flight batches keep scoring their pinned epochs.
+        for (const MutationOp &op : plan.before[i]) {
+            bool ok = op.isInsert
+                          ? service.insert(op.id,
+                                           pool.graphs[op.poolIndex])
+                          : service.remove(op.id);
+            if (!ok)
+                fatal("runOpenLoopMutating: planned %s of id %llu "
+                      "refused",
+                      op.isInsert ? "insert" : "remove",
+                      static_cast<unsigned long long>(op.id));
+        }
+        if (plan.flushBefore[i])
+            service.flushMutations();
+        futures.push_back(
+            submitOne(service, queries[query_index[i]], retry));
+    }
+    // Publish whatever the schedule left staged so the run ends at
+    // the plan's final epoch (liveIdsByEpoch's last entry).
+    service.flushMutations();
+
+    for (size_t i = 0; i < futures.size(); ++i) {
+        try {
+            futures[i].get();
+        } catch (const std::exception &) {
+            retryAfterFailure(service, queries[query_index[i]], retry,
+                              retry_rng, counters,
+                              std::current_exception());
+        }
+    }
+    fillResult(result, service, start, counters);
+    return result;
+}
+
 LoadGenResult
 runOpenLoop(SearchService &service, const std::vector<Graph> &queries,
             uint32_t num_requests, double qps, uint64_t seed,

@@ -29,6 +29,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.hh"
+#include "graph/dataset.hh"
 #include "graph/graph.hh"
 #include "serve/service.hh"
 
@@ -74,6 +76,109 @@ struct LoadGenResult
 };
 
 /**
+ * Zipf(`skew`) sampler over `{0, .., n-1}`: rank r is drawn with
+ * probability proportional to `1 / (r+1)^skew`. `skew <= 0` is the
+ * uniform distribution. Sampling is one CDF binary search per draw
+ * from the caller's seeded RNG, so a picker is trivially shareable
+ * and the drawn index stream is a pure function of (n, skew, seed).
+ * Models the skewed query popularity of a production clone-search
+ * tier (hot queries re-hitting the memo).
+ */
+class ZipfPicker
+{
+  public:
+    ZipfPicker(size_t n, double skew);
+
+    /** Draw one index in [0, n). */
+    uint32_t pick(Rng &rng) const;
+
+  private:
+    std::vector<double> cdf_; ///< empty when uniform
+    size_t n_;
+};
+
+/** Knobs of the interleaved mutation stream (`planMutations`). */
+struct MutationMix
+{
+    /**
+     * Mutations offered per query (accumulator-scheduled, so 0.1
+     * means one mutation every 10th request and 3.0 means three
+     * before every request). 0 disables mutation entirely.
+     */
+    double perQuery = 0.0;
+
+    /** Fraction of mutations that are inserts; the rest remove. */
+    double insertFraction = 0.5;
+
+    /**
+     * Publish (flush) staged mutations once this many have
+     * accumulated. 1 flushes every mutation into its own epoch;
+     * larger values batch multiple mutations per epoch.
+     */
+    uint32_t publishBatch = 1;
+
+    /** Zipf skew of the query index stream; 0 keeps round-robin. */
+    double zipfSkew = 0.0;
+};
+
+/** One staged mutation in a `MutationPlan`. */
+struct MutationOp
+{
+    bool isInsert = false;
+    uint64_t id = 0;        ///< stable id inserted or removed
+    uint32_t poolIndex = 0; ///< insert only: index into the pool
+};
+
+/**
+ * A fully pre-drawn mutation schedule: which mutations are staged
+ * before each request, and where the epoch boundaries fall. Because
+ * the plan is a pure function of (bootstrap ids, pool, mix, seed),
+ * the same plan can drive the live service *and* an offline oracle —
+ * that is what makes served scores checkable bit-for-bit against a
+ * per-epoch exhaustive replay.
+ */
+struct MutationPlan
+{
+    /** Ops staged immediately before submitting request i. */
+    std::vector<std::vector<MutationOp>> before;
+
+    /**
+     * Flush staged mutations after staging `before[i]`, before
+     * submitting request i. The driver also flushes whatever is
+     * still staged after the last request.
+     */
+    std::vector<bool> flushBefore;
+
+    uint32_t totalMutations = 0;
+    uint32_t totalInserts = 0;
+    uint32_t totalRemoves = 0;
+    uint32_t totalFlushes = 0; ///< incl. the trailing flush
+};
+
+/**
+ * Draw the mutation schedule for `num_requests` requests. Inserts
+ * consume `pool` graphs in order (each at most once); removes pick a
+ * uniformly random *flushed-live* entry (never a same-epoch staged
+ * insert), starting from `bootstrap_ids`. Pure function of its
+ * arguments — see `MutationPlan`.
+ */
+MutationPlan planMutations(const std::vector<uint64_t> &bootstrap_ids,
+                           const MutationPool &pool,
+                           uint32_t num_requests,
+                           const MutationMix &mix, uint64_t seed);
+
+/**
+ * The oracle's view: the stable ids live at each epoch of `plan`, in
+ * slot order (bootstrap order, inserts appended in insert order —
+ * exactly `CorpusSnapshot::liveIds()` of the corresponding pinned
+ * epoch). Entry 0 is the bootstrap corpus (epoch 0); one entry per
+ * flush follows, `plan.totalFlushes + 1` in total.
+ */
+std::vector<std::vector<uint64_t>>
+liveIdsByEpoch(const std::vector<uint64_t> &bootstrap_ids,
+               const MutationPool &pool, const MutationPlan &plan);
+
+/**
  * Drive `service` open-loop: `num_requests` submits at Poisson arrival
  * times of rate `qps` (query graphs cycled in order), then wait for
  * every result, retrying failures per `retry`. First attempts follow
@@ -85,6 +190,26 @@ LoadGenResult runOpenLoop(SearchService &service,
                           uint32_t num_requests, double qps,
                           uint64_t seed = 1,
                           const RetryPolicy &retry = RetryPolicy{});
+
+/**
+ * Open-loop driver with an interleaved mutation stream: before each
+ * request, the arrival thread applies `plan.before[i]` (inserting
+ * `pool` graphs / removing live ids) and publishes per the plan's
+ * epoch boundaries; whatever is still staged after the last request
+ * is flushed at the end. Query indices are drawn Zipf(`mix.zipfSkew`)
+ * over `queries` (round-robin at skew 0). Both the mutation and the
+ * query-index streams are pre-drawn and seeded, so the offered
+ * workload — and, via `QueryResult::epoch`, every result's expected
+ * corpus — is exactly reproducible.
+ */
+LoadGenResult runOpenLoopMutating(SearchService &service,
+                                  const std::vector<Graph> &queries,
+                                  const MutationPool &pool,
+                                  const MutationPlan &plan,
+                                  const MutationMix &mix,
+                                  uint32_t num_requests, double qps,
+                                  uint64_t seed = 1,
+                                  const RetryPolicy &retry = RetryPolicy{});
 
 /**
  * Drive `service` closed-loop: `clients` threads issue back-to-back

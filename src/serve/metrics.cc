@@ -69,6 +69,14 @@ MetricsSnapshot::toJson() const
     appendField(out, "retrieval_filter_prune_ratio",
                 retrievalFilterPruneRatio);
     appendField(out, "retrieval_prune_ratio", retrievalPruneRatio);
+    appendField(out, "corpus_epoch", corpusEpoch);
+    appendField(out, "corpus_live", corpusLive);
+    appendField(out, "corpus_slots", corpusSlots);
+    appendField(out, "corpus_tombstones", corpusTombstones);
+    appendField(out, "corpus_inserts", corpusInserts);
+    appendField(out, "corpus_removes", corpusRemoves);
+    appendField(out, "corpus_epochs_reclaimed", corpusEpochsReclaimed);
+    appendField(out, "corpus_compactions", corpusCompactions);
     appendField(out, "window_windows", windowWindows);
     appendField(out, "window_slides", windowSlides);
     appendField(out, "window_jumps", windowJumps);

@@ -81,6 +81,19 @@ struct MetricsSnapshot
     double retrievalFilterPruneRatio = 0.0; ///< 1 - survivors/candidates
     double retrievalPruneRatio = 0.0;       ///< 1 - verified/candidates
 
+    // Live-corpus state (filled by the service; see
+    // corpus/live_corpus.hh). `corpusEpochsReclaimed` > 0 under a
+    // mutating workload is the no-unbounded-growth proof: pinned
+    // snapshots are actually being retired.
+    uint64_t corpusEpoch = 0;           ///< current corpus epoch
+    uint64_t corpusLive = 0;            ///< visible entries
+    uint64_t corpusSlots = 0;           ///< published slots (incl. dead)
+    uint64_t corpusTombstones = 0;      ///< dead slots awaiting reclaim
+    uint64_t corpusInserts = 0;         ///< accepted inserts
+    uint64_t corpusRemoves = 0;         ///< accepted removes
+    uint64_t corpusEpochsReclaimed = 0; ///< retired epochs
+    uint64_t corpusCompactions = 0;     ///< compaction passes
+
     // Joint-window scheduler activity during this service's lifetime
     // (deltas of the process totals; filled by the service).
     uint64_t windowWindows = 0;

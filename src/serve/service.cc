@@ -78,12 +78,19 @@ topKHits(const std::vector<double> &scores, uint32_t k)
 }
 
 SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus)
-    : config_(config), corpus_(std::move(corpus)),
-      model_(makeModel(config.model, config.modelSeed)),
+    : SearchService(std::move(config), std::move(corpus),
+                    std::vector<uint64_t>())
+{
+}
+
+SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus,
+                             std::vector<uint64_t> ids)
+    : config_(config), model_(makeModel(config.model, config.modelSeed)),
       memo_(MemoConfig{config.memoBytes, config.memoShards}),
       batcher_(config.maxBatch,
                std::chrono::microseconds(config.flushMicros),
-               config.maxQueueDepth, config.shedWatermark)
+               config.maxQueueDepth, config.shedWatermark),
+      corpus_(config.mutation)
 {
     InferenceOptions infer;
     infer.dedupMatching = config_.dedup;
@@ -95,11 +102,43 @@ SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus)
     windowBase_ = windowSchedTotals();
 
     if (config_.retrieval.mode == RetrievalMode::Cascade) {
-        // Build both stage indexes up front. The coarse vectors go
-        // through the model's memo (graphEmbedding), so the corpus
-        // chains the exact stage will need are warmed right here.
-        retrieval_.build(corpus_, *model_, config_.retrieval);
+        // Incremental index maintenance: the corpus stores each
+        // entry's WL tags and coarse descriptor at bootstrap/insert
+        // time. Model-aware descriptors go through the model's memo
+        // (coarseDescriptor), so the chains the exact stage will need
+        // are warmed right here — same warmup the one-shot index
+        // build used to provide.
+        bool model_aware = model_->coarseDim() > 0;
+        LiveCorpus::DescriptorFn descriptor;
+        if (model_aware) {
+            descriptor = [this](const Graph &g) {
+                std::vector<float> out(model_->coarseDim());
+                model_->coarseDescriptor(g, out.data());
+                return out;
+            };
+        } else {
+            descriptor = [this](const Graph &g) {
+                return coarseVector(g, *model_,
+                                    config_.retrieval.tagLevel,
+                                    config_.retrieval.sketchDim);
+            };
+        }
+        corpus_.enableIndex(config_.retrieval, model_aware,
+                            std::move(descriptor));
     }
+    // Removed graphs drop their content-keyed memo entries. Purely an
+    // eviction optimization — memo hits replay identical bits, so
+    // skipping this could never change a score.
+    corpus_.setRemovalHook([this](const Graph &g) { memo_.invalidate(g); });
+
+    // Empty `ids` (the two-argument constructor) means "vector index
+    // is the stable id" — exactly the legacy fixed-corpus identity.
+    if (ids.empty() && !corpus.empty()) {
+        ids.resize(corpus.size());
+        for (size_t i = 0; i < ids.size(); ++i)
+            ids[i] = static_cast<uint64_t>(i);
+    }
+    corpus_.bootstrap(std::move(corpus), std::move(ids));
 
     // Publish the values other members already own as provider gauges
     // (polled at exposition time). Member order guarantees the
@@ -132,7 +171,34 @@ SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus)
         return static_cast<int64_t>(dedupStats_.rowsUnique.value());
     });
     reg.providerGauge("serve.retrieval.index_bytes", [this] {
-        return static_cast<int64_t>(retrieval_.bytes());
+        return static_cast<int64_t>(corpus_.indexBytes());
+    });
+    // Live-corpus lifecycle: epoch progress, visible vs dead entries,
+    // and the reclamation counters that prove retired epochs are
+    // actually freed (corpus.epochs_reclaimed > 0 under mutation).
+    reg.providerGauge("serve.corpus.epoch", [this] {
+        return static_cast<int64_t>(corpus_.epoch());
+    });
+    reg.providerGauge("serve.corpus.live", [this] {
+        return static_cast<int64_t>(corpus_.liveCount());
+    });
+    reg.providerGauge("serve.corpus.slots", [this] {
+        return static_cast<int64_t>(corpus_.slotCount());
+    });
+    reg.providerGauge("serve.corpus.tombstones", [this] {
+        return static_cast<int64_t>(corpus_.tombstones());
+    });
+    reg.providerGauge("serve.corpus.inserts", [this] {
+        return static_cast<int64_t>(corpus_.inserts());
+    });
+    reg.providerGauge("serve.corpus.removes", [this] {
+        return static_cast<int64_t>(corpus_.removes());
+    });
+    reg.providerGauge("serve.corpus.epochs_reclaimed", [this] {
+        return static_cast<int64_t>(corpus_.epochsReclaimed());
+    });
+    reg.providerGauge("serve.corpus.compactions", [this] {
+        return static_cast<int64_t>(corpus_.compactions());
     });
     // Joint-window scheduler visibility (satellite of the CGC port):
     // the process-wide totals, rebased to this service's lifetime so
@@ -274,7 +340,15 @@ SearchService::freezeGauges()
     freeze("serve.memo.lookup_us", memo_.lookupNs() / 1000);
     freeze("serve.dedup.rows_total", dedupStats_.rowsTotal.value());
     freeze("serve.dedup.rows_unique", dedupStats_.rowsUnique.value());
-    freeze("serve.retrieval.index_bytes", retrieval_.bytes());
+    freeze("serve.retrieval.index_bytes", corpus_.indexBytes());
+    freeze("serve.corpus.epoch", corpus_.epoch());
+    freeze("serve.corpus.live", corpus_.liveCount());
+    freeze("serve.corpus.slots", corpus_.slotCount());
+    freeze("serve.corpus.tombstones", corpus_.tombstones());
+    freeze("serve.corpus.inserts", corpus_.inserts());
+    freeze("serve.corpus.removes", corpus_.removes());
+    freeze("serve.corpus.epochs_reclaimed", corpus_.epochsReclaimed());
+    freeze("serve.corpus.compactions", corpus_.compactions());
     WindowSchedStats win = windowDelta();
     freeze("serve.window.windows", win.windows);
     freeze("serve.window.slides", win.slides);
@@ -321,7 +395,33 @@ SearchService::metrics() const
     snap.windowJumps = win.jumps;
     snap.windowXTileLoads = win.xTileLoads;
     snap.windowYTileLoads = win.yTileLoads;
+    snap.corpusEpoch = corpus_.epoch();
+    snap.corpusLive = corpus_.liveCount();
+    snap.corpusSlots = corpus_.slotCount();
+    snap.corpusTombstones = corpus_.tombstones();
+    snap.corpusInserts = corpus_.inserts();
+    snap.corpusRemoves = corpus_.removes();
+    snap.corpusEpochsReclaimed = corpus_.epochsReclaimed();
+    snap.corpusCompactions = corpus_.compactions();
     return snap;
+}
+
+bool
+SearchService::insert(uint64_t id, Graph g)
+{
+    return corpus_.insert(id, std::move(g));
+}
+
+bool
+SearchService::remove(uint64_t id)
+{
+    return corpus_.remove(id);
+}
+
+uint64_t
+SearchService::flushMutations()
+{
+    return corpus_.flush();
 }
 
 void
@@ -372,14 +472,29 @@ SearchService::scoreBatch(std::vector<Pending> &batch)
     if (live.empty())
         return;
 
-    const size_t num_queries = live.size();
-    const size_t num_candidates = corpus_.size();
-    metrics_.recordBatch(num_queries);
+    metrics_.recordBatch(live.size());
 
-    if (config_.retrieval.mode == RetrievalMode::Cascade) {
-        scoreBatchCascade(live, flushed);
-        return;
-    }
+    // Pin ONE snapshot for the whole batch: every query in it scores
+    // against the same epoch's corpus — a consistent view, even while
+    // mutations flush concurrently. The pin is released when `snap`
+    // leaves scope, which is what lets the epoch retire.
+    LiveCorpus::SnapshotPtr snap = corpus_.pin();
+    std::vector<uint32_t> slots = snap->liveSlots();
+
+    if (config_.retrieval.mode == RetrievalMode::Cascade)
+        scoreBatchCascade(live, *snap, slots, flushed);
+    else
+        scoreBatchExhaustive(live, *snap, slots, flushed);
+}
+
+void
+SearchService::scoreBatchExhaustive(std::vector<Pending> &live,
+                                    const CorpusSnapshot &snap,
+                                    const std::vector<uint32_t> &slots,
+                                    SteadyTime flushed)
+{
+    const size_t num_queries = live.size();
+    const size_t num_candidates = slots.size();
 
     // One pair-parallel scoring pass for the whole batch: every
     // (query, candidate) pair is an independent task writing its own
@@ -395,12 +510,14 @@ SearchService::scoreBatch(std::vector<Pending> &batch)
         parallelFor(0, num_pairs, 1, [&](size_t i0, size_t i1) {
             for (size_t i = i0; i < i1; ++i) {
                 scores[i] = model_->score(GraphPairView(
-                    corpus_[i % num_candidates],
+                    snap.graph(slots[i % num_candidates]),
                     live[i / num_candidates].query));
             }
         });
     }
 
+    auto ids = std::make_shared<const std::vector<uint64_t>>(
+        snap.liveIds());
     SteadyClock::time_point done = SteadyClock::now();
     for (size_t q = 0; q < num_queries; ++q) {
         QueryResult result;
@@ -409,6 +526,8 @@ SearchService::scoreBatch(std::vector<Pending> &batch)
             scores.begin() +
                 static_cast<ptrdiff_t>((q + 1) * num_candidates));
         result.topK = topKHits(result.scores, config_.topK);
+        result.epoch = snap.epoch();
+        result.ids = ids;
         metrics_.recordRetrieval(num_candidates, num_candidates,
                                  num_candidates);
         finishQuery(live[q], std::move(result), flushed, done,
@@ -418,15 +537,18 @@ SearchService::scoreBatch(std::vector<Pending> &batch)
 
 void
 SearchService::scoreBatchCascade(std::vector<Pending> &live,
+                                 const CorpusSnapshot &snap,
+                                 const std::vector<uint32_t> &slots,
                                  SteadyTime flushed)
 {
     const size_t num_queries = live.size();
-    const size_t num_candidates = corpus_.size();
+    const size_t num_candidates = slots.size();
 
     // Stages 1–2, query-parallel: each query's filter + shortlist is
-    // an independent task, and the cascade's structures are immutable
-    // after build. The shortlist a query gets is a deterministic
-    // function of (corpus, model, query) — never of the thread count.
+    // an independent task against the pinned snapshot's (immutable)
+    // view. The shortlist a query gets is a deterministic function of
+    // (snapshot, model, query) — never of the thread count or of
+    // concurrent mutations.
     std::vector<std::vector<uint32_t>> lists(num_queries);
     std::vector<RetrievalStages> stages(num_queries);
     {
@@ -434,8 +556,8 @@ SearchService::scoreBatchCascade(std::vector<Pending> &live,
                              num_queries);
         parallelFor(0, num_queries, 1, [&](size_t q0, size_t q1) {
             for (size_t q = q0; q < q1; ++q) {
-                lists[q] = retrieval_.shortlist(live[q].query, *model_,
-                                                &stages[q]);
+                lists[q] = corpus_.shortlist(snap, live[q].query,
+                                             *model_, &stages[q]);
             }
         });
     }
@@ -462,25 +584,37 @@ SearchService::scoreBatchCascade(std::vector<Pending> &live,
                            1;
                 uint32_t c = lists[q][i - offsets[q]];
                 exact[i] = model_->score(
-                    GraphPairView(corpus_[c], live[q].query));
+                    GraphPairView(snap.graph(c), live[q].query));
             }
         });
     }
 
+    auto ids = std::make_shared<const std::vector<uint64_t>>(
+        snap.liveIds());
     SteadyClock::time_point done = SteadyClock::now();
     for (size_t q = 0; q < num_queries; ++q) {
         QueryResult result;
         // Unverified candidates stay NaN: "not scored". The NaN-aware
         // topKHits comparator orders them strictly last, so the hit
-        // list ranks exactly the verified scores.
+        // list ranks exactly the verified scores. Results are indexed
+        // by *position in the snapshot's live order* (== slot order),
+        // so the shortlist's slot numbers map through lower_bound on
+        // the ascending live-slot list.
         result.scores.assign(num_candidates,
                              std::numeric_limits<double>::quiet_NaN());
-        for (size_t j = 0; j < lists[q].size(); ++j)
-            result.scores[lists[q][j]] = exact[offsets[q] + j];
+        for (size_t j = 0; j < lists[q].size(); ++j) {
+            uint32_t c = lists[q][j];
+            size_t pos = static_cast<size_t>(
+                std::lower_bound(slots.begin(), slots.end(), c) -
+                slots.begin());
+            result.scores[pos] = exact[offsets[q] + j];
+        }
         result.topK = topKHits(result.scores, config_.topK);
         while (!result.topK.empty() &&
                std::isnan(result.topK.back().score))
             result.topK.pop_back();
+        result.epoch = snap.epoch();
+        result.ids = ids;
         metrics_.recordRetrieval(stages[q].corpus, stages[q].survivors,
                                  stages[q].shortlisted);
         finishQuery(live[q], std::move(result), flushed, done,
@@ -509,7 +643,7 @@ SearchService::finishQuery(Pending &pending, QueryResult result,
         warn("slow request: %.2f ms total (%.2f ms queued, batch %u, "
              "%zu candidates)",
              result.totalMs, result.queueMs, result.batchSize,
-             corpus_.size());
+             corpus_.liveCount());
     }
     pending.promise.set_value(std::move(result));
 }

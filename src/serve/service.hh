@@ -61,6 +61,7 @@
 #include <thread>
 #include <vector>
 
+#include "corpus/live_corpus.hh"
 #include "gmn/memo.hh"
 #include "gmn/model.hh"
 #include "gmn/window_sched.hh"
@@ -142,6 +143,15 @@ struct ServeConfig
     RetrievalConfig retrieval;
 
     /**
+     * Live-corpus knobs (corpus/live_corpus.hh): slot capacity for
+     * online inserts and the tombstone ratio that triggers posting
+     * compaction. Only consulted once mutations happen — a service
+     * that never calls `insert`/`remove` behaves exactly like the
+     * fixed-corpus service did.
+     */
+    MutationConfig mutation;
+
+    /**
      * Slow-request log threshold in milliseconds of end-to-end
      * latency; 0 disables. A breaching request logs one warn() line
      * with its queue/total split and batch size.
@@ -152,7 +162,13 @@ struct ServeConfig
 /** One ranked search result. */
 struct SearchHit
 {
-    uint32_t candidate = 0; ///< corpus index
+    /**
+     * Index into `QueryResult::scores` / `QueryResult::ids`: the
+     * position of the candidate in the pinned snapshot's live-entry
+     * order. For a never-mutated corpus this is exactly the corpus
+     * vector index (the pre-live-corpus meaning).
+     */
+    uint32_t candidate = 0;
     double score = 0.0;
 };
 
@@ -160,15 +176,32 @@ struct SearchHit
 struct QueryResult
 {
     /**
-     * Per-candidate similarity scores, in corpus order. In cascade
-     * mode only the verified (shortlisted) candidates carry scores;
-     * every pruned candidate's slot is NaN — "not scored", distinct
-     * from any real similarity.
+     * Per-candidate similarity scores, in the pinned snapshot's
+     * live-entry order (== corpus order when no mutation ever
+     * happened). In cascade mode only the verified (shortlisted)
+     * candidates carry scores; every pruned candidate's slot is NaN —
+     * "not scored", distinct from any real similarity.
      */
     std::vector<double> scores;
 
     /** Best `topK` hits, score-descending (ties: lower index first). */
     std::vector<SearchHit> topK;
+
+    /**
+     * The corpus epoch this query was scored against: every score in
+     * this result reflects exactly that epoch's corpus — one
+     * consistent view, never a torn one. An offline oracle replaying
+     * the mutation schedule up to this epoch reproduces `scores` bit
+     * for bit.
+     */
+    uint64_t epoch = 0;
+
+    /**
+     * Stable 64-bit id of each scored candidate, parallel to
+     * `scores`. Shared across the batch (one vector per pinned
+     * snapshot), so carrying it is O(1) per request.
+     */
+    std::shared_ptr<const std::vector<uint64_t>> ids;
 
     double queueMs = 0.0; ///< submit -> batch flush
     double totalMs = 0.0; ///< submit -> result ready
@@ -196,7 +229,17 @@ std::vector<SearchHit> topKHits(const std::vector<double> &scores,
 class SearchService
 {
   public:
+    /**
+     * Bootstrap over `corpus` with stable ids `ids` (one per graph,
+     * distinct) — what dataset loaders provide via
+     * `CloneSearchCorpus::candidateIds`.
+     */
+    SearchService(ServeConfig config, std::vector<Graph> corpus,
+                  std::vector<uint64_t> ids);
+
+    /** Convenience: stable ids default to the vector indices. */
     SearchService(ServeConfig config, std::vector<Graph> corpus);
+
     ~SearchService();
 
     SearchService(const SearchService &) = delete;
@@ -250,12 +293,36 @@ class SearchService
      */
     void noteClientRetry() { metrics_.recordRetry(); }
 
+    /// @name Online corpus mutation
+    /// Thread-safe against concurrent submits and each other. Staged
+    /// mutations become visible at `flushMutations()`; batches already
+    /// in flight keep scoring their pinned epoch (see
+    /// corpus/live_corpus.hh for the snapshot contract).
+    /// @{
+
+    /** Stage inserting `g` under stable id `id` (false on dup/full). */
+    bool insert(uint64_t id, Graph g);
+
+    /** Stage removing the entry with id `id` (false when unknown). */
+    bool remove(uint64_t id);
+
+    /**
+     * Publish all staged mutations as one new epoch, incrementally
+     * updating the retrieval structures and invalidating removed
+     * graphs' memo entries. @return the epoch now current.
+     */
+    uint64_t flushMutations();
+    /// @}
+
     const ServeConfig &config() const { return config_; }
-    size_t corpusSize() const { return corpus_.size(); }
+
+    /** Live entries at the current epoch. */
+    size_t corpusSize() const { return corpus_.liveCount(); }
+
     const MemoCache &memo() const { return memo_; }
 
-    /** The retrieval indexes (empty in exhaustive mode). */
-    const RetrievalIndex &retrieval() const { return retrieval_; }
+    /** The live corpus behind the service (stats, pinning in tests). */
+    const LiveCorpus &corpus() const { return corpus_; }
 
   private:
     struct Pending
@@ -270,7 +337,13 @@ class SearchService
 
     void dispatchLoop();
     void scoreBatch(std::vector<Pending> &batch);
+    void scoreBatchExhaustive(std::vector<Pending> &live,
+                              const CorpusSnapshot &snap,
+                              const std::vector<uint32_t> &slots,
+                              SteadyTime flushed);
     void scoreBatchCascade(std::vector<Pending> &live,
+                           const CorpusSnapshot &snap,
+                           const std::vector<uint32_t> &slots,
                            SteadyTime flushed);
     void finishQuery(Pending &pending, QueryResult result,
                      SteadyTime flushed, SteadyTime done,
@@ -281,18 +354,16 @@ class SearchService
     WindowSchedStats windowDelta() const;
 
     ServeConfig config_;
-    std::vector<Graph> corpus_;
     std::unique_ptr<GmnModel> model_;
 
-    // Provider-gauge targets (memo_, dedupStats_, batcher_,
-    // retrieval_, windowBase_) are declared BEFORE metrics_: members
-    // destroy in reverse order, so the registry (inside metrics_) dies
-    // first and a provider callback can never poll an
-    // already-destroyed member.
+    // Provider-gauge targets (memo_, dedupStats_, batcher_, corpus_,
+    // windowBase_) are declared BEFORE metrics_: members destroy in
+    // reverse order, so the registry (inside metrics_) dies first and
+    // a provider callback can never poll an already-destroyed member.
     MemoCache memo_;
     DedupStats dedupStats_;
     MicroBatcher<Pending> batcher_;
-    RetrievalIndex retrieval_;
+    LiveCorpus corpus_;
     WindowSchedStats windowBase_; ///< process totals at construction
     ServiceMetrics metrics_;
 

@@ -25,6 +25,22 @@
  *                 [--load F]
  *   bench_to_json --retrieval [--out FILE] [--threads LIST]
  *                 [--queries Q] [--candidates C]
+ *   bench_to_json --live [--out FILE] [--threads LIST]
+ *                 [--queries Q] [--candidates C] [--requests N]
+ *                 [--load F]
+ *
+ * `--live` measures serving under online corpus mutation: the cascade
+ * SearchService (SimGNN, shortlist 64) over an AIDS corpus (default
+ * 8 queries x 100000 candidates), driven open-loop at a calibrated
+ * QPS while a seeded mutation stream inserts/removes corpus entries
+ * at 0% / 1% / 10% of the request rate (epoch published every 2
+ * mutations). Each request's scores are verified bit-identical to
+ * the standalone exact oracle and recall@10 is judged against the
+ * oracle top-10 *of that request's pinned epoch* — the live ids its
+ * result declares. Records {mutate_rate, p50/p95/p99 ms,
+ * recall_at_10, epochs, epochs_reclaimed} land in BENCH_live.json:
+ * the p95/p99 delta across rates is the latency price of mutability,
+ * and flat recall says pinned-epoch consistency holds under churn.
  *
  * Defaults: --out BENCH_kernels.json, --threads 1,2,4, --min-ms 200.
  * `--out -` writes to stdout.
@@ -66,11 +82,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <future>
 #include <memory>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "accel/runner.hh"
@@ -670,6 +690,242 @@ writeRetrievalJson(const std::vector<RetrievalRecord> &records,
         std::fclose(out);
 }
 
+// ---- Live-corpus mutation sweep (--live) ----------------------------
+
+struct LiveRecord
+{
+    std::string model;
+    uint32_t threads;
+    uint32_t queries;
+    uint32_t candidates;
+    uint32_t requests;
+    double mutateRate; ///< mutations per query (fraction of QPS)
+    uint64_t inserts;
+    uint64_t removes;
+    uint64_t epochs;
+    uint64_t epochsReclaimed;
+    double offeredQps;
+    double p50Ms;
+    double p95Ms;
+    double p99Ms;
+    double recallAt10;
+};
+
+/**
+ * Serving latency and recall@10 under live mutation: the cascade
+ * service (SimGNN, shortlist 64) over an AIDS corpus, driven open-loop
+ * at a calibrated QPS while 0% / 1% / 10% of requests carry corpus
+ * mutations. Every returned score is checked bit-identical to the
+ * standalone exact score — which is epoch-independent — and recall is
+ * judged per request against the oracle top-10 of *that request's
+ * epoch* (its result carries the pinned epoch's live ids), tie-aware
+ * like the --retrieval sweep. Mutation cost shows up honestly: epoch
+ * publication and descriptor computation ride the arrival thread and
+ * the postings lock, so the p95/p99 delta across rates is the price
+ * of staying online.
+ */
+std::vector<LiveRecord>
+runLiveSweep(uint32_t num_queries, uint32_t num_candidates,
+             uint32_t requests, double load_fraction)
+{
+    const size_t K = 10;
+    using clock = std::chrono::steady_clock;
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, num_queries, num_candidates);
+    std::unique_ptr<GmnModel> oracle_model = makeModel(ModelId::SimGnn);
+    const uint32_t threads = ThreadPool::instance().threads();
+    const double kRates[] = {0.0, 0.01, 0.10};
+
+    // One shared insert pool, sized for the highest rate — lower
+    // rates draw a prefix, so the inserted graphs are comparable
+    // across rates.
+    uint32_t pool_size =
+        static_cast<uint32_t>(kRates[2] * requests) + 4;
+    MutationPool pool =
+        makeMutationPool(DatasetId::AIDS, pool_size, 7);
+
+    // Exact (query, candidate) scores are epoch-independent, so ONE
+    // oracle matrix over bootstrap + pool graphs serves every epoch
+    // of every rate: the oracle top-10 at epoch e is just the top-10
+    // over that epoch's live id set.
+    std::vector<const Graph *> col_graph;
+    std::unordered_map<uint64_t, size_t> col_of;
+    for (size_t c = 0; c < corpus.candidates.size(); ++c) {
+        col_of[corpus.candidateIds[c]] = col_graph.size();
+        col_graph.push_back(&corpus.candidates[c]);
+    }
+    for (size_t p = 0; p < pool.graphs.size(); ++p) {
+        col_of[pool.ids[p]] = col_graph.size();
+        col_graph.push_back(&pool.graphs[p]);
+    }
+    std::vector<std::vector<double>> exact(num_queries);
+    for (uint32_t q = 0; q < num_queries; ++q) {
+        exact[q].resize(col_graph.size());
+        parallelFor(0, col_graph.size(), 8, [&](size_t a, size_t b) {
+            for (size_t c = a; c < b; ++c)
+                exact[q][c] = oracle_model->score(GraphPairView(
+                    *col_graph[c], corpus.queries[q]));
+        });
+    }
+
+    double offered_qps = 0.0; // calibrated on the first service
+    std::vector<LiveRecord> records;
+    for (double rate : kRates) {
+        ServeConfig config;
+        config.model = ModelId::SimGnn;
+        config.maxBatch = 8;
+        config.flushMicros = 2000;
+        config.topK = static_cast<uint32_t>(K);
+        config.retrieval.mode = RetrievalMode::Cascade;
+        config.retrieval.shortlist = 64;
+        SearchService service(config, corpus.candidates,
+                              corpus.candidateIds);
+
+        if (offered_qps == 0.0) {
+            // Calibrate once from the solo request latency, so every
+            // rate faces the byte-identical arrival schedule.
+            auto t0 = clock::now();
+            for (uint32_t w = 0; w < 2; ++w)
+                service.submit(corpus.queries[w % num_queries]).get();
+            double solo_sec =
+                std::chrono::duration<double>(clock::now() - t0)
+                    .count() /
+                2.0;
+            offered_qps =
+                solo_sec > 0.0 ? load_fraction / solo_sec : 1.0;
+        }
+
+        MutationMix mix;
+        mix.perQuery = rate;
+        mix.publishBatch = 2;
+        MutationPlan plan = planMutations(corpus.candidateIds, pool,
+                                          requests, mix, 23);
+
+        // Open-loop drive with the mutation stream inline, futures
+        // kept — recall needs each request's own (epoch, ids, topK).
+        Rng rng(11);
+        std::vector<double> arrival_sec(requests);
+        double t = 0.0;
+        for (uint32_t i = 0; i < requests; ++i) {
+            t += -std::log1p(-rng.nextDouble()) / offered_qps;
+            arrival_sec[i] = t;
+        }
+        std::vector<std::future<QueryResult>> futures;
+        futures.reserve(requests);
+        auto start = clock::now();
+        for (uint32_t i = 0; i < requests; ++i) {
+            auto when =
+                start + std::chrono::duration_cast<clock::duration>(
+                            std::chrono::duration<double>(
+                                arrival_sec[i]));
+            std::this_thread::sleep_until(when);
+            for (const MutationOp &op : plan.before[i]) {
+                bool ok = op.isInsert
+                              ? service.insert(
+                                    op.id, pool.graphs[op.poolIndex])
+                              : service.remove(op.id);
+                if (!ok)
+                    fatal("live sweep: planned mutation refused");
+            }
+            if (plan.flushBefore[i])
+                service.flushMutations();
+            futures.push_back(
+                service.submit(corpus.queries[i % num_queries]));
+        }
+        service.flushMutations();
+
+        // Reap: latency percentiles over exactly the timed requests,
+        // recall + bit-identity against the per-epoch oracle.
+        std::vector<double> total_ms;
+        total_ms.reserve(requests);
+        size_t hits = 0;
+        for (uint32_t i = 0; i < requests; ++i) {
+            QueryResult result = futures[i].get();
+            total_ms.push_back(result.totalMs);
+            uint32_t q = i % num_queries;
+            const std::vector<uint64_t> &ids = *result.ids;
+            // Oracle top-10 of THIS request's epoch: kth-best exact
+            // score over the live id set the result declares.
+            std::vector<double> live_scores(ids.size());
+            for (size_t c = 0; c < ids.size(); ++c)
+                live_scores[c] = exact[q][col_of.at(ids[c])];
+            size_t keep = std::min(K, live_scores.size());
+            std::vector<double> sorted = live_scores;
+            std::nth_element(sorted.begin(),
+                             sorted.begin() +
+                                 static_cast<ptrdiff_t>(keep - 1),
+                             sorted.end(), std::greater<>());
+            double kth = sorted[keep - 1];
+            for (const SearchHit &hit : result.topK) {
+                if (hit.score != live_scores[hit.candidate])
+                    fatal("live sweep: served score differs from the "
+                          "oracle at epoch %" PRIu64,
+                          result.epoch);
+                if (hit.score >= kth)
+                    ++hits;
+            }
+        }
+        std::sort(total_ms.begin(), total_ms.end());
+        auto pct = [&](double p) {
+            size_t idx = static_cast<size_t>(
+                p * static_cast<double>(total_ms.size() - 1));
+            return total_ms[idx];
+        };
+        MetricsSnapshot snap = service.metrics();
+        service.shutdown();
+
+        LiveRecord rec;
+        rec.model = modelConfig(ModelId::SimGnn).name;
+        rec.threads = threads;
+        rec.queries = num_queries;
+        rec.candidates = num_candidates;
+        rec.requests = requests;
+        rec.mutateRate = rate;
+        rec.inserts = snap.corpusInserts;
+        rec.removes = snap.corpusRemoves;
+        rec.epochs = snap.corpusEpoch;
+        rec.epochsReclaimed = snap.corpusEpochsReclaimed;
+        rec.offeredQps = offered_qps;
+        rec.p50Ms = pct(0.50);
+        rec.p95Ms = pct(0.95);
+        rec.p99Ms = pct(0.99);
+        rec.recallAt10 = static_cast<double>(hits) /
+                         static_cast<double>(requests * K);
+        records.push_back(std::move(rec));
+    }
+    return records;
+}
+
+void
+writeLiveJson(const std::vector<LiveRecord> &records,
+              const std::string &path)
+{
+    FILE *out = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    std::fprintf(out, "[\n");
+    for (size_t i = 0; i < records.size(); ++i) {
+        const LiveRecord &r = records[i];
+        std::fprintf(
+            out,
+            "  {\"model\": \"%s\", \"threads\": %" PRIu32
+            ", \"queries\": %" PRIu32 ", \"candidates\": %" PRIu32
+            ", \"requests\": %" PRIu32 ", \"mutate_rate\": %.2f, "
+            "\"inserts\": %" PRIu64 ", \"removes\": %" PRIu64
+            ", \"epochs\": %" PRIu64 ", \"epochs_reclaimed\": %" PRIu64
+            ", \"offered_qps\": %.3f, \"p50_ms\": %.3f, "
+            "\"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+            "\"recall_at_10\": %.4f}%s\n",
+            r.model.c_str(), r.threads, r.queries, r.candidates,
+            r.requests, r.mutateRate, r.inserts, r.removes, r.epochs,
+            r.epochsReclaimed, r.offeredQps, r.p50Ms, r.p95Ms, r.p99Ms,
+            r.recallAt10, i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    if (out != stdout)
+        std::fclose(out);
+}
+
 } // namespace
 
 int
@@ -680,12 +936,14 @@ main(int argc, char **argv)
     bool e2e = false;
     bool serving = false;
     bool retrieval = false;
+    bool live = false;
     uint32_t num_queries = 4;
     uint32_t num_candidates = 4;
     bool queries_set = false;
     bool candidates_set = false;
     uint32_t reps = 2;
     uint32_t requests = 48;
+    bool requests_set = false;
     double load_fraction = 0.6;
     std::vector<uint32_t> thread_counts = {1, 2, 4};
     double min_ms = 200.0;
@@ -708,10 +966,13 @@ main(int argc, char **argv)
             serving = true;
         } else if (arg == "--retrieval") {
             retrieval = true;
+        } else if (arg == "--live") {
+            live = true;
         } else if (arg == "--requests") {
             requests = std::max<uint32_t>(
                 1, static_cast<uint32_t>(
                        std::strtoul(next(), nullptr, 10)));
+            requests_set = true;
         } else if (arg == "--load") {
             load_fraction = std::strtod(next(), nullptr);
         } else if (arg == "--queries") {
@@ -757,10 +1018,30 @@ main(int argc, char **argv)
         }
     }
     if (out_path.empty()) {
-        out_path = retrieval ? "BENCH_retrieval.json"
+        out_path = live      ? "BENCH_live.json"
+                   : retrieval ? "BENCH_retrieval.json"
                    : serving ? "BENCH_serving.json"
                    : e2e     ? "BENCH_e2e.json"
                              : "BENCH_kernels.json";
+    }
+
+    if (live) {
+        // Sized like the --retrieval acceptance sweep: a 10^5 AIDS
+        // corpus, fewer queries (the oracle matrix is per query).
+        if (!queries_set)
+            num_queries = 8;
+        if (!candidates_set)
+            num_candidates = 100000;
+        if (!requests_set)
+            requests = 200; // 1% of QPS must round to >= 1 mutation
+        ThreadPool::instance().setThreads(thread_counts.back());
+        std::vector<LiveRecord> records = runLiveSweep(
+            num_queries, num_candidates, requests, load_fraction);
+        writeLiveJson(records, out_path);
+        if (out_path != "-")
+            std::printf("wrote %zu records to %s\n", records.size(),
+                        out_path.c_str());
+        return 0;
     }
 
     if (retrieval) {

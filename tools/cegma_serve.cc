@@ -22,6 +22,8 @@
  *               [--fault-error-prob P] [--fault-delay-prob P]
  *               [--fault-delay-us U] [--fault-stall-batches N]
  *               [--fault-stall-us U] [--fault-seed S]
+ *               [--mutate-rate R] [--mutate-inserts F]
+ *               [--mutate-publish N] [--mutate-pool P] [--skew S]
  *
  * Examples:
  *   cegma_serve --model GraphSim --dataset RD-B --qps 50 --requests 200
@@ -34,6 +36,8 @@
  *   cegma_serve --fault-error-prob 0.3 --retries 5 --json
  *   cegma_serve --dataset AIDS --candidates 100000 \
  *               --retrieval=cascade --shortlist=64   # filter-then-verify
+ *   cegma_serve --qps 50 --mutate-rate 0.1 --skew 1.0 \
+ *               --json             # live inserts/removes under load
  */
 
 #include <chrono>
@@ -72,6 +76,13 @@ struct Options
 
     // Retrieval cascade (exhaustive by default; see retrieval/).
     RetrievalConfig retrieval;
+
+    // Live-corpus mutation stream (open loop only; off by default).
+    double mutateRate = 0.0;     // mutations per query
+    double mutateInserts = 0.5;  // insert fraction of mutations
+    uint32_t mutatePublish = 1;  // staged mutations per epoch
+    uint32_t mutatePool = 0;     // insert pool size; 0 sizes from rate
+    double skew = 0.0;           // Zipf skew of the query stream
     bool dedup = true;
     bool memo = true;
     size_t memoMb = 256;
@@ -116,8 +127,10 @@ usage(const char *argv0)
         "          [--fault-error-prob P] [--fault-delay-prob P]\n"
         "          [--fault-delay-us U] [--fault-stall-batches N]\n"
         "          [--fault-stall-us U] [--fault-seed S]\n"
+        "          [--mutate-rate R] [--mutate-inserts F]\n"
+        "          [--mutate-publish N] [--mutate-pool P] [--skew S]\n"
         "models: GMN-Li GraphSim SimGNN\n"
-        "datasets: AIDS COLLAB GITHUB RD-B RD-5K RD-12K\n"
+        "datasets: AIDS COLLAB GITHUB RD-B RD-5K RD-12K BIN-CFG\n"
         "--qps > 0 drives open-loop Poisson arrivals; otherwise\n"
         "--clients closed-loop workers issue back-to-back requests.\n"
         "--trace-out writes a Chrome trace_event JSON (Perfetto /\n"
@@ -135,7 +148,13 @@ usage(const char *argv0)
         "queued requests past that depth; --drain-timeout-ms bounds\n"
         "the shutdown drain; --retries enables jittered-backoff\n"
         "client retries; the --fault-* flags install the seeded\n"
-        "fault injector (serve/faults.hh) for chaos runs.\n",
+        "fault injector (serve/faults.hh) for chaos runs.\n"
+        "--mutate-rate R interleaves R corpus mutations per query on\n"
+        "the open-loop arrival stream (live inserts from a seeded\n"
+        "generator pool, removes of random live entries), published\n"
+        "as a new corpus epoch every --mutate-publish staged ops;\n"
+        "in-flight batches keep scoring their pinned epoch. --skew\n"
+        "draws query indices Zipf(S) instead of round-robin.\n",
         argv0);
     std::exit(2);
 }
@@ -154,7 +173,7 @@ parseModel(const std::string &name, const char *argv0)
 DatasetId
 parseDataset(const std::string &name, const char *argv0)
 {
-    for (DatasetId id : allDatasets()) {
+    for (DatasetId id : extendedDatasets()) {
         if (datasetSpec(id).name == name)
             return id;
     }
@@ -277,6 +296,18 @@ parseArgs(int argc, char **argv)
                 static_cast<uint32_t>(std::stoul(next()));
         } else if (arg == "--fault-seed") {
             opts.faults.seed = std::stoull(next());
+        } else if (arg == "--mutate-rate") {
+            opts.mutateRate = std::stod(next());
+        } else if (arg == "--mutate-inserts") {
+            opts.mutateInserts = std::stod(next());
+        } else if (arg == "--mutate-publish") {
+            opts.mutatePublish =
+                static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--mutate-pool") {
+            opts.mutatePool =
+                static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--skew") {
+            opts.skew = std::stod(next());
         } else if (arg == "--version") {
             std::printf("%s\n", obs::buildInfoString().c_str());
             std::exit(0);
@@ -336,7 +367,15 @@ main(int argc, char **argv)
     if (!opts.traceOut.empty())
         obs::setTracingEnabled(true);
 
-    SearchService service(config, corpus.candidates);
+    bool mutating = opts.mutateRate > 0.0 || opts.skew > 0.0;
+    if (mutating && opts.qps <= 0.0) {
+        std::fprintf(stderr, "--mutate-rate/--skew require open-loop "
+                             "mode (--qps > 0)\n");
+        return 2;
+    }
+
+    SearchService service(config, corpus.candidates,
+                          corpus.candidateIds);
 
     // Periodic stats reporter: one stderr line per interval while the
     // load runs (single fwrite per line — see common/logging.cc).
@@ -365,12 +404,50 @@ main(int argc, char **argv)
         });
     }
 
-    LoadGenResult run =
-        opts.qps > 0.0
-            ? runOpenLoop(service, corpus.queries, opts.requests,
-                          opts.qps, opts.seed, retry)
-            : runClosedLoop(service, corpus.queries, opts.requests,
+    LoadGenResult run;
+    if (mutating) {
+        // Seeded insert pool: enough fresh graphs to satisfy the
+        // offered insert stream (sized from the rate when not given).
+        MutationMix mix;
+        mix.perQuery = opts.mutateRate;
+        mix.insertFraction = opts.mutateInserts;
+        mix.publishBatch = opts.mutatePublish;
+        mix.zipfSkew = opts.skew;
+        uint32_t pool_size =
+            opts.mutatePool > 0
+                ? opts.mutatePool
+                : static_cast<uint32_t>(
+                      opts.mutateRate * opts.requests + 1.0);
+        MutationPool pool =
+            makeMutationPool(opts.dataset, pool_size, opts.seed);
+        MutationPlan plan =
+            planMutations(corpus.candidateIds, pool, opts.requests,
+                          mix, opts.seed + 11);
+        run = runOpenLoopMutating(service, corpus.queries, pool, plan,
+                                  mix, opts.requests, opts.qps,
+                                  opts.seed, retry);
+        std::fprintf(
+            stderr,
+            "corpus: epoch %llu, %llu live, %llu inserts, "
+            "%llu removes, %llu tombstones, %llu epochs reclaimed, "
+            "%llu compactions\n",
+            static_cast<unsigned long long>(run.metrics.corpusEpoch),
+            static_cast<unsigned long long>(run.metrics.corpusLive),
+            static_cast<unsigned long long>(run.metrics.corpusInserts),
+            static_cast<unsigned long long>(run.metrics.corpusRemoves),
+            static_cast<unsigned long long>(
+                run.metrics.corpusTombstones),
+            static_cast<unsigned long long>(
+                run.metrics.corpusEpochsReclaimed),
+            static_cast<unsigned long long>(
+                run.metrics.corpusCompactions));
+    } else if (opts.qps > 0.0) {
+        run = runOpenLoop(service, corpus.queries, opts.requests,
+                          opts.qps, opts.seed, retry);
+    } else {
+        run = runClosedLoop(service, corpus.queries, opts.requests,
                             opts.clients, retry, opts.seed);
+    }
 
     if (reporter.joinable()) {
         {
