@@ -128,4 +128,43 @@ echo "== asan: live-corpus gate =="
 ./build-asan/tests/corpus_test \
     --gtest_filter='LiveGate.*:LiveCorpusStorm.*'
 
+# Admin-plane smoke under ASan+UBSan: a real cegma_serve process on an
+# ephemeral admin port (printed on stdout), scraped with curl *while
+# the open-loop workload is running*, then waited to a clean exit —
+# the whole accept-loop/handler/shutdown path in one end-to-end pass
+# where any lifetime slip is a hard failure.
+echo "== asan: admin-plane smoke (ephemeral port, curl under load) =="
+smoke_log="$(mktemp)"
+./build-asan/tools/cegma_serve --qps 25 --requests 300 \
+    --admin-port 0 --slo-ms 50 >"$smoke_log" 2>&1 &
+smoke_pid=$!
+smoke_port=""
+for _ in $(seq 1 100); do
+    smoke_port="$(sed -n \
+        's/^admin: listening on 127\.0\.0\.1:\([0-9]\+\)$/\1/p' \
+        "$smoke_log")"
+    [ -n "$smoke_port" ] && break
+    sleep 0.1
+done
+if [ -z "$smoke_port" ]; then
+    echo "admin smoke: no port announced on stdout"
+    cat "$smoke_log"
+    kill "$smoke_pid" 2>/dev/null || true
+    exit 1
+fi
+# Plain grep (not -q) so the reader drains the whole body — grep -q
+# exits at the first match and the resulting EPIPE would fail curl
+# under pipefail.
+smoke="http://127.0.0.1:$smoke_port"
+curl -fsS "$smoke/healthz" | grep -x 'ok'                         >/dev/null
+curl -fsS "$smoke/readyz"  | grep -x 'ready'                      >/dev/null
+curl -fsS "$smoke/metrics" | grep    '^cegma_build_info{'         >/dev/null
+curl -fsS "$smoke/metrics" | grep    '^serve_win1m_p99_us '       >/dev/null
+curl -fsS "$smoke/metrics" | grep    '^serve_slo_burn_win1m '     >/dev/null
+curl -fsS "$smoke/varz"    | grep    '"serve.requests.completed"' >/dev/null
+curl -fsS "$smoke/tracez"  | grep    '"slowest"'                  >/dev/null
+curl -fsS "$smoke/statusz" | grep    '"draining": false'          >/dev/null
+wait "$smoke_pid"   # workload finishes and shuts down cleanly
+rm -f "$smoke_log"
+
 echo "== ci.sh: all green =="

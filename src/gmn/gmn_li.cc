@@ -80,7 +80,8 @@ GmnLiModel::forwardDetailed(GraphPairView pair) const
     Matrix x, y;
     {
         obs::StageScope stage("embed",
-                              stageHist(&obs::StageSink::embedUs));
+                              stageHist(&obs::StageSink::embedUs),
+                              &obs::StageAccum::embedNs);
         wl_t_ptr =
             infer_.memo
                 ? infer_.memo->wl(pair.target, config_.numLayers)
@@ -105,20 +106,23 @@ GmnLiModel::forwardDetailed(GraphPairView pair) const
             DedupMap dx, dy;
             {
                 obs::StageScope stage(
-                    "dedup", stageHist(&obs::StageSink::dedupUs));
+                    "dedup", stageHist(&obs::StageSink::dedupUs),
+                    &obs::StageAccum::dedupNs);
                 dx = confirmDedup(x, emfFilter(x));
                 dy = confirmDedup(y, emfFilter(y));
             }
             noteDedup(x.rows(), dx.numUnique());
             noteDedup(y.rows(), dy.numUnique());
             obs::StageScope stage("match",
-                                  stageHist(&obs::StageSink::matchUs));
+                                  stageHist(&obs::StageSink::matchUs),
+                                  &obs::StageAccum::matchNs);
             s = similarityMatrixDedup(x, y, config_.similarity, dx, dy);
             cross_x = crossMessageDedup(x, s, y, dx);
             cross_y = crossMessageDedup(y, transpose(s), x, dy);
         } else {
             obs::StageScope stage("match",
-                                  stageHist(&obs::StageSink::matchUs));
+                                  stageHist(&obs::StageSink::matchUs),
+                                  &obs::StageAccum::matchNs);
             s = similarityMatrix(x, y, config_.similarity);
             cross_x = crossMessage(x, s, y);
             cross_y = crossMessage(y, transpose(s), x);
@@ -127,7 +131,8 @@ GmnLiModel::forwardDetailed(GraphPairView pair) const
 
         {
             obs::StageScope stage("embed",
-                                  stageHist(&obs::StageSink::embedUs));
+                                  stageHist(&obs::StageSink::embedUs),
+                                  &obs::StageAccum::embedNs);
             x = layers_[l].forward(pair.target, x, cross_x,
                                    wl_t.signatures[l]);
             y = layers_[l].forward(pair.query, y, cross_y,
@@ -137,7 +142,8 @@ GmnLiModel::forwardDetailed(GraphPairView pair) const
         detail.yLayers.push_back(y);
     }
 
-    obs::StageScope stage("head", stageHist(&obs::StageSink::headUs));
+    obs::StageScope stage("head", stageHist(&obs::StageSink::headUs),
+                          &obs::StageAccum::headNs);
     Matrix hx = readout_.forward(columnSums(x));
     Matrix hy = readout_.forward(columnSums(y));
     double dist = 0.0;

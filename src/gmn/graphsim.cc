@@ -82,7 +82,8 @@ GraphSimModel::forwardDetailed(GraphPairView pair) const
     std::shared_ptr<const GraphEmbedding> et, eq;
     {
         obs::StageScope stage("embed",
-                              stageHist(&obs::StageSink::embedUs));
+                              stageHist(&obs::StageSink::embedUs),
+                              &obs::StageAccum::embedNs);
         et = embedCached(pair.target);
         eq = embedCached(pair.query);
     }
@@ -98,29 +99,34 @@ GraphSimModel::forwardDetailed(GraphPairView pair) const
             DedupMap dx, dy;
             {
                 obs::StageScope stage(
-                    "dedup", stageHist(&obs::StageSink::dedupUs));
+                    "dedup", stageHist(&obs::StageSink::dedupUs),
+                    &obs::StageAccum::dedupNs);
                 dx = confirmDedup(x, emfFilter(x));
                 dy = confirmDedup(y, emfFilter(y));
             }
             noteDedup(x.rows(), dx.numUnique());
             noteDedup(y.rows(), dy.numUnique());
             obs::StageScope stage("match",
-                                  stageHist(&obs::StageSink::matchUs));
+                                  stageHist(&obs::StageSink::matchUs),
+                                  &obs::StageAccum::matchNs);
             s = similarityMatrixDedup(x, y, config_.similarity, dx, dy);
         } else {
             obs::StageScope stage("match",
-                                  stageHist(&obs::StageSink::matchUs));
+                                  stageHist(&obs::StageSink::matchUs),
+                                  &obs::StageAccum::matchNs);
             s = similarityMatrix(x, y, config_.similarity);
         }
         {
             obs::StageScope stage("head",
-                                  stageHist(&obs::StageSink::headUs));
+                                  stageHist(&obs::StageSink::headUs),
+                                  &obs::StageAccum::headNs);
             branch_feats.push_back(cnns_[l].forward(s));
         }
         detail.simLayers.push_back(std::move(s));
     }
 
-    obs::StageScope stage("head", stageHist(&obs::StageSink::headUs));
+    obs::StageScope stage("head", stageHist(&obs::StageSink::headUs),
+                          &obs::StageAccum::headNs);
     std::vector<const Matrix *> parts;
     for (const Matrix &feat : branch_feats)
         parts.push_back(&feat);

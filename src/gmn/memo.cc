@@ -76,6 +76,15 @@ MemoCache::MemoCache(const MemoConfig &config)
 {
 }
 
+void
+MemoCache::noteLookupNs(uint64_t ns) const
+{
+    lookupNs_.fetch_add(ns, std::memory_order_relaxed);
+    // The memo share of a request's critical path, when the serving
+    // layer is attributing the current request.
+    obs::attributeStageNs(&obs::StageAccum::memoNs, ns);
+}
+
 std::shared_ptr<const WlColoring>
 MemoCache::wl(const Graph &g, unsigned num_layers)
 {
@@ -83,11 +92,10 @@ MemoCache::wl(const Graph &g, unsigned num_layers)
     uint64_t t0 = obs::nowNs();
     WlKey key{graphKey(g), num_layers};
     if (auto cached = wl_.find(key)) {
-        lookupNs_.fetch_add(obs::nowNs() - t0,
-                            std::memory_order_relaxed);
+        noteLookupNs(obs::nowNs() - t0);
         return cached;
     }
-    lookupNs_.fetch_add(obs::nowNs() - t0, std::memory_order_relaxed);
+    noteLookupNs(obs::nowNs() - t0);
     // Build outside any lock: wlRefine is deterministic, so a racing
     // duplicate build produces identical bits and the loser is simply
     // discarded by the first-insert-wins policy.
@@ -96,7 +104,7 @@ MemoCache::wl(const Graph &g, unsigned num_layers)
     size_t bytes = wlColoringBytes(*built);
     uint64_t t1 = obs::nowNs();
     auto out = wl_.insert(key, std::move(built), bytes);
-    lookupNs_.fetch_add(obs::nowNs() - t1, std::memory_order_relaxed);
+    noteLookupNs(obs::nowNs() - t1);
     return out;
 }
 
@@ -108,16 +116,15 @@ MemoCache::embedding(const Graph &g,
     uint64_t t0 = obs::nowNs();
     GraphKey key = graphKey(g);
     if (auto cached = embeddings_.find(key)) {
-        lookupNs_.fetch_add(obs::nowNs() - t0,
-                            std::memory_order_relaxed);
+        noteLookupNs(obs::nowNs() - t0);
         return cached;
     }
-    lookupNs_.fetch_add(obs::nowNs() - t0, std::memory_order_relaxed);
+    noteLookupNs(obs::nowNs() - t0);
     auto built = std::make_shared<const GraphEmbedding>(build());
     size_t bytes = graphEmbeddingBytes(*built);
     uint64_t t1 = obs::nowNs();
     auto out = embeddings_.insert(key, std::move(built), bytes);
-    lookupNs_.fetch_add(obs::nowNs() - t1, std::memory_order_relaxed);
+    noteLookupNs(obs::nowNs() - t1);
     return out;
 }
 

@@ -192,6 +192,10 @@ class MemoCache
         }
     };
 
+    /** Count `ns` into `lookupNs_` and the current request's memo
+     *  stage (per-request critical-path attribution). */
+    void noteLookupNs(uint64_t ns) const;
+
     MemoConfig config_;
     ShardedLruCache<WlKey, WlColoring, WlKeyHash> wl_;
     ShardedLruCache<GraphKey, GraphEmbedding, GraphKeyHash> embeddings_;

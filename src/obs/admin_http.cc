@@ -1,0 +1,239 @@
+#include "obs/admin_http.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace cegma::obs {
+
+namespace {
+
+const char *
+reasonPhrase(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 413: return "Payload Too Large";
+      case 503: return "Service Unavailable";
+      default:  return "Unknown";
+    }
+}
+
+/** Write all of `data` (handles partial sends; SIGPIPE suppressed). */
+bool
+sendAll(int fd, const char *data, size_t len)
+{
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+void
+AdminServer::handle(const std::string &path,
+                    std::function<HttpResponse(const HttpRequest &)> fn)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    handlers_[path] = std::move(fn);
+}
+
+std::string
+AdminServer::status() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return statusMsg_;
+}
+
+bool
+AdminServer::start(const Config &config)
+{
+    auto fail = [this](const char *what) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        statusMsg_ = std::string(what) + ": " + std::strerror(errno);
+        if (listenFd_ >= 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+        return false;
+    };
+
+    if (running())
+        return true;
+    stopping_.store(false, std::memory_order_release);
+    config_ = config;
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return fail("socket");
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config.port);
+    if (::inet_pton(AF_INET, config.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        errno = EINVAL;
+        return fail("inet_pton");
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return fail("bind");
+    if (::listen(listenFd_, 16) != 0)
+        return fail("listen");
+
+    // Resolve the actual port (meaningful when config.port was 0).
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) != 0)
+        return fail("getsockname");
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        statusMsg_ = "ok";
+    }
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+AdminServer::stop()
+{
+    stopping_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    running_.store(false, std::memory_order_release);
+    port_.store(0, std::memory_order_release);
+}
+
+void
+AdminServer::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        // Poll with a short timeout so stop() is honored promptly —
+        // closing a listening fd does not reliably wake a blocked
+        // accept() on every platform.
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, 50);
+        if (ready <= 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        timeval tv{};
+        tv.tv_sec = config_.ioTimeoutMs / 1000;
+        tv.tv_usec = (config_.ioTimeoutMs % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        serveConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+AdminServer::serveConnection(int fd)
+{
+    // Read until the end of the request head (or the size bound); the
+    // admin plane has no request bodies worth reading.
+    std::string req;
+    char buf[2048];
+    bool have_head = false;
+    while (req.size() < config_.maxRequestBytes) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        req.append(buf, static_cast<size_t>(n));
+        if (req.find("\r\n\r\n") != std::string::npos ||
+            req.find("\n\n") != std::string::npos) {
+            have_head = true;
+            break;
+        }
+    }
+
+    HttpResponse resp;
+    HttpRequest parsed;
+    if (!have_head) {
+        resp.status = req.size() >= config_.maxRequestBytes ? 413 : 400;
+        resp.body = "bad request\n";
+    } else {
+        // Request line: METHOD SP TARGET SP VERSION.
+        size_t eol = req.find_first_of("\r\n");
+        std::string line = req.substr(0, eol);
+        size_t sp1 = line.find(' ');
+        size_t sp2 = line.find(' ', sp1 == std::string::npos
+                                         ? std::string::npos
+                                         : sp1 + 1);
+        if (sp1 == std::string::npos || sp2 == std::string::npos) {
+            resp.status = 400;
+            resp.body = "bad request line\n";
+        } else {
+            parsed.method = line.substr(0, sp1);
+            parsed.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+            size_t query = parsed.target.find('?');
+            if (query != std::string::npos)
+                parsed.target.resize(query);
+            if (parsed.method != "GET" && parsed.method != "HEAD") {
+                resp.status = 405;
+                resp.body = "method not allowed\n";
+            } else {
+                std::function<HttpResponse(const HttpRequest &)> fn;
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    auto it = handlers_.find(parsed.target);
+                    if (it != handlers_.end())
+                        fn = it->second;
+                }
+                if (!fn) {
+                    resp.status = 404;
+                    resp.body = "not found\n";
+                } else {
+                    resp = fn(parsed);
+                }
+            }
+        }
+    }
+
+    char head[256];
+    int n = std::snprintf(head, sizeof(head),
+                          "HTTP/1.1 %d %s\r\n"
+                          "Content-Type: %s\r\n"
+                          "Content-Length: %zu\r\n"
+                          "Connection: close\r\n\r\n",
+                          resp.status, reasonPhrase(resp.status),
+                          resp.contentType.c_str(), resp.body.size());
+    sendAll(fd, head, static_cast<size_t>(n));
+    if (parsed.method != "HEAD")
+        sendAll(fd, resp.body.data(), resp.body.size());
+    served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace cegma::obs

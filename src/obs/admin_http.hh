@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A dependency-free embedded HTTP/1.1 admin server — the scrape
+ * surface of the live telemetry plane (`/metrics`, `/varz`,
+ * `/healthz`, `/tracez`, ...). Deliberately minimal:
+ *
+ *   - One accept thread, connections handled serially: an admin plane
+ *     is scraped a few times a second by one collector, not by user
+ *     traffic, so a serial loop *is* the connection bound (at most one
+ *     in flight) and there is no thread pool to size, leak, or drain.
+ *   - GET/HEAD only, `Connection: close`, bounded request size, and
+ *     socket I/O timeouts — a stuck or malicious client can delay one
+ *     scrape, never wedge the server or the process.
+ *   - The accept loop polls with a short timeout and re-checks a stop
+ *     flag, so `stop()` joins promptly without signals or pipe tricks.
+ *
+ * Handlers are plain callbacks registered per path before `start()`.
+ * They run on the admin thread; anything they touch must be safe
+ * against the serving threads (the registry snapshot and the windowed
+ * stats are — that is the whole design of obs/).
+ *
+ * Binding: loopback by default (an admin plane is not a public API);
+ * port 0 asks the kernel for an ephemeral port, reported by `port()`
+ * so tests and scripts can scrape without racing a fixed number.
+ */
+
+#ifndef CEGMA_OBS_ADMIN_HTTP_HH
+#define CEGMA_OBS_ADMIN_HTTP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace cegma::obs {
+
+/** One parsed request (the subset an admin plane needs). */
+struct HttpRequest
+{
+    std::string method; ///< "GET" / "HEAD" (others are rejected)
+    std::string target; ///< path only; the query string is stripped
+};
+
+/** What a handler returns. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/** See the file comment for the execution model. */
+class AdminServer
+{
+  public:
+    struct Config
+    {
+        std::string bindAddress = "127.0.0.1";
+        uint16_t port = 0;          ///< 0 = kernel-assigned ephemeral
+        int ioTimeoutMs = 2000;     ///< per-socket read/write timeout
+        size_t maxRequestBytes = 8192;
+    };
+
+    AdminServer() = default;
+    ~AdminServer() { stop(); }
+
+    AdminServer(const AdminServer &) = delete;
+    AdminServer &operator=(const AdminServer &) = delete;
+
+    /**
+     * Register (or replace) the handler for exact path `path`.
+     * Handlers registered after `start()` take effect on the next
+     * request.
+     */
+    void handle(const std::string &path,
+                std::function<HttpResponse(const HttpRequest &)> fn);
+
+    /**
+     * Bind, listen, and start the accept thread.
+     * @return true on success; on failure `status()` says why and the
+     *         server stays stopped (callers degrade gracefully).
+     */
+    bool start(const Config &config);
+
+    /** Stop accepting, join the accept thread. Idempotent. */
+    void stop();
+
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /** The bound port (resolved when `Config::port` was 0), 0 if not running. */
+    uint16_t port() const
+    {
+        return port_.load(std::memory_order_acquire);
+    }
+
+    /** Requests served since `start()` (any status). */
+    uint64_t requestsServed() const
+    {
+        return served_.load(std::memory_order_relaxed);
+    }
+
+    /** Human-readable state: "ok", or the last start failure. */
+    std::string status() const;
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    Config config_;
+    int listenFd_ = -1;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<uint16_t> port_{0};
+    std::atomic<uint64_t> served_{0};
+
+    mutable std::mutex mutex_; ///< guards handlers_ and status_
+    std::map<std::string,
+             std::function<HttpResponse(const HttpRequest &)>>
+        handlers_;
+    std::string statusMsg_ = "not started";
+};
+
+} // namespace cegma::obs
+
+#endif // CEGMA_OBS_ADMIN_HTTP_HH

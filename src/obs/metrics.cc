@@ -35,6 +35,16 @@ MetricsRegistry::gauge(const std::string &name)
     return *slot;
 }
 
+FloatGauge &
+MetricsRegistry::floatGauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = floatGauges_[name];
+    if (!slot)
+        slot = std::make_unique<FloatGauge>();
+    return *slot;
+}
+
 Gauge &
 MetricsRegistry::providerGauge(const std::string &name,
                                std::function<int64_t()> provider)
@@ -43,6 +53,18 @@ MetricsRegistry::providerGauge(const std::string &name,
     auto &slot = gauges_[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
+    slot->provider_ = std::move(provider);
+    return *slot;
+}
+
+FloatGauge &
+MetricsRegistry::providerFloatGauge(const std::string &name,
+                                    std::function<double()> provider)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = floatGauges_[name];
+    if (!slot)
+        slot = std::make_unique<FloatGauge>();
     slot->provider_ = std::move(provider);
     return *slot;
 }
@@ -64,7 +86,7 @@ MetricsRegistry::snapshot() const
     std::lock_guard<std::mutex> lock(mutex_);
     RegistrySnapshot snap;
     snap.metrics.reserve(counters_.size() + gauges_.size() +
-                         histograms_.size());
+                         floatGauges_.size() + histograms_.size());
     for (const auto &[name, counter] : counters_) {
         MetricValue v;
         v.name = name;
@@ -77,6 +99,13 @@ MetricsRegistry::snapshot() const
         v.name = name;
         v.kind = MetricValue::Kind::Gauge;
         v.gauge = gauge->value();
+        snap.metrics.push_back(std::move(v));
+    }
+    for (const auto &[name, gauge] : floatGauges_) {
+        MetricValue v;
+        v.name = name;
+        v.kind = MetricValue::Kind::FloatGauge;
+        v.fgauge = gauge->value();
         snap.metrics.push_back(std::move(v));
     }
     for (const auto &[name, hist] : histograms_) {
@@ -103,9 +132,10 @@ appendf(std::string &out, const char *fmt, ...)
     out += buf;
 }
 
-/** Prometheus metric name: every non-[a-zA-Z0-9_] becomes '_'. */
+} // namespace
+
 std::string
-promName(const std::string &name)
+promMetricName(const std::string &name)
 {
     std::string out = name;
     for (char &c : out) {
@@ -119,7 +149,28 @@ promName(const std::string &name)
     return out;
 }
 
-} // namespace
+std::string
+promEscapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
 
 std::string
 RegistrySnapshot::toJson() const
@@ -139,6 +190,9 @@ RegistrySnapshot::toJson() const
             break;
           case MetricValue::Kind::Gauge:
             appendf(out, "%" PRId64, m.gauge);
+            break;
+          case MetricValue::Kind::FloatGauge:
+            appendf(out, "%.6g", m.fgauge);
             break;
           case MetricValue::Kind::Histogram:
             appendf(out,
@@ -160,8 +214,18 @@ std::string
 RegistrySnapshot::toPrometheus() const
 {
     std::string out;
+    // Build identification as the conventional info-style gauge: the
+    // payload lives in label values, which is exactly where escaping
+    // matters (git describe output, compiler flag strings).
+    appendf(out, "# TYPE cegma_build_info gauge\n");
+    out += "cegma_build_info{git=\"" +
+           promEscapeLabelValue(buildGitHash()) + "\",compiler=\"" +
+           promEscapeLabelValue(buildCompiler()) + "\",type=\"" +
+           promEscapeLabelValue(buildType()) + "\",sanitizer=\"" +
+           promEscapeLabelValue(buildSanitizer()) + "\",flags=\"" +
+           promEscapeLabelValue(buildFlags()) + "\"} 1\n";
     for (const MetricValue &m : metrics) {
-        std::string name = promName(m.name);
+        std::string name = promMetricName(m.name);
         switch (m.kind) {
           case MetricValue::Kind::Counter:
             appendf(out, "# TYPE %s counter\n", name.c_str());
@@ -170,6 +234,10 @@ RegistrySnapshot::toPrometheus() const
           case MetricValue::Kind::Gauge:
             appendf(out, "# TYPE %s gauge\n", name.c_str());
             appendf(out, "%s %" PRId64 "\n", name.c_str(), m.gauge);
+            break;
+          case MetricValue::Kind::FloatGauge:
+            appendf(out, "# TYPE %s gauge\n", name.c_str());
+            appendf(out, "%s %.6g\n", name.c_str(), m.fgauge);
             break;
           case MetricValue::Kind::Histogram:
             appendf(out, "# TYPE %s summary\n", name.c_str());

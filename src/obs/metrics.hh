@@ -88,6 +88,49 @@ class Gauge
     std::function<int64_t()> provider_; ///< set once at registration
 };
 
+/**
+ * A double-valued gauge for quantities that are genuinely fractional
+ * (rates, ratios, SLO burn rates). Same provider pattern as `Gauge`.
+ * Stored as the bit pattern in a relaxed atomic, so set/read are as
+ * cheap as the integer gauge.
+ */
+class FloatGauge
+{
+  public:
+    void set(double v)
+    {
+        bits_.store(toBits(v), std::memory_order_relaxed);
+    }
+
+    double value() const
+    {
+        if (provider_)
+            return provider_();
+        return fromBits(bits_.load(std::memory_order_relaxed));
+    }
+
+  private:
+    friend class MetricsRegistry;
+
+    static uint64_t toBits(double v)
+    {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        return bits;
+    }
+
+    static double fromBits(uint64_t bits)
+    {
+        double v;
+        __builtin_memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::atomic<uint64_t> bits_{0};
+    std::function<double()> provider_; ///< set once at registration
+};
+
 /** Point-in-time summary of one histogram. */
 struct HistogramSummary
 {
@@ -168,6 +211,7 @@ struct MetricValue
     {
         Counter,
         Gauge,
+        FloatGauge,
         Histogram,
     };
 
@@ -175,6 +219,7 @@ struct MetricValue
     Kind kind = Kind::Counter;
     uint64_t counter = 0;   ///< Kind::Counter
     int64_t gauge = 0;      ///< Kind::Gauge
+    double fgauge = 0.0;    ///< Kind::FloatGauge
     HistogramSummary hist;  ///< Kind::Histogram
     std::string unit;       ///< Kind::Histogram
 };
@@ -217,6 +262,7 @@ class MetricsRegistry
 
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
+    FloatGauge &floatGauge(const std::string &name);
 
     /**
      * Register (or re-bind) a gauge whose value is polled from
@@ -225,6 +271,10 @@ class MetricsRegistry
      */
     Gauge &providerGauge(const std::string &name,
                          std::function<int64_t()> provider);
+
+    /** The double-valued twin of `providerGauge`. */
+    FloatGauge &providerFloatGauge(const std::string &name,
+                                   std::function<double()> provider);
 
     /**
      * Find-or-create a histogram. The unit is fixed by the first
@@ -241,8 +291,23 @@ class MetricsRegistry
     mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<FloatGauge>> floatGauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/**
+ * Prometheus text-format helpers, exported so the exposition can be
+ * lint-tested against the format grammar.
+ */
+
+/** Metric-name sanitization: every non-[a-zA-Z0-9_] becomes '_'. */
+std::string promMetricName(const std::string &name);
+
+/**
+ * Label-value escaping per the Prometheus text exposition spec:
+ * backslash, double quote, and newline become `\\`, `\"`, and `\n`.
+ */
+std::string promEscapeLabelValue(const std::string &value);
 
 /**
  * The per-request stage timing sinks a model records into (wired by

@@ -117,6 +117,19 @@ CacheCounters::stop()
     return sample;
 }
 
+CacheCounterSample
+CacheCounters::sample() const
+{
+    CacheCounterSample sample;
+    if (!available())
+        return sample;
+    sample.llcReferences = readCount(fds_[0]);
+    sample.llcMisses = readCount(fds_[1]);
+    sample.l1dMisses = readCount(fds_[2]);
+    sample.valid = true;
+    return sample;
+}
+
 } // namespace cegma::obs
 
 #else // !__linux__
@@ -137,6 +150,12 @@ CacheCounters::start()
 
 CacheCounterSample
 CacheCounters::stop()
+{
+    return {};
+}
+
+CacheCounterSample
+CacheCounters::sample() const
 {
     return {};
 }

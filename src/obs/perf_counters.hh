@@ -60,6 +60,13 @@ class CacheCounters
     /** Disable the group and read the interval's counts. */
     CacheCounterSample stop();
 
+    /**
+     * Read the running counts without disabling the group — the
+     * scrape-time view a provider gauge polls while the measured
+     * thread keeps working. `valid == false` when unavailable.
+     */
+    CacheCounterSample sample() const;
+
   private:
     int fds_[3] = {-1, -1, -1}; ///< leader (LLC refs), LLC miss, L1D
     const char *status_ = "not opened";

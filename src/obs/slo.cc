@@ -1,0 +1,283 @@
+#include "obs/slo.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/trace.hh"
+
+namespace cegma::obs {
+
+// ---- WindowedCounter ------------------------------------------------
+
+WindowedCounter::WindowedCounter(uint64_t window_ns, uint32_t buckets,
+                                 ClockFn clock)
+    : windowNs_(window_ns > 0 ? window_ns : 1),
+      bucketNs_(std::max<uint64_t>(
+          1, (window_ns > 0 ? window_ns : 1) /
+                 std::max<uint32_t>(1, buckets))),
+      clock_(std::move(clock)),
+      buckets_(std::max<uint32_t>(1, buckets))
+{
+}
+
+uint64_t
+WindowedCounter::now() const
+{
+    return clock_ ? clock_() : nowNs();
+}
+
+void
+WindowedCounter::add(uint64_t delta)
+{
+    uint64_t seq = now() / bucketNs_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Bucket &b = buckets_[seq % buckets_.size()];
+    if (b.seq != seq) {
+        b.seq = seq;
+        b.count = 0;
+    }
+    b.count += delta;
+}
+
+uint64_t
+WindowedCounter::liveTotal(uint64_t now_ns) const
+{
+    // A bucket is live when its whole span is within the window
+    // ending now: seq in (current - buckets, current]. Stale stamps
+    // (from a lapse in traffic) just fail the test and are skipped.
+    uint64_t seq = now_ns / bucketNs_;
+    uint64_t oldest =
+        seq >= buckets_.size() ? seq - buckets_.size() + 1 : 0;
+    uint64_t sum = 0;
+    for (const Bucket &b : buckets_) {
+        if (b.seq != UINT64_MAX && b.seq >= oldest && b.seq <= seq)
+            sum += b.count;
+    }
+    return sum;
+}
+
+uint64_t
+WindowedCounter::total() const
+{
+    uint64_t t = now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return liveTotal(t);
+}
+
+double
+WindowedCounter::ratePerSec() const
+{
+    return static_cast<double>(total()) /
+           (static_cast<double>(windowNs_) / 1e9);
+}
+
+// ---- WindowedDistribution -------------------------------------------
+
+WindowedDistribution::WindowedDistribution(uint64_t window_ns,
+                                           uint32_t buckets,
+                                           ClockFn clock)
+    : windowNs_(window_ns > 0 ? window_ns : 1),
+      bucketNs_(std::max<uint64_t>(
+          1, (window_ns > 0 ? window_ns : 1) /
+                 std::max<uint32_t>(1, buckets))),
+      clock_(std::move(clock)),
+      buckets_(std::max<uint32_t>(1, buckets))
+{
+}
+
+uint64_t
+WindowedDistribution::now() const
+{
+    return clock_ ? clock_() : nowNs();
+}
+
+void
+WindowedDistribution::record(uint64_t value)
+{
+    uint64_t seq = now() / bucketNs_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Bucket &b = buckets_[seq % buckets_.size()];
+    if (b.seq != seq) {
+        b.seq = seq;
+        b.dist = IntDistribution();
+        b.sum = 0.0;
+    }
+    b.dist.add(value);
+    b.sum += static_cast<double>(value);
+}
+
+WindowedSummary
+WindowedDistribution::summary() const
+{
+    uint64_t seq = now() / bucketNs_;
+    uint64_t oldest =
+        seq >= buckets_.size() ? seq - buckets_.size() + 1 : 0;
+    IntDistribution merged;
+    WindowedSummary s;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Bucket &b : buckets_) {
+        if (b.seq != UINT64_MAX && b.seq >= oldest && b.seq <= seq) {
+            merged.merge(b.dist);
+            s.sum += b.sum;
+        }
+    }
+    s.count = merged.total();
+    s.p50 = merged.valueAtQuantile(0.50);
+    s.p95 = merged.valueAtQuantile(0.95);
+    s.p99 = merged.valueAtQuantile(0.99);
+    return s;
+}
+
+double
+WindowedDistribution::ratePerSec() const
+{
+    return static_cast<double>(summary().count) /
+           (static_cast<double>(windowNs_) / 1e9);
+}
+
+// ---- SloTracker -----------------------------------------------------
+
+std::vector<uint64_t>
+SloTracker::defaultWindowsNs()
+{
+    return {uint64_t{10} * 1000000000ull, uint64_t{60} * 1000000000ull,
+            uint64_t{300} * 1000000000ull};
+}
+
+SloTracker::SloTracker(SloConfig config,
+                       std::vector<uint64_t> windows_ns,
+                       uint32_t buckets, ClockFn clock)
+    : config_(config)
+{
+    good_.reserve(windows_ns.size());
+    bad_.reserve(windows_ns.size());
+    for (uint64_t w : windows_ns) {
+        good_.push_back(
+            std::make_unique<WindowedCounter>(w, buckets, clock));
+        bad_.push_back(
+            std::make_unique<WindowedCounter>(w, buckets, clock));
+    }
+}
+
+void
+SloTracker::record(bool good)
+{
+    for (size_t w = 0; w < good_.size(); ++w)
+        (good ? *good_[w] : *bad_[w]).add();
+}
+
+double
+SloTracker::badFraction(size_t w) const
+{
+    uint64_t good = good_[w]->total();
+    uint64_t bad = bad_[w]->total();
+    uint64_t total = good + bad;
+    return total > 0
+               ? static_cast<double>(bad) / static_cast<double>(total)
+               : 0.0;
+}
+
+double
+SloTracker::burnRate(size_t w) const
+{
+    double budget = 1.0 - config_.objective;
+    if (budget <= 0.0)
+        budget = 1e-9; // objective 1.0: any badness is an infinite burn
+    return badFraction(w) / budget;
+}
+
+// ---- CriticalPath ---------------------------------------------------
+
+std::string
+CriticalPath::toJson() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"id\": %" PRIu64 ", \"total_us\": %" PRIu64
+        ", \"queue_us\": %" PRIu64 ", \"batch\": %" PRIu32
+        ", \"epoch\": %" PRIu64 ", \"stages_us\": {\"embed\": %" PRIu64
+        ", \"dedup\": %" PRIu64 ", \"match\": %" PRIu64
+        ", \"head\": %" PRIu64 ", \"memo\": %" PRIu64
+        "}, \"stage_sum_us\": %" PRIu64 "}",
+        requestId, totalUs, queueUs, batchSize, epoch, embedUs, dedupUs,
+        matchUs, headUs, memoUs, stageSumUs());
+    return buf;
+}
+
+// ---- TailExemplars --------------------------------------------------
+
+namespace {
+
+/** Min-heap order on total latency: the cheapest exemplar on top. */
+bool
+fasterOf(const CriticalPath &a, const CriticalPath &b)
+{
+    return a.totalUs > b.totalUs;
+}
+
+} // namespace
+
+TailExemplars::TailExemplars(size_t top_k, uint64_t window_ns,
+                             uint32_t windows, ClockFn clock)
+    : topK_(top_k > 0 ? top_k : 1),
+      windowNs_(window_ns > 0 ? window_ns : 1), clock_(std::move(clock)),
+      buckets_(std::max<uint32_t>(1, windows))
+{
+}
+
+uint64_t
+TailExemplars::now() const
+{
+    return clock_ ? clock_() : nowNs();
+}
+
+void
+TailExemplars::record(const CriticalPath &path)
+{
+    uint64_t seq = now() / windowNs_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Bucket &b = buckets_[seq % buckets_.size()];
+    if (b.seq != seq) {
+        b.seq = seq;
+        b.paths.clear();
+    }
+    if (b.paths.size() < topK_) {
+        b.paths.push_back(path);
+        std::push_heap(b.paths.begin(), b.paths.end(), fasterOf);
+        return;
+    }
+    // Full bucket: replace the fastest retained exemplar if this one
+    // is slower — the bucket converges on the K slowest of its window.
+    if (path.totalUs > b.paths.front().totalUs) {
+        std::pop_heap(b.paths.begin(), b.paths.end(), fasterOf);
+        b.paths.back() = path;
+        std::push_heap(b.paths.begin(), b.paths.end(), fasterOf);
+    }
+}
+
+std::vector<CriticalPath>
+TailExemplars::collect() const
+{
+    uint64_t seq = now() / windowNs_;
+    uint64_t oldest =
+        seq >= buckets_.size() ? seq - buckets_.size() + 1 : 0;
+    std::vector<CriticalPath> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const Bucket &b : buckets_) {
+            if (b.seq != UINT64_MAX && b.seq >= oldest && b.seq <= seq)
+                out.insert(out.end(), b.paths.begin(), b.paths.end());
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CriticalPath &a, const CriticalPath &b) {
+                  if (a.totalUs != b.totalUs)
+                      return a.totalUs > b.totalUs;
+                  return a.requestId < b.requestId;
+              });
+    return out;
+}
+
+} // namespace cegma::obs

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Rolling-window statistics and SLO tracking for the live telemetry
+ * plane — the layer between the lifetime-exact metrics registry
+ * (obs/metrics.hh) and the admin server's `/metrics` endpoint.
+ *
+ * The lifetime histograms answer "what happened since the process
+ * started"; a scheduler (or an alerting rule) needs "what is happening
+ * *now*". Every type here implements the same scheme: N fixed buckets
+ * laid out on a monotonic clock, each stamped with the bucket-sequence
+ * number it belongs to. A record lands in the bucket of the current
+ * sequence (lazily resetting a bucket whose stamp is stale), and a
+ * read merges exactly the buckets whose stamps still fall inside the
+ * window. Rotation is therefore driven purely by the clock value, so a
+ * test can inject a fake clock and assert bucket rotation, merge-on-
+ * read quantiles, and burn-rate math *exactly* — no sleeps, no slop.
+ *
+ * Concurrency: each windowed object is one mutex; records are
+ * per-request (not per-pair), so contention is the same order as the
+ * registry histograms the serving path already pays.
+ *
+ * Also here: `CriticalPath`, the per-request stage attribution record
+ * (queue/embed/dedup/match/head/memo micro-times) the serving layer
+ * returns in `QueryResult::breakdown`, and `TailExemplars`, the
+ * bounded top-K-slowest-per-window store `/tracez` renders — so tail
+ * latency is explained, not just measured.
+ */
+
+#ifndef CEGMA_OBS_SLO_HH
+#define CEGMA_OBS_SLO_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace cegma::obs {
+
+/**
+ * Injectable monotonic clock (nanoseconds). Empty means the real
+ * steady clock (`obs::nowNs`); tests install a deterministic one.
+ */
+using ClockFn = std::function<uint64_t()>;
+
+/**
+ * A counter over a rolling window: `add` lands in the current bucket,
+ * `total`/`ratePerSec` merge the buckets still inside the window.
+ */
+class WindowedCounter
+{
+  public:
+    /**
+     * @param window_ns window length; reads cover [now - window, now]
+     * @param buckets   rotation granularity (window_ns / buckets per
+     *                  bucket); more buckets = smoother expiry
+     */
+    WindowedCounter(uint64_t window_ns, uint32_t buckets,
+                    ClockFn clock = nullptr);
+
+    void add(uint64_t delta = 1);
+
+    /** Sum over the buckets still inside the window. */
+    uint64_t total() const;
+
+    /** `total()` divided by the window length in seconds. */
+    double ratePerSec() const;
+
+    uint64_t windowNs() const { return windowNs_; }
+
+  private:
+    struct Bucket
+    {
+        uint64_t seq = UINT64_MAX; ///< bucket-sequence stamp
+        uint64_t count = 0;
+    };
+
+    uint64_t now() const;
+    uint64_t liveTotal(uint64_t now_ns) const; ///< callers hold mutex_
+
+    const uint64_t windowNs_;
+    const uint64_t bucketNs_;
+    ClockFn clock_;
+    mutable std::mutex mutex_;
+    std::vector<Bucket> buckets_;
+};
+
+/** Point-in-time summary of a windowed distribution. */
+struct WindowedSummary
+{
+    uint64_t count = 0;
+    double sum = 0.0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+};
+
+/**
+ * An exact-quantile distribution over a rolling window: per-bucket
+ * `IntDistribution`s merged on read, so the 1-minute p99 is exact over
+ * precisely the samples recorded in the last minute.
+ */
+class WindowedDistribution
+{
+  public:
+    WindowedDistribution(uint64_t window_ns, uint32_t buckets,
+                         ClockFn clock = nullptr);
+
+    void record(uint64_t value);
+
+    /** Merge the live buckets and summarize (exact quantiles). */
+    WindowedSummary summary() const;
+
+    /** Samples per second over the window. */
+    double ratePerSec() const;
+
+    uint64_t windowNs() const { return windowNs_; }
+
+  private:
+    struct Bucket
+    {
+        uint64_t seq = UINT64_MAX;
+        IntDistribution dist;
+        double sum = 0.0;
+    };
+
+    uint64_t now() const;
+
+    const uint64_t windowNs_;
+    const uint64_t bucketNs_;
+    ClockFn clock_;
+    mutable std::mutex mutex_;
+    std::vector<Bucket> buckets_;
+};
+
+/** Static SLO definition for the serving layer. */
+struct SloConfig
+{
+    /**
+     * Latency target in milliseconds; 0 disables SLO tracking. A
+     * request is "good" when it completes successfully within the
+     * target, "bad" when it fails (rejected / expired / shed /
+     * drain-dropped) or completes over the target.
+     */
+    double targetMs = 0.0;
+
+    /**
+     * Fraction of requests that must be good (e.g. 0.99). The error
+     * budget is `1 - objective`; burn rate 1.0 means the budget is
+     * being consumed exactly at the sustainable pace, >1 means an
+     * alerting-worthy burn.
+     */
+    double objective = 0.99;
+
+    bool enabled() const { return targetMs > 0.0; }
+};
+
+/**
+ * Multi-window SLO burn-rate tracking (the Google SRE-workbook
+ * multi-window multi-burn-rate shape): good/bad counts per rolling
+ * window, burn rate = badFraction / errorBudget per window. Short
+ * windows catch fast burns, long windows confirm sustained ones.
+ */
+class SloTracker
+{
+  public:
+    /** The default horizons: 10 s, 1 min, 5 min. */
+    static std::vector<uint64_t> defaultWindowsNs();
+
+    SloTracker(SloConfig config,
+               std::vector<uint64_t> windows_ns = defaultWindowsNs(),
+               uint32_t buckets = 12, ClockFn clock = nullptr);
+
+    const SloConfig &config() const { return config_; }
+    size_t windows() const { return good_.size(); }
+    uint64_t windowNs(size_t w) const { return good_[w]->windowNs(); }
+
+    /** Record one request outcome against the SLO. */
+    void record(bool good);
+
+    /** Fraction of requests in window `w` that were bad (0 if none). */
+    double badFraction(size_t w) const;
+
+    /**
+     * Error-budget burn rate over window `w`:
+     * `badFraction(w) / (1 - objective)`. 0 when the window is empty.
+     */
+    double burnRate(size_t w) const;
+
+  private:
+    SloConfig config_;
+    // unique_ptr because WindowedCounter owns a mutex (immovable).
+    std::vector<std::unique_ptr<WindowedCounter>> good_;
+    std::vector<std::unique_ptr<WindowedCounter>> bad_;
+};
+
+/**
+ * Per-request critical-path attribution: where one request's time
+ * went, stage by stage. Stage times are summed across the pair-
+ * parallel workers that scored the request's pairs, so they are
+ * *thread*-time — their total can exceed the request's wall time by up
+ * to the pool width (that surplus is exactly the parallelism the
+ * request enjoyed).
+ */
+struct CriticalPath
+{
+    uint64_t requestId = 0;
+
+    // Wall-clock segments.
+    uint64_t queueUs = 0; ///< submit -> batch flush
+    uint64_t totalUs = 0; ///< submit -> result ready
+
+    // Thread-time per stage across this request's scored pairs.
+    uint64_t embedUs = 0;
+    uint64_t dedupUs = 0;
+    uint64_t matchUs = 0;
+    uint64_t headUs = 0;
+    uint64_t memoUs = 0;
+
+    uint32_t batchSize = 0; ///< batch the request rode in
+    uint64_t epoch = 0;     ///< corpus epoch it scored against
+    uint64_t startNs = 0;   ///< submit time on the trace timeline
+
+    /** Sum of the per-stage thread-times (excludes queue wait). */
+    uint64_t stageSumUs() const
+    {
+        return embedUs + dedupUs + matchUs + headUs + memoUs;
+    }
+
+    /** One JSON object (used by `/tracez` and tests). */
+    std::string toJson() const;
+};
+
+/**
+ * Bounded tail-exemplar store: the top-K slowest `CriticalPath`
+ * records per rolling window, a few windows retained, so `/tracez`
+ * can always explain the *current* tail rather than the slowest
+ * request since boot. Memory is O(topK * windows), regardless of
+ * traffic.
+ */
+class TailExemplars
+{
+  public:
+    TailExemplars(size_t top_k, uint64_t window_ns, uint32_t windows,
+                  ClockFn clock = nullptr);
+
+    void record(const CriticalPath &path);
+
+    /**
+     * Every retained exemplar across the live windows, slowest first.
+     */
+    std::vector<CriticalPath> collect() const;
+
+    size_t topK() const { return topK_; }
+
+  private:
+    struct Bucket
+    {
+        uint64_t seq = UINT64_MAX;
+        std::vector<CriticalPath> paths; ///< min-heap by totalUs
+    };
+
+    uint64_t now() const;
+
+    const size_t topK_;
+    const uint64_t windowNs_;
+    ClockFn clock_;
+    mutable std::mutex mutex_;
+    std::vector<Bucket> buckets_;
+};
+
+} // namespace cegma::obs
+
+#endif // CEGMA_OBS_SLO_HH

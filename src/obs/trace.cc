@@ -107,6 +107,37 @@ setTracingEnabled(bool enabled)
     g_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+namespace {
+
+std::atomic<bool> g_attribution{false};
+thread_local StageAccum *t_stage_accum = nullptr;
+
+} // namespace
+
+bool
+attributionEnabled()
+{
+    return g_attribution.load(std::memory_order_relaxed);
+}
+
+void
+setAttributionEnabled(bool enabled)
+{
+    g_attribution.store(enabled, std::memory_order_relaxed);
+}
+
+StageAccum *
+currentStageAccum()
+{
+    return t_stage_accum;
+}
+
+void
+setCurrentStageAccum(StageAccum *accum)
+{
+    t_stage_accum = accum;
+}
+
 void
 setTraceRingCapacity(size_t spans)
 {

@@ -141,22 +141,78 @@ class TraceScope
 };
 
 /**
+ * Per-request stage-time accumulator for critical-path attribution:
+ * one instance per in-flight request, shared by every pair-parallel
+ * worker scoring that request's pairs (hence the relaxed atomics —
+ * the counts are telemetry, never control flow).
+ */
+struct StageAccum
+{
+    std::atomic<uint64_t> embedNs{0};
+    std::atomic<uint64_t> dedupNs{0};
+    std::atomic<uint64_t> matchNs{0};
+    std::atomic<uint64_t> headNs{0};
+    std::atomic<uint64_t> memoNs{0};
+};
+
+/** Pointer-to-member selecting one `StageAccum` slot. */
+using StageSlot = std::atomic<uint64_t> StageAccum::*;
+
+/**
+ * @return whether per-request stage attribution is on (one relaxed
+ * load — the entire cost of the feature when disabled).
+ */
+bool attributionEnabled();
+
+/** Turn per-request stage attribution on or off (off by default). */
+void setAttributionEnabled(bool enabled);
+
+/**
+ * The calling thread's current request accumulator (null when the
+ * thread is not scoring an attributed request). The serving layer
+ * points this at the right request's accumulator around each pair.
+ */
+StageAccum *currentStageAccum();
+void setCurrentStageAccum(StageAccum *accum);
+
+/**
+ * Attribute `ns` to `slot` of the calling thread's current request,
+ * if attribution is on and a request is current. Used by code that
+ * times itself (the memo cache) rather than via `StageScope`.
+ */
+inline void
+attributeStageNs(StageSlot slot, uint64_t ns)
+{
+    if (!attributionEnabled())
+        return;
+    StageAccum *accum = currentStageAccum();
+    if (accum != nullptr)
+        (accum->*slot).fetch_add(ns, std::memory_order_relaxed);
+}
+
+/**
  * A stage scope: times one pipeline stage into a `Histogram` (in
- * microseconds, when a sink is wired) *and* emits a trace span (when
- * tracing is on). With neither active it costs two null checks — the
- * models run it unconditionally.
+ * microseconds, when a sink is wired), attributes the same duration
+ * to the current request's `StageAccum` slot (when attribution is on
+ * and a slot was named), *and* emits a trace span (when tracing is
+ * on). With none of the three active it costs two relaxed loads and
+ * the null checks — the models run it unconditionally.
  */
 class StageScope
 {
   public:
     StageScope(const char *name, Histogram *hist,
-               const char *cat = "stage")
+               StageSlot slot = nullptr, const char *cat = "stage")
         : hist_(hist)
     {
         bool tracing = tracingEnabled();
         if (tracing)
             name_ = name;
-        if (hist_ != nullptr || tracing) {
+        if (slot != nullptr && attributionEnabled()) {
+            accum_ = currentStageAccum();
+            slot_ = slot;
+        }
+        if (hist_ != nullptr || tracing || accum_ != nullptr) {
             cat_ = cat;
             start_ = nowNs();
         }
@@ -167,11 +223,13 @@ class StageScope
 
     ~StageScope()
     {
-        if (hist_ == nullptr && name_ == nullptr)
+        if (hist_ == nullptr && name_ == nullptr && accum_ == nullptr)
             return;
         uint64_t dur = nowNs() - start_;
         if (hist_ != nullptr)
             hist_->record(dur / 1000);
+        if (accum_ != nullptr)
+            (accum_->*slot_).fetch_add(dur, std::memory_order_relaxed);
         if (name_ != nullptr)
             recordSpan(name_, cat_, start_, dur);
     }
@@ -180,7 +238,32 @@ class StageScope
     Histogram *hist_ = nullptr;
     const char *name_ = nullptr;
     const char *cat_ = nullptr;
+    StageAccum *accum_ = nullptr;
+    StageSlot slot_ = nullptr;
     uint64_t start_ = 0;
+};
+
+/**
+ * RAII binding of the calling thread's current request accumulator:
+ * sets on construction, restores the previous binding on destruction
+ * (nesting-safe, though the serving loops never nest it).
+ */
+class ScopedStageAccum
+{
+  public:
+    explicit ScopedStageAccum(StageAccum *accum)
+        : previous_(currentStageAccum())
+    {
+        setCurrentStageAccum(accum);
+    }
+
+    ScopedStageAccum(const ScopedStageAccum &) = delete;
+    ScopedStageAccum &operator=(const ScopedStageAccum &) = delete;
+
+    ~ScopedStageAccum() { setCurrentStageAccum(previous_); }
+
+  private:
+    StageAccum *previous_;
 };
 
 } // namespace cegma::obs

@@ -93,7 +93,7 @@ MetricsSnapshot::toJson() const
     return out;
 }
 
-ServiceMetrics::ServiceMetrics()
+ServiceMetrics::ServiceMetrics(obs::ClockFn clock)
     : submitted_(registry_.counter("serve.requests.submitted")),
       completed_(registry_.counter("serve.requests.completed")),
       rejected_(registry_.counter("serve.requests.rejected")),
@@ -109,12 +109,105 @@ ServiceMetrics::ServiceMetrics()
       retrievalVerified_(registry_.counter("serve.retrieval.verified")),
       batchSize_(registry_.histogram("serve.batch.size", "requests")),
       latencyUs_(registry_.histogram("serve.latency.total", "us")),
-      queueUs_(registry_.histogram("serve.latency.queue", "us"))
+      queueUs_(registry_.histogram("serve.latency.queue", "us")),
+      clock_(std::move(clock))
 {
     stages_.embedUs = &registry_.histogram("serve.stage.embed", "us");
     stages_.matchUs = &registry_.histogram("serve.stage.match", "us");
     stages_.dedupUs = &registry_.histogram("serve.stage.dedup", "us");
     stages_.headUs = &registry_.histogram("serve.stage.head", "us");
+
+    // Rolling horizons: what is happening *now*, next to the lifetime
+    // histograms above. 12 buckets per window keeps expiry smooth
+    // without growing the per-record cost (one mutex either way).
+    static constexpr uint64_t kSecNs = 1000000000ull;
+    const struct
+    {
+        const char *name;
+        uint64_t windowNs;
+    } spans[3] = {{"win10s", 10 * kSecNs},
+                  {"win1m", 60 * kSecNs},
+                  {"win5m", 300 * kSecNs}};
+    for (size_t h = 0; h < 3; ++h) {
+        Horizon &hz = horizons_[h];
+        hz.name = spans[h].name;
+        hz.latencyUs = std::make_unique<obs::WindowedDistribution>(
+            spans[h].windowNs, 12, clock_);
+        hz.errors = std::make_unique<obs::WindowedCounter>(
+            spans[h].windowNs, 12, clock_);
+        std::string prefix = std::string("serve.") + hz.name;
+        obs::WindowedDistribution *lat = hz.latencyUs.get();
+        obs::WindowedCounter *errs = hz.errors.get();
+        registry_.providerFloatGauge(
+            prefix + ".rate", [lat] { return lat->ratePerSec(); });
+        registry_.providerFloatGauge(
+            prefix + ".error_rate",
+            [errs] { return errs->ratePerSec(); });
+        registry_.providerGauge(prefix + ".p50_us", [lat] {
+            return static_cast<int64_t>(lat->summary().p50);
+        });
+        registry_.providerGauge(prefix + ".p95_us", [lat] {
+            return static_cast<int64_t>(lat->summary().p95);
+        });
+        registry_.providerGauge(prefix + ".p99_us", [lat] {
+            return static_cast<int64_t>(lat->summary().p99);
+        });
+    }
+}
+
+void
+ServiceMetrics::configureSlo(const obs::SloConfig &config)
+{
+    if (!config.enabled())
+        return;
+    slo_ = std::make_unique<obs::SloTracker>(
+        config, obs::SloTracker::defaultWindowsNs(), 12, clock_);
+    registry_.floatGauge("serve.slo.target_ms").set(config.targetMs);
+    registry_.floatGauge("serve.slo.objective").set(config.objective);
+    obs::SloTracker *slo = slo_.get();
+    const char *names[3] = {"serve.slo.burn.win10s",
+                            "serve.slo.burn.win1m",
+                            "serve.slo.burn.win5m"};
+    for (size_t w = 0; w < 3 && w < slo->windows(); ++w) {
+        registry_.providerFloatGauge(
+            names[w], [slo, w] { return slo->burnRate(w); });
+    }
+}
+
+void
+ServiceMetrics::freezeWindowGauges()
+{
+    auto freezeFloat = [this](const std::string &name, double value) {
+        registry_.providerFloatGauge(name, [value] { return value; });
+    };
+    auto freezeInt = [this](const std::string &name, int64_t value) {
+        registry_.providerGauge(name, [value] { return value; });
+    };
+    for (Horizon &hz : horizons_) {
+        std::string prefix = std::string("serve.") + hz.name;
+        obs::WindowedSummary sum = hz.latencyUs->summary();
+        freezeFloat(prefix + ".rate", hz.latencyUs->ratePerSec());
+        freezeFloat(prefix + ".error_rate", hz.errors->ratePerSec());
+        freezeInt(prefix + ".p50_us", static_cast<int64_t>(sum.p50));
+        freezeInt(prefix + ".p95_us", static_cast<int64_t>(sum.p95));
+        freezeInt(prefix + ".p99_us", static_cast<int64_t>(sum.p99));
+    }
+    if (slo_) {
+        const char *names[3] = {"serve.slo.burn.win10s",
+                                "serve.slo.burn.win1m",
+                                "serve.slo.burn.win5m"};
+        for (size_t w = 0; w < 3 && w < slo_->windows(); ++w)
+            freezeFloat(names[w], slo_->burnRate(w));
+    }
+}
+
+void
+ServiceMetrics::recordFailure()
+{
+    for (Horizon &hz : horizons_)
+        hz.errors->add();
+    if (slo_)
+        slo_->record(false);
 }
 
 void
@@ -134,18 +227,21 @@ void
 ServiceMetrics::recordRejected()
 {
     rejected_.add();
+    recordFailure();
 }
 
 void
 ServiceMetrics::recordExpired()
 {
     expired_.add();
+    recordFailure();
 }
 
 void
 ServiceMetrics::recordShed()
 {
     shed_.add();
+    recordFailure();
 }
 
 void
@@ -158,6 +254,7 @@ void
 ServiceMetrics::recordDrainDropped()
 {
     drainDropped_.add();
+    recordFailure();
 }
 
 void
@@ -180,10 +277,19 @@ void
 ServiceMetrics::recordCompleted(double queue_us, double total_us)
 {
     completed_.add();
+    uint64_t total =
+        total_us > 0.0 ? static_cast<uint64_t>(total_us) : 0;
     queueUs_.record(queue_us > 0.0 ? static_cast<uint64_t>(queue_us)
                                    : 0);
-    latencyUs_.record(total_us > 0.0 ? static_cast<uint64_t>(total_us)
-                                     : 0);
+    latencyUs_.record(total);
+    for (Horizon &hz : horizons_)
+        hz.latencyUs->record(total);
+    // Against the SLO, slow is as bad as failed: the objective is
+    // "fraction of requests answered within the target".
+    if (slo_) {
+        slo_->record(static_cast<double>(total) / 1e3 <=
+                     slo_->config().targetMs);
+    }
 }
 
 MetricsSnapshot

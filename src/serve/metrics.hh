@@ -20,10 +20,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "obs/metrics.hh"
+#include "obs/slo.hh"
 
 namespace cegma {
 
@@ -129,7 +131,9 @@ struct MetricsSnapshot
 class ServiceMetrics
 {
   public:
-    ServiceMetrics();
+    /** `clock` drives the rolling windows; empty = real steady clock
+     *  (tests inject a fake one for deterministic rotation). */
+    explicit ServiceMetrics(obs::ClockFn clock = nullptr);
 
     ServiceMetrics(const ServiceMetrics &) = delete;
     ServiceMetrics &operator=(const ServiceMetrics &) = delete;
@@ -163,6 +167,25 @@ class ServiceMetrics
     void recordCompleted(double queue_us, double total_us);
 
     /**
+     * Attach an SLO to the request stream: registers the
+     * `serve.slo.*` gauges (target, objective, per-window burn rate)
+     * and makes every subsequent outcome count against the error
+     * budget — a completion over `config.targetMs` is as bad as a
+     * failure. No-op when `config.enabled()` is false.
+     */
+    void configureSlo(const obs::SloConfig &config);
+
+    /** The SLO tracker, or null when no SLO was configured. */
+    const obs::SloTracker *slo() const { return slo_.get(); }
+
+    /**
+     * Freeze the rolling-window and SLO provider gauges to their
+     * current values (shutdown path: late scrapes read constants
+     * instead of polling windows mid-teardown).
+     */
+    void freezeWindowGauges();
+
+    /**
      * Snapshot everything recorded so far. Cache, dedup, and memo
      * fields are left zero — the service overlays them from its own
      * counters.
@@ -183,6 +206,22 @@ class ServiceMetrics
     const obs::StageSink &stages() const { return stages_; }
 
   private:
+    /**
+     * One rolling-window horizon of the request stream: completion
+     * latencies (whose count doubles as the completion rate) and
+     * failed-request counts, exposed as `serve.<name>.*` gauges.
+     * Held by pointer — the windows own mutexes (immovable).
+     */
+    struct Horizon
+    {
+        const char *name;
+        std::unique_ptr<obs::WindowedDistribution> latencyUs;
+        std::unique_ptr<obs::WindowedCounter> errors;
+    };
+
+    /** Count one failed request into every horizon (and the SLO). */
+    void recordFailure();
+
     obs::MetricsRegistry registry_;
     obs::Counter &submitted_;
     obs::Counter &completed_;
@@ -199,6 +238,10 @@ class ServiceMetrics
     obs::Histogram &latencyUs_;
     obs::Histogram &queueUs_;
     obs::StageSink stages_;
+
+    obs::ClockFn clock_; ///< drives windows + SLO (empty = real)
+    Horizon horizons_[3]; ///< 10 s / 1 min / 5 min
+    std::unique_ptr<obs::SloTracker> slo_;
 
     // Only the throughput-window start needs a lock of its own.
     mutable std::mutex mutex_;

@@ -4,8 +4,13 @@
 #include <cmath>
 #include <limits>
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
+#include "obs/build_info.hh"
 #include "obs/trace.hh"
 
 namespace cegma {
@@ -90,7 +95,11 @@ SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus,
       batcher_(config.maxBatch,
                std::chrono::microseconds(config.flushMicros),
                config.maxQueueDepth, config.shedWatermark),
-      corpus_(config.mutation)
+      corpus_(config.mutation),
+      // /tracez keeps the 8 slowest requests per minute, 5 minutes
+      // retained — O(40) records regardless of traffic.
+      exemplars_(8, uint64_t{60} * 1000000000ull, 5),
+      started_(SteadyClock::now())
 {
     InferenceOptions infer;
     infer.dedupMatching = config_.dedup;
@@ -218,8 +227,46 @@ SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus,
     reg.providerGauge("serve.window.y_tile_loads", [this] {
         return static_cast<int64_t>(windowDelta().yTileLoads);
     });
+    // Trace-ring health: a non-zero dropped count means the span rings
+    // wrapped and the exported trace is missing its oldest spans.
+    reg.providerGauge("obs.trace.dropped", [] {
+        return static_cast<int64_t>(obs::droppedSpans());
+    });
+    reg.providerGauge("obs.trace.enabled", [] {
+        return static_cast<int64_t>(obs::tracingEnabled() ? 1 : 0);
+    });
+    if (config_.hwCounters) {
+        // The dispatcher opens the counters (perf groups are per
+        // calling thread); until then — and whenever the kernel
+        // refuses perf_event_open — the gauges read the zero `frozen`
+        // sample, so scrapes degrade to 0 instead of failing.
+        auto hwGauge = [this](uint64_t obs::CacheCounterSample::*field) {
+            return [this, field]() -> int64_t {
+                std::lock_guard<std::mutex> lock(hw_.mutex);
+                obs::CacheCounterSample s =
+                    hw_.counters ? hw_.counters->sample() : hw_.frozen;
+                return static_cast<int64_t>(s.*field);
+            };
+        };
+        reg.providerGauge(
+            "hw.llc.refs",
+            hwGauge(&obs::CacheCounterSample::llcReferences));
+        reg.providerGauge(
+            "hw.llc.miss",
+            hwGauge(&obs::CacheCounterSample::llcMisses));
+        reg.providerGauge(
+            "hw.l1d.miss",
+            hwGauge(&obs::CacheCounterSample::l1dMisses));
+    }
+
+    metrics_.configureSlo(config_.slo);
+    if (config_.adminPort >= 0 || config_.attribution)
+        obs::setAttributionEnabled(true);
 
     dispatcher_ = std::thread([this] { dispatchLoop(); });
+
+    if (config_.adminPort >= 0)
+        startAdminServer();
 }
 
 SearchService::~SearchService()
@@ -240,6 +287,7 @@ SearchService::submit(Graph query, double deadline_ms)
     Pending pending;
     pending.query = std::move(query);
     pending.submitted = SteadyClock::now();
+    pending.id = nextRequestId_.fetch_add(1, std::memory_order_relaxed);
     if (deadline_ms != 0.0) {
         // A positive budget bounds the request; a negative one is
         // already spent — enforce the deadline at admission too.
@@ -318,6 +366,11 @@ SearchService::shutdown()
     if (dispatcher_.joinable())
         dispatcher_.join();
     freezeGauges();
+    metrics_.freezeWindowGauges();
+    // Stop the admin plane LAST: while the drain ran, /healthz was
+    // reporting "draining"; after this, the port is released.
+    if (admin_)
+        admin_->stop();
 }
 
 void
@@ -355,6 +408,122 @@ SearchService::freezeGauges()
     freeze("serve.window.jumps", win.jumps);
     freeze("serve.window.x_tile_loads", win.xTileLoads);
     freeze("serve.window.y_tile_loads", win.yTileLoads);
+}
+
+void
+SearchService::startAdminServer()
+{
+    admin_ = std::make_unique<obs::AdminServer>();
+
+    admin_->handle("/", [](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        resp.body = "cegma admin endpoints:\n"
+                    "  /metrics  Prometheus exposition\n"
+                    "  /varz     full registry as JSON\n"
+                    "  /healthz  liveness (503 while draining)\n"
+                    "  /readyz   readiness (queue-depth aware)\n"
+                    "  /tracez   slowest requests, stage breakdowns\n"
+                    "  /statusz  build / uptime / corpus / SIMD\n";
+        return resp;
+    });
+    admin_->handle("/metrics", [this](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        resp.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = metrics_.registry().snapshot().toPrometheus();
+        return resp;
+    });
+    admin_->handle("/varz", [this](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        resp.contentType = "application/json";
+        resp.body = metrics_.registry().snapshot().toJson();
+        resp.body += "\n";
+        return resp;
+    });
+    admin_->handle("/healthz", [this](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        if (stopping_.load(std::memory_order_acquire)) {
+            resp.status = 503;
+            resp.body = "draining\n";
+        } else {
+            resp.body = "ok\n";
+        }
+        return resp;
+    });
+    admin_->handle("/readyz", [this](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        if (stopping_.load(std::memory_order_acquire)) {
+            resp.status = 503;
+            resp.body = "draining\n";
+        } else if (batcher_.depth() >= config_.maxQueueDepth) {
+            resp.status = 503;
+            resp.body = "overloaded: admission queue full\n";
+        } else {
+            resp.body = "ready\n";
+        }
+        return resp;
+    });
+    admin_->handle("/tracez", [this](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        resp.contentType = "application/json";
+        std::vector<obs::CriticalPath> slow = exemplars_.collect();
+        std::string body = "{\"top_k_per_window\": ";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%zu", exemplars_.topK());
+        body += buf;
+        body += ", \"slowest\": [";
+        for (size_t i = 0; i < slow.size(); ++i) {
+            if (i > 0)
+                body += ", ";
+            body += slow[i].toJson();
+        }
+        body += "]}\n";
+        resp.body = std::move(body);
+        return resp;
+    });
+    admin_->handle("/statusz", [this](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        resp.contentType = "application/json";
+        resp.body = statusJson();
+        return resp;
+    });
+
+    obs::AdminServer::Config cfg;
+    cfg.port = static_cast<uint16_t>(config_.adminPort);
+    if (!admin_->start(cfg)) {
+        warn("admin server failed to start on port %d: %s",
+             config_.adminPort, admin_->status().c_str());
+        admin_.reset();
+    }
+}
+
+std::string
+SearchService::statusJson() const
+{
+    double uptime =
+        msSince(started_, SteadyClock::now()) / 1e3;
+    std::string out = "{\"build\": " + obs::buildInfoJson();
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        ", \"uptime_sec\": %.3f, \"model\": \"%s\", \"simd\": \"%s\", "
+        "\"corpus_epoch\": %" PRIu64 ", \"corpus_live\": %zu, "
+        "\"queue_depth\": %zu, \"draining\": %s",
+        uptime, modelConfig(config_.model).name.c_str(),
+        simdLevelName(simdLevel()), corpus_.epoch(),
+        corpus_.liveCount(), batcher_.depth(),
+        stopping_.load(std::memory_order_acquire) ? "true" : "false");
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        ", \"slo\": {\"target_ms\": %.3f, \"objective\": %.4f, "
+        "\"enabled\": %s}, \"attribution\": %s, \"admin_requests\": "
+        "%" PRIu64 "}\n",
+        config_.slo.targetMs, config_.slo.objective,
+        config_.slo.enabled() ? "true" : "false",
+        obs::attributionEnabled() ? "true" : "false",
+        admin_ ? admin_->requestsServed() : 0);
+    out += buf;
+    return out;
 }
 
 WindowSchedStats
@@ -427,11 +596,33 @@ SearchService::flushMutations()
 void
 SearchService::dispatchLoop()
 {
+    if (config_.hwCounters) {
+        // Perf counter groups measure the *calling* thread, so they
+        // must be opened (and later read) here, not in the ctor.
+        auto counters = std::make_unique<obs::CacheCounters>();
+        if (!counters->available()) {
+            warn("hw counters unavailable: %s", counters->status());
+            counters.reset();
+        } else {
+            counters->start();
+        }
+        std::lock_guard<std::mutex> lock(hw_.mutex);
+        hw_.counters = std::move(counters);
+    }
     for (;;) {
         std::vector<Pending> batch = batcher_.nextBatch();
         if (batch.empty())
             break; // closed and drained (or aborted)
         scoreBatch(batch);
+    }
+    if (config_.hwCounters) {
+        // Freeze the final counts before this thread exits; the
+        // gauges then read the frozen sample.
+        std::lock_guard<std::mutex> lock(hw_.mutex);
+        if (hw_.counters) {
+            hw_.frozen = hw_.counters->stop();
+            hw_.counters.reset();
+        }
     }
     {
         std::lock_guard<std::mutex> lock(drainMutex_);
@@ -504,15 +695,28 @@ SearchService::scoreBatchExhaustive(std::vector<Pending> &live,
     // query graphs are never copied on the hot path.
     const size_t num_pairs = num_queries * num_candidates;
     std::vector<double> scores(num_pairs, 0.0);
+    // Critical-path attribution: one accumulator per request in the
+    // batch; each worker binds its thread-local pointer to the pair's
+    // owning request, so stage scopes inside the forward pass charge
+    // the right request. Purely observational — scores are untouched.
+    std::unique_ptr<obs::StageAccum[]> accums;
+    if (obs::attributionEnabled() && num_queries > 0)
+        accums = std::make_unique<obs::StageAccum[]>(num_queries);
     if (num_pairs > 0) {
         obs::TraceScope span("batch.score", "serve", "batch_size",
                              num_queries);
         parallelFor(0, num_pairs, 1, [&](size_t i0, size_t i1) {
             for (size_t i = i0; i < i1; ++i) {
+                if (accums) {
+                    obs::setCurrentStageAccum(
+                        &accums[i / num_candidates]);
+                }
                 scores[i] = model_->score(GraphPairView(
                     snap.graph(slots[i % num_candidates]),
                     live[i / num_candidates].query));
             }
+            if (accums)
+                obs::setCurrentStageAccum(nullptr);
         });
     }
 
@@ -531,7 +735,8 @@ SearchService::scoreBatchExhaustive(std::vector<Pending> &live,
         metrics_.recordRetrieval(num_candidates, num_candidates,
                                  num_candidates);
         finishQuery(live[q], std::move(result), flushed, done,
-                    static_cast<uint32_t>(num_queries));
+                    static_cast<uint32_t>(num_queries),
+                    accums ? &accums[q] : nullptr);
     }
 }
 
@@ -551,14 +756,21 @@ SearchService::scoreBatchCascade(std::vector<Pending> &live,
     // concurrent mutations.
     std::vector<std::vector<uint32_t>> lists(num_queries);
     std::vector<RetrievalStages> stages(num_queries);
+    std::unique_ptr<obs::StageAccum[]> accums;
+    if (obs::attributionEnabled() && num_queries > 0)
+        accums = std::make_unique<obs::StageAccum[]>(num_queries);
     {
         obs::TraceScope span("batch.retrieve", "serve", "batch_size",
                              num_queries);
         parallelFor(0, num_queries, 1, [&](size_t q0, size_t q1) {
             for (size_t q = q0; q < q1; ++q) {
+                if (accums)
+                    obs::setCurrentStageAccum(&accums[q]);
                 lists[q] = corpus_.shortlist(snap, live[q].query,
                                              *model_, &stages[q]);
             }
+            if (accums)
+                obs::setCurrentStageAccum(nullptr);
         });
     }
 
@@ -582,10 +794,14 @@ SearchService::scoreBatchCascade(std::vector<Pending> &live,
                                                 offsets.end(), i) -
                                offsets.begin()) -
                            1;
+                if (accums)
+                    obs::setCurrentStageAccum(&accums[q]);
                 uint32_t c = lists[q][i - offsets[q]];
                 exact[i] = model_->score(
                     GraphPairView(snap.graph(c), live[q].query));
             }
+            if (accums)
+                obs::setCurrentStageAccum(nullptr);
         });
     }
 
@@ -618,32 +834,70 @@ SearchService::scoreBatchCascade(std::vector<Pending> &live,
         metrics_.recordRetrieval(stages[q].corpus, stages[q].survivors,
                                  stages[q].shortlisted);
         finishQuery(live[q], std::move(result), flushed, done,
-                    static_cast<uint32_t>(num_queries));
+                    static_cast<uint32_t>(num_queries),
+                    accums ? &accums[q] : nullptr);
     }
 }
 
 void
 SearchService::finishQuery(Pending &pending, QueryResult result,
                            SteadyTime flushed, SteadyTime done,
-                           uint32_t batch_size)
+                           uint32_t batch_size,
+                           const obs::StageAccum *accum)
 {
     result.queueMs = msSince(pending.submitted, flushed);
     result.totalMs = msSince(pending.submitted, done);
     result.batchSize = batch_size;
+
+    obs::CriticalPath &cp = result.breakdown;
+    cp.requestId = pending.id;
+    cp.queueUs = static_cast<uint64_t>(
+        std::max(result.queueMs, 0.0) * 1e3);
+    cp.totalUs = static_cast<uint64_t>(
+        std::max(result.totalMs, 0.0) * 1e3);
+    cp.batchSize = batch_size;
+    cp.epoch = result.epoch;
+    cp.startNs = traceNs(pending.submitted);
+    if (accum != nullptr) {
+        auto us = [](const std::atomic<uint64_t> &ns) {
+            return ns.load(std::memory_order_relaxed) / 1000;
+        };
+        cp.embedUs = us(accum->embedNs);
+        cp.dedupUs = us(accum->dedupNs);
+        cp.matchUs = us(accum->matchNs);
+        cp.headUs = us(accum->headNs);
+        cp.memoUs = us(accum->memoNs);
+        exemplars_.record(cp);
+    }
+
     metrics_.recordCompleted(result.queueMs * 1e3, result.totalMs * 1e3);
     if (obs::tracingEnabled()) {
         uint64_t sub_ns = traceNs(pending.submitted);
         obs::recordSpan("request", "serve", sub_ns,
-                        traceNs(done) - sub_ns, "batch_size",
-                        batch_size);
+                        traceNs(done) - sub_ns, "request_id",
+                        pending.id);
         obs::recordSpan("queue.wait", "serve", sub_ns,
                         traceNs(flushed) - sub_ns);
     }
     if (config_.slowMs > 0.0 && result.totalMs >= config_.slowMs) {
-        warn("slow request: %.2f ms total (%.2f ms queued, batch %u, "
-             "%zu candidates)",
-             result.totalMs, result.queueMs, result.batchSize,
-             corpus_.liveCount());
+        if (accum != nullptr) {
+            warn("slow request #%llu: %.2f ms total (%.2f ms queued, "
+                 "batch %u, %zu candidates; stage us: embed %llu "
+                 "dedup %llu match %llu head %llu memo %llu)",
+                 static_cast<unsigned long long>(cp.requestId),
+                 result.totalMs, result.queueMs, result.batchSize,
+                 corpus_.liveCount(),
+                 static_cast<unsigned long long>(cp.embedUs),
+                 static_cast<unsigned long long>(cp.dedupUs),
+                 static_cast<unsigned long long>(cp.matchUs),
+                 static_cast<unsigned long long>(cp.headUs),
+                 static_cast<unsigned long long>(cp.memoUs));
+        } else {
+            warn("slow request: %.2f ms total (%.2f ms queued, batch "
+                 "%u, %zu candidates)",
+                 result.totalMs, result.queueMs, result.batchSize,
+                 corpus_.liveCount());
+        }
     }
     pending.promise.set_value(std::move(result));
 }

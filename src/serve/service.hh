@@ -66,6 +66,10 @@
 #include "gmn/model.hh"
 #include "gmn/window_sched.hh"
 #include "graph/dataset.hh"
+#include "obs/admin_http.hh"
+#include "obs/perf_counters.hh"
+#include "obs/slo.hh"
+#include "obs/trace.hh"
 #include "retrieval/retrieval.hh"
 #include "serve/batcher.hh"
 #include "serve/errors.hh"
@@ -157,6 +161,38 @@ struct ServeConfig
      * with its queue/total split and batch size.
      */
     double slowMs = 0.0;
+
+    /**
+     * Serving SLO (latency target + objective; see obs/slo.hh).
+     * Disabled by default; when enabled, every request outcome feeds
+     * the multi-window burn-rate gauges (`serve.slo.burn.*`).
+     */
+    obs::SloConfig slo;
+
+    /**
+     * Embedded admin/scrape server port: negative = off (the
+     * default), 0 = bind an ephemeral port (read it back via
+     * `adminPort()`), >0 = bind that port on 127.0.0.1. Starting the
+     * admin server also turns on per-request critical-path
+     * attribution (`/tracez` needs it).
+     */
+    int adminPort = -1;
+
+    /**
+     * Per-request critical-path attribution without the admin server
+     * (benches): fills `QueryResult::breakdown` and the tail-exemplar
+     * store. Off by default — the disabled cost on the scoring path
+     * is one relaxed atomic load per stage scope.
+     */
+    bool attribution = false;
+
+    /**
+     * Poll hardware cache counters (perf_event_open) on the
+     * dispatcher thread and expose them as `hw.*` gauges. Gracefully
+     * unavailable in containers/locked-down kernels: the gauges stay
+     * 0 and `/statusz` reports why.
+     */
+    bool hwCounters = false;
 };
 
 /** One ranked search result. */
@@ -206,6 +242,15 @@ struct QueryResult
     double queueMs = 0.0; ///< submit -> batch flush
     double totalMs = 0.0; ///< submit -> result ready
     uint32_t batchSize = 0; ///< size of the batch this query rode in
+
+    /**
+     * Per-request critical path (request id, queue/total wall time,
+     * per-stage thread-times). Stage fields are non-zero only when
+     * attribution is on (`ServeConfig::adminPort >= 0` or
+     * `ServeConfig::attribution`); the id and wall segments are
+     * always filled.
+     */
+    obs::CriticalPath breakdown;
 };
 
 /**
@@ -324,6 +369,22 @@ class SearchService
     /** The live corpus behind the service (stats, pinning in tests). */
     const LiveCorpus &corpus() const { return corpus_; }
 
+    /**
+     * The admin server's bound port, or -1 when it is off. With
+     * `ServeConfig::adminPort == 0` this is the ephemeral port the
+     * kernel picked.
+     */
+    int adminPort() const
+    {
+        return admin_ ? static_cast<int>(admin_->port()) : -1;
+    }
+
+    /** Tail exemplars (`/tracez` data) for direct inspection. */
+    std::vector<obs::CriticalPath> tailExemplars() const
+    {
+        return exemplars_.collect();
+    }
+
   private:
     struct Pending
     {
@@ -331,6 +392,7 @@ class SearchService
         std::promise<QueryResult> promise;
         std::chrono::steady_clock::time_point submitted;
         std::chrono::steady_clock::time_point deadline = kNoDeadline;
+        uint64_t id = 0; ///< service-unique request id
     };
 
     using SteadyTime = std::chrono::steady_clock::time_point;
@@ -347,8 +409,11 @@ class SearchService
                            SteadyTime flushed);
     void finishQuery(Pending &pending, QueryResult result,
                      SteadyTime flushed, SteadyTime done,
-                     uint32_t batch_size);
+                     uint32_t batch_size,
+                     const obs::StageAccum *accum);
     void freezeGauges();
+    void startAdminServer();
+    std::string statusJson() const;
 
     /** Window-scheduler activity since this service was constructed. */
     WindowSchedStats windowDelta() const;
@@ -365,7 +430,27 @@ class SearchService
     MicroBatcher<Pending> batcher_;
     LiveCorpus corpus_;
     WindowSchedStats windowBase_; ///< process totals at construction
+    obs::TailExemplars exemplars_;
+
+    /**
+     * Dispatcher-thread hardware counters (perf counters are per
+     * calling thread, so the dispatcher opens and reads them; the
+     * gauges sample under the mutex). `frozen` holds the final counts
+     * once the dispatcher exits. Declared before metrics_: the hw
+     * provider gauges poll it.
+     */
+    struct HwState
+    {
+        mutable std::mutex mutex;
+        std::unique_ptr<obs::CacheCounters> counters;
+        obs::CacheCounterSample frozen;
+    };
+    HwState hw_;
+
     ServiceMetrics metrics_;
+
+    std::atomic<uint64_t> nextRequestId_{1};
+    std::chrono::steady_clock::time_point started_;
 
     std::atomic<bool> stopping_{false};
     std::mutex shutdownMutex_; ///< serializes concurrent shutdown()
@@ -377,6 +462,12 @@ class SearchService
     bool drained_ = false;
 
     std::thread dispatcher_;
+
+    // Declared last: the admin server's accept thread may call into
+    // any member above, so it must be destroyed (joined) first. It is
+    // stopped explicitly at the END of shutdown(), after the drain —
+    // so /healthz can report "draining" while the drain runs.
+    std::unique_ptr<obs::AdminServer> admin_;
 };
 
 } // namespace cegma

@@ -8,15 +8,24 @@
 
 #include <atomic>
 #include <cctype>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "common/stats.hh"
+#include "obs/admin_http.hh"
 #include "obs/build_info.hh"
 #include "obs/metrics.hh"
+#include "obs/slo.hh"
 #include "obs/trace.hh"
 #include "serve/metrics.hh"
 
@@ -364,4 +373,667 @@ TEST(BuildInfoTest, FieldsArePopulated)
     std::string line = obs::buildInfoString();
     EXPECT_NE(line.find("cegma"), std::string::npos);
     EXPECT_TRUE(JsonChecker(obs::buildInfoJson()).valid());
+}
+
+// ---- Rolling windows (fake clock: rotation is purely clock-driven) --
+
+namespace {
+
+/** A hand-advanced clock injectable into the windowed types. */
+struct FakeClock
+{
+    uint64_t now = 0;
+    obs::ClockFn fn()
+    {
+        return [this] { return now; };
+    }
+};
+
+} // namespace
+
+TEST(WindowedCounterTest, RotationAndExpiryAreExact)
+{
+    // 12 us window, 12 buckets -> 1 us per bucket.
+    FakeClock clk;
+    obs::WindowedCounter counter(12'000, 12, clk.fn());
+    EXPECT_EQ(counter.total(), 0u);
+    EXPECT_DOUBLE_EQ(counter.ratePerSec(), 0.0);
+
+    clk.now = 500; // bucket seq 0
+    counter.add(5);
+    EXPECT_EQ(counter.total(), 5u);
+
+    clk.now = 1'500; // bucket seq 1
+    counter.add(3);
+    EXPECT_EQ(counter.total(), 8u);
+    // 8 events over a 12 us window.
+    EXPECT_DOUBLE_EQ(counter.ratePerSec(), 8.0 / 12e-6);
+
+    // seq 12: the window is [seq 1, seq 12], so the seq-0 bucket
+    // expired and only the 3 from seq 1 remain.
+    clk.now = 12'499;
+    EXPECT_EQ(counter.total(), 3u);
+
+    // seq 13: everything recorded so far has expired. The new record
+    // must lazily reclaim the stale seq-1 slot it rotates onto.
+    clk.now = 13'500;
+    EXPECT_EQ(counter.total(), 0u);
+    counter.add(7);
+    EXPECT_EQ(counter.total(), 7u);
+}
+
+TEST(WindowedDistributionTest, MergeOnReadQuantilesAreExact)
+{
+    FakeClock clk;
+    obs::WindowedDistribution dist(12'000, 12, clk.fn());
+    EXPECT_EQ(dist.summary().count, 0u);
+
+    clk.now = 500; // bucket seq 0
+    for (uint64_t v = 1; v <= 50; ++v)
+        dist.record(v);
+    clk.now = 1'500; // bucket seq 1
+    for (uint64_t v = 51; v <= 100; ++v)
+        dist.record(v);
+
+    // Both buckets live: the merged view is exactly 1..100.
+    obs::WindowedSummary s = dist.summary();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+    EXPECT_EQ(s.p50, 50u);
+    EXPECT_EQ(s.p95, 95u);
+    EXPECT_EQ(s.p99, 99u);
+
+    // seq 12: the seq-0 bucket (values 1..50) rotated out, so the
+    // quantiles are now exact over 51..100 alone.
+    clk.now = 12'499;
+    s = dist.summary();
+    EXPECT_EQ(s.count, 50u);
+    EXPECT_DOUBLE_EQ(s.sum, 3775.0);
+    EXPECT_EQ(s.p50, 75u);
+    EXPECT_EQ(s.p99, 100u);
+
+    // One bucket past that and the window is empty.
+    clk.now = 13'500;
+    EXPECT_EQ(dist.summary().count, 0u);
+}
+
+TEST(SloTrackerTest, BurnRateMathIsExact)
+{
+    // Single 12 us window so expiry is easy to stage.
+    FakeClock clk;
+    obs::SloConfig config;
+    config.targetMs = 10.0;
+    config.objective = 0.99;
+    ASSERT_TRUE(config.enabled());
+    obs::SloTracker slo(config, {12'000}, 12, clk.fn());
+    ASSERT_EQ(slo.windows(), 1u);
+    EXPECT_EQ(slo.windowNs(0), 12'000u);
+
+    // Empty window: no burn.
+    EXPECT_DOUBLE_EQ(slo.badFraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(slo.burnRate(0), 0.0);
+
+    // 99 good + 1 bad = exactly the 1% error budget -> burn rate 1.
+    clk.now = 500;
+    for (int i = 0; i < 99; ++i)
+        slo.record(true);
+    slo.record(false);
+    EXPECT_DOUBLE_EQ(slo.badFraction(0), 0.01);
+    EXPECT_NEAR(slo.burnRate(0), 1.0, 1e-9);
+
+    // A second bad outcome doubles the burn (2% bad / 1% budget).
+    clk.now = 1'500;
+    slo.record(false);
+    EXPECT_DOUBLE_EQ(slo.badFraction(0), 2.0 / 101.0);
+    EXPECT_NEAR(slo.burnRate(0), (2.0 / 101.0) / 0.01, 1e-9);
+
+    // Past the window every outcome expires and the burn resets.
+    clk.now = 14'000;
+    EXPECT_DOUBLE_EQ(slo.badFraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(slo.burnRate(0), 0.0);
+}
+
+TEST(SloTrackerTest, ShortWindowForgetsWhileLongWindowRemembers)
+{
+    FakeClock clk;
+    obs::SloConfig config;
+    config.targetMs = 5.0;
+    config.objective = 0.99;
+    // 10 us and 100 us horizons, 10 buckets each.
+    obs::SloTracker slo(config, {10'000, 100'000}, 10, clk.fn());
+    ASSERT_EQ(slo.windows(), 2u);
+
+    clk.now = 500;
+    slo.record(false); // one all-bad sample
+    EXPECT_DOUBLE_EQ(slo.badFraction(0), 1.0);
+    EXPECT_DOUBLE_EQ(slo.badFraction(1), 1.0);
+
+    // 15 us later: outside the short window, inside the long one.
+    clk.now = 15'000;
+    EXPECT_DOUBLE_EQ(slo.badFraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(slo.badFraction(1), 1.0);
+    EXPECT_NEAR(slo.burnRate(1), 100.0, 1e-6); // 100% bad / 1% budget
+}
+
+TEST(TailExemplarsTest, KeepsTopKSlowestFirstAndExpires)
+{
+    FakeClock clk;
+    clk.now = 500;
+    obs::TailExemplars exemplars(3, 1'000'000, 2, clk.fn());
+    EXPECT_EQ(exemplars.topK(), 3u);
+
+    const uint64_t totals[] = {10, 50, 30, 20, 40};
+    for (uint64_t i = 0; i < 5; ++i) {
+        obs::CriticalPath cp;
+        cp.requestId = i + 1;
+        cp.totalUs = totals[i];
+        exemplars.record(cp);
+    }
+
+    // Only the three slowest survive, ordered slowest first.
+    std::vector<obs::CriticalPath> got = exemplars.collect();
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].totalUs, 50u);
+    EXPECT_EQ(got[1].totalUs, 40u);
+    EXPECT_EQ(got[2].totalUs, 30u);
+    EXPECT_EQ(got[0].requestId, 2u); // identity rides along
+
+    // Two windows later everything has rotated out.
+    clk.now = 500 + 3 * 1'000'000;
+    EXPECT_TRUE(exemplars.collect().empty());
+}
+
+TEST(CriticalPathTest, StageSumAndJsonShape)
+{
+    obs::CriticalPath cp;
+    cp.requestId = 42;
+    cp.queueUs = 7;
+    cp.totalUs = 120;
+    cp.embedUs = 50;
+    cp.dedupUs = 5;
+    cp.matchUs = 40;
+    cp.headUs = 10;
+    cp.memoUs = 2;
+    cp.batchSize = 4;
+    cp.epoch = 3;
+    EXPECT_EQ(cp.stageSumUs(), 107u);
+    std::string json = cp.toJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"id\": 42"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"stages_us\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"stage_sum_us\": 107"), std::string::npos)
+        << json;
+}
+
+TEST(WindowedTest, ConcurrentRecordAndScrape)
+{
+    // Large real-clock window so nothing expires mid-test; the point
+    // is the TSan-visible interleaving of record and merge-on-read.
+    obs::WindowedDistribution dist(uint64_t{60} * 1'000'000'000, 12);
+    obs::SloConfig config;
+    config.targetMs = 1.0;
+    obs::SloTracker slo(config);
+    constexpr int kWriters = 6;
+    constexpr int kReaders = 2;
+    constexpr int kIters = 2000;
+    std::vector<std::thread> threads;
+    threads.reserve(kWriters + kReaders);
+    for (int t = 0; t < kWriters; ++t) {
+        threads.emplace_back([&dist, &slo, t] {
+            for (int i = 0; i < kIters; ++i) {
+                dist.record(static_cast<uint64_t>(t * kIters + i));
+                slo.record(i % 2 == 0);
+            }
+        });
+    }
+    std::atomic<bool> done{false};
+    for (int t = 0; t < kReaders; ++t) {
+        threads.emplace_back([&dist, &slo, &done] {
+            while (!done.load(std::memory_order_relaxed)) {
+                (void)dist.summary();
+                (void)dist.ratePerSec();
+                for (size_t w = 0; w < slo.windows(); ++w)
+                    (void)slo.burnRate(w);
+            }
+        });
+    }
+    for (int t = 0; t < kWriters; ++t)
+        threads[static_cast<size_t>(t)].join();
+    done.store(true, std::memory_order_relaxed);
+    for (int t = 0; t < kReaders; ++t)
+        threads[static_cast<size_t>(kWriters + t)].join();
+    EXPECT_EQ(dist.summary().count,
+              static_cast<uint64_t>(kWriters) * kIters);
+    // Writers alternate good/bad, so every window burns at exactly
+    // half the traffic against the 1% default budget.
+    EXPECT_NEAR(slo.badFraction(0), 0.5, 1e-9);
+}
+
+// ---- Per-request stage attribution ----------------------------------
+
+TEST(AttributionTest, AccumulatesOnlyWhenEnabledAndBound)
+{
+    ASSERT_FALSE(obs::attributionEnabled());
+    obs::StageAccum accum;
+
+    // Disabled: a bound thread-local must not receive anything.
+    {
+        obs::ScopedStageAccum bind(&accum);
+        obs::attributeStageNs(&obs::StageAccum::embedNs, 100);
+        obs::StageScope scope("embed", nullptr,
+                              &obs::StageAccum::embedNs);
+    }
+    EXPECT_EQ(accum.embedNs.load(), 0u);
+
+    // Enabled but unbound: still nothing.
+    obs::setAttributionEnabled(true);
+    obs::attributeStageNs(&obs::StageAccum::embedNs, 100);
+    EXPECT_EQ(accum.embedNs.load(), 0u);
+
+    // Enabled and bound: both the direct path and the scope land in
+    // the selected slot, and the binding restores on scope exit.
+    {
+        obs::ScopedStageAccum bind(&accum);
+        EXPECT_EQ(obs::currentStageAccum(), &accum);
+        obs::attributeStageNs(&obs::StageAccum::memoNs, 250);
+        obs::StageScope scope("match", nullptr,
+                              &obs::StageAccum::matchNs);
+    }
+    obs::setAttributionEnabled(false);
+    EXPECT_EQ(obs::currentStageAccum(), nullptr);
+    EXPECT_EQ(accum.memoNs.load(), 250u);
+    EXPECT_GT(accum.matchNs.load(), 0u);
+    EXPECT_EQ(accum.embedNs.load(), 0u);
+}
+
+TEST(AttributionTest, DisabledStageScopeOverheadIsNegligible)
+{
+    ASSERT_FALSE(obs::tracingEnabled());
+    ASSERT_FALSE(obs::attributionEnabled());
+    constexpr int kIters = 100000;
+    uint64_t start = obs::nowNs();
+    for (int i = 0; i < kIters; ++i) {
+        obs::StageScope scope("disabled.attr", nullptr,
+                              &obs::StageAccum::embedNs);
+    }
+    uint64_t per_iter = (obs::nowNs() - start) / kIters;
+    // Two relaxed loads + branches (tracing off, attribution off, no
+    // histogram). Same generous sanitizer-safe bound as the trace
+    // scope test.
+    EXPECT_LT(per_iter, 2000u);
+}
+
+// ---- Prometheus exposition lint -------------------------------------
+
+namespace {
+
+/** Is `name` a valid Prometheus metric/label identifier? */
+bool
+promIdentifierOk(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+        char c = name[i];
+        bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_' || c == ':';
+        bool digit = c >= '0' && c <= '9';
+        if (!(alpha || (digit && i > 0)))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Lint one non-comment exposition line: `name[{labels}] value`, with
+ * every label `key="escaped"` and the value a full double. Returns an
+ * empty string when the line passes, else the complaint.
+ */
+std::string
+lintPromLine(const std::string &line)
+{
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos)
+        return "no value separator";
+    if (!promIdentifierOk(line.substr(0, name_end)))
+        return "bad metric name";
+    size_t pos = name_end;
+    if (line[pos] == '{') {
+        ++pos;
+        while (pos < line.size() && line[pos] != '}') {
+            size_t eq = line.find('=', pos);
+            if (eq == std::string::npos ||
+                !promIdentifierOk(line.substr(pos, eq - pos)))
+                return "bad label name";
+            if (eq + 1 >= line.size() || line[eq + 1] != '"')
+                return "label value not quoted";
+            pos = eq + 2;
+            while (pos < line.size() && line[pos] != '"') {
+                if (line[pos] == '\\') {
+                    char esc = pos + 1 < line.size() ? line[pos + 1]
+                                                     : '\0';
+                    if (esc != '\\' && esc != '"' && esc != 'n')
+                        return "bad escape in label value";
+                    pos += 2;
+                    continue;
+                }
+                ++pos;
+            }
+            if (pos >= line.size())
+                return "unterminated label value";
+            ++pos; // closing quote
+            if (pos < line.size() && line[pos] == ',')
+                ++pos;
+        }
+        if (pos >= line.size())
+            return "unterminated label set";
+        ++pos; // '}'
+    }
+    if (pos >= line.size() || line[pos] != ' ')
+        return "missing space before value";
+    const char *value = line.c_str() + pos + 1;
+    char *end = nullptr;
+    std::strtod(value, &end);
+    if (end == value || *end != '\0')
+        return "value is not a number";
+    return "";
+}
+
+/** Lint a whole exposition body; returns the first complaint. */
+std::string
+lintPromText(const std::string &text)
+{
+    size_t start = 0;
+    while (start < text.size()) {
+        size_t eol = text.find('\n', start);
+        if (eol == std::string::npos)
+            return "missing trailing newline";
+        std::string line = text.substr(start, eol - start);
+        start = eol + 1;
+        if (line.empty())
+            return "empty line";
+        if (line[0] == '#') {
+            if (line.rfind("# TYPE ", 0) != 0 &&
+                line.rfind("# HELP ", 0) != 0)
+                return "bad comment line: " + line;
+            continue;
+        }
+        std::string complaint = lintPromLine(line);
+        if (!complaint.empty())
+            return complaint + ": " + line;
+    }
+    return "";
+}
+
+} // namespace
+
+TEST(PrometheusLintTest, LabelValueEscaping)
+{
+    EXPECT_EQ(obs::promEscapeLabelValue("plain"), "plain");
+    EXPECT_EQ(obs::promEscapeLabelValue("a\"b"), "a\\\"b");
+    EXPECT_EQ(obs::promEscapeLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::promEscapeLabelValue("a\nb"), "a\\nb");
+    EXPECT_EQ(obs::promEscapeLabelValue("-O2 -march=\"x\"\n"),
+              "-O2 -march=\\\"x\\\"\\n");
+}
+
+TEST(PrometheusLintTest, MetricNameSanitization)
+{
+    EXPECT_EQ(obs::promMetricName("serve.win1m.p99_us"),
+              "serve_win1m_p99_us");
+    EXPECT_EQ(obs::promMetricName("9lives"), "_9lives");
+    EXPECT_EQ(obs::promMetricName("a-b c"), "a_b_c");
+}
+
+TEST(PrometheusLintTest, EveryExportedLinePasses)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("lint.count").add(3);
+    reg.gauge("lint.gauge").set(-12);
+    reg.floatGauge("lint.fgauge").set(0.25);
+    reg.floatGauge("serve.slo.burn.win1m").set(1.5e-3);
+    reg.providerFloatGauge("lint.provided", [] { return 2.75; });
+    obs::Histogram &h = reg.histogram("lint.hist", "us");
+    h.record(10);
+    h.record(20);
+    // Awkward metric name: must sanitize, not leak into the grammar.
+    reg.counter("lint.weird-name 9").add(1);
+    std::string text = reg.snapshot().toPrometheus();
+    EXPECT_EQ(lintPromText(text), "") << text;
+    EXPECT_NE(text.find("lint_count 3"), std::string::npos) << text;
+    EXPECT_NE(text.find("lint_fgauge 0.25"), std::string::npos) << text;
+    EXPECT_NE(text.find("serve_slo_burn_win1m 0.0015"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("cegma_build_info{git=\""), std::string::npos)
+        << text;
+}
+
+TEST(FloatGaugeTest, SetProviderAndSnapshot)
+{
+    obs::MetricsRegistry reg;
+    obs::FloatGauge &g = reg.floatGauge("fg.direct");
+    g.set(3.5);
+    EXPECT_DOUBLE_EQ(g.value(), 3.5);
+    EXPECT_EQ(&reg.floatGauge("fg.direct"), &g);
+
+    double provided = 0.125;
+    reg.providerFloatGauge("fg.provided",
+                           [&provided] { return provided; });
+    provided = 0.5;
+    obs::RegistrySnapshot snap = reg.snapshot();
+    bool saw_direct = false;
+    bool saw_provided = false;
+    for (const obs::MetricValue &m : snap.metrics) {
+        if (m.name == "fg.direct") {
+            saw_direct = true;
+            EXPECT_EQ(m.kind, obs::MetricValue::Kind::FloatGauge);
+            EXPECT_DOUBLE_EQ(m.fgauge, 3.5);
+        }
+        if (m.name == "fg.provided") {
+            saw_provided = true;
+            EXPECT_DOUBLE_EQ(m.fgauge, 0.5);
+        }
+    }
+    EXPECT_TRUE(saw_direct);
+    EXPECT_TRUE(saw_provided);
+}
+
+// ---- Embedded admin HTTP server -------------------------------------
+
+namespace {
+
+/** One blocking HTTP exchange against loopback `port`. */
+std::string
+httpGet(uint16_t port, const std::string &request)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    size_t sent = 0;
+    while (sent < request.size()) {
+        ssize_t n = ::send(fd, request.data() + sent,
+                           request.size() - sent, 0);
+        if (n <= 0)
+            break;
+        sent += static_cast<size_t>(n);
+    }
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+} // namespace
+
+TEST(AdminServerTest, ServesHandlersOverRealSockets)
+{
+    obs::AdminServer server;
+    server.handle("/ping", [](const obs::HttpRequest &req) {
+        obs::HttpResponse resp;
+        resp.body = "pong " + req.method + "\n";
+        return resp;
+    });
+    server.handle("/busy", [](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        resp.status = 503;
+        resp.body = "draining\n";
+        return resp;
+    });
+
+    obs::AdminServer::Config config;
+    config.port = 0; // ephemeral
+    ASSERT_TRUE(server.start(config)) << server.status();
+    ASSERT_TRUE(server.running());
+    uint16_t port = server.port();
+    ASSERT_GT(port, 0);
+    EXPECT_EQ(server.status(), "ok");
+
+    std::string ok = httpGet(
+        port, "GET /ping HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos) << ok;
+    EXPECT_NE(ok.find("pong GET"), std::string::npos) << ok;
+    EXPECT_NE(ok.find("Content-Length:"), std::string::npos) << ok;
+
+    // The query string is stripped before handler dispatch.
+    std::string query = httpGet(
+        port,
+        "GET /ping?x=1 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    EXPECT_NE(query.find("HTTP/1.1 200 OK"), std::string::npos) << query;
+
+    // HEAD gets headers only.
+    std::string head = httpGet(
+        port, "HEAD /ping HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    EXPECT_NE(head.find("HTTP/1.1 200 OK"), std::string::npos) << head;
+    EXPECT_EQ(head.find("pong"), std::string::npos) << head;
+
+    std::string busy = httpGet(
+        port, "GET /busy HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    EXPECT_NE(busy.find("HTTP/1.1 503"), std::string::npos) << busy;
+
+    std::string missing = httpGet(
+        port, "GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos)
+        << missing;
+
+    std::string post = httpGet(
+        port, "POST /ping HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos) << post;
+
+    std::string garbage = httpGet(port, "NONSENSE\r\n\r\n");
+    EXPECT_NE(garbage.find("HTTP/1.1 400"), std::string::npos)
+        << garbage;
+
+    EXPECT_GE(server.requestsServed(), 6u);
+    server.stop();
+    EXPECT_FALSE(server.running());
+    EXPECT_EQ(server.port(), 0);
+    server.stop(); // idempotent
+}
+
+TEST(AdminServerTest, ConcurrentScrapersAllComplete)
+{
+    obs::AdminServer server;
+    std::atomic<uint64_t> hits{0};
+    server.handle("/metrics", [&hits](const obs::HttpRequest &) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+        obs::HttpResponse resp;
+        resp.body = "m 1\n";
+        return resp;
+    });
+    ASSERT_TRUE(server.start({})) << server.status();
+    uint16_t port = server.port();
+    constexpr int kThreads = 8;
+    constexpr int kRequests = 5;
+    std::atomic<int> okCount{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([port, &okCount] {
+            for (int i = 0; i < kRequests; ++i) {
+                std::string resp = httpGet(port,
+                                           "GET /metrics HTTP/1.1\r\n"
+                                           "Host: t\r\n"
+                                           "Connection: close\r\n\r\n");
+                if (resp.find("HTTP/1.1 200") != std::string::npos)
+                    okCount.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    // Connections are served serially but queue in the listen backlog:
+    // every scrape must still succeed.
+    EXPECT_EQ(okCount.load(), kThreads * kRequests);
+    EXPECT_EQ(hits.load(), static_cast<uint64_t>(kThreads) * kRequests);
+    server.stop();
+}
+
+TEST(ServeMetricsTest, WindowGaugesAndSloWithFakeClock)
+{
+    FakeClock clk;
+    clk.now = 500;
+    ServiceMetrics metrics(clk.fn());
+    obs::SloConfig slo;
+    slo.targetMs = 10.0; // 10 ms target
+    slo.objective = 0.99;
+    metrics.configureSlo(slo);
+    ASSERT_NE(metrics.slo(), nullptr);
+
+    // 9 on-target completions and 1 failure: 10% bad, burn rate 10.
+    for (int i = 0; i < 9; ++i)
+        metrics.recordCompleted(100.0, 5'000.0); // 5 ms, under target
+    metrics.recordRejected();
+
+    obs::RegistrySnapshot snap = metrics.registry().snapshot();
+    auto find = [&snap](const std::string &name,
+                        obs::MetricValue &out) {
+        for (const obs::MetricValue &m : snap.metrics) {
+            if (m.name == name) {
+                out = m;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    obs::MetricValue v;
+    ASSERT_TRUE(find("serve.win1m.p99_us", v));
+    EXPECT_EQ(v.gauge, 5'000);
+    ASSERT_TRUE(find("serve.win10s.p50_us", v));
+    EXPECT_EQ(v.gauge, 5'000);
+    ASSERT_TRUE(find("serve.slo.target_ms", v));
+    EXPECT_DOUBLE_EQ(v.fgauge, 10.0);
+    ASSERT_TRUE(find("serve.slo.burn.win1m", v));
+    EXPECT_NEAR(v.fgauge, 10.0, 1e-6); // 10% bad / 1% budget
+    ASSERT_TRUE(find("serve.win1m.error_rate", v));
+    EXPECT_NEAR(v.fgauge, 1.0 / 60.0, 1e-9); // 1 error / 60 s window
+
+    // A completion over target is as bad as a failure.
+    metrics.recordCompleted(100.0, 50'000.0); // 50 ms
+    EXPECT_NEAR(metrics.slo()->badFraction(1), 2.0 / 11.0, 1e-9);
+
+    // Freezing pins the gauges; later traffic no longer moves them.
+    metrics.freezeWindowGauges();
+    for (int i = 0; i < 5; ++i)
+        metrics.recordCompleted(100.0, 9'000.0);
+    snap = metrics.registry().snapshot();
+    obs::MetricValue frozen;
+    ASSERT_TRUE(find("serve.win1m.p99_us", frozen));
+    EXPECT_EQ(frozen.gauge, 50'000);
 }

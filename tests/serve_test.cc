@@ -34,8 +34,14 @@
 #include <future>
 #include <limits>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "accel/runner.hh"
 #include "common/parallel.hh"
@@ -1079,6 +1085,174 @@ TEST(Overload, MetricScrapesRacingShutdownNeverTouchDeadMembers)
     MetricsSnapshot final_snap = service->metrics();
     EXPECT_EQ(final_snap.completed, 6u);
     service.reset();
+}
+
+// ---- Live telemetry plane -------------------------------------------
+
+/** One blocking loopback HTTP exchange ("" on connect failure). */
+std::string
+adminGet(int port, const std::string &path)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    std::string request = "GET " + path +
+                          " HTTP/1.1\r\nHost: t\r\n"
+                          "Connection: close\r\n\r\n";
+    size_t sent = 0;
+    while (sent < request.size()) {
+        ssize_t n = ::send(fd, request.data() + sent,
+                           request.size() - sent, 0);
+        if (n <= 0)
+            break;
+        sent += static_cast<size_t>(n);
+    }
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+TEST(Telemetry, BitIdenticalWithFullTelemetryEnabled)
+{
+    // The determinism contract: admin server + attribution + SLO
+    // tracking are observational only — every score still matches the
+    // serial oracle bit for bit.
+    std::vector<double> reference =
+        serialReferenceScores(ModelId::GraphSim);
+    constexpr uint32_t kThreads = 8;
+    ThreadPool::instance().setThreads(kThreads);
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, kQueries, kCandidates);
+
+    ServeConfig config;
+    config.model = ModelId::GraphSim;
+    config.dedup = true;
+    config.memo = true;
+    config.maxBatch = 4;
+    config.flushMicros = 200;
+    config.topK = kCandidates;
+    config.adminPort = 0;
+    config.attribution = true;
+    config.slo.targetMs = 100.0;
+    config.slo.objective = 0.99;
+    SearchService service(config, corpus.candidates);
+    ASSERT_GT(service.adminPort(), 0);
+
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(corpus.queries.size());
+    for (const Graph &query : corpus.queries)
+        futures.push_back(service.submit(query));
+
+    std::set<uint64_t> ids;
+    for (size_t q = 0; q < futures.size(); ++q) {
+        QueryResult result = futures[q].get();
+        ASSERT_EQ(result.scores.size(), kCandidates);
+        for (size_t c = 0; c < kCandidates; ++c) {
+            EXPECT_EQ(result.scores[c], reference[q * kCandidates + c])
+                << "q=" << q << " c=" << c;
+        }
+        // The critical-path breakdown is filled and self-consistent.
+        const obs::CriticalPath &cp = result.breakdown;
+        EXPECT_GT(cp.requestId, 0u);
+        ids.insert(cp.requestId);
+        EXPECT_GT(cp.totalUs, 0u);
+        EXPECT_LE(cp.queueUs, cp.totalUs);
+        EXPECT_EQ(cp.batchSize, result.batchSize);
+        // Stage times are thread-time: bounded by wall time times the
+        // pool width (plus timer-granularity slack).
+        EXPECT_LE(cp.stageSumUs(), cp.totalUs * kThreads + 1000)
+            << "q=" << q;
+    }
+    // Request ids are unique across the run.
+    EXPECT_EQ(ids.size(), futures.size());
+
+    service.shutdown();
+    ThreadPool::instance().setThreads(0);
+}
+
+TEST(Telemetry, AdminEndpointsServeAndStopWithService)
+{
+    CloneSearchCorpus corpus =
+        makeCloneSearchCorpus(DatasetId::AIDS, 3, 2);
+    ServeConfig config;
+    config.flushMicros = 200;
+    config.adminPort = 0;
+    config.attribution = true;
+    config.slo.targetMs = 50.0;
+    SearchService service(config, corpus.candidates);
+    int port = service.adminPort();
+    ASSERT_GT(port, 0);
+
+    for (const Graph &query : corpus.queries)
+        service.submit(query).get();
+
+    std::string health = adminGet(port, "/healthz");
+    EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos) << health;
+    EXPECT_NE(health.find("ok"), std::string::npos) << health;
+
+    std::string ready = adminGet(port, "/readyz");
+    EXPECT_NE(ready.find("HTTP/1.1 200"), std::string::npos) << ready;
+
+    std::string metrics = adminGet(port, "/metrics");
+    EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_NE(metrics.find("cegma_build_info{"), std::string::npos);
+    EXPECT_NE(metrics.find("serve_requests_completed 3"),
+              std::string::npos)
+        << metrics;
+    EXPECT_NE(metrics.find("serve_win1m_p99_us"), std::string::npos);
+    EXPECT_NE(metrics.find("serve_slo_burn_win1m"), std::string::npos);
+
+    std::string varz = adminGet(port, "/varz");
+    EXPECT_NE(varz.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_NE(varz.find("application/json"), std::string::npos);
+    EXPECT_NE(varz.find("\"serve.requests.completed\": 3"),
+              std::string::npos)
+        << varz;
+
+    std::string statusz = adminGet(port, "/statusz");
+    EXPECT_NE(statusz.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_NE(statusz.find("\"simd\""), std::string::npos) << statusz;
+    EXPECT_NE(statusz.find("\"corpus_epoch\""), std::string::npos);
+    EXPECT_NE(statusz.find("\"draining\": false"), std::string::npos)
+        << statusz;
+
+    std::string tracez = adminGet(port, "/tracez");
+    EXPECT_NE(tracez.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_NE(tracez.find("\"slowest\""), std::string::npos) << tracez;
+    EXPECT_NE(tracez.find("\"stage_sum_us\""), std::string::npos)
+        << tracez;
+
+    // The exemplar store holds every request (3 < top-K), slowest
+    // first, with wall-time-consistent stage sums.
+    std::vector<obs::CriticalPath> slow = service.tailExemplars();
+    ASSERT_EQ(slow.size(), 3u);
+    for (size_t i = 0; i + 1 < slow.size(); ++i)
+        EXPECT_GE(slow[i].totalUs, slow[i + 1].totalUs);
+    for (const obs::CriticalPath &cp : slow) {
+        EXPECT_GT(cp.totalUs, 0u);
+        EXPECT_LE(cp.queueUs, cp.totalUs);
+    }
+
+    // Shutdown stops the admin server with the service: connections
+    // are refused afterwards, never served stale state.
+    service.shutdown();
+    EXPECT_TRUE(adminGet(port, "/healthz").empty());
 }
 
 } // namespace

@@ -363,7 +363,37 @@ struct ServingRecord
     double headShare;
     double memoShare;
     double queueShare;
+
+    // Rolling-window telemetry at the end of the run: the 1-minute
+    // p99 (gauge `serve.win1m.p99_us`) and the 1-minute SLO burn rate
+    // against a 2x-dense-request-time target at 99% objective
+    // (`serve.slo.burn.win1m`; 1.0 = burning budget exactly at the
+    // allowed rate).
+    double win1mP99Ms;
+    double sloBurn1m;
 };
+
+/** The numeric value of registry metric `name`, or 0 if absent. */
+double
+registryNumber(const obs::RegistrySnapshot &snap,
+               const std::string &name)
+{
+    for (const obs::MetricValue &m : snap.metrics) {
+        if (m.name != name)
+            continue;
+        switch (m.kind) {
+        case obs::MetricValue::Kind::Counter:
+            return static_cast<double>(m.counter);
+        case obs::MetricValue::Kind::Gauge:
+            return static_cast<double>(m.gauge);
+        case obs::MetricValue::Kind::FloatGauge:
+            return m.fgauge;
+        case obs::MetricValue::Kind::Histogram:
+            return m.hist.mean;
+        }
+    }
+    return 0.0;
+}
 
 /** The stage shares of `snap`, normalized over the accounted total. */
 void
@@ -424,10 +454,23 @@ runServingSweep(uint32_t num_queries, uint32_t num_candidates,
             config.memo = mode.memo;
             config.maxBatch = 8;
             config.flushMicros = 2000;
+            // Exercise the telemetry plane under the benchmarked load:
+            // per-request stage attribution on, and an SLO of 2x the
+            // dense per-request service time at 99%. Queueing pushes
+            // the dense baseline past that target routinely, so its
+            // burn rate is large while dedup+memo holds near zero —
+            // the SLO readout *is* the elastic-runtime argument.
+            config.attribution = true;
+            config.slo.targetMs = 2.0 * request_ms;
+            config.slo.objective = 0.99;
             SearchService service(config, corpus.candidates);
             LoadGenResult run = runOpenLoop(
                 service, corpus.queries, requests, offered_qps, 11);
             service.shutdown();
+            // Post-shutdown the window gauges are frozen at their
+            // end-of-run values, so this snapshot reads the final
+            // rolling 1-minute state.
+            obs::RegistrySnapshot reg = service.registry().snapshot();
             if (run.errors > 0)
                 fatal("serving sweep: %zu rejected requests",
                       static_cast<size_t>(run.errors));
@@ -449,6 +492,9 @@ runServingSweep(uint32_t num_queries, uint32_t num_candidates,
             rec.shed = run.metrics.shed;
             rec.retries = run.metrics.retries;
             fillStageShares(run.metrics, rec);
+            rec.win1mP99Ms =
+                registryNumber(reg, "serve.win1m.p99_us") / 1e3;
+            rec.sloBurn1m = registryNumber(reg, "serve.slo.burn.win1m");
             records.push_back(std::move(rec));
         }
     }
@@ -477,14 +523,17 @@ writeServingJson(const std::vector<ServingRecord> &records,
                      ", \"retries\": %" PRIu64 ", "
                      "\"embed_share\": %.3f, \"match_share\": %.3f, "
                      "\"dedup_share\": %.3f, \"head_share\": %.3f, "
-                     "\"memo_share\": %.3f, \"queue_share\": %.3f}%s\n",
+                     "\"memo_share\": %.3f, \"queue_share\": %.3f, "
+                     "\"win1m_p99_ms\": %.3f, "
+                     "\"slo_burn_1m\": %.3f}%s\n",
                      r.model.c_str(), r.mode.c_str(), r.threads,
                      r.requests, r.offeredQps, r.achievedQps, r.p50Ms,
                      r.p95Ms, r.p99Ms, r.batchMean, r.cacheHitRate,
                      r.dedupSkipRatio, r.expired, r.shed, r.retries,
                      r.embedShare, r.matchShare,
                      r.dedupShare, r.headShare, r.memoShare,
-                     r.queueShare, i + 1 < records.size() ? "," : "");
+                     r.queueShare, r.win1mP99Ms, r.sloBurn1m,
+                     i + 1 < records.size() ? "," : "");
     }
     std::fprintf(out, "]\n");
     if (out != stdout)

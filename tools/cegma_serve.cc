@@ -17,6 +17,8 @@
  *               [--threads T] [--seed S] [--json] [--csv] [--prom]
  *               [--trace-out FILE] [--metrics-every SEC]
  *               [--slow-ms MS] [--version]
+ *               [--admin-port P] [--slo-ms MS] [--slo-objective F]
+ *               [--hw-counters]
  *               [--deadline-ms D] [--shed-watermark N]
  *               [--drain-timeout-ms D] [--retries K] [--backoff-ms B]
  *               [--fault-error-prob P] [--fault-delay-prob P]
@@ -38,6 +40,8 @@
  *               --retrieval=cascade --shortlist=64   # filter-then-verify
  *   cegma_serve --qps 50 --mutate-rate 0.1 --skew 1.0 \
  *               --json             # live inserts/removes under load
+ *   cegma_serve --qps 20 --admin-port 0 --slo-ms 50 \
+ *               # live admin plane; curl the printed port's /metrics
  */
 
 #include <chrono>
@@ -95,6 +99,12 @@ struct Options
     double metricsEvery = 0.0; // seconds; > 0 starts the reporter
     double slowMs = 0.0;       // slow-request log threshold
 
+    // Live telemetry plane (all off by default).
+    int adminPort = -1;        // admin server port; 0 = ephemeral
+    double sloMs = 0.0;        // SLO latency target; 0 disables
+    double sloObjective = 0.99; // SLO good-fraction objective
+    bool hwCounters = false;   // perf_event cache counters
+
     // Overload robustness (all off by default).
     double deadlineMs = 0.0;     // per-request deadline budget
     size_t shedWatermark = 0;    // shed depth; 0 disables
@@ -121,6 +131,8 @@ usage(const char *argv0)
         "          [--threads T] [--seed S] [--json] [--csv] [--prom]\n"
         "          [--trace-out FILE] [--metrics-every SEC]\n"
         "          [--slow-ms MS] [--version]\n"
+        "          [--admin-port P] [--slo-ms MS]\n"
+        "          [--slo-objective F] [--hw-counters]\n"
         "          [--deadline-ms D] [--shed-watermark N]\n"
         "          [--drain-timeout-ms D] [--retries K]\n"
         "          [--backoff-ms B]\n"
@@ -143,6 +155,13 @@ usage(const char *argv0)
         "workloads), coarse model-aware shortlist of --shortlist\n"
         "candidates, exact GMN on the survivors only. Exhaustive mode\n"
         "stays the oracle; cascade trades recall for latency.\n"
+        "--admin-port starts the embedded admin/scrape server on\n"
+        "127.0.0.1 (0 = ephemeral; the bound address is printed to\n"
+        "stdout) serving /metrics /varz /healthz /readyz /tracez\n"
+        "/statusz; --slo-ms + --slo-objective define the latency SLO\n"
+        "behind the serve.slo.burn.* gauges; --hw-counters polls\n"
+        "perf_event cache counters into hw.* gauges (gracefully\n"
+        "unavailable in containers).\n"
         "--deadline-ms bounds each request (expired requests fail\n"
         "fast, unscored); --shed-watermark sheds the least-budget\n"
         "queued requests past that depth; --drain-timeout-ms bounds\n"
@@ -271,6 +290,16 @@ parseArgs(int argc, char **argv)
             opts.metricsEvery = std::stod(next());
         } else if (arg == "--slow-ms") {
             opts.slowMs = std::stod(next());
+        } else if (arg.rfind("--admin-port=", 0) == 0) {
+            opts.adminPort = std::stoi(arg.substr(13));
+        } else if (arg == "--admin-port") {
+            opts.adminPort = std::stoi(next());
+        } else if (arg == "--slo-ms") {
+            opts.sloMs = std::stod(next());
+        } else if (arg == "--slo-objective") {
+            opts.sloObjective = std::stod(next());
+        } else if (arg == "--hw-counters") {
+            opts.hwCounters = true;
         } else if (arg == "--deadline-ms") {
             opts.deadlineMs = std::stod(next());
         } else if (arg == "--shed-watermark") {
@@ -349,6 +378,10 @@ main(int argc, char **argv)
     config.requestDeadlineMs = opts.deadlineMs;
     config.shedWatermark = opts.shedWatermark;
     config.drainTimeoutMs = opts.drainTimeoutMs;
+    config.adminPort = opts.adminPort;
+    config.slo.targetMs = opts.sloMs;
+    config.slo.objective = opts.sloObjective;
+    config.hwCounters = opts.hwCounters;
 
     // Install the seeded fault injector only when a fault was asked
     // for; a null hook keeps the hot path at one branch per batch.
@@ -376,6 +409,18 @@ main(int argc, char **argv)
 
     SearchService service(config, corpus.candidates,
                           corpus.candidateIds);
+
+    if (opts.adminPort >= 0) {
+        if (service.adminPort() < 0) {
+            std::fprintf(stderr, "admin: failed to start\n");
+            return 1;
+        }
+        // Printed to stdout (and flushed) before the load starts so
+        // scripts can scrape the ephemeral port while the run is live.
+        std::printf("admin: listening on 127.0.0.1:%d\n",
+                    service.adminPort());
+        std::fflush(stdout);
+    }
 
     // Periodic stats reporter: one stderr line per interval while the
     // load runs (single fwrite per line — see common/logging.cc).
