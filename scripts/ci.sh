@@ -82,6 +82,16 @@ echo "== tsan: fault-injection tests (CEGMA_THREADS=8) =="
 CEGMA_THREADS=8 ./build-tsan/tests/serve_test \
     --gtest_filter='Overload.*:MicroBatcher.*'
 
+# Pipelined execution under TSan: the StagePipeline unit tests plus
+# the full bit-identity grid (threads {1,2,8} x batch {1,4,32} x
+# pipeline depth {0,1,2,4}) at 8 pool threads. The determinism bar —
+# pipelining changes when a batch's stages run, never what they
+# compute — is only meaningful if the stage workers, bounded queues,
+# and workspace-pool recycling are race-free.
+echo "== tsan: pipeline bit-identity grid (CEGMA_THREADS=8) =="
+CEGMA_THREADS=8 ./build-tsan/tests/serve_test \
+    --gtest_filter='Pipeline.*'
+
 # SIMD kernels under TSan: the bit-identity grid runs the dispatched
 # kernels and the joint-window scheduler at 8 pool threads, so any
 # race in the per-tile parallelFor chunking or the dispatch atomics
@@ -112,6 +122,13 @@ ctest --test-dir build-asan --output-on-failure -j "$jobs"
 echo "== asan: fault-injection tests =="
 ./build-asan/tests/serve_test \
     --gtest_filter='Overload.*:TopKHits.*'
+
+# Pipelined execution under ASan+UBSan: every batch's tensors now come
+# from the recycling workspace pool, so a stage reading a block after
+# release — or the pool handing out a block still in use — is exactly
+# the class of bug this tier turns into a hard failure.
+echo "== asan: pipeline bit-identity grid =="
+./build-asan/tests/serve_test --gtest_filter='Pipeline.*'
 
 # SIMD kernels under ASan+UBSan: the AVX2 loads are unaligned by
 # design (loadu on arbitrary row offsets, ragged tails, the 64-byte

@@ -307,7 +307,7 @@ LiveCorpus::bootstrap(std::vector<Graph> graphs,
             if (maintainIndex_) {
                 slot.tags = wlTagSet(slot.graph, retrieval_.tagLevel);
                 if (descriptor_) {
-                    slot.coarse = descriptor_(slot.graph);
+                    descriptor_(slot.graph, slot.coarse);
                     slot.coarseNorm = squaredNorm(slot.coarse);
                 }
             }
@@ -374,7 +374,7 @@ LiveCorpus::insert(uint64_t id, Graph g)
         // on any query.
         slot.tags = wlTagSet(slot.graph, retrieval_.tagLevel);
         if (descriptor_) {
-            slot.coarse = descriptor_(slot.graph);
+            descriptor_(slot.graph, slot.coarse);
             slot.coarseNorm = squaredNorm(slot.coarse);
         }
     }

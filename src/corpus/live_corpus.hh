@@ -146,8 +146,14 @@ class LiveCorpus
   public:
     using SnapshotPtr = std::shared_ptr<const CorpusSnapshot>;
 
-    /** Computes a graph's stored coarse descriptor at insert time. */
-    using DescriptorFn = std::function<std::vector<float>(const Graph &)>;
+    /**
+     * Computes a graph's stored coarse descriptor at insert time,
+     * writing into the slot's own vector (out-param so the callback
+     * never materializes a per-graph temporary — it runs once per
+     * corpus entry at bootstrap and once per insert).
+     */
+    using DescriptorFn =
+        std::function<void(const Graph &, std::vector<float> &)>;
 
     /** Fired at flush for each removed graph (memo invalidation). */
     using RemovalHook = std::function<void(const Graph &)>;

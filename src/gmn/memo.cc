@@ -89,22 +89,30 @@ std::shared_ptr<const WlColoring>
 MemoCache::wl(const Graph &g, unsigned num_layers)
 {
     CEGMA_TRACE_SCOPE_CAT("memo.wl", "memo");
-    uint64_t t0 = obs::nowNs();
+    // These paths run on every scored pair: the clock reads bracketing
+    // lookup and insert are gated on one relaxed load (the StageScope
+    // pattern), so a cache with no timing consumer never touches the
+    // clock.
+    const bool timed = lookupTimingEnabled();
+    uint64_t t0 = timed ? obs::nowNs() : 0;
     WlKey key{graphKey(g), num_layers};
     if (auto cached = wl_.find(key)) {
-        noteLookupNs(obs::nowNs() - t0);
+        if (timed)
+            noteLookupNs(obs::nowNs() - t0);
         return cached;
     }
-    noteLookupNs(obs::nowNs() - t0);
+    if (timed)
+        noteLookupNs(obs::nowNs() - t0);
     // Build outside any lock: wlRefine is deterministic, so a racing
     // duplicate build produces identical bits and the loser is simply
     // discarded by the first-insert-wins policy.
     auto built =
         std::make_shared<const WlColoring>(wlRefine(g, num_layers));
     size_t bytes = wlColoringBytes(*built);
-    uint64_t t1 = obs::nowNs();
+    uint64_t t1 = timed ? obs::nowNs() : 0;
     auto out = wl_.insert(key, std::move(built), bytes);
-    noteLookupNs(obs::nowNs() - t1);
+    if (timed)
+        noteLookupNs(obs::nowNs() - t1);
     return out;
 }
 
@@ -113,18 +121,22 @@ MemoCache::embedding(const Graph &g,
                      const std::function<GraphEmbedding()> &build)
 {
     CEGMA_TRACE_SCOPE_CAT("memo.embedding", "memo");
-    uint64_t t0 = obs::nowNs();
+    const bool timed = lookupTimingEnabled();
+    uint64_t t0 = timed ? obs::nowNs() : 0;
     GraphKey key = graphKey(g);
     if (auto cached = embeddings_.find(key)) {
-        noteLookupNs(obs::nowNs() - t0);
+        if (timed)
+            noteLookupNs(obs::nowNs() - t0);
         return cached;
     }
-    noteLookupNs(obs::nowNs() - t0);
+    if (timed)
+        noteLookupNs(obs::nowNs() - t0);
     auto built = std::make_shared<const GraphEmbedding>(build());
     size_t bytes = graphEmbeddingBytes(*built);
-    uint64_t t1 = obs::nowNs();
+    uint64_t t1 = timed ? obs::nowNs() : 0;
     auto out = embeddings_.insert(key, std::move(built), bytes);
-    noteLookupNs(obs::nowNs() - t1);
+    if (timed)
+        noteLookupNs(obs::nowNs() - t1);
     return out;
 }
 

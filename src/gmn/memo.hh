@@ -169,10 +169,30 @@ class MemoCache
      * families), excluding miss-path builds. This is the price of
      * having the memo layer at all; the serving stats reporter turns
      * it into the memo share of a request's latency breakdown.
+     * Identically 0 until a consumer enables lookup timing.
      */
     uint64_t lookupNs() const
     {
         return lookupNs_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Turn the `lookupNs()` wall-time accounting on or off (default
+     * off). The lookup paths run on every scored pair, so with no
+     * consumer the two `obs::nowNs()` clock reads per lookup are pure
+     * overhead; the gate is one relaxed atomic load, the same pattern
+     * `StageScope` uses for attribution. `SearchService` enables it —
+     * it surfaces `serve.memo.lookup_us` and the memo latency share —
+     * while bare caches (index builds, unit tests) stay clock-free.
+     */
+    void setLookupTimingEnabled(bool enabled)
+    {
+        lookupTiming_.store(enabled, std::memory_order_relaxed);
+    }
+
+    bool lookupTimingEnabled() const
+    {
+        return lookupTiming_.load(std::memory_order_relaxed);
     }
 
     const MemoConfig &config() const { return config_; }
@@ -203,6 +223,9 @@ class MemoCache
     /** Accumulated lookup/insert time; telemetry only, never control
      *  flow, so relaxed ordering suffices. */
     mutable std::atomic<uint64_t> lookupNs_{0};
+
+    /** Gates the clock reads around lookups (see the setter). */
+    std::atomic<bool> lookupTiming_{false};
 };
 
 } // namespace cegma

@@ -230,9 +230,16 @@ AdminServer::serveConnection(int fd)
                           "Connection: close\r\n\r\n",
                           resp.status, reasonPhrase(resp.status),
                           resp.contentType.c_str(), resp.body.size());
-    sendAll(fd, head, static_cast<size_t>(n));
-    if (parsed.method != "HEAD")
-        sendAll(fd, resp.body.data(), resp.body.size());
+    // Propagate short writes: a peer that closed mid-response fails
+    // the header send, and writing the body into a dead socket would
+    // be wasted syscalls (and a second failure). The connection is
+    // torn down either way — `Connection: close` — so a failed send
+    // only increments the error counter.
+    bool sent = sendAll(fd, head, static_cast<size_t>(n));
+    if (sent && parsed.method != "HEAD")
+        sent = sendAll(fd, resp.body.data(), resp.body.size());
+    if (!sent)
+        writeErrors_.fetch_add(1, std::memory_order_relaxed);
     served_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -105,6 +105,16 @@ class AdminServer
         return served_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Responses whose header or body send failed (peer closed early,
+     * reset, or I/O timeout). A failed header send skips the body
+     * entirely — see serveConnection.
+     */
+    uint64_t writeErrors() const
+    {
+        return writeErrors_.load(std::memory_order_relaxed);
+    }
+
     /** Human-readable state: "ok", or the last start failure. */
     std::string status() const;
 
@@ -119,6 +129,7 @@ class AdminServer
     std::atomic<bool> stopping_{false};
     std::atomic<uint16_t> port_{0};
     std::atomic<uint64_t> served_{0};
+    std::atomic<uint64_t> writeErrors_{0};
 
     mutable std::mutex mutex_; ///< guards handlers_ and status_
     std::map<std::string,

@@ -1,0 +1,172 @@
+#include "serve/pipeline.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+#include "obs/trace.hh"
+
+namespace cegma {
+
+StagePipeline::StagePipeline(std::vector<Stage> stages, size_t depth)
+    : depth_(depth == 0 ? 1 : depth), stages_(std::move(stages))
+{
+    cegma_assert(!stages_.empty());
+    queues_.reserve(stages_.size());
+    counters_.reserve(stages_.size());
+    for (size_t i = 0; i < stages_.size(); ++i) {
+        queues_.push_back(std::make_unique<Queue>());
+        counters_.push_back(std::make_unique<StageCounters>());
+    }
+    lastTransitionNs_ = obs::nowNs();
+    workers_.reserve(stages_.size());
+    for (size_t i = 0; i < stages_.size(); ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+StagePipeline::~StagePipeline()
+{
+    drain();
+}
+
+void
+StagePipeline::submit(std::unique_ptr<PipelineItem> item)
+{
+    item->seq = submitted_.fetch_add(1, std::memory_order_relaxed);
+    push(0, Entry{std::move(item), obs::nowNs()});
+}
+
+void
+StagePipeline::push(size_t stage_idx, Entry entry)
+{
+    Queue &q = *queues_[stage_idx];
+    std::unique_lock<std::mutex> lock(q.mutex);
+    q.writable.wait(lock, [&] {
+        return q.entries.size() < depth_ || q.closed;
+    });
+    // A closed queue can only happen on a submit after drain() — a
+    // caller bug; inter-stage pushes always precede the close cascade.
+    cegma_assert(!q.closed);
+    q.entries.push_back(std::move(entry));
+    lock.unlock();
+    q.readable.notify_one();
+}
+
+bool
+StagePipeline::pop(size_t stage_idx, Entry &out)
+{
+    Queue &q = *queues_[stage_idx];
+    std::unique_lock<std::mutex> lock(q.mutex);
+    q.readable.wait(lock, [&] { return !q.entries.empty() || q.closed; });
+    if (q.entries.empty())
+        return false; // closed and drained
+    out = std::move(q.entries.front());
+    q.entries.pop_front();
+    lock.unlock();
+    q.writable.notify_one();
+    return true;
+}
+
+void
+StagePipeline::workerLoop(size_t stage_idx)
+{
+    StageCounters &counters = *counters_[stage_idx];
+    const bool last = stage_idx + 1 == stages_.size();
+    Entry entry;
+    while (pop(stage_idx, entry)) {
+        uint64_t start = obs::nowNs();
+        counters.queueWaitNs.fetch_add(start - entry.enqueuedNs,
+                                       std::memory_order_relaxed);
+        noteBusy(+1);
+        {
+            obs::TraceScope span(stages_[stage_idx].name, "pipeline",
+                                 "batch_seq", entry.item->seq);
+            stages_[stage_idx].fn(*entry.item);
+        }
+        noteBusy(-1);
+        counters.busyNs.fetch_add(obs::nowNs() - start,
+                                  std::memory_order_relaxed);
+        counters.items.fetch_add(1, std::memory_order_relaxed);
+        if (last) {
+            entry.item.reset();
+            completed_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            entry.enqueuedNs = obs::nowNs();
+            push(stage_idx + 1, std::move(entry));
+        }
+    }
+    // Close cascade: once this stage's queue is drained, nothing can
+    // ever reach the next stage again.
+    if (!last) {
+        Queue &next = *queues_[stage_idx + 1];
+        {
+            std::lock_guard<std::mutex> lock(next.mutex);
+            next.closed = true;
+        }
+        next.readable.notify_all();
+        next.writable.notify_all();
+    }
+}
+
+void
+StagePipeline::drain()
+{
+    std::lock_guard<std::mutex> guard(drainMutex_);
+    if (drained_)
+        return;
+    drained_ = true;
+    {
+        Queue &q = *queues_[0];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        q.closed = true;
+    }
+    queues_[0]->readable.notify_all();
+    queues_[0]->writable.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+StagePipeline::noteBusy(int delta)
+{
+    uint64_t now = obs::nowNs();
+    std::lock_guard<std::mutex> lock(busyMutex_);
+    uint64_t elapsed = now > lastTransitionNs_ ? now - lastTransitionNs_ : 0;
+    if (busyStages_ >= 1)
+        busyNs_ += elapsed;
+    if (busyStages_ >= 2)
+        overlapNs_ += elapsed * static_cast<uint64_t>(busyStages_ - 1);
+    lastTransitionNs_ = now;
+    busyStages_ += delta;
+}
+
+PipelineStats
+StagePipeline::stats() const
+{
+    PipelineStats s;
+    s.stages.reserve(stages_.size());
+    for (const auto &c : counters_) {
+        PipelineStageStats st;
+        st.items = c->items.load(std::memory_order_relaxed);
+        st.busyNs = c->busyNs.load(std::memory_order_relaxed);
+        st.queueWaitNs = c->queueWaitNs.load(std::memory_order_relaxed);
+        s.stages.push_back(st);
+    }
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(busyMutex_);
+        s.busyNs = busyNs_;
+        s.overlapNs = overlapNs_;
+    }
+    return s;
+}
+
+uint64_t
+StagePipeline::inflight() const
+{
+    uint64_t sub = submitted_.load(std::memory_order_acquire);
+    uint64_t done = completed_.load(std::memory_order_acquire);
+    return sub >= done ? sub - done : 0;
+}
+
+} // namespace cegma

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * `StagePipeline` — the pipelined batch execution engine behind
+ * `SearchService` (DESIGN.md §7e).
+ *
+ * The monolithic batch path runs embed → dedup/match → head as one
+ * pass per batch on the dispatcher thread, so batch N+1 queues behind
+ * *all* of batch N's work. This engine gives each stage its own
+ * worker thread and a bounded FIFO queue in front of it: batch N+1's
+ * embedding (memo pre-warm) overlaps batch N's matching, and batch
+ * N-1's head (top-k + result delivery) overlaps both. The stages the
+ * service installs map onto the GMN structure itself — per-graph
+ * embedding, cross-graph matching, similarity head (Li et al.,
+ * PAPERS.md) — which is what makes the decomposition natural and the
+ * seam reusable for future multi-backend stages.
+ *
+ * Determinism: the pipeline moves each batch, in FIFO order, through
+ * the SAME stage functions the monolithic path runs back-to-back.
+ * Stages never share mutable state across concurrent batches except
+ * through the memo cache, whose first-insert-wins replay contract
+ * already guarantees a hit returns exactly the bits a rebuild would
+ * produce. Pipelining therefore affects *when* a batch's stages run,
+ * never *what* they compute — the serve_test grid proves bit-identity
+ * to serial `runFunctional` at every thread × batch × depth point.
+ *
+ * Telemetry: per-stage busy time, queue-wait time, and a wall-clock
+ * overlap counter (time during which ≥ 2 stages were simultaneously
+ * busy — identically 0 for a serial executor) surface as
+ * `serve.pipeline.*` gauges; each stage emits a `pipeline.<name>`
+ * trace span, so the overlap is directly visible in the Chrome trace
+ * export as staggered rows.
+ */
+
+#ifndef CEGMA_SERVE_PIPELINE_HH
+#define CEGMA_SERVE_PIPELINE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cegma {
+
+/** Base for units of work flowing through a `StagePipeline`. */
+struct PipelineItem
+{
+    /** Submission sequence number (FIFO position), set by submit(). */
+    uint64_t seq = 0;
+
+    virtual ~PipelineItem() = default;
+};
+
+/** Point-in-time counters for one stage (relaxed reads). */
+struct PipelineStageStats
+{
+    uint64_t items = 0;       ///< batches this stage completed
+    uint64_t busyNs = 0;      ///< time spent inside the stage fn
+    uint64_t queueWaitNs = 0; ///< time batches waited in its queue
+};
+
+/** Point-in-time counters for the whole pipeline. */
+struct PipelineStats
+{
+    std::vector<PipelineStageStats> stages;
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    /** Wall ns during which >= 1 stage was busy. */
+    uint64_t busyNs = 0;
+    /** Wall ns during which >= 2 stages were busy — the overlap a
+     *  serial executor can never produce. */
+    uint64_t overlapNs = 0;
+};
+
+/**
+ * A fixed linear pipeline of named stages, each with one worker
+ * thread and a bounded FIFO input queue. `submit()` blocks while the
+ * first queue is full (backpressure to the dispatcher); `drain()`
+ * closes admission, lets every in-flight item finish all remaining
+ * stages, and joins the workers. Thread-safe: one producer thread is
+ * assumed (the dispatcher), stats may be read from any thread.
+ */
+class StagePipeline
+{
+  public:
+    struct Stage
+    {
+        const char *name; ///< trace span suffix; must outlive the pipeline
+        std::function<void(PipelineItem &)> fn;
+    };
+
+    /**
+     * @param stages  the stage functions, in execution order (>= 1)
+     * @param depth   per-stage queue capacity (>= 1); the maximum
+     *                number of batches in flight is
+     *                stages * depth + stages (queued + executing)
+     */
+    StagePipeline(std::vector<Stage> stages, size_t depth);
+
+    /** Drains (idempotent with an explicit drain()) and joins. */
+    ~StagePipeline();
+
+    StagePipeline(const StagePipeline &) = delete;
+    StagePipeline &operator=(const StagePipeline &) = delete;
+
+    /** Hand a batch to stage 0; blocks while its queue is full. */
+    void submit(std::unique_ptr<PipelineItem> item);
+
+    /**
+     * Close admission, run every already-submitted batch through all
+     * remaining stages, and join the workers. Idempotent.
+     */
+    void drain();
+
+    PipelineStats stats() const;
+
+    size_t depth() const { return depth_; }
+
+    /** Batches submitted but not yet through the last stage. */
+    uint64_t inflight() const;
+
+  private:
+    struct Entry
+    {
+        std::unique_ptr<PipelineItem> item;
+        uint64_t enqueuedNs = 0;
+    };
+
+    /** One bounded MPSC queue in front of each stage. */
+    struct Queue
+    {
+        std::mutex mutex;
+        std::condition_variable readable;
+        std::condition_variable writable;
+        std::deque<Entry> entries;
+        bool closed = false;
+    };
+
+    void workerLoop(size_t stage_idx);
+    void push(size_t stage_idx, Entry entry);
+    /** False when the queue is closed and empty (worker exits). */
+    bool pop(size_t stage_idx, Entry &out);
+
+    /** Busy/overlap wall-clock accounting (see PipelineStats). */
+    void noteBusy(int delta);
+
+    const size_t depth_;
+    std::vector<Stage> stages_;
+    std::vector<std::unique_ptr<Queue>> queues_; // one per stage
+
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> completed_{0};
+    struct StageCounters
+    {
+        std::atomic<uint64_t> items{0};
+        std::atomic<uint64_t> busyNs{0};
+        std::atomic<uint64_t> queueWaitNs{0};
+    };
+    std::vector<std::unique_ptr<StageCounters>> counters_;
+
+    // Overlap accounting: stage transitions are per-batch (rare), so
+    // one small mutex-guarded state machine is cheap and exact.
+    mutable std::mutex busyMutex_;
+    int busyStages_ = 0;
+    uint64_t lastTransitionNs_ = 0;
+    uint64_t busyNs_ = 0;
+    uint64_t overlapNs_ = 0;
+
+    bool drained_ = false;
+    std::mutex drainMutex_; ///< serializes drain() callers
+    std::vector<std::thread> workers_;
+};
+
+} // namespace cegma
+
+#endif // CEGMA_SERVE_PIPELINE_HH

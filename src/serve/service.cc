@@ -12,6 +12,7 @@
 #include "common/simd.hh"
 #include "obs/build_info.hh"
 #include "obs/trace.hh"
+#include "tensor/workspace.hh"
 
 namespace cegma {
 
@@ -46,6 +47,31 @@ failPending(std::promise<QueryResult> &promise, RequestErrorCode code,
 }
 
 } // namespace
+
+/**
+ * Everything one flushed batch carries through the embed → match →
+ * head stages: the pinned snapshot (one consistent corpus view for
+ * the batch's whole pipeline transit), the live requests, and the
+ * intermediates the stages hand to each other. Destroyed at the end
+ * of the head stage, which is what releases the epoch pin.
+ */
+struct SearchService::BatchWork : PipelineItem
+{
+    std::vector<Pending> live;
+    SteadyTime flushed{};
+    LiveCorpus::SnapshotPtr snap;
+    std::vector<uint32_t> slots;
+    std::unique_ptr<obs::StageAccum[]> accums;
+
+    // Filled by the match stage. Exhaustive mode flattens all
+    // queries x candidates into `scores`; cascade mode additionally
+    // carries each query's shortlist and the flattening offsets.
+    std::vector<std::vector<uint32_t>> lists;
+    std::vector<RetrievalStages> stages;
+    std::vector<size_t> offsets;
+    std::vector<double> scores;
+    SteadyTime done{};
+};
 
 std::vector<SearchHit>
 topKHits(const std::vector<double> &scores, uint32_t k)
@@ -108,6 +134,15 @@ SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus,
     infer.stages = &metrics_.stages();
     model_->setInferenceOptions(infer);
 
+    // Memo lookup timing feeds `serve.memo.lookup_us` and the
+    // stage_memo_ms snapshot field here, so this service pays the two
+    // clock reads per lookup; a bare MemoCache (index builds, unit
+    // tests) keeps the default clock-free lookup path.
+    memo_.setLookupTimingEnabled(true);
+
+    WorkspacePool::instance().setSharedBudgetBytes(
+        static_cast<size_t>(config_.workspaceMb) << 20);
+
     windowBase_ = windowSchedTotals();
 
     if (config_.retrieval.mode == RetrievalMode::Cascade) {
@@ -120,16 +155,18 @@ SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus,
         bool model_aware = model_->coarseDim() > 0;
         LiveCorpus::DescriptorFn descriptor;
         if (model_aware) {
-            descriptor = [this](const Graph &g) {
-                std::vector<float> out(model_->coarseDim());
+            // Writes straight into the slot's stored vector: no
+            // per-graph temporary, and a slot re-filled on insert
+            // reuses its existing capacity.
+            descriptor = [this](const Graph &g, std::vector<float> &out) {
+                out.resize(model_->coarseDim());
                 model_->coarseDescriptor(g, out.data());
-                return out;
             };
         } else {
-            descriptor = [this](const Graph &g) {
-                return coarseVector(g, *model_,
-                                    config_.retrieval.tagLevel,
-                                    config_.retrieval.sketchDim);
+            descriptor = [this](const Graph &g, std::vector<float> &out) {
+                out = coarseVector(g, *model_,
+                                   config_.retrieval.tagLevel,
+                                   config_.retrieval.sketchDim);
             };
         }
         corpus_.enableIndex(config_.retrieval, model_aware,
@@ -148,6 +185,25 @@ SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus,
             ids[i] = static_cast<uint64_t>(i);
     }
     corpus_.bootstrap(std::move(corpus), std::move(ids));
+
+    if (config_.pipelineDepth > 0) {
+        // The stage functions are exactly what the monolithic path
+        // runs back-to-back; the engine only adds the queues and the
+        // per-stage workers (see serve/pipeline.hh for why this is
+        // bit-neutral).
+        std::vector<StagePipeline::Stage> stages;
+        stages.push_back({"pipeline.embed", [this](PipelineItem &item) {
+                              stageEmbed(static_cast<BatchWork &>(item));
+                          }});
+        stages.push_back({"pipeline.match", [this](PipelineItem &item) {
+                              stageMatch(static_cast<BatchWork &>(item));
+                          }});
+        stages.push_back({"pipeline.head", [this](PipelineItem &item) {
+                              stageHead(static_cast<BatchWork &>(item));
+                          }});
+        pipeline_ = std::make_unique<StagePipeline>(
+            std::move(stages), config_.pipelineDepth);
+    }
 
     // Publish the values other members already own as provider gauges
     // (polled at exposition time). Member order guarantees the
@@ -227,6 +283,58 @@ SearchService::SearchService(ServeConfig config, std::vector<Graph> corpus,
     reg.providerGauge("serve.window.y_tile_loads", [this] {
         return static_cast<int64_t>(windowDelta().yTileLoads);
     });
+    // Workspace-pool telemetry (tensor/workspace.hh): a warm steady
+    // state shows `misses` flat while `hits` climbs — every tensor of
+    // a recurring shape is a recycled block, not an OS allocation.
+    reg.providerGauge("workspace.hits", [] {
+        return static_cast<int64_t>(WorkspacePool::instance().stats().hits);
+    });
+    reg.providerGauge("workspace.misses", [] {
+        return static_cast<int64_t>(
+            WorkspacePool::instance().stats().misses);
+    });
+    reg.providerGauge("workspace.bytes", [] {
+        return static_cast<int64_t>(
+            WorkspacePool::instance().stats().cachedBytes);
+    });
+    if (pipeline_) {
+        // Pipelined-execution visibility: per-stage busy time plus the
+        // wall-clock overlap counter — identically 0 for a serial
+        // executor, so any positive value is proof batches really do
+        // overlap across stages.
+        reg.providerGauge("serve.pipeline.depth", [this] {
+            return static_cast<int64_t>(pipeline_->depth());
+        });
+        reg.providerGauge("serve.pipeline.batches", [this] {
+            return static_cast<int64_t>(pipeline_->stats().completed);
+        });
+        reg.providerGauge("serve.pipeline.inflight", [this] {
+            return static_cast<int64_t>(pipeline_->inflight());
+        });
+        reg.providerGauge("serve.pipeline.embed_busy_us", [this] {
+            return static_cast<int64_t>(
+                pipeline_->stats().stages[0].busyNs / 1000);
+        });
+        reg.providerGauge("serve.pipeline.match_busy_us", [this] {
+            return static_cast<int64_t>(
+                pipeline_->stats().stages[1].busyNs / 1000);
+        });
+        reg.providerGauge("serve.pipeline.head_busy_us", [this] {
+            return static_cast<int64_t>(
+                pipeline_->stats().stages[2].busyNs / 1000);
+        });
+        reg.providerGauge("serve.pipeline.queue_wait_us", [this] {
+            PipelineStats s = pipeline_->stats();
+            uint64_t wait = 0;
+            for (const PipelineStageStats &st : s.stages)
+                wait += st.queueWaitNs;
+            return static_cast<int64_t>(wait / 1000);
+        });
+        reg.providerGauge("serve.pipeline.overlap_us", [this] {
+            return static_cast<int64_t>(
+                pipeline_->stats().overlapNs / 1000);
+        });
+    }
     // Trace-ring health: a non-zero dropped count means the span rings
     // wrapped and the exported trace is missing its oldest spans.
     reg.providerGauge("obs.trace.dropped", [] {
@@ -408,6 +516,24 @@ SearchService::freezeGauges()
     freeze("serve.window.jumps", win.jumps);
     freeze("serve.window.x_tile_loads", win.xTileLoads);
     freeze("serve.window.y_tile_loads", win.yTileLoads);
+    WorkspaceStats ws = WorkspacePool::instance().stats();
+    freeze("workspace.hits", ws.hits);
+    freeze("workspace.misses", ws.misses);
+    freeze("workspace.bytes", ws.cachedBytes);
+    if (pipeline_) {
+        PipelineStats ps = pipeline_->stats();
+        freeze("serve.pipeline.depth", pipeline_->depth());
+        freeze("serve.pipeline.batches", ps.completed);
+        freeze("serve.pipeline.inflight", pipeline_->inflight());
+        freeze("serve.pipeline.embed_busy_us", ps.stages[0].busyNs / 1000);
+        freeze("serve.pipeline.match_busy_us", ps.stages[1].busyNs / 1000);
+        freeze("serve.pipeline.head_busy_us", ps.stages[2].busyNs / 1000);
+        uint64_t wait = 0;
+        for (const PipelineStageStats &st : ps.stages)
+            wait += st.queueWaitNs;
+        freeze("serve.pipeline.queue_wait_us", wait / 1000);
+        freeze("serve.pipeline.overlap_us", ps.overlapNs / 1000);
+    }
 }
 
 void
@@ -615,6 +741,11 @@ SearchService::dispatchLoop()
             break; // closed and drained (or aborted)
         scoreBatch(batch);
     }
+    // Everything admitted has been *submitted*; the pipeline drain is
+    // what makes it all *scored* — so it happens before the drained_
+    // handshake below, keeping "drained" meaning what it always did.
+    if (pipeline_)
+        pipeline_->drain();
     if (config_.hwCounters) {
         // Freeze the final counts before this thread exits; the
         // gauges then read the frozen sample.
@@ -665,27 +796,86 @@ SearchService::scoreBatch(std::vector<Pending> &batch)
 
     metrics_.recordBatch(live.size());
 
+    auto work = std::make_unique<BatchWork>();
+    work->live = std::move(live);
+    work->flushed = flushed;
     // Pin ONE snapshot for the whole batch: every query in it scores
     // against the same epoch's corpus — a consistent view, even while
-    // mutations flush concurrently. The pin is released when `snap`
-    // leaves scope, which is what lets the epoch retire.
-    LiveCorpus::SnapshotPtr snap = corpus_.pin();
-    std::vector<uint32_t> slots = snap->liveSlots();
+    // mutations flush concurrently. The pin is released when the
+    // BatchWork dies at the end of the head stage, which is what lets
+    // the epoch retire.
+    work->snap = corpus_.pin();
+    work->slots = work->snap->liveSlots();
+    // Critical-path attribution: one accumulator per request in the
+    // batch; each worker binds its thread-local pointer to the pair's
+    // owning request, so stage scopes inside the forward pass charge
+    // the right request. Purely observational — scores are untouched.
+    if (obs::attributionEnabled()) {
+        work->accums =
+            std::make_unique<obs::StageAccum[]>(work->live.size());
+    }
 
-    if (config_.retrieval.mode == RetrievalMode::Cascade)
-        scoreBatchCascade(live, *snap, slots, flushed);
-    else
-        scoreBatchExhaustive(live, *snap, slots, flushed);
+    if (pipeline_) {
+        // Blocks when the embed queue is full — bounded backpressure
+        // onto the dispatcher, which in turn bounds admission.
+        pipeline_->submit(std::move(work));
+    } else {
+        // Monolithic fallback (pipelineDepth == 0): the exact PR-3..9
+        // batch path — match + head back-to-back on this thread, no
+        // embed pre-warm.
+        stageMatch(*work);
+        stageHead(*work);
+    }
 }
 
 void
-SearchService::scoreBatchExhaustive(std::vector<Pending> &live,
-                                    const CorpusSnapshot &snap,
-                                    const std::vector<uint32_t> &slots,
-                                    SteadyTime flushed)
+SearchService::stageEmbed(BatchWork &work)
 {
-    const size_t num_queries = live.size();
-    const size_t num_candidates = slots.size();
+    // Pre-warm each query's partner-independent embedding chain
+    // through the memo, so the match stage's pair workers hit instead
+    // of racing to build. First-insert-wins replay makes this
+    // bit-neutral; for cross-feedback models (no per-graph chain)
+    // graphEmbedding is a constant-time no-op. Running the handful of
+    // per-query chains serially on this stage's own worker is the
+    // point: it never touches the shared pool, so it truly overlaps
+    // the previous batch's pool-wide match pass.
+    if (!config_.memo)
+        return;
+    obs::TraceScope span("batch.embed", "serve", "batch_size",
+                         work.live.size());
+    for (size_t q = 0; q < work.live.size(); ++q) {
+        if (work.accums)
+            obs::setCurrentStageAccum(&work.accums[q]);
+        (void)model_->graphEmbedding(work.live[q].query);
+    }
+    if (work.accums)
+        obs::setCurrentStageAccum(nullptr);
+}
+
+void
+SearchService::stageMatch(BatchWork &work)
+{
+    if (config_.retrieval.mode == RetrievalMode::Cascade)
+        matchCascade(work);
+    else
+        matchExhaustive(work);
+    work.done = SteadyClock::now();
+}
+
+void
+SearchService::stageHead(BatchWork &work)
+{
+    if (config_.retrieval.mode == RetrievalMode::Cascade)
+        headCascade(work);
+    else
+        headExhaustive(work);
+}
+
+void
+SearchService::matchExhaustive(BatchWork &work)
+{
+    const size_t num_queries = work.live.size();
+    const size_t num_candidates = work.slots.size();
 
     // One pair-parallel scoring pass for the whole batch: every
     // (query, candidate) pair is an independent task writing its own
@@ -694,82 +884,76 @@ SearchService::scoreBatchExhaustive(std::vector<Pending> &live,
     // Pairs are scored through non-owning views — the corpus and
     // query graphs are never copied on the hot path.
     const size_t num_pairs = num_queries * num_candidates;
-    std::vector<double> scores(num_pairs, 0.0);
-    // Critical-path attribution: one accumulator per request in the
-    // batch; each worker binds its thread-local pointer to the pair's
-    // owning request, so stage scopes inside the forward pass charge
-    // the right request. Purely observational — scores are untouched.
-    std::unique_ptr<obs::StageAccum[]> accums;
-    if (obs::attributionEnabled() && num_queries > 0)
-        accums = std::make_unique<obs::StageAccum[]>(num_queries);
+    work.scores.assign(num_pairs, 0.0);
     if (num_pairs > 0) {
         obs::TraceScope span("batch.score", "serve", "batch_size",
                              num_queries);
         parallelFor(0, num_pairs, 1, [&](size_t i0, size_t i1) {
             for (size_t i = i0; i < i1; ++i) {
-                if (accums) {
+                if (work.accums) {
                     obs::setCurrentStageAccum(
-                        &accums[i / num_candidates]);
+                        &work.accums[i / num_candidates]);
                 }
-                scores[i] = model_->score(GraphPairView(
-                    snap.graph(slots[i % num_candidates]),
-                    live[i / num_candidates].query));
+                work.scores[i] = model_->score(GraphPairView(
+                    work.snap->graph(work.slots[i % num_candidates]),
+                    work.live[i / num_candidates].query));
             }
-            if (accums)
+            if (work.accums)
                 obs::setCurrentStageAccum(nullptr);
         });
-    }
-
-    auto ids = std::make_shared<const std::vector<uint64_t>>(
-        snap.liveIds());
-    SteadyClock::time_point done = SteadyClock::now();
-    for (size_t q = 0; q < num_queries; ++q) {
-        QueryResult result;
-        result.scores.assign(
-            scores.begin() + static_cast<ptrdiff_t>(q * num_candidates),
-            scores.begin() +
-                static_cast<ptrdiff_t>((q + 1) * num_candidates));
-        result.topK = topKHits(result.scores, config_.topK);
-        result.epoch = snap.epoch();
-        result.ids = ids;
-        metrics_.recordRetrieval(num_candidates, num_candidates,
-                                 num_candidates);
-        finishQuery(live[q], std::move(result), flushed, done,
-                    static_cast<uint32_t>(num_queries),
-                    accums ? &accums[q] : nullptr);
     }
 }
 
 void
-SearchService::scoreBatchCascade(std::vector<Pending> &live,
-                                 const CorpusSnapshot &snap,
-                                 const std::vector<uint32_t> &slots,
-                                 SteadyTime flushed)
+SearchService::headExhaustive(BatchWork &work)
 {
-    const size_t num_queries = live.size();
-    const size_t num_candidates = slots.size();
+    const size_t num_queries = work.live.size();
+    const size_t num_candidates = work.slots.size();
+
+    auto ids = std::make_shared<const std::vector<uint64_t>>(
+        work.snap->liveIds());
+    for (size_t q = 0; q < num_queries; ++q) {
+        QueryResult result;
+        result.scores.assign(
+            work.scores.begin() +
+                static_cast<ptrdiff_t>(q * num_candidates),
+            work.scores.begin() +
+                static_cast<ptrdiff_t>((q + 1) * num_candidates));
+        result.topK = topKHits(result.scores, config_.topK);
+        result.epoch = work.snap->epoch();
+        result.ids = ids;
+        metrics_.recordRetrieval(num_candidates, num_candidates,
+                                 num_candidates);
+        finishQuery(work.live[q], std::move(result), work.flushed,
+                    work.done, static_cast<uint32_t>(num_queries),
+                    work.accums ? &work.accums[q] : nullptr);
+    }
+}
+
+void
+SearchService::matchCascade(BatchWork &work)
+{
+    const size_t num_queries = work.live.size();
 
     // Stages 1–2, query-parallel: each query's filter + shortlist is
     // an independent task against the pinned snapshot's (immutable)
     // view. The shortlist a query gets is a deterministic function of
     // (snapshot, model, query) — never of the thread count or of
     // concurrent mutations.
-    std::vector<std::vector<uint32_t>> lists(num_queries);
-    std::vector<RetrievalStages> stages(num_queries);
-    std::unique_ptr<obs::StageAccum[]> accums;
-    if (obs::attributionEnabled() && num_queries > 0)
-        accums = std::make_unique<obs::StageAccum[]>(num_queries);
+    work.lists.resize(num_queries);
+    work.stages.resize(num_queries);
     {
         obs::TraceScope span("batch.retrieve", "serve", "batch_size",
                              num_queries);
         parallelFor(0, num_queries, 1, [&](size_t q0, size_t q1) {
             for (size_t q = q0; q < q1; ++q) {
-                if (accums)
-                    obs::setCurrentStageAccum(&accums[q]);
-                lists[q] = corpus_.shortlist(snap, live[q].query,
-                                             *model_, &stages[q]);
+                if (work.accums)
+                    obs::setCurrentStageAccum(&work.accums[q]);
+                work.lists[q] =
+                    corpus_.shortlist(*work.snap, work.live[q].query,
+                                      *model_, &work.stages[q]);
             }
-            if (accums)
+            if (work.accums)
                 obs::setCurrentStageAccum(nullptr);
         });
     }
@@ -779,35 +963,41 @@ SearchService::scoreBatchCascade(std::vector<Pending> &live,
     // path — disjoint output slots, per-pair forward passes — so each
     // verified score is bit-identical to what exhaustive mode would
     // produce for that pair.
-    std::vector<size_t> offsets(num_queries + 1, 0);
+    work.offsets.assign(num_queries + 1, 0);
     for (size_t q = 0; q < num_queries; ++q)
-        offsets[q + 1] = offsets[q] + lists[q].size();
-    const size_t num_pairs = offsets.back();
-    std::vector<double> exact(num_pairs, 0.0);
+        work.offsets[q + 1] = work.offsets[q] + work.lists[q].size();
+    const size_t num_pairs = work.offsets.back();
+    work.scores.assign(num_pairs, 0.0);
     if (num_pairs > 0) {
         obs::TraceScope span("batch.score", "serve", "batch_size",
                              num_queries);
         parallelFor(0, num_pairs, 1, [&](size_t i0, size_t i1) {
             for (size_t i = i0; i < i1; ++i) {
                 size_t q = static_cast<size_t>(
-                               std::upper_bound(offsets.begin(),
-                                                offsets.end(), i) -
-                               offsets.begin()) -
+                               std::upper_bound(work.offsets.begin(),
+                                                work.offsets.end(), i) -
+                               work.offsets.begin()) -
                            1;
-                if (accums)
-                    obs::setCurrentStageAccum(&accums[q]);
-                uint32_t c = lists[q][i - offsets[q]];
-                exact[i] = model_->score(
-                    GraphPairView(snap.graph(c), live[q].query));
+                if (work.accums)
+                    obs::setCurrentStageAccum(&work.accums[q]);
+                uint32_t c = work.lists[q][i - work.offsets[q]];
+                work.scores[i] = model_->score(GraphPairView(
+                    work.snap->graph(c), work.live[q].query));
             }
-            if (accums)
+            if (work.accums)
                 obs::setCurrentStageAccum(nullptr);
         });
     }
+}
+
+void
+SearchService::headCascade(BatchWork &work)
+{
+    const size_t num_queries = work.live.size();
+    const size_t num_candidates = work.slots.size();
 
     auto ids = std::make_shared<const std::vector<uint64_t>>(
-        snap.liveIds());
-    SteadyClock::time_point done = SteadyClock::now();
+        work.snap->liveIds());
     for (size_t q = 0; q < num_queries; ++q) {
         QueryResult result;
         // Unverified candidates stay NaN: "not scored". The NaN-aware
@@ -818,24 +1008,26 @@ SearchService::scoreBatchCascade(std::vector<Pending> &live,
         // the ascending live-slot list.
         result.scores.assign(num_candidates,
                              std::numeric_limits<double>::quiet_NaN());
-        for (size_t j = 0; j < lists[q].size(); ++j) {
-            uint32_t c = lists[q][j];
+        for (size_t j = 0; j < work.lists[q].size(); ++j) {
+            uint32_t c = work.lists[q][j];
             size_t pos = static_cast<size_t>(
-                std::lower_bound(slots.begin(), slots.end(), c) -
-                slots.begin());
-            result.scores[pos] = exact[offsets[q] + j];
+                std::lower_bound(work.slots.begin(), work.slots.end(),
+                                 c) -
+                work.slots.begin());
+            result.scores[pos] = work.scores[work.offsets[q] + j];
         }
         result.topK = topKHits(result.scores, config_.topK);
         while (!result.topK.empty() &&
                std::isnan(result.topK.back().score))
             result.topK.pop_back();
-        result.epoch = snap.epoch();
+        result.epoch = work.snap->epoch();
         result.ids = ids;
-        metrics_.recordRetrieval(stages[q].corpus, stages[q].survivors,
-                                 stages[q].shortlisted);
-        finishQuery(live[q], std::move(result), flushed, done,
-                    static_cast<uint32_t>(num_queries),
-                    accums ? &accums[q] : nullptr);
+        metrics_.recordRetrieval(work.stages[q].corpus,
+                                 work.stages[q].survivors,
+                                 work.stages[q].shortlisted);
+        finishQuery(work.live[q], std::move(result), work.flushed,
+                    work.done, static_cast<uint32_t>(num_queries),
+                    work.accums ? &work.accums[q] : nullptr);
     }
 }
 

@@ -12,7 +12,12 @@
  * all batch_size x corpus pairs are independent tasks, so the
  * dedup/memo machinery amortizes across every request in the batch
  * (a corpus graph's WL coloring and embedding chain are built once,
- * then hit from every concurrent query).
+ * then hit from every concurrent query). With `pipelineDepth >= 1`
+ * (the default) each flushed batch then flows through the pipelined
+ * execution engine (serve/pipeline.hh): an embed stage pre-warms the
+ * queries' memoized embedding chains while the previous batch is
+ * still matching, and a head stage assembles/delivers results while
+ * the next batch scores — overlap without changing a single bit.
  *
  * Overload robustness (request lifecycle, in failure order):
  *   1. admission — a full queue (or a closed service) rejects with
@@ -75,6 +80,7 @@
 #include "serve/errors.hh"
 #include "serve/faults.hh"
 #include "serve/metrics.hh"
+#include "serve/pipeline.hh"
 
 namespace cegma {
 
@@ -98,6 +104,26 @@ struct ServeConfig
 
     /** Admission bound: submits past this depth are rejected. */
     size_t maxQueueDepth = 4096;
+
+    /**
+     * Pipelined batch execution (serve/pipeline.hh): capacity of each
+     * bounded inter-stage queue. 0 runs the legacy monolithic batch
+     * path (match + head back-to-back on the dispatcher thread);
+     * >= 1 gives the embed / dedup-match / head stages their own
+     * workers, so batch N+1's embedding (memo pre-warm) overlaps
+     * batch N's matching. Bit-neutral either way — see the
+     * determinism note above and DESIGN.md §7e.
+     */
+    uint32_t pipelineDepth = 2;
+
+    /**
+     * Shared workspace-pool budget in MiB (tensor/workspace.hh): the
+     * cap on recycled tensor blocks parked in the process-wide shared
+     * pool beyond the per-thread free lists. Applied at construction;
+     * the pool itself is process-wide, so the latest-constructed
+     * service wins.
+     */
+    size_t workspaceMb = 256;
 
     /**
      * Default per-request deadline budget in milliseconds; 0 disables
@@ -397,16 +423,27 @@ class SearchService
 
     using SteadyTime = std::chrono::steady_clock::time_point;
 
+    /**
+     * Per-batch pipeline unit: the pinned snapshot, the live requests,
+     * and every intermediate the stages hand to each other. Defined in
+     * service.cc; flows through `StagePipeline` as a `PipelineItem`
+     * (or through the same stage functions inline when
+     * `pipelineDepth == 0`).
+     */
+    struct BatchWork;
+
     void dispatchLoop();
     void scoreBatch(std::vector<Pending> &batch);
-    void scoreBatchExhaustive(std::vector<Pending> &live,
-                              const CorpusSnapshot &snap,
-                              const std::vector<uint32_t> &slots,
-                              SteadyTime flushed);
-    void scoreBatchCascade(std::vector<Pending> &live,
-                           const CorpusSnapshot &snap,
-                           const std::vector<uint32_t> &slots,
-                           SteadyTime flushed);
+    /** Stage 1: pre-warm each query's memoized embedding chain. */
+    void stageEmbed(BatchWork &work);
+    /** Stage 2: the pair-parallel dedup/match scoring pass. */
+    void stageMatch(BatchWork &work);
+    /** Stage 3: top-k, result assembly, promise delivery. */
+    void stageHead(BatchWork &work);
+    void matchExhaustive(BatchWork &work);
+    void matchCascade(BatchWork &work);
+    void headExhaustive(BatchWork &work);
+    void headCascade(BatchWork &work);
     void finishQuery(Pending &pending, QueryResult result,
                      SteadyTime flushed, SteadyTime done,
                      uint32_t batch_size,
@@ -446,6 +483,14 @@ class SearchService
         obs::CacheCounterSample frozen;
     };
     HwState hw_;
+
+    /**
+     * The pipelined execution engine (null when `pipelineDepth == 0`).
+     * Declared before metrics_ — the `serve.pipeline.*` provider
+     * gauges poll it — and its workers are joined by the dispatcher's
+     * drain before shutdown() freezes the gauges.
+     */
+    std::unique_ptr<StagePipeline> pipeline_;
 
     ServiceMetrics metrics_;
 

@@ -19,16 +19,18 @@
 #include <cstddef>
 #include <vector>
 
-#include "tensor/aligned.hh"
+#include "tensor/workspace.hh"
 
 namespace cegma {
 
 class Rng;
 
 /**
- * Dense row-major float matrix. Storage is 64-byte aligned
- * (tensor/aligned.hh) so the SIMD kernels' whole-tensor sweeps start
- * on a cache-line boundary.
+ * Dense row-major float matrix. Storage is 64-byte aligned and
+ * recycled through the size-bucketed workspace pool
+ * (tensor/workspace.hh), so the SIMD kernels' whole-tensor sweeps
+ * start on a cache-line boundary and per-pair temporaries stop
+ * hitting the OS allocator once the pool is warm.
  */
 class Matrix
 {
@@ -74,7 +76,7 @@ class Matrix
   private:
     size_t rows_ = 0;
     size_t cols_ = 0;
-    AlignedFloatVector data_;
+    WorkspaceFloatVector data_;
 };
 
 /** C = A * B. Shapes: (m x k) * (k x n) -> (m x n). */

@@ -1,0 +1,227 @@
+#include "tensor/workspace.hh"
+
+#include <bit>
+#include <cstdlib>
+#include <new>
+#include <string_view>
+
+namespace cegma {
+
+namespace {
+
+void *alignedNew(std::size_t bytes)
+{
+    return ::operator new(bytes, std::align_val_t(WorkspacePool::kAlignment));
+}
+
+void alignedDelete(void *p) noexcept
+{
+    ::operator delete(p, std::align_val_t(WorkspacePool::kAlignment));
+}
+
+/**
+ * Set by ~ThreadCache: tensor frees that happen *after* this thread's
+ * cache was destroyed (e.g. from another thread_local's destructor)
+ * must not resurrect it — they go straight to the shared pool.
+ * Trivially destructible, so reading it at any point is safe.
+ */
+thread_local bool g_thread_cache_dead = false;
+
+} // namespace
+
+struct WorkspacePool::ThreadCache
+{
+    std::vector<void *> free[kNumBuckets];
+
+    ~ThreadCache()
+    {
+        g_thread_cache_dead = true;
+        WorkspacePool &pool = WorkspacePool::instance();
+        for (int idx = 0; idx < kNumBuckets; ++idx) {
+            for (void *p : free[idx])
+                pool.parkShared(idx, p);
+            free[idx].clear();
+        }
+    }
+};
+
+WorkspacePool::WorkspacePool() : sharedBudget_(256u << 20)
+{
+    const char *env = std::getenv("CEGMA_WORKSPACE");
+    if (env != nullptr && std::string_view(env) == "off")
+        enabled_ = false;
+}
+
+WorkspacePool &WorkspacePool::instance()
+{
+    // Leaked on purpose: worker threads flush their caches on exit,
+    // which may happen after main() returns.
+    static WorkspacePool *pool = new WorkspacePool;
+    return *pool;
+}
+
+WorkspacePool::ThreadCache &WorkspacePool::threadCache()
+{
+    static thread_local ThreadCache cache;
+    return cache;
+}
+
+int WorkspacePool::bucketIndex(std::size_t bytes) noexcept
+{
+    if (bytes <= kMinBucketBytes)
+        return 0;
+    // ceil(log2(bytes)) - log2(kMinBucketBytes)
+    return std::bit_width(bytes - 1) - 6;
+}
+
+std::size_t WorkspacePool::bucketBytes(int idx) noexcept
+{
+    return kMinBucketBytes << idx;
+}
+
+void *WorkspacePool::popShared(int idx) noexcept
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shared_[idx].empty())
+        return nullptr;
+    void *p = shared_[idx].back();
+    shared_[idx].pop_back();
+    sharedBytes_ -= bucketBytes(idx);
+    return p;
+}
+
+void WorkspacePool::parkShared(int idx, void *p) noexcept
+{
+    const std::size_t bytes = bucketBytes(idx);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (sharedBytes_ + bytes <= sharedBudget_.load(std::memory_order_relaxed)) {
+            shared_[idx].push_back(p);
+            sharedBytes_ += bytes;
+            return;
+        }
+    }
+    cachedBytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    alignedDelete(p);
+}
+
+void *WorkspacePool::acquire(std::size_t bytes)
+{
+    if (!enabled_ || bytes > kMaxBucketBytes) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        if (bytes > kMaxBucketBytes)
+            oversized_.fetch_add(1, std::memory_order_relaxed);
+        return alignedNew(bytes);
+    }
+    const int idx = bucketIndex(bytes);
+    if (!g_thread_cache_dead) {
+        auto &list = threadCache().free[idx];
+        if (!list.empty()) {
+            void *p = list.back();
+            list.pop_back();
+            cachedBytes_.fetch_sub(bucketBytes(idx), std::memory_order_relaxed);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return p;
+        }
+    }
+    if (void *p = popShared(idx)) {
+        cachedBytes_.fetch_sub(bucketBytes(idx), std::memory_order_relaxed);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return p;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    // Allocate the full bucket so the block is recyclable for any
+    // request that maps to the same bucket.
+    return alignedNew(bucketBytes(idx));
+}
+
+void WorkspacePool::release(void *p, std::size_t bytes) noexcept
+{
+    if (p == nullptr)
+        return;
+    if (!enabled_ || bytes > kMaxBucketBytes) {
+        alignedDelete(p);
+        return;
+    }
+    const int idx = bucketIndex(bytes);
+    cachedBytes_.fetch_add(bucketBytes(idx), std::memory_order_relaxed);
+    if (!g_thread_cache_dead) {
+        auto &list = threadCache().free[idx];
+        if (list.size() < kThreadCacheBlocks) {
+            list.push_back(p);
+            return;
+        }
+    }
+    parkShared(idx, p);
+}
+
+void WorkspacePool::setSharedBudgetBytes(std::size_t bytes)
+{
+    sharedBudget_.store(bytes, std::memory_order_relaxed);
+    // Trim anything already parked beyond the new budget.
+    std::vector<void *> evicted;
+    std::size_t evictedBytes = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (int idx = kNumBuckets - 1; idx >= 0 && sharedBytes_ > bytes; --idx) {
+            while (!shared_[idx].empty() && sharedBytes_ > bytes) {
+                evicted.push_back(shared_[idx].back());
+                shared_[idx].pop_back();
+                sharedBytes_ -= bucketBytes(idx);
+                evictedBytes += bucketBytes(idx);
+            }
+        }
+    }
+    cachedBytes_.fetch_sub(evictedBytes, std::memory_order_relaxed);
+    for (void *p : evicted)
+        alignedDelete(p);
+}
+
+std::size_t WorkspacePool::sharedBudgetBytes() const
+{
+    return sharedBudget_.load(std::memory_order_relaxed);
+}
+
+WorkspaceStats WorkspacePool::stats() const
+{
+    WorkspaceStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.oversized = oversized_.load(std::memory_order_relaxed);
+    s.cachedBytes = cachedBytes_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void WorkspacePool::drainThreadCache() noexcept
+{
+    if (g_thread_cache_dead)
+        return;
+    ThreadCache &cache = threadCache();
+    for (int idx = 0; idx < kNumBuckets; ++idx) {
+        for (void *p : cache.free[idx])
+            parkShared(idx, p);
+        cache.free[idx].clear();
+    }
+}
+
+void WorkspacePool::trimShared() noexcept
+{
+    std::vector<void *> evicted;
+    std::size_t evictedBytes = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (int idx = 0; idx < kNumBuckets; ++idx) {
+            for (void *p : shared_[idx]) {
+                evicted.push_back(p);
+                evictedBytes += bucketBytes(idx);
+            }
+            shared_[idx].clear();
+        }
+        sharedBytes_ = 0;
+    }
+    cachedBytes_.fetch_sub(evictedBytes, std::memory_order_relaxed);
+    for (void *p : evicted)
+        alignedDelete(p);
+}
+
+} // namespace cegma

@@ -289,10 +289,9 @@ TEST(LiveCorpusTest, ShortlistPureFunctionOfSnapshot)
     RetrievalConfig rc;
     rc.mode = RetrievalMode::Cascade;
     rc.shortlist = 12;
-    auto descriptor = [&model](const Graph &g) {
-        std::vector<float> out(model->coarseDim());
+    auto descriptor = [&model](const Graph &g, std::vector<float> &out) {
+        out.resize(model->coarseDim());
         model->coarseDescriptor(g, out.data());
-        return out;
     };
 
     LiveCorpus corpus;
@@ -725,10 +724,9 @@ TEST(LiveGate, CascadeMatchesOfflineRebuiltIndex)
     std::unique_ptr<GmnModel> serial =
         makeModel(config.model, config.modelSeed);
     ASSERT_GT(serial->coarseDim(), 0u);
-    auto descriptor = [&serial](const Graph &g) {
-        std::vector<float> out(serial->coarseDim());
+    auto descriptor = [&serial](const Graph &g, std::vector<float> &out) {
+        out.resize(serial->coarseDim());
         serial->coarseDescriptor(g, out.data());
-        return out;
     };
     std::map<uint64_t, std::unique_ptr<LiveCorpus>> replay;
     auto replayFor = [&](uint64_t epoch) -> LiveCorpus & {

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -420,6 +421,56 @@ TEST(WindowedCounterTest, RotationAndExpiryAreExact)
     EXPECT_EQ(counter.total(), 0u);
     counter.add(7);
     EXPECT_EQ(counter.total(), 7u);
+}
+
+TEST(WindowedCounterTest, ExactWindowEdgeLiveness)
+{
+    // 10 us window, 10 buckets -> 1 us per bucket. The liveness
+    // predicate is oldest <= seq <= now_seq with
+    // oldest = now_seq - buckets + 1: pin both edges exactly.
+    FakeClock clk;
+    obs::WindowedCounter counter(10'000, 10, clk.fn());
+    clk.now = 0; // seq 0, the very first bucket
+    counter.add(1);
+
+    // now_seq 9 -> oldest 0: still live at the window's last tick.
+    clk.now = 9'999;
+    EXPECT_EQ(counter.total(), 1u);
+    // now_seq 10 -> oldest 1: expired by exactly one bucket — no
+    // off-by-one grace tick, no early expiry.
+    clk.now = 10'000;
+    EXPECT_EQ(counter.total(), 0u);
+
+    // seq 10 wraps onto seq 0's ring slot: the record must reclaim the
+    // stale slot (reset, restamp) rather than add into the corpse.
+    counter.add(5);
+    EXPECT_EQ(counter.total(), 5u);
+    clk.now = 10'999; // same bucket, last tick before rotation
+    EXPECT_EQ(counter.total(), 5u);
+    clk.now = 20'000; // now_seq 20 -> oldest 11: gone again
+    EXPECT_EQ(counter.total(), 0u);
+}
+
+TEST(WindowedDistributionTest, ExactWindowEdgeExpiry)
+{
+    // Same edge discipline for the distribution ring: a bucket's
+    // samples survive through now_seq = seq + buckets - 1 and vanish
+    // at now_seq = seq + buckets, and a wrapped slot never leaks its
+    // previous occupant's samples into the merged summary.
+    FakeClock clk;
+    obs::WindowedDistribution dist(10'000, 10, clk.fn());
+    clk.now = 0;
+    dist.record(100);
+    clk.now = 9'999;
+    EXPECT_EQ(dist.summary().count, 1u);
+    clk.now = 10'000;
+    EXPECT_EQ(dist.summary().count, 0u);
+
+    dist.record(7); // reclaims the wrapped seq-0 slot
+    obs::WindowedSummary s = dist.summary();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.sum, 7.0);
+    EXPECT_EQ(s.p99, 7u); // the stale 100 must not resurface
 }
 
 TEST(WindowedDistributionTest, MergeOnReadQuantilesAreExact)
@@ -981,6 +1032,70 @@ TEST(AdminServerTest, ConcurrentScrapersAllComplete)
     // every scrape must still succeed.
     EXPECT_EQ(okCount.load(), kThreads * kRequests);
     EXPECT_EQ(hits.load(), static_cast<uint64_t>(kThreads) * kRequests);
+    server.stop();
+}
+
+TEST(AdminServerTest, PeerClosingEarlyCountsWriteErrorAndServerSurvives)
+{
+    // Regression: serveConnection used to ignore sendAll's result, so
+    // a peer that reset mid-response (a scraper timing out, a
+    // port-scan) was invisible — and the body was still shoveled into
+    // the dead socket. Now the failed header/body send increments
+    // writeErrors() and skips the rest, and the serial accept loop
+    // moves on to the next connection unharmed.
+    obs::AdminServer server;
+    server.handle("/big", [](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        // Far larger than the socket buffers, so the send cannot
+        // complete before the reset arrives.
+        resp.body.assign(size_t{8} << 20, 'x');
+        return resp;
+    });
+    server.handle("/ping", [](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        resp.body = "pong\n";
+        return resp;
+    });
+    obs::AdminServer::Config config;
+    config.ioTimeoutMs = 500; // bound the worst case (reset not seen)
+    ASSERT_TRUE(server.start(config)) << server.status();
+    uint16_t port = server.port();
+    ASSERT_GT(port, 0);
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    // A tiny receive window keeps the server's sendAll in flight long
+    // enough for the close below to land mid-response.
+    int rcvbuf = 4096;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const char request[] =
+        "GET /big HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    ASSERT_GT(::send(fd, request, sizeof(request) - 1, 0), 0);
+    // SO_LINGER 0 turns close() into an immediate RST: the peer is
+    // gone before (or while) the server writes, never a graceful FIN.
+    linger lin{};
+    lin.l_onoff = 1;
+    lin.l_linger = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+    ::close(fd);
+
+    for (int i = 0; i < 300 && server.writeErrors() == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_GE(server.writeErrors(), 1u);
+    EXPECT_GE(server.requestsServed(), 1u);
+
+    // The next scrape on a fresh connection is business as usual.
+    std::string ok = httpGet(
+        port, "GET /ping HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos) << ok;
+    EXPECT_NE(ok.find("pong"), std::string::npos) << ok;
     server.stop();
 }
 

@@ -12,6 +12,12 @@
  *   - `SearchService` scores are bit-identical to a serial
  *     `runFunctional` at thread counts {1, 2, 8} x batch sizes
  *     {1, 4, 32};
+ *   - the `StagePipeline` engine preserves FIFO order through every
+ *     stage, really overlaps adjacent stages in wall clock (overlap
+ *     identically 0 for a single stage), enforces depth-bounded
+ *     backpressure, and keeps the service bit-identical to serial at
+ *     every thread x batch x pipeline-depth point, depth 0 (the
+ *     monolithic path) included (run under TSan and ASan by ci.sh);
  *   - micro-batcher flush/bound semantics, deadline-aware shedding,
  *     and the close-while-waiting / deadline-vs-size flush races (run
  *     under TSan by ci.sh);
@@ -33,6 +39,7 @@
 #include <cmath>
 #include <future>
 #include <limits>
+#include <map>
 #include <memory>
 #include <set>
 #include <thread>
@@ -53,6 +60,7 @@
 #include "serve/errors.hh"
 #include "serve/faults.hh"
 #include "serve/loadgen.hh"
+#include "serve/pipeline.hh"
 #include "serve/service.hh"
 
 namespace cegma {
@@ -312,6 +320,31 @@ TEST(BoundedMemo, CrossFeedbackModelNeverTouchesEmbeddingCache)
     }
 }
 
+TEST(BoundedMemo, LookupTimingIsGatedOffByDefault)
+{
+    // Regression: the memo used to read the clock around every lookup
+    // unconditionally, taxing consumers (runFunctional, benchmarks)
+    // that never read lookupNs(). The accounting is now behind one
+    // relaxed atomic flag, off by default — a cold cache must finish
+    // many lookups without a single recorded nanosecond.
+    Dataset ds = makeCloneSearchDataset(DatasetId::AIDS, 3, 2);
+    MemoCache memo;
+    EXPECT_FALSE(memo.lookupTimingEnabled());
+    for (int round = 0; round < 16; ++round)
+        for (const GraphPair &pair : ds.pairs)
+            (void)memo.wl(pair.target, 3);
+    EXPECT_GT(memo.wlLookups(), 0u);
+    EXPECT_EQ(memo.lookupNs(), 0u);
+
+    // Flipping the flag starts (not backfills) the accounting.
+    memo.setLookupTimingEnabled(true);
+    EXPECT_TRUE(memo.lookupTimingEnabled());
+    for (int round = 0; round < 16; ++round)
+        for (const GraphPair &pair : ds.pairs)
+            (void)memo.wl(pair.target, 3);
+    EXPECT_GT(memo.lookupNs(), 0u);
+}
+
 // ---- MicroBatcher ---------------------------------------------------
 
 TEST(MicroBatcher, SizeTriggerSplitsIntoMaxBatchChunks)
@@ -408,6 +441,25 @@ TEST(MicroBatcher, FullQueueShedsInsteadOfRejectingWhenPossible)
     EXPECT_EQ(batcher.depth(), 2u);
 }
 
+TEST(MicroBatcher, FullQueueWithNothingSheddableRejects)
+{
+    // Regression: a full queue whose waiters all carry kNoDeadline has
+    // no shedding victim. The arrival must be refused outright — never
+    // admitted over the depth bound, and never allowed to evict an
+    // unsheddable waiter.
+    MicroBatcher<int> batcher(64, std::chrono::microseconds(1000000),
+                              /*max_depth=*/2, /*shed_watermark=*/2);
+    std::vector<int> shed;
+    ASSERT_TRUE(batcher.enqueue(1, kNoDeadline, &shed));
+    ASSERT_TRUE(batcher.enqueue(2, kNoDeadline, &shed));
+    EXPECT_FALSE(batcher.enqueue(3, kNoDeadline, &shed));
+    EXPECT_TRUE(shed.empty());
+    EXPECT_EQ(batcher.shedCount(), 0u);
+    EXPECT_EQ(batcher.depth(), 2u);
+    batcher.close();
+    EXPECT_EQ(batcher.nextBatch(), (std::vector<int>{1, 2}));
+}
+
 TEST(MicroBatcher, CloseWhileConsumerWaitsReleasesIt)
 {
     // Race close() against a consumer blocked in nextBatch() on an
@@ -476,6 +528,133 @@ TEST(MicroBatcher, DeadlineAndSizeFlushRaceLosesNoItem)
         EXPECT_EQ(seen[static_cast<size_t>(v)].load(), 1) << "item " << v;
 }
 
+// ---- StagePipeline --------------------------------------------------
+
+/** Work item counting how many stages have touched it. */
+struct ProbeItem : PipelineItem
+{
+    int visits = 0;
+};
+
+TEST(Pipeline, RunsEveryStageInOrderAndCompletesFifo)
+{
+    std::mutex mu;
+    std::vector<uint64_t> finished;
+    std::vector<StagePipeline::Stage> stages;
+    stages.push_back({"one", [](PipelineItem &item) {
+        auto &probe = static_cast<ProbeItem &>(item);
+        EXPECT_EQ(probe.visits, 0);
+        ++probe.visits;
+    }});
+    stages.push_back({"two", [](PipelineItem &item) {
+        auto &probe = static_cast<ProbeItem &>(item);
+        EXPECT_EQ(probe.visits, 1);
+        ++probe.visits;
+    }});
+    stages.push_back({"three", [&](PipelineItem &item) {
+        auto &probe = static_cast<ProbeItem &>(item);
+        EXPECT_EQ(probe.visits, 2);
+        ++probe.visits;
+        std::lock_guard<std::mutex> lock(mu);
+        finished.push_back(item.seq);
+    }});
+    StagePipeline pipeline(std::move(stages), 2);
+    constexpr uint64_t kItems = 16;
+    for (uint64_t i = 0; i < kItems; ++i)
+        pipeline.submit(std::make_unique<ProbeItem>());
+    pipeline.drain();
+
+    // FIFO end to end: per-stage queues are FIFO and each stage has
+    // exactly one worker, so completion order is submission order.
+    ASSERT_EQ(finished.size(), kItems);
+    for (uint64_t i = 0; i < kItems; ++i)
+        EXPECT_EQ(finished[i], i) << "completion slot " << i;
+
+    PipelineStats stats = pipeline.stats();
+    EXPECT_EQ(stats.submitted, kItems);
+    EXPECT_EQ(stats.completed, kItems);
+    ASSERT_EQ(stats.stages.size(), 3u);
+    for (const PipelineStageStats &stage : stats.stages)
+        EXPECT_EQ(stage.items, kItems);
+    EXPECT_EQ(pipeline.inflight(), 0u);
+    pipeline.drain(); // idempotent
+}
+
+TEST(Pipeline, AdjacentStagesOverlapInWallClock)
+{
+    // Two stages that each sleep 10 ms: once batch 0 advances to the
+    // second stage, the first stage's worker immediately picks up
+    // batch 1, so both sleeps run concurrently — the overlap is
+    // structural, not scheduling luck. A serial executor (the
+    // monolithic path) has overlapNs identically 0.
+    const auto kStageSleep = std::chrono::milliseconds(10);
+    std::vector<StagePipeline::Stage> stages;
+    for (const char *name : {"embed", "match"}) {
+        stages.push_back({name, [kStageSleep](PipelineItem &) {
+            std::this_thread::sleep_for(kStageSleep);
+        }});
+    }
+    StagePipeline pipeline(std::move(stages), 2);
+    constexpr uint64_t kItems = 6;
+    for (uint64_t i = 0; i < kItems; ++i)
+        pipeline.submit(std::make_unique<ProbeItem>());
+    pipeline.drain();
+
+    PipelineStats stats = pipeline.stats();
+    EXPECT_EQ(stats.completed, kItems);
+    EXPECT_GT(stats.overlapNs, 0u);
+    EXPECT_GE(stats.busyNs, stats.overlapNs);
+    // Every stage slept kItems times; busy time cannot undercount it.
+    for (const PipelineStageStats &stage : stats.stages)
+        EXPECT_GE(stage.busyNs, kItems * 10'000'000ull / 2);
+}
+
+TEST(Pipeline, SingleStageNeverOverlaps)
+{
+    // The overlap gauge is the serial/pipelined discriminator: with
+    // one stage there is never a second busy stage, so overlapNs must
+    // stay exactly 0 no matter how many items flow through.
+    std::vector<StagePipeline::Stage> stages;
+    stages.push_back({"only", [](PipelineItem &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }});
+    StagePipeline pipeline(std::move(stages), 4);
+    for (uint64_t i = 0; i < 8; ++i)
+        pipeline.submit(std::make_unique<ProbeItem>());
+    pipeline.drain();
+    PipelineStats stats = pipeline.stats();
+    EXPECT_EQ(stats.completed, 8u);
+    EXPECT_GT(stats.busyNs, 0u);
+    EXPECT_EQ(stats.overlapNs, 0u);
+}
+
+TEST(Pipeline, DepthOneBackpressureBoundsInflight)
+{
+    // At depth 1 with one stage, capacity is one executing + one
+    // queued + one submitter blocked in submit() (its seq is stamped
+    // before the blocking push). inflight() can never exceed 3 — the
+    // bounded queue is real backpressure, not a buffer.
+    StagePipeline *self = nullptr;
+    std::atomic<uint64_t> maxSeen{0};
+    std::vector<StagePipeline::Stage> stages;
+    stages.push_back({"slow", [&](PipelineItem &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        uint64_t inflight = self->inflight();
+        uint64_t prev = maxSeen.load();
+        while (inflight > prev &&
+               !maxSeen.compare_exchange_weak(prev, inflight)) {
+        }
+    }});
+    StagePipeline pipeline(std::move(stages), 1);
+    self = &pipeline;
+    constexpr uint64_t kItems = 12;
+    for (uint64_t i = 0; i < kItems; ++i)
+        pipeline.submit(std::make_unique<ProbeItem>());
+    pipeline.drain();
+    EXPECT_EQ(pipeline.stats().completed, kItems);
+    EXPECT_LE(maxSeen.load(), 3u);
+}
+
 // ---- SearchService --------------------------------------------------
 
 constexpr uint32_t kQueries = 5;
@@ -495,12 +674,14 @@ serialReferenceScores(ModelId model)
 /**
  * Submit every query to a fresh service and check each result against
  * the reference grid (`reference[q * C + c]` is query q vs candidate
- * c — the clone-search pair order).
+ * c — the clone-search pair order). `pipeline_depth` 0 is the
+ * monolithic batch path; >= 1 the StagePipeline.
  */
 void
 expectServiceMatchesReference(ModelId model,
                               const std::vector<double> &reference,
-                              uint32_t threads, uint32_t batch)
+                              uint32_t threads, uint32_t batch,
+                              uint32_t pipeline_depth = 2)
 {
     ThreadPool::instance().setThreads(threads);
     CloneSearchCorpus corpus = makeCloneSearchCorpus(
@@ -513,6 +694,7 @@ expectServiceMatchesReference(ModelId model,
     config.maxBatch = batch;
     config.flushMicros = 200; // let the deadline trigger fire too
     config.topK = kCandidates;
+    config.pipelineDepth = pipeline_depth;
     SearchService service(config, corpus.candidates);
 
     std::vector<std::future<QueryResult>> futures;
@@ -526,7 +708,8 @@ expectServiceMatchesReference(ModelId model,
         for (size_t c = 0; c < kCandidates; ++c) {
             EXPECT_EQ(result.scores[c], reference[q * kCandidates + c])
                 << modelConfig(model).name << " threads=" << threads
-                << " batch=" << batch << " q=" << q << " c=" << c;
+                << " batch=" << batch << " depth=" << pipeline_depth
+                << " q=" << q << " c=" << c;
         }
         EXPECT_GE(result.batchSize, 1u);
         EXPECT_LE(result.batchSize, batch);
@@ -550,6 +733,67 @@ TEST(SearchService, BitIdenticalToSerialAcrossThreadsAndBatches)
         }
     }
     ThreadPool::instance().setThreads(0);
+}
+
+TEST(Pipeline, BitIdenticalAcrossThreadsBatchesAndDepths)
+{
+    // The determinism bar for the pipelined engine: every pool size ×
+    // batch size × pipeline depth (0 = the monolithic path) produces
+    // the exact bits of a serial runFunctional. Pipelining may change
+    // *when* a batch's stages run, never *what* they compute. Run
+    // under TSan and ASan+UBSan by ci.sh.
+    std::vector<double> reference =
+        serialReferenceScores(ModelId::GraphSim);
+    for (uint32_t threads : {1u, 2u, 8u}) {
+        for (uint32_t batch : {1u, 4u, 32u}) {
+            for (uint32_t depth : {0u, 1u, 2u, 4u}) {
+                expectServiceMatchesReference(ModelId::GraphSim,
+                                              reference, threads, batch,
+                                              depth);
+            }
+        }
+    }
+    ThreadPool::instance().setThreads(0);
+}
+
+TEST(Pipeline, OverlapAndWorkspaceGaugesAreExported)
+{
+    // The pipelined service must expose its engine through the PR-4
+    // registry: serve.pipeline.* and workspace.* gauges present, depth
+    // echoing the config, and batches matching the batch counter.
+    CloneSearchCorpus corpus = makeCloneSearchCorpus(
+        DatasetId::AIDS, kQueries, kCandidates);
+    ServeConfig config;
+    config.dedup = true;
+    config.memo = true;
+    config.maxBatch = 4;
+    config.flushMicros = 200;
+    config.pipelineDepth = 2;
+    SearchService service(config, corpus.candidates);
+    std::vector<std::future<QueryResult>> futures;
+    for (const Graph &query : corpus.queries)
+        futures.push_back(service.submit(query));
+    for (auto &future : futures)
+        (void)future.get();
+    service.shutdown();
+
+    std::map<std::string, double> gauges;
+    obs::RegistrySnapshot snap = service.registry().snapshot();
+    for (const obs::MetricValue &m : snap.metrics)
+        gauges[m.name] = m.kind == obs::MetricValue::Kind::FloatGauge
+                             ? m.fgauge
+                             : static_cast<double>(m.gauge);
+    ASSERT_TRUE(gauges.count("serve.pipeline.depth"));
+    EXPECT_DOUBLE_EQ(gauges["serve.pipeline.depth"], 2.0);
+    ASSERT_TRUE(gauges.count("serve.pipeline.batches"));
+    EXPECT_GE(gauges["serve.pipeline.batches"], 1.0);
+    ASSERT_TRUE(gauges.count("serve.pipeline.match_busy_us"));
+    EXPECT_GT(gauges["serve.pipeline.match_busy_us"], 0.0);
+    ASSERT_TRUE(gauges.count("workspace.hits"));
+    ASSERT_TRUE(gauges.count("workspace.misses"));
+    // The serving hot path recycles tensor storage: a warm service
+    // must have served at least one allocation from a free list.
+    EXPECT_GT(gauges["workspace.hits"], 0.0);
 }
 
 TEST(SearchService, BitIdenticalForEveryModel)

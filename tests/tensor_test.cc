@@ -1,14 +1,17 @@
 /**
  * @file
- * Unit tests for the dense matrix substrate.
+ * Unit tests for the dense matrix substrate and the size-bucketed
+ * workspace pool backing its storage.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/rng.hh"
 #include "tensor/matrix.hh"
+#include "tensor/workspace.hh"
 
 namespace cegma {
 namespace {
@@ -173,6 +176,120 @@ TEST(Matrix, MatmulAssociativityProperty)
     Matrix left = matmul(matmul(a, b), c);
     Matrix right = matmul(a, matmul(b, c));
     EXPECT_TRUE(left.approxEquals(right, 1e-4f));
+}
+
+// ---- WorkspacePool --------------------------------------------------
+
+TEST(WorkspacePool, BucketRoundingIsExactPowersOfTwo)
+{
+    EXPECT_EQ(WorkspacePool::bucketIndex(1), 0);
+    EXPECT_EQ(WorkspacePool::bucketIndex(64), 0);
+    EXPECT_EQ(WorkspacePool::bucketIndex(65), 1);
+    EXPECT_EQ(WorkspacePool::bucketIndex(128), 1);
+    EXPECT_EQ(WorkspacePool::bucketIndex(129), 2);
+    EXPECT_EQ(WorkspacePool::bucketBytes(0), 64u);
+    EXPECT_EQ(WorkspacePool::bucketBytes(1), 128u);
+    // Every bucket's block size maps back to that bucket, and one byte
+    // past the previous bucket already rounds up into it — the two
+    // edges that keep release() recovering the exact acquire() bucket.
+    for (int idx = 1; idx < WorkspacePool::kNumBuckets; ++idx) {
+        size_t bytes = WorkspacePool::bucketBytes(idx);
+        EXPECT_EQ(WorkspacePool::bucketIndex(bytes), idx);
+        EXPECT_EQ(WorkspacePool::bucketIndex(bytes / 2 + 1), idx);
+    }
+    EXPECT_EQ(WorkspacePool::bucketBytes(WorkspacePool::kNumBuckets - 1),
+              WorkspacePool::kMaxBucketBytes);
+}
+
+TEST(WorkspacePool, RecyclesSameThreadBlocksWithHitMissAccounting)
+{
+    WorkspacePool &pool = WorkspacePool::instance();
+    if (!pool.enabled())
+        GTEST_SKIP() << "CEGMA_WORKSPACE=off";
+    // Empty this thread's free lists and the shared pool so the first
+    // acquire below is deterministically a miss. (Other threads'
+    // caches are untouched — they cannot serve this thread anyway.)
+    size_t budget = pool.sharedBudgetBytes();
+    pool.setSharedBudgetBytes(0);
+    pool.drainThreadCache();
+    pool.trimShared();
+
+    WorkspaceStats t0 = pool.stats();
+    void *p = pool.acquire(1000); // -> the 1024-byte bucket
+    ASSERT_NE(p, nullptr);
+    WorkspaceStats t1 = pool.stats();
+    EXPECT_EQ(t1.misses, t0.misses + 1);
+    EXPECT_EQ(t1.hits, t0.hits);
+
+    // Release parks in this thread's free list; a different request
+    // size mapping to the same bucket gets the identical block back.
+    pool.release(p, 1000);
+    void *q = pool.acquire(900);
+    EXPECT_EQ(q, p);
+    WorkspaceStats t2 = pool.stats();
+    EXPECT_EQ(t2.hits, t1.hits + 1);
+    EXPECT_EQ(t2.misses, t1.misses);
+
+    pool.release(q, 900);
+    pool.drainThreadCache(); // budget 0: freed, not parked
+    pool.setSharedBudgetBytes(budget);
+}
+
+TEST(WorkspacePool, EveryBlockIs64ByteAligned)
+{
+    WorkspacePool &pool = WorkspacePool::instance();
+    for (size_t bytes : {size_t{1}, size_t{64}, size_t{100},
+                         size_t{4096}, size_t{1} << 20,
+                         WorkspacePool::kMaxBucketBytes + 1}) {
+        void *p = pool.acquire(bytes);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) %
+                      WorkspacePool::kAlignment,
+                  0u)
+            << "bytes=" << bytes;
+        pool.release(p, bytes);
+    }
+}
+
+TEST(WorkspacePool, OversizedRequestsBypassTheBuckets)
+{
+    WorkspacePool &pool = WorkspacePool::instance();
+    if (!pool.enabled())
+        GTEST_SKIP() << "CEGMA_WORKSPACE=off";
+    const size_t big = WorkspacePool::kMaxBucketBytes + 1;
+    WorkspaceStats before = pool.stats();
+    void *p = pool.acquire(big);
+    ASSERT_NE(p, nullptr);
+    pool.release(p, big);
+    // Released straight to the OS, never cached: a second round trips
+    // the oversized counter again instead of hitting a free list.
+    void *q = pool.acquire(big);
+    ASSERT_NE(q, nullptr);
+    pool.release(q, big);
+    WorkspaceStats after = pool.stats();
+    EXPECT_EQ(after.oversized, before.oversized + 2);
+    EXPECT_EQ(after.hits, before.hits);
+    EXPECT_EQ(after.cachedBytes, before.cachedBytes);
+}
+
+TEST(WorkspacePool, MatrixStorageComesFromThePool)
+{
+    WorkspacePool &pool = WorkspacePool::instance();
+    if (!pool.enabled())
+        GTEST_SKIP() << "CEGMA_WORKSPACE=off";
+    // Warm the bucket with one Matrix, then rebuild the same shape:
+    // the second construction must be a pool hit (the hot-path pattern
+    // — per-pair temporaries of a fixed shape, batch after batch).
+    {
+        Matrix warm(32, 32);
+        warm.at(0, 0) = 1.0f;
+    }
+    WorkspaceStats before = pool.stats();
+    Matrix again(32, 32);
+    EXPECT_FLOAT_EQ(again.at(0, 0), 0.0f); // recycled bytes are zeroed
+    WorkspaceStats after = pool.stats();
+    EXPECT_EQ(after.hits, before.hits + 1);
+    EXPECT_EQ(after.misses, before.misses);
 }
 
 } // namespace

@@ -63,10 +63,14 @@
  * C candidates): for each model, the offered load is calibrated to
  * `--load` (default 0.6) of the measured *dense* capacity, then both
  * the dense and the dedup+memo service score the byte-identical
- * arrival schedule. Records {model, mode, offered_qps, achieved_qps,
- * p50/p95/p99 ms, batch mean, cache hit rate, dedup skip ratio} land
- * in BENCH_serving.json — equal load by construction, so "dedup+memo
- * no slower" is directly readable off the percentiles.
+ * arrival schedule — each in the monolithic batch path (pipeline
+ * depth 0) and, for the full runtime, again through the pipelined
+ * engine (depth 2), so pipelined-vs-monolithic is one more equal-load
+ * column. Records {model, mode, pipeline_depth, offered_qps,
+ * achieved_qps, p50/p95/p99 ms, batch mean, cache hit rate, dedup
+ * skip ratio, workspace_miss_rate} land in BENCH_serving.json — equal
+ * load by construction, so "dedup+memo no slower" and "pipelining no
+ * slower" are directly readable off the percentiles.
  *
  * `--e2e` switches to the end-to-end functional-inference sweep: for
  * each model, run `runFunctional` over a duplicate-heavy RD-B
@@ -105,6 +109,7 @@
 #include "gmn/model.hh"
 #include "hash/xxhash.hh"
 #include "obs/perf_counters.hh"
+#include "tensor/workspace.hh"
 #include "retrieval/retrieval.hh"
 #include "serve/loadgen.hh"
 #include "serve/service.hh"
@@ -371,6 +376,12 @@ struct ServingRecord
     // allowed rate).
     double win1mP99Ms;
     double sloBurn1m;
+
+    // Pipelined execution (PR-10): the engine's queue depth (0 = the
+    // monolithic batch path) and the workspace pool's miss rate over
+    // this run — flat-after-warm-up shows up as a near-zero rate.
+    uint32_t pipelineDepth;
+    double workspaceMissRate;
 };
 
 /** The numeric value of registry metric `name`, or 0 if absent. */
@@ -419,9 +430,11 @@ const struct
     const char *name;
     bool dedup;
     bool memo;
+    uint32_t pipelineDepth; ///< 0 = monolithic batch path
 } kServingModes[] = {
-    {"dense", false, false},
-    {"dedup+memo", true, true},
+    {"dense", false, false, 0},
+    {"dedup+memo", true, true, 0},
+    {"dedup+memo+pipeline", true, true, 2},
 };
 
 std::vector<ServingRecord>
@@ -463,6 +476,10 @@ runServingSweep(uint32_t num_queries, uint32_t num_candidates,
             config.attribution = true;
             config.slo.targetMs = 2.0 * request_ms;
             config.slo.objective = 0.99;
+            config.pipelineDepth = mode.pipelineDepth;
+            // The pool is process-global: bracket the run so the miss
+            // rate is this run's own, not the sweep's cumulative one.
+            WorkspaceStats ws_before = WorkspacePool::instance().stats();
             SearchService service(config, corpus.candidates);
             LoadGenResult run = runOpenLoop(
                 service, corpus.queries, requests, offered_qps, 11);
@@ -495,6 +512,16 @@ runServingSweep(uint32_t num_queries, uint32_t num_candidates,
             rec.win1mP99Ms =
                 registryNumber(reg, "serve.win1m.p99_us") / 1e3;
             rec.sloBurn1m = registryNumber(reg, "serve.slo.burn.win1m");
+            rec.pipelineDepth = mode.pipelineDepth;
+            WorkspaceStats ws_after = WorkspacePool::instance().stats();
+            double ws_hits = static_cast<double>(ws_after.hits -
+                                                 ws_before.hits);
+            double ws_misses = static_cast<double>(ws_after.misses -
+                                                   ws_before.misses);
+            rec.workspaceMissRate =
+                ws_hits + ws_misses > 0.0
+                    ? ws_misses / (ws_hits + ws_misses)
+                    : 0.0;
             records.push_back(std::move(rec));
         }
     }
@@ -525,7 +552,9 @@ writeServingJson(const std::vector<ServingRecord> &records,
                      "\"dedup_share\": %.3f, \"head_share\": %.3f, "
                      "\"memo_share\": %.3f, \"queue_share\": %.3f, "
                      "\"win1m_p99_ms\": %.3f, "
-                     "\"slo_burn_1m\": %.3f}%s\n",
+                     "\"slo_burn_1m\": %.3f, "
+                     "\"pipeline_depth\": %" PRIu32 ", "
+                     "\"workspace_miss_rate\": %.4f}%s\n",
                      r.model.c_str(), r.mode.c_str(), r.threads,
                      r.requests, r.offeredQps, r.achievedQps, r.p50Ms,
                      r.p95Ms, r.p99Ms, r.batchMean, r.cacheHitRate,
@@ -533,6 +562,7 @@ writeServingJson(const std::vector<ServingRecord> &records,
                      r.embedShare, r.matchShare,
                      r.dedupShare, r.headShare, r.memoShare,
                      r.queueShare, r.win1mP99Ms, r.sloBurn1m,
+                     r.pipelineDepth, r.workspaceMissRate,
                      i + 1 < records.size() ? "," : "");
     }
     std::fprintf(out, "]\n");

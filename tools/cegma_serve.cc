@@ -13,6 +13,7 @@
  *               [--retrieval=exhaustive|cascade] [--shortlist=C]
  *               [--tag-prune=F] [--tag-level L]
  *               [--batch B] [--flush-us U] [--topk K]
+ *               [--pipeline-depth D] [--workspace-mb M]
  *               [--dedup=on|off] [--memo=on|off] [--memo-mb M]
  *               [--threads T] [--seed S] [--json] [--csv] [--prom]
  *               [--trace-out FILE] [--metrics-every SEC]
@@ -90,6 +91,8 @@ struct Options
     bool dedup = true;
     bool memo = true;
     size_t memoMb = 256;
+    uint32_t pipelineDepth = 2; // 0 = monolithic batch path
+    size_t workspaceMb = 256;   // shared workspace-pool budget
     uint32_t threads = 0;
     uint64_t seed = 7;
     bool json = false;
@@ -127,6 +130,7 @@ usage(const char *argv0)
         "          [--retrieval=exhaustive|cascade] [--shortlist=C]\n"
         "          [--tag-prune=F] [--tag-level L]\n"
         "          [--batch B] [--flush-us U] [--topk K]\n"
+        "          [--pipeline-depth D] [--workspace-mb M]\n"
         "          [--dedup=on|off] [--memo=on|off] [--memo-mb M]\n"
         "          [--threads T] [--seed S] [--json] [--csv] [--prom]\n"
         "          [--trace-out FILE] [--metrics-every SEC]\n"
@@ -145,6 +149,11 @@ usage(const char *argv0)
         "datasets: AIDS COLLAB GITHUB RD-B RD-5K RD-12K BIN-CFG\n"
         "--qps > 0 drives open-loop Poisson arrivals; otherwise\n"
         "--clients closed-loop workers issue back-to-back requests.\n"
+        "--pipeline-depth D sets the per-stage queue depth of the\n"
+        "embed/match/head batch pipeline (default 2; 0 selects the\n"
+        "monolithic batch path — bit-identical, no overlap);\n"
+        "--workspace-mb caps the shared tensor workspace pool behind\n"
+        "the workspace.* gauges.\n"
         "--trace-out writes a Chrome trace_event JSON (Perfetto /\n"
         "chrome://tracing); --prom prints the metrics registry as\n"
         "Prometheus text; --metrics-every prints periodic stats to\n"
@@ -274,6 +283,11 @@ parseArgs(int argc, char **argv)
             opts.topk = static_cast<uint32_t>(std::stoul(next()));
         } else if (arg == "--memo-mb") {
             opts.memoMb = std::stoul(next());
+        } else if (arg == "--pipeline-depth") {
+            opts.pipelineDepth =
+                static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--workspace-mb") {
+            opts.workspaceMb = std::stoul(next());
         } else if (arg == "--threads") {
             opts.threads = static_cast<uint32_t>(std::stoul(next()));
         } else if (arg == "--seed") {
@@ -373,6 +387,8 @@ main(int argc, char **argv)
     config.maxBatch = opts.batch;
     config.flushMicros = opts.flushUs;
     config.topK = opts.topk;
+    config.pipelineDepth = opts.pipelineDepth;
+    config.workspaceMb = opts.workspaceMb;
     config.retrieval = opts.retrieval;
     config.slowMs = opts.slowMs;
     config.requestDeadlineMs = opts.deadlineMs;
